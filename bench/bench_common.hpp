@@ -1,0 +1,111 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary regenerates one of the paper's artifacts (a table, a
+// figure, or a prose claim from §4.1) and prints the paper's numbers beside
+// the ones this implementation produces. Set WAN_BENCH_FAST=1 to shrink the
+// simulated horizons (quicker, noisier — useful in CI).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <optional>
+
+#include "proto/decision.hpp"
+#include "sim/time.hpp"
+#include "workload/driver.hpp"
+#include "workload/probes.hpp"
+#include "workload/scenario.hpp"
+
+namespace wan::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("WAN_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Simulated horizon, shortened in fast mode.
+inline sim::Duration horizon(sim::Duration normal, sim::Duration fast) {
+  return fast_mode() ? fast : normal;
+}
+
+inline void print_header(const char* title, const char* source) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("  (reproduces: %s)\n", source);
+  std::printf("================================================================\n");
+}
+
+/// Protocol-level empirical PA: the fraction of *fresh* checks (cache misses
+/// that had to assemble a check quorum with R = 1) that succeeded. This is
+/// the closest protocol observable to the paper's PA(C) definition.
+struct FreshCheckAvailability {
+  std::uint64_t quorum_ok = 0;
+  std::uint64_t quorum_failed = 0;
+
+  [[nodiscard]] double pa() const {
+    const auto n = quorum_ok + quorum_failed;
+    return n == 0 ? 0.0 : static_cast<double>(quorum_ok) / static_cast<double>(n);
+  }
+};
+
+/// Wires a scenario's hosts to count fresh-check outcomes.
+inline void attach_fresh_check_counter(workload::Scenario& s,
+                                       FreshCheckAvailability& counter) {
+  for (int h = 0; h < s.host_count(); ++h) {
+    s.host(h).controller().set_decision_observer(
+        [&counter](const proto::AccessDecision& d) {
+          switch (d.path) {
+            case proto::DecisionPath::kQuorumGranted:
+            case proto::DecisionPath::kQuorumDenied:
+              ++counter.quorum_ok;
+              break;
+            case proto::DecisionPath::kUnverifiableDeny:
+            case proto::DecisionPath::kDefaultAllow:
+              ++counter.quorum_failed;
+              break;
+            default:
+              break;  // cache hits etc. are not fresh checks
+          }
+        });
+  }
+}
+
+/// Protocol-level empirical PS: the fraction of updates whose quorum was
+/// assembled within `deadline` of being issued ("revoke globally ... in a
+/// timely fashion").
+class TimelyUpdateMeter {
+ public:
+  TimelyUpdateMeter(workload::Scenario& s, sim::Duration deadline)
+      : scenario_(s), deadline_(deadline) {}
+
+  /// Issues one update (alternating grant/revoke) from the given manager and
+  /// scores it against the deadline.
+  void issue(int manager_idx, UserId user) {
+    const sim::TimePoint issued = scenario_.scheduler().now();
+    ++issued_count_;
+    auto& mgr = scenario_.manager(manager_idx).manager();
+    const acl::Op op = flip_ ? acl::Op::kRevoke : acl::Op::kAdd;
+    flip_ = !flip_;
+    mgr.submit_update(scenario_.app(), op, user, acl::Right::kUse,
+                      [this, issued](const proto::UpdateOutcome& o) {
+                        if (o.quorum_at - issued <= deadline_) ++timely_;
+                      });
+  }
+
+  [[nodiscard]] double ps() const {
+    return issued_count_ == 0
+               ? 0.0
+               : static_cast<double>(timely_) / static_cast<double>(issued_count_);
+  }
+  [[nodiscard]] std::uint64_t issued_count() const { return issued_count_; }
+
+ private:
+  workload::Scenario& scenario_;
+  sim::Duration deadline_;
+  std::uint64_t issued_count_ = 0;
+  std::uint64_t timely_ = 0;
+  bool flip_ = false;
+};
+
+}  // namespace wan::bench

@@ -1,0 +1,123 @@
+// Reproduces the closing analysis of §4.1: heterogeneous inaccessibility,
+// correlated (shared-link) failures, frequency-weighted system estimates, and
+// the manager-placement effect.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/availability.hpp"
+#include "analysis/binomial.hpp"
+#include "analysis/heterogeneous.hpp"
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace wan {
+namespace {
+
+// Monte-Carlo cross-check of the shared-link closed form.
+double monte_carlo_shared_link(const analysis::SharedLinkModel& model,
+                               int at_least, int samples, std::uint64_t seed) {
+  Rng rng(seed);
+  int hits = 0;
+  for (int s = 0; s < samples; ++s) {
+    std::vector<bool> link_down(model.link_fail.size());
+    for (std::size_t l = 0; l < link_down.size(); ++l) {
+      link_down[l] = rng.next_bool(model.link_fail[l]);
+    }
+    int accessible = 0;
+    for (std::size_t j = 0; j < model.link_of.size(); ++j) {
+      const int l = model.link_of[j];
+      if (l >= 0 && link_down[static_cast<std::size_t>(l)]) continue;
+      if (!rng.next_bool(model.residual[j])) ++accessible;
+    }
+    if (accessible >= at_least) ++hits;
+  }
+  return static_cast<double>(hits) / samples;
+}
+
+void heterogeneous_table() {
+  Table t(
+      "\nOne flaky manager (p=0.6) among M=10 otherwise-good (p=0.05) ones —\n"
+      "exact Poisson-binomial PA/PS vs the homogeneous approximations:");
+  t.set_header({"C", "PA(hetero)", "PA(hom. mean p)", "PS(hetero)",
+                "PS(hom. mean p)"});
+  std::vector<double> inaccess(10, 0.05);
+  inaccess[0] = 0.6;
+  const double mean_p = (0.6 + 9 * 0.05) / 10.0;
+  // A good manager issues updates; the flaky one is among its 9 peers.
+  std::vector<double> peers(9, 0.05);
+  peers[0] = 0.6;
+  for (int c = 1; c <= 10; ++c) {
+    t.add_row({Table::fmt(static_cast<std::int64_t>(c)),
+               Table::fmt(analysis::availability_pa_hetero(inaccess, c)),
+               Table::fmt(analysis::availability_pa(10, c, mean_p)),
+               Table::fmt(analysis::security_ps_hetero(peers, c)),
+               Table::fmt(analysis::security_ps(10, c, mean_p))});
+  }
+  t.print();
+}
+
+void shared_link_table() {
+  Table t(
+      "\nCorrelated failures — M=6 managers behind 2 shared links (q=0.1)\n"
+      "vs 6 independent managers with the SAME marginal inaccessibility:");
+  t.set_header({"quorum k", "P[>=k] shared-link", "P[>=k] Monte-Carlo",
+                "P[>=k] independent"});
+  analysis::SharedLinkModel model;
+  model.link_of = {0, 0, 0, 1, 1, 1};
+  model.link_fail = {0.1, 0.1};
+  model.residual = std::vector<double>(6, 0.05);
+  const double marginal = 1.0 - 0.9 * 0.95;  // P[manager inaccessible]
+  for (int k = 1; k <= 6; ++k) {
+    t.add_row({Table::fmt(static_cast<std::int64_t>(k)),
+               Table::fmt(model.at_least_accessible(k)),
+               Table::fmt(monte_carlo_shared_link(
+                   model, k, bench::fast_mode() ? 40000 : 400000,
+                   static_cast<std::uint64_t>(k))),
+               Table::fmt(analysis::binomial_at_least(6, k, 1.0 - marginal))});
+  }
+  t.print();
+}
+
+void placement_table() {
+  Table t(
+      "\nManager placement (paper: \"the assignment of managers to sites\n"
+      "should be such that the inaccessibility between these sites is\n"
+      "minimized\") — frequency-weighted system security, C=3, M=5:");
+  t.set_header({"scenario", "uniform-weighted PS", "update-weighted PS"});
+
+  // Manager 0 is poorly connected to its peers.
+  std::vector<double> ps;
+  for (int j = 0; j < 5; ++j) {
+    std::vector<double> peers(4, 0.05);
+    if (j == 0) peers.assign(4, 0.5);
+    ps.push_back(analysis::security_ps_hetero(peers, 3));
+  }
+  const analysis::WeightedEstimate uniform{ps, {1, 1, 1, 1, 1}};
+  const analysis::WeightedEstimate hot_is_bad{ps, {10, 1, 1, 1, 1}};
+  const analysis::WeightedEstimate hot_is_good{ps, {1, 10, 1, 1, 1}};
+  t.add_row({"flaky mgr rarely updates", Table::fmt(uniform.weighted_mean()),
+             Table::fmt(hot_is_good.weighted_mean())});
+  t.add_row({"flaky mgr updates often", Table::fmt(uniform.weighted_mean()),
+             Table::fmt(hot_is_bad.weighted_mean())});
+  t.print();
+}
+
+}  // namespace
+}  // namespace wan
+
+int main() {
+  wan::bench::print_header(
+      "HETEROGENEOUS & CORRELATED INACCESSIBILITY",
+      "Hiltunen & Schlichting, ICDCS'97, §4.1 closing paragraphs");
+  wan::heterogeneous_table();
+  wan::shared_link_table();
+  wan::placement_table();
+  std::printf(
+      "\nReading guide: the homogeneous mean-p approximation misjudges both\n"
+      "tails when one manager is flaky; shared links strictly hurt high\n"
+      "quorums versus independent failures with identical marginals; and a\n"
+      "frequently-updating manager on a bad link drags system security far\n"
+      "below the uniform estimate — hence the placement advice.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Microbenchmarks (google-benchmark) for the data-plane primitives: the
+// per-message costs a real deployment of the protocol would pay. The paper's
+// fast path is "check ACL_cache, allow" — these pin down what that costs.
+#include <benchmark/benchmark.h>
+
+#include "acl/cache.hpp"
+#include "acl/store.hpp"
+#include "analysis/availability.hpp"
+#include "auth/authenticator.hpp"
+#include "auth/credentials.hpp"
+#include "metrics/histogram.hpp"
+#include "quorum/quorum.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace wan {
+namespace {
+
+void BM_AclCacheHit(benchmark::State& state) {
+  acl::AclCache cache;
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const clk::LocalTime t0 = clk::LocalTime::from_nanos(0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    cache.insert(UserId(i), acl::RightSet(acl::Right::kUse),
+                 t0 + sim::Duration::hours(1), acl::Version{1, HostId(0)}, t0);
+  }
+  std::uint32_t u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(UserId(u), t0));
+    u = (u + 1) % n;
+  }
+}
+BENCHMARK(BM_AclCacheHit)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_AclCacheMiss(benchmark::State& state) {
+  acl::AclCache cache;
+  const clk::LocalTime t0 = clk::LocalTime::from_nanos(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(UserId(1), t0));
+  }
+}
+BENCHMARK(BM_AclCacheMiss);
+
+void BM_AclCacheInsert(benchmark::State& state) {
+  acl::AclCache cache;
+  const clk::LocalTime t0 = clk::LocalTime::from_nanos(0);
+  std::uint32_t u = 0;
+  for (auto _ : state) {
+    cache.insert(UserId(u++ % 4096), acl::RightSet(acl::Right::kUse),
+                 t0 + sim::Duration::hours(1), acl::Version{1, HostId(0)}, t0);
+  }
+}
+BENCHMARK(BM_AclCacheInsert);
+
+void BM_AclStoreApply(benchmark::State& state) {
+  acl::AclStore store;
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    store.apply(acl::AclUpdate{UserId(static_cast<std::uint32_t>(v % 1024)),
+                               acl::Right::kUse, acl::Op::kAdd,
+                               acl::Version{++v, HostId(0)}});
+  }
+}
+BENCHMARK(BM_AclStoreApply);
+
+void BM_AclStoreSnapshot(benchmark::State& state) {
+  acl::AclStore store;
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    store.apply(acl::AclUpdate{UserId(static_cast<std::uint32_t>(i)),
+                               acl::Right::kUse, acl::Op::kAdd,
+                               acl::Version{i + 1, HostId(0)}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.snapshot());
+  }
+}
+BENCHMARK(BM_AclStoreSnapshot)->Arg(128)->Arg(4096);
+
+void BM_QuorumTracker(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    quorum::QuorumTracker tracker(m / 2 + 1);
+    for (int i = 0; i < m; ++i) {
+      benchmark::DoNotOptimize(tracker.record(HostId(static_cast<std::uint32_t>(i))));
+    }
+  }
+}
+BENCHMARK(BM_QuorumTracker)->Arg(5)->Arg(32);
+
+void BM_SignAndVerify(benchmark::State& state) {
+  Rng rng(1);
+  const auth::KeyPair kp = auth::generate_keypair(rng);
+  auth::KeyRegistry reg;
+  reg.register_user(UserId(1), kp.public_key);
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    const auth::Signature sig = auth::sign(UserId(1), payload, kp.secret);
+    benchmark::DoNotOptimize(reg.verify(UserId(1), payload, sig));
+  }
+}
+BENCHMARK(BM_SignAndVerify)->Arg(64)->Arg(1024);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_after(sim::Duration::nanos(i), [] {});
+    }
+    benchmark::DoNotOptimize(sched.run_all());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  metrics::Histogram hist;
+  Rng rng(2);
+  for (auto _ : state) {
+    hist.record_seconds(rng.next_exponential(0.05));
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_AnalyticPa(benchmark::State& state) {
+  for (auto _ : state) {
+    for (int c = 1; c <= 10; ++c) {
+      benchmark::DoNotOptimize(analysis::availability_pa(10, c, 0.1));
+    }
+  }
+}
+BENCHMARK(BM_AnalyticPa);
+
+void BM_RngNextDouble(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_double());
+  }
+}
+BENCHMARK(BM_RngNextDouble);
+
+}  // namespace
+}  // namespace wan
+
+BENCHMARK_MAIN();

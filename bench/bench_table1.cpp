@@ -1,0 +1,137 @@
+// Reproduces Table 1: "Effects of C on availability and security."
+// M = 10 managers, C = 1..10, Pi in {0.1, 0.2}.
+//
+// Columns:
+//   PA / PS (paper)   — the published values (hard-coded for comparison)
+//   PA / PS (model)   — our closed-form implementation (must match)
+//   PA / PS (sim)     — measured from the live partition model:
+//       PA(sim): snapshot probe "can host reach >= C managers?"
+//       PS(sim): snapshot probe "can an issuer reach >= M-C peers?"
+//   PA (proto)        — fraction of protocol-level fresh checks (R = 1) that
+//                       assembled a check quorum
+//   PS (proto)        — fraction of real updates reaching their update quorum
+//                       within a short deadline
+#include <cstdio>
+
+#include "analysis/availability.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+namespace wan {
+namespace {
+
+using bench::horizon;
+using sim::Duration;
+
+struct PaperRow {
+  double pa, ps;
+};
+
+// The published Table 1 values, for side-by-side comparison.
+constexpr PaperRow kPaper01[10] = {
+    {1.00000, 0.38742}, {1.00000, 0.77484}, {1.00000, 0.94703},
+    {0.99999, 0.99167}, {0.99985, 0.99911}, {0.99837, 0.99994},
+    {0.98720, 1.00000}, {0.92981, 1.00000}, {0.73610, 1.00000},
+    {0.34868, 1.00000}};
+constexpr PaperRow kPaper02[10] = {
+    {1.00000, 0.13422}, {1.00000, 0.43621}, {0.99992, 0.73820},
+    {0.99914, 0.91436}, {0.99363, 0.98042}, {0.96721, 0.99693},
+    {0.87913, 0.99969}, {0.67780, 0.99998}, {0.37581, 1.00000},
+    {0.10737, 1.00000}};
+
+struct SimResult {
+  double pa_probe, ps_probe, pa_proto, ps_proto;
+};
+
+SimResult simulate(int check_quorum, double pi, std::uint64_t seed) {
+  workload::ScenarioConfig cfg;
+  cfg.managers = 10;
+  cfg.app_hosts = 1;
+  cfg.users = 10;
+  cfg.partitions = workload::ScenarioConfig::Partitions::kPairwise;
+  cfg.pi = pi;
+  cfg.mean_down = Duration::seconds(30);
+  cfg.protocol.check_quorum = check_quorum;
+  cfg.protocol.max_attempts = 1;  // single-shot checks, as the analysis assumes
+  cfg.protocol.query_timeout = Duration::seconds(2);
+  cfg.protocol.Te = Duration::seconds(30);  // short: forces frequent re-checks
+  cfg.seed = seed;
+  workload::Scenario s(cfg);
+
+  // Snapshot probes (the model's exact question).
+  workload::QuorumProbe probe(s, check_quorum, Duration::seconds(10));
+  probe.start();
+
+  // Protocol-level fresh checks, sampled on a fixed schedule. (Driving these
+  // from an access-rate workload would oversample failure periods: a failed
+  // check caches nothing and is retried immediately, while a success hides
+  // in the cache for te — evenly spaced probes of users whose entries have
+  // certainly expired give one unbiased sample per interval.)
+  for (int u = 0; u < s.user_count(); ++u) s.grant(s.user(u), 0);
+  s.run_for(Duration::seconds(10));
+  bench::FreshCheckAvailability fresh;
+  bench::attach_fresh_check_counter(s, fresh);
+  sim::PeriodicTimer probe_timer(s.scheduler());
+  int probe_user = 1;  // user 0 is the update-meter target below
+  probe_timer.start(Duration::seconds(35), [&] {  // > te: always a fresh check
+    s.check(0, s.user(probe_user));
+    probe_user = 1 + (probe_user % (s.user_count() - 1));
+  });
+
+  // Protocol-level timely updates: one op every 40s from a rotating issuer
+  // against a dedicated user, scored against a 5s deadline (roughly "now",
+  // relative to Te-scale dynamics).
+  bench::TimelyUpdateMeter meter(s, Duration::seconds(5));
+  sim::PeriodicTimer op_timer(s.scheduler());
+  int issuer = 0;
+  op_timer.start(Duration::seconds(40), [&] {
+    meter.issue(issuer, s.user(0));
+    issuer = (issuer + 1) % 10;
+  });
+
+  s.run_for(horizon(Duration::hours(6), Duration::hours(1)));
+  return SimResult{probe.result().pa(), probe.result().ps(), fresh.pa(),
+                   meter.ps()};
+}
+
+void run_pi(double pi, const PaperRow* paper) {
+  Table t;
+  t.set_header({"C", "PA(paper)", "PA(model)", "PA(sim)", "PA(proto)",
+                "PS(paper)", "PS(model)", "PS(sim)", "PS(proto)"});
+  for (int c = 1; c <= 10; ++c) {
+    const SimResult sim =
+        simulate(c, pi, static_cast<std::uint64_t>(c) * 1000 +
+                            static_cast<std::uint64_t>(pi * 10));
+    t.add_row({Table::fmt(static_cast<std::int64_t>(c)),
+               Table::fmt(paper[c - 1].pa), Table::fmt(analysis::availability_pa(10, c, pi)),
+               Table::fmt(sim.pa_probe), Table::fmt(sim.pa_proto),
+               Table::fmt(paper[c - 1].ps), Table::fmt(analysis::security_ps(10, c, pi)),
+               Table::fmt(sim.ps_probe), Table::fmt(sim.ps_proto)});
+  }
+  std::printf("\nPi = %.1f, M = 10:\n", pi);
+  t.print();
+}
+
+}  // namespace
+}  // namespace wan
+
+int main() {
+  wan::bench::print_header(
+      "TABLE 1 — Effects of the check quorum C on availability and security",
+      "Hiltunen & Schlichting, ICDCS'97, Table 1 (+ simulation columns)");
+  wan::run_pi(0.1, wan::kPaper01);
+  wan::run_pi(0.2, wan::kPaper02);
+  std::printf(
+      "\nReading guide: model must equal paper to 5 decimals; sim matches the\n"
+      "model within sampling noise (the partition processes realize the same\n"
+      "stationary pairwise-Pi the formulas assume); proto columns show the\n"
+      "live protocol (timeouts, retransmissions) tracking the model.\n"
+      "\n"
+      "Note the one systematic PROTO deviation, at large C: the paper's PS\n"
+      "formula counts only the write quorum (M-C+1), but a *sound* update\n"
+      "must first version-read a check quorum of C (see DESIGN.md §6), so\n"
+      "the live protocol's timely-update probability is the product of both\n"
+      "phases and no longer saturates at C = M. The paper's curve is an\n"
+      "upper bound that its own prose construction cannot quite reach.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// The paper's second motivating example (§2.1): "a distributed information
+// service that maintains data for an organization ... some user identifiers
+// could have been compromised or users terminated, so it is important to be
+// able to prevent those users from accessing or changing information."
+//
+// Timeline dramatized here:
+//   t0   Mallory's credentials are active; she reads the directory.
+//   t1   Mallory's laptop host drops off the corporate WAN (partition) —
+//        with a freshly cached right in the edge host's ACL cache.
+//   t2   Security revokes Mallory. The revoke reaches its update quorum:
+//        from this instant the Te clock runs.
+//   ...  The edge host, still partitioned, keeps serving her from cache
+//        (inside the permitted grace window).
+//   t2+Te  The cached entry has expired on the host's drifting local clock.
+//          Mallory is locked out EVERYWHERE, partition or not.
+//
+//   $ build/examples/corporate_directory
+#include <cstdio>
+
+#include "workload/scenario.hpp"
+
+using namespace wan;
+using sim::Duration;
+
+namespace {
+double now_s(workload::Scenario& s) { return s.scheduler().now().to_seconds(); }
+
+void try_access(workload::Scenario& s, const char* who_when) {
+  s.check(0, s.user(0), [&, who_when](const proto::AccessDecision& d) {
+    std::printf("  [t=%7.2fs] %-38s -> %s (%s)\n", now_s(s), who_when,
+                d.allowed ? "ALLOWED" : "DENIED", proto::to_cstring(d.path));
+  });
+  s.run_for(Duration::seconds(3));
+}
+}  // namespace
+
+int main() {
+  // Security-first configuration: deny when unverifiable, tight Te.
+  workload::ScenarioConfig cfg;
+  cfg.managers = 5;
+  cfg.app_hosts = 2;
+  cfg.users = 1;  // Mallory
+  cfg.partitions = workload::ScenarioConfig::Partitions::kScripted;
+  cfg.constant_latency = true;
+  cfg.const_latency = Duration::millis(25);
+  cfg.drifting_clocks = true;  // edge hosts keep imperfect time
+  cfg.protocol.clock_bound_b = 1.05;
+  cfg.protocol.check_quorum = 3;
+  cfg.protocol.Te = Duration::minutes(1);  // 60s compromise window, maximum
+  cfg.protocol.max_attempts = 3;
+  cfg.protocol.query_timeout = Duration::seconds(1);
+  cfg.protocol.exhausted_policy = proto::ExhaustedPolicy::kDeny;
+  cfg.seed = 13;
+  workload::Scenario corp(cfg);
+
+  std::printf("Corporate directory — compromised-credential lockout drill\n");
+  std::printf("===========================================================\n");
+  std::printf("Te = 60s, b = 1.05 (cache entries live te = Te/b ~ 57s of local clock)\n\n");
+
+  corp.grant(corp.user(0), 0);
+  corp.run_for(Duration::seconds(5));
+  try_access(corp, "Mallory, credentials still valid");
+
+  std::printf("  [t=%7.2fs] edge host drops off the WAN (partition begins)\n",
+              now_s(corp));
+  for (const HostId m : corp.manager_ids()) {
+    corp.scripted().cut_link(corp.host_ids()[0], m);
+  }
+
+  double revoked_at = 0.0;
+  corp.revoke(corp.user(0), 2, [&] {
+    revoked_at = now_s(corp);
+    std::printf("  [t=%7.2fs] SECURITY REVOKES MALLORY — update quorum reached;\n"
+                "              guarantee: no access anywhere after t=%.2fs\n",
+                revoked_at, revoked_at + 60.0);
+  });
+  corp.run_for(Duration::seconds(3));
+
+  try_access(corp, "Mallory via partitioned edge host");
+  corp.run_for(Duration::seconds(20));
+  try_access(corp, "Mallory, ~25s into the grace window");
+  corp.run_for(Duration::seconds(25));
+  try_access(corp, "Mallory, ~55s after the revoke");
+  corp.run_for(Duration::seconds(15));
+  try_access(corp, "Mallory, past the Te deadline");
+
+  std::printf("\n  healing the partition changes nothing for her:\n");
+  corp.scripted().heal_all();
+  corp.run_for(Duration::seconds(3));
+  try_access(corp, "Mallory, partition healed");
+
+  std::printf(
+      "\nNote the middle accesses: the paper's design KNOWINGLY allows them —\n"
+      "they are inside the Te grace the application itself chose. Want a\n"
+      "smaller window? Shrink Te and pay the O(C/Te) re-validation traffic\n"
+      "(bench/bench_overhead quantifies exactly how much).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: the protocol in five minutes.
+//
+// Builds the smallest interesting deployment (3 managers, 2 application
+// hosts, 1 user), then walks the paper's §2.3 operations end to end:
+// Add -> Invoke (miss, then cache hit) -> Revoke -> Invoke (denied).
+//
+//   $ build/examples/quickstart
+#include <cstdio>
+
+#include "workload/scenario.hpp"
+
+using namespace wan;
+using sim::Duration;
+
+namespace {
+
+void banner(const char* text) { std::printf("\n--- %s ---\n", text); }
+
+void show(const proto::AccessDecision& d) {
+  std::printf("  host decided: %s (path: %s, latency: %.0f ms)\n",
+              d.allowed ? "ALLOW" : "DENY", proto::to_cstring(d.path),
+              d.latency().to_seconds() * 1e3);
+}
+
+}  // namespace
+
+int main() {
+  // One application, 3 managers holding its ACL, 2 hosts running it, and a
+  // paying customer. Checks need C = 2 of the 3 managers; a revocation is
+  // guaranteed to bite everywhere within Te = 2 minutes.
+  workload::ScenarioConfig cfg;
+  cfg.managers = 3;
+  cfg.app_hosts = 2;
+  cfg.users = 1;
+  cfg.constant_latency = true;
+  cfg.const_latency = Duration::millis(30);
+  cfg.protocol.check_quorum = 2;
+  cfg.protocol.Te = Duration::minutes(2);
+  cfg.seed = 2024;
+  workload::Scenario world(cfg);
+  const UserId alice = world.user(0);
+
+  banner("1. Alice invokes before being granted: rejected by quorum");
+  world.check(0, alice, [](const proto::AccessDecision& d) { show(d); });
+  world.run_for(Duration::seconds(5));
+
+  banner("2. A manager runs Add(app, alice, use); quorum = guarantee point");
+  world.grant(alice, 0, [&] {
+    std::printf("  update quorum reached at t=%.3fs — from here, at most Te\n"
+                "  passes before the operation is globally effective\n",
+                world.scheduler().now().to_seconds());
+  });
+  world.run_for(Duration::seconds(5));
+
+  banner("3. Alice invokes through her user agent (signed message)");
+  world.agent(0).invoke(world.app(), {world.host_ids()[0]}, "quote?msft",
+                        [](const proto::InvokeResult& r) {
+                          std::printf("  reply: ok=%d result=\"%s\" after %.0f ms\n",
+                                      r.ok, r.result.c_str(),
+                                      r.latency.to_seconds() * 1e3);
+                        });
+  world.run_for(Duration::seconds(5));
+
+  banner("4. Second invocation hits the host's ACL cache (no manager traffic)");
+  world.check(0, alice, [](const proto::AccessDecision& d) { show(d); });
+  world.run_for(Duration::seconds(5));
+
+  banner("5. Revoke(app, alice, use): managers push RevokeNotify to hosts");
+  world.revoke(alice, 1);
+  world.run_for(Duration::seconds(5));
+  std::printf("  host 0 cache size now: %zu (entry flushed)\n",
+              world.host(0).controller().cache(world.app())->size());
+
+  banner("6. Alice tries again: denied");
+  world.check(0, alice, [](const proto::AccessDecision& d) { show(d); });
+  world.run_for(Duration::seconds(5));
+
+  std::printf(
+      "\nDone. Everything above ran in simulated time on one thread —\n"
+      "try examples/stock_quotes and examples/corporate_directory for the\n"
+      "availability/security trade-off under real partitions.\n");
+  return 0;
+}

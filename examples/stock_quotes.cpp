@@ -1,0 +1,92 @@
+// The paper's motivating example (§2.1): "a service that provides stock
+// quotes, but only to those users who have paid for the service" — an
+// availability-first application. Customer satisfaction is paramount and an
+// occasional unauthorized read costs only minor revenue, so the operator
+// enables the Figure 4 rule: after R failed verification attempts, allow.
+//
+// The run compares the same partition-storm regime under the security-first
+// (deny) and availability-first (allow) policies and prints what each choice
+// buys and costs.
+//
+//   $ build/examples/stock_quotes
+#include <cstdio>
+
+#include "workload/driver.hpp"
+#include "workload/scenario.hpp"
+
+using namespace wan;
+using sim::Duration;
+
+namespace {
+
+struct Outcome {
+  double availability;
+  std::uint64_t denied_customers;
+  std::uint64_t freeloader_reads;
+  double mean_latency_ms;
+};
+
+Outcome run(proto::ExhaustedPolicy policy) {
+  workload::ScenarioConfig cfg;
+  cfg.managers = 5;
+  cfg.app_hosts = 4;   // quote servers
+  cfg.users = 20;      // subscribers + would-be freeloaders
+  cfg.partitions = workload::ScenarioConfig::Partitions::kStorms;
+  cfg.storm.mean_between_storms = Duration::minutes(4);
+  cfg.storm.mean_storm_duration = Duration::minutes(1);
+  cfg.protocol.check_quorum = 3;
+  cfg.protocol.Te = Duration::minutes(5);  // quotes tolerate slow revocation
+  cfg.protocol.max_attempts = 2;
+  cfg.protocol.query_timeout = Duration::seconds(1);
+  cfg.protocol.exhausted_policy = policy;
+  cfg.seed = 7;
+  workload::Scenario market(cfg);
+
+  workload::DriverConfig load;
+  load.access_rate_per_host = 3.0;     // quote lookups
+  load.manager_ops_per_second = 0.02;  // occasional subscribe/unsubscribe
+  load.revoke_fraction = 0.4;
+  load.initially_granted = 0.6;        // 60% are paying subscribers
+  load.zipf_s = 0.8;                   // a few very chatty customers
+  workload::Driver driver(market, load, 99);
+  driver.start();
+  market.run_for(Duration::hours(2));
+  driver.stop();
+  market.run_for(Duration::minutes(1));
+
+  const auto& rep = market.collector().report();
+  return Outcome{rep.availability(), rep.legit_denied,
+                 rep.security_violations + rep.unauth_allowed_grace,
+                 market.collector().all_latency().mean_seconds() * 1e3};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Stock-quote service under WAN partition storms (2 simulated hours)\n");
+  std::printf("==================================================================\n");
+
+  const Outcome secure = run(proto::ExhaustedPolicy::kDeny);
+  const Outcome avail = run(proto::ExhaustedPolicy::kAllow);
+
+  std::printf("\n%-34s %18s %18s\n", "", "security-first", "availability-first");
+  std::printf("%-34s %18s %18s\n", "policy after R failed attempts", "DENY",
+              "ALLOW (Fig. 4)");
+  std::printf("%-34s %18.4f %18.4f\n", "subscriber availability",
+              secure.availability, avail.availability);
+  std::printf("%-34s %18llu %18llu\n", "paying customers turned away",
+              static_cast<unsigned long long>(secure.denied_customers),
+              static_cast<unsigned long long>(avail.denied_customers));
+  std::printf("%-34s %18llu %18llu\n", "non-subscriber reads served",
+              static_cast<unsigned long long>(secure.freeloader_reads),
+              static_cast<unsigned long long>(avail.freeloader_reads));
+  std::printf("%-34s %18.2f %18.2f\n", "mean decision latency (ms)",
+              secure.mean_latency_ms, avail.mean_latency_ms);
+
+  std::printf(
+      "\nThe paper's point, in numbers: for an on-line quote service the\n"
+      "right-hand column is the right choice — happier subscribers, a few\n"
+      "leaked quotes. For the corporate directory next door it would be\n"
+      "malpractice (see examples/corporate_directory).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "acl/cache.hpp"
+
+#include <algorithm>
+
+namespace wan::acl {
+
+std::optional<CacheEntry> AclCache::lookup(UserId user, clk::LocalTime now) {
+  const auto it = entries_.find(user);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (now >= it->second.limit) {
+    ++stats_.expired;
+    entries_.erase(it);
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  it->second.last_access = now;
+  return it->second;
+}
+
+std::optional<CacheEntry> AclCache::peek(UserId user) const {
+  const auto it = entries_.find(user);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void AclCache::insert(UserId user, RightSet rights, clk::LocalTime limit,
+                      Version version, clk::LocalTime now) {
+  ++stats_.inserts;
+  entries_[user] = CacheEntry{rights, limit, version, now};
+}
+
+void AclCache::remove_on_revoke(UserId user) {
+  if (entries_.erase(user) > 0) ++stats_.revoke_flushes;
+}
+
+std::size_t AclCache::sweep(clk::LocalTime now, sim::Duration idle_limit) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const CacheEntry& e = it->second;
+    if (now >= e.limit) {
+      ++stats_.expired;
+      it = entries_.erase(it);
+      ++removed;
+    } else if (now - e.last_access >= idle_limit) {
+      ++stats_.idle_evictions;
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<UserId> AclCache::cached_users() const {
+  std::vector<UserId> out;
+  out.reserve(entries_.size());
+  for (const auto& [user, _] : entries_) out.push_back(user);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace wan::acl

@@ -1,0 +1,82 @@
+// Host-side ACL cache — the paper's ACL_cache(A).
+//
+// Holds positively-granted rights for a subset of users, each entry stamped
+// with an expiration instant on the *local* clock (extended protocol, Fig. 3).
+// Entries vanish three ways, matching the paper:
+//   1. explicit flush when a Revoke arrives from a manager (Fig. 2),
+//   2. lazy expiry when looked up past their timestamp,
+//   3. a periodic sweep that also evicts entries idle longer than a
+//      configurable limit ("eliminate entries of users who have not accessed
+//      the application recently, which can save memory", §3.2).
+//
+// Only grants are cached. Denials are never cached: a cached denial could
+// outlive a subsequent Add and has no expiry story in the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "acl/rights.hpp"
+#include "acl/version.hpp"
+#include "clock/local_clock.hpp"
+#include "util/ids.hpp"
+
+namespace wan::acl {
+
+/// One cached grant: the paper's tuple (U, limit) plus the rights granted,
+/// the update version it was derived from, and bookkeeping for idle eviction.
+struct CacheEntry {
+  RightSet rights;
+  clk::LocalTime limit{};      ///< expiration timestamp, local clock
+  Version version{};           ///< freshest manager version backing the entry
+  clk::LocalTime last_access{};
+};
+
+/// Counters exported to the metrics layer.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;         ///< user absent
+  std::uint64_t expired = 0;        ///< present but past limit at lookup
+  std::uint64_t revoke_flushes = 0; ///< removed by Revoke message
+  std::uint64_t idle_evictions = 0; ///< removed by the periodic sweep
+  std::uint64_t inserts = 0;
+};
+
+class AclCache {
+ public:
+  /// lookup(ACL_cache(A), U) with the Fig. 3 expiry check folded in: returns
+  /// the live entry, or nullopt after erasing an expired/absent one.
+  std::optional<CacheEntry> lookup(UserId user, clk::LocalTime now);
+
+  /// Peeks without expiry processing or stats (tests, diagnostics).
+  [[nodiscard]] std::optional<CacheEntry> peek(UserId user) const;
+
+  /// ACL_cache(A) += (U, rights, now + te - delta). Overwrites any existing
+  /// entry for the user — the new response is fresher by construction.
+  void insert(UserId user, RightSet rights, clk::LocalTime limit, Version version,
+              clk::LocalTime now);
+
+  /// ACL_cache(A) -= U (a no-op if absent, as the paper specifies).
+  void remove_on_revoke(UserId user);
+
+  /// Periodic sweep: drops expired entries and entries idle >= idle_limit.
+  /// Returns the number of entries removed.
+  std::size_t sweep(clk::LocalTime now, sim::Duration idle_limit);
+
+  /// Drops everything (host recovery re-initializes the cache, §3.4).
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+
+  /// Users currently cached (deterministic order; for tests).
+  [[nodiscard]] std::vector<UserId> cached_users() const;
+
+ private:
+  std::unordered_map<UserId, CacheEntry> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace wan::acl

@@ -1,0 +1,17 @@
+#include "acl/rights.hpp"
+
+namespace wan::acl {
+
+std::string RightSet::to_string() const {
+  if (empty()) return "{}";
+  std::string out = "{";
+  if (has(Right::kUse)) out += "use";
+  if (has(Right::kManage)) {
+    if (out.size() > 1) out += ",";
+    out += "manage";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace wan::acl

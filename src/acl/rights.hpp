@@ -1,0 +1,56 @@
+// Access rights.
+//
+// The paper restricts itself to two rights: "use" (may invoke the
+// application) and "manage" (may change the application's access rights).
+// RightSet is a small bitmask so an ACL entry can carry both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wan::acl {
+
+enum class Right : std::uint8_t {
+  kUse = 1u << 0,
+  kManage = 1u << 1,
+};
+
+[[nodiscard]] constexpr const char* to_cstring(Right r) noexcept {
+  return r == Right::kUse ? "use" : "manage";
+}
+
+/// A set of rights; value-semantic bitmask.
+class RightSet {
+ public:
+  constexpr RightSet() noexcept = default;
+  constexpr explicit RightSet(Right r) noexcept : bits_(static_cast<std::uint8_t>(r)) {}
+
+  [[nodiscard]] constexpr bool has(Right r) const noexcept {
+    return (bits_ & static_cast<std::uint8_t>(r)) != 0;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return bits_ == 0; }
+
+  constexpr RightSet& add(Right r) noexcept {
+    bits_ |= static_cast<std::uint8_t>(r);
+    return *this;
+  }
+  constexpr RightSet& remove(Right r) noexcept {
+    bits_ &= static_cast<std::uint8_t>(~static_cast<std::uint8_t>(r));
+    return *this;
+  }
+
+  [[nodiscard]] static constexpr RightSet both() noexcept {
+    RightSet s;
+    s.add(Right::kUse).add(Right::kManage);
+    return s;
+  }
+
+  constexpr bool operator==(const RightSet&) const noexcept = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+}  // namespace wan::acl

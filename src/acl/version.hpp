@@ -1,0 +1,39 @@
+// Versioning of access-control updates.
+//
+// The paper assumes manager updates can be ordered ("the initiating manager
+// transmits a message to all other managers", later merged after recovery).
+// We make the ordering concrete: every update carries a Lamport-style version
+// (counter, issuing-manager id). Counters grow monotonically per (user,right)
+// register; ties — impossible between updates to the same register issued by
+// the same manager — break on manager id, giving a total order and therefore
+// convergent last-writer-wins merges everywhere (quorum reads pick the
+// freshest response, recovering managers sync by merge, and the eventual-
+// consistency baseline's anti-entropy uses the same merge).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "util/ids.hpp"
+
+namespace wan::acl {
+
+struct Version {
+  std::uint64_t counter = 0;  ///< 0 == "never written"
+  HostId origin{};            ///< manager that issued the update
+
+  friend constexpr auto operator<=>(const Version& a, const Version& b) noexcept {
+    if (auto c = a.counter <=> b.counter; c != 0) return c;
+    return a.origin.value() <=> b.origin.value();
+  }
+  friend constexpr bool operator==(const Version&, const Version&) noexcept = default;
+
+  [[nodiscard]] constexpr bool initial() const noexcept { return counter == 0; }
+
+  /// The successor version issued by `self`, given the freshest version seen.
+  [[nodiscard]] constexpr Version next(HostId self) const noexcept {
+    return Version{counter + 1, self};
+  }
+};
+
+}  // namespace wan::acl

@@ -1,0 +1,45 @@
+#include "analysis/advisor.hpp"
+
+#include <algorithm>
+
+#include "analysis/availability.hpp"
+#include "util/assert.hpp"
+
+namespace wan::analysis {
+
+Recommendation choose_check_quorum(int managers, double pi,
+                                   double security_weight) {
+  WAN_REQUIRE(managers >= 1);
+  WAN_REQUIRE(security_weight >= 0.0 && security_weight <= 1.0);
+  Recommendation best;
+  double best_score = -1.0;
+  for (int c = 1; c <= managers; ++c) {
+    const double pa = availability_pa(managers, c, pi);
+    const double ps = security_ps(managers, c, pi);
+    // Weighted maximin: deficits from 1.0 scaled by the preference, worst
+    // deficit decides. security_weight = 1 ignores availability entirely.
+    const double a_deficit = (1.0 - pa) * (1.0 - security_weight);
+    const double s_deficit = (1.0 - ps) * security_weight;
+    const double score = -std::max(a_deficit, s_deficit);
+    if (score > best_score) {
+      best_score = score;
+      best = Recommendation{managers, c, pa, ps};
+    }
+  }
+  return best;
+}
+
+std::optional<Recommendation> smallest_feasible(const Requirements& req,
+                                                int max_managers) {
+  WAN_REQUIRE(max_managers >= 1);
+  for (int m = 1; m <= max_managers; ++m) {
+    for (int c = 1; c <= m; ++c) {
+      Recommendation r{m, c, availability_pa(m, c, req.pi),
+                       security_ps(m, c, req.pi)};
+      if (r.meets(req)) return r;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace wan::analysis

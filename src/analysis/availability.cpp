@@ -1,0 +1,51 @@
+#include "analysis/availability.hpp"
+
+#include <algorithm>
+
+#include "analysis/binomial.hpp"
+#include "util/assert.hpp"
+
+namespace wan::analysis {
+
+double availability_pa(int managers, int check_quorum, double pi) {
+  WAN_REQUIRE(managers >= 1);
+  WAN_REQUIRE(check_quorum >= 1 && check_quorum <= managers);
+  WAN_REQUIRE(pi >= 0.0 && pi <= 1.0);
+  return binomial_at_least(managers, check_quorum, 1.0 - pi);
+}
+
+double security_ps(int managers, int check_quorum, double pi) {
+  WAN_REQUIRE(managers >= 1);
+  WAN_REQUIRE(check_quorum >= 1 && check_quorum <= managers);
+  WAN_REQUIRE(pi >= 0.0 && pi <= 1.0);
+  // The issuer needs M - C of the *other* M - 1 managers (it counts itself
+  // toward the update quorum of M - C + 1).
+  return binomial_at_least(managers - 1, managers - check_quorum, 1.0 - pi);
+}
+
+TradeoffCurves tradeoff_curves(int managers, double pi) {
+  TradeoffCurves curves;
+  curves.pa.reserve(static_cast<std::size_t>(managers));
+  curves.ps.reserve(static_cast<std::size_t>(managers));
+  for (int c = 1; c <= managers; ++c) {
+    curves.pa.push_back(availability_pa(managers, c, pi));
+    curves.ps.push_back(security_ps(managers, c, pi));
+  }
+  return curves;
+}
+
+int balanced_check_quorum(int managers, double pi) {
+  int best_c = 1;
+  double best = -1.0;
+  for (int c = 1; c <= managers; ++c) {
+    const double v = std::min(availability_pa(managers, c, pi),
+                              security_ps(managers, c, pi));
+    if (v > best) {
+      best = v;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+}  // namespace wan::analysis

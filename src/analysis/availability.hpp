@@ -1,0 +1,41 @@
+// The paper's availability/security model (§4.1).
+//
+// Model: every pair of sites is independently inaccessible with probability
+// Pi (site failure or partition — indistinguishable). With M managers and
+// check quorum C:
+//
+//   PA(C) = P[ host reaches >= C of the M managers ]
+//         = sum_{k=C}^{M}  C(M,k) (1-Pi)^k Pi^(M-k)
+//
+//   PS(C) = P[ issuing manager reaches an update quorum, i.e. >= M-C of the
+//              other M-1 managers ]
+//         = sum_{k=M-C}^{M-1} C(M-1,k) (1-Pi)^k Pi^(M-1-k)
+//
+// These generate Figure 5 and Tables 1-2; golden tests pin our values to the
+// paper's published five-decimal numbers.
+#pragma once
+
+#include <vector>
+
+namespace wan::analysis {
+
+/// PA(C): probability a host can assemble a check quorum. The paper's
+/// availability metric (R = infinity assumed).
+[[nodiscard]] double availability_pa(int managers, int check_quorum, double pi);
+
+/// PS(C): probability a revoking manager can assemble an update quorum.
+/// The paper's security metric.
+[[nodiscard]] double security_ps(int managers, int check_quorum, double pi);
+
+/// Both curves over C = 1..M (index 0 holds C=1) — Figure 5's series.
+struct TradeoffCurves {
+  std::vector<double> pa;
+  std::vector<double> ps;
+};
+[[nodiscard]] TradeoffCurves tradeoff_curves(int managers, double pi);
+
+/// min(PA, PS) maximizer: the C that best balances the two, with ties broken
+/// toward smaller C (cheaper checks). Used by the parameter advisor.
+[[nodiscard]] int balanced_check_quorum(int managers, double pi);
+
+}  // namespace wan::analysis

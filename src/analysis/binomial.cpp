@@ -1,0 +1,34 @@
+#include "analysis/binomial.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace wan::analysis {
+
+double log_choose(int n, int k) {
+  WAN_REQUIRE(n >= 0 && k >= 0 && k <= n);
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+double binomial_pmf(int n, int k, double p) {
+  WAN_REQUIRE(n >= 0);
+  WAN_REQUIRE(p >= 0.0 && p <= 1.0);
+  if (k < 0 || k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = log_choose(n, k) + k * std::log(p) +
+                         (n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double binomial_at_least(int n, int k, double p) {
+  WAN_REQUIRE(n >= 0);
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  double total = 0.0;
+  for (int i = k; i <= n; ++i) total += binomial_pmf(n, i, p);
+  return total > 1.0 ? 1.0 : total;
+}
+
+}  // namespace wan::analysis

@@ -1,0 +1,19 @@
+// Exact binomial machinery for the availability/security analysis (§4.1).
+//
+// Computed in log space (lgamma) so that the M=10..12, five-decimal values
+// published in the paper's Tables 1 and 2 are reproduced digit-for-digit
+// without cancellation trouble.
+#pragma once
+
+namespace wan::analysis {
+
+/// log C(n, k); requires 0 <= k <= n.
+[[nodiscard]] double log_choose(int n, int k);
+
+/// P[X == k] for X ~ Binomial(n, p).
+[[nodiscard]] double binomial_pmf(int n, int k, double p);
+
+/// P[X >= k] for X ~ Binomial(n, p); k <= 0 yields 1, k > n yields 0.
+[[nodiscard]] double binomial_at_least(int n, int k, double p);
+
+}  // namespace wan::analysis

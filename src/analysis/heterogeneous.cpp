@@ -1,0 +1,98 @@
+#include "analysis/heterogeneous.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace wan::analysis {
+
+double poisson_binomial_at_least(const std::vector<double>& success,
+                                 int at_least) {
+  const auto n = static_cast<int>(success.size());
+  if (at_least <= 0) return 1.0;
+  if (at_least > n) return 0.0;
+  // dp[k] = P[k successes among the events processed so far].
+  std::vector<double> dp(static_cast<std::size_t>(n) + 1, 0.0);
+  dp[0] = 1.0;
+  int seen = 0;
+  for (const double p : success) {
+    WAN_REQUIRE(p >= 0.0 && p <= 1.0);
+    for (int k = seen; k >= 0; --k) {
+      const auto ku = static_cast<std::size_t>(k);
+      dp[ku + 1] += dp[ku] * p;
+      dp[ku] *= (1.0 - p);
+    }
+    ++seen;
+  }
+  double total = 0.0;
+  for (int k = at_least; k <= n; ++k)
+    total += dp[static_cast<std::size_t>(k)];
+  return total > 1.0 ? 1.0 : total;
+}
+
+double availability_pa_hetero(const std::vector<double>& inaccess,
+                              int check_quorum) {
+  std::vector<double> success;
+  success.reserve(inaccess.size());
+  for (const double p : inaccess) success.push_back(1.0 - p);
+  return poisson_binomial_at_least(success, check_quorum);
+}
+
+double security_ps_hetero(const std::vector<double>& peer_inaccess,
+                          int check_quorum) {
+  const auto m = static_cast<int>(peer_inaccess.size()) + 1;  // peers + self
+  WAN_REQUIRE(check_quorum >= 1 && check_quorum <= m);
+  std::vector<double> success;
+  success.reserve(peer_inaccess.size());
+  for (const double p : peer_inaccess) success.push_back(1.0 - p);
+  // Needs M - C acks from peers (self already counted).
+  return poisson_binomial_at_least(success, m - check_quorum);
+}
+
+double SharedLinkModel::at_least_accessible(int at_least) const {
+  const auto n_mgr = link_of.size();
+  WAN_REQUIRE(residual.size() == n_mgr);
+  const auto n_links = link_fail.size();
+  WAN_REQUIRE(n_links <= 20);
+  for (const int l : link_of) {
+    WAN_REQUIRE(l >= -1 && l < static_cast<int>(n_links));
+  }
+
+  double total = 0.0;
+  const std::uint64_t states = 1ULL << n_links;
+  for (std::uint64_t state = 0; state < states; ++state) {
+    // Probability of this exact link up/down configuration (bit set = down).
+    double p_state = 1.0;
+    for (std::size_t l = 0; l < n_links; ++l) {
+      const bool down = (state >> l) & 1u;
+      p_state *= down ? link_fail[l] : (1.0 - link_fail[l]);
+    }
+    if (p_state == 0.0) continue;
+    // Managers behind a downed link are gone; the rest fail independently.
+    std::vector<double> success;
+    success.reserve(n_mgr);
+    for (std::size_t j = 0; j < n_mgr; ++j) {
+      const int l = link_of[j];
+      const bool link_down = l >= 0 && ((state >> l) & 1u);
+      success.push_back(link_down ? 0.0 : 1.0 - residual[j]);
+    }
+    total += p_state * poisson_binomial_at_least(success, at_least);
+  }
+  return total;
+}
+
+double WeightedEstimate::weighted_mean() const {
+  WAN_REQUIRE(probabilities.size() == weights.size());
+  WAN_REQUIRE(!probabilities.empty());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < probabilities.size(); ++i) {
+    WAN_REQUIRE(weights[i] >= 0.0);
+    num += probabilities[i] * weights[i];
+    den += weights[i];
+  }
+  WAN_REQUIRE(den > 0.0);
+  return num / den;
+}
+
+}  // namespace wan::analysis

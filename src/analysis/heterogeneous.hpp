@@ -1,0 +1,61 @@
+// Heterogeneous and correlated inaccessibility (§4.1, closing paragraphs).
+//
+// "In most realistic systems, site inaccessibility probabilities are much
+// more heterogeneous ... and often dependent on one another since the failure
+// of one communication link may make several managers inaccessible."
+//
+// Three generalizations of the homogeneous model:
+//  1. Poisson-binomial: per-manager independent inaccessibility p_j; exact
+//     P[at least C accessible] by dynamic programming.
+//  2. Shared-link model: managers sit behind network links; a link failure
+//     (prob q_l) takes out every manager behind it, plus independent
+//     per-manager residual failures. Exact by enumerating link states.
+//  3. Weighted system estimates: per-host availability and per-manager
+//     security averaged with access / update frequencies — the paper's
+//     recipe for an overall system figure, which also exposes the
+//     manager-placement effect ("if one manager that frequently issues
+//     revocations is frequently inaccessible, overall security suffers").
+#pragma once
+
+#include <vector>
+
+namespace wan::analysis {
+
+/// P[at least `at_least` of the independent events succeed], where event j
+/// succeeds with probability success[j]. Exact Poisson-binomial DP.
+[[nodiscard]] double poisson_binomial_at_least(const std::vector<double>& success,
+                                               int at_least);
+
+/// Heterogeneous PA for one host: inaccess[j] = P[manager j unreachable from
+/// this host].
+[[nodiscard]] double availability_pa_hetero(const std::vector<double>& inaccess,
+                                            int check_quorum);
+
+/// Heterogeneous PS for one issuing manager: inaccess[j] over the *other*
+/// M-1 managers; update quorum M - C + 1 (issuer included).
+[[nodiscard]] double security_ps_hetero(const std::vector<double>& peer_inaccess,
+                                        int check_quorum);
+
+/// Shared-link topology: manager j is behind link `link_of[j]` (-1 = no
+/// shared link); link l fails with probability link_fail[l]; manager j
+/// additionally fails independently with residual[j]. Computes
+/// P[at least C managers accessible] exactly by enumerating link states
+/// (requires link count <= 20).
+struct SharedLinkModel {
+  std::vector<int> link_of;
+  std::vector<double> link_fail;
+  std::vector<double> residual;
+
+  [[nodiscard]] double at_least_accessible(int at_least) const;
+};
+
+/// The paper's weighted overall estimate: probabilities paired with the
+/// frequency weight of the site they describe.
+struct WeightedEstimate {
+  std::vector<double> probabilities;
+  std::vector<double> weights;  ///< e.g. access or update frequencies
+
+  [[nodiscard]] double weighted_mean() const;
+};
+
+}  // namespace wan::analysis

@@ -1,0 +1,38 @@
+#include "auth/authenticator.hpp"
+
+#include <string>
+
+namespace wan::auth {
+
+const char* to_string(AuthResult r) noexcept {
+  switch (r) {
+    case AuthResult::kOk: return "ok";
+    case AuthResult::kUnknownUser: return "unknown-user";
+    case AuthResult::kBadSignature: return "bad-signature";
+    case AuthResult::kReplayed: return "replayed";
+  }
+  return "?";
+}
+
+std::string Authenticator::signed_bytes(std::string_view payload,
+                                        std::uint64_t nonce) {
+  std::string bytes(payload);
+  for (int i = 0; i < 8; ++i)
+    bytes.push_back(static_cast<char>((nonce >> (i * 8)) & 0xff));
+  return bytes;
+}
+
+AuthResult Authenticator::authenticate(UserId user, std::string_view payload,
+                                       std::uint64_t nonce, Signature sig) {
+  if (!registry_->lookup(user)) return AuthResult::kUnknownUser;
+  if (!registry_->verify(user, signed_bytes(payload, nonce), sig))
+    return AuthResult::kBadSignature;
+  auto [it, inserted] = last_nonce_.try_emplace(user, nonce);
+  if (!inserted) {
+    if (nonce <= it->second) return AuthResult::kReplayed;
+    it->second = nonce;
+  }
+  return AuthResult::kOk;
+}
+
+}  // namespace wan::auth

@@ -1,0 +1,54 @@
+// Message authentication front-end used by the access-control layer.
+//
+// Wraps KeyRegistry verification with replay suppression: each signed request
+// carries a per-sender nonce; a verifier remembers the highest nonce seen per
+// user and rejects non-increasing ones. The paper assumes authentication as a
+// primitive — this class is that primitive's surface, in a form the access
+// control module (Figure 1) can consult per incoming message.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+
+#include "auth/credentials.hpp"
+#include "util/ids.hpp"
+
+namespace wan::auth {
+
+/// Outcome of authenticating one message.
+enum class AuthResult {
+  kOk,             ///< signature valid, nonce fresh
+  kUnknownUser,    ///< no registered public key
+  kBadSignature,   ///< signature does not verify
+  kReplayed,       ///< valid signature but stale nonce
+};
+
+[[nodiscard]] const char* to_string(AuthResult r) noexcept;
+
+/// Per-host verifier with replay window state.
+class Authenticator {
+ public:
+  /// The registry models globally distributed certificates; it must outlive
+  /// the authenticator.
+  explicit Authenticator(const KeyRegistry& registry) : registry_(&registry) {}
+
+  /// Authenticates a message from `user` whose signed bytes are
+  /// `payload` + the 8-byte little-endian `nonce` suffix.
+  AuthResult authenticate(UserId user, std::string_view payload,
+                          std::uint64_t nonce, Signature sig);
+
+  /// Builds the exact byte string that sign()/authenticate() operate on.
+  static std::string signed_bytes(std::string_view payload, std::uint64_t nonce);
+
+  /// Clears replay state (host recovery re-initializes volatile state, §3.4;
+  /// the nonce floor is volatile by design — replays after recovery are
+  /// still caught by the application-level expiry machinery).
+  void reset() { last_nonce_.clear(); }
+
+ private:
+  const KeyRegistry* registry_;
+  std::unordered_map<UserId, std::uint64_t> last_nonce_;
+};
+
+}  // namespace wan::auth

@@ -1,0 +1,59 @@
+#include "auth/credentials.hpp"
+
+namespace wan::auth {
+
+namespace {
+// One extra mixing round keeps signatures visually uncorrelated with inputs.
+constexpr std::uint64_t remix(std::uint64_t v) noexcept {
+  v ^= v >> 33;
+  v *= 0xff51afd7ed558ccdULL;
+  v ^= v >> 33;
+  v *= 0xc4ceb9fe1a85ec53ULL;
+  v ^= v >> 33;
+  return v;
+}
+}  // namespace
+
+std::uint64_t derive_public_key(std::uint64_t secret) noexcept {
+  return remix(secret ^ 0xa5a5a5a5deadbeefULL);
+}
+
+KeyPair generate_keypair(Rng& rng) noexcept {
+  KeyPair kp;
+  kp.secret = rng.next_u64();
+  kp.public_key = derive_public_key(kp.secret);
+  return kp;
+}
+
+Signature sign(UserId user, std::string_view payload, std::uint64_t secret) noexcept {
+  // The verifier recomputes this from the public key; in this toy scheme the
+  // public key determines the signing seed, so "only the secret holder can
+  // sign" is a simulation convention, not a cryptographic property (see the
+  // header's disclaimer). Honest principals call sign(); an adversary without
+  // the key pair is modeled as producing garbage signatures.
+  const std::uint64_t seed = remix(derive_public_key(secret) ^ 0x5eed5eed5eed5eedULL);
+  std::uint64_t h = hash_mix(seed, user.value());
+  h = fnv1a(payload, h);
+  return Signature{remix(h)};
+}
+
+void KeyRegistry::register_user(UserId user, std::uint64_t public_key) {
+  keys_[user] = public_key;
+}
+
+std::optional<std::uint64_t> KeyRegistry::lookup(UserId user) const {
+  const auto it = keys_.find(user);
+  if (it == keys_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KeyRegistry::verify(UserId user, std::string_view payload, Signature sig) const {
+  const auto pk = lookup(user);
+  if (!pk) return false;
+  const std::uint64_t seed = remix(*pk ^ 0x5eed5eed5eed5eedULL);
+  std::uint64_t h = hash_mix(seed, user.value());
+  h = fnv1a(payload, h);
+  return Signature{remix(h)} == sig;
+}
+
+}  // namespace wan::auth

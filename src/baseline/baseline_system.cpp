@@ -1,0 +1,322 @@
+#include "baseline/baseline_system.hpp"
+
+#include <set>
+#include <utility>
+
+#include "baseline/messages.hpp"
+#include "util/assert.hpp"
+
+namespace wan::baseline {
+
+const char* to_cstring(Kind k) noexcept {
+  switch (k) {
+    case Kind::kFullReplication: return "full-replication";
+    case Kind::kLocalOnly: return "local-only";
+    case Kind::kEventual: return "eventual-consistency";
+  }
+  return "?";
+}
+
+// ----------------------------------------------------------- ManagerNode
+
+struct BaselineSystem::ManagerNode {
+  BaselineSystem& sys;
+  HostId id;
+  acl::AclStore store;
+
+  // Persistent push (kFullReplication): one transaction per update.
+  struct Txn {
+    acl::AclUpdate update;
+    std::set<HostId> pending;
+    sim::Timer retry;
+    explicit Txn(sim::Scheduler& sched) : retry(sched) {}
+  };
+  std::unordered_map<std::uint64_t, std::unique_ptr<Txn>> txns;
+  std::uint64_t next_txn = 1;
+
+  sim::PeriodicTimer gossip_timer;  // kEventual
+
+  ManagerNode(BaselineSystem& system, HostId host)
+      : sys(system), id(host), gossip_timer(system.sched_) {}
+
+  void start() {
+    if (sys.config_.kind == Kind::kEventual && sys.managers_.size() > 1) {
+      gossip_timer.start(sys.config_.gossip_period, [this] { gossip_once(); });
+    }
+  }
+
+  void gossip_once() {
+    // Push-pull with one random peer per period.
+    const auto n = sys.managers_.size();
+    std::size_t pick = sys.rng_.next_below(n - 1);
+    for (std::size_t i = 0, seen = 0; i < n; ++i) {
+      if (sys.managers_[i]->id == id) continue;
+      if (seen++ == pick) {
+        sys.net_.send(id, sys.managers_[i]->id,
+                      net::make_message<GossipMsg>(sys.app_, store.snapshot(),
+                                                   /*reply=*/true));
+        return;
+      }
+    }
+  }
+
+  // Defined after HostNode (it walks sys.hosts_).
+  void submit(acl::Op op, UserId user, std::function<void(sim::TimePoint)> done);
+
+  void send_round(std::uint64_t txn_id, Txn& txn) {
+    const auto msg = net::make_message<proto::UpdateMsg>(sys.app_, txn.update,
+                                                         txn_id);
+    for (const HostId target : txn.pending) sys.net_.send(id, target, msg);
+    txn.retry.arm(sys.config_.retransmit, [this, txn_id] {
+      const auto it = txns.find(txn_id);
+      if (it == txns.end()) return;
+      send_round(txn_id, *it->second);
+    });
+  }
+
+  void on_message(HostId from, const net::MessagePtr& msg) {
+    if (const auto* q = net::message_cast<proto::QueryRequest>(msg)) {
+      const acl::RightSet rights = store.rights_of(q->user);
+      acl::Version version{};
+      if (const auto st = store.state(q->user, acl::Right::kUse)) {
+        version = st->version;
+      }
+      sys.net_.send(id, from,
+                    net::make_message<proto::QueryResponse>(
+                        q->app, q->user, q->query_id, rights, version,
+                        sim::Duration{}));
+    } else if (const auto* u = net::message_cast<proto::UpdateMsg>(msg)) {
+      store.apply(u->update);
+      sys.net_.send(id, from,
+                    net::make_message<proto::UpdateAck>(u->app, u->txn_id));
+    } else if (const auto* a = net::message_cast<proto::UpdateAck>(msg)) {
+      const auto it = txns.find(a->txn_id);
+      if (it != txns.end()) {
+        it->second->pending.erase(from);
+        if (it->second->pending.empty()) txns.erase(it);
+      }
+    } else if (const auto* g = net::message_cast<GossipMsg>(msg)) {
+      store.merge(g->snapshot);
+      if (g->reply_requested) {
+        sys.net_.send(id, from,
+                      net::make_message<GossipMsg>(sys.app_, store.snapshot(),
+                                                   /*reply=*/false));
+      }
+    }
+  }
+};
+
+// -------------------------------------------------------------- HostNode
+
+struct BaselineSystem::HostNode {
+  BaselineSystem& sys;
+  HostId id;
+  acl::AclStore replica;  // kFullReplication
+
+  struct Check {
+    UserId user{};
+    sim::TimePoint requested{};
+    std::function<void(const BaselineDecision&)> done;
+    // kLocalOnly: collect all responses; kEventual: one manager at a time.
+    int responses = 0;
+    acl::RightSet best_rights;
+    acl::Version best_version{};
+    int next_manager = 0;  // kEventual rotation
+    int attempts = 0;
+    sim::Timer timer;
+    explicit Check(sim::Scheduler& sched) : timer(sched) {}
+  };
+  std::unordered_map<std::uint64_t, std::unique_ptr<Check>> checks;
+  std::uint64_t next_query = 1;
+  int rotate = 0;
+
+  HostNode(BaselineSystem& system, HostId host) : sys(system), id(host) {}
+
+  void check(UserId user, std::function<void(const BaselineDecision&)> done) {
+    if (sys.config_.kind == Kind::kFullReplication) {
+      BaselineDecision d;
+      d.requested = d.decided = sys.sched_.now();
+      d.allowed = replica.check(user, acl::Right::kUse);
+      done(d);
+      return;
+    }
+    const std::uint64_t qid = next_query++;
+    auto c = std::make_unique<Check>(sys.sched_);
+    c->user = user;
+    c->requested = sys.sched_.now();
+    c->done = std::move(done);
+    c->next_manager = rotate;
+    rotate = (rotate + 1) % static_cast<int>(sys.managers_.size());
+    Check& ref = *c;
+    checks.emplace(qid, std::move(c));
+
+    if (sys.config_.kind == Kind::kLocalOnly) {
+      // "checking access would in general involve communicating with all
+      // managers to locate the information."
+      const auto msg =
+          net::make_message<proto::QueryRequest>(sys.app_, user, qid);
+      for (const auto& m : sys.managers_) sys.net_.send(id, m->id, msg);
+      ref.timer.arm(sys.config_.query_timeout, [this, qid] { settle(qid); });
+    } else {  // kEventual: ask one manager; fail over on timeout.
+      send_single(qid, ref);
+    }
+  }
+
+  void send_single(std::uint64_t qid, Check& c) {
+    const HostId mgr =
+        sys.managers_[static_cast<std::size_t>(c.next_manager)]->id;
+    c.next_manager =
+        (c.next_manager + 1) % static_cast<int>(sys.managers_.size());
+    ++c.attempts;
+    sys.net_.send(id, mgr,
+                  net::make_message<proto::QueryRequest>(sys.app_, c.user, qid));
+    c.timer.arm(sys.config_.query_timeout, [this, qid] {
+      const auto it = checks.find(qid);
+      if (it == checks.end()) return;
+      Check& c = *it->second;
+      if (c.attempts >= static_cast<int>(sys.managers_.size())) {
+        finish(qid, false);
+      } else {
+        send_single(qid, c);
+      }
+    });
+  }
+
+  void settle(std::uint64_t qid) {
+    // kLocalOnly deadline: decide from whatever arrived.
+    const auto it = checks.find(qid);
+    if (it == checks.end()) return;
+    finish(qid, it->second->best_rights.has(acl::Right::kUse));
+  }
+
+  void finish(std::uint64_t qid, bool allowed) {
+    const auto it = checks.find(qid);
+    WAN_ASSERT(it != checks.end());
+    auto c = std::move(it->second);
+    checks.erase(it);
+    c->timer.cancel();
+    BaselineDecision d;
+    d.requested = c->requested;
+    d.decided = sys.sched_.now();
+    d.allowed = allowed;
+    c->done(d);
+  }
+
+  void on_message(HostId from, const net::MessagePtr& msg) {
+    if (const auto* u = net::message_cast<proto::UpdateMsg>(msg)) {
+      replica.apply(u->update);
+      sys.net_.send(id, from,
+                    net::make_message<proto::UpdateAck>(u->app, u->txn_id));
+      return;
+    }
+    const auto* r = net::message_cast<proto::QueryResponse>(msg);
+    if (r == nullptr) return;
+    const auto it = checks.find(r->query_id);
+    if (it == checks.end()) return;
+    Check& c = *it->second;
+    ++c.responses;
+    if (r->version >= c.best_version) {
+      c.best_version = r->version;
+      c.best_rights = r->rights;
+    }
+    if (sys.config_.kind == Kind::kLocalOnly) {
+      if (c.responses >= static_cast<int>(sys.managers_.size())) {
+        finish(r->query_id, c.best_rights.has(acl::Right::kUse));
+      }
+    } else {  // kEventual: first answer decides
+      finish(r->query_id, r->rights.has(acl::Right::kUse));
+    }
+  }
+};
+
+void BaselineSystem::ManagerNode::submit(
+    acl::Op op, UserId user, std::function<void(sim::TimePoint)> done) {
+  acl::AclUpdate update;
+  update.user = user;
+  update.right = acl::Right::kUse;
+  update.op = op;
+  update.version = store.max_version().next(id);
+  store.apply(update);
+  if (done) done(sys.sched_.now());
+
+  if (sys.config_.kind == Kind::kFullReplication) {
+    const std::uint64_t txn_id = next_txn++;
+    auto txn = std::make_unique<Txn>(sys.sched_);
+    txn->update = update;
+    for (const auto& m : sys.managers_) {
+      if (m->id != id) txn->pending.insert(m->id);
+    }
+    for (const auto& h : sys.hosts_) txn->pending.insert(h->id);
+    Txn& ref = *txn;
+    txns.emplace(txn_id, std::move(txn));
+    send_round(txn_id, ref);
+  }
+  // kLocalOnly: nothing to send. kEventual: gossip carries it later.
+}
+
+// --------------------------------------------------------- BaselineSystem
+
+BaselineSystem::BaselineSystem(sim::Scheduler& sched, net::Network& net,
+                               AppId app, std::vector<HostId> manager_ids,
+                               std::vector<HostId> host_ids,
+                               BaselineConfig config)
+    : sched_(sched), net_(net), app_(app), config_(config), rng_(config.seed) {
+  WAN_REQUIRE(!manager_ids.empty());
+  WAN_REQUIRE(!host_ids.empty());
+  WAN_REQUIRE(static_cast<int>(manager_ids.size()) == config_.managers);
+  WAN_REQUIRE(static_cast<int>(host_ids.size()) == config_.app_hosts);
+
+  for (const HostId id : manager_ids) {
+    managers_.push_back(std::make_unique<ManagerNode>(*this, id));
+    auto* node = managers_.back().get();
+    net_.register_host(id, [node](HostId from, const net::MessagePtr& msg) {
+      node->on_message(from, msg);
+    });
+  }
+  for (const HostId id : host_ids) {
+    hosts_.push_back(std::make_unique<HostNode>(*this, id));
+    auto* node = hosts_.back().get();
+    net_.register_host(id, [node](HostId from, const net::MessagePtr& msg) {
+      node->on_message(from, msg);
+    });
+  }
+  for (auto& m : managers_) m->start();
+}
+
+BaselineSystem::~BaselineSystem() = default;
+
+void BaselineSystem::submit(acl::Op op, UserId user,
+                            std::function<void(sim::TimePoint)> done) {
+  ManagerNode& mgr = *managers_[static_cast<std::size_t>(next_mgr_)];
+  next_mgr_ = (next_mgr_ + 1) % config_.managers;
+  mgr.submit(op, user, std::move(done));
+}
+
+void BaselineSystem::grant(UserId user,
+                           std::function<void(sim::TimePoint)> done) {
+  submit(acl::Op::kAdd, user, std::move(done));
+}
+
+void BaselineSystem::revoke(UserId user,
+                            std::function<void(sim::TimePoint)> done) {
+  submit(acl::Op::kRevoke, user, std::move(done));
+}
+
+void BaselineSystem::check(int host_idx, UserId user,
+                           std::function<void(const BaselineDecision&)> done) {
+  WAN_REQUIRE(host_idx >= 0 && host_idx < config_.app_hosts);
+  WAN_REQUIRE(done != nullptr);
+  hosts_[static_cast<std::size_t>(host_idx)]->check(user, std::move(done));
+}
+
+const acl::AclStore& BaselineSystem::manager_store(int i) const {
+  WAN_REQUIRE(i >= 0 && i < config_.managers);
+  return managers_[static_cast<std::size_t>(i)]->store;
+}
+
+const acl::AclStore& BaselineSystem::host_store(int i) const {
+  WAN_REQUIRE(i >= 0 && i < config_.app_hosts);
+  return hosts_[static_cast<std::size_t>(i)]->replica;
+}
+
+}  // namespace wan::baseline

@@ -1,0 +1,114 @@
+// Baseline access-control designs the paper positions itself against (§3
+// intro, §4.2), implemented on the same network/clock substrate so that
+// bench_tradeoff can compare availability, security, and message overhead
+// like-for-like against the quorum protocol:
+//
+//  kFullReplication  "distribute information to all hosts that execute the
+//                    application": every host replicates the full ACL;
+//                    updates are persistently pushed to all hosts and all
+//                    managers; checks are purely local (fast, but update
+//                    traffic scales with |Hosts(A)| and a partitioned host
+//                    keeps stale rights indefinitely).
+//
+//  kLocalOnly        "only change the information locally at the manager
+//                    issuing the update": no dissemination at all; a check
+//                    must interrogate ALL managers and take the freshest
+//                    answer, since the update could live anywhere.
+//
+//  kEventual         the [23]-style replicated-authorization scheme: managers
+//                    converge by periodic push-pull anti-entropy; hosts ask a
+//                    single (rotating) manager per check and do not cache.
+//                    No revocation time bound exists — exactly the property
+//                    the paper's protocol adds.
+//
+// None of these implement expiry or quorums; that is the point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "acl/store.hpp"
+#include "metrics/ground_truth.hpp"
+#include "net/network.hpp"
+#include "proto/messages.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/timer.hpp"
+#include "util/rng.hpp"
+
+namespace wan::baseline {
+
+enum class Kind : std::uint8_t { kFullReplication, kLocalOnly, kEventual };
+
+[[nodiscard]] const char* to_cstring(Kind k) noexcept;
+
+struct BaselineConfig {
+  Kind kind = Kind::kEventual;
+  int managers = 3;
+  int app_hosts = 5;
+  sim::Duration query_timeout = sim::Duration::seconds(2);
+  sim::Duration retransmit = sim::Duration::seconds(2);
+  sim::Duration gossip_period = sim::Duration::seconds(15);  ///< kEventual
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of one baseline access check.
+struct BaselineDecision {
+  bool allowed = false;
+  sim::TimePoint requested{};
+  sim::TimePoint decided{};
+  [[nodiscard]] sim::Duration latency() const noexcept {
+    return decided - requested;
+  }
+};
+
+/// One complete baseline deployment on an externally supplied network (so
+/// the caller controls partitions — the same models the core protocol sees).
+/// Manager/host ids must be pre-registered ranges the caller also feeds to
+/// the partition model.
+class BaselineSystem {
+ public:
+  BaselineSystem(sim::Scheduler& sched, net::Network& net, AppId app,
+                 std::vector<HostId> manager_ids, std::vector<HostId> host_ids,
+                 BaselineConfig config);
+  ~BaselineSystem();
+  BaselineSystem(const BaselineSystem&) = delete;
+  BaselineSystem& operator=(const BaselineSystem&) = delete;
+
+  /// Issues Add/Revoke at a rotating manager. `done` fires at the operation's
+  /// *local* effect instant — these designs have no global guarantee point,
+  /// which is what the ground-truth comparison exposes.
+  void grant(UserId user, std::function<void(sim::TimePoint)> done = nullptr);
+  void revoke(UserId user, std::function<void(sim::TimePoint)> done = nullptr);
+
+  /// Access check at app host `host_idx`.
+  void check(int host_idx, UserId user,
+             std::function<void(const BaselineDecision&)> done);
+
+  [[nodiscard]] Kind kind() const noexcept { return config_.kind; }
+  [[nodiscard]] const BaselineConfig& config() const noexcept { return config_; }
+
+  /// Store of manager i (diagnostics/tests).
+  [[nodiscard]] const acl::AclStore& manager_store(int i) const;
+  /// Host-replica store (kFullReplication only).
+  [[nodiscard]] const acl::AclStore& host_store(int i) const;
+
+ private:
+  struct ManagerNode;
+  struct HostNode;
+
+  void submit(acl::Op op, UserId user, std::function<void(sim::TimePoint)> done);
+
+  sim::Scheduler& sched_;
+  net::Network& net_;
+  AppId app_;
+  BaselineConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<ManagerNode>> managers_;
+  std::vector<std::unique_ptr<HostNode>> hosts_;
+  int next_mgr_ = 0;
+};
+
+}  // namespace wan::baseline

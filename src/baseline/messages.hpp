@@ -1,0 +1,31 @@
+// Extra wire messages used only by the baseline protocols.
+//
+// The baselines reuse the core QueryRequest/QueryResponse/UpdateMsg/UpdateAck
+// formats where the semantics coincide; anti-entropy gossip is their own.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "acl/store.hpp"
+#include "net/message.hpp"
+#include "util/ids.hpp"
+
+namespace wan::baseline {
+
+/// Manager <-> manager anti-entropy exchange (eventual-consistency baseline,
+/// after Samarati et al. [23]): a full versioned snapshot, merged LWW on
+/// receipt. `reply_requested` makes the exchange push-pull.
+struct GossipMsg final : net::Message {
+  AppId app{};
+  std::vector<acl::AclUpdate> snapshot;
+  bool reply_requested = false;
+
+  GossipMsg(AppId a, std::vector<acl::AclUpdate> snap, bool reply)
+      : app(a), snapshot(std::move(snap)), reply_requested(reply) {}
+
+  std::string type_name() const override { return "GossipMsg"; }
+  std::size_t wire_size() const override { return 24 + snapshot.size() * 32; }
+};
+
+}  // namespace wan::baseline

@@ -1,0 +1,20 @@
+#include "clock/local_clock.hpp"
+
+namespace wan::clk {
+
+LocalClock LocalClock::sample(Rng& rng, double b, double max_fast_rate) {
+  WAN_REQUIRE(b >= 1.0);
+  WAN_REQUIRE(max_fast_rate >= 1.0 / b);
+  const double rate = rng.next_uniform(1.0 / b, max_fast_rate);
+  const std::int64_t hour_ns = 3'600'000'000'000LL;
+  const std::int64_t offset = rng.next_in_range(-hour_ns, hour_ns);
+  return LocalClock(rate, offset);
+}
+
+sim::Duration local_expiry_period(sim::Duration Te, double b) noexcept {
+  WAN_REQUIRE(b >= 1.0);
+  WAN_REQUIRE(Te > sim::Duration{});
+  return sim::Duration::from_seconds(Te.to_seconds() / b);
+}
+
+}  // namespace wan::clk

@@ -1,0 +1,98 @@
+// Drifting local clocks.
+//
+// Partitions make clock synchronization impossible, so the paper's time-bound
+// revocation relies only on a bounded clock *rate*: "every local clock is at
+// most b times slower than real time" (b >= 1, close to 1 in practice).
+// If a manager wants revocations effective within Te real time, it hands out
+// cache entries that expire after te = Te / b units of the *host's local
+// clock*: even the slowest admissible clock measures te local units within
+// b * te = Te real time.
+//
+// LocalTime is a distinct strong type from sim::TimePoint precisely so that
+// protocol code cannot compare a local timestamp against real time — the
+// paper's correctness argument lives in that distinction.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace wan::clk {
+
+/// An instant on one host's local clock (nanosecond resolution). Values from
+/// different hosts' clocks are not comparable in any meaningful way; the type
+/// system cannot express that, but the protocol never ships LocalTime values
+/// across the network — only *durations* (expiration periods) travel.
+class LocalTime {
+ public:
+  constexpr LocalTime() noexcept = default;
+  static constexpr LocalTime from_nanos(std::int64_t ns) noexcept { return LocalTime(ns); }
+
+  [[nodiscard]] constexpr std::int64_t nanos() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const noexcept { return static_cast<double>(ns_) * 1e-9; }
+
+  friend constexpr auto operator<=>(LocalTime, LocalTime) noexcept = default;
+  friend constexpr LocalTime operator+(LocalTime t, sim::Duration d) noexcept {
+    return LocalTime(t.ns_ + d.count_nanos());
+  }
+  friend constexpr LocalTime operator-(LocalTime t, sim::Duration d) noexcept {
+    return LocalTime(t.ns_ - d.count_nanos());
+  }
+  friend constexpr sim::Duration operator-(LocalTime a, LocalTime b) noexcept {
+    return sim::Duration::nanos(a.ns_ - b.ns_);
+  }
+
+ private:
+  constexpr explicit LocalTime(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// A local clock with constant rate `rate` = d(local)/d(real) and arbitrary
+/// initial offset. The paper's model admits rates in [1/b, 1]; we additionally
+/// allow slightly fast clocks (rate > 1), which only expire entries *early*
+/// and therefore never violate the security bound.
+class LocalClock {
+ public:
+  /// The paper's Time() function: local time at real instant `real_now`.
+  [[nodiscard]] LocalTime now(sim::TimePoint real_now) const noexcept {
+    const double real = static_cast<double>(real_now.nanos_since_origin());
+    const auto local = static_cast<std::int64_t>(real * rate_) + offset_ns_;
+    return LocalTime::from_nanos(local);
+  }
+
+  /// Real time required for this clock to measure `local_units`.
+  [[nodiscard]] sim::Duration real_for_local(sim::Duration local_units) const noexcept {
+    return sim::Duration::from_seconds(local_units.to_seconds() / rate_);
+  }
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+  /// A perfect clock (rate 1, offset 0).
+  static LocalClock perfect() noexcept { return LocalClock(1.0, 0); }
+
+  /// A clock with explicit rate and offset; rate must be positive.
+  static LocalClock with_rate(double rate, std::int64_t offset_ns = 0) noexcept {
+    WAN_REQUIRE(rate > 0.0);
+    return LocalClock(rate, offset_ns);
+  }
+
+  /// Samples a random admissible clock for bound `b` (>= 1): the rate is
+  /// uniform in [1/b, max_fast_rate] and the offset uniform in +-1 hour.
+  static LocalClock sample(Rng& rng, double b, double max_fast_rate = 1.001);
+
+ private:
+  LocalClock(double rate, std::int64_t offset_ns) noexcept
+      : rate_(rate), offset_ns_(offset_ns) {}
+
+  double rate_ = 1.0;
+  std::int64_t offset_ns_ = 0;
+};
+
+/// Computes the local expiration period te = Te / b that a manager attaches
+/// to access-control information (paper §3.2). b must be >= 1.
+[[nodiscard]] sim::Duration local_expiry_period(sim::Duration Te, double b) noexcept;
+
+}  // namespace wan::clk

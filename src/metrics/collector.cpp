@@ -1,0 +1,73 @@
+#include "metrics/collector.hpp"
+
+namespace wan::metrics {
+
+const char* to_cstring(DecisionClass c) noexcept {
+  switch (c) {
+    case DecisionClass::kLegitAllowed: return "legit-allowed";
+    case DecisionClass::kLegitDenied: return "legit-denied";
+    case DecisionClass::kUnauthDenied: return "unauth-denied";
+    case DecisionClass::kUnauthAllowedGrace: return "unauth-allowed-grace";
+    case DecisionClass::kSecurityViolation: return "SECURITY-VIOLATION";
+  }
+  return "?";
+}
+
+DecisionClass Collector::observe(const proto::AccessDecision& d) {
+  ++report_.total;
+  latency_by_path_[d.path].record(d.latency());
+  ++count_by_path_[d.path];
+  all_latency_.record(d.latency());
+
+  // Authorization is judged at the instant the decision was *requested*: a
+  // user legitimately authorized when they asked should not count against
+  // availability merely because a revoke landed mid-check.
+  const bool auth_now =
+      truth_->authorized(d.app, d.user, acl::Right::kUse, d.requested);
+
+  DecisionClass cls;
+  if (d.allowed) {
+    if (auth_now) {
+      cls = DecisionClass::kLegitAllowed;
+    } else if (truth_->authorized_in_window(d.app, d.user, acl::Right::kUse,
+                                            d.decided - te_, d.decided)) {
+      // The paper allows a revoked user through until Te after the revoke's
+      // quorum instant; "authorized at some point within the trailing Te
+      // window" is exactly that allowance.
+      cls = DecisionClass::kUnauthAllowedGrace;
+    } else {
+      cls = DecisionClass::kSecurityViolation;
+    }
+  } else {
+    cls = auth_now ? DecisionClass::kLegitDenied : DecisionClass::kUnauthDenied;
+  }
+
+  switch (cls) {
+    case DecisionClass::kLegitAllowed: ++report_.legit_allowed; break;
+    case DecisionClass::kLegitDenied: ++report_.legit_denied; break;
+    case DecisionClass::kUnauthDenied: ++report_.unauth_denied; break;
+    case DecisionClass::kUnauthAllowedGrace: ++report_.unauth_allowed_grace; break;
+    case DecisionClass::kSecurityViolation: ++report_.security_violations; break;
+  }
+  return cls;
+}
+
+const Histogram& Collector::latency(proto::DecisionPath path) const {
+  static const Histogram kEmpty;
+  const auto it = latency_by_path_.find(path);
+  return it == latency_by_path_.end() ? kEmpty : it->second;
+}
+
+std::uint64_t Collector::path_count(proto::DecisionPath path) const {
+  const auto it = count_by_path_.find(path);
+  return it == count_by_path_.end() ? 0 : it->second;
+}
+
+void Collector::reset() {
+  report_ = CollectorReport{};
+  latency_by_path_.clear();
+  count_by_path_.clear();
+  all_latency_.reset();
+}
+
+}  // namespace wan::metrics

@@ -1,0 +1,88 @@
+// Decision classifier and experiment-level metric aggregation.
+//
+// Consumes AccessDecision records (from AccessController observers) and the
+// GroundTruth timeline, producing the empirical counterparts of the paper's
+// PA (availability) and PS (security) probabilities plus latency and message
+// overhead summaries. One Collector per experiment run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "metrics/ground_truth.hpp"
+#include "metrics/histogram.hpp"
+#include "proto/decision.hpp"
+#include "sim/time.hpp"
+
+namespace wan::metrics {
+
+/// Classification of a single decision against ground truth.
+enum class DecisionClass : std::uint8_t {
+  kLegitAllowed,     ///< authorized user allowed — availability success
+  kLegitDenied,      ///< authorized user denied — AVAILABILITY VIOLATION
+  kUnauthDenied,     ///< unauthorized user denied — security success
+  kUnauthAllowedGrace,  ///< unauthorized allowed within the Te grace window
+  kSecurityViolation,   ///< unauthorized allowed beyond Te — FORBIDDEN
+};
+
+[[nodiscard]] const char* to_cstring(DecisionClass c) noexcept;
+
+struct CollectorReport {
+  std::uint64_t total = 0;
+  std::uint64_t legit_allowed = 0;
+  std::uint64_t legit_denied = 0;
+  std::uint64_t unauth_denied = 0;
+  std::uint64_t unauth_allowed_grace = 0;
+  std::uint64_t security_violations = 0;
+
+  /// Empirical availability: fraction of authorized accesses that succeeded.
+  [[nodiscard]] double availability() const noexcept {
+    const auto legit = legit_allowed + legit_denied;
+    return legit == 0 ? 1.0
+                      : static_cast<double>(legit_allowed) /
+                            static_cast<double>(legit);
+  }
+  /// Empirical security: fraction of unauthorized accesses (outside the Te
+  /// grace) that were denied.
+  [[nodiscard]] double security() const noexcept {
+    const auto bad = unauth_denied + security_violations;
+    return bad == 0 ? 1.0
+                    : static_cast<double>(unauth_denied) /
+                          static_cast<double>(bad);
+  }
+};
+
+class Collector {
+ public:
+  /// `Te` is the application's revocation bound — the grace window for
+  /// unauthorized-but-allowed accesses. The GroundTruth must outlive the
+  /// collector.
+  Collector(const GroundTruth& truth, sim::Duration Te)
+      : truth_(&truth), te_(Te) {}
+
+  /// Classifies and accumulates one decision (wire into the controller's
+  /// decision observer).
+  DecisionClass observe(const proto::AccessDecision& d);
+
+  [[nodiscard]] const CollectorReport& report() const noexcept { return report_; }
+
+  /// Latency distribution per decision path.
+  [[nodiscard]] const Histogram& latency(proto::DecisionPath path) const;
+  [[nodiscard]] const Histogram& all_latency() const noexcept { return all_latency_; }
+
+  /// Count of decisions per path.
+  [[nodiscard]] std::uint64_t path_count(proto::DecisionPath path) const;
+
+  void reset();
+
+ private:
+  const GroundTruth* truth_;
+  sim::Duration te_;
+  CollectorReport report_;
+  std::map<proto::DecisionPath, Histogram> latency_by_path_;
+  std::map<proto::DecisionPath, std::uint64_t> count_by_path_;
+  Histogram all_latency_;
+};
+
+}  // namespace wan::metrics

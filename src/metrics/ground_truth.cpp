@@ -1,0 +1,61 @@
+#include "metrics/ground_truth.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace wan::metrics {
+
+void GroundTruth::record(AppId app, UserId user, acl::Right right, bool granted,
+                         sim::TimePoint quorum_at) {
+  auto& events = timelines_[key(app, user, right)];
+  WAN_REQUIRE(events.empty() || events.back().at <= quorum_at);
+  events.push_back(Event{quorum_at, granted});
+}
+
+bool GroundTruth::authorized(AppId app, UserId user, acl::Right right,
+                             sim::TimePoint t) const {
+  const auto it = timelines_.find(key(app, user, right));
+  if (it == timelines_.end()) return false;
+  const auto& events = it->second;
+  const auto pos = std::upper_bound(
+      events.begin(), events.end(), t,
+      [](sim::TimePoint v, const Event& e) { return v < e.at; });
+  if (pos == events.begin()) return false;
+  return std::prev(pos)->granted;
+}
+
+bool GroundTruth::authorized_in_window(AppId app, UserId user, acl::Right right,
+                                       sim::TimePoint from,
+                                       sim::TimePoint to) const {
+  const auto it = timelines_.find(key(app, user, right));
+  if (it == timelines_.end()) return false;
+  const auto& events = it->second;
+  if (authorized(app, user, right, from)) return true;
+  // Any grant event inside (from, to] makes the window authorized.
+  auto pos = std::upper_bound(
+      events.begin(), events.end(), from,
+      [](sim::TimePoint v, const Event& e) { return v < e.at; });
+  for (; pos != events.end() && pos->at <= to; ++pos) {
+    if (pos->granted) return true;
+  }
+  return false;
+}
+
+std::optional<sim::TimePoint> GroundTruth::unauthorized_since(
+    AppId app, UserId user, acl::Right right, sim::TimePoint t) const {
+  const auto it = timelines_.find(key(app, user, right));
+  if (it == timelines_.end()) return std::nullopt;
+  const auto& events = it->second;
+  auto pos = std::upper_bound(
+      events.begin(), events.end(), t,
+      [](sim::TimePoint v, const Event& e) { return v < e.at; });
+  if (pos == events.begin()) return std::nullopt;  // never granted before t
+  auto last = std::prev(pos);
+  if (last->granted) return std::nullopt;  // authorized at t
+  // Walk back to the first revoke of this unauthorized stretch.
+  while (last != events.begin() && !std::prev(last)->granted) --last;
+  return last->at;
+}
+
+}  // namespace wan::metrics

@@ -1,0 +1,76 @@
+// Ground-truth rights timeline for violation accounting.
+//
+// The workload driver records every manager operation's *quorum instant* —
+// the paper's guarantee point ("the time when an update quorum is obtained is
+// the first point at which a guarantee can be made"). Against that timeline,
+// each observed access decision is classified:
+//
+//   allowed + authorized            -> correct (availability success)
+//   denied  + authorized            -> AVAILABILITY VIOLATION
+//   allowed + unauthorized for the  -> SECURITY VIOLATION: the paper promises
+//            entire trailing Te        no access later than Te after a
+//            window                     revoke's quorum instant
+//   allowed + unauthorized, but     -> within the Te grace the protocol
+//            authorized at some       explicitly permits; counted separately
+//            point in (t-Te, t]
+//   denied  + unauthorized          -> correct (security success)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "acl/rights.hpp"
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+
+namespace wan::metrics {
+
+/// Authoritative record of grant/revoke quorum instants per (app, user).
+class GroundTruth {
+ public:
+  /// Records that an update reached its quorum at `quorum_at`.
+  void record(AppId app, UserId user, acl::Right right, bool granted,
+              sim::TimePoint quorum_at);
+
+  /// Was the user authorized (per completed updates) at instant `t`?
+  [[nodiscard]] bool authorized(AppId app, UserId user, acl::Right right,
+                                sim::TimePoint t) const;
+
+  /// Was the user authorized at *any* instant in [from, to]?
+  [[nodiscard]] bool authorized_in_window(AppId app, UserId user,
+                                          acl::Right right, sim::TimePoint from,
+                                          sim::TimePoint to) const;
+
+  /// Quorum instant of the revoke that began the current unauthorized
+  /// stretch containing `t` (nullopt if authorized at `t` or never granted).
+  [[nodiscard]] std::optional<sim::TimePoint> unauthorized_since(
+      AppId app, UserId user, acl::Right right, sim::TimePoint t) const;
+
+  [[nodiscard]] std::size_t tracked_registers() const noexcept {
+    return timelines_.size();
+  }
+
+ private:
+  struct Key {
+    std::uint64_t packed;
+    auto operator<=>(const Key&) const = default;
+  };
+  static Key key(AppId app, UserId user, acl::Right right) noexcept {
+    return Key{(static_cast<std::uint64_t>(app.value()) << 33) |
+               (static_cast<std::uint64_t>(user.value()) << 1) |
+               (right == acl::Right::kManage ? 1u : 0u)};
+  }
+
+  struct Event {
+    sim::TimePoint at{};
+    bool granted = false;
+  };
+
+  // Events are appended in quorum-time order by construction (the driver
+  // records them as they complete); lookups binary-search.
+  std::map<Key, std::vector<Event>> timelines_;
+};
+
+}  // namespace wan::metrics

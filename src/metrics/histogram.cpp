@@ -1,0 +1,74 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace wan::metrics {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+std::size_t Histogram::bucket_for(double seconds) const noexcept {
+  if (seconds <= kBase) return 0;
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(std::log(seconds / kBase) / std::log(kGrowth)));
+  return std::min(idx, kBuckets - 1);
+}
+
+double Histogram::bucket_upper(std::size_t idx) const noexcept {
+  return kBase * std::pow(kGrowth, static_cast<double>(idx));
+}
+
+void Histogram::record_seconds(double seconds) {
+  seconds = std::max(seconds, 0.0);
+  ++buckets_[bucket_for(seconds)];
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  ++count_;
+  sum_ += seconds;
+}
+
+double Histogram::mean_seconds() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile_seconds(double q) const {
+  WAN_REQUIRE(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(bucket_upper(i), max_);
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+}  // namespace wan::metrics

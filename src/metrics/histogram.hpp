@@ -1,0 +1,50 @@
+// Log-linear latency histogram.
+//
+// Buckets grow geometrically from 1 microsecond, giving ~5% relative error
+// over the nanosecond-to-hours range the experiments span, with O(1) record
+// and O(buckets) percentile queries. Used for access-check delays, end-to-end
+// invoke latencies, and revocation-effect times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wan::metrics {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void record(sim::Duration d) { record_seconds(d.to_seconds()); }
+  void record_seconds(double seconds);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean_seconds() const noexcept;
+  [[nodiscard]] double min_seconds() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max_seconds() const noexcept { return count_ ? max_ : 0.0; }
+
+  /// Value at quantile q in [0,1]; returns an upper bucket bound, so p100
+  /// may slightly exceed max(). Returns 0 when empty.
+  [[nodiscard]] double quantile_seconds(double q) const;
+
+  void merge(const Histogram& other);
+  void reset();
+
+ private:
+  [[nodiscard]] std::size_t bucket_for(double seconds) const noexcept;
+  [[nodiscard]] double bucket_upper(std::size_t idx) const noexcept;
+
+  static constexpr double kBase = 1e-6;   ///< first bucket upper bound: 1us
+  static constexpr double kGrowth = 1.1;  ///< geometric bucket growth
+  static constexpr std::size_t kBuckets = 400;  ///< covers ~ 1us .. >1e10 s
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace wan::metrics

@@ -1,0 +1,39 @@
+#include "nameservice/name_service.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace wan::ns {
+
+void NameService::set_managers(AppId app, std::vector<HostId> managers) {
+  WAN_REQUIRE(!managers.empty());
+  auto& rec = records_[app];
+  rec.managers = std::move(managers);
+  ++rec.version;
+}
+
+std::optional<ManagerSet> NameService::resolve(AppId app) const {
+  ++lookups_;
+  const auto it = records_.find(app);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ManagerSet> ManagerResolver::resolve(AppId app, clk::LocalTime now) {
+  const auto it = cache_.find(app);
+  if (it != cache_.end() && now < it->second.expires) {
+    ++hits_;
+    return it->second.set;
+  }
+  ++misses_;
+  auto fresh = service_->resolve(app);
+  if (!fresh) {
+    cache_.erase(app);
+    return std::nullopt;
+  }
+  cache_[app] = Entry{*fresh, now + ttl_};
+  return fresh;
+}
+
+}  // namespace wan::ns

@@ -1,0 +1,38 @@
+#include "net/loss_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace wan::net {
+
+BernoulliLoss::BernoulliLoss(double p) : p_(p) {
+  WAN_REQUIRE(p >= 0.0 && p <= 1.0);
+}
+
+bool BernoulliLoss::drop(HostId, HostId, Rng& rng) { return rng.next_bool(p_); }
+
+GilbertElliottLoss::GilbertElliottLoss(Params params) : params_(params) {
+  WAN_REQUIRE(params.p_good >= 0.0 && params.p_good <= 1.0);
+  WAN_REQUIRE(params.p_bad >= 0.0 && params.p_bad <= 1.0);
+  WAN_REQUIRE(params.good_to_bad > 0.0 && params.good_to_bad <= 1.0);
+  WAN_REQUIRE(params.bad_to_good > 0.0 && params.bad_to_good <= 1.0);
+}
+
+bool GilbertElliottLoss::drop(HostId src, HostId dst, Rng& rng) {
+  bool& bad = bad_state_[PairKey{src, dst}];  // default-initialized to GOOD
+  const bool dropped = rng.next_bool(bad ? params_.p_bad : params_.p_good);
+  // Per-packet state transition after the drop decision.
+  if (bad) {
+    if (rng.next_bool(params_.bad_to_good)) bad = false;
+  } else {
+    if (rng.next_bool(params_.good_to_bad)) bad = true;
+  }
+  return dropped;
+}
+
+double GilbertElliottLoss::stationary_loss() const noexcept {
+  const double pi_bad =
+      params_.good_to_bad / (params_.good_to_bad + params_.bad_to_good);
+  return (1.0 - pi_bad) * params_.p_good + pi_bad * params_.p_bad;
+}
+
+}  // namespace wan::net

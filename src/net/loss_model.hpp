@@ -1,0 +1,75 @@
+// Packet-loss models.
+//
+// The paper's network offers *unreliable* point-to-point and multicast
+// delivery; the protocol tolerates loss through timeouts and persistent
+// retransmission (manager update dissemination). Besides independent
+// Bernoulli loss we provide a Gilbert-Elliott bursty model, because loss on
+// congested WAN paths is bursty and burstiness is precisely what produces the
+// short-lived "partitions caused by congestion" the paper worries about.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "util/hash.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace wan::net {
+
+/// Decides whether a given packet from `src` to `dst` is dropped.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  [[nodiscard]] virtual bool drop(HostId src, HostId dst, Rng& rng) = 0;
+};
+
+/// Never drops (tests).
+class NoLoss final : public LossModel {
+ public:
+  bool drop(HostId, HostId, Rng&) override { return false; }
+};
+
+/// Independent drop with fixed probability per packet.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p);
+  bool drop(HostId, HostId, Rng& rng) override;
+
+ private:
+  double p_;
+};
+
+/// Gilbert-Elliott two-state loss: each (src,dst) link is GOOD or BAD;
+/// packets are dropped with p_good / p_bad respectively, and the link flips
+/// state per-packet with the given transition probabilities.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  struct Params {
+    double p_good = 0.001;     ///< drop probability in GOOD state
+    double p_bad = 0.35;       ///< drop probability in BAD state
+    double good_to_bad = 0.02; ///< per-packet transition probability
+    double bad_to_good = 0.25;
+  };
+  explicit GilbertElliottLoss(Params params);
+  bool drop(HostId src, HostId dst, Rng& rng) override;
+
+  /// Stationary loss probability implied by the parameters.
+  [[nodiscard]] double stationary_loss() const noexcept;
+
+ private:
+  struct PairKey {
+    HostId a, b;
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairHash {
+    std::size_t operator()(const PairKey& k) const noexcept {
+      return hash_combine(std::hash<HostId>{}(k.a), std::hash<HostId>{}(k.b));
+    }
+  };
+
+  Params params_;
+  std::unordered_map<PairKey, bool, PairHash> bad_state_;
+};
+
+}  // namespace wan::net

@@ -1,0 +1,43 @@
+// Type-erased network messages.
+//
+// The network layer is protocol-agnostic: it moves immutable, reference-
+// counted message objects between hosts. Protocol layers (src/proto,
+// src/baseline) define concrete message structs deriving from Message and
+// downcast on receipt. Immutability (const payloads) models the fact that a
+// datagram, once sent, cannot be altered by the sender.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace wan::net {
+
+/// Base class for everything that travels over the simulated network.
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Short type name for traces and per-type statistics ("QueryRequest" ...).
+  [[nodiscard]] virtual std::string type_name() const = 0;
+
+  /// Approximate wire size in bytes; used for bandwidth-overhead accounting
+  /// in the O(C/Te) experiments. Default models a small control packet.
+  [[nodiscard]] virtual std::size_t wire_size() const { return 64; }
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Convenience for constructing immutable messages.
+template <typename T, typename... Args>
+MessagePtr make_message(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+/// Safe downcast used by receive handlers; returns nullptr on type mismatch.
+template <typename T>
+const T* message_cast(const MessagePtr& msg) noexcept {
+  return dynamic_cast<const T*>(msg.get());
+}
+
+}  // namespace wan::net

@@ -1,0 +1,102 @@
+// The simulated wide-area network.
+//
+// Provides the paper's Figure 1 "Network" component: unreliable point-to-
+// point and multicast datagram delivery between registered hosts, subject to
+// pluggable latency, loss, and partition models, plus per-host up/down state
+// (crashed hosts neither send nor receive). Connectivity is evaluated at
+// send time; a packet that leaves during a connected interval is delivered
+// even if the partition closes while it is in flight (one-way WAN latencies
+// are tiny relative to partition durations, so the choice is immaterial to
+// the experiments but must be fixed and documented).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/latency_model.hpp"
+#include "net/loss_model.hpp"
+#include "net/message.hpp"
+#include "net/partition_model.hpp"
+#include "sim/scheduler.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace wan::net {
+
+/// Delivery statistics, global and per message type.
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_partition = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_host_down = 0;
+  std::uint64_t bytes_sent = 0;
+  std::map<std::string, std::uint64_t> sent_by_type;
+
+  [[nodiscard]] std::uint64_t dropped_total() const noexcept {
+    return dropped_partition + dropped_loss + dropped_host_down;
+  }
+};
+
+/// Simulated network fabric. Not copyable; one per simulation.
+class Network {
+ public:
+  using Handler = std::function<void(HostId from, const MessagePtr& msg)>;
+
+  struct Config {
+    std::unique_ptr<LatencyModel> latency;    ///< default: constant 50ms
+    std::unique_ptr<LossModel> loss;          ///< default: NoLoss
+    std::shared_ptr<PartitionModel> partitions;  ///< default: FullConnectivity
+  };
+
+  Network(sim::Scheduler& sched, Rng rng, Config config);
+
+  /// Registers (or replaces) the receive handler for a host. A host must be
+  /// registered before it can send or receive. Hosts start up.
+  void register_host(HostId id, Handler handler);
+
+  /// Marks a host crashed (true) or recovered (false). A down host's inbound
+  /// and outbound packets are silently discarded, matching a crashed site.
+  void set_host_down(HostId id, bool down);
+  [[nodiscard]] bool host_down(HostId id) const;
+
+  /// Unreliable unicast. Self-sends are delivered (with latency 0).
+  void send(HostId from, HostId to, MessagePtr msg);
+
+  /// Unreliable multicast: an independent datagram per destination.
+  void multicast(HostId from, const std::vector<HostId>& to, const MessagePtr& msg);
+
+  /// Starts dynamic models (partition processes). Call once before running.
+  void start();
+
+  /// True if the partition model currently allows `a` -> `b` and neither
+  /// host is down. Used by measurement probes, not by protocol code.
+  [[nodiscard]] bool reachable(HostId a, HostId b) const;
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+  [[nodiscard]] PartitionModel& partitions() noexcept { return *partitions_; }
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept { return sched_; }
+
+ private:
+  struct Endpoint {
+    Handler handler;
+    bool down = false;
+  };
+
+  sim::Scheduler& sched_;
+  Rng rng_;
+  std::unique_ptr<LatencyModel> latency_;
+  std::unique_ptr<LossModel> loss_;
+  std::shared_ptr<PartitionModel> partitions_;
+  std::unordered_map<HostId, Endpoint> endpoints_;
+  NetworkStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace wan::net

@@ -1,0 +1,171 @@
+#include "net/partition_model.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace wan::net {
+
+// ---------------------------------------------------------------- Scripted
+
+bool ScriptedPartitions::connected(HostId a, HostId b) const {
+  if (a == b) return true;
+  if (cut_.contains(key(a, b))) return false;
+  if (!component_.empty()) {
+    const auto ia = component_.find(a);
+    const auto ib = component_.find(b);
+    const int ca = ia == component_.end() ? -1 : ia->second;
+    const int cb = ib == component_.end() ? -1 : ib->second;
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+void ScriptedPartitions::cut_link(HostId a, HostId b) {
+  WAN_REQUIRE(a != b);
+  cut_.insert(key(a, b));
+}
+
+void ScriptedPartitions::heal_link(HostId a, HostId b) { cut_.erase(key(a, b)); }
+
+void ScriptedPartitions::split(const std::vector<std::vector<HostId>>& components) {
+  component_.clear();
+  int idx = 0;
+  for (const auto& group : components) {
+    for (const HostId h : group) component_[h] = idx;
+    ++idx;
+  }
+}
+
+void ScriptedPartitions::heal_all() {
+  cut_.clear();
+  component_.clear();
+}
+
+void ScriptedPartitions::isolate(HostId h, const std::vector<HostId>& everyone) {
+  for (const HostId other : everyone) {
+    if (other != h) cut_link(h, other);
+  }
+}
+
+// --------------------------------------------------------- PairwiseMarkov
+
+PairwiseMarkovPartitions::PairwiseMarkovPartitions(std::vector<HostId> hosts,
+                                                   Config config)
+    : hosts_(std::move(hosts)), config_(config) {
+  WAN_REQUIRE(config_.pi >= 0.0 && config_.pi < 1.0);
+  WAN_REQUIRE(config_.mean_down > sim::Duration{});
+  WAN_REQUIRE(hosts_.size() >= 2);
+  // Stationary down fraction pi = down / (down + up)  =>  up = down*(1-pi)/pi.
+  if (config_.pi > 0.0) {
+    mean_up_ = sim::Duration::from_seconds(config_.mean_down.to_seconds() *
+                                           (1.0 - config_.pi) / config_.pi);
+  } else {
+    mean_up_ = sim::Duration::hours(1<<20);  // effectively never down
+  }
+  for (std::size_t i = 0; i < hosts_.size(); ++i) host_index_[hosts_[i]] = i;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    for (std::size_t j = i + 1; j < hosts_.size(); ++j) {
+      pairs_.push_back(Pair{hosts_[i], hosts_[j], false});
+    }
+  }
+}
+
+std::size_t PairwiseMarkovPartitions::pair_index(HostId a, HostId b) const {
+  const auto ia = host_index_.find(a);
+  const auto ib = host_index_.find(b);
+  WAN_REQUIRE(ia != host_index_.end() && ib != host_index_.end());
+  std::size_t i = ia->second, j = ib->second;
+  if (i > j) std::swap(i, j);
+  const std::size_t n = hosts_.size();
+  // Row-major index into the strictly-upper-triangular pair list.
+  return i * n - i * (i + 1) / 2 + (j - i - 1);
+}
+
+bool PairwiseMarkovPartitions::connected(HostId a, HostId b) const {
+  if (a == b) return true;
+  return !pairs_[pair_index(a, b)].down;
+}
+
+void PairwiseMarkovPartitions::start(sim::Scheduler& sched, Rng rng) {
+  WAN_REQUIRE(!started_);
+  started_ = true;
+  rng_ = rng;
+  if (config_.pi <= 0.0) return;
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    // Start each pair in its stationary distribution so measurements taken
+    // from time zero already match the analytic model.
+    pairs_[i].down = rng_.next_bool(config_.pi);
+    schedule_flip(sched, i);
+  }
+}
+
+void PairwiseMarkovPartitions::schedule_flip(sim::Scheduler& sched, std::size_t idx) {
+  const double mean = pairs_[idx].down ? config_.mean_down.to_seconds()
+                                       : mean_up_.to_seconds();
+  const auto wait = sim::Duration::from_seconds(rng_.next_exponential(mean));
+  sched.schedule_after(wait, [this, &sched, idx] {
+    pairs_[idx].down = !pairs_[idx].down;
+    schedule_flip(sched, idx);
+  });
+}
+
+double PairwiseMarkovPartitions::down_fraction() const noexcept {
+  if (pairs_.empty()) return 0.0;
+  std::size_t down = 0;
+  for (const auto& p : pairs_)
+    if (p.down) ++down;
+  return static_cast<double>(down) / static_cast<double>(pairs_.size());
+}
+
+// ------------------------------------------------------- ComponentStorms
+
+ComponentStormPartitions::ComponentStormPartitions(std::vector<HostId> hosts,
+                                                   Config config)
+    : hosts_(std::move(hosts)), config_(config) {
+  WAN_REQUIRE(hosts_.size() >= 2);
+  WAN_REQUIRE(config_.max_components >= 2);
+  WAN_REQUIRE(config_.mean_between_storms > sim::Duration{});
+  WAN_REQUIRE(config_.mean_storm_duration > sim::Duration{});
+}
+
+bool ComponentStormPartitions::connected(HostId a, HostId b) const {
+  if (a == b || !storm_active_) return true;
+  const auto ia = component_.find(a);
+  const auto ib = component_.find(b);
+  const int ca = ia == component_.end() ? -1 : ia->second;
+  const int cb = ib == component_.end() ? -1 : ib->second;
+  return ca == cb;
+}
+
+void ComponentStormPartitions::start(sim::Scheduler& sched, Rng rng) {
+  WAN_REQUIRE(!started_);
+  started_ = true;
+  rng_ = rng;
+  schedule_storm(sched);
+}
+
+void ComponentStormPartitions::schedule_storm(sim::Scheduler& sched) {
+  const auto gap = sim::Duration::from_seconds(
+      rng_.next_exponential(config_.mean_between_storms.to_seconds()));
+  sched.schedule_after(gap, [this, &sched] {
+    const int k = static_cast<int>(rng_.next_in_range(2, config_.max_components));
+    component_.clear();
+    for (const HostId h : hosts_)
+      component_[h] = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(k)));
+    storm_active_ = true;
+    ++storms_;
+    WAN_DEBUG << "partition storm begins (" << k << " components)";
+    const auto dur = sim::Duration::from_seconds(
+        rng_.next_exponential(config_.mean_storm_duration.to_seconds()));
+    sched.schedule_after(dur, [this, &sched] {
+      storm_active_ = false;
+      component_.clear();
+      WAN_DEBUG << "partition storm heals";
+      schedule_storm(sched);
+    });
+  });
+}
+
+}  // namespace wan::net

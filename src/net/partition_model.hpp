@@ -1,0 +1,157 @@
+// Network partition models.
+//
+// Partitions are the central adversary in the paper: frequent, mostly
+// congestion-induced, short-lived, and indistinguishable from crashes. The
+// protocol's availability/security analysis (§4.1) assumes every pair of
+// sites is inaccessible independently with probability Pi; we provide exactly
+// that model (as a per-pair up/down Markov process whose stationary down
+// fraction is Pi), plus scripted partitions for deterministic tests and
+// component "storms" for stress scenarios.
+//
+// Models are symmetric: connected(a,b) == connected(b,a).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/hash.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace wan::net {
+
+/// Queried by the network on every send; dynamic models drive their own state
+/// transitions through the scheduler after start() is called.
+class PartitionModel {
+ public:
+  virtual ~PartitionModel() = default;
+
+  /// Can a message sent *now* get from `a` to `b`?
+  [[nodiscard]] virtual bool connected(HostId a, HostId b) const = 0;
+
+  /// Begins driving state transitions (no-op for static models).
+  virtual void start(sim::Scheduler& /*sched*/, Rng /*rng*/) {}
+};
+
+/// No partitions, ever.
+class FullConnectivity final : public PartitionModel {
+ public:
+  bool connected(HostId, HostId) const override { return true; }
+};
+
+/// Deterministic partitions controlled by test code: individual link cuts
+/// plus an optional component split (hosts in different components cannot
+/// communicate; hosts not assigned to any component are in a default one).
+class ScriptedPartitions final : public PartitionModel {
+ public:
+  bool connected(HostId a, HostId b) const override;
+
+  /// Cuts / heals the (symmetric) link between two hosts.
+  void cut_link(HostId a, HostId b);
+  void heal_link(HostId a, HostId b);
+
+  /// Splits listed hosts into components; replaces any previous split.
+  void split(const std::vector<std::vector<HostId>>& components);
+
+  /// Removes all cuts and splits.
+  void heal_all();
+
+  /// Isolates one host from everybody (convenience for manager-partition
+  /// scenarios in §3.3).
+  void isolate(HostId h, const std::vector<HostId>& everyone);
+
+ private:
+  struct PairKey {
+    HostId lo, hi;
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairHash {
+    std::size_t operator()(const PairKey& k) const noexcept {
+      return hash_combine(std::hash<HostId>{}(k.lo), std::hash<HostId>{}(k.hi));
+    }
+  };
+  static PairKey key(HostId a, HostId b) noexcept {
+    return a < b ? PairKey{a, b} : PairKey{b, a};
+  }
+
+  std::unordered_set<PairKey, PairHash> cut_;
+  std::unordered_map<HostId, int> component_;  // empty -> no split active
+};
+
+/// The paper's analytic model, §4.1: every unordered pair of hosts is
+/// independently inaccessible with stationary probability Pi. Realized as a
+/// two-state continuous-time Markov process per pair with exponential holding
+/// times: mean down-time `mean_down`, mean up-time chosen so that
+/// down-fraction == Pi. "Temporary partitions caused by congestion are
+/// typically short-lived" — mean_down defaults to tens of seconds.
+class PairwiseMarkovPartitions final : public PartitionModel {
+ public:
+  struct Config {
+    double pi = 0.1;                                 ///< stationary P(inaccessible)
+    sim::Duration mean_down = sim::Duration::seconds(30);
+  };
+
+  /// `hosts` enumerates every host the model must cover (pairs are dense).
+  PairwiseMarkovPartitions(std::vector<HostId> hosts, Config config);
+
+  bool connected(HostId a, HostId b) const override;
+  void start(sim::Scheduler& sched, Rng rng) override;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Fraction of pairs currently down (diagnostic).
+  [[nodiscard]] double down_fraction() const noexcept;
+
+ private:
+  struct Pair {
+    HostId a, b;
+    bool down = false;
+  };
+  void schedule_flip(sim::Scheduler& sched, std::size_t idx);
+  [[nodiscard]] std::size_t pair_index(HostId a, HostId b) const;
+
+  std::vector<HostId> hosts_;
+  std::unordered_map<HostId, std::size_t> host_index_;
+  Config config_;
+  sim::Duration mean_up_{};
+  std::vector<Pair> pairs_;
+  Rng rng_{0};
+  bool started_ = false;
+};
+
+/// Congestion storms: at exponentially distributed intervals the host set is
+/// split into a random number of components for an exponentially distributed
+/// duration, then fully heals. Models correlated, backbone-level partitions
+/// (the situation the quorum machinery exists for).
+class ComponentStormPartitions final : public PartitionModel {
+ public:
+  struct Config {
+    sim::Duration mean_between_storms = sim::Duration::minutes(10);
+    sim::Duration mean_storm_duration = sim::Duration::seconds(45);
+    int max_components = 3;  ///< storms split into 2..max_components groups
+  };
+
+  ComponentStormPartitions(std::vector<HostId> hosts, Config config);
+
+  bool connected(HostId a, HostId b) const override;
+  void start(sim::Scheduler& sched, Rng rng) override;
+
+  [[nodiscard]] bool storm_active() const noexcept { return storm_active_; }
+  [[nodiscard]] std::uint64_t storms_seen() const noexcept { return storms_; }
+
+ private:
+  void schedule_storm(sim::Scheduler& sched);
+
+  std::vector<HostId> hosts_;
+  Config config_;
+  std::unordered_map<HostId, int> component_;
+  bool storm_active_ = false;
+  std::uint64_t storms_ = 0;
+  Rng rng_{0};
+  bool started_ = false;
+};
+
+}  // namespace wan::net

@@ -1,0 +1,401 @@
+#include "proto/access_controller.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace wan::proto {
+
+const char* to_cstring(DecisionPath p) noexcept {
+  switch (p) {
+    case DecisionPath::kCacheHit: return "cache-hit";
+    case DecisionPath::kQuorumGranted: return "quorum-granted";
+    case DecisionPath::kQuorumDenied: return "quorum-denied";
+    case DecisionPath::kDefaultAllow: return "default-allow";
+    case DecisionPath::kUnverifiableDeny: return "unverifiable-deny";
+    case DecisionPath::kAuthRejected: return "auth-rejected";
+    case DecisionPath::kUnknownApp: return "unknown-app";
+  }
+  return "?";
+}
+
+const char* to_cstring(DenyReason r) noexcept {
+  switch (r) {
+    case DenyReason::kNone: return "none";
+    case DenyReason::kAuthentication: return "authentication";
+    case DenyReason::kNotAuthorized: return "not-authorized";
+    case DenyReason::kUnverifiable: return "unverifiable";
+    case DenyReason::kUnknownApp: return "unknown-app";
+  }
+  return "?";
+}
+
+AccessController::AccessController(HostId self, sim::Scheduler& sched,
+                                   net::Network& net, clk::LocalClock clock,
+                                   const ns::NameService& names,
+                                   const auth::KeyRegistry& keys,
+                                   ProtocolConfig config)
+    : self_(self),
+      sched_(sched),
+      net_(net),
+      clock_(clock),
+      resolver_(names, config.name_service_ttl),
+      authenticator_(keys),
+      config_(config),
+      sweep_timer_(sched) {
+  config_.validate();
+  sweep_timer_.start(config_.cache_sweep_period, [this] {
+    if (!up_) return;
+    const clk::LocalTime now = local_now();
+    for (auto& [app, state] : apps_) {
+      state.cache.sweep(now, config_.cache_idle_limit);
+    }
+  });
+}
+
+AccessController::~AccessController() = default;
+
+void AccessController::register_app(AppId app, AppHandler handler) {
+  WAN_REQUIRE(app.valid());
+  WAN_REQUIRE(handler != nullptr);
+  apps_[app].handler = std::move(handler);
+}
+
+AccessController::AppState* AccessController::app_state(AppId app) {
+  const auto it = apps_.find(app);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+const acl::AclCache* AccessController::cache(AppId app) const {
+  const auto it = apps_.find(app);
+  return it == apps_.end() ? nullptr : &it->second.cache;
+}
+
+void AccessController::on_message(HostId from, const net::MessagePtr& msg) {
+  if (!up_) return;
+  if (const auto* invoke = net::message_cast<InvokeRequest>(msg)) {
+    handle_invoke(from, *invoke);
+  } else if (const auto* resp = net::message_cast<QueryResponse>(msg)) {
+    handle_query_response(from, *resp);
+  } else if (const auto* revoke = net::message_cast<RevokeNotify>(msg)) {
+    handle_revoke(from, *revoke);
+  }
+  // Other message types are not addressed to an application host; a real
+  // deployment would log and drop, which is exactly what happens here.
+}
+
+void AccessController::handle_invoke(HostId from, const InvokeRequest& req) {
+  AppState* state = app_state(req.app);
+  if (state == nullptr) {
+    AccessDecision d;
+    d.app = req.app;
+    d.user = req.user;
+    d.host = self_;
+    d.requested = d.decided = sched_.now();
+    d.allowed = false;
+    d.path = DecisionPath::kUnknownApp;
+    d.reason = DenyReason::kUnknownApp;
+    emit(d);
+    net_.send(self_, from,
+              net::make_message<InvokeReply>(req.request_id, false,
+                                             DenyReason::kUnknownApp, ""));
+    return;
+  }
+
+  const auth::AuthResult auth = authenticator_.authenticate(
+      req.user, req.payload, req.nonce, req.signature);
+  if (auth != auth::AuthResult::kOk) {
+    WAN_DEBUG << to_string(self_) << " rejects " << to_string(req.user)
+              << ": " << auth::to_string(auth);
+    AccessDecision d;
+    d.app = req.app;
+    d.user = req.user;
+    d.host = self_;
+    d.requested = d.decided = sched_.now();
+    d.allowed = false;
+    d.path = DecisionPath::kAuthRejected;
+    d.reason = DenyReason::kAuthentication;
+    emit(d);
+    net_.send(self_, from,
+              net::make_message<InvokeReply>(req.request_id, false,
+                                             DenyReason::kAuthentication, ""));
+    return;
+  }
+
+  // Authenticated; now the Fig. 3 access check. The reply path captures the
+  // caller so coalesced sessions answer every pending invocation.
+  const AppId app = req.app;
+  const std::uint64_t request_id = req.request_id;
+  const std::string payload = req.payload;
+  check_access(app, req.user, [this, from, app, request_id,
+                               payload](const AccessDecision& d) {
+    AppState* state = app_state(app);
+    if (state == nullptr) return;  // app deregistered while checking
+    if (d.allowed) {
+      std::string result = state->handler(d.user, payload);
+      net_.send(self_, from,
+                net::make_message<InvokeReply>(request_id, true,
+                                               DenyReason::kNone,
+                                               std::move(result)));
+    } else {
+      net_.send(self_, from,
+                net::make_message<InvokeReply>(request_id, false, d.reason, ""));
+    }
+  });
+}
+
+void AccessController::check_access(AppId app, UserId user, CheckCallback done) {
+  WAN_REQUIRE(done != nullptr);
+  if (!up_) return;  // a crashed host runs nothing; the caller's session dies
+  AppState* state = app_state(app);
+  if (state == nullptr) {
+    AccessDecision d;
+    d.app = app;
+    d.user = user;
+    d.host = self_;
+    d.requested = d.decided = sched_.now();
+    d.allowed = false;
+    d.path = DecisionPath::kUnknownApp;
+    d.reason = DenyReason::kUnknownApp;
+    emit(d);
+    done(d);
+    return;
+  }
+
+  // Fig. 3 fast path: live cache entry with the "use" right.
+  const clk::LocalTime now_local = local_now();
+  if (auto entry = state->cache.lookup(user, now_local);
+      entry && entry->rights.has(acl::Right::kUse)) {
+    AccessDecision d;
+    d.app = app;
+    d.user = user;
+    d.host = self_;
+    d.requested = d.decided = sched_.now();
+    d.allowed = true;
+    d.path = DecisionPath::kCacheHit;
+    d.basis_version = entry->version;
+    emit(d);
+    done(d);
+    return;
+  }
+  // A cached entry *without* the use right cannot exist (only grants are
+  // cached), so a miss here always means "ask the managers".
+
+  const SessionKey key = session_key(app, user);
+  if (const auto it = sessions_.find(key); it != sessions_.end()) {
+    it->second->waiters.push_back(std::move(done));
+    return;
+  }
+  start_session(app, user, std::move(done));
+}
+
+void AccessController::start_session(AppId app, UserId user, CheckCallback done) {
+  auto managers = resolver_.resolve(app, local_now());
+  const SessionKey key = session_key(app, user);
+
+  if (!managers || managers->managers.empty()) {
+    AccessDecision d;
+    d.app = app;
+    d.user = user;
+    d.host = self_;
+    d.requested = d.decided = sched_.now();
+    d.allowed = config_.exhausted_policy == ExhaustedPolicy::kAllow;
+    d.path = d.allowed ? DecisionPath::kDefaultAllow
+                       : DecisionPath::kUnverifiableDeny;
+    d.reason = d.allowed ? DenyReason::kNone : DenyReason::kUnverifiable;
+    emit(d);
+    done(d);
+    return;
+  }
+
+  const int needed = std::min<int>(config_.check_quorum,
+                                   static_cast<int>(managers->managers.size()));
+  auto session = std::make_unique<CheckSession>(needed, sched_);
+  session->app = app;
+  session->user = user;
+  session->started = sched_.now();
+  session->managers = std::move(managers->managers);
+  session->waiters.push_back(std::move(done));
+  CheckSession& ref = *session;
+  sessions_.emplace(key, std::move(session));
+  begin_attempt(ref);
+}
+
+void AccessController::begin_attempt(CheckSession& s) {
+  const SessionKey key = session_key(s.app, s.user);
+  query_to_session_.erase(s.query_id);
+  s.query_id = next_query_id_++;
+  query_to_session_[s.query_id] = key;
+  s.attempt_sent = sched_.now();
+  s.responders.reset();
+  s.best_rights = acl::RightSet{};
+  s.best_version = acl::Version{};
+  s.best_expiry = sim::Duration{};
+
+  const auto msg =
+      net::make_message<QueryRequest>(s.app, s.user, s.query_id);
+  if (config_.fanout == QueryFanout::kAll) {
+    for (const HostId m : s.managers) net_.send(self_, m, msg);
+  } else {
+    // Exactly C managers, rotating the window between attempts so that
+    // repeated failures try "different managers" (Fig. 2's loop).
+    const std::size_t m = s.managers.size();
+    const auto c = static_cast<std::size_t>(s.responders.needed());
+    for (std::size_t i = 0; i < c && i < m; ++i) {
+      net_.send(self_, s.managers[(s.rotate + i) % m], msg);
+    }
+    s.rotate = (s.rotate + c) % m;
+  }
+
+  s.timer.arm(config_.query_timeout, [this, key] { on_attempt_timeout(key); });
+}
+
+void AccessController::handle_query_response(HostId from,
+                                             const QueryResponse& resp) {
+  const auto qit = query_to_session_.find(resp.query_id);
+  if (qit == query_to_session_.end()) return;  // stale attempt (Fig. 3 timer)
+  const SessionKey key = qit->second;
+  const auto sit = sessions_.find(key);
+  WAN_ASSERT(sit != sessions_.end());
+  CheckSession& s = *sit->second;
+  WAN_ASSERT(resp.app == s.app && resp.user == s.user);
+  // Only the managers this session queried may vote: the paper's trust model
+  // authenticates manager traffic, so a response from anyone else is forged.
+  if (std::find(s.managers.begin(), s.managers.end(), from) ==
+      s.managers.end()) {
+    WAN_WARN << to_string(self_) << " dropped QueryResponse from non-manager "
+             << to_string(from);
+    return;
+  }
+
+  if (resp.version >= s.best_version) {
+    s.best_version = resp.version;
+    s.best_rights = resp.rights;
+    s.best_expiry = resp.expiry_period;
+  }
+  if (!s.responders.record(from)) return;
+
+  // Check quorum assembled; freshest response decides. The update quorum
+  // (M - C + 1) guarantees at least one responder saw any completed update.
+  if (s.best_rights.has(acl::Right::kUse)) {
+    // Cache with the transmission delay subtracted (Fig. 3's delta). The
+    // host measures delta on its own clock over the whole attempt RTT —
+    // an upper bound on the response's age, which only shortens the entry.
+    AppState* state = app_state(s.app);
+    WAN_ASSERT(state != nullptr);
+    const clk::LocalTime now_local = local_now();
+    const clk::LocalTime sent_local = clock_.now(s.attempt_sent);
+    const sim::Duration delta = now_local - sent_local;
+    const sim::Duration remaining = s.best_expiry - delta;
+    if (remaining > sim::Duration{}) {
+      state->cache.insert(s.user, s.best_rights, now_local + remaining,
+                          s.best_version, now_local);
+    }
+    finish_session(key, true, DecisionPath::kQuorumGranted, DenyReason::kNone);
+  } else {
+    finish_session(key, false, DecisionPath::kQuorumDenied,
+                   DenyReason::kNotAuthorized);
+  }
+}
+
+void AccessController::on_attempt_timeout(SessionKey key) {
+  const auto sit = sessions_.find(key);
+  WAN_ASSERT(sit != sessions_.end());
+  CheckSession& s = *sit->second;
+  ++s.attempts;
+  if (config_.max_attempts > 0 && s.attempts >= config_.max_attempts) {
+    if (config_.exhausted_policy == ExhaustedPolicy::kAllow) {
+      // Fig. 4: "when attempt to verify access right has failed R times,
+      // allow access". No authoritative information exists, so nothing is
+      // cached — the next invocation re-verifies.
+      finish_session(key, true, DecisionPath::kDefaultAllow, DenyReason::kNone);
+    } else {
+      finish_session(key, false, DecisionPath::kUnverifiableDeny,
+                     DenyReason::kUnverifiable);
+    }
+    return;
+  }
+  begin_attempt(s);
+}
+
+void AccessController::finish_session(SessionKey key, bool allowed,
+                                      DecisionPath path, DenyReason reason) {
+  const auto sit = sessions_.find(key);
+  WAN_ASSERT(sit != sessions_.end());
+  // Detach the session before invoking waiters: a waiter may immediately
+  // issue another check_access for the same (app, user).
+  std::unique_ptr<CheckSession> s = std::move(sit->second);
+  sessions_.erase(sit);
+  query_to_session_.erase(s->query_id);
+  s->timer.cancel();
+
+  AccessDecision d;
+  d.app = s->app;
+  d.user = s->user;
+  d.host = self_;
+  d.requested = s->started;
+  d.decided = sched_.now();
+  d.allowed = allowed;
+  d.path = path;
+  d.reason = reason;
+  d.attempts = s->attempts + (path == DecisionPath::kQuorumGranted ||
+                                      path == DecisionPath::kQuorumDenied
+                                  ? 1
+                                  : 0);
+  d.basis_version = s->best_version;
+  // One decision record per coalesced invocation: each represents a user
+  // access, and the metrics layer weights availability by accesses.
+  for (std::size_t i = 0; i < s->waiters.size(); ++i) emit(d);
+  for (auto& waiter : s->waiters) waiter(d);
+}
+
+void AccessController::handle_revoke(HostId from, const RevokeNotify& msg) {
+  // Only genuine managers may flush the cache — otherwise any host could
+  // deny service to arbitrary users with spoofed RevokeNotify datagrams.
+  const auto managers = resolver_.resolve(msg.app, local_now());
+  if (!managers || std::find(managers->managers.begin(),
+                             managers->managers.end(),
+                             from) == managers->managers.end()) {
+    WAN_WARN << to_string(self_) << " dropped RevokeNotify from non-manager "
+             << to_string(from);
+    return;
+  }
+  // Fig. 2: flush unconditionally. If the user was meanwhile re-granted, the
+  // flush only costs one re-check — safe for security, cheap for availability.
+  if (AppState* state = app_state(msg.app)) {
+    state->cache.remove_on_revoke(msg.user);
+  }
+  net_.send(self_, from,
+            net::make_message<RevokeNotifyAck>(msg.app, msg.user, msg.version));
+}
+
+void AccessController::crash() {
+  up_ = false;
+  sessions_.clear();  // Timer members cancel on destruction
+  query_to_session_.clear();
+  for (auto& [app, state] : apps_) state.cache.clear();
+  authenticator_.reset();
+  resolver_.clear();
+  sweep_timer_.stop();
+}
+
+void AccessController::recover() {
+  // §3.4: "ACL_cache(A) can simply be initialized to null and refilled using
+  // the normal algorithm" — crash() already dropped it; nothing to restore.
+  up_ = true;
+  sweep_timer_.start(config_.cache_sweep_period, [this] {
+    if (!up_) return;
+    const clk::LocalTime now = local_now();
+    for (auto& [app, state] : apps_) {
+      state.cache.sweep(now, config_.cache_idle_limit);
+    }
+  });
+}
+
+void AccessController::emit(const AccessDecision& d) {
+  if (observer_) observer_(d);
+}
+
+}  // namespace wan::proto

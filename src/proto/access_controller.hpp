@@ -1,0 +1,155 @@
+// Host-side access control — the paper's "Access Control" + "Access Control
+// Management" components (Figure 1), implementing the extended protocol of
+// Figure 3 plus the quorum extension of §3.3 and the high-availability rule
+// of Figure 4.
+//
+// The paper's pseudo-code blocks inside `Invoke`; an event-driven simulator
+// cannot block, so the query loop becomes an explicit CheckSession state
+// machine: each *attempt* sends QueryRequests to managers, arms the Fig. 3
+// timer, counts distinct responders toward the check quorum C, and either
+// decides (freshest-version response wins) or retries with the next attempt
+// until R attempts are exhausted.
+//
+// Concurrent invocations by the same (app, user) coalesce onto one session —
+// an optimization the paper does not discuss but any implementation needs to
+// avoid query storms; it is behaviour-preserving because all coalesced
+// invocations would have received identical responses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "acl/cache.hpp"
+#include "auth/authenticator.hpp"
+#include "clock/local_clock.hpp"
+#include "nameservice/name_service.hpp"
+#include "net/network.hpp"
+#include "proto/config.hpp"
+#include "proto/decision.hpp"
+#include "proto/messages.hpp"
+#include "quorum/quorum.hpp"
+#include "sim/timer.hpp"
+
+namespace wan::proto {
+
+/// Handles an authorized application message; the return value is sent back
+/// to the user in the InvokeReply. This is the paper's "Application"
+/// component: it never sees unauthorized traffic — the access-control wrapper
+/// filters first, which is what lets existing applications be wrapped
+/// transparently.
+using AppHandler = std::function<std::string(UserId, const std::string& payload)>;
+
+/// Completion callback for a programmatic access check.
+using CheckCallback = std::function<void(const AccessDecision&)>;
+
+class AccessController {
+ public:
+  AccessController(HostId self, sim::Scheduler& sched, net::Network& net,
+                   clk::LocalClock clock, const ns::NameService& names,
+                   const auth::KeyRegistry& keys, ProtocolConfig config);
+  ~AccessController();
+  AccessController(const AccessController&) = delete;
+  AccessController& operator=(const AccessController&) = delete;
+
+  /// Installs the application behind the access-control wrapper.
+  void register_app(AppId app, AppHandler handler);
+
+  /// Network receive entry point; wire this as the host's net handler.
+  void on_message(HostId from, const net::MessagePtr& msg);
+
+  /// Programmatic access check (used by benches and tests; skips user
+  /// authentication, which the paper treats as an orthogonal oracle).
+  void check_access(AppId app, UserId user, CheckCallback done);
+
+  /// Observer for every decision this host makes (metrics hook).
+  void set_decision_observer(std::function<void(const AccessDecision&)> obs) {
+    observer_ = std::move(obs);
+  }
+
+  /// Crash: all volatile state (caches, sessions, replay floors) is lost.
+  /// In-flight invocations die silently, like the host they ran on.
+  void crash();
+
+  /// Recovery re-initializes ACL_cache(A) to empty (§3.4) and resumes.
+  void recover();
+
+  [[nodiscard]] bool up() const noexcept { return up_; }
+  [[nodiscard]] HostId id() const noexcept { return self_; }
+  [[nodiscard]] const ProtocolConfig& config() const noexcept { return config_; }
+
+  /// Cache under an app (nullptr if the app is not registered here).
+  [[nodiscard]] const acl::AclCache* cache(AppId app) const;
+
+  /// Local clock reading (the paper's Time()).
+  [[nodiscard]] clk::LocalTime local_now() const {
+    return clock_.now(sched_.now());
+  }
+
+ private:
+  struct AppState {
+    AppHandler handler;
+    acl::AclCache cache;
+  };
+
+  struct CheckSession {
+    AppId app{};
+    UserId user{};
+    sim::TimePoint started{};
+    sim::TimePoint attempt_sent{};
+    std::uint64_t query_id = 0;
+    int attempts = 0;
+    std::size_t rotate = 0;  ///< rotates the manager subset between attempts
+    std::vector<HostId> managers;
+    quorum::QuorumTracker responders;
+    acl::RightSet best_rights;
+    acl::Version best_version{};
+    sim::Duration best_expiry{};
+    std::vector<CheckCallback> waiters;
+    sim::Timer timer;
+
+    CheckSession(int needed, sim::Scheduler& sched)
+        : responders(needed), timer(sched) {}
+  };
+  using SessionKey = std::uint64_t;  ///< (app,user) packed
+
+  static SessionKey session_key(AppId app, UserId user) noexcept {
+    return (static_cast<std::uint64_t>(app.value()) << 32) | user.value();
+  }
+
+  void handle_invoke(HostId from, const InvokeRequest& req);
+  void handle_query_response(HostId from, const QueryResponse& resp);
+  void handle_revoke(HostId from, const RevokeNotify& msg);
+
+  void start_session(AppId app, UserId user, CheckCallback done);
+  void begin_attempt(CheckSession& s);
+  void on_attempt_timeout(SessionKey key);
+  void finish_session(SessionKey key, bool allowed, DecisionPath path,
+                      DenyReason reason);
+  void emit(const AccessDecision& d);
+
+  AppState* app_state(AppId app);
+
+  HostId self_;
+  sim::Scheduler& sched_;
+  net::Network& net_;
+  clk::LocalClock clock_;
+  ns::ManagerResolver resolver_;
+  auth::Authenticator authenticator_;
+  ProtocolConfig config_;
+  bool up_ = true;
+
+  std::map<AppId, AppState> apps_;
+  std::unordered_map<SessionKey, std::unique_ptr<CheckSession>> sessions_;
+  std::unordered_map<std::uint64_t, SessionKey> query_to_session_;
+  std::uint64_t next_query_id_ = 1;
+  sim::PeriodicTimer sweep_timer_;
+  std::function<void(const AccessDecision&)> observer_;
+};
+
+}  // namespace wan::proto

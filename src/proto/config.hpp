@@ -1,0 +1,83 @@
+// Per-application protocol parameters — the paper's central idea is that
+// THESE are application-controlled, trading security against availability
+// and performance: M (manager-set size), C (check quorum), Te (revocation
+// bound), R (verification attempts), plus the freeze-strategy alternative.
+#pragma once
+
+#include <cstdint>
+
+#include "clock/local_clock.hpp"
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace wan::proto {
+
+/// Which managers a host contacts per check attempt.
+enum class QueryFanout : std::uint8_t {
+  /// Query all M managers, succeed on the first C distinct responses. This is
+  /// the regime the paper's availability analysis assumes (PA(C) = P[at least
+  /// C of M accessible]) and the default.
+  kAll,
+  /// Query exactly C managers per attempt (rotating the subset between
+  /// attempts); cheaper in messages — the O(C) claim — but an attempt fails
+  /// if any one of the C is unreachable. Used by the overhead ablation.
+  kExactQuorum,
+};
+
+/// What to do when R verification attempts have failed (paper Fig. 4).
+enum class ExhaustedPolicy : std::uint8_t {
+  kDeny,   ///< security-first: reject the access
+  kAllow,  ///< availability-first: "allow access as default"
+};
+
+struct ProtocolConfig {
+  // --- the paper's named knobs -------------------------------------------
+  sim::Duration Te = sim::Duration::minutes(5);  ///< revocation time bound
+  double clock_bound_b = 1.01;   ///< every clock at most b times slower (b>=1)
+  int check_quorum = 1;          ///< C; update quorum is M-C+1
+  int max_attempts = 3;          ///< R; 0 means retry forever
+  ExhaustedPolicy exhausted_policy = ExhaustedPolicy::kDeny;
+
+  // --- freeze strategy (the §3.3 alternative to quorums) ------------------
+  bool freeze_enabled = false;
+  sim::Duration Ti = sim::Duration::minutes(3);  ///< inaccessibility period
+  sim::Duration heartbeat_period = sim::Duration::seconds(10);
+
+  // --- engineering parameters (not named in the paper but required by any
+  //     implementation of it) ---------------------------------------------
+  QueryFanout fanout = QueryFanout::kAll;
+  sim::Duration query_timeout = sim::Duration::seconds(2);   ///< Fig. 3 timer
+  sim::Duration update_retransmit = sim::Duration::seconds(2);
+  sim::Duration revoke_retransmit = sim::Duration::seconds(2);
+  sim::Duration sync_retransmit = sim::Duration::seconds(2);
+  sim::Duration cache_sweep_period = sim::Duration::minutes(1);
+  sim::Duration cache_idle_limit = sim::Duration::minutes(30);
+  sim::Duration name_service_ttl = sim::Duration::minutes(10);
+
+  /// The local-clock expiration period managers attach to responses. Under
+  /// the freeze strategy the budget Te is split between the inaccessibility
+  /// period and the cached-entry lifetime ("Ti and te must be chosen so that
+  /// their sum is at most Te", §3.3), so te = (Te - Ti) / b; otherwise
+  /// te = Te / b.
+  [[nodiscard]] sim::Duration expiry_period() const {
+    const sim::Duration budget = freeze_enabled ? Te - Ti : Te;
+    return clk::local_expiry_period(budget, clock_bound_b);
+  }
+
+  /// Validates internal consistency (aborts on misconfiguration).
+  void validate() const {
+    WAN_REQUIRE(Te > sim::Duration{});
+    WAN_REQUIRE(clock_bound_b >= 1.0);
+    WAN_REQUIRE(check_quorum >= 1);
+    WAN_REQUIRE(max_attempts >= 0);
+    WAN_REQUIRE(query_timeout > sim::Duration{});
+    if (freeze_enabled) {
+      WAN_REQUIRE(Ti > sim::Duration{});
+      WAN_REQUIRE(Ti < Te);
+      WAN_REQUIRE(heartbeat_period > sim::Duration{});
+      WAN_REQUIRE(heartbeat_period < Ti);
+    }
+  }
+};
+
+}  // namespace wan::proto

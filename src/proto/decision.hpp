@@ -1,0 +1,46 @@
+// Access-decision records — the observable behaviour of the protocol.
+//
+// Every allow/deny produced by an AccessController is described by one
+// AccessDecision and handed to an observer callback; the metrics layer
+// classifies these against the workload's ground truth to measure empirical
+// availability (PA) and security (PS).
+#pragma once
+
+#include <cstdint>
+
+#include "acl/version.hpp"
+#include "proto/messages.hpp"
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+
+namespace wan::proto {
+
+/// How the decision was reached (maps onto the paper's code paths).
+enum class DecisionPath : std::uint8_t {
+  kCacheHit,          ///< live ACL_cache entry (Fig. 3 fast path)
+  kQuorumGranted,     ///< C responses assembled; freshest says granted
+  kQuorumDenied,      ///< C responses assembled; freshest says no right
+  kDefaultAllow,      ///< R attempts failed; availability rule fired (Fig. 4)
+  kUnverifiableDeny,  ///< R attempts failed; security-first policy denies
+  kAuthRejected,      ///< signature/replay check failed before any ACL work
+  kUnknownApp,        ///< host does not run the application
+};
+
+[[nodiscard]] const char* to_cstring(DecisionPath p) noexcept;
+
+struct AccessDecision {
+  AppId app{};
+  UserId user{};
+  HostId host{};
+  sim::TimePoint requested{};   ///< real time the check began at this host
+  sim::TimePoint decided{};     ///< real time the decision was made
+  bool allowed = false;
+  DecisionPath path = DecisionPath::kCacheHit;
+  DenyReason reason = DenyReason::kNone;
+  int attempts = 0;             ///< manager-query attempts consumed
+  acl::Version basis_version{}; ///< version of the ACL info the decision used
+
+  [[nodiscard]] sim::Duration latency() const noexcept { return decided - requested; }
+};
+
+}  // namespace wan::proto

@@ -1,0 +1,87 @@
+// Host compositions: wire a protocol module to the network and the host
+// lifecycle. These are the deployable units of Figure 1 — an application host
+// (Access Control + Access Control Management + Applications) and a manager
+// host (Manager + its authoritative ACL state).
+//
+// Crashing a host both silences its network endpoint and destroys the
+// module's volatile state; recovery brings the endpoint back and runs the
+// module's §3.4 recovery procedure.
+#pragma once
+
+#include <memory>
+
+#include "clock/local_clock.hpp"
+#include "proto/access_controller.hpp"
+#include "proto/manager.hpp"
+#include "sim/lifecycle.hpp"
+
+namespace wan::proto {
+
+/// An application host: runs applications behind the access-control wrapper.
+class AppHost {
+ public:
+  AppHost(HostId id, sim::Scheduler& sched, net::Network& net,
+          clk::LocalClock clock, const ns::NameService& names,
+          const auth::KeyRegistry& keys, ProtocolConfig config)
+      : id_(id),
+        net_(net),
+        controller_(id, sched, net, clock, names, keys, config) {
+    net.register_host(id, [this](HostId from, const net::MessagePtr& msg) {
+      controller_.on_message(from, msg);
+    });
+  }
+
+  void crash() {
+    net_.set_host_down(id_, true);
+    controller_.crash();
+  }
+  void recover() {
+    net_.set_host_down(id_, false);
+    controller_.recover();
+  }
+  [[nodiscard]] bool up() const noexcept { return controller_.up(); }
+
+  [[nodiscard]] HostId id() const noexcept { return id_; }
+  [[nodiscard]] AccessController& controller() noexcept { return controller_; }
+  [[nodiscard]] const AccessController& controller() const noexcept {
+    return controller_;
+  }
+
+ private:
+  HostId id_;
+  net::Network& net_;
+  AccessController controller_;
+};
+
+/// A manager host.
+class ManagerHost {
+ public:
+  ManagerHost(HostId id, sim::Scheduler& sched, net::Network& net,
+              clk::LocalClock clock, ProtocolConfig config)
+      : id_(id), net_(net), manager_(id, sched, net, clock, config) {
+    net.register_host(id, [this](HostId from, const net::MessagePtr& msg) {
+      manager_.on_message(from, msg);
+    });
+  }
+
+  void crash() {
+    net_.set_host_down(id_, true);
+    manager_.crash();
+  }
+  void recover() {
+    net_.set_host_down(id_, false);
+    manager_.recover();
+  }
+  [[nodiscard]] bool up() const noexcept { return manager_.up(); }
+
+  [[nodiscard]] HostId id() const noexcept { return id_; }
+  [[nodiscard]] ManagerModule& manager() noexcept { return manager_; }
+  [[nodiscard]] const ManagerModule& manager() const noexcept { return manager_; }
+
+ private:
+  HostId id_;
+  net::Network& net_;
+  ManagerModule manager_;
+};
+
+}  // namespace wan::proto

@@ -1,0 +1,514 @@
+#include "proto/manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace wan::proto {
+
+ManagerModule::ManagerModule(HostId self, sim::Scheduler& sched,
+                             net::Network& net, clk::LocalClock clock,
+                             ProtocolConfig config)
+    : self_(self), sched_(sched), net_(net), clock_(clock), config_(config) {
+  config_.validate();
+}
+
+ManagerModule::~ManagerModule() = default;
+
+ManagerModule::AppCtl* ManagerModule::ctl_of(AppId app) {
+  const auto it = apps_.find(app);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+const ManagerModule::AppCtl* ManagerModule::ctl_of(AppId app) const {
+  const auto it = apps_.find(app);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+void ManagerModule::manage_app(AppId app, std::vector<HostId> managers) {
+  WAN_REQUIRE(app.valid());
+  WAN_REQUIRE(std::find(managers.begin(), managers.end(), self_) != managers.end());
+  WAN_REQUIRE(config_.check_quorum <= static_cast<int>(managers.size()));
+  AppCtl& ctl = apps_[app];
+  ctl.managers = std::move(managers);
+  ctl.peers.clear();
+  for (const HostId m : ctl.managers) {
+    if (m != self_) ctl.peers.push_back(m);
+  }
+  ctl.check_quorum = config_.check_quorum;
+  const clk::LocalTime now = local_now();
+  for (const HostId p : ctl.peers) ctl.last_heard[p] = now;
+  if (config_.freeze_enabled) start_heartbeats(app, ctl);
+}
+
+void ManagerModule::reconfigure_app(AppId app, std::vector<HostId> managers) {
+  WAN_REQUIRE(std::find(managers.begin(), managers.end(), self_) !=
+              managers.end());
+  const bool newcomer = ctl_of(app) == nullptr;
+  if (newcomer) {
+    manage_app(app, std::move(managers));
+    AppCtl& ctl = apps_[app];
+    begin_sync(app, ctl);  // do not answer queries until caught up
+    return;
+  }
+  AppCtl& ctl = apps_[app];
+  ctl.managers = std::move(managers);
+  ctl.peers.clear();
+  for (const HostId m : ctl.managers) {
+    if (m != self_) ctl.peers.push_back(m);
+  }
+  // Refresh freeze bookkeeping: drop departed peers, adopt new ones as
+  // just-heard (they get a full Ti before they can freeze us).
+  const clk::LocalTime now = local_now();
+  std::unordered_map<HostId, clk::LocalTime> heard;
+  for (const HostId p : ctl.peers) {
+    const auto it = ctl.last_heard.find(p);
+    heard[p] = it != ctl.last_heard.end() ? it->second : now;
+  }
+  ctl.last_heard = std::move(heard);
+  // Departed peers will never ack: prune them from in-flight work so
+  // transactions can complete (or retire) against the new membership.
+  for (auto it = ctl.txns.begin(); it != ctl.txns.end();) {
+    Txn& txn = *it->second;
+    for (auto p = txn.pending_peers.begin(); p != txn.pending_peers.end();) {
+      p = is_peer(ctl, *p) ? std::next(p) : txn.pending_peers.erase(p);
+    }
+    it = txn.pending_peers.empty() ? ctl.txns.erase(it) : std::next(it);
+  }
+}
+
+void ManagerModule::forget_app(AppId app) { apps_.erase(app); }
+
+void ManagerModule::start_heartbeats(AppId app, AppCtl& ctl) {
+  ctl.heartbeat = std::make_unique<sim::PeriodicTimer>(sched_);
+  ctl.heartbeat->start(config_.heartbeat_period, [this, app] {
+    AppCtl* ctl = ctl_of(app);
+    if (ctl == nullptr || !up_) return;
+    const auto ping =
+        net::make_message<HeartbeatPing>(app, ++ctl->heartbeat_seq);
+    for (const HostId p : ctl->peers) net_.send(self_, p, ping);
+  });
+}
+
+bool ManagerModule::is_peer(const AppCtl& ctl, HostId from) noexcept {
+  return std::find(ctl.peers.begin(), ctl.peers.end(), from) != ctl.peers.end();
+}
+
+void ManagerModule::note_peer(AppCtl& ctl, HostId peer) {
+  const auto it = ctl.last_heard.find(peer);
+  if (it != ctl.last_heard.end()) it->second = local_now();
+}
+
+bool ManagerModule::frozen(AppId app) const {
+  if (!config_.freeze_enabled) return false;
+  const AppCtl* ctl = ctl_of(app);
+  if (ctl == nullptr) return false;
+  // Ti is a real-time bound; this clock may run up to b times slow, so the
+  // local threshold is Ti / b ("care must be taken to account for clock rate
+  // differences at managers", §3.3).
+  const sim::Duration threshold = sim::Duration::from_seconds(
+      config_.Ti.to_seconds() / config_.clock_bound_b);
+  const clk::LocalTime now = clock_.now(sched_.now());
+  for (const auto& [peer, heard] : ctl->last_heard) {
+    if (now - heard > threshold) return true;
+  }
+  return false;
+}
+
+bool ManagerModule::synced(AppId app) const {
+  const AppCtl* ctl = ctl_of(app);
+  return ctl != nullptr && ctl->synced;
+}
+
+const acl::AclStore* ManagerModule::store(AppId app) const {
+  const AppCtl* ctl = ctl_of(app);
+  return ctl == nullptr ? nullptr : &ctl->store;
+}
+
+std::vector<HostId> ManagerModule::granted_hosts(AppId app, UserId user) const {
+  const AppCtl* ctl = ctl_of(app);
+  if (ctl == nullptr) return {};
+  const auto it = ctl->grant_table.find(user);
+  if (it == ctl->grant_table.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::size_t ManagerModule::inflight_updates(AppId app) const {
+  const AppCtl* ctl = ctl_of(app);
+  return ctl == nullptr ? 0 : ctl->txns.size();
+}
+
+// ------------------------------------------------------------- operations
+
+void ManagerModule::submit_update(AppId app, acl::Op op, UserId user,
+                                  acl::Right right, UpdateCallback done) {
+  WAN_REQUIRE(up_);
+  AppCtl* ctl = ctl_of(app);
+  WAN_REQUIRE(ctl != nullptr);
+
+  // Phase 1: version read from a check quorum of C managers (self included).
+  const int needed = std::min(ctl->check_quorum,
+                              static_cast<int>(ctl->managers.size()));
+  const std::uint64_t read_id = next_read_id_++;
+  auto read = std::make_unique<PendingRead>(needed, sched_);
+  read->op = op;
+  read->user = user;
+  read->right = right;
+  read->done = std::move(done);
+  read->issued = sched_.now();
+  read->max_seen = ctl->store.max_version();
+  read->readers.record(self_);
+  if (read->readers.reached()) {
+    issue_write(app, std::move(read));
+    return;
+  }
+  ctl->reads.emplace(read_id, std::move(read));
+  const auto msg = net::make_message<VersionQuery>(app, read_id);
+  for (const HostId p : ctl->peers) net_.send(self_, p, msg);
+  ctl->reads.at(read_id)->retry.arm(
+      config_.update_retransmit,
+      [this, app, read_id] { retransmit_read(app, read_id); });
+}
+
+void ManagerModule::retransmit_read(AppId app, std::uint64_t read_id) {
+  AppCtl* ctl = ctl_of(app);
+  if (ctl == nullptr || !up_) return;
+  const auto it = ctl->reads.find(read_id);
+  if (it == ctl->reads.end()) return;
+  const auto msg = net::make_message<VersionQuery>(app, read_id);
+  for (const HostId p : ctl->peers) {
+    if (!it->second->readers.has(p)) net_.send(self_, p, msg);
+  }
+  it->second->retry.arm(config_.update_retransmit, [this, app, read_id] {
+    retransmit_read(app, read_id);
+  });
+}
+
+void ManagerModule::handle_version_reply(HostId from, const VersionReply& m) {
+  AppCtl* ctl = ctl_of(m.app);
+  if (ctl == nullptr || !is_peer(*ctl, from)) return;
+  note_peer(*ctl, from);
+  const auto it = ctl->reads.find(m.read_id);
+  if (it == ctl->reads.end()) return;
+  PendingRead& read = *it->second;
+  if (m.max_version > read.max_seen) read.max_seen = m.max_version;
+  if (!read.readers.record(from)) return;
+  auto owned = std::move(it->second);
+  ctl->reads.erase(it);
+  owned->retry.cancel();
+  issue_write(m.app, std::move(owned));
+}
+
+void ManagerModule::issue_write(AppId app, std::unique_ptr<PendingRead> read) {
+  AppCtl* ctl = ctl_of(app);
+  WAN_ASSERT(ctl != nullptr);
+
+  acl::AclUpdate update;
+  update.user = read->user;
+  update.right = read->right;
+  update.op = read->op;
+  // Dominates every completed update (via the read quorum) and everything
+  // this manager has applied since the read began.
+  acl::Version base = read->max_seen;
+  if (ctl->store.max_version() > base) base = ctl->store.max_version();
+  update.version = base.next(self_);
+  ctl->store.apply(update);
+
+  const acl::Op op = read->op;
+  const UserId user = read->user;
+  UpdateCallback done = std::move(read->done);
+  const std::uint64_t txn_id = next_txn_id_++;
+  auto txn = std::make_unique<Txn>(update_quorum(*ctl), sched_);
+  txn->update = update;
+  txn->txn_id = txn_id;
+  txn->issued = read->issued;  // the user's operation began at the read
+  txn->done = std::move(done);
+  txn->acks.record(self_);  // the issuer counts toward the update quorum
+  for (const HostId p : ctl->peers) txn->pending_peers.insert(p);
+
+  WAN_DEBUG << to_string(self_) << " issues " << acl::to_cstring(op) << "("
+            << to_string(app) << "," << to_string(user) << ") v"
+            << update.version.counter;
+
+  Txn& ref = *txn;
+  ctl->txns.emplace(txn_id, std::move(txn));
+
+  if (op == acl::Op::kRevoke) {
+    start_revoke_forwarding(app, *ctl, user, update.version);
+  }
+
+  if (ref.acks.reached() && !ref.quorum_fired) {
+    // Update quorum of 1 (C == M): guaranteed as soon as it is local.
+    ref.quorum_fired = true;
+    if (ref.done) {
+      ref.done(UpdateOutcome{app, ref.update, ref.issued, sched_.now(),
+                             ref.acks.count()});
+    }
+  }
+
+  if (ref.pending_peers.empty()) {
+    ctl->txns.erase(txn_id);
+    return;
+  }
+  const auto msg = net::make_message<UpdateMsg>(app, update, txn_id);
+  for (const HostId p : ref.pending_peers) net_.send(self_, p, msg);
+  ref.retry.arm(config_.update_retransmit,
+                [this, app, txn_id] { retransmit_txn(app, txn_id); });
+}
+
+void ManagerModule::retransmit_txn(AppId app, std::uint64_t txn_id) {
+  AppCtl* ctl = ctl_of(app);
+  if (ctl == nullptr || !up_) return;
+  const auto it = ctl->txns.find(txn_id);
+  if (it == ctl->txns.end()) return;
+  Txn& txn = *it->second;
+  // "A manager issuing an update uses a persistent strategy ... it repeatedly
+  // transmits the update to every manager until it succeeds."
+  const auto msg = net::make_message<UpdateMsg>(app, txn.update, txn_id);
+  for (const HostId p : txn.pending_peers) net_.send(self_, p, msg);
+  txn.retry.arm(config_.update_retransmit,
+                [this, app, txn_id] { retransmit_txn(app, txn_id); });
+}
+
+void ManagerModule::start_revoke_forwarding(AppId app, AppCtl& ctl, UserId user,
+                                            acl::Version version) {
+  const auto git = ctl.grant_table.find(user);
+  if (git == ctl.grant_table.end() || git->second.empty()) return;
+
+  const auto key = std::make_pair(static_cast<std::uint64_t>(user.value()),
+                                  version.counter);
+  auto fwd = std::make_unique<RevokeFwd>(sched_);
+  fwd->app = app;
+  fwd->user = user;
+  fwd->version = version;
+  fwd->pending_hosts = git->second;
+  // "it can stop resending the message when the access right would have
+  // expired based on the time mechanism" (§3.4): Te after now bounds every
+  // outstanding cached copy.
+  fwd->deadline = sched_.now() + config_.Te;
+
+  const auto msg = net::make_message<RevokeNotify>(app, user, version);
+  for (const HostId h : fwd->pending_hosts) net_.send(self_, h, msg);
+  RevokeFwd& ref = *fwd;
+  ctl.revoke_fwds[key] = std::move(fwd);
+  ref.retry.arm(config_.revoke_retransmit, [this, app, key] {
+    retransmit_revoke(app, key.first, key.second);
+  });
+}
+
+void ManagerModule::retransmit_revoke(AppId app, std::uint64_t user_value,
+                                      std::uint64_t version_counter) {
+  AppCtl* ctl = ctl_of(app);
+  if (ctl == nullptr || !up_) return;
+  const auto key = std::make_pair(user_value, version_counter);
+  const auto it = ctl->revoke_fwds.find(key);
+  if (it == ctl->revoke_fwds.end()) return;
+  RevokeFwd& fwd = *it->second;
+  if (sched_.now() >= fwd.deadline || fwd.pending_hosts.empty()) {
+    ctl->revoke_fwds.erase(it);
+    return;
+  }
+  const auto msg = net::make_message<RevokeNotify>(app, fwd.user, fwd.version);
+  for (const HostId h : fwd.pending_hosts) net_.send(self_, h, msg);
+  fwd.retry.arm(config_.revoke_retransmit, [this, app, key] {
+    retransmit_revoke(app, key.first, key.second);
+  });
+}
+
+// --------------------------------------------------------------- receive
+
+void ManagerModule::on_message(HostId from, const net::MessagePtr& msg) {
+  if (!up_) return;
+  if (const auto* q = net::message_cast<QueryRequest>(msg)) {
+    handle_query(from, *q);
+  } else if (const auto* u = net::message_cast<UpdateMsg>(msg)) {
+    handle_update(from, *u);
+  } else if (const auto* a = net::message_cast<UpdateAck>(msg)) {
+    handle_update_ack(from, *a);
+  } else if (const auto* r = net::message_cast<RevokeNotifyAck>(msg)) {
+    handle_revoke_ack(from, *r);
+  } else if (const auto* vq = net::message_cast<VersionQuery>(msg)) {
+    if (AppCtl* ctl = ctl_of(vq->app); ctl != nullptr && is_peer(*ctl, from)) {
+      note_peer(*ctl, from);
+      // An unsynced (recovering) manager cannot vouch for a version floor.
+      if (ctl->synced) {
+        net_.send(self_, from,
+                  net::make_message<VersionReply>(vq->app, vq->read_id,
+                                                  ctl->store.max_version()));
+      }
+    }
+  } else if (const auto* vr = net::message_cast<VersionReply>(msg)) {
+    handle_version_reply(from, *vr);
+  } else if (const auto* s = net::message_cast<SyncRequest>(msg)) {
+    handle_sync_request(from, *s);
+  } else if (const auto* sr = net::message_cast<SyncResponse>(msg)) {
+    handle_sync_response(from, *sr);
+  } else if (const auto* ping = net::message_cast<HeartbeatPing>(msg)) {
+    if (AppCtl* ctl = ctl_of(ping->app); ctl != nullptr && is_peer(*ctl, from)) {
+      note_peer(*ctl, from);
+      net_.send(self_, from,
+                net::make_message<HeartbeatPong>(ping->app, ping->seq));
+    }
+  } else if (const auto* pong = net::message_cast<HeartbeatPong>(msg)) {
+    if (AppCtl* ctl = ctl_of(pong->app); ctl != nullptr && is_peer(*ctl, from)) {
+      note_peer(*ctl, from);
+    }
+  }
+}
+
+void ManagerModule::handle_query(HostId from, const QueryRequest& q) {
+  AppCtl* ctl = ctl_of(q.app);
+  if (ctl == nullptr) return;
+  // A recovering manager answers nothing until synced (§3.4); a frozen one
+  // answers nothing until all peers are reachable again (§3.3).
+  if (!ctl->synced || frozen(q.app)) return;
+
+  const acl::RightSet rights = ctl->store.rights_of(q.user);
+  // The decision-relevant version is the "use" register's: a fresher write to
+  // the unrelated "manage" register must not let stale use-rights win a
+  // freshest-response race at the host.
+  acl::Version version{};
+  if (const auto st = ctl->store.state(q.user, acl::Right::kUse)) {
+    version = st->version;
+  }
+  net_.send(self_, from,
+            net::make_message<QueryResponse>(q.app, q.user, q.query_id, rights,
+                                             version, config_.expiry_period()));
+  if (rights.has(acl::Right::kUse)) {
+    // Remember who holds cached rights so revocations can be forwarded.
+    ctl->grant_table[q.user].insert(from);
+  }
+}
+
+void ManagerModule::handle_update(HostId from, const UpdateMsg& m) {
+  AppCtl* ctl = ctl_of(m.app);
+  if (ctl == nullptr || !is_peer(*ctl, from)) return;
+  note_peer(*ctl, from);
+  const bool applied = ctl->store.apply(m.update);
+  net_.send(self_, from, net::make_message<UpdateAck>(m.app, m.txn_id));
+  if (applied && m.update.op == acl::Op::kRevoke) {
+    // Each manager forwards the revocation to the hosts *it* granted (§3.1).
+    start_revoke_forwarding(m.app, *ctl, m.update.user, m.update.version);
+  }
+}
+
+void ManagerModule::handle_update_ack(HostId from, const UpdateAck& m) {
+  AppCtl* ctl = ctl_of(m.app);
+  if (ctl == nullptr || !is_peer(*ctl, from)) return;
+  note_peer(*ctl, from);
+  const auto it = ctl->txns.find(m.txn_id);
+  if (it == ctl->txns.end()) return;
+  Txn& txn = *it->second;
+  txn.pending_peers.erase(from);
+  txn.acks.record(from);
+  if (txn.acks.reached() && !txn.quorum_fired) {
+    txn.quorum_fired = true;
+    WAN_DEBUG << to_string(self_) << " update v" << txn.update.version.counter
+              << " reached quorum (" << txn.acks.count() << " acks)";
+    if (txn.done) {
+      txn.done(UpdateOutcome{m.app, txn.update, txn.issued, sched_.now(),
+                             txn.acks.count()});
+    }
+  }
+  if (txn.pending_peers.empty()) ctl->txns.erase(it);
+}
+
+void ManagerModule::handle_revoke_ack(HostId from, const RevokeNotifyAck& m) {
+  AppCtl* ctl = ctl_of(m.app);
+  if (ctl == nullptr) return;
+  const auto key = std::make_pair(static_cast<std::uint64_t>(m.user.value()),
+                                  m.version.counter);
+  const auto it = ctl->revoke_fwds.find(key);
+  if (it == ctl->revoke_fwds.end()) return;
+  it->second->pending_hosts.erase(from);
+  // The host flushed its cache; it no longer holds a grant from us.
+  if (auto git = ctl->grant_table.find(m.user); git != ctl->grant_table.end()) {
+    git->second.erase(from);
+  }
+  if (it->second->pending_hosts.empty()) ctl->revoke_fwds.erase(it);
+}
+
+void ManagerModule::handle_sync_request(HostId from, const SyncRequest& m) {
+  AppCtl* ctl = ctl_of(m.app);
+  if (ctl == nullptr || !is_peer(*ctl, from)) return;
+  note_peer(*ctl, from);
+  if (!ctl->synced) return;  // cannot vouch for state we have not recovered
+  net_.send(self_, from,
+            net::make_message<SyncResponse>(m.app, m.sync_id,
+                                            ctl->store.snapshot()));
+}
+
+void ManagerModule::handle_sync_response(HostId from, const SyncResponse& m) {
+  AppCtl* ctl = ctl_of(m.app);
+  if (ctl == nullptr || ctl->synced || !is_peer(*ctl, from)) return;
+  note_peer(*ctl, from);
+  if (m.sync_id != ctl->sync_id || ctl->sync_votes == nullptr) return;
+  ctl->store.merge(m.snapshot);
+  if (ctl->sync_votes->record(from)) {
+    ctl->synced = true;
+    ctl->sync_votes.reset();
+    if (ctl->sync_timer) ctl->sync_timer->cancel();
+    ctl->sync_timer.reset();
+    WAN_DEBUG << to_string(self_) << " recovery sync complete for "
+              << to_string(m.app);
+  }
+}
+
+void ManagerModule::begin_sync(AppId app, AppCtl& ctl) {
+  if (ctl.peers.empty()) {
+    ctl.synced = true;  // single-manager degenerate case (see header)
+    return;
+  }
+  ctl.synced = false;
+  ctl.sync_id = next_sync_id_++;
+  const int needed = std::min(ctl.check_quorum,
+                              static_cast<int>(ctl.peers.size()));
+  ctl.sync_votes = std::make_unique<quorum::QuorumTracker>(needed);
+  ctl.sync_timer = std::make_unique<sim::Timer>(sched_);
+  sync_round(app);
+}
+
+void ManagerModule::sync_round(AppId app) {
+  AppCtl* ctl = ctl_of(app);
+  if (ctl == nullptr || !up_ || ctl->synced) return;
+  // Retransmit until enough snapshots arrive.
+  const auto msg = net::make_message<SyncRequest>(app, ctl->sync_id);
+  for (const HostId p : ctl->peers) net_.send(self_, p, msg);
+  if (ctl->sync_timer) {
+    ctl->sync_timer->arm(config_.sync_retransmit,
+                         [this, app] { sync_round(app); });
+  }
+}
+
+// ------------------------------------------------------ crash / recovery
+
+void ManagerModule::crash() {
+  up_ = false;
+  for (auto& [app, ctl] : apps_) {
+    ctl.store = acl::AclStore{};
+    ctl.grant_table.clear();
+    ctl.reads.clear();
+    ctl.txns.clear();
+    ctl.revoke_fwds.clear();
+    ctl.last_heard.clear();
+    ctl.sync_votes.reset();
+    ctl.sync_timer.reset();
+    if (ctl.heartbeat) ctl.heartbeat->stop();
+    ctl.heartbeat.reset();
+    ctl.synced = false;
+  }
+}
+
+void ManagerModule::recover() {
+  up_ = true;
+  const clk::LocalTime now = local_now();
+  for (auto& [app, ctl] : apps_) {
+    for (const HostId p : ctl.peers) ctl.last_heard[p] = now;
+    if (config_.freeze_enabled) start_heartbeats(app, ctl);
+    begin_sync(app, ctl);
+  }
+}
+
+}  // namespace wan::proto

@@ -1,0 +1,229 @@
+// Manager side of the protocol (§3.1, §3.3, §3.4).
+//
+// A manager holds the authoritative ACL for each application it manages and
+// implements:
+//
+//  * Add/Revoke operations with *persistent dissemination*: the update is
+//    retransmitted to every peer manager until acknowledged. The operation's
+//    guarantee point is when an update quorum (M - C + 1 managers, counting
+//    the issuer) has acknowledged — from then on, at most Te passes before
+//    the operation is globally effective.
+//  * The grant table: per user, the set of application hosts this manager has
+//    granted cached rights to. On revocation (locally issued or received from
+//    a peer) the manager forwards RevokeNotify to exactly those hosts and
+//    retries until acked — or until the right would have expired anyway, at
+//    which point retrying is pointless and stops (§3.4).
+//  * The freeze strategy (§3.3 alternative): with heartbeats tracking peer
+//    reachability on the local clock, the manager refuses to answer host
+//    queries while any peer has been silent longer than Ti (scaled by the
+//    clock bound b), guaranteeing the time bound without quorums at the cost
+//    of availability.
+//  * Crash recovery: the ACL is volatile; a recovering manager re-syncs by
+//    merging snapshots from C distinct peers before answering queries. Any
+//    update that completed its quorum of M - C + 1 managers is present in at
+//    least M - C of the M - 1 peers, and any C-subset of peers intersects
+//    that set. (Degenerate cases: with M == 1 there are no peers and the
+//    store simply restarts empty; with C == M the required C peers do not
+//    exist, so we sync from all M - 1 — an update acknowledged only by the
+//    crashed issuer can then be lost, which is the price the paper's C == M
+//    corner pays without stable storage. Expiry still bounds the damage.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "acl/store.hpp"
+#include "clock/local_clock.hpp"
+#include "net/network.hpp"
+#include "proto/config.hpp"
+#include "proto/messages.hpp"
+#include "quorum/quorum.hpp"
+#include "sim/timer.hpp"
+
+namespace wan::proto {
+
+/// Result of a manager Add/Revoke operation, reported when the update quorum
+/// is assembled (the paper's blocking call "returning").
+struct UpdateOutcome {
+  AppId app{};
+  acl::AclUpdate update{};
+  sim::TimePoint issued_at{};
+  sim::TimePoint quorum_at{};
+  int acks_at_quorum = 0;  ///< managers (incl. issuer) acked at quorum time
+};
+
+using UpdateCallback = std::function<void(const UpdateOutcome&)>;
+
+class ManagerModule {
+ public:
+  ManagerModule(HostId self, sim::Scheduler& sched, net::Network& net,
+                clk::LocalClock clock, ProtocolConfig config);
+  ~ManagerModule();
+  ManagerModule(const ManagerModule&) = delete;
+  ManagerModule& operator=(const ManagerModule&) = delete;
+
+  /// Declares that this manager manages `app`; `managers` is the full set
+  /// Managers(app) including this manager. check_quorum must be <= M.
+  void manage_app(AppId app, std::vector<HostId> managers);
+
+  /// Applies a manager-set change (§3.2: the set "changes relatively
+  /// infrequently" and is published through the trusted name service; hosts
+  /// pick it up when their cached resolution expires). Call on every member
+  /// of the NEW set after updating the name service:
+  ///  * an existing member keeps its store and prunes departed peers from
+  ///    in-flight transactions;
+  ///  * a newcomer starts unsynced and recovers state from C peers before
+  ///    answering queries (same machinery as crash recovery).
+  /// Departed managers should call forget_app().
+  void reconfigure_app(AppId app, std::vector<HostId> managers);
+
+  /// Stops managing `app` entirely (the manager left the set).
+  void forget_app(AppId app);
+
+  /// The paper's Add(A,U,R) / Revoke(A,U,R). Two phases:
+  ///  1. version read — collect the freshest store version from a check
+  ///     quorum of C managers (self included), so the new update's version
+  ///     dominates every previously *completed* update (see VersionQuery);
+  ///  2. persistent dissemination with update-quorum acknowledgment.
+  /// `done` fires when the update quorum is reached (the guarantee point);
+  /// dissemination to remaining managers continues in the background. Under
+  /// a partition that denies even the read quorum, the operation simply
+  /// blocks (retrying) until connectivity returns — the paper's blocking
+  /// semantics.
+  void submit_update(AppId app, acl::Op op, UserId user, acl::Right right,
+                     UpdateCallback done = nullptr);
+
+  /// Network receive entry point.
+  void on_message(HostId from, const net::MessagePtr& msg);
+
+  /// Crash: the whole manager state is volatile (§3.4).
+  void crash();
+  /// Recovery: re-syncs every managed app before answering queries.
+  void recover();
+
+  [[nodiscard]] bool up() const noexcept { return up_; }
+  [[nodiscard]] HostId id() const noexcept { return self_; }
+
+  /// Whether the freeze strategy currently suppresses responses for `app`.
+  [[nodiscard]] bool frozen(AppId app) const;
+  /// Whether this manager is synced (false while recovering).
+  [[nodiscard]] bool synced(AppId app) const;
+
+  [[nodiscard]] const acl::AclStore* store(AppId app) const;
+
+  /// Hosts currently in the grant table for (app, user) — test/diag hook.
+  [[nodiscard]] std::vector<HostId> granted_hosts(AppId app, UserId user) const;
+
+  /// Count of in-flight originated updates (diagnostics).
+  [[nodiscard]] std::size_t inflight_updates(AppId app) const;
+
+ private:
+  struct PendingRead {
+    acl::Op op = acl::Op::kAdd;
+    UserId user{};
+    acl::Right right = acl::Right::kUse;
+    UpdateCallback done;
+    sim::TimePoint issued{};
+    quorum::QuorumTracker readers;
+    acl::Version max_seen{};
+    sim::Timer retry;
+
+    PendingRead(int quorum, sim::Scheduler& sched)
+        : readers(quorum), retry(sched) {}
+  };
+
+  struct Txn {
+    acl::AclUpdate update{};
+    std::uint64_t txn_id = 0;
+    sim::TimePoint issued{};
+    quorum::QuorumTracker acks;
+    std::set<HostId> pending_peers;
+    UpdateCallback done;
+    bool quorum_fired = false;
+    sim::Timer retry;
+
+    Txn(int quorum, sim::Scheduler& sched) : acks(quorum), retry(sched) {}
+  };
+
+  struct RevokeFwd {
+    AppId app{};
+    UserId user{};
+    acl::Version version{};
+    std::set<HostId> pending_hosts;
+    sim::TimePoint deadline{};
+    sim::Timer retry;
+
+    explicit RevokeFwd(sim::Scheduler& sched) : retry(sched) {}
+  };
+
+  struct AppCtl {
+    std::vector<HostId> managers;  ///< full set, incl. self
+    std::vector<HostId> peers;     ///< managers minus self
+    int check_quorum = 1;
+    acl::AclStore store;
+    std::map<UserId, std::set<HostId>> grant_table;
+    std::unordered_map<std::uint64_t, std::unique_ptr<PendingRead>> reads;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Txn>> txns;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::unique_ptr<RevokeFwd>>
+        revoke_fwds;  ///< keyed by (user id, version counter)
+    std::unordered_map<HostId, clk::LocalTime> last_heard;  ///< freeze input
+    bool synced = true;
+    std::uint64_t sync_id = 0;
+    std::unique_ptr<quorum::QuorumTracker> sync_votes;
+    std::unique_ptr<sim::Timer> sync_timer;
+    std::unique_ptr<sim::PeriodicTimer> heartbeat;
+    std::uint64_t heartbeat_seq = 0;
+  };
+
+  void handle_query(HostId from, const QueryRequest& q);
+  void handle_version_reply(HostId from, const VersionReply& m);
+  void retransmit_read(AppId app, std::uint64_t read_id);
+  void issue_write(AppId app, std::unique_ptr<PendingRead> read);
+  void handle_update(HostId from, const UpdateMsg& m);
+  void handle_update_ack(HostId from, const UpdateAck& m);
+  void handle_revoke_ack(HostId from, const RevokeNotifyAck& m);
+  void handle_sync_request(HostId from, const SyncRequest& m);
+  void handle_sync_response(HostId from, const SyncResponse& m);
+
+  void start_revoke_forwarding(AppId app, AppCtl& ctl, UserId user,
+                               acl::Version version);
+  void retransmit_txn(AppId app, std::uint64_t txn_id);
+  void retransmit_revoke(AppId app, std::uint64_t user_value,
+                         std::uint64_t version_counter);
+  void begin_sync(AppId app, AppCtl& ctl);
+  void sync_round(AppId app);
+  void start_heartbeats(AppId app, AppCtl& ctl);
+  void note_peer(AppCtl& ctl, HostId peer);
+  /// Manager-to-manager messages are only honoured from genuine peers (the
+  /// paper's model authenticates manager traffic; crash-only managers never
+  /// lie, so anything else claiming to be one is an outsider).
+  [[nodiscard]] static bool is_peer(const AppCtl& ctl, HostId from) noexcept;
+  [[nodiscard]] int update_quorum(const AppCtl& ctl) const noexcept {
+    return static_cast<int>(ctl.managers.size()) - ctl.check_quorum + 1;
+  }
+  [[nodiscard]] clk::LocalTime local_now() const {
+    return clock_.now(sched_.now());
+  }
+
+  AppCtl* ctl_of(AppId app);
+  const AppCtl* ctl_of(AppId app) const;
+
+  HostId self_;
+  sim::Scheduler& sched_;
+  net::Network& net_;
+  clk::LocalClock clock_;
+  ProtocolConfig config_;
+  bool up_ = true;
+
+  std::map<AppId, AppCtl> apps_;
+  std::uint64_t next_txn_id_ = 1;
+  std::uint64_t next_sync_id_ = 1;
+  std::uint64_t next_read_id_ = 1;
+};
+
+}  // namespace wan::proto

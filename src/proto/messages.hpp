@@ -1,0 +1,228 @@
+// Wire messages of the access-control protocol.
+//
+// Message flows (paper Figures 1-3, §3.3-3.4):
+//
+//   user agent -> app host    InvokeRequest / InvokeReply
+//   app host  <-> manager     QueryRequest / QueryResponse
+//   manager    -> app host    RevokeNotify   (acked with RevokeNotifyAck)
+//   manager   <-> manager     UpdateMsg / UpdateAck  (persistent dissemination)
+//   manager   <-> manager     SyncRequest / SyncResponse (recovery, §3.4)
+//   manager   <-> manager     HeartbeatPing / HeartbeatPong (freeze strategy)
+//
+// Wire sizes are rough estimates of an early-Internet datagram encoding;
+// they only feed the bandwidth-overhead accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "acl/rights.hpp"
+#include "acl/store.hpp"
+#include "auth/credentials.hpp"
+#include "net/message.hpp"
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+
+namespace wan::proto {
+
+/// User -> application host: "Invoke(A)" carrying the application payload,
+/// authenticated with the user's signature over payload+nonce.
+struct InvokeRequest final : net::Message {
+  AppId app{};
+  UserId user{};
+  std::uint64_t request_id = 0;
+  std::uint64_t nonce = 0;
+  auth::Signature signature{};
+  std::string payload;
+
+  InvokeRequest(AppId a, UserId u, std::uint64_t req, std::uint64_t n,
+                auth::Signature sig, std::string body)
+      : app(a), user(u), request_id(req), nonce(n), signature(sig),
+        payload(std::move(body)) {}
+
+  std::string type_name() const override { return "InvokeRequest"; }
+  std::size_t wire_size() const override { return 64 + payload.size(); }
+};
+
+/// Why an invocation was rejected (surfaced to the user agent and metrics).
+enum class DenyReason : std::uint8_t {
+  kNone,             ///< not denied
+  kAuthentication,   ///< signature/replay failure
+  kNotAuthorized,    ///< managers say the user lacks the "use" right
+  kUnverifiable,     ///< could not assemble a check quorum within R attempts
+  kUnknownApp,       ///< this host does not run the application
+};
+
+[[nodiscard]] const char* to_cstring(DenyReason r) noexcept;
+
+/// Application host -> user.
+struct InvokeReply final : net::Message {
+  std::uint64_t request_id = 0;
+  bool accepted = false;
+  DenyReason reason = DenyReason::kNone;
+  std::string result;
+
+  InvokeReply(std::uint64_t req, bool ok, DenyReason why, std::string res)
+      : request_id(req), accepted(ok), reason(why), result(std::move(res)) {}
+
+  std::string type_name() const override { return "InvokeReply"; }
+  std::size_t wire_size() const override { return 32 + result.size(); }
+};
+
+/// Application host -> manager: "does `user` hold rights on `app`?"
+struct QueryRequest final : net::Message {
+  AppId app{};
+  UserId user{};
+  std::uint64_t query_id = 0;  ///< identifies the host's check attempt
+
+  QueryRequest(AppId a, UserId u, std::uint64_t q) : app(a), user(u), query_id(q) {}
+
+  std::string type_name() const override { return "QueryRequest"; }
+  std::size_t wire_size() const override { return 40; }
+};
+
+/// Manager -> application host. Carries the user's current rights, the
+/// version they were last written at, and the local-clock expiration period
+/// te the host must apply (extended protocol, Fig. 3).
+struct QueryResponse final : net::Message {
+  AppId app{};
+  UserId user{};
+  std::uint64_t query_id = 0;
+  acl::RightSet rights;          ///< empty set == no rights / unknown user
+  acl::Version version{};        ///< freshest version backing `rights`
+  sim::Duration expiry_period{}; ///< te = Te / b
+
+  QueryResponse(AppId a, UserId u, std::uint64_t q, acl::RightSet r,
+                acl::Version v, sim::Duration te)
+      : app(a), user(u), query_id(q), rights(r), version(v), expiry_period(te) {}
+
+  std::string type_name() const override { return "QueryResponse"; }
+  std::size_t wire_size() const override { return 56; }
+};
+
+/// Manager -> application host: flush `user` from ACL_cache(app) (Fig. 2).
+struct RevokeNotify final : net::Message {
+  AppId app{};
+  UserId user{};
+  acl::Version version{};
+
+  RevokeNotify(AppId a, UserId u, acl::Version v) : app(a), user(u), version(v) {}
+
+  std::string type_name() const override { return "RevokeNotify"; }
+  std::size_t wire_size() const override { return 40; }
+};
+
+/// Application host -> manager: stops the revoke retransmission loop.
+struct RevokeNotifyAck final : net::Message {
+  AppId app{};
+  UserId user{};
+  acl::Version version{};
+
+  RevokeNotifyAck(AppId a, UserId u, acl::Version v) : app(a), user(u), version(v) {}
+
+  std::string type_name() const override { return "RevokeNotifyAck"; }
+  std::size_t wire_size() const override { return 40; }
+};
+
+/// Manager -> manager: persistent dissemination of one ACL update.
+struct UpdateMsg final : net::Message {
+  AppId app{};
+  acl::AclUpdate update{};
+  std::uint64_t txn_id = 0;
+
+  UpdateMsg(AppId a, acl::AclUpdate u, std::uint64_t t)
+      : app(a), update(u), txn_id(t) {}
+
+  std::string type_name() const override { return "UpdateMsg"; }
+  std::size_t wire_size() const override { return 56; }
+};
+
+/// Manager -> manager: acknowledges an UpdateMsg.
+struct UpdateAck final : net::Message {
+  AppId app{};
+  std::uint64_t txn_id = 0;
+
+  UpdateAck(AppId a, std::uint64_t t) : app(a), txn_id(t) {}
+
+  std::string type_name() const override { return "UpdateAck"; }
+  std::size_t wire_size() const override { return 24; }
+};
+
+/// Manager -> manager: version read for the pre-write quorum. Before issuing
+/// an update, a manager reads the freshest version from a *check quorum* of
+/// C managers (itself included): any C-subset intersects every completed
+/// update's M-C+1 ack set, so the new update's version strictly dominates
+/// everything already guaranteed — without this read, a revoke issued at a
+/// version-lagging manager could lose the last-writer-wins race against an
+/// older grant and never take effect, silently voiding the Te bound.
+struct VersionQuery final : net::Message {
+  AppId app{};
+  std::uint64_t read_id = 0;
+
+  VersionQuery(AppId a, std::uint64_t r) : app(a), read_id(r) {}
+
+  std::string type_name() const override { return "VersionQuery"; }
+  std::size_t wire_size() const override { return 24; }
+};
+
+/// Manager -> manager: the responder's freshest store version.
+struct VersionReply final : net::Message {
+  AppId app{};
+  std::uint64_t read_id = 0;
+  acl::Version max_version{};
+
+  VersionReply(AppId a, std::uint64_t r, acl::Version v)
+      : app(a), read_id(r), max_version(v) {}
+
+  std::string type_name() const override { return "VersionReply"; }
+  std::size_t wire_size() const override { return 32; }
+};
+
+/// Recovering manager -> peer: "send me your ACL for `app`" (§3.4).
+struct SyncRequest final : net::Message {
+  AppId app{};
+  std::uint64_t sync_id = 0;
+
+  SyncRequest(AppId a, std::uint64_t s) : app(a), sync_id(s) {}
+
+  std::string type_name() const override { return "SyncRequest"; }
+  std::size_t wire_size() const override { return 24; }
+};
+
+/// Peer -> recovering manager: full ACL snapshot.
+struct SyncResponse final : net::Message {
+  AppId app{};
+  std::uint64_t sync_id = 0;
+  std::vector<acl::AclUpdate> snapshot;
+
+  SyncResponse(AppId a, std::uint64_t s, std::vector<acl::AclUpdate> snap)
+      : app(a), sync_id(s), snapshot(std::move(snap)) {}
+
+  std::string type_name() const override { return "SyncResponse"; }
+  std::size_t wire_size() const override { return 24 + snapshot.size() * 32; }
+};
+
+/// Manager <-> manager liveness probes for the freeze strategy (§3.3).
+struct HeartbeatPing final : net::Message {
+  AppId app{};
+  std::uint64_t seq = 0;
+
+  HeartbeatPing(AppId a, std::uint64_t s) : app(a), seq(s) {}
+
+  std::string type_name() const override { return "HeartbeatPing"; }
+  std::size_t wire_size() const override { return 24; }
+};
+
+struct HeartbeatPong final : net::Message {
+  AppId app{};
+  std::uint64_t seq = 0;
+
+  HeartbeatPong(AppId a, std::uint64_t s) : app(a), seq(s) {}
+
+  std::string type_name() const override { return "HeartbeatPong"; }
+  std::size_t wire_size() const override { return 24; }
+};
+
+}  // namespace wan::proto

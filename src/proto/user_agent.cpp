@@ -1,0 +1,90 @@
+#include "proto/user_agent.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace wan::proto {
+
+UserAgent::UserAgent(HostId endpoint, UserId user, auth::KeyPair keys,
+                     sim::Scheduler& sched, net::Network& net, Config config)
+    : endpoint_(endpoint),
+      user_(user),
+      keys_(keys),
+      sched_(sched),
+      net_(net),
+      config_(config) {
+  WAN_REQUIRE(config_.reply_timeout > sim::Duration{});
+  WAN_REQUIRE(config_.max_hosts >= 1);
+}
+
+void UserAgent::invoke(AppId app, std::vector<HostId> hosts,
+                       std::string payload,
+                       std::function<void(const InvokeResult&)> done) {
+  WAN_REQUIRE(!hosts.empty());
+  WAN_REQUIRE(done != nullptr);
+  const std::uint64_t request_id = next_request_id_++;
+  auto pending = std::make_unique<Pending>(sched_);
+  pending->app = app;
+  pending->hosts = std::move(hosts);
+  pending->payload = std::move(payload);
+  pending->done = std::move(done);
+  pending->started = sched_.now();
+  pending_.emplace(request_id, std::move(pending));
+  try_next_host(request_id);
+}
+
+void UserAgent::try_next_host(std::uint64_t request_id) {
+  const auto it = pending_.find(request_id);
+  WAN_ASSERT(it != pending_.end());
+  Pending& p = *it->second;
+
+  const int limit =
+      std::min<int>(config_.max_hosts, static_cast<int>(p.hosts.size()));
+  if (p.next_host >= limit) {
+    InvokeResult r;
+    r.ok = false;
+    r.timed_out = true;
+    r.hosts_tried = p.next_host;
+    r.latency = sched_.now() - p.started;
+    finish(request_id, std::move(r));
+    return;
+  }
+
+  const HostId target = p.hosts[static_cast<std::size_t>(p.next_host++)];
+  const std::uint64_t nonce = next_nonce_++;
+  const auth::Signature sig =
+      auth::sign(user_, auth::Authenticator::signed_bytes(p.payload, nonce),
+                 keys_.secret);
+  net_.send(endpoint_, target,
+            net::make_message<InvokeRequest>(p.app, user_, request_id, nonce,
+                                             sig, p.payload));
+  p.timer.arm(config_.reply_timeout,
+              [this, request_id] { try_next_host(request_id); });
+}
+
+void UserAgent::on_message(HostId /*from*/, const net::MessagePtr& msg) {
+  const auto* reply = net::message_cast<InvokeReply>(msg);
+  if (reply == nullptr) return;
+  const auto it = pending_.find(reply->request_id);
+  if (it == pending_.end()) return;  // reply raced a timeout/failover
+  Pending& p = *it->second;
+  InvokeResult r;
+  r.ok = reply->accepted;
+  r.reason = reply->reason;
+  r.result = reply->result;
+  r.hosts_tried = p.next_host;
+  r.latency = sched_.now() - p.started;
+  finish(reply->request_id, std::move(r));
+}
+
+void UserAgent::finish(std::uint64_t request_id, InvokeResult result) {
+  const auto it = pending_.find(request_id);
+  WAN_ASSERT(it != pending_.end());
+  auto pending = std::move(it->second);
+  pending_.erase(it);
+  pending->timer.cancel();
+  pending->done(result);
+}
+
+}  // namespace wan::proto

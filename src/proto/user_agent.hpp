@@ -1,0 +1,83 @@
+// User-side entity: signs and sends Invoke(A) messages, fails over between
+// application hosts, and reports end-to-end outcomes.
+//
+// "If a host in Hosts(A) fails, potential users of the application simply
+// have to locate a new host" (§3.4) — the agent tries candidate hosts in
+// order, moving on when a reply timer lapses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "auth/authenticator.hpp"
+#include "auth/credentials.hpp"
+#include "net/network.hpp"
+#include "proto/messages.hpp"
+#include "sim/timer.hpp"
+
+namespace wan::proto {
+
+/// End-to-end outcome of one user invocation (possibly after failover).
+struct InvokeResult {
+  bool ok = false;
+  bool timed_out = false;      ///< every candidate host timed out
+  DenyReason reason = DenyReason::kNone;
+  std::string result;          ///< application reply payload when ok
+  int hosts_tried = 0;
+  sim::Duration latency{};     ///< request issue -> final outcome
+};
+
+class UserAgent {
+ public:
+  struct Config {
+    sim::Duration reply_timeout = sim::Duration::seconds(5);
+    int max_hosts = 3;  ///< candidate hosts tried before giving up
+  };
+
+  /// `endpoint` is the agent's own network address (users are sites too);
+  /// the key pair must match the public key registered for `user`.
+  UserAgent(HostId endpoint, UserId user, auth::KeyPair keys,
+            sim::Scheduler& sched, net::Network& net, Config config);
+
+  /// Invokes `app` with `payload`, trying `hosts` in order.
+  void invoke(AppId app, std::vector<HostId> hosts, std::string payload,
+              std::function<void(const InvokeResult&)> done);
+
+  /// Network receive entry point.
+  void on_message(HostId from, const net::MessagePtr& msg);
+
+  [[nodiscard]] HostId endpoint() const noexcept { return endpoint_; }
+  [[nodiscard]] UserId user() const noexcept { return user_; }
+
+ private:
+  struct Pending {
+    AppId app{};
+    std::vector<HostId> hosts;
+    std::string payload;
+    std::function<void(const InvokeResult&)> done;
+    int next_host = 0;
+    sim::TimePoint started{};
+    sim::Timer timer;
+
+    explicit Pending(sim::Scheduler& sched) : timer(sched) {}
+  };
+
+  void try_next_host(std::uint64_t request_id);
+  void finish(std::uint64_t request_id, InvokeResult result);
+
+  HostId endpoint_;
+  UserId user_;
+  auth::KeyPair keys_;
+  sim::Scheduler& sched_;
+  net::Network& net_;
+  Config config_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t next_nonce_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Pending>> pending_;
+};
+
+}  // namespace wan::proto

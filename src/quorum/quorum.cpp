@@ -1,0 +1,29 @@
+#include "quorum/quorum.hpp"
+
+namespace wan::quorum {
+
+QuorumConfig::QuorumConfig(int managers, int check_quorum)
+    : m_(managers), c_(check_quorum) {
+  WAN_REQUIRE(managers >= 1);
+  WAN_REQUIRE(check_quorum >= 1 && check_quorum <= managers);
+  WAN_ASSERT(intersects(m_, c_, update_quorum()));
+}
+
+bool QuorumTracker::record(HostId member) {
+  if (reached()) {
+    members_.insert(member);
+    if (members_.size() > order_.size()) order_.push_back(member);
+    return false;
+  }
+  const auto [_, inserted] = members_.insert(member);
+  if (!inserted) return false;
+  order_.push_back(member);
+  return reached();
+}
+
+void QuorumTracker::reset() {
+  members_.clear();
+  order_.clear();
+}
+
+}  // namespace wan::quorum

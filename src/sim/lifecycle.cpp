@@ -1,0 +1,35 @@
+#include "sim/lifecycle.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace wan::sim {
+
+void CrashRecoveryProcess::start(std::function<void()> on_crash,
+                                 std::function<void()> on_recover) {
+  WAN_REQUIRE(config_.mttf > Duration{});
+  WAN_REQUIRE(config_.mttr > Duration{});
+  on_crash_ = std::move(on_crash);
+  on_recover_ = std::move(on_recover);
+  up_ = true;
+  schedule_next();
+}
+
+void CrashRecoveryProcess::schedule_next() {
+  const double mean =
+      up_ ? config_.mttf.to_seconds() : config_.mttr.to_seconds();
+  const Duration wait = Duration::from_seconds(rng_.next_exponential(mean));
+  timer_.arm(wait, [this] {
+    up_ = !up_;
+    if (up_) {
+      if (on_recover_) on_recover_();
+    } else {
+      ++crashes_;
+      if (on_crash_) on_crash_();
+    }
+    schedule_next();
+  });
+}
+
+}  // namespace wan::sim

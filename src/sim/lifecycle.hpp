@@ -1,0 +1,61 @@
+// Host crash/recovery lifecycle process.
+//
+// The paper assumes individual host failures are relatively rare (MTTF on the
+// order of weeks, citing the Long/Muir/Golding Internet reliability survey)
+// but must be tolerated: a crashed host loses its volatile ACL cache and
+// re-initializes it on recovery (§3.4). This process drives up/down
+// transitions with exponentially distributed time-to-failure and time-to-
+// repair, invoking the owner's crash/recover callbacks.
+#pragma once
+
+#include <functional>
+
+#include "sim/scheduler.hpp"
+#include "sim/timer.hpp"
+#include "util/rng.hpp"
+
+namespace wan::sim {
+
+/// Alternating renewal process: UP --(TTF ~ Exp(mttf))--> DOWN
+///                               DOWN --(TTR ~ Exp(mttr))--> UP.
+class CrashRecoveryProcess {
+ public:
+  struct Config {
+    Duration mttf = Duration::hours(24 * 21);  ///< mean time to failure
+    Duration mttr = Duration::minutes(30);     ///< mean time to repair
+  };
+
+  CrashRecoveryProcess(Scheduler& sched, Rng rng, Config config)
+      : sched_(sched), rng_(rng), config_(config), timer_(sched) {}
+
+  /// Starts the process in the UP state. `on_crash` / `on_recover` fire on
+  /// each transition; the entity starts up without a callback.
+  void start(std::function<void()> on_crash, std::function<void()> on_recover);
+
+  /// Stops driving transitions (state freezes as-is).
+  void stop() noexcept { timer_.cancel(); }
+
+  [[nodiscard]] bool up() const noexcept { return up_; }
+  [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+
+  /// Stationary availability of this process, mttf / (mttf + mttr).
+  [[nodiscard]] double stationary_availability() const noexcept {
+    const double f = config_.mttf.to_seconds();
+    const double r = config_.mttr.to_seconds();
+    return f / (f + r);
+  }
+
+ private:
+  void schedule_next();
+
+  Scheduler& sched_;
+  Rng rng_;
+  Config config_;
+  Timer timer_;
+  bool up_ = true;
+  std::uint64_t crashes_ = 0;
+  std::function<void()> on_crash_;
+  std::function<void()> on_recover_;
+};
+
+}  // namespace wan::sim

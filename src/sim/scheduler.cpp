@@ -1,0 +1,60 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace wan::sim {
+
+EventHandle Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
+  WAN_REQUIRE(fn != nullptr);
+  WAN_REQUIRE(at >= now_);
+  auto cancelled = std::make_shared<bool>(false);
+  EventHandle handle{std::weak_ptr<bool>(cancelled)};
+  queue_.push(Entry{at, next_seq_++, std::move(fn), std::move(cancelled)});
+  return handle;
+}
+
+EventHandle Scheduler::schedule_after(Duration delay, std::function<void()> fn) {
+  WAN_REQUIRE(!delay.is_negative());
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::pop_and_run() {
+  // `const_cast` because priority_queue::top() is const; the entry is moved
+  // out and popped before the callback runs, so re-entrant scheduling is safe.
+  auto& top = const_cast<Entry&>(queue_.top());
+  Entry entry = std::move(top);
+  queue_.pop();
+  if (*entry.cancelled) return false;
+  now_ = entry.at;
+  ++executed_;
+  entry.fn();
+  return true;
+}
+
+std::uint64_t Scheduler::run_until(TimePoint deadline) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    if (pop_and_run()) ++ran;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return ran;
+}
+
+std::uint64_t Scheduler::run_all() {
+  std::uint64_t ran = 0;
+  while (!queue_.empty()) {
+    if (pop_and_run()) ++ran;
+  }
+  return ran;
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    if (pop_and_run()) return true;
+  }
+  return false;
+}
+
+}  // namespace wan::sim

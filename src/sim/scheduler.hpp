@@ -1,0 +1,99 @@
+// Deterministic discrete-event scheduler.
+//
+// The whole system — network deliveries, protocol timers, workload arrivals,
+// partition transitions, host crashes — runs as callbacks ordered by
+// (time, insertion sequence). Ties in time are broken by insertion order,
+// which together with seeded RNG streams makes every run bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wan::sim {
+
+/// Handle to a scheduled event; allows cancellation. Cheap to copy.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void cancel() noexcept {
+    if (auto p = flag_.lock()) *p = true;
+  }
+
+  /// True if the handle refers to an event that is still pending.
+  [[nodiscard]] bool pending() const noexcept {
+    auto p = flag_.lock();
+    return p != nullptr && !*p;
+  }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::weak_ptr<bool> flag) : flag_(std::move(flag)) {}
+  std::weak_ptr<bool> flag_;
+};
+
+/// Single-threaded event loop over simulated time.
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated real time.
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (>= now).
+  EventHandle schedule_at(TimePoint at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` from now (delay >= 0).
+  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Runs events until the queue is empty or `deadline` is passed; the clock
+  /// is left at min(deadline, time of last event). Returns events executed.
+  std::uint64_t run_until(TimePoint deadline);
+
+  /// Runs for `span` of simulated time from now.
+  std::uint64_t run_for(Duration span) { return run_until(now_ + span); }
+
+  /// Runs until the queue is completely drained. Returns events executed.
+  std::uint64_t run_all();
+
+  /// Executes exactly one event if any is pending. Returns whether one ran.
+  bool step();
+
+  /// Number of events currently queued (including cancelled ones not yet
+  /// reaped; cancelled events are skipped, not executed).
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  /// Total events executed since construction (excludes cancelled).
+  [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace wan::sim

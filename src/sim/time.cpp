@@ -1,0 +1,28 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace wan::sim {
+
+Duration Duration::from_seconds(double s) noexcept {
+  return Duration(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+std::string to_string(Duration d) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6fs", d.to_seconds());
+  return buf;
+}
+
+std::string to_string(TimePoint t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "t+%.6fs", t.to_seconds());
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << to_string(d); }
+std::ostream& operator<<(std::ostream& os, TimePoint t) { return os << to_string(t); }
+
+}  // namespace wan::sim

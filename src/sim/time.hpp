@@ -1,0 +1,84 @@
+// Simulation time.
+//
+// Real ("perfect") time in the simulation is a strong 64-bit count of
+// nanoseconds. All protocol time bounds (Te, te, Ti, timeouts) are Durations;
+// instants are TimePoints. Local *drifting* clocks (src/clock) map real
+// TimePoints to per-host LocalTime values — the distinction is load-bearing:
+// the paper's revocation guarantee is stated in real time but enforced with
+// local clocks, and mixing the two up is exactly the bug class the strong
+// types prevent.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace wan::sim {
+
+/// A span of simulated real time (nanosecond resolution, signed).
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+  static constexpr Duration nanos(std::int64_t n) noexcept { return Duration(n); }
+  static constexpr Duration micros(std::int64_t n) noexcept { return Duration(n * 1'000); }
+  static constexpr Duration millis(std::int64_t n) noexcept { return Duration(n * 1'000'000); }
+  static constexpr Duration seconds(std::int64_t n) noexcept { return Duration(n * 1'000'000'000); }
+  static constexpr Duration minutes(std::int64_t n) noexcept { return seconds(n * 60); }
+  static constexpr Duration hours(std::int64_t n) noexcept { return seconds(n * 3600); }
+  /// From floating-point seconds (rounds to nearest nanosecond).
+  static Duration from_seconds(double s) noexcept;
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const noexcept { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_millis() const noexcept { return static_cast<double>(ns_) * 1e-6; }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const noexcept { return ns_ < 0; }
+
+  friend constexpr auto operator<=>(Duration, Duration) noexcept = default;
+  friend constexpr Duration operator+(Duration a, Duration b) noexcept { return Duration(a.ns_ + b.ns_); }
+  friend constexpr Duration operator-(Duration a, Duration b) noexcept { return Duration(a.ns_ - b.ns_); }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) noexcept { return Duration(a.ns_ * k); }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) noexcept { return Duration(a.ns_ * k); }
+  friend Duration operator*(Duration a, double k) noexcept { return from_seconds(a.to_seconds() * k); }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) noexcept { return Duration(a.ns_ / k); }
+  friend constexpr double operator/(Duration a, Duration b) noexcept {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  constexpr Duration& operator+=(Duration d) noexcept { ns_ += d.ns_; return *this; }
+  constexpr Duration& operator-=(Duration d) noexcept { ns_ -= d.ns_; return *this; }
+  constexpr Duration operator-() const noexcept { return Duration(-ns_); }
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant in simulated real time. Time zero is the start of the run.
+class TimePoint {
+ public:
+  constexpr TimePoint() noexcept = default;
+  static constexpr TimePoint from_nanos(std::int64_t ns) noexcept { return TimePoint(ns); }
+  /// The largest representable instant — used as "never".
+  static constexpr TimePoint max() noexcept { return TimePoint(INT64_MAX); }
+
+  [[nodiscard]] constexpr std::int64_t nanos_since_origin() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const noexcept { return static_cast<double>(ns_) * 1e-9; }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) noexcept = default;
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) noexcept { return TimePoint(t.ns_ + d.count_nanos()); }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) noexcept { return TimePoint(t.ns_ - d.count_nanos()); }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) noexcept { return Duration::nanos(a.ns_ - b.ns_); }
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+std::string to_string(Duration d);
+std::string to_string(TimePoint t);
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, TimePoint t);
+
+}  // namespace wan::sim

@@ -1,0 +1,29 @@
+#include "sim/timer.hpp"
+
+#include "util/assert.hpp"
+
+namespace wan::sim {
+
+void PeriodicTimer::start(Duration period, std::function<void()> fn) {
+  start(period, period, std::move(fn));
+}
+
+void PeriodicTimer::start(Duration initial_delay, Duration period,
+                          std::function<void()> fn) {
+  WAN_REQUIRE(period > Duration{});
+  WAN_REQUIRE(fn != nullptr);
+  stop();
+  period_ = period;
+  fn_ = std::move(fn);
+  running_ = true;
+  handle_ = sched_->schedule_after(initial_delay, [this] { fire(); });
+}
+
+void PeriodicTimer::fire() {
+  if (!running_) return;
+  // Re-arm before invoking so the callback may call stop() and win.
+  handle_ = sched_->schedule_after(period_, [this] { fire(); });
+  fn_();
+}
+
+}  // namespace wan::sim

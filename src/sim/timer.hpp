@@ -1,0 +1,75 @@
+// RAII timers on top of the scheduler.
+//
+// Protocol modules hold Timers as members; destroying the module cancels all
+// its pending callbacks, which is what makes crash/recovery (§3.4) safe to
+// model by tearing the module down and rebuilding it.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/scheduler.hpp"
+
+namespace wan::sim {
+
+/// One-shot timer. Re-arming cancels the previous shot.
+class Timer {
+ public:
+  explicit Timer(Scheduler& sched) noexcept : sched_(&sched) {}
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  Timer(Timer&& other) noexcept : sched_(other.sched_), handle_(std::move(other.handle_)) {
+    other.handle_ = EventHandle{};
+  }
+  Timer& operator=(Timer&& other) noexcept {
+    if (this != &other) {
+      cancel();
+      sched_ = other.sched_;
+      handle_ = std::move(other.handle_);
+      other.handle_ = EventHandle{};
+    }
+    return *this;
+  }
+
+  /// Arms the timer to fire `delay` from now. Cancels any pending shot.
+  void arm(Duration delay, std::function<void()> fn) {
+    cancel();
+    handle_ = sched_->schedule_after(delay, std::move(fn));
+  }
+
+  void cancel() noexcept { handle_.cancel(); }
+  [[nodiscard]] bool pending() const noexcept { return handle_.pending(); }
+
+ private:
+  Scheduler* sched_;
+  EventHandle handle_;
+};
+
+/// Periodic timer: fires every `period` until stopped or destroyed.
+class PeriodicTimer {
+ public:
+  explicit PeriodicTimer(Scheduler& sched) noexcept : sched_(&sched) {}
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Starts firing `fn` every `period`, first shot after `period` (or after
+  /// `initial_delay` if given). Restarting cancels the previous schedule.
+  void start(Duration period, std::function<void()> fn);
+  void start(Duration initial_delay, Duration period, std::function<void()> fn);
+
+  void stop() noexcept { handle_.cancel(); running_ = false; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+ private:
+  void fire();
+
+  Scheduler* sched_;
+  EventHandle handle_;
+  Duration period_{};
+  std::function<void()> fn_;
+  bool running_ = false;
+};
+
+}  // namespace wan::sim

@@ -1,0 +1,30 @@
+// Lightweight contract checks, active in all build types.
+//
+// The simulator is deterministic, so a violated invariant is always
+// reproducible from the run seed; failing fast with context is worth far more
+// than the nanoseconds saved by compiling checks out.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wan::detail {
+[[noreturn]] inline void assert_fail(const char* kind, const char* expr,
+                                     const char* file, int line) {
+  std::fprintf(stderr, "[wan] %s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+}  // namespace wan::detail
+
+/// Internal invariant: "this cannot happen unless the library has a bug".
+#define WAN_ASSERT(expr) \
+  ((expr) ? (void)0 : ::wan::detail::assert_fail("assertion", #expr, __FILE__, __LINE__))
+
+/// Precondition on a public API: "the caller handed us nonsense".
+#define WAN_REQUIRE(expr) \
+  ((expr) ? (void)0 : ::wan::detail::assert_fail("precondition", #expr, __FILE__, __LINE__))
+
+/// Marks unreachable control flow.
+#define WAN_UNREACHABLE(msg) \
+  ::wan::detail::assert_fail("unreachable", msg, __FILE__, __LINE__)

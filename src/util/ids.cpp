@@ -1,0 +1,24 @@
+#include "util/ids.hpp"
+
+#include <ostream>
+
+namespace wan {
+
+namespace {
+std::string render(const char* prefix, std::uint32_t v, bool valid) {
+  std::string out = prefix;
+  out += '#';
+  out += valid ? std::to_string(v) : std::string("invalid");
+  return out;
+}
+}  // namespace
+
+std::string to_string(HostId id) { return render("host", id.value(), id.valid()); }
+std::string to_string(UserId id) { return render("user", id.value(), id.valid()); }
+std::string to_string(AppId id) { return render("app", id.value(), id.valid()); }
+
+std::ostream& operator<<(std::ostream& os, HostId id) { return os << to_string(id); }
+std::ostream& operator<<(std::ostream& os, UserId id) { return os << to_string(id); }
+std::ostream& operator<<(std::ostream& os, AppId id) { return os << to_string(id); }
+
+}  // namespace wan

@@ -1,0 +1,70 @@
+// Strong identifier types used throughout the library.
+//
+// The paper's model names three kinds of principals: hosts (sites running a
+// replicated application), users (principals that invoke applications), and
+// applications themselves. Managers are ordinary hosts that additionally run
+// the manager portion of the protocol, so they are identified by HostId.
+//
+// A dedicated strong type per identifier prevents the classic bug of passing
+// a user id where a host id is expected (everything is an integer underneath).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace wan {
+
+/// CRTP-free strong integer id. `Tag` makes distinct instantiations
+/// incompatible; the underlying value is accessible for formatting and
+/// container indexing but never converts implicitly.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  /// Sentinel "no id" value; default-constructed ids are invalid.
+  static constexpr underlying_type kInvalid = ~underlying_type{0};
+
+  constexpr StrongId() noexcept = default;
+  constexpr explicit StrongId(underlying_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) noexcept = default;
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct HostIdTag {};
+struct UserIdTag {};
+struct AppIdTag {};
+
+/// Identifies a site (application host or manager host) in the system.
+using HostId = StrongId<HostIdTag>;
+/// Identifies a user principal (the paper assumes unique user ids).
+using UserId = StrongId<UserIdTag>;
+/// Identifies a distributed application A.
+using AppId = StrongId<AppIdTag>;
+
+/// Human-readable rendering, e.g. "host#3", used in logs and test failures.
+std::string to_string(HostId id);
+std::string to_string(UserId id);
+std::string to_string(AppId id);
+
+std::ostream& operator<<(std::ostream& os, HostId id);
+std::ostream& operator<<(std::ostream& os, UserId id);
+std::ostream& operator<<(std::ostream& os, AppId id);
+
+}  // namespace wan
+
+template <typename Tag>
+struct std::hash<wan::StrongId<Tag>> {
+  std::size_t operator()(wan::StrongId<Tag> id) const noexcept {
+    return std::hash<typename wan::StrongId<Tag>::underlying_type>{}(id.value());
+  }
+};

@@ -1,0 +1,62 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace wan::log {
+
+namespace {
+
+Level g_level = Level::kOff;
+Sink g_sink;  // empty -> stderr
+std::function<double()> g_time_source;
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Level level() noexcept { return g_level; }
+void set_level(Level lvl) noexcept { g_level = lvl; }
+
+void set_sink(Sink sink) { g_sink = std::move(sink); }
+void reset_sink() { g_sink = nullptr; }
+
+void set_time_source(std::function<double()> source) { g_time_source = std::move(source); }
+void clear_time_source() { g_time_source = nullptr; }
+
+namespace detail {
+
+void emit(Level lvl, std::string msg) {
+  if (lvl < g_level) return;
+  std::string line;
+  line.reserve(msg.size() + 32);
+  line += '[';
+  line += level_name(lvl);
+  line += ']';
+  if (g_time_source) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " t=%.6f", g_time_source());
+    line += buf;
+  }
+  line += ' ';
+  line += msg;
+  if (g_sink) {
+    g_sink(lvl, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace detail
+
+}  // namespace wan::log

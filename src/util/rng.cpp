@@ -1,0 +1,39 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace wan {
+
+double Rng::next_exponential(double mean) noexcept {
+  WAN_ASSERT(mean > 0.0);
+  // Avoid log(0): next_double() is in [0,1), so 1-u is in (0,1].
+  const double u = next_double();
+  return -mean * std::log1p(-u);
+}
+
+double Rng::next_normal(double mean, double stddev) noexcept {
+  WAN_ASSERT(stddev >= 0.0);
+  double u1 = next_double();
+  while (u1 <= 0.0) u1 = next_double();
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+std::size_t weighted_pick(Rng& rng, const double* weights, std::size_t n) {
+  WAN_REQUIRE(n > 0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    WAN_REQUIRE(weights[i] >= 0.0);
+    total += weights[i];
+  }
+  WAN_REQUIRE(total > 0.0);
+  double x = rng.next_double() * total;
+  for (std::size_t i = 0; i < n; ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return n - 1;  // floating-point slop: the last positive-weight bucket
+}
+
+}  // namespace wan

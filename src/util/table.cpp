@@ -1,0 +1,109 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace wan {
+
+void Table::set_header(std::vector<std::string> header) {
+  WAN_REQUIRE(!header.empty());
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) WAN_REQUIRE(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt(std::int64_t v) { return std::to_string(v); }
+std::string Table::fmt(std::uint64_t v) { return std::to_string(v); }
+
+std::string Table::render() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << cell << std::string(width[i] - cell.size(), ' ');
+      os << (i + 1 < cols ? " | " : " |");
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    os << '|';
+    for (std::size_t i = 0; i < cols; ++i)
+      os << std::string(width[i] + 2, '-') << '|';
+    os << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string render_ascii_chart(const std::string& title,
+                               const std::vector<AsciiChartSeries>& series,
+                               int height) {
+  WAN_REQUIRE(height >= 2);
+  std::size_t n = 0;
+  for (const auto& s : series) n = std::max(n, s.values.size());
+  if (n == 0) return title + "\n(no data)\n";
+
+  // Grid: `height` rows from y=1 (top) to y=0 (bottom), 4 columns per x step.
+  const int step = 4;
+  const std::size_t cols = n * step;
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(cols, ' '));
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+      double y = std::clamp(s.values[i], 0.0, 1.0);
+      auto row = static_cast<int>((1.0 - y) * (height - 1) + 0.5);
+      std::size_t col = i * step + step / 2;
+      char& cell = grid[static_cast<std::size_t>(row)][col];
+      cell = (cell == ' ' || cell == s.marker) ? s.marker : '+';
+    }
+  }
+
+  std::ostringstream os;
+  os << title << '\n';
+  for (int r = 0; r < height; ++r) {
+    const double y = 1.0 - static_cast<double>(r) / (height - 1);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%4.2f |", y);
+    os << label << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << "     +" << std::string(cols, '-') << '\n';
+  os << "      ";
+  for (std::size_t i = 0; i < n; ++i) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%-4zu", i + 1);
+    os << label;
+  }
+  os << "(C)\n";
+  for (const auto& s : series)
+    os << "      " << s.marker << " = " << s.name << '\n';
+  return os.str();
+}
+
+}  // namespace wan

@@ -1,0 +1,56 @@
+// ASCII table rendering for the benchmark harnesses.
+//
+// Every bench binary reproduces one of the paper's tables or figures; this
+// helper prints aligned, paper-style tables (and simple ASCII line charts for
+// Figure 5) so the output can be compared against the publication directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wan {
+
+/// Column-aligned ASCII table with an optional title and column headers.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row; defines the number of columns.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width if one was set.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string fmt(double v, int precision = 5);
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(std::uint64_t v);
+
+  /// Renders the table (header, separator, rows) as a string.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders directly to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders series as an ASCII line chart (used for Figure 5). Each series is
+/// a vector of y values sampled at x = 1..n; y is expected in [0, 1].
+struct AsciiChartSeries {
+  std::string name;
+  char marker = '*';
+  std::vector<double> values;
+};
+
+std::string render_ascii_chart(const std::string& title,
+                               const std::vector<AsciiChartSeries>& series,
+                               int height = 20);
+
+}  // namespace wan

@@ -1,0 +1,46 @@
+#include "workload/probes.hpp"
+
+#include "util/assert.hpp"
+
+namespace wan::workload {
+
+QuorumProbe::QuorumProbe(Scenario& scenario, int check_quorum,
+                         sim::Duration interval)
+    : scenario_(scenario),
+      check_quorum_(check_quorum),
+      interval_(interval),
+      timer_(scenario.scheduler()) {
+  WAN_REQUIRE(check_quorum >= 1 && check_quorum <= scenario.manager_count());
+  WAN_REQUIRE(interval > sim::Duration{});
+}
+
+void QuorumProbe::start() {
+  timer_.arm(interval_, [this] {
+    sample();
+    start();
+  });
+}
+
+void QuorumProbe::sample() {
+  ++result_.samples;
+  const auto& managers = scenario_.manager_ids();
+  const int m = static_cast<int>(managers.size());
+  const HostId probe_host = scenario_.host_ids().front();
+
+  int reachable_from_host = 0;
+  for (const HostId mgr : managers) {
+    if (scenario_.network().reachable(probe_host, mgr)) ++reachable_from_host;
+  }
+  if (reachable_from_host >= check_quorum_) ++result_.check_quorum_ok;
+
+  const HostId issuer = managers[static_cast<std::size_t>(issuer_rotate_)];
+  issuer_rotate_ = (issuer_rotate_ + 1) % m;
+  int reachable_peers = 0;
+  for (const HostId peer : managers) {
+    if (peer != issuer && scenario_.network().reachable(issuer, peer))
+      ++reachable_peers;
+  }
+  if (reachable_peers >= m - check_quorum_) ++result_.update_quorum_ok;
+}
+
+}  // namespace wan::workload

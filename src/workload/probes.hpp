@@ -1,0 +1,60 @@
+// Connectivity probes: the direct empirical counterpart of §4.1's PA/PS.
+//
+// The analytic model asks two instantaneous questions — "can this host reach
+// at least C of the M managers?" and "can this manager reach at least M-C of
+// its M-1 peers?" — under stationary pairwise inaccessibility Pi. The probe
+// samples exactly those predicates from the live partition model at Poisson
+// instants, yielding measured PA/PS columns to print beside the closed-form
+// ones in Tables 1-2 and Figure 5.
+//
+// (The full protocol adds timeouts, retries and caching on top; benches that
+// measure protocol-level availability use the Driver + Collector instead.)
+#pragma once
+
+#include <cstdint>
+
+#include "sim/timer.hpp"
+#include "workload/scenario.hpp"
+
+namespace wan::workload {
+
+class QuorumProbe {
+ public:
+  struct Result {
+    std::uint64_t samples = 0;
+    std::uint64_t check_quorum_ok = 0;   ///< host saw >= C managers
+    std::uint64_t update_quorum_ok = 0;  ///< manager saw >= M-C peers
+
+    [[nodiscard]] double pa() const noexcept {
+      return samples == 0 ? 0.0
+                          : static_cast<double>(check_quorum_ok) /
+                                static_cast<double>(samples);
+    }
+    [[nodiscard]] double ps() const noexcept {
+      return samples == 0 ? 0.0
+                          : static_cast<double>(update_quorum_ok) /
+                                static_cast<double>(samples);
+    }
+  };
+
+  /// Probes from app host 0 (PA) and from a rotating issuing manager (PS),
+  /// every `interval` of simulated time.
+  QuorumProbe(Scenario& scenario, int check_quorum, sim::Duration interval);
+
+  void start();
+  void stop() { timer_.cancel(); }
+
+  [[nodiscard]] const Result& result() const noexcept { return result_; }
+
+ private:
+  void sample();
+
+  Scenario& scenario_;
+  int check_quorum_;
+  sim::Duration interval_;
+  sim::Timer timer_;
+  Result result_;
+  int issuer_rotate_ = 0;
+};
+
+}  // namespace wan::workload

@@ -1,0 +1,271 @@
+// Unit + property tests for rights, versions, the authoritative store
+// (last-writer-wins convergence), and the host-side cache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "acl/cache.hpp"
+#include "acl/store.hpp"
+#include "util/rng.hpp"
+
+namespace wan::acl {
+namespace {
+
+using clk::LocalTime;
+using sim::Duration;
+
+TEST(RightSet, AddRemoveHas) {
+  RightSet s;
+  EXPECT_TRUE(s.empty());
+  s.add(Right::kUse);
+  EXPECT_TRUE(s.has(Right::kUse));
+  EXPECT_FALSE(s.has(Right::kManage));
+  s.add(Right::kManage);
+  EXPECT_EQ(s, RightSet::both());
+  s.remove(Right::kUse);
+  EXPECT_FALSE(s.has(Right::kUse));
+  EXPECT_TRUE(s.has(Right::kManage));
+}
+
+TEST(RightSet, ToString) {
+  EXPECT_EQ(RightSet{}.to_string(), "{}");
+  EXPECT_EQ(RightSet(Right::kUse).to_string(), "{use}");
+  EXPECT_EQ(RightSet::both().to_string(), "{use,manage}");
+}
+
+TEST(Version, TotalOrder) {
+  const Version a{1, HostId(1)};
+  const Version b{1, HostId(2)};
+  const Version c{2, HostId(1)};
+  EXPECT_LT(a, b);  // tie on counter -> manager id breaks
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+  EXPECT_TRUE(Version{}.initial());
+  EXPECT_LT(Version{}, a);
+}
+
+TEST(Version, NextDominates) {
+  const Version v{7, HostId(3)};
+  const Version n = v.next(HostId(1));
+  EXPECT_GT(n, v);
+  EXPECT_EQ(n.origin, HostId(1));
+}
+
+TEST(AclStore, ApplyAndCheck) {
+  AclStore store;
+  EXPECT_FALSE(store.check(UserId(1), Right::kUse));
+  store.apply({UserId(1), Right::kUse, Op::kAdd, {1, HostId(0)}});
+  EXPECT_TRUE(store.check(UserId(1), Right::kUse));
+  EXPECT_FALSE(store.check(UserId(1), Right::kManage));
+  EXPECT_FALSE(store.check(UserId(2), Right::kUse));
+}
+
+TEST(AclStore, StaleUpdateIgnored) {
+  AclStore store;
+  EXPECT_TRUE(store.apply({UserId(1), Right::kUse, Op::kAdd, {5, HostId(0)}}));
+  EXPECT_FALSE(store.apply({UserId(1), Right::kUse, Op::kRevoke, {3, HostId(0)}}));
+  EXPECT_TRUE(store.check(UserId(1), Right::kUse));
+}
+
+TEST(AclStore, EqualVersionIgnored) {
+  AclStore store;
+  const AclUpdate u{UserId(1), Right::kUse, Op::kAdd, {5, HostId(0)}};
+  EXPECT_TRUE(store.apply(u));
+  EXPECT_FALSE(store.apply(u));  // idempotent
+}
+
+TEST(AclStore, RightsAreIndependentRegisters) {
+  AclStore store;
+  store.apply({UserId(1), Right::kUse, Op::kAdd, {1, HostId(0)}});
+  store.apply({UserId(1), Right::kManage, Op::kAdd, {2, HostId(0)}});
+  store.apply({UserId(1), Right::kUse, Op::kRevoke, {3, HostId(0)}});
+  EXPECT_FALSE(store.check(UserId(1), Right::kUse));
+  EXPECT_TRUE(store.check(UserId(1), Right::kManage));
+}
+
+TEST(AclStore, MaxVersionTracksEverything) {
+  AclStore store;
+  store.apply({UserId(1), Right::kUse, Op::kAdd, {9, HostId(2)}});
+  store.apply({UserId(2), Right::kUse, Op::kAdd, {4, HostId(1)}});
+  EXPECT_EQ(store.max_version().counter, 9u);
+  const Version next = store.max_version().next(HostId(5));
+  EXPECT_GT(next, store.max_version());
+}
+
+TEST(AclStore, SnapshotRoundTrip) {
+  AclStore a;
+  a.apply({UserId(1), Right::kUse, Op::kAdd, {1, HostId(0)}});
+  a.apply({UserId(2), Right::kManage, Op::kAdd, {2, HostId(0)}});
+  a.apply({UserId(1), Right::kUse, Op::kRevoke, {3, HostId(1)}});
+  AclStore b;
+  EXPECT_EQ(b.merge(a.snapshot()), 2u);  // 2 registers written
+  EXPECT_FALSE(b.check(UserId(1), Right::kUse));
+  EXPECT_TRUE(b.check(UserId(2), Right::kManage));
+  EXPECT_EQ(b.snapshot(), a.snapshot());
+}
+
+TEST(AclStore, GrantedUsersSorted) {
+  AclStore store;
+  store.apply({UserId(3), Right::kUse, Op::kAdd, {1, HostId(0)}});
+  store.apply({UserId(1), Right::kUse, Op::kAdd, {2, HostId(0)}});
+  store.apply({UserId(2), Right::kUse, Op::kAdd, {3, HostId(0)}});
+  store.apply({UserId(2), Right::kUse, Op::kRevoke, {4, HostId(0)}});
+  EXPECT_EQ(store.granted_users(), (std::vector<UserId>{UserId(1), UserId(3)}));
+}
+
+TEST(AclStore, StateReportsVersion) {
+  AclStore store;
+  EXPECT_FALSE(store.state(UserId(1), Right::kUse).has_value());
+  store.apply({UserId(1), Right::kUse, Op::kAdd, {7, HostId(2)}});
+  const auto st = store.state(UserId(1), Right::kUse);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_TRUE(st->granted);
+  EXPECT_EQ(st->version.counter, 7u);
+}
+
+// Convergence property: applying any permutation of the same update set
+// yields identical stores (the LWW-register CRDT property the recovery sync
+// and anti-entropy baselines rely on).
+class StoreConvergence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StoreConvergence, OrderIndependent) {
+  Rng rng(GetParam());
+  std::vector<AclUpdate> updates;
+  for (int i = 0; i < 60; ++i) {
+    // Unique counters: two distinct updates never carry the same version for
+    // one register (matching how managers actually issue versions).
+    updates.push_back(AclUpdate{
+        UserId(static_cast<std::uint32_t>(rng.next_below(6))),
+        rng.next_bool(0.5) ? Right::kUse : Right::kManage,
+        rng.next_bool(0.5) ? Op::kAdd : Op::kRevoke,
+        Version{static_cast<std::uint64_t>(i) + 1,
+                HostId(static_cast<std::uint32_t>(rng.next_below(3)))}});
+  }
+  AclStore reference;
+  reference.merge(updates);
+
+  for (int perm = 0; perm < 10; ++perm) {
+    // Fisher-Yates with the test RNG.
+    auto shuffled = updates;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.next_below(i)]);
+    }
+    AclStore store;
+    store.merge(shuffled);
+    EXPECT_EQ(store.snapshot(), reference.snapshot());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreConvergence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ------------------------------------------------------------- AclCache
+
+TEST(AclCache, MissThenInsertThenHit) {
+  AclCache cache;
+  const LocalTime t0 = LocalTime::from_nanos(0);
+  EXPECT_FALSE(cache.lookup(UserId(1), t0).has_value());
+  cache.insert(UserId(1), RightSet(Right::kUse), t0 + Duration::seconds(10),
+               Version{1, HostId(0)}, t0);
+  const auto hit = cache.lookup(UserId(1), t0 + Duration::seconds(5));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->rights.has(Right::kUse));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(AclCache, ExpiredEntryRemovedOnLookup) {
+  AclCache cache;
+  const LocalTime t0 = LocalTime::from_nanos(0);
+  cache.insert(UserId(1), RightSet(Right::kUse), t0 + Duration::seconds(10),
+               Version{1, HostId(0)}, t0);
+  EXPECT_FALSE(cache.lookup(UserId(1), t0 + Duration::seconds(10)).has_value());
+  EXPECT_EQ(cache.stats().expired, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(AclCache, ExpiryBoundaryIsExclusive) {
+  AclCache cache;
+  const LocalTime t0 = LocalTime::from_nanos(0);
+  const LocalTime limit = t0 + Duration::seconds(10);
+  cache.insert(UserId(1), RightSet(Right::kUse), limit, Version{1, HostId(0)}, t0);
+  // One nanosecond before the limit: valid.
+  EXPECT_TRUE(cache.lookup(UserId(1), limit - Duration::nanos(1)).has_value());
+  // At the limit: expired.
+  EXPECT_FALSE(cache.lookup(UserId(1), limit).has_value());
+}
+
+TEST(AclCache, RevokeFlushIsNoOpWhenAbsent) {
+  AclCache cache;
+  cache.remove_on_revoke(UserId(1));  // "equivalent to a no-op" (Fig. 2)
+  EXPECT_EQ(cache.stats().revoke_flushes, 0u);
+  const LocalTime t0 = LocalTime::from_nanos(0);
+  cache.insert(UserId(1), RightSet(Right::kUse), t0 + Duration::seconds(10),
+               Version{1, HostId(0)}, t0);
+  cache.remove_on_revoke(UserId(1));
+  EXPECT_EQ(cache.stats().revoke_flushes, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(AclCache, InsertOverwrites) {
+  AclCache cache;
+  const LocalTime t0 = LocalTime::from_nanos(0);
+  cache.insert(UserId(1), RightSet(Right::kUse), t0 + Duration::seconds(1),
+               Version{1, HostId(0)}, t0);
+  cache.insert(UserId(1), RightSet::both(), t0 + Duration::seconds(20),
+               Version{2, HostId(0)}, t0);
+  const auto e = cache.lookup(UserId(1), t0 + Duration::seconds(10));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e->rights.has(Right::kManage));
+  EXPECT_EQ(e->version.counter, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(AclCache, SweepRemovesExpiredAndIdle) {
+  AclCache cache;
+  const LocalTime t0 = LocalTime::from_nanos(0);
+  // Expired entry.
+  cache.insert(UserId(1), RightSet(Right::kUse), t0 + Duration::seconds(5),
+               Version{1, HostId(0)}, t0);
+  // Live but idle entry.
+  cache.insert(UserId(2), RightSet(Right::kUse), t0 + Duration::hours(2),
+               Version{1, HostId(0)}, t0);
+  // Live and recently used entry.
+  cache.insert(UserId(3), RightSet(Right::kUse), t0 + Duration::hours(2),
+               Version{1, HostId(0)}, t0);
+  cache.lookup(UserId(3), t0 + Duration::minutes(29));
+
+  const std::size_t removed =
+      cache.sweep(t0 + Duration::minutes(30), Duration::minutes(30));
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(cache.cached_users(), (std::vector<UserId>{UserId(3)}));
+  EXPECT_EQ(cache.stats().expired, 1u);
+  EXPECT_EQ(cache.stats().idle_evictions, 1u);
+}
+
+TEST(AclCache, ClearDropsEverything) {
+  AclCache cache;
+  const LocalTime t0 = LocalTime::from_nanos(0);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    cache.insert(UserId(i), RightSet(Right::kUse), t0 + Duration::hours(1),
+                 Version{1, HostId(0)}, t0);
+  }
+  EXPECT_EQ(cache.size(), 10u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(AclCache, PeekDoesNotTouchStats) {
+  AclCache cache;
+  const LocalTime t0 = LocalTime::from_nanos(0);
+  cache.insert(UserId(1), RightSet(Right::kUse), t0 + Duration::seconds(1),
+               Version{1, HostId(0)}, t0);
+  EXPECT_TRUE(cache.peek(UserId(1)).has_value());
+  EXPECT_FALSE(cache.peek(UserId(2)).has_value());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace wan::acl

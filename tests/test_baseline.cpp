@@ -1,0 +1,214 @@
+// Behavioural tests for the three baseline designs — and the contrasts with
+// the paper's protocol that §3/§4.2 claim.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "baseline/baseline_system.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wan::baseline {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+struct BaselineFixture : ::testing::Test {
+  sim::Scheduler sched;
+  std::shared_ptr<net::ScriptedPartitions> partitions =
+      std::make_shared<net::ScriptedPartitions>();
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<BaselineSystem> sys;
+  std::vector<HostId> mgr_ids{HostId(0), HostId(1), HostId(2)};
+  std::vector<HostId> host_ids{HostId(100), HostId(101)};
+
+  void build(Kind kind) {
+    net::Network::Config ncfg;
+    ncfg.latency = std::make_unique<net::ConstantLatency>(Duration::millis(10));
+    ncfg.partitions = partitions;
+    net = std::make_unique<net::Network>(sched, Rng(1), std::move(ncfg));
+    BaselineConfig cfg;
+    cfg.kind = kind;
+    cfg.managers = 3;
+    cfg.app_hosts = 2;
+    cfg.gossip_period = Duration::seconds(10);
+    sys = std::make_unique<BaselineSystem>(sched, *net, AppId(1), mgr_ids,
+                                           host_ids, cfg);
+    net->start();
+  }
+
+  bool run_check(int host, UserId user,
+                 Duration window = Duration::seconds(30)) {
+    std::optional<bool> allowed;
+    sys->check(host, user, [&](const BaselineDecision& d) { allowed = d.allowed; });
+    sched.run_until(sched.now() + window);
+    EXPECT_TRUE(allowed.has_value());
+    return allowed.value_or(false);
+  }
+};
+
+// ---------------------------------------------------------- full replication
+
+TEST_F(BaselineFixture, FullReplicationChecksAreLocalAndInstant) {
+  build(Kind::kFullReplication);
+  sys->grant(UserId(1));
+  sched.run_until(sched.now() + Duration::seconds(5));
+
+  std::optional<BaselineDecision> d;
+  sys->check(0, UserId(1), [&](const BaselineDecision& dec) { d = dec; });
+  ASSERT_TRUE(d.has_value());  // synchronous: no scheduler run needed
+  EXPECT_TRUE(d->allowed);
+  EXPECT_EQ(d->latency().count_nanos(), 0);
+}
+
+TEST_F(BaselineFixture, FullReplicationPropagatesToAllReplicas) {
+  build(Kind::kFullReplication);
+  sys->grant(UserId(1));
+  sched.run_until(sched.now() + Duration::seconds(5));
+  for (int h = 0; h < 2; ++h) {
+    EXPECT_TRUE(sys->host_store(h).check(UserId(1), acl::Right::kUse));
+  }
+  sys->revoke(UserId(1));
+  sched.run_until(sched.now() + Duration::seconds(5));
+  EXPECT_FALSE(run_check(0, UserId(1)));
+}
+
+TEST_F(BaselineFixture, FullReplicationPartitionedHostStaysStaleForever) {
+  build(Kind::kFullReplication);
+  sys->grant(UserId(1));
+  sched.run_until(sched.now() + Duration::seconds(5));
+  // Host 0 loses contact with everything; the revoke never arrives.
+  partitions->isolate(host_ids[0], {mgr_ids[0], mgr_ids[1], mgr_ids[2],
+                                    host_ids[1]});
+  sys->revoke(UserId(1));
+  sched.run_until(sched.now() + Duration::hours(10));
+  // No expiry in this design: ten hours later the stale replica still grants.
+  EXPECT_TRUE(run_check(0, UserId(1)));
+  // The connected replica is correct.
+  EXPECT_FALSE(run_check(1, UserId(1)));
+}
+
+TEST_F(BaselineFixture, FullReplicationRetransmitsThroughPartitions) {
+  build(Kind::kFullReplication);
+  partitions->isolate(host_ids[0], {mgr_ids[0], mgr_ids[1], mgr_ids[2]});
+  sys->grant(UserId(1));
+  sched.run_until(sched.now() + Duration::seconds(10));
+  EXPECT_FALSE(sys->host_store(0).check(UserId(1), acl::Right::kUse));
+  partitions->heal_all();
+  sched.run_until(sched.now() + Duration::seconds(10));
+  EXPECT_TRUE(sys->host_store(0).check(UserId(1), acl::Right::kUse));
+}
+
+// --------------------------------------------------------------- local only
+
+TEST_F(BaselineFixture, LocalOnlyFindsInfoAtIssuingManager) {
+  build(Kind::kLocalOnly);
+  sys->grant(UserId(1));  // applied at manager 0 only
+  sched.run_until(sched.now() + Duration::seconds(1));
+  EXPECT_TRUE(sys->manager_store(0).check(UserId(1), acl::Right::kUse));
+  EXPECT_FALSE(sys->manager_store(1).check(UserId(1), acl::Right::kUse));
+  EXPECT_TRUE(run_check(0, UserId(1)));
+}
+
+TEST_F(BaselineFixture, LocalOnlyTakesFreshestAcrossManagers) {
+  build(Kind::kLocalOnly);
+  sys->grant(UserId(1));   // manager 0 (round-robin)
+  sys->revoke(UserId(1));  // manager 1 — fresher version
+  sched.run_until(sched.now() + Duration::seconds(1));
+  EXPECT_FALSE(run_check(0, UserId(1)));
+}
+
+TEST_F(BaselineFixture, LocalOnlyUnreachableIssuerHidesTheUpdate) {
+  build(Kind::kLocalOnly);
+  sys->grant(UserId(1));  // lives only at manager 0
+  sched.run_until(sched.now() + Duration::seconds(1));
+  partitions->cut_link(host_ids[0], mgr_ids[0]);
+  // The only copy is unreachable: the check sees no info and denies.
+  EXPECT_FALSE(run_check(0, UserId(1)));
+}
+
+TEST_F(BaselineFixture, LocalOnlyWaitsForAllManagers) {
+  build(Kind::kLocalOnly);
+  sys->grant(UserId(1));
+  sched.run_until(sched.now() + Duration::seconds(1));
+  net->reset_stats();
+  EXPECT_TRUE(run_check(0, UserId(1)));
+  // One query per manager: the O(M) check cost of this design point.
+  EXPECT_EQ(net->stats().sent_by_type.at("QueryRequest"), 3u);
+}
+
+// ------------------------------------------------------ eventual consistency
+
+TEST_F(BaselineFixture, EventualGossipConvergesManagers) {
+  build(Kind::kEventual);
+  sys->grant(UserId(1));  // manager 0 only, initially
+  sched.run_until(sched.now() + Duration::seconds(1));
+  EXPECT_FALSE(sys->manager_store(2).check(UserId(1), acl::Right::kUse));
+  sched.run_until(sched.now() + Duration::minutes(5));  // many gossip rounds
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_TRUE(sys->manager_store(m).check(UserId(1), acl::Right::kUse));
+  }
+}
+
+TEST_F(BaselineFixture, EventualCheckAsksOneManager) {
+  build(Kind::kEventual);
+  sys->grant(UserId(1));
+  sched.run_until(sched.now() + Duration::minutes(5));
+  net->reset_stats();
+  EXPECT_TRUE(run_check(0, UserId(1)));
+  EXPECT_EQ(net->stats().sent_by_type.at("QueryRequest"), 1u);
+}
+
+TEST_F(BaselineFixture, EventualStaleManagerGrantsRevokedUserUnboundedly) {
+  build(Kind::kEventual);
+  sys->grant(UserId(1));
+  sched.run_until(sched.now() + Duration::minutes(5));  // converged
+
+  // All manager-manager gossip paths go dark, then the revoke is issued:
+  // the other replicas never learn of it and there is NO time bound on the
+  // staleness — the paper's §4.2 contrast with the [23]-style design.
+  partitions->cut_link(mgr_ids[0], mgr_ids[1]);
+  partitions->cut_link(mgr_ids[0], mgr_ids[2]);
+  partitions->cut_link(mgr_ids[1], mgr_ids[2]);
+  std::optional<TimePoint> local_effect;
+  sys->revoke(UserId(1), [&](TimePoint t) { local_effect = t; });
+  sched.run_until(sched.now() + Duration::seconds(1));
+  ASSERT_TRUE(local_effect.has_value());
+
+  sched.run_until(sched.now() + Duration::hours(10));
+  // Exactly one manager knows; the other two grant a revoked user ten hours
+  // later. The paper's protocol would have locked the user out within Te.
+  int stale_grants = 0;
+  for (int m = 0; m < 3; ++m) {
+    if (sys->manager_store(m).check(UserId(1), acl::Right::kUse)) ++stale_grants;
+  }
+  EXPECT_EQ(stale_grants, 2);
+}
+
+TEST_F(BaselineFixture, EventualFailsOverAcrossManagers) {
+  build(Kind::kEventual);
+  sys->grant(UserId(1));
+  sched.run_until(sched.now() + Duration::minutes(5));
+  // First manager in the rotation is unreachable; the check retries others.
+  partitions->cut_link(host_ids[0], mgr_ids[0]);
+  EXPECT_TRUE(run_check(0, UserId(1)));
+}
+
+TEST_F(BaselineFixture, EventualAllManagersUnreachableDenies) {
+  build(Kind::kEventual);
+  sys->grant(UserId(1));
+  sched.run_until(sched.now() + Duration::minutes(5));
+  partitions->isolate(host_ids[0], {mgr_ids[0], mgr_ids[1], mgr_ids[2]});
+  EXPECT_FALSE(run_check(0, UserId(1)));
+}
+
+TEST(BaselineNames, Distinct) {
+  EXPECT_STREQ(to_cstring(Kind::kFullReplication), "full-replication");
+  EXPECT_STREQ(to_cstring(Kind::kLocalOnly), "local-only");
+  EXPECT_STREQ(to_cstring(Kind::kEventual), "eventual-consistency");
+}
+
+}  // namespace
+}  // namespace wan::baseline

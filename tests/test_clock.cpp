@@ -1,0 +1,100 @@
+// Unit + property tests for drifting clocks and the te = Te/b expiry bound.
+#include <gtest/gtest.h>
+
+#include "clock/local_clock.hpp"
+#include "util/rng.hpp"
+
+namespace wan::clk {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(LocalTime, Arithmetic) {
+  const LocalTime t = LocalTime::from_nanos(1000);
+  EXPECT_EQ((t + Duration::nanos(500)).nanos(), 1500);
+  EXPECT_EQ((t - Duration::nanos(200)).nanos(), 800);
+  EXPECT_EQ(((t + Duration::seconds(1)) - t).count_nanos(),
+            Duration::seconds(1).count_nanos());
+  EXPECT_LT(t, t + Duration::nanos(1));
+}
+
+TEST(LocalClock, PerfectClockTracksRealTime) {
+  const LocalClock c = LocalClock::perfect();
+  const TimePoint real = TimePoint::from_nanos(123456789);
+  EXPECT_EQ(c.now(real).nanos(), 123456789);
+}
+
+TEST(LocalClock, RateScalesElapsedTime) {
+  const LocalClock c = LocalClock::with_rate(0.5);  // half speed
+  const LocalTime a = c.now(TimePoint::from_nanos(0));
+  const LocalTime b = c.now(TimePoint::from_nanos(1'000'000'000));
+  EXPECT_EQ((b - a).count_nanos(), 500'000'000);
+}
+
+TEST(LocalClock, OffsetShiftsReadings) {
+  const LocalClock c = LocalClock::with_rate(1.0, 42);
+  EXPECT_EQ(c.now(TimePoint::from_nanos(0)).nanos(), 42);
+}
+
+TEST(LocalClock, RealForLocalInvertsRate) {
+  const LocalClock c = LocalClock::with_rate(0.5);
+  EXPECT_DOUBLE_EQ(c.real_for_local(Duration::seconds(1)).to_seconds(), 2.0);
+}
+
+TEST(ExpiryPeriod, PerfectClockBound) {
+  EXPECT_EQ(local_expiry_period(Duration::seconds(100), 1.0).count_nanos(),
+            Duration::seconds(100).count_nanos());
+}
+
+TEST(ExpiryPeriod, ScalesDownWithB) {
+  const Duration te = local_expiry_period(Duration::seconds(100), 1.25);
+  EXPECT_DOUBLE_EQ(te.to_seconds(), 80.0);
+}
+
+// The paper's safety argument: for ANY admissible clock (rate >= 1/b), an
+// entry cached for te = Te/b local units expires within Te real time.
+class ExpiryBoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExpiryBoundProperty, RealExpiryNeverExceedsTe) {
+  Rng rng(GetParam());
+  const double b = rng.next_uniform(1.0, 1.5);
+  const Duration Te = Duration::from_seconds(rng.next_uniform(1.0, 600.0));
+  const Duration te = local_expiry_period(Te, b);
+  for (int i = 0; i < 50; ++i) {
+    const LocalClock clock = LocalClock::sample(rng, b);
+    // Clock rate is within the admissible band.
+    EXPECT_GE(clock.rate(), 1.0 / b - 1e-12);
+    // Real time to measure te local units never exceeds Te.
+    const double real_expiry = clock.real_for_local(te).to_seconds();
+    EXPECT_LE(real_expiry, Te.to_seconds() + 1e-6)
+        << "rate=" << clock.rate() << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpiryBoundProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(LocalClock, SampleRespectsOffsetRange) {
+  Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    const LocalClock c = LocalClock::sample(rng, 1.1);
+    const auto offset = c.now(TimePoint::from_nanos(0)).nanos();
+    EXPECT_LE(std::abs(offset), 3'600'000'000'000LL);
+  }
+}
+
+// Monotonicity: a clock never runs backwards.
+TEST(LocalClock, Monotone) {
+  Rng rng(5);
+  const LocalClock c = LocalClock::sample(rng, 1.2);
+  LocalTime prev = c.now(TimePoint::from_nanos(0));
+  for (std::int64_t ns = 1; ns <= 10; ++ns) {
+    const LocalTime cur = c.now(TimePoint::from_nanos(ns * 1'000'000));
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace wan::clk

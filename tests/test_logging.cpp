@@ -1,0 +1,72 @@
+// Unit tests for the logging facility (level gating, custom sinks, the
+// simulation-time prefix).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace wan::log {
+namespace {
+
+struct LogFixture : ::testing::Test {
+  std::vector<std::pair<Level, std::string>> lines;
+
+  void SetUp() override {
+    set_sink([this](Level lvl, const std::string& line) {
+      lines.emplace_back(lvl, line);
+    });
+  }
+  void TearDown() override {
+    reset_sink();
+    set_level(Level::kOff);
+    clear_time_source();
+  }
+};
+
+TEST_F(LogFixture, OffByDefaultDiscardsEverything) {
+  set_level(Level::kOff);
+  WAN_ERROR << "nobody hears this";
+  EXPECT_TRUE(lines.empty());
+}
+
+TEST_F(LogFixture, LevelGateFiltersBelow) {
+  set_level(Level::kWarn);
+  WAN_DEBUG << "too quiet";
+  WAN_INFO << "still too quiet";
+  WAN_WARN << "audible";
+  WAN_ERROR << "loud";
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].first, Level::kWarn);
+  EXPECT_EQ(lines[1].first, Level::kError);
+}
+
+TEST_F(LogFixture, MessagesCarryLevelTag) {
+  set_level(Level::kTrace);
+  WAN_INFO << "payload " << 42;
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].second.find("[INFO ]"), std::string::npos);
+  EXPECT_NE(lines[0].second.find("payload 42"), std::string::npos);
+}
+
+TEST_F(LogFixture, TimeSourcePrefixesSimTime) {
+  set_level(Level::kInfo);
+  set_time_source([] { return 12.5; });
+  WAN_INFO << "tick";
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].second.find("t=12.5"), std::string::npos);
+  clear_time_source();
+  WAN_INFO << "tock";
+  EXPECT_EQ(lines[1].second.find("t="), std::string::npos);
+}
+
+TEST_F(LogFixture, StreamingFormatsArbitraryTypes) {
+  set_level(Level::kTrace);
+  WAN_TRACE << 1 << ' ' << 2.5 << ' ' << std::string("three");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].second.find("1 2.5 three"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wan::log

@@ -1,0 +1,352 @@
+// Unit tests for the simulated network: delivery, latency, loss models,
+// partition models, host up/down, statistics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/latency_model.hpp"
+#include "net/loss_model.hpp"
+#include "net/network.hpp"
+#include "net/partition_model.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/timer.hpp"
+
+namespace wan::net {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+struct Ping final : Message {
+  int value = 0;
+  explicit Ping(int v) : value(v) {}
+  std::string type_name() const override { return "Ping"; }
+};
+
+struct NetFixture : ::testing::Test {
+  sim::Scheduler sched;
+  std::vector<std::pair<HostId, int>> received;  // (from, value) at host B
+
+  std::unique_ptr<Network> make_net(Network::Config cfg = {}) {
+    auto net = std::make_unique<Network>(sched, Rng(1), std::move(cfg));
+    net->register_host(HostId(1), [](HostId, const MessagePtr&) {});
+    net->register_host(HostId(2), [this](HostId from, const MessagePtr& msg) {
+      if (const auto* p = message_cast<Ping>(msg)) {
+        received.emplace_back(from, p->value);
+      }
+    });
+    net->start();
+    return net;
+  }
+};
+
+TEST_F(NetFixture, DeliversWithLatency) {
+  Network::Config cfg;
+  cfg.latency = std::make_unique<ConstantLatency>(Duration::millis(70));
+  auto net = make_net(std::move(cfg));
+  net->send(HostId(1), HostId(2), make_message<Ping>(42));
+  sched.run_until(TimePoint{} + Duration::millis(69));
+  EXPECT_TRUE(received.empty());
+  sched.run_until(TimePoint{} + Duration::millis(71));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].first, HostId(1));
+  EXPECT_EQ(received[0].second, 42);
+}
+
+TEST_F(NetFixture, SelfSendDeliversImmediately) {
+  auto net = make_net();
+  int got = 0;
+  net->register_host(HostId(3), [&](HostId, const MessagePtr&) { ++got; });
+  net->send(HostId(3), HostId(3), make_message<Ping>(1));
+  sched.run_all();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetFixture, MulticastSkipsSelf) {
+  auto net = make_net();
+  net->multicast(HostId(2), {HostId(1), HostId(2)}, make_message<Ping>(5));
+  sched.run_all();
+  EXPECT_EQ(net->stats().sent, 1u);  // only to host 1
+}
+
+TEST_F(NetFixture, DownHostDoesNotReceive) {
+  auto net = make_net();
+  net->set_host_down(HostId(2), true);
+  net->send(HostId(1), HostId(2), make_message<Ping>(1));
+  sched.run_all();
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(net->stats().dropped_host_down, 1u);
+}
+
+TEST_F(NetFixture, DownHostDoesNotSend) {
+  auto net = make_net();
+  net->set_host_down(HostId(1), true);
+  net->send(HostId(1), HostId(2), make_message<Ping>(1));
+  sched.run_all();
+  EXPECT_TRUE(received.empty());
+}
+
+TEST_F(NetFixture, CrashWhileInFlightDropsAtDelivery) {
+  Network::Config cfg;
+  cfg.latency = std::make_unique<ConstantLatency>(Duration::millis(100));
+  auto net = make_net(std::move(cfg));
+  net->send(HostId(1), HostId(2), make_message<Ping>(1));
+  sched.run_until(TimePoint{} + Duration::millis(50));
+  net->set_host_down(HostId(2), true);
+  sched.run_all();
+  EXPECT_TRUE(received.empty());
+}
+
+TEST_F(NetFixture, RecoveryRestoresDelivery) {
+  auto net = make_net();
+  net->set_host_down(HostId(2), true);
+  net->set_host_down(HostId(2), false);
+  net->send(HostId(1), HostId(2), make_message<Ping>(9));
+  sched.run_all();
+  ASSERT_EQ(received.size(), 1u);
+}
+
+TEST_F(NetFixture, UnknownDestinationIsBlackHoled) {
+  auto net = make_net();
+  net->send(HostId(1), HostId(777), make_message<Ping>(1));
+  sched.run_all();
+  EXPECT_EQ(net->stats().sent, 1u);
+  EXPECT_EQ(net->stats().delivered, 0u);
+  EXPECT_EQ(net->stats().dropped_host_down, 1u);
+}
+
+TEST_F(NetFixture, StatsCountPerType) {
+  auto net = make_net();
+  net->send(HostId(1), HostId(2), make_message<Ping>(1));
+  net->send(HostId(1), HostId(2), make_message<Ping>(2));
+  sched.run_all();
+  EXPECT_EQ(net->stats().sent, 2u);
+  EXPECT_EQ(net->stats().delivered, 2u);
+  EXPECT_EQ(net->stats().sent_by_type.at("Ping"), 2u);
+  EXPECT_GT(net->stats().bytes_sent, 0u);
+}
+
+TEST_F(NetFixture, BernoulliLossDropsApproximately) {
+  Network::Config cfg;
+  cfg.loss = std::make_unique<BernoulliLoss>(0.25);
+  auto net = make_net(std::move(cfg));
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    net->send(HostId(1), HostId(2), make_message<Ping>(i));
+  }
+  sched.run_all();
+  const double loss_rate =
+      static_cast<double>(net->stats().dropped_loss) / n;
+  EXPECT_NEAR(loss_rate, 0.25, 0.02);
+  EXPECT_EQ(net->stats().delivered + net->stats().dropped_loss,
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(GilbertElliott, StationaryLossMatchesSimulation) {
+  GilbertElliottLoss::Params params;
+  params.p_good = 0.01;
+  params.p_bad = 0.5;
+  params.good_to_bad = 0.05;
+  params.bad_to_good = 0.2;
+  GilbertElliottLoss model(params);
+  Rng rng(3);
+  const int n = 200000;
+  int drops = 0;
+  for (int i = 0; i < n; ++i) {
+    if (model.drop(HostId(1), HostId(2), rng)) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, model.stationary_loss(), 0.01);
+}
+
+TEST(GilbertElliott, BurstyLossClusters) {
+  // Consecutive-drop probability should exceed the marginal drop rate.
+  GilbertElliottLoss::Params params;
+  GilbertElliottLoss model(params);
+  Rng rng(4);
+  int drops = 0, pairs = 0, drop_after_drop = 0;
+  bool prev = false;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    const bool d = model.drop(HostId(1), HostId(2), rng);
+    if (d) ++drops;
+    if (prev) {
+      ++pairs;
+      if (d) ++drop_after_drop;
+    }
+    prev = d;
+  }
+  const double marginal = static_cast<double>(drops) / n;
+  const double conditional = static_cast<double>(drop_after_drop) / pairs;
+  EXPECT_GT(conditional, 2.0 * marginal);
+}
+
+TEST(UniformLatency, WithinBounds) {
+  UniformLatency lat(Duration::millis(10), Duration::millis(20));
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = lat.sample(HostId(1), HostId(2), rng);
+    EXPECT_GE(d, Duration::millis(10));
+    EXPECT_LE(d, Duration::millis(20));
+  }
+}
+
+TEST(ExponentialTailLatency, MeanApproximatelyBasePlusTail) {
+  ExponentialTailLatency lat(Duration::millis(40), Duration::millis(20));
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += lat.sample(HostId(1), HostId(2), rng).to_seconds();
+  }
+  EXPECT_NEAR(sum / n, 0.060, 0.002);
+}
+
+TEST(ScriptedPartitions, LinkCutBlocksBothDirections) {
+  ScriptedPartitions p;
+  EXPECT_TRUE(p.connected(HostId(1), HostId(2)));
+  p.cut_link(HostId(1), HostId(2));
+  EXPECT_FALSE(p.connected(HostId(1), HostId(2)));
+  EXPECT_FALSE(p.connected(HostId(2), HostId(1)));
+  p.heal_link(HostId(2), HostId(1));  // order-insensitive
+  EXPECT_TRUE(p.connected(HostId(1), HostId(2)));
+}
+
+TEST(ScriptedPartitions, SplitSeparatesComponents) {
+  ScriptedPartitions p;
+  p.split({{HostId(1), HostId(2)}, {HostId(3)}});
+  EXPECT_TRUE(p.connected(HostId(1), HostId(2)));
+  EXPECT_FALSE(p.connected(HostId(1), HostId(3)));
+  // Unlisted hosts share a default component.
+  EXPECT_TRUE(p.connected(HostId(8), HostId(9)));
+  EXPECT_FALSE(p.connected(HostId(8), HostId(1)));
+  p.heal_all();
+  EXPECT_TRUE(p.connected(HostId(1), HostId(3)));
+}
+
+TEST(ScriptedPartitions, IsolateCutsAllLinks) {
+  ScriptedPartitions p;
+  const std::vector<HostId> all{HostId(1), HostId(2), HostId(3)};
+  p.isolate(HostId(2), all);
+  EXPECT_FALSE(p.connected(HostId(2), HostId(1)));
+  EXPECT_FALSE(p.connected(HostId(2), HostId(3)));
+  EXPECT_TRUE(p.connected(HostId(1), HostId(3)));
+}
+
+TEST(ScriptedPartitions, SelfAlwaysConnected) {
+  ScriptedPartitions p;
+  p.split({{HostId(1)}, {HostId(2)}});
+  EXPECT_TRUE(p.connected(HostId(1), HostId(1)));
+}
+
+TEST(PairwiseMarkov, StationaryDownFractionMatchesPi) {
+  sim::Scheduler sched;
+  std::vector<HostId> hosts;
+  for (std::uint32_t i = 0; i < 12; ++i) hosts.push_back(HostId(i));
+  const double pi = 0.15;
+  PairwiseMarkovPartitions model(
+      hosts, {pi, Duration::seconds(30)});
+  model.start(sched, Rng(7));
+  // Time-average the down fraction over a long horizon.
+  double sum = 0.0;
+  int samples = 0;
+  sim::PeriodicTimer sampler(sched);
+  sampler.start(Duration::seconds(10), [&] {
+    sum += model.down_fraction();
+    ++samples;
+  });
+  sched.run_until(TimePoint{} + Duration::hours(30));
+  EXPECT_NEAR(sum / samples, pi, 0.01);
+}
+
+TEST(PairwiseMarkov, ZeroPiNeverDisconnects) {
+  sim::Scheduler sched;
+  std::vector<HostId> hosts{HostId(0), HostId(1), HostId(2)};
+  PairwiseMarkovPartitions model(hosts, {0.0, Duration::seconds(30)});
+  model.start(sched, Rng(8));
+  sched.run_until(TimePoint{} + Duration::hours(1));
+  EXPECT_TRUE(model.connected(HostId(0), HostId(1)));
+  EXPECT_DOUBLE_EQ(model.down_fraction(), 0.0);
+}
+
+TEST(PairwiseMarkov, PairsIndependentAcrossIndices) {
+  // pair_index must be a bijection: flipping pair (0,1) must not affect (1,2).
+  sim::Scheduler sched;
+  std::vector<HostId> hosts{HostId(0), HostId(1), HostId(2), HostId(3)};
+  PairwiseMarkovPartitions model(hosts, {0.5, Duration::seconds(5)});
+  model.start(sched, Rng(9));
+  sched.run_until(TimePoint{} + Duration::minutes(10));
+  // Exercise all pairs; absence of assertion failures validates indexing.
+  int connected = 0;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (model.connected(hosts[i], hosts[j])) ++connected;
+    }
+  }
+  EXPECT_GE(connected, 4);  // at least the self-loops
+}
+
+TEST(ComponentStorms, StormsDisconnectAndHeal) {
+  sim::Scheduler sched;
+  std::vector<HostId> hosts;
+  for (std::uint32_t i = 0; i < 6; ++i) hosts.push_back(HostId(i));
+  ComponentStormPartitions::Config cfg;
+  cfg.mean_between_storms = Duration::seconds(60);
+  cfg.mean_storm_duration = Duration::seconds(20);
+  ComponentStormPartitions model(hosts, cfg);
+  model.start(sched, Rng(10));
+
+  std::uint64_t disconnected_samples = 0, samples = 0;
+  sim::PeriodicTimer sampler(sched);
+  sampler.start(Duration::seconds(1), [&] {
+    ++samples;
+    bool any_cut = false;
+    for (std::size_t i = 0; i < hosts.size() && !any_cut; ++i) {
+      for (std::size_t j = i + 1; j < hosts.size(); ++j) {
+        if (!model.connected(hosts[i], hosts[j])) {
+          any_cut = true;
+          break;
+        }
+      }
+    }
+    if (any_cut) ++disconnected_samples;
+  });
+  sched.run_until(TimePoint{} + Duration::hours(2));
+  EXPECT_GT(model.storms_seen(), 20u);
+  const double frac =
+      static_cast<double>(disconnected_samples) / static_cast<double>(samples);
+  EXPECT_GT(frac, 0.05);
+  EXPECT_LT(frac, 0.60);
+}
+
+TEST_F(NetFixture, PartitionBlocksDelivery) {
+  auto scripted = std::make_shared<ScriptedPartitions>();
+  Network::Config cfg;
+  cfg.partitions = scripted;
+  auto net = make_net(std::move(cfg));
+  scripted->cut_link(HostId(1), HostId(2));
+  net->send(HostId(1), HostId(2), make_message<Ping>(1));
+  sched.run_all();
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(net->stats().dropped_partition, 1u);
+  scripted->heal_all();
+  net->send(HostId(1), HostId(2), make_message<Ping>(2));
+  sched.run_all();
+  EXPECT_EQ(received.size(), 1u);
+}
+
+TEST_F(NetFixture, ReachableReflectsPartitionsAndCrashes) {
+  auto scripted = std::make_shared<ScriptedPartitions>();
+  Network::Config cfg;
+  cfg.partitions = scripted;
+  auto net = make_net(std::move(cfg));
+  EXPECT_TRUE(net->reachable(HostId(1), HostId(2)));
+  scripted->cut_link(HostId(1), HostId(2));
+  EXPECT_FALSE(net->reachable(HostId(1), HostId(2)));
+  scripted->heal_all();
+  net->set_host_down(HostId(2), true);
+  EXPECT_FALSE(net->reachable(HostId(1), HostId(2)));
+}
+
+}  // namespace
+}  // namespace wan::net

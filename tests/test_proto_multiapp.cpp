@@ -1,0 +1,173 @@
+// Multi-application deployments, wired against the raw module API (no
+// Scenario convenience): "Access control of A is assumed to be independent
+// of other applications" (§3.1). One manager set may serve several
+// applications; hosts run several applications behind one controller; all
+// ACL state, caches, and grant tables stay per-application.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "auth/credentials.hpp"
+#include "nameservice/name_service.hpp"
+#include "net/network.hpp"
+#include "proto/host.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wan {
+namespace {
+
+using proto::AccessDecision;
+using sim::Duration;
+
+struct MultiAppFixture : ::testing::Test {
+  sim::Scheduler sched;
+  net::Network net{sched, Rng(5),
+                   [] {
+                     net::Network::Config cfg;
+                     cfg.latency = std::make_unique<net::ConstantLatency>(
+                         Duration::millis(10));
+                     return cfg;
+                   }()};
+  ns::NameService names;
+  auth::KeyRegistry keys;
+  proto::ProtocolConfig config = [] {
+    proto::ProtocolConfig cfg;
+    cfg.check_quorum = 2;
+    cfg.Te = Duration::minutes(2);
+    return cfg;
+  }();
+
+  AppId wiki{1};
+  AppId payroll{2};
+  std::vector<HostId> wiki_managers{HostId(0), HostId(1), HostId(2)};
+  std::vector<HostId> payroll_managers{HostId(2), HostId(3), HostId(4)};
+
+  std::vector<std::unique_ptr<proto::ManagerHost>> managers;
+  std::unique_ptr<proto::AppHost> host;
+  UserId alice{100};
+
+  void SetUp() override {
+    names.set_managers(wiki, wiki_managers);
+    names.set_managers(payroll, payroll_managers);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      managers.push_back(std::make_unique<proto::ManagerHost>(
+          HostId(i), sched, net, clk::LocalClock::perfect(), config));
+    }
+    // Manager 2 serves BOTH applications.
+    for (const HostId id : wiki_managers) {
+      managers[id.value()]->manager().manage_app(wiki, wiki_managers);
+    }
+    for (const HostId id : payroll_managers) {
+      managers[id.value()]->manager().manage_app(payroll, payroll_managers);
+    }
+    host = std::make_unique<proto::AppHost>(HostId(50), sched, net,
+                                            clk::LocalClock::perfect(), names,
+                                            keys, config);
+    host->controller().register_app(
+        wiki, [](UserId, const std::string&) { return std::string("wiki"); });
+    host->controller().register_app(payroll, [](UserId, const std::string&) {
+      return std::string("payroll");
+    });
+    net.start();
+  }
+
+  std::optional<AccessDecision> check(AppId app, UserId user) {
+    std::optional<AccessDecision> d;
+    host->controller().check_access(app, user,
+                                    [&](const AccessDecision& dec) { d = dec; });
+    sched.run_until(sched.now() + Duration::seconds(10));
+    return d;
+  }
+
+  void grant(AppId app, int mgr, UserId user) {
+    managers[static_cast<std::size_t>(mgr)]->manager().submit_update(
+        app, acl::Op::kAdd, user, acl::Right::kUse);
+    sched.run_until(sched.now() + Duration::seconds(5));
+  }
+  void revoke(AppId app, int mgr, UserId user) {
+    managers[static_cast<std::size_t>(mgr)]->manager().submit_update(
+        app, acl::Op::kRevoke, user, acl::Right::kUse);
+    sched.run_until(sched.now() + Duration::seconds(5));
+  }
+};
+
+TEST_F(MultiAppFixture, RightsAreScopedToTheApplication) {
+  grant(wiki, 0, alice);
+  const auto wiki_d = check(wiki, alice);
+  const auto payroll_d = check(payroll, alice);
+  ASSERT_TRUE(wiki_d.has_value());
+  ASSERT_TRUE(payroll_d.has_value());
+  EXPECT_TRUE(wiki_d->allowed);
+  EXPECT_FALSE(payroll_d->allowed);
+}
+
+TEST_F(MultiAppFixture, SharedManagerKeepsStoresSeparate) {
+  grant(wiki, 2, alice);     // issued at the shared manager
+  grant(payroll, 2, alice);  // and for the other app too
+  const auto* wiki_store = managers[2]->manager().store(wiki);
+  const auto* payroll_store = managers[2]->manager().store(payroll);
+  ASSERT_NE(wiki_store, nullptr);
+  ASSERT_NE(payroll_store, nullptr);
+  EXPECT_TRUE(wiki_store->check(alice, acl::Right::kUse));
+  EXPECT_TRUE(payroll_store->check(alice, acl::Right::kUse));
+
+  revoke(payroll, 3, alice);
+  EXPECT_TRUE(managers[2]->manager().store(wiki)->check(alice, acl::Right::kUse));
+  EXPECT_FALSE(
+      managers[2]->manager().store(payroll)->check(alice, acl::Right::kUse));
+}
+
+TEST_F(MultiAppFixture, RevokeInOneAppLeavesOtherCacheIntact) {
+  grant(wiki, 0, alice);
+  grant(payroll, 3, alice);
+  EXPECT_TRUE(check(wiki, alice)->allowed);
+  EXPECT_TRUE(check(payroll, alice)->allowed);
+  ASSERT_EQ(host->controller().cache(wiki)->size(), 1u);
+  ASSERT_EQ(host->controller().cache(payroll)->size(), 1u);
+
+  revoke(wiki, 1, alice);
+  sched.run_until(sched.now() + Duration::seconds(5));
+  EXPECT_EQ(host->controller().cache(wiki)->size(), 0u);
+  EXPECT_EQ(host->controller().cache(payroll)->size(), 1u);
+  EXPECT_FALSE(check(wiki, alice)->allowed);
+  EXPECT_TRUE(check(payroll, alice)->allowed);
+}
+
+TEST_F(MultiAppFixture, ManagersIgnoreAppsTheyDoNotManage) {
+  // Manager 4 manages only payroll; a wiki query to it gets no response, so
+  // a host that can only reach non-wiki managers cannot assemble a quorum.
+  grant(wiki, 0, alice);
+  const auto* store = managers[4]->manager().store(wiki);
+  EXPECT_EQ(store, nullptr);
+}
+
+TEST_F(MultiAppFixture, PerAppVersionSpacesAreIndependent) {
+  for (int i = 0; i < 3; ++i) grant(wiki, i % 3, alice);
+  grant(payroll, 3, alice);
+  const auto wiki_v =
+      managers[2]->manager().store(wiki)->state(alice, acl::Right::kUse);
+  const auto pay_v =
+      managers[2]->manager().store(payroll)->state(alice, acl::Right::kUse);
+  ASSERT_TRUE(wiki_v.has_value());
+  ASSERT_TRUE(pay_v.has_value());
+  // payroll saw a single update; wiki saw three.
+  EXPECT_EQ(pay_v->version.counter, 1u);
+  EXPECT_GE(wiki_v->version.counter, 3u);
+}
+
+TEST_F(MultiAppFixture, SharedManagerCrashRecoversBothApps) {
+  grant(wiki, 0, alice);
+  grant(payroll, 3, alice);
+  managers[2]->crash();
+  sched.run_until(sched.now() + Duration::seconds(2));
+  managers[2]->recover();
+  sched.run_until(sched.now() + Duration::seconds(10));
+  EXPECT_TRUE(managers[2]->manager().synced(wiki));
+  EXPECT_TRUE(managers[2]->manager().synced(payroll));
+  EXPECT_TRUE(managers[2]->manager().store(wiki)->check(alice, acl::Right::kUse));
+  EXPECT_TRUE(
+      managers[2]->manager().store(payroll)->check(alice, acl::Right::kUse));
+}
+
+}  // namespace
+}  // namespace wan

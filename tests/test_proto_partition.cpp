@@ -1,0 +1,341 @@
+// Protocol behaviour under partitions (§3.2, §3.3): cache grace, time-bounded
+// revocation, the R-attempt availability rule, quorum intersection under
+// partitioned managers, the freeze strategy, and stale-response rejection.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "workload/scenario.hpp"
+
+namespace wan {
+namespace {
+
+using proto::AccessDecision;
+using proto::DecisionPath;
+using proto::DenyReason;
+using proto::ExhaustedPolicy;
+using sim::Duration;
+using workload::Scenario;
+using workload::ScenarioConfig;
+
+ScenarioConfig scripted_config() {
+  ScenarioConfig cfg;
+  cfg.managers = 3;
+  cfg.app_hosts = 2;
+  cfg.users = 4;
+  cfg.partitions = ScenarioConfig::Partitions::kScripted;
+  cfg.constant_latency = true;
+  cfg.const_latency = Duration::millis(10);
+  cfg.protocol.check_quorum = 2;
+  cfg.protocol.Te = Duration::seconds(60);
+  cfg.protocol.clock_bound_b = 1.0;
+  cfg.protocol.max_attempts = 3;
+  cfg.protocol.query_timeout = Duration::seconds(1);
+  cfg.seed = 7;
+  return cfg;
+}
+
+AccessDecision run_check(Scenario& s, int host, UserId user,
+                         Duration window = Duration::seconds(10)) {
+  std::optional<AccessDecision> result;
+  s.check(host, user, [&](const AccessDecision& d) { result = d; });
+  s.run_for(window);
+  EXPECT_TRUE(result.has_value());
+  return result.value_or(AccessDecision{});
+}
+
+void cut_host_from_managers(Scenario& s, int host_idx) {
+  for (const HostId m : s.manager_ids()) {
+    s.scripted().cut_link(s.host_ids()[static_cast<std::size_t>(host_idx)], m);
+  }
+}
+
+TEST(ProtoPartition, UnverifiableDeniedAfterRAttempts) {
+  Scenario s(scripted_config());
+  s.grant(s.user(0));
+  s.run_for(Duration::seconds(5));
+  cut_host_from_managers(s, 0);
+  const auto d = run_check(s, 0, s.user(0));
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.path, DecisionPath::kUnverifiableDeny);
+  EXPECT_EQ(d.reason, DenyReason::kUnverifiable);
+  EXPECT_EQ(d.attempts, 3);
+  // O(R) delay claim: R attempts, each one query timeout long.
+  EXPECT_NEAR(d.latency().to_seconds(), 3.0, 0.1);
+}
+
+TEST(ProtoPartition, HighAvailabilityRuleAllowsAfterR) {
+  auto cfg = scripted_config();
+  cfg.protocol.exhausted_policy = ExhaustedPolicy::kAllow;
+  Scenario s(cfg);
+  cut_host_from_managers(s, 0);
+  // Even a never-granted user passes: Fig. 4 trades security for
+  // availability by design.
+  const auto d = run_check(s, 0, s.user(0));
+  EXPECT_TRUE(d.allowed);
+  EXPECT_EQ(d.path, DecisionPath::kDefaultAllow);
+  EXPECT_EQ(d.attempts, 3);
+}
+
+TEST(ProtoPartition, DefaultAllowIsNotCached) {
+  auto cfg = scripted_config();
+  cfg.protocol.exhausted_policy = ExhaustedPolicy::kAllow;
+  Scenario s(cfg);
+  cut_host_from_managers(s, 0);
+  run_check(s, 0, s.user(0));
+  EXPECT_EQ(s.host(0).controller().cache(s.app())->size(), 0u);
+  // The next access re-verifies (and defaults again).
+  const auto d = run_check(s, 0, s.user(0));
+  EXPECT_EQ(d.path, DecisionPath::kDefaultAllow);
+}
+
+TEST(ProtoPartition, CachedRightsSurvivePartitionUntilExpiry) {
+  Scenario s(scripted_config());
+  s.grant(s.user(0));
+  s.run_for(Duration::seconds(5));
+  run_check(s, 0, s.user(0), Duration::seconds(2));  // cache populated
+  cut_host_from_managers(s, 0);
+  // Well inside te: cache hit, no manager contact needed.
+  s.run_for(Duration::seconds(20));
+  const auto d = run_check(s, 0, s.user(0), Duration::seconds(2));
+  EXPECT_TRUE(d.allowed);
+  EXPECT_EQ(d.path, DecisionPath::kCacheHit);
+  // Past te: entry gone, managers unreachable, denied.
+  s.run_for(Duration::seconds(60));
+  const auto d2 = run_check(s, 0, s.user(0));
+  EXPECT_FALSE(d2.allowed);
+}
+
+// THE security property (§3.2): a user revoked at quorum time t cannot be
+// allowed anywhere after t + Te, even if the caching host never hears the
+// revocation.
+TEST(ProtoPartition, RevocationTimeBoundHoldsUnderPartition) {
+  Scenario s(scripted_config());  // Te = 60s
+  s.grant(s.user(0));
+  s.run_for(Duration::seconds(5));
+  run_check(s, 0, s.user(0), Duration::seconds(2));  // cached at ~5s
+
+  cut_host_from_managers(s, 0);  // host 0 will never hear the RevokeNotify
+  s.run_for(Duration::seconds(3));
+
+  std::optional<double> quorum_at;
+  s.revoke(s.user(0), 0, [&] { quorum_at = s.scheduler().now().to_seconds(); });
+  s.run_for(Duration::seconds(2));
+  ASSERT_TRUE(quorum_at.has_value());  // managers are still interconnected
+
+  // Within the grace window the stale cache may still answer (permitted).
+  const auto mid = run_check(s, 0, s.user(0), Duration::seconds(2));
+  EXPECT_TRUE(mid.allowed);
+  EXPECT_EQ(mid.path, DecisionPath::kCacheHit);
+
+  // Drive past t_quorum + Te and verify the user is locked out.
+  const double deadline = *quorum_at + 60.0;
+  while (s.scheduler().now().to_seconds() < deadline + 0.5) {
+    s.run_for(Duration::seconds(1));
+  }
+  const auto late = run_check(s, 0, s.user(0));
+  EXPECT_FALSE(late.allowed);
+}
+
+TEST(ProtoPartition, CheckQuorumSurvivesMinorityManagerLoss) {
+  Scenario s(scripted_config());  // C = 2, M = 3
+  s.grant(s.user(0));
+  s.run_for(Duration::seconds(5));
+  // One manager unreachable from host 0: quorum of 2 still assembles.
+  s.scripted().cut_link(s.host_ids()[0], s.manager_ids()[0]);
+  const auto d = run_check(s, 0, s.user(0));
+  EXPECT_TRUE(d.allowed);
+  EXPECT_EQ(d.path, DecisionPath::kQuorumGranted);
+}
+
+TEST(ProtoPartition, CheckQuorumMFailsOnAnyManagerLoss) {
+  auto cfg = scripted_config();
+  cfg.protocol.check_quorum = 3;  // C = M
+  Scenario s(cfg);
+  s.grant(s.user(0));
+  s.run_for(Duration::seconds(5));
+  s.scripted().cut_link(s.host_ids()[0], s.manager_ids()[0]);
+  const auto d = run_check(s, 0, s.user(0));
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.path, DecisionPath::kUnverifiableDeny);
+}
+
+TEST(ProtoPartition, UpdateQuorumBlocksWhilePeersUnreachable) {
+  Scenario s(scripted_config());  // update quorum = 2 (issuer + 1 peer)
+  s.scripted().isolate(s.manager_ids()[0], s.all_site_ids());
+  bool fired = false;
+  s.grant(s.user(0), 0, [&] { fired = true; });
+  s.run_for(Duration::seconds(30));
+  EXPECT_FALSE(fired);  // no peer reachable: quorum of 2 unattainable
+  // Persistent dissemination: healing delivers the retransmitted update.
+  s.scripted().heal_all();
+  s.run_for(Duration::seconds(10));
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(s.manager(2).manager().store(s.app())->check(s.user(0),
+                                                           acl::Right::kUse));
+}
+
+// Quorum intersection makes a completed revoke win against a stale manager:
+// revoke reaches {m0, m1}; the host's check quorum {m1, m2} contains m1,
+// whose fresher version must beat m2's stale grant.
+TEST(ProtoPartition, FreshestVersionWinsAcrossQuorums) {
+  Scenario s(scripted_config());
+  s.grant(s.user(0));
+  s.run_for(Duration::seconds(5));
+
+  // m2 stops hearing manager traffic (but stays reachable from hosts).
+  s.scripted().cut_link(s.manager_ids()[0], s.manager_ids()[2]);
+  s.scripted().cut_link(s.manager_ids()[1], s.manager_ids()[2]);
+
+  bool quorum = false;
+  s.revoke(s.user(0), 0, [&] { quorum = true; });
+  s.run_for(Duration::seconds(5));
+  ASSERT_TRUE(quorum);  // m0 + m1 form the update quorum of 2
+  ASSERT_TRUE(s.manager(2).manager().store(s.app())->check(s.user(0),
+                                                           acl::Right::kUse));
+
+  // Host 0 can only reach m1 and m2 — the quorum straddles fresh and stale.
+  s.scripted().cut_link(s.host_ids()[0], s.manager_ids()[0]);
+  const auto d = run_check(s, 0, s.user(0));
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.path, DecisionPath::kQuorumDenied);
+}
+
+// The analysis assumes R = infinity ("access is only allowed if the check
+// quorum of managers is reached"): with max_attempts = 0 a check never gives
+// up — it blocks across the partition and completes after healing.
+TEST(ProtoPartition, InfiniteRetriesBlockUntilHealed) {
+  auto cfg = scripted_config();
+  cfg.protocol.max_attempts = 0;  // R = infinity
+  Scenario s(cfg);
+  s.grant(s.user(0));
+  s.run_for(Duration::seconds(5));
+  cut_host_from_managers(s, 0);
+
+  std::optional<AccessDecision> d;
+  s.check(0, s.user(0), [&](const AccessDecision& dec) { d = dec; });
+  s.run_for(Duration::minutes(5));
+  EXPECT_FALSE(d.has_value());  // still retrying, no decision
+
+  s.scripted().heal_all();
+  s.run_for(Duration::seconds(10));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->allowed);
+  EXPECT_GT(d->attempts, 100);  // it really was looping (Fig. 2's while)
+}
+
+// Regression test for version inversion: a revoke issued by a manager that
+// never saw the grant (it was partitioned away while the grant completed)
+// must still dominate it. The pre-write version read from a check quorum
+// guarantees this — without it, the revoke picks a stale version, loses the
+// last-writer-wins race everywhere, and the Te bound silently dissolves.
+TEST(ProtoPartition, RevokeDominatesUnseenGrant) {
+  Scenario s(scripted_config());  // M = 3, C = 2, update quorum = 2
+
+  // m0 is cut off; the grant completes via m1 + m2.
+  s.scripted().cut_link(s.manager_ids()[0], s.manager_ids()[1]);
+  s.scripted().cut_link(s.manager_ids()[0], s.manager_ids()[2]);
+  // Inflate the version counters m0 never sees.
+  for (int i = 0; i < 5; ++i) {
+    s.grant(s.user(1), 1);
+    s.run_for(Duration::seconds(3));
+  }
+  bool grant_done = false;
+  s.grant(s.user(0), 1, [&] { grant_done = true; });
+  s.run_for(Duration::seconds(5));
+  ASSERT_TRUE(grant_done);
+
+  // m0 regains contact with m2 only, and immediately revokes user 0 while
+  // its own store is far behind.
+  s.scripted().heal_link(s.manager_ids()[0], s.manager_ids()[2]);
+  bool revoke_done = false;
+  s.revoke(s.user(0), 0, [&] { revoke_done = true; });
+  s.run_for(Duration::seconds(10));
+  ASSERT_TRUE(revoke_done);
+
+  // The revoke must have superseded the grant wherever it has arrived...
+  EXPECT_FALSE(s.manager(0).manager().store(s.app())->check(s.user(0),
+                                                            acl::Right::kUse));
+  EXPECT_FALSE(s.manager(2).manager().store(s.app())->check(s.user(0),
+                                                            acl::Right::kUse));
+  // ...and a host whose check quorum straddles fresh and stale managers
+  // must deny (the freshest version is now the revoke's).
+  const auto d = run_check(s, 0, s.user(0));
+  EXPECT_FALSE(d.allowed);
+}
+
+TEST(ProtoPartition, StaleResponsesFromEarlierAttemptsIgnored) {
+  auto cfg = scripted_config();
+  // Latency beyond the query timeout: every response arrives "too late"
+  // (Fig. 3 only accepts responses before the timer fires).
+  cfg.const_latency = Duration::from_seconds(1.5);
+  cfg.protocol.query_timeout = Duration::seconds(1);
+  Scenario s(cfg);
+  s.grant(s.user(0));
+  s.run_for(Duration::seconds(30));
+  const auto d = run_check(s, 0, s.user(0), Duration::seconds(20));
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.path, DecisionPath::kUnverifiableDeny);
+  EXPECT_EQ(d.attempts, 3);
+}
+
+// ---- Freeze strategy (§3.3 alternative) -----------------------------------
+
+ScenarioConfig freeze_config() {
+  auto cfg = scripted_config();
+  cfg.protocol.freeze_enabled = true;
+  cfg.protocol.Te = Duration::seconds(120);
+  cfg.protocol.Ti = Duration::seconds(30);
+  cfg.protocol.heartbeat_period = Duration::seconds(5);
+  return cfg;
+}
+
+TEST(ProtoFreeze, ExpirySplitsBudget) {
+  const auto cfg = freeze_config();
+  // te = (Te - Ti) / b = 90s.
+  EXPECT_DOUBLE_EQ(cfg.protocol.expiry_period().to_seconds(), 90.0);
+}
+
+TEST(ProtoFreeze, ManagersFreezeAfterPeerSilence) {
+  Scenario s(freeze_config());
+  s.grant(s.user(0));
+  s.run_for(Duration::seconds(5));
+  EXPECT_FALSE(s.manager(1).manager().frozen(s.app()));
+
+  // m0 vanishes behind a partition; after Ti the survivors freeze.
+  s.scripted().isolate(s.manager_ids()[0], s.all_site_ids());
+  s.run_for(Duration::seconds(31));
+  EXPECT_TRUE(s.manager(1).manager().frozen(s.app()));
+  EXPECT_TRUE(s.manager(2).manager().frozen(s.app()));
+
+  // Frozen managers answer nothing: the check cannot assemble a quorum.
+  const auto d = run_check(s, 0, s.user(0));
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.path, DecisionPath::kUnverifiableDeny);
+}
+
+TEST(ProtoFreeze, HealingUnfreezes) {
+  Scenario s(freeze_config());
+  s.grant(s.user(0));
+  s.run_for(Duration::seconds(5));
+  s.scripted().isolate(s.manager_ids()[0], s.all_site_ids());
+  s.run_for(Duration::seconds(40));
+  ASSERT_TRUE(s.manager(1).manager().frozen(s.app()));
+
+  s.scripted().heal_all();
+  s.run_for(Duration::seconds(12));  // a couple of heartbeat rounds
+  EXPECT_FALSE(s.manager(1).manager().frozen(s.app()));
+  const auto d = run_check(s, 0, s.user(0));
+  EXPECT_TRUE(d.allowed);
+}
+
+TEST(ProtoFreeze, NoFreezeWhileAllReachable) {
+  Scenario s(freeze_config());
+  s.grant(s.user(0));
+  s.run_for(Duration::minutes(5));  // far beyond Ti with healthy heartbeats
+  EXPECT_FALSE(s.manager(0).manager().frozen(s.app()));
+  EXPECT_TRUE(run_check(s, 0, s.user(0)).allowed);
+}
+
+}  // namespace
+}  // namespace wan

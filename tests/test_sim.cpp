@@ -1,0 +1,230 @@
+// Unit tests: scheduler ordering/cancellation, timers, crash/recovery
+// lifecycle process.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/lifecycle.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "sim/timer.hpp"
+
+namespace wan::sim {
+namespace {
+
+TEST(Time, DurationArithmetic) {
+  const Duration d = Duration::seconds(2) + Duration::millis(500);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 2.5);
+  EXPECT_EQ((d - Duration::millis(500)).count_nanos(),
+            Duration::seconds(2).count_nanos());
+  EXPECT_EQ((Duration::seconds(3) / 3).count_nanos(),
+            Duration::seconds(1).count_nanos());
+  EXPECT_DOUBLE_EQ(Duration::seconds(3) / Duration::seconds(2), 1.5);
+  EXPECT_TRUE((-Duration::seconds(1)).is_negative());
+}
+
+TEST(Time, FromSecondsRoundTrip) {
+  EXPECT_EQ(Duration::from_seconds(1.5).count_nanos(), 1'500'000'000);
+  EXPECT_EQ(Duration::from_seconds(-0.25).count_nanos(), -250'000'000);
+}
+
+TEST(Time, TimePointArithmetic) {
+  const TimePoint t = TimePoint::from_nanos(1000);
+  EXPECT_EQ((t + Duration::nanos(500)).nanos_since_origin(), 1500);
+  EXPECT_EQ(((t + Duration::nanos(500)) - t).count_nanos(), 500);
+  EXPECT_LT(t, TimePoint::max());
+}
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_after(Duration::seconds(3), [&] { order.push_back(3); });
+  sched.schedule_after(Duration::seconds(1), [&] { order.push_back(1); });
+  sched.schedule_after(Duration::seconds(2), [&] { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_after(Duration::seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, NowAdvancesToEventTime) {
+  Scheduler sched;
+  TimePoint seen{};
+  sched.schedule_after(Duration::seconds(5), [&] { seen = sched.now(); });
+  sched.run_all();
+  EXPECT_EQ(seen.nanos_since_origin(), Duration::seconds(5).count_nanos());
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  sched.schedule_after(Duration::seconds(10), [&] { ++fired; });
+  sched.run_until(TimePoint{} + Duration::seconds(5));
+  EXPECT_EQ(fired, 1);
+  // Clock parked at the deadline even with work pending later.
+  EXPECT_EQ(sched.now().nanos_since_origin(), Duration::seconds(5).count_nanos());
+  sched.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  int fired = 0;
+  auto h = sched.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sched.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, ReentrantScheduling) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sched.schedule_after(Duration::seconds(1), recurse);
+  };
+  sched.schedule_after(Duration::seconds(1), recurse);
+  sched.run_all();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(Scheduler, StepRunsExactlyOne) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  sched.schedule_after(Duration::seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sched.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sched.step());
+  EXPECT_FALSE(sched.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, ExecutedCountExcludesCancelled) {
+  Scheduler sched;
+  auto h = sched.schedule_after(Duration::seconds(1), [] {});
+  sched.schedule_after(Duration::seconds(2), [] {});
+  h.cancel();
+  sched.run_all();
+  EXPECT_EQ(sched.executed_events(), 1u);
+}
+
+TEST(Timer, ReArmCancelsPrevious) {
+  Scheduler sched;
+  Timer t(sched);
+  int a = 0, b = 0;
+  t.arm(Duration::seconds(1), [&] { ++a; });
+  t.arm(Duration::seconds(2), [&] { ++b; });
+  sched.run_all();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(Timer, DestructionCancels) {
+  Scheduler sched;
+  int fired = 0;
+  {
+    Timer t(sched);
+    t.arm(Duration::seconds(1), [&] { ++fired; });
+  }
+  sched.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, MoveTransfersOwnership) {
+  Scheduler sched;
+  int fired = 0;
+  Timer a(sched);
+  a.arm(Duration::seconds(1), [&] { ++fired; });
+  Timer b = std::move(a);
+  EXPECT_TRUE(b.pending());
+  sched.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(PeriodicTimer, FiresRepeatedly) {
+  Scheduler sched;
+  PeriodicTimer t(sched);
+  int fired = 0;
+  t.start(Duration::seconds(1), [&] { ++fired; });
+  sched.run_until(TimePoint{} + Duration::from_seconds(5.5));
+  EXPECT_EQ(fired, 5);
+  t.stop();
+  sched.run_until(TimePoint{} + Duration::seconds(10));
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(PeriodicTimer, CallbackMayStopSafely) {
+  Scheduler sched;
+  PeriodicTimer t(sched);
+  int fired = 0;
+  t.start(Duration::seconds(1), [&] {
+    if (++fired == 3) t.stop();
+  });
+  sched.run_until(TimePoint{} + Duration::seconds(100));
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+TEST(PeriodicTimer, InitialDelayRespected) {
+  Scheduler sched;
+  PeriodicTimer t(sched);
+  std::vector<double> at;
+  t.start(Duration::seconds(10), Duration::seconds(2),
+          [&] { at.push_back(sched.now().to_seconds()); });
+  sched.run_until(TimePoint{} + Duration::seconds(15));
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_DOUBLE_EQ(at[0], 10.0);
+  EXPECT_DOUBLE_EQ(at[1], 12.0);
+  EXPECT_DOUBLE_EQ(at[2], 14.0);
+}
+
+TEST(Lifecycle, AlternatesCrashAndRecovery) {
+  Scheduler sched;
+  Rng rng(42);
+  CrashRecoveryProcess::Config cfg;
+  cfg.mttf = Duration::seconds(100);
+  cfg.mttr = Duration::seconds(10);
+  CrashRecoveryProcess proc(sched, rng, cfg);
+  int crashes = 0, recoveries = 0;
+  proc.start([&] { ++crashes; }, [&] { ++recoveries; });
+  sched.run_until(TimePoint{} + Duration::seconds(5000));
+  EXPECT_GT(crashes, 10);
+  EXPECT_TRUE(crashes == recoveries || crashes == recoveries + 1);
+}
+
+TEST(Lifecycle, StationaryAvailabilityFormula) {
+  Scheduler sched;
+  CrashRecoveryProcess proc(sched, Rng(1),
+                            {Duration::seconds(90), Duration::seconds(10)});
+  EXPECT_DOUBLE_EQ(proc.stationary_availability(), 0.9);
+}
+
+TEST(Lifecycle, MeasuredAvailabilityMatchesStationary) {
+  Scheduler sched;
+  CrashRecoveryProcess proc(sched, Rng(7),
+                            {Duration::seconds(90), Duration::seconds(10)});
+  proc.start(nullptr, nullptr);
+  // Sample the up flag every second for a long run.
+  std::int64_t up = 0, total = 0;
+  PeriodicTimer sampler(sched);
+  sampler.start(Duration::seconds(1), [&] {
+    ++total;
+    if (proc.up()) ++up;
+  });
+  sched.run_until(TimePoint{} + Duration::seconds(200000));
+  EXPECT_NEAR(static_cast<double>(up) / static_cast<double>(total), 0.9, 0.02);
+}
+
+}  // namespace
+}  // namespace wan::sim

@@ -1,0 +1,263 @@
+// Unit tests for the metrics layer (histogram, ground truth, collector
+// classification) and the workload driver/probes.
+#include <gtest/gtest.h>
+
+#include "metrics/collector.hpp"
+#include "metrics/ground_truth.hpp"
+#include "metrics/histogram.hpp"
+#include "workload/driver.hpp"
+#include "workload/scenario.hpp"
+
+namespace wan {
+namespace {
+
+using metrics::Collector;
+using metrics::DecisionClass;
+using metrics::GroundTruth;
+using metrics::Histogram;
+using proto::AccessDecision;
+using proto::DecisionPath;
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.5), 0.0);
+}
+
+TEST(Histogram, MeanMinMax) {
+  Histogram h;
+  h.record_seconds(1.0);
+  h.record_seconds(2.0);
+  h.record_seconds(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 3.0);
+}
+
+TEST(Histogram, QuantilesApproximate) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record_seconds(i * 0.001);  // 1ms..1s
+  // Log-linear buckets: ~10% relative error budget.
+  EXPECT_NEAR(h.quantile_seconds(0.5), 0.5, 0.06);
+  EXPECT_NEAR(h.quantile_seconds(0.99), 0.99, 0.11);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(1.0), h.max_seconds());
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a, b;
+  a.record_seconds(1.0);
+  b.record_seconds(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max_seconds(), 3.0);
+}
+
+TEST(Histogram, NegativeClampedToZero) {
+  Histogram h;
+  h.record(Duration::seconds(-5));
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 0.0);
+}
+
+TEST(GroundTruth, AuthorizedFollowsTimeline) {
+  GroundTruth truth;
+  const AppId app(1);
+  const UserId u(1);
+  const auto t = [](int s) { return TimePoint{} + Duration::seconds(s); };
+  truth.record(app, u, acl::Right::kUse, true, t(10));
+  truth.record(app, u, acl::Right::kUse, false, t(20));
+  truth.record(app, u, acl::Right::kUse, true, t(30));
+
+  EXPECT_FALSE(truth.authorized(app, u, acl::Right::kUse, t(5)));
+  EXPECT_TRUE(truth.authorized(app, u, acl::Right::kUse, t(10)));
+  EXPECT_TRUE(truth.authorized(app, u, acl::Right::kUse, t(15)));
+  EXPECT_FALSE(truth.authorized(app, u, acl::Right::kUse, t(25)));
+  EXPECT_TRUE(truth.authorized(app, u, acl::Right::kUse, t(35)));
+}
+
+TEST(GroundTruth, UnknownUserNeverAuthorized) {
+  GroundTruth truth;
+  EXPECT_FALSE(truth.authorized(AppId(1), UserId(9), acl::Right::kUse,
+                                TimePoint{} + Duration::seconds(1)));
+}
+
+TEST(GroundTruth, WindowQueries) {
+  GroundTruth truth;
+  const AppId app(1);
+  const UserId u(1);
+  const auto t = [](int s) { return TimePoint{} + Duration::seconds(s); };
+  truth.record(app, u, acl::Right::kUse, true, t(10));
+  truth.record(app, u, acl::Right::kUse, false, t(20));
+
+  // Authorized at the window start.
+  EXPECT_TRUE(truth.authorized_in_window(app, u, acl::Right::kUse, t(15), t(25)));
+  // Grant event inside the window.
+  EXPECT_TRUE(truth.authorized_in_window(app, u, acl::Right::kUse, t(5), t(12)));
+  // Entirely unauthorized window.
+  EXPECT_FALSE(truth.authorized_in_window(app, u, acl::Right::kUse, t(25), t(40)));
+  EXPECT_FALSE(truth.authorized_in_window(app, u, acl::Right::kUse, t(0), t(9)));
+}
+
+TEST(GroundTruth, UnauthorizedSinceFindsRevokeStart) {
+  GroundTruth truth;
+  const AppId app(1);
+  const UserId u(1);
+  const auto t = [](int s) { return TimePoint{} + Duration::seconds(s); };
+  truth.record(app, u, acl::Right::kUse, true, t(10));
+  truth.record(app, u, acl::Right::kUse, false, t(20));
+  truth.record(app, u, acl::Right::kUse, false, t(25));  // re-revoke (no-op)
+
+  EXPECT_FALSE(truth.unauthorized_since(app, u, acl::Right::kUse, t(15)).has_value());
+  const auto since = truth.unauthorized_since(app, u, acl::Right::kUse, t(30));
+  ASSERT_TRUE(since.has_value());
+  EXPECT_EQ(*since, t(20));  // the FIRST revoke of the stretch
+  // Never-granted users have no revoke to blame.
+  EXPECT_FALSE(truth.unauthorized_since(app, u, acl::Right::kUse, t(5)).has_value());
+}
+
+AccessDecision make_decision(bool allowed, int req_s, int dec_s) {
+  AccessDecision d;
+  d.app = AppId(1);
+  d.user = UserId(1);
+  d.requested = TimePoint{} + Duration::seconds(req_s);
+  d.decided = TimePoint{} + Duration::seconds(dec_s);
+  d.allowed = allowed;
+  d.path = allowed ? DecisionPath::kQuorumGranted : DecisionPath::kQuorumDenied;
+  return d;
+}
+
+struct CollectorFixture : ::testing::Test {
+  GroundTruth truth;
+  Collector collector{truth, Duration::seconds(60)};  // Te = 60
+
+  void SetUp() override {
+    const auto t = [](int s) { return TimePoint{} + Duration::seconds(s); };
+    truth.record(AppId(1), UserId(1), acl::Right::kUse, true, t(0));
+    truth.record(AppId(1), UserId(1), acl::Right::kUse, false, t(100));
+  }
+};
+
+TEST_F(CollectorFixture, LegitAllowed) {
+  EXPECT_EQ(collector.observe(make_decision(true, 50, 51)),
+            DecisionClass::kLegitAllowed);
+  EXPECT_DOUBLE_EQ(collector.report().availability(), 1.0);
+}
+
+TEST_F(CollectorFixture, LegitDeniedIsAvailabilityViolation) {
+  EXPECT_EQ(collector.observe(make_decision(false, 50, 53)),
+            DecisionClass::kLegitDenied);
+  EXPECT_DOUBLE_EQ(collector.report().availability(), 0.0);
+}
+
+TEST_F(CollectorFixture, UnauthorizedDenied) {
+  EXPECT_EQ(collector.observe(make_decision(false, 200, 201)),
+            DecisionClass::kUnauthDenied);
+  EXPECT_DOUBLE_EQ(collector.report().security(), 1.0);
+}
+
+TEST_F(CollectorFixture, GraceWindowAllowedWithinTe) {
+  // Allowed at t=130: revoked at 100, within 60s grace.
+  EXPECT_EQ(collector.observe(make_decision(true, 130, 131)),
+            DecisionClass::kUnauthAllowedGrace);
+  EXPECT_EQ(collector.report().security_violations, 0u);
+}
+
+TEST_F(CollectorFixture, BeyondGraceIsSecurityViolation) {
+  // Allowed at t=170: revoke quorum + Te = 160 < 170.
+  EXPECT_EQ(collector.observe(make_decision(true, 170, 171)),
+            DecisionClass::kSecurityViolation);
+  EXPECT_LT(collector.report().security(), 1.0);
+}
+
+TEST_F(CollectorFixture, NeverGrantedAllowedIsViolation) {
+  AccessDecision d = make_decision(true, 50, 51);
+  d.user = UserId(9);  // no timeline at all
+  EXPECT_EQ(collector.observe(d), DecisionClass::kSecurityViolation);
+}
+
+TEST_F(CollectorFixture, RevokeLandingMidCheckJudgedAtRequestTime) {
+  // Requested at 99 (authorized), decided at 101 (just revoked): counts as
+  // legitimate, not as a violation of any kind.
+  EXPECT_EQ(collector.observe(make_decision(true, 99, 101)),
+            DecisionClass::kLegitAllowed);
+}
+
+TEST_F(CollectorFixture, LatencyTrackedPerPath) {
+  collector.observe(make_decision(true, 50, 53));
+  EXPECT_EQ(collector.latency(DecisionPath::kQuorumGranted).count(), 1u);
+  EXPECT_NEAR(collector.latency(DecisionPath::kQuorumGranted).mean_seconds(),
+              3.0, 0.4);
+  EXPECT_EQ(collector.path_count(DecisionPath::kQuorumGranted), 1u);
+  EXPECT_EQ(collector.path_count(DecisionPath::kCacheHit), 0u);
+}
+
+TEST_F(CollectorFixture, ResetClears) {
+  collector.observe(make_decision(true, 50, 51));
+  collector.reset();
+  EXPECT_EQ(collector.report().total, 0u);
+  EXPECT_EQ(collector.all_latency().count(), 0u);
+}
+
+// ---------------------------------------------------------------- driver
+
+TEST(Driver, GeneratesLoadAndOps) {
+  workload::ScenarioConfig cfg;
+  cfg.managers = 3;
+  cfg.app_hosts = 2;
+  cfg.users = 10;
+  cfg.constant_latency = true;
+  cfg.const_latency = Duration::millis(10);
+  cfg.protocol.check_quorum = 2;
+  cfg.seed = 5;
+  workload::Scenario s(cfg);
+  workload::DriverConfig dcfg;
+  dcfg.access_rate_per_host = 5.0;
+  dcfg.manager_ops_per_second = 0.5;
+  workload::Driver driver(s, dcfg, 99);
+  driver.start();
+  s.run_for(Duration::minutes(10));
+  driver.stop();
+  s.run_for(Duration::seconds(30));  // drain in-flight checks
+
+  // Poisson(5/s) per host over 600s across 2 hosts ~ 6000 accesses.
+  EXPECT_NEAR(static_cast<double>(driver.accesses_issued()), 6000.0, 400.0);
+  EXPECT_GT(driver.grants_issued(), 10u);
+  EXPECT_GT(driver.revokes_issued(), 10u);
+  EXPECT_EQ(s.collector().report().total, driver.accesses_issued());
+  // Healthy network, deny policy: nothing can violate the bound. Availability
+  // is just shy of 1.0: a grant is "legitimate" from the instant a manager
+  // accepts it, but checks racing the grant's version-read + dissemination
+  // window (a few RTTs) are still denied.
+  EXPECT_EQ(s.collector().report().security_violations, 0u);
+  EXPECT_GT(s.collector().report().availability(), 0.995);
+}
+
+TEST(Driver, ZipfSkewsPopularity) {
+  workload::ScenarioConfig cfg;
+  cfg.managers = 1;
+  cfg.app_hosts = 1;
+  cfg.users = 10;
+  cfg.constant_latency = true;
+  cfg.protocol.check_quorum = 1;
+  cfg.seed = 6;
+  workload::Scenario s(cfg);
+  workload::DriverConfig dcfg;
+  dcfg.zipf_s = 1.2;
+  dcfg.manager_ops_per_second = 0.0;
+  dcfg.initially_granted = 1.0;
+  workload::Driver driver(s, dcfg, 77);
+  driver.start();
+  s.run_for(Duration::minutes(30));
+
+  // With s=1.2, user 0 should dominate the cache-hit traffic; sanity-check
+  // via the cache stats: far more hits than users.
+  const auto* cache = s.host(0).controller().cache(s.app());
+  EXPECT_GT(cache->stats().hits, cache->stats().misses * 3);
+}
+
+}  // namespace
+}  // namespace wan
