@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_proto_reconfig.cpp" "tests/CMakeFiles/test_proto_reconfig.dir/test_proto_reconfig.cpp.o" "gcc" "tests/CMakeFiles/test_proto_reconfig.dir/test_proto_reconfig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/wan_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wan_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/wan_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/wan_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/wan_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/acl/CMakeFiles/wan_acl.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/wan_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/nameservice/CMakeFiles/wan_nameservice.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/wan_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/wan_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
