@@ -3,12 +3,22 @@
 // The paper assumes manager updates can be ordered ("the initiating manager
 // transmits a message to all other managers", later merged after recovery).
 // We make the ordering concrete: every update carries a Lamport-style version
-// (counter, issuing-manager id). Counters grow monotonically per (user,right)
-// register; ties — impossible between updates to the same register issued by
-// the same manager — break on manager id, giving a total order and therefore
-// convergent last-writer-wins merges everywhere (quorum reads pick the
-// freshest response, recovering managers sync by merge, and the eventual-
-// consistency baseline's anti-entropy uses the same merge).
+// (counter, issuing-manager id, issue stamp). Counters grow monotonically per
+// (user,right) register; counter ties break on manager id and then on the
+// issue stamp, giving a total order and therefore convergent last-writer-wins
+// merges everywhere (quorum reads pick the freshest response, recovering
+// managers sync by merge, and the eventual-consistency baseline's
+// anti-entropy uses the same merge).
+//
+// The issue stamp exists because (counter, origin) alone is NOT unique across
+// crashes: a manager whose update was only partially disseminated can crash,
+// re-sync from a check quorum that never saw that update, and then mint the
+// same counter again for a *different* operation — two distinct updates with
+// equal versions, which LWW can never reconcile (found by the chaos harness;
+// see tests/test_proto_recovery.cpp VersionReissueAfterCrashConverges). The
+// stamp is taken from the issuer's local clock (monotone across crashes, by
+// the paper's own clock-rate bound), so the reissue compares strictly newer
+// and the merge converges on it.
 #pragma once
 
 #include <compare>
@@ -21,18 +31,21 @@ namespace wan::acl {
 struct Version {
   std::uint64_t counter = 0;  ///< 0 == "never written"
   HostId origin{};            ///< manager that issued the update
+  std::int64_t stamp = 0;     ///< issuer-local issue instant (crash uniqueness)
 
   friend constexpr auto operator<=>(const Version& a, const Version& b) noexcept {
     if (auto c = a.counter <=> b.counter; c != 0) return c;
-    return a.origin.value() <=> b.origin.value();
+    if (auto c = a.origin.value() <=> b.origin.value(); c != 0) return c;
+    return a.stamp <=> b.stamp;
   }
   friend constexpr bool operator==(const Version&, const Version&) noexcept = default;
 
   [[nodiscard]] constexpr bool initial() const noexcept { return counter == 0; }
 
   /// The successor version issued by `self`, given the freshest version seen.
-  [[nodiscard]] constexpr Version next(HostId self) const noexcept {
-    return Version{counter + 1, self};
+  [[nodiscard]] constexpr Version next(HostId self,
+                                       std::int64_t issue_stamp = 0) const noexcept {
+    return Version{counter + 1, self, issue_stamp};
   }
 };
 

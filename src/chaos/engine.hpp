@@ -1,0 +1,72 @@
+// Chaos run engine: executes one seeded plan under the invariant oracle and
+// shrinks failing runs to a minimal fault subset.
+//
+// A run is: build the plan from the seed, wire a Scenario with scripted
+// partitions, install the oracle, schedule every fault event, drive the
+// Poisson workload for the horizon, then heal everything, drain for Te plus
+// slack so caches and in-flight updates quiesce, and run the end-of-run
+// convergence checks. The whole thing is a pure function of (seed, horizon,
+// enabled-event subset): replaying the same inputs reproduces the same event
+// trace bit-for-bit, which the trace hash certifies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_schedule.hpp"
+#include "chaos/oracle.hpp"
+#include "metrics/collector.hpp"
+
+namespace wan::chaos {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  sim::Duration horizon = sim::Duration::minutes(8);
+  /// When restrict_events is set, only the schedule events whose indices
+  /// appear in only_events are injected (possibly none). The shrinker re-runs
+  /// with subsets; indices refer to the full generated schedule.
+  bool restrict_events = false;
+  std::vector<int> only_events;
+  /// Collect a human-readable line per injected fault and per violation.
+  bool trace = false;
+};
+
+struct ChaosResult {
+  std::uint64_t seed = 0;
+  std::uint64_t trace_hash = 0;
+  std::vector<Violation> violations;
+  std::uint64_t violation_count = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t entries_audited = 0;
+  std::uint64_t expected_leaks = 0;
+  std::uint64_t events_executed = 0;
+  std::size_t schedule_size = 0;
+  std::size_t faults_applied = 0;
+  metrics::CollectorReport report;
+  std::vector<std::string> trace_lines;  ///< only with ChaosOptions::trace
+
+  [[nodiscard]] bool ok() const noexcept { return violation_count == 0; }
+};
+
+/// Executes one chaos run to completion. Deterministic in `opts`.
+[[nodiscard]] ChaosResult run_chaos(const ChaosOptions& opts);
+
+/// Delta-debugging (ddmin) minimization: finds a small subset of [0, n) on
+/// which `fails` still returns true, assuming `fails` on the full set. Runs
+/// at most `max_runs` predicate evaluations; returns the best subset found.
+[[nodiscard]] std::vector<int> shrink_schedule(
+    int n, const std::function<bool(const std::vector<int>&)>& fails,
+    int max_runs = 64);
+
+/// Shrinks a failing seed's fault schedule to a minimal violating subset and
+/// returns the final (shrunk) run result plus the surviving event indices.
+struct ShrinkOutcome {
+  std::vector<int> events;  ///< minimal violating subset of schedule indices
+  ChaosResult result;       ///< the run on exactly that subset
+};
+[[nodiscard]] ShrinkOutcome shrink_failing_run(const ChaosOptions& opts);
+
+}  // namespace wan::chaos

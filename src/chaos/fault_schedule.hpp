@@ -1,0 +1,67 @@
+// Seeded fault-injection schedules.
+//
+// A chaos run is a deterministic function of one 64-bit seed: the seed picks
+// the deployment shape (M, H, U, C), the protocol knobs (Te, b, R, policy,
+// freeze), the ambient network adversity (loss, duplication, latency), the
+// workload rates, and an explicit *schedule* of injected fault events —
+// partition storms, link cuts, host/manager crash-recovery, and manager-set
+// reconfigurations. The schedule is materialized up front as a plain vector
+// so a failing run can be shrunk by re-running with subsets of the events
+// (delta debugging): skipping an event never perturbs the RNG streams of the
+// surviving ones, which keeps every subset run bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "workload/driver.hpp"
+#include "workload/scenario.hpp"
+
+namespace wan::chaos {
+
+/// One injected adversity. Site indices cover managers first (0..M-1) then
+/// application hosts (M..M+H-1); the engine maps them to HostIds.
+enum class FaultKind : std::uint8_t {
+  kSplit,           ///< partition all sites into `groups` components
+  kHealSplit,       ///< remove the component split (link cuts persist)
+  kCutLink,         ///< cut the (a, b) site link
+  kHealLink,        ///< heal the (a, b) site link
+  kCrashManager,    ///< crash manager index a (volatile state lost)
+  kRecoverManager,  ///< recover manager index a (triggers §3.4 re-sync)
+  kCrashHost,       ///< crash app host index a (cache lost)
+  kRecoverHost,     ///< recover app host index a
+  kReconfigure,     ///< change Managers(app) to `members` (manager indices)
+};
+
+[[nodiscard]] const char* to_cstring(FaultKind k) noexcept;
+
+struct FaultEvent {
+  sim::Duration at{};  ///< offset from run start
+  FaultKind kind{};
+  int a = -1;  ///< target site / manager / host index (kind-dependent)
+  int b = -1;  ///< second link endpoint (kCutLink / kHealLink)
+  std::vector<std::vector<int>> groups;  ///< kSplit components (site indices)
+  std::vector<int> members;              ///< kReconfigure membership
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;  ///< sorted by `at`, ties in program order
+};
+
+/// Everything a chaos run needs, derived deterministically from the seed.
+struct ChaosPlan {
+  workload::ScenarioConfig scenario;  ///< partitions == kScripted
+  workload::DriverConfig driver;
+  std::uint64_t driver_seed = 0;
+  sim::Duration horizon{};
+  FaultSchedule schedule;
+};
+
+/// Builds the plan for `seed`. Fault durations are capped well under the
+/// workload driver's 5-minute stuck-operation reaping limit so grant/revoke
+/// operations stay serialized per user and the ground-truth timeline stays
+/// unambiguous (see workload/driver.hpp).
+[[nodiscard]] ChaosPlan make_plan(std::uint64_t seed, sim::Duration horizon);
+
+}  // namespace wan::chaos

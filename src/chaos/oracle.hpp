@@ -1,0 +1,159 @@
+// Invariant oracles for chaos runs.
+//
+// The paper makes exactly one hard security promise: after a revoke obtains
+// its update quorum, no access is granted anywhere later than Te. Everything
+// else in the design exists to make that bound hold under partitions, crashes,
+// drifting clocks, and message mangling. The oracle audits that promise — and
+// the mechanisms that imply it — after EVERY executed simulator event, not
+// just at run end, so a transiently-bad state is caught at the instant it
+// exists:
+//
+//   * decision oracle     — an allow classified as a security violation by
+//                           ground truth (unauthorized for a full trailing Te
+//                           window) fails the run, unless it travelled the
+//                           default-allow path in a run configured for the
+//                           availability-first exhausted policy (Fig. 4), in
+//                           which case the leak is the documented trade-off;
+//   * cache TTL oracle    — no live cache entry's expiry limit may sit more
+//                           than te = Te/b - delta ahead of the host's local
+//                           clock (Fig. 3's insertion rule bounds it by
+//                           construction; a violation means corruption);
+//   * latent-entry oracle — no cache entry may still be live more than Te
+//                           real time past the revoke quorum instant that
+//                           made its user unauthorized (the flush + expiry
+//                           machinery must have killed it by then);
+//   * version oracle      — quorum intersection (C + (M-C+1) > M) means two
+//                           decisions based on the same update version must
+//                           agree on allow/deny;
+//   * convergence oracle  — at quiescence (run end, all faults healed, drain
+//                           elapsed), member manager stores must be identical
+//                           and must agree with the ground-truth timeline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "proto/decision.hpp"
+#include "sim/time.hpp"
+#include "workload/scenario.hpp"
+
+namespace wan::chaos {
+
+enum class ViolationKind : std::uint8_t {
+  kSecurityDecision,    ///< allow beyond the Te bound (ground-truth class)
+  kCacheTtlBound,       ///< cache entry expiry further than te ahead
+  kLatentRevokedEntry,  ///< live cache entry > Te past its revoke quorum
+  kQuorumConflict,      ///< same update version decided both allow and deny
+  kStoreDivergence,     ///< member stores differ at quiescence
+  kGroundTruthMismatch, ///< store grants a user ground truth says is revoked
+};
+
+[[nodiscard]] const char* to_cstring(ViolationKind k) noexcept;
+
+struct Violation {
+  ViolationKind kind{};
+  sim::TimePoint at{};          ///< simulated real time of detection
+  std::uint64_t event_index = 0; ///< scheduler events executed at detection
+  std::string detail;
+};
+
+/// FNV-1a 64 over the run's observable trace. Replays of the same seed must
+/// produce bit-identical hashes; the runner checks exactly that.
+class TraceHasher {
+ public:
+  void mix(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffu;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+class InvariantOracle {
+ public:
+  struct Config {
+    /// Run uses ExhaustedPolicy::kAllow: default-allow leaks are the paper's
+    /// documented availability trade-off, not violations. Counted separately.
+    bool default_allow_expected = false;
+    /// Recording cap; violations past it are counted but not stored.
+    std::size_t max_violations = 64;
+    /// Slack for boundary comparisons (timer firing order at the instant a
+    /// bound is exactly met).
+    sim::Duration tolerance = sim::Duration::millis(1);
+  };
+
+  /// The oracle wires itself into `scenario` on install(); the scenario must
+  /// outlive it. `hasher` (optional) receives every decision in execution
+  /// order, for replay verification.
+  InvariantOracle(workload::Scenario& scenario, Config config,
+                  TraceHasher* hasher = nullptr);
+  ~InvariantOracle();
+  InvariantOracle(const InvariantOracle&) = delete;
+  InvariantOracle& operator=(const InvariantOracle&) = delete;
+
+  /// Takes over every host's decision observer (still forwarding decisions to
+  /// the scenario's collector) and the scheduler's event observer.
+  void install();
+
+  /// End-of-run checks; call at quiescence. `members` are the manager indices
+  /// currently in Managers(app) (store convergence only binds members).
+  void final_checks(const std::vector<int>& members);
+
+  /// One audit pass over all live caches; runs automatically after every
+  /// scheduler event once installed. Public so tests can invoke it directly.
+  void checkpoint();
+
+  /// Decision entry point — the installed host observers feed this; public
+  /// so oracle self-tests can present crafted decisions directly.
+  void ingest(const proto::AccessDecision& d);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] std::uint64_t violation_count() const noexcept {
+    return violation_count_;
+  }
+  [[nodiscard]] std::uint64_t decisions() const noexcept { return decisions_; }
+  [[nodiscard]] std::uint64_t checkpoints() const noexcept { return checkpoints_; }
+  [[nodiscard]] std::uint64_t entries_audited() const noexcept {
+    return entries_audited_;
+  }
+  /// Default-allow leaks in a kAllow-policy run (expected, not violations).
+  [[nodiscard]] std::uint64_t expected_leaks() const noexcept {
+    return expected_leaks_;
+  }
+
+ private:
+  void record(ViolationKind kind, std::string detail);
+
+  workload::Scenario* scenario_;
+  Config config_;
+  TraceHasher* hasher_;
+  bool installed_ = false;
+
+  std::vector<Violation> violations_;
+  std::uint64_t violation_count_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t entries_audited_ = 0;
+  std::uint64_t expected_leaks_ = 0;
+
+  /// (user, version counter, origin, stamp) -> allowed, for the version
+  /// oracle. Initial versions (counter 0) carry no update identity; skipped.
+  std::map<std::tuple<std::uint32_t, std::uint64_t, std::uint32_t,
+                      std::int64_t>,
+           bool>
+      version_decisions_;
+  /// Dedup: a bad cache entry stays bad across many checkpoints; report once.
+  std::set<std::tuple<int, std::uint32_t, std::int64_t>> reported_ttl_;
+  std::set<std::tuple<int, std::uint32_t, std::int64_t>> reported_latent_;
+};
+
+}  // namespace wan::chaos

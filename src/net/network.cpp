@@ -12,7 +12,9 @@ Network::Network(sim::Scheduler& sched, Rng rng, Config config)
       rng_(rng),
       latency_(std::move(config.latency)),
       loss_(std::move(config.loss)),
-      partitions_(std::move(config.partitions)) {
+      partitions_(std::move(config.partitions)),
+      duplicate_(config.duplicate) {
+  WAN_REQUIRE(duplicate_ >= 0.0 && duplicate_ <= 1.0);
   if (!latency_) latency_ = std::make_unique<ConstantLatency>(sim::Duration::millis(50));
   if (!loss_) loss_ = std::make_unique<NoLoss>();
   if (!partitions_) partitions_ = std::make_shared<FullConnectivity>();
@@ -86,6 +88,18 @@ void Network::send(HostId from, HostId to, MessagePtr msg) {
 
   const sim::Duration delay =
       from == to ? sim::Duration{} : latency_->sample(from, to, rng_);
+  // Duplication decision and second latency sample are drawn only when the
+  // knob is on, so runs with duplicate == 0 consume exactly the RNG stream
+  // they did before the knob existed (seed-stable).
+  if (from != to && duplicate_ > 0.0 && rng_.next_bool(duplicate_)) {
+    ++stats_.duplicated;
+    deliver(from, to, msg, latency_->sample(from, to, rng_));
+  }
+  deliver(from, to, std::move(msg), delay);
+}
+
+void Network::deliver(HostId from, HostId to, MessagePtr msg,
+                      sim::Duration delay) {
   sched_.schedule_after(delay, [this, from, to, msg = std::move(msg)] {
     const auto dst = endpoints_.find(to);
     if (dst == endpoints_.end() || dst->second.down) {

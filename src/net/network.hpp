@@ -31,6 +31,7 @@ namespace wan::net {
 struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
+  std::uint64_t duplicated = 0;  ///< extra copies injected by duplication
   std::uint64_t dropped_partition = 0;
   std::uint64_t dropped_loss = 0;
   std::uint64_t dropped_host_down = 0;
@@ -51,6 +52,11 @@ class Network {
     std::unique_ptr<LatencyModel> latency;    ///< default: constant 50ms
     std::unique_ptr<LossModel> loss;          ///< default: NoLoss
     std::shared_ptr<PartitionModel> partitions;  ///< default: FullConnectivity
+    /// Probability that a non-loopback datagram is delivered twice, each copy
+    /// with an independently sampled latency. Datagram networks duplicate
+    /// under retransmission at lower layers; the protocol must be idempotent
+    /// against it, and the chaos harness turns this knob up to prove it.
+    double duplicate = 0.0;
   };
 
   Network(sim::Scheduler& sched, Rng rng, Config config);
@@ -89,11 +95,14 @@ class Network {
     bool down = false;
   };
 
+  void deliver(HostId from, HostId to, MessagePtr msg, sim::Duration delay);
+
   sim::Scheduler& sched_;
   Rng rng_;
   std::unique_ptr<LatencyModel> latency_;
   std::unique_ptr<LossModel> loss_;
   std::shared_ptr<PartitionModel> partitions_;
+  double duplicate_ = 0.0;
   std::unordered_map<HostId, Endpoint> endpoints_;
   NetworkStats stats_;
   bool started_ = false;

@@ -73,6 +73,11 @@ const acl::AclCache* AccessController::cache(AppId app) const {
   return it == apps_.end() ? nullptr : &it->second.cache;
 }
 
+acl::AclCache* AccessController::mutable_cache(AppId app) {
+  AppState* state = app_state(app);
+  return state == nullptr ? nullptr : &state->cache;
+}
+
 void AccessController::on_message(HostId from, const net::MessagePtr& msg) {
   if (!up_) return;
   if (const auto* invoke = net::message_cast<InvokeRequest>(msg)) {

@@ -86,6 +86,11 @@ class AccessController {
   /// Cache under an app (nullptr if the app is not registered here).
   [[nodiscard]] const acl::AclCache* cache(AppId app) const;
 
+  /// Writable cache handle, for fault injection by the chaos harness and its
+  /// oracle self-tests (planting a deliberately broken entry proves the
+  /// oracle detects it). Protocol code must never use this.
+  [[nodiscard]] acl::AclCache* mutable_cache(AppId app);
+
   /// Local clock reading (the paper's Time()).
   [[nodiscard]] clk::LocalTime local_now() const {
     return clock_.now(sched_.now());

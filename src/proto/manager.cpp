@@ -148,6 +148,17 @@ void ManagerModule::submit_update(AppId app, acl::Op op, UserId user,
   AppCtl* ctl = ctl_of(app);
   WAN_REQUIRE(ctl != nullptr);
 
+  // While recovering, this manager's store is not a valid version floor: a
+  // C == 1 read would complete against the empty store and mint a version
+  // that LOSES to every completed update — a revoke issued that way is a
+  // silent no-op everywhere (found by chaos seed 645). The paper's blocking
+  // Add/Revoke call simply waits for the §3.4 sync to finish.
+  if (!ctl->synced) {
+    ctl->deferred_submits.push_back(
+        DeferredSubmit{op, user, right, std::move(done)});
+    return;
+  }
+
   // Phase 1: version read from a check quorum of C managers (self included).
   const int needed = std::min(ctl->check_quorum,
                               static_cast<int>(ctl->managers.size()));
@@ -213,7 +224,14 @@ void ManagerModule::issue_write(AppId app, std::unique_ptr<PendingRead> read) {
   // this manager has applied since the read began.
   acl::Version base = read->max_seen;
   if (ctl->store.max_version() > base) base = ctl->store.max_version();
-  update.version = base.next(self_);
+  // The stamp makes a post-crash reissue of an already-used counter compare
+  // strictly newer than the lost original (see acl/version.hpp). The local
+  // clock is monotone across crashes; the +1 floor only orders same-instant
+  // issues within one incarnation and cannot outrun the clock in practice.
+  const std::int64_t stamp =
+      std::max(version_stamp_ + 1, local_now().nanos());
+  version_stamp_ = stamp;
+  update.version = base.next(self_, stamp);
   ctl->store.apply(update);
 
   const acl::Op op = read->op;
@@ -345,6 +363,8 @@ void ManagerModule::on_message(HostId from, const net::MessagePtr& msg) {
     handle_sync_request(from, *s);
   } else if (const auto* sr = net::message_cast<SyncResponse>(msg)) {
     handle_sync_response(from, *sr);
+  } else if (const auto* sp = net::message_cast<SyncPush>(msg)) {
+    handle_sync_push(from, *sp);
   } else if (const auto* ping = net::message_cast<HeartbeatPing>(msg)) {
     if (AppCtl* ctl = ctl_of(ping->app); ctl != nullptr && is_peer(*ctl, from)) {
       note_peer(*ctl, from);
@@ -442,9 +462,17 @@ void ManagerModule::handle_sync_request(HostId from, const SyncRequest& m) {
 
 void ManagerModule::handle_sync_response(HostId from, const SyncResponse& m) {
   AppCtl* ctl = ctl_of(m.app);
-  if (ctl == nullptr || ctl->synced || !is_peer(*ctl, from)) return;
+  if (ctl == nullptr || !is_peer(*ctl, from)) return;
   note_peer(*ctl, from);
-  if (m.sync_id != ctl->sync_id || ctl->sync_votes == nullptr) return;
+  if (m.sync_id != ctl->sync_id) return;
+  if (ctl->synced) {
+    // Straggler from the sync that already completed. It can still carry an
+    // update the quorum responders never saw (stranded by an issuer crash),
+    // so merge it — and if it taught us anything, spread the news.
+    if (ctl->store.merge(m.snapshot) > 0) push_snapshot(m.app, *ctl);
+    return;
+  }
+  if (ctl->sync_votes == nullptr) return;
   ctl->store.merge(m.snapshot);
   if (ctl->sync_votes->record(from)) {
     ctl->synced = true;
@@ -453,7 +481,32 @@ void ManagerModule::handle_sync_response(HostId from, const SyncResponse& m) {
     ctl->sync_timer.reset();
     WAN_DEBUG << to_string(self_) << " recovery sync complete for "
               << to_string(m.app);
+    // Push the merged state back: peers that missed a partially-disseminated
+    // update (whose issuer crashed and lost its retransmission duty) pick it
+    // up here, restoring store convergence that pull-only sync cannot.
+    push_snapshot(m.app, *ctl);
+    // Release operations that blocked on the sync, in submission order.
+    std::vector<DeferredSubmit> parked;
+    parked.swap(ctl->deferred_submits);
+    for (DeferredSubmit& s : parked) {
+      submit_update(m.app, s.op, s.user, s.right, std::move(s.done));
+    }
   }
+}
+
+void ManagerModule::handle_sync_push(HostId from, const SyncPush& m) {
+  AppCtl* ctl = ctl_of(m.app);
+  if (ctl == nullptr || !is_peer(*ctl, from)) return;
+  note_peer(*ctl, from);
+  // Merging is safe in every state (idempotent, version-gated); receipt
+  // never triggers a further push, so pushes cannot cascade.
+  ctl->store.merge(m.snapshot);
+}
+
+void ManagerModule::push_snapshot(AppId app, AppCtl& ctl) {
+  if (ctl.peers.empty()) return;
+  const auto msg = net::make_message<SyncPush>(app, ctl.store.snapshot());
+  for (const HostId p : ctl.peers) net_.send(self_, p, msg);
 }
 
 void ManagerModule::begin_sync(AppId app, AppCtl& ctl) {
@@ -498,6 +551,7 @@ void ManagerModule::crash() {
     if (ctl.heartbeat) ctl.heartbeat->stop();
     ctl.heartbeat.reset();
     ctl.synced = false;
+    ctl.deferred_submits.clear();  // ops die with the crash; callers time out
   }
 }
 
@@ -509,6 +563,12 @@ void ManagerModule::recover() {
     if (config_.freeze_enabled) start_heartbeats(app, ctl);
     begin_sync(app, ctl);
   }
+}
+
+void ManagerModule::resync(AppId app) {
+  AppCtl* ctl = ctl_of(app);
+  if (!up_ || ctl == nullptr || !ctl->synced) return;
+  begin_sync(app, *ctl);
 }
 
 }  // namespace wan::proto

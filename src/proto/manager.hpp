@@ -106,6 +106,13 @@ class ManagerModule {
   /// Recovery: re-syncs every managed app before answering queries.
   void recover();
 
+  /// Administrative anti-entropy: re-runs the recovery sync (pull snapshots
+  /// from peers, merge, push the merge back) without a crash. Operators run
+  /// this after an incident to re-converge updates stranded by issuer
+  /// crashes; the chaos harness runs it at quiescence for the same reason.
+  /// No-op while down, unsynced, or peerless.
+  void resync(AppId app);
+
   [[nodiscard]] bool up() const noexcept { return up_; }
   [[nodiscard]] HostId id() const noexcept { return self_; }
 
@@ -161,6 +168,13 @@ class ManagerModule {
     explicit RevokeFwd(sim::Scheduler& sched) : retry(sched) {}
   };
 
+  struct DeferredSubmit {
+    acl::Op op = acl::Op::kAdd;
+    UserId user{};
+    acl::Right right = acl::Right::kUse;
+    UpdateCallback done;
+  };
+
   struct AppCtl {
     std::vector<HostId> managers;  ///< full set, incl. self
     std::vector<HostId> peers;     ///< managers minus self
@@ -173,6 +187,10 @@ class ManagerModule {
         revoke_fwds;  ///< keyed by (user id, version counter)
     std::unordered_map<HostId, clk::LocalTime> last_heard;  ///< freeze input
     bool synced = true;
+    /// Operations submitted while recovering (§3.4: an unsynced manager can
+    /// vouch for nothing, not even its own version floor); issued in order
+    /// once the sync completes. The paper's blocking call simply waits.
+    std::vector<DeferredSubmit> deferred_submits;
     std::uint64_t sync_id = 0;
     std::unique_ptr<quorum::QuorumTracker> sync_votes;
     std::unique_ptr<sim::Timer> sync_timer;
@@ -189,6 +207,8 @@ class ManagerModule {
   void handle_revoke_ack(HostId from, const RevokeNotifyAck& m);
   void handle_sync_request(HostId from, const SyncRequest& m);
   void handle_sync_response(HostId from, const SyncResponse& m);
+  void handle_sync_push(HostId from, const SyncPush& m);
+  void push_snapshot(AppId app, AppCtl& ctl);
 
   void start_revoke_forwarding(AppId app, AppCtl& ctl, UserId user,
                                acl::Version version);
@@ -221,6 +241,12 @@ class ManagerModule {
   bool up_ = true;
 
   std::map<AppId, AppCtl> apps_;
+  /// Floor for version issue stamps: strictly increasing per issued update
+  /// and across crash/recover. Deliberately NOT wiped by crash() — it stands
+  /// in for the local hardware clock, which keeps ticking through a crash
+  /// (the same property LocalClock has; the floor only adds tie-breaking for
+  /// same-instant issues).
+  std::int64_t version_stamp_ = 0;
   std::uint64_t next_txn_id_ = 1;
   std::uint64_t next_sync_id_ = 1;
   std::uint64_t next_read_id_ = 1;

@@ -204,6 +204,22 @@ struct SyncResponse final : net::Message {
   std::size_t wire_size() const override { return 24 + snapshot.size() * 32; }
 };
 
+/// Recovered manager -> peers: its merged post-sync snapshot, pushed so that
+/// updates stranded by an issuer crash (partially disseminated, issuer's
+/// retransmission state lost) still reach every member. Pull-only §3.4
+/// recovery cannot converge those; the push is the one extra message per peer
+/// that can. Best-effort, unacknowledged — the next recovery pushes again.
+struct SyncPush final : net::Message {
+  AppId app{};
+  std::vector<acl::AclUpdate> snapshot;
+
+  SyncPush(AppId a, std::vector<acl::AclUpdate> snap)
+      : app(a), snapshot(std::move(snap)) {}
+
+  std::string type_name() const override { return "SyncPush"; }
+  std::size_t wire_size() const override { return 16 + snapshot.size() * 32; }
+};
+
 /// Manager <-> manager liveness probes for the freeze strategy (§3.3).
 struct HeartbeatPing final : net::Message {
   AppId app{};

@@ -30,6 +30,7 @@ bool Scheduler::pop_and_run() {
   now_ = entry.at;
   ++executed_;
   entry.fn();
+  if (observer_) observer_();
   return true;
 }
 

@@ -74,6 +74,15 @@ class Scheduler {
   /// Total events executed since construction (excludes cancelled).
   [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
 
+  /// Installs (or clears, with nullptr) an observer invoked after every
+  /// executed event, with the clock still at the event's time. Invariant
+  /// oracles hook here to audit system state between *every* pair of events
+  /// rather than only at run end. The observer must not schedule or cancel
+  /// events.
+  void set_event_observer(std::function<void()> obs) {
+    observer_ = std::move(obs);
+  }
+
  private:
   struct Entry {
     TimePoint at;
@@ -94,6 +103,7 @@ class Scheduler {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::function<void()> observer_;
 };
 
 }  // namespace wan::sim

@@ -37,11 +37,24 @@ void Driver::start() {
   running_ = true;
 
   // Initial population: grant a deterministic prefix-free random subset.
+  // Each seeding grant occupies the user's in-flight slot until its quorum:
+  // a later op racing a still-disseminating grant would be resolved by
+  // version tie-breaks in the stores but by wall-clock order in the ground
+  // truth, and the two can disagree (the grant can out-version a revoke
+  // issued mid-flight). Serializing per user keeps the truth linearizable.
+  const sim::TimePoint now = scenario_.scheduler().now();
   for (int i = 0; i < scenario_.user_count(); ++i) {
     if (rng_.next_bool(config_.initially_granted)) {
-      intended_granted_[static_cast<std::size_t>(i)] = true;
-      ++grants_;
-      scenario_.grant(scenario_.user(i));
+      auto done = [this, i] { op_in_flight_.erase(i); };
+      // Slot in before submitting: with M == 1 the quorum callback fires
+      // synchronously inside grant() and must find the slot to erase.
+      op_in_flight_.emplace(i, now);
+      if (scenario_.grant(scenario_.user(i), -1, done)) {
+        intended_granted_[static_cast<std::size_t>(i)] = true;
+        ++grants_;
+      } else {
+        op_in_flight_.erase(i);
+      }
     }
   }
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/logging.hpp"
 
 namespace wan::workload {
 
@@ -62,6 +63,7 @@ Scenario::Scenario(ScenarioConfig config)
   if (config_.loss > 0.0) {
     net_config.loss = std::make_unique<net::BernoulliLoss>(config_.loss);
   }
+  net_config.duplicate = config_.duplicate;
   net_config.partitions = partitions_;
   net_ = std::make_unique<net::Network>(sched_, rng_.split(), std::move(net_config));
 
@@ -138,20 +140,35 @@ const auth::KeyPair& Scenario::user_keys(int i) const {
   return user_keys_[static_cast<std::size_t>(i)];
 }
 
+void Scenario::set_active_managers(const std::vector<int>& indices) {
+  WAN_REQUIRE(!indices.empty());
+  manager_active_.assign(static_cast<std::size_t>(config_.managers), false);
+  for (const int i : indices) {
+    WAN_REQUIRE(i >= 0 && i < config_.managers);
+    manager_active_[static_cast<std::size_t>(i)] = true;
+  }
+}
+
 bool Scenario::submit(acl::Op op, UserId user, int mgr,
                       std::function<void()> on_quorum) {
   if (mgr < 0) {
-    // Round-robin over managers that are currently up (a crashed site cannot
-    // accept operations; the workload moves on, like a human operator would).
+    // Round-robin over managers that are currently up and in the active
+    // membership (a crashed or departed site cannot accept operations; the
+    // workload moves on, like a human operator would).
+    const auto active = [this](int i) {
+      return manager_active_.empty() ||
+             manager_active_[static_cast<std::size_t>(i)];
+    };
     for (int tried = 0; tried < config_.managers; ++tried) {
       const int candidate = (next_mgr_ + tried) % config_.managers;
-      if (managers_[static_cast<std::size_t>(candidate)]->up()) {
+      if (active(candidate) &&
+          managers_[static_cast<std::size_t>(candidate)]->up()) {
         mgr = candidate;
         next_mgr_ = (candidate + 1) % config_.managers;
         break;
       }
     }
-    if (mgr < 0) return false;  // every manager is down
+    if (mgr < 0) return false;  // every eligible manager is down
   }
   WAN_REQUIRE(mgr < config_.managers);
   if (!managers_[static_cast<std::size_t>(mgr)]->up()) return false;
@@ -163,12 +180,15 @@ bool Scenario::submit(acl::Op op, UserId user, int mgr,
   // anything), while a revoke only *guarantees* exclusion from its quorum
   // instant — that is the paper's Te reference point.
   if (granted) {
+    WAN_DEBUG << "truth: grant " << to_string(user) << " @submit";
     truth_.record(app_, user, acl::Right::kUse, true, sched_.now());
   }
   module.submit_update(
       app_, op, user, acl::Right::kUse,
       [this, granted, cb = std::move(on_quorum)](const proto::UpdateOutcome& o) {
         if (!granted) {
+          WAN_DEBUG << "truth: revoke " << to_string(o.update.user) << " @quorum="
+                    << o.quorum_at.to_seconds();
           truth_.record(o.app, o.update.user, o.update.right, false, o.quorum_at);
         }
         if (cb) cb();

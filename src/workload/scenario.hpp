@@ -41,6 +41,7 @@ struct ScenarioConfig {
   sim::Duration latency_base = sim::Duration::millis(40);
   sim::Duration latency_tail = sim::Duration::millis(20);
   double loss = 0.0;
+  double duplicate = 0.0;  ///< P(datagram delivered twice); chaos harness knob
 
   /// Sample per-host clocks within the protocol's bound b (perfect clocks
   /// when false — deterministic tests).
@@ -94,6 +95,18 @@ class Scenario {
   [[nodiscard]] metrics::GroundTruth& truth() noexcept { return truth_; }
   [[nodiscard]] metrics::Collector& collector() noexcept { return *collector_; }
 
+  /// The effective configuration (after validation).
+  [[nodiscard]] const ScenarioConfig& config() const noexcept { return config_; }
+
+  /// The trusted name service (manager-set reconfiguration goes through it).
+  [[nodiscard]] ns::NameService& names() noexcept { return names_; }
+
+  /// Restricts which managers the round-robin grant/revoke path may target —
+  /// the workload's view of the current Managers(app) membership. Indices are
+  /// into manager(i); the set must be non-empty. Explicit-manager grant() /
+  /// revoke() calls are unaffected (tests address non-members deliberately).
+  void set_active_managers(const std::vector<int>& indices);
+
   /// The scripted partition model (only with Partitions::kScripted).
   [[nodiscard]] net::ScriptedPartitions& scripted();
 
@@ -123,6 +136,7 @@ class Scenario {
   std::vector<auth::KeyPair> user_keys_;
   metrics::GroundTruth truth_;
   std::unique_ptr<metrics::Collector> collector_;
+  std::vector<bool> manager_active_;
   int next_mgr_ = 0;
 };
 

@@ -348,5 +348,29 @@ TEST_F(NetFixture, ReachableReflectsPartitionsAndCrashes) {
   EXPECT_FALSE(net->reachable(HostId(1), HostId(2)));
 }
 
+TEST_F(NetFixture, DuplicationDeliversEveryDatagramTwice) {
+  // duplicate = 1.0: each non-loopback send arrives exactly twice, each copy
+  // with its own sampled latency. The chaos harness leans on this knob;
+  // protocol handlers must be idempotent against it.
+  Network::Config cfg;
+  cfg.duplicate = 1.0;
+  auto net = make_net(std::move(cfg));
+  for (int i = 0; i < 5; ++i) {
+    net->send(HostId(1), HostId(2), make_message<Ping>(i));
+  }
+  sched.run_all();
+  EXPECT_EQ(received.size(), 10u);
+  EXPECT_EQ(net->stats().duplicated, 5u);
+  EXPECT_EQ(net->stats().delivered, 10u);
+}
+
+TEST_F(NetFixture, DuplicationOffByDefault) {
+  auto net = make_net();
+  net->send(HostId(1), HostId(2), make_message<Ping>(7));
+  sched.run_all();
+  EXPECT_EQ(received.size(), 1u);
+  EXPECT_EQ(net->stats().duplicated, 0u);
+}
+
 }  // namespace
 }  // namespace wan::net

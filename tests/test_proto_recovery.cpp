@@ -5,6 +5,9 @@
 
 #include <optional>
 
+#include "acl/store.hpp"
+#include "net/partition_model.hpp"
+#include "proto/manager.hpp"
 #include "workload/scenario.hpp"
 
 namespace wan {
@@ -204,6 +207,99 @@ TEST(ProtoRecovery, HostCrashDropsCacheEvenWithoutRevoke) {
   s.host(0).recover();
   const auto d = run_check(s, 0, s.user(0));
   EXPECT_FALSE(d.allowed);  // fresh check sees the revoked state
+}
+
+TEST(ProtoRecovery, VersionReissueAfterCrashConverges) {
+  // Pinned regression (chaos seed 7): with C == 1, a manager whose update
+  // partially disseminated before it crashed can recover from the one peer
+  // that MISSED the update, and its next operation re-mints the same
+  // (counter, origin) pair. The version issue stamp (acl/version.hpp) must
+  // make the reissue compare strictly newer, or the stores never converge —
+  // half the managers keep the zombie grant forever.
+  auto cfg = recovery_config();
+  cfg.protocol.check_quorum = 1;  // version read completes from self alone
+  Scenario s(cfg);
+  auto& parts = s.scripted();
+  const HostId m0 = s.manager_ids()[0];
+  const HostId m2 = s.manager_ids()[2];
+
+  // The grant reaches manager 1 only: manager 2 is unreachable, and the
+  // update quorum (M - C + 1 = 3) never completes, so retransmission is the
+  // sole dissemination path — and it dies with the issuer.
+  parts.cut_link(m0, m2);
+  s.grant(s.user(0), 0);
+  s.run_for(Duration::seconds(2));
+  ASSERT_TRUE(s.manager(1).manager().store(s.app())->check(s.user(0),
+                                                           acl::Right::kUse));
+  ASSERT_FALSE(s.manager(2).manager().store(s.app())->check(s.user(0),
+                                                            acl::Right::kUse));
+
+  s.manager(0).crash();
+  s.run_for(Duration::seconds(1));
+  // Recovery syncs from manager 2 (manager 1 is now unreachable): the
+  // recovered store does not contain the half-spread grant.
+  parts.heal_link(m0, m2);
+  parts.cut_link(m0, s.manager_ids()[1]);
+  s.manager(0).recover();
+  s.run_for(Duration::seconds(5));
+  ASSERT_TRUE(s.manager(0).manager().synced(s.app()));
+  ASSERT_FALSE(s.manager(0).manager().store(s.app())->check(s.user(0),
+                                                            acl::Right::kUse));
+
+  // The revoke's version read (self only) re-uses the grant's counter; only
+  // the stamp orders it after the lost grant.
+  s.revoke(s.user(0), 0);
+  s.run_for(Duration::seconds(2));
+  parts.heal_all();
+  s.run_for(Duration::seconds(30));
+
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_FALSE(s.manager(m).manager().store(s.app())->check(
+        s.user(0), acl::Right::kUse))
+        << "manager " << m << " kept the zombie grant";
+  }
+}
+
+TEST(ProtoRecovery, UnsyncedManagerDefersSubmits) {
+  // Pinned regression (chaos seed 645): a recovering manager that cannot
+  // complete its §3.4 sync must not issue operations either — with C == 1
+  // its version read would complete against its own empty store and mint a
+  // version that loses the LWW race to every completed update, turning the
+  // revoke into a silent no-op everywhere.
+  auto cfg = recovery_config();
+  cfg.protocol.check_quorum = 1;
+  Scenario s(cfg);
+  auto& parts = s.scripted();
+  const HostId m0 = s.manager_ids()[0];
+
+  s.grant(s.user(0), 1);
+  s.run_for(Duration::seconds(5));  // full dissemination to all three
+  ASSERT_TRUE(s.manager(0).manager().store(s.app())->check(s.user(0),
+                                                           acl::Right::kUse));
+
+  s.manager(0).crash();
+  s.run_for(Duration::seconds(1));
+  parts.cut_link(m0, s.manager_ids()[1]);
+  parts.cut_link(m0, s.manager_ids()[2]);
+  s.manager(0).recover();
+  s.run_for(Duration::seconds(5));
+  ASSERT_FALSE(s.manager(0).manager().synced(s.app()));
+
+  // Submitted while unsynced: parked, not minted.
+  s.revoke(s.user(0), 0);
+  s.run_for(Duration::seconds(2));
+  EXPECT_EQ(s.manager(0).manager().inflight_updates(s.app()), 0u);
+
+  // Once the partition heals, the sync completes and the parked revoke is
+  // issued with a proper version floor — it must win everywhere.
+  parts.heal_all();
+  s.run_for(Duration::seconds(30));
+  ASSERT_TRUE(s.manager(0).manager().synced(s.app()));
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_FALSE(s.manager(m).manager().store(s.app())->check(
+        s.user(0), acl::Right::kUse))
+        << "manager " << m << " still grants after the deferred revoke";
+  }
 }
 
 TEST(ProtoRecovery, SingleManagerDeploymentRecoversEmpty) {

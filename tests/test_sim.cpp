@@ -226,5 +226,33 @@ TEST(Lifecycle, MeasuredAvailabilityMatchesStationary) {
   EXPECT_NEAR(static_cast<double>(up) / static_cast<double>(total), 0.9, 0.02);
 }
 
+TEST(Scheduler, EventObserverSeesEveryExecutedEvent) {
+  Scheduler sched;
+  std::vector<std::int64_t> observed_at;  // clock value at each observation
+  sched.set_event_observer([&] {
+    observed_at.push_back((sched.now() - TimePoint{}).count_nanos());
+  });
+  int fired = 0;
+  for (int i = 1; i <= 4; ++i) {
+    sched.schedule_after(Duration::seconds(i), [&] { ++fired; });
+  }
+  sched.run_all();
+  EXPECT_EQ(fired, 4);
+  // One observation per executed event, with the clock still at the event's
+  // time — this is the hook the chaos invariant oracle audits from.
+  ASSERT_EQ(observed_at.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(observed_at[static_cast<std::size_t>(i)],
+              Duration::seconds(i + 1).count_nanos());
+  }
+  EXPECT_EQ(sched.executed_events(), 4u);
+
+  sched.set_event_observer(nullptr);  // clearing must be safe
+  sched.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  sched.run_all();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(observed_at.size(), 4u);
+}
+
 }  // namespace
 }  // namespace wan::sim

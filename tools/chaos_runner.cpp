@@ -1,0 +1,333 @@
+// chaos_runner — seed-swept fault-injection harness.
+//
+// Sweeps N seeds through the chaos engine on parallel worker threads; every
+// seed is an independent, fully deterministic simulated deployment with its
+// own fault schedule and invariant oracle. Failures print a one-command
+// repro line and are double-checked for bit-identical replay (same event
+// trace hash) before being reported, so a flaky report is impossible by
+// construction — only a genuinely divergent replay could produce one, and
+// that is itself reported as a determinism bug.
+//
+//   chaos_runner --seeds 1000                 # sweep seeds 1..1000
+//   chaos_runner --replay 1337 --trace        # reproduce one run, verbosely
+//   chaos_runner --replay 1337 --shrink       # minimize its fault schedule
+//   chaos_runner --seeds 500 --max-seconds 60 # time-budgeted sweep
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/engine.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using wan::chaos::ChaosOptions;
+using wan::chaos::ChaosResult;
+
+struct Options {
+  std::uint64_t seeds = 100;
+  std::uint64_t seed_base = 1;
+  unsigned threads = 0;  // 0 = hardware concurrency
+  bool replay = false;
+  std::uint64_t replay_seed = 0;
+  bool trace = false;
+  bool shrink = false;
+  std::vector<int> only_events;
+  bool restrict_events = false;
+  long max_seconds = 0;  // 0 = no budget
+  long horizon_minutes = 8;
+  std::string log_level;  // empty = logging off
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--seeds N] [--seed-base B] [--threads T]\n"
+      "          [--replay SEED] [--only-events i,j,...] [--trace] [--shrink]\n"
+      "          [--max-seconds S] [--horizon-minutes M]\n"
+      "\n"
+      "  --seeds N            sweep seeds B..B+N-1 (default 100)\n"
+      "  --seed-base B        first seed of the sweep (default 1)\n"
+      "  --threads T          worker threads (default: hardware concurrency)\n"
+      "  --replay SEED        run exactly one seed and report it in detail\n"
+      "  --only-events i,j    inject only these fault-schedule indices\n"
+      "  --trace              print per-fault and per-violation trace lines\n"
+      "  --shrink             on a failing replay, minimize the fault schedule\n"
+      "  --max-seconds S      stop launching new seeds after S wall seconds\n"
+      "  --horizon-minutes M  simulated minutes of chaos per seed (default 8)\n"
+      "  --log LEVEL          protocol log (trace|debug|info); replay only\n",
+      argv0);
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else if (a == "--seeds") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, &opt->seeds) || opt->seeds == 0)
+        return false;
+    } else if (a == "--seed-base") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, &opt->seed_base)) return false;
+    } else if (a == "--threads") {
+      std::uint64_t t = 0;
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, &t) || t == 0) return false;
+      opt->threads = static_cast<unsigned>(t);
+    } else if (a == "--replay") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, &opt->replay_seed)) return false;
+      opt->replay = true;
+    } else if (a == "--only-events") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->restrict_events = true;
+      if (std::string(v) != "none") {  // "none" = inject no faults at all
+        std::string item;
+        for (const char* p = v;; ++p) {
+          if (*p == ',' || *p == '\0') {
+            if (!item.empty()) {
+              std::uint64_t idx = 0;
+              if (!parse_u64(item.c_str(), &idx)) {
+                std::fprintf(stderr, "bad event index: %s\n", item.c_str());
+                return false;
+              }
+              opt->only_events.push_back(static_cast<int>(idx));
+            }
+            item.clear();
+            if (*p == '\0') break;
+          } else {
+            item.push_back(*p);
+          }
+        }
+      }
+    } else if (a == "--trace") {
+      opt->trace = true;
+    } else if (a == "--shrink") {
+      opt->shrink = true;
+    } else if (a == "--max-seconds") {
+      std::uint64_t s = 0;
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, &s)) return false;
+      opt->max_seconds = static_cast<long>(s);
+    } else if (a == "--horizon-minutes") {
+      std::uint64_t m = 0;
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, &m) || m == 0) return false;
+      opt->horizon_minutes = static_cast<long>(m);
+    } else if (a == "--log") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->log_level = v;
+      if (opt->log_level != "trace" && opt->log_level != "debug" &&
+          opt->log_level != "info") {
+        std::fprintf(stderr, "unknown log level: %s\n", v);
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+ChaosOptions to_chaos_options(const Options& opt, std::uint64_t seed) {
+  ChaosOptions c;
+  c.seed = seed;
+  c.horizon = wan::sim::Duration::minutes(opt.horizon_minutes);
+  c.trace = opt.trace;
+  c.restrict_events = opt.restrict_events;
+  c.only_events = opt.only_events;
+  return c;
+}
+
+void print_result(const ChaosResult& r) {
+  std::printf(
+      "seed %llu: %s  (decisions=%llu checkpoints=%llu entries-audited=%llu "
+      "faults=%zu/%zu expected-leaks=%llu trace-hash=%016llx)\n",
+      static_cast<unsigned long long>(r.seed),
+      r.ok() ? "OK" : "VIOLATIONS",
+      static_cast<unsigned long long>(r.decisions),
+      static_cast<unsigned long long>(r.checkpoints),
+      static_cast<unsigned long long>(r.entries_audited),
+      r.faults_applied, r.schedule_size,
+      static_cast<unsigned long long>(r.expected_leaks),
+      static_cast<unsigned long long>(r.trace_hash));
+  for (const auto& line : r.trace_lines) std::printf("  %s\n", line.c_str());
+  for (const auto& v : r.violations) {
+    std::printf("  violation [%s] at %s (event #%llu): %s\n",
+                wan::chaos::to_cstring(v.kind),
+                wan::sim::to_string(v.at).c_str(),
+                static_cast<unsigned long long>(v.event_index),
+                v.detail.c_str());
+  }
+}
+
+int run_replay(const Options& opt) {
+  if (!opt.log_level.empty()) {
+    using wan::log::Level;
+    const Level lvl = opt.log_level == "trace"  ? Level::kTrace
+                      : opt.log_level == "info" ? Level::kInfo
+                                                : Level::kDebug;
+    wan::log::set_level(lvl);
+  }
+  const ChaosResult r = run_chaos(to_chaos_options(opt, opt.replay_seed));
+  wan::log::set_level(wan::log::Level::kOff);
+  print_result(r);
+  if (r.ok()) return 0;
+
+  // Replay determinism check: the same inputs must hash identically.
+  const ChaosResult again = run_chaos(to_chaos_options(opt, opt.replay_seed));
+  if (again.trace_hash != r.trace_hash) {
+    std::printf("DETERMINISM BUG: replay hash %016llx != %016llx\n",
+                static_cast<unsigned long long>(again.trace_hash),
+                static_cast<unsigned long long>(r.trace_hash));
+    return 2;
+  }
+  if (opt.shrink) {
+    const auto shrunk =
+        wan::chaos::shrink_failing_run(to_chaos_options(opt, opt.replay_seed));
+    std::printf("shrunk to %zu/%zu fault events:", shrunk.events.size(),
+                r.schedule_size);
+    std::string csv;
+    for (const int e : shrunk.events) {
+      if (!csv.empty()) csv.push_back(',');
+      csv += std::to_string(e);
+      std::printf(" %d", e);
+    }
+    std::printf("\n");
+    if (shrunk.result.ok()) {
+      // ddmin converged onto a subset that no longer fails (can happen when
+      // the minimal subset interacts with max_runs); fall back to full set.
+      std::printf("(shrunk subset no longer fails; keep the full schedule)\n");
+    } else {
+      std::printf("repro: chaos_runner --replay %llu --only-events %s --trace\n",
+                  static_cast<unsigned long long>(opt.replay_seed),
+                  csv.empty() ? "none" : csv.c_str());
+      for (const auto& v : shrunk.result.violations) {
+        std::printf("  violation [%s]: %s\n", wan::chaos::to_cstring(v.kind),
+                    v.detail.c_str());
+      }
+    }
+  }
+  return 1;
+}
+
+struct SweepState {
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> skipped{0};
+  std::atomic<std::uint64_t> decisions{0};
+  std::atomic<std::uint64_t> faults{0};
+  std::atomic<bool> out_of_time{false};
+  std::mutex mu;
+  std::vector<ChaosResult> failures;
+  std::vector<std::uint64_t> nondeterministic;
+};
+
+int run_sweep(const Options& opt) {
+  const unsigned threads =
+      opt.threads != 0
+          ? opt.threads
+          : std::max(1u, std::thread::hardware_concurrency());
+  const auto start = std::chrono::steady_clock::now();
+  SweepState state;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::uint64_t idx =
+          state.next.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= opt.seeds) return;
+      if (opt.max_seconds > 0) {
+        const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+        if (elapsed >= opt.max_seconds) {
+          state.out_of_time.store(true, std::memory_order_relaxed);
+          state.skipped.fetch_add(1, std::memory_order_relaxed);
+          continue;  // keep draining indices so the sweep ends promptly
+        }
+      }
+      const std::uint64_t seed = opt.seed_base + idx;
+      ChaosResult r = run_chaos(to_chaos_options(opt, seed));
+      state.completed.fetch_add(1, std::memory_order_relaxed);
+      state.decisions.fetch_add(r.decisions, std::memory_order_relaxed);
+      state.faults.fetch_add(r.faults_applied, std::memory_order_relaxed);
+      if (!r.ok()) {
+        // Confirm the failure replays bit-identically before reporting it.
+        const ChaosResult again = run_chaos(to_chaos_options(opt, seed));
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (again.trace_hash != r.trace_hash) {
+          state.nondeterministic.push_back(seed);
+        }
+        state.failures.push_back(std::move(r));
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+
+  const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  std::printf(
+      "chaos sweep: %llu/%llu seeds run (%llu skipped by --max-seconds), "
+      "%u threads, %.1fs wall\n",
+      static_cast<unsigned long long>(state.completed.load()),
+      static_cast<unsigned long long>(opt.seeds),
+      static_cast<unsigned long long>(state.skipped.load()), threads,
+      static_cast<double>(wall) / 1000.0);
+  std::printf(
+      "  %llu decisions audited, %llu faults injected, %zu failing seed(s)\n",
+      static_cast<unsigned long long>(state.decisions.load()),
+      static_cast<unsigned long long>(state.faults.load()),
+      state.failures.size());
+
+  for (const auto& r : state.failures) {
+    print_result(r);
+    std::printf("  repro: chaos_runner --replay %llu --trace\n",
+                static_cast<unsigned long long>(r.seed));
+  }
+  for (const std::uint64_t seed : state.nondeterministic) {
+    std::printf("DETERMINISM BUG: seed %llu does not replay bit-identically\n",
+                static_cast<unsigned long long>(seed));
+  }
+  if (!state.failures.empty() || !state.nondeterministic.empty()) return 1;
+  std::printf("  zero invariant violations\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, &opt)) {
+    usage(argv[0]);
+    return 2;
+  }
+  return opt.replay ? run_replay(opt) : run_sweep(opt);
+}
