@@ -25,7 +25,7 @@ sim::Duration drain_window(const proto::ProtocolConfig& p) {
 }  // namespace
 
 ChaosResult run_chaos(const ChaosOptions& opts) {
-  ChaosPlan plan = make_plan(opts.seed, opts.horizon);
+  ChaosPlan plan = make_plan(opts.seed, opts.horizon, opts.plan);
   const int M = plan.scenario.managers;
   const int H = plan.scenario.app_hosts;
 
@@ -38,7 +38,7 @@ ChaosResult run_chaos(const ChaosOptions& opts) {
   };
 
   workload::Scenario scenario(plan.scenario);
-  net::ScriptedPartitions& parts = scenario.scripted();
+  net::DirectionalPartitions& parts = scenario.directional();
 
   // Stamp protocol log lines (when a caller turned logging on) with this
   // run's simulated clock; discarded-before-format keeps the off path free.
@@ -158,6 +158,37 @@ ChaosResult run_chaos(const ChaosOptions& opts) {
         scenario.set_active_managers(members);
         return true;
       }
+      case FaultKind::kCutLinkOneWay: {
+        const HostId from = site_id(e.a);
+        const HostId to = site_id(e.b);
+        parts.cut_one_way(from, to);
+        oracle.note_one_way_cut(from, to);
+        return true;
+      }
+      case FaultKind::kHealLinkOneWay: {
+        const HostId from = site_id(e.a);
+        const HostId to = site_id(e.b);
+        // Heal the oracle's view FIRST: the model change is what we audit,
+        // and a heal delivered between the two calls must not count as a leak.
+        oracle.note_one_way_heal(from, to);
+        parts.heal_one_way(from, to);
+        return true;
+      }
+      case FaultKind::kByzantineManager: {
+        auto& mgr = scenario.manager(e.a);
+        if (!mgr.up() || mgr.manager().byzantine()) return false;
+        mgr.manager().set_byzantine(e.aux);
+        return true;
+      }
+      case FaultKind::kRestoreManager: {
+        auto& mgr = scenario.manager(e.a);
+        if (!mgr.up() || !mgr.manager().byzantine()) return false;
+        mgr.manager().restore_honest();
+        // Remediation keeps the stale store; anti-entropy brings the manager
+        // back to the current update set (and completes its parked submits).
+        mgr.manager().resync(scenario.app());
+        return true;
+      }
     }
     return false;
   };
@@ -184,11 +215,18 @@ ChaosResult run_chaos(const ChaosOptions& opts) {
   scenario.run_for(opts.horizon);
   driver.stop();
 
-  // Epilogue: heal the world, bring every site back, and drain until all
-  // cached state and in-flight protocol activity must have settled.
+  // Epilogue: heal the world, bring every site back, remediate any manager
+  // still lying, and drain until all cached state and in-flight protocol
+  // activity must have settled.
   parts.heal_all();
+  oracle.note_all_one_way_healed();
   for (int m = 0; m < M; ++m) {
     if (!scenario.manager(m).up()) scenario.manager(m).recover();
+  }
+  for (int m = 0; m < M; ++m) {
+    if (scenario.manager(m).up() && scenario.manager(m).manager().byzantine()) {
+      scenario.manager(m).manager().restore_honest();
+    }
   }
   for (int h = 0; h < H; ++h) {
     if (!scenario.host(h).up()) scenario.host(h).recover();
@@ -271,7 +309,7 @@ std::vector<int> shrink_schedule(
 }
 
 ShrinkOutcome shrink_failing_run(const ChaosOptions& opts) {
-  const ChaosPlan plan = make_plan(opts.seed, opts.horizon);
+  const ChaosPlan plan = make_plan(opts.seed, opts.horizon, opts.plan);
   const auto fails = [&](const std::vector<int>& subset) {
     ChaosOptions sub = opts;
     sub.trace = false;

@@ -24,6 +24,9 @@ namespace wan::chaos {
 struct ChaosOptions {
   std::uint64_t seed = 1;
   sim::Duration horizon = sim::Duration::minutes(8);
+  /// Opt-in adversities (Byzantine managers, one-way cuts); forwarded to
+  /// make_plan. Defaults keep historical seeds bit-identical.
+  PlanOptions plan;
   /// When restrict_events is set, only the schedule events whose indices
   /// appear in only_events are injected (possibly none). The shrinker re-runs
   /// with subsets; indices refer to the full generated schedule.

@@ -38,11 +38,16 @@ const char* to_cstring(FaultKind k) noexcept {
     case FaultKind::kCrashHost: return "crash-host";
     case FaultKind::kRecoverHost: return "recover-host";
     case FaultKind::kReconfigure: return "reconfigure";
+    case FaultKind::kCutLinkOneWay: return "cut-link-oneway";
+    case FaultKind::kHealLinkOneWay: return "heal-link-oneway";
+    case FaultKind::kByzantineManager: return "byzantine-manager";
+    case FaultKind::kRestoreManager: return "restore-manager";
   }
   return "?";
 }
 
-ChaosPlan make_plan(std::uint64_t seed, sim::Duration horizon) {
+ChaosPlan make_plan(std::uint64_t seed, sim::Duration horizon,
+                    PlanOptions opts) {
   WAN_REQUIRE(horizon > sim::Duration{});
   // Stream discipline: one master RNG, forked per concern, so extending one
   // drawing site later never silently re-shapes the others for old seeds.
@@ -200,6 +205,53 @@ ChaosPlan make_plan(std::uint64_t seed, sim::Duration horizon) {
     std::sort(members.begin(), members.end());
     FaultEvent& e = add(at, FaultKind::kReconfigure);
     e.members = std::move(members);
+  }
+
+  // --- opt-in adversities ---------------------------------------------------
+  // These drawing sites come strictly AFTER every base site on the `faults`
+  // stream, and are skipped entirely when the option is off, so plans for
+  // historical seeds are bit-identical to what they were before the options
+  // existed.
+
+  // One-way link cuts: the a -> b direction drops while b -> a delivers.
+  if (opts.asymmetric) {
+    const int oneway = 1 + static_cast<int>(faults.next_below(3));
+    for (int i = 0; i < oneway; ++i) {
+      const sim::Duration at = uniform_offset(faults, window);
+      const sim::Duration dur = exp_duration(faults, 30.0, 5.0, 90.0);
+      const int a = static_cast<int>(faults.next_below(
+          static_cast<std::uint64_t>(sites)));
+      int b = static_cast<int>(faults.next_below(
+          static_cast<std::uint64_t>(sites - 1)));
+      if (b >= a) ++b;
+      add(at, FaultKind::kCutLinkOneWay, a, b);
+      add(at + dur, FaultKind::kHealLinkOneWay, a, b);
+    }
+  }
+
+  // Byzantine managers. Freeze runs are excluded: §3.3 pins C=1, and a check
+  // quorum of one cannot out-vote even a single liar — the adversary there is
+  // the freeze oracle's problem, not the quorum's. For quorum runs we impose
+  // the intersection precondition ourselves: with C <= M-f check responders
+  // required plus f slack, any C+f responders overlap every completed update
+  // quorum of M-C+1 in at least f+1 managers, so at least one honest reply
+  // carries the freshest version past up to f liars.
+  if (opts.byzantine && !p.freeze_enabled) {
+    const int f = std::max(1, std::min(opts.byzantine_max, M - 1));
+    p.check_quorum = std::max(1, std::min(p.check_quorum, M - f));
+    p.byzantine_slack = f;
+    std::vector<int> pool;
+    for (int m = 0; m < M; ++m) pool.push_back(m);
+    for (int i = 0; i < f; ++i) {
+      const auto j = faults.next_below(pool.size());
+      const int m = pool[j];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(j));
+      const sim::Duration at = uniform_offset(faults, window);
+      const sim::Duration dur = exp_duration(faults, 60.0, 10.0, 120.0);
+      FaultEvent& flip = add(at, FaultKind::kByzantineManager, m);
+      flip.aux = faults.next_u64();
+      add(at + dur, FaultKind::kRestoreManager, m);
+    }
   }
 
   std::stable_sort(ev.begin(), ev.end(),

@@ -32,6 +32,10 @@ enum class FaultKind : std::uint8_t {
   kCrashHost,       ///< crash app host index a (cache lost)
   kRecoverHost,     ///< recover app host index a
   kReconfigure,     ///< change Managers(app) to `members` (manager indices)
+  kCutLinkOneWay,   ///< drop messages a -> b only (b -> a still delivers)
+  kHealLinkOneWay,  ///< restore the a -> b direction
+  kByzantineManager,  ///< manager index a starts lying (aux seeds its lies)
+  kRestoreManager,    ///< manager index a is remediated back to honesty
 };
 
 [[nodiscard]] const char* to_cstring(FaultKind k) noexcept;
@@ -40,7 +44,8 @@ struct FaultEvent {
   sim::Duration at{};  ///< offset from run start
   FaultKind kind{};
   int a = -1;  ///< target site / manager / host index (kind-dependent)
-  int b = -1;  ///< second link endpoint (kCutLink / kHealLink)
+  int b = -1;  ///< second link endpoint (kCutLink / kHealLink / one-way)
+  std::uint64_t aux = 0;  ///< kByzantineManager: seed for the lie stream
   std::vector<std::vector<int>> groups;  ///< kSplit components (site indices)
   std::vector<int> members;              ///< kReconfigure membership
 };
@@ -58,10 +63,26 @@ struct ChaosPlan {
   FaultSchedule schedule;
 };
 
+/// Opt-in adversities layered on top of the base plan. Both default OFF so
+/// historical seeds (regression corpus, CHAOS.md repro lines) keep producing
+/// bit-identical plans; the extra RNG draws happen strictly AFTER every base
+/// drawing site on the `faults` stream.
+struct PlanOptions {
+  bool byzantine = false;   ///< inject lying managers (kByzantineManager)
+  int byzantine_max = 1;    ///< at most this many concurrent liars (f)
+  bool asymmetric = false;  ///< inject one-way link cuts
+};
+
 /// Builds the plan for `seed`. Fault durations are capped well under the
 /// workload driver's 5-minute stuck-operation reaping limit so grant/revoke
 /// operations stay serialized per user and the ground-truth timeline stays
 /// unambiguous (see workload/driver.hpp).
-[[nodiscard]] ChaosPlan make_plan(std::uint64_t seed, sim::Duration horizon);
+///
+/// When `opts.byzantine` is set and the seed did not pick the freeze strategy
+/// (freeze pins C=1, which no slack can make lie-tolerant), the plan also
+/// clamps check_quorum to at most M-f and sets byzantine_slack = f so the
+/// quorum intersection argument holds; see proto/config.hpp.
+[[nodiscard]] ChaosPlan make_plan(std::uint64_t seed, sim::Duration horizon,
+                                  PlanOptions opts = {});
 
 }  // namespace wan::chaos

@@ -1,5 +1,6 @@
 #include "chaos/oracle.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "acl/cache.hpp"
@@ -19,6 +20,10 @@ const char* to_cstring(ViolationKind k) noexcept {
     case ViolationKind::kQuorumConflict: return "quorum-conflict";
     case ViolationKind::kStoreDivergence: return "store-divergence";
     case ViolationKind::kGroundTruthMismatch: return "ground-truth-mismatch";
+    case ViolationKind::kFrozenManagerAnswered: return "frozen-manager-answered";
+    case ViolationKind::kFreezeBoundExceeded: return "freeze-bound-exceeded";
+    case ViolationKind::kPrematureUnfreeze: return "premature-unfreeze";
+    case ViolationKind::kOneWayDeliveryLeak: return "one-way-delivery-leak";
   }
   return "?";
 }
@@ -30,10 +35,14 @@ InvariantOracle::InvariantOracle(workload::Scenario& scenario, Config config,
 InvariantOracle::~InvariantOracle() {
   if (!installed_) return;
   scenario_->scheduler().set_event_observer(nullptr);
+  scenario_->network().set_send_observer(nullptr);
   auto* collector = &scenario_->collector();
   for (int i = 0; i < scenario_->host_count(); ++i) {
     scenario_->host(i).controller().set_decision_observer(
         [collector](const proto::AccessDecision& d) { collector->observe(d); });
+  }
+  for (int m = 0; m < scenario_->manager_count(); ++m) {
+    scenario_->manager(m).manager().set_response_observer(nullptr);
   }
 }
 
@@ -44,8 +53,32 @@ void InvariantOracle::install() {
     scenario_->host(i).controller().set_decision_observer(
         [this](const proto::AccessDecision& d) { ingest(d); });
   }
+  for (int m = 0; m < scenario_->manager_count(); ++m) {
+    scenario_->manager(m).manager().set_response_observer(
+        [this, m](const proto::ManagerModule::QueryAnswerEvent& ev) {
+          ingest_response(m, ev);
+        });
+  }
+  scenario_->network().set_send_observer([this](HostId from, HostId to) {
+    if (one_way_cuts_.count({from.value(), to.value()}) != 0) {
+      record(ViolationKind::kOneWayDeliveryLeak,
+             "message delivered " + std::to_string(from.value()) + " -> " +
+                 std::to_string(to.value()) +
+                 " across a link direction the schedule cut");
+    }
+  });
   scenario_->scheduler().set_event_observer([this] { checkpoint(); });
 }
+
+void InvariantOracle::note_one_way_cut(HostId from, HostId to) {
+  one_way_cuts_.emplace(from.value(), to.value());
+}
+
+void InvariantOracle::note_one_way_heal(HostId from, HostId to) {
+  one_way_cuts_.erase({from.value(), to.value()});
+}
+
+void InvariantOracle::note_all_one_way_healed() { one_way_cuts_.clear(); }
 
 void InvariantOracle::record(ViolationKind kind, std::string detail) {
   ++violation_count_;
@@ -87,11 +120,43 @@ void InvariantOracle::ingest(const proto::AccessDecision& d) {
     }
   }
 
+  // Freeze oracle, bound arm: in a §3.3 run the mechanism arithmetic itself
+  // promises an allow can trail a revoke quorum by at most Ti (silence until
+  // the stale manager freezes) plus te*b (worst-case real lifetime of the
+  // last entry it handed out), and never more than Te. Recomputing the bound
+  // from the configured Ti / te / b — instead of trusting the headline Te —
+  // catches a mis-derived expiry period even when it still sneaks under Te.
+  const auto& protocol = scenario_->config().protocol;
+  if (protocol.freeze_enabled && d.allowed &&
+      !(config_.default_allow_expected &&
+        d.path == proto::DecisionPath::kDefaultAllow)) {
+    const auto since = scenario_->truth().unauthorized_since(
+        scenario_->app(), d.user, acl::Right::kUse, d.decided);
+    if (since) {
+      const sim::Duration te_real = sim::Duration::nanos(
+          static_cast<std::int64_t>(
+              static_cast<double>(protocol.expiry_period().count_nanos()) *
+              protocol.clock_bound_b));
+      const sim::Duration bound = std::min(protocol.Te, protocol.Ti + te_real);
+      if (d.decided - *since > bound + config_.tolerance) {
+        record(ViolationKind::kFreezeBoundExceeded,
+               "user " + std::to_string(d.user.value()) + " allowed at host " +
+                   std::to_string(d.host.value()) + " " +
+                   std::to_string((d.decided - *since).to_seconds()) +
+                   "s after revoke quorum; freeze bound min(Te, Ti + te*b) = " +
+                   std::to_string(bound.to_seconds()) + "s");
+      }
+    }
+  }
+
   // Version oracle: the check quorum C intersects every update quorum
   // M-C+1, so two decisions whose freshest basis is the SAME update version
   // must agree — one update is one op, it cannot read as both grant and
   // revoke. Counter-0 versions carry no update identity (never-written
-  // register) and are skipped.
+  // register) and are skipped. A decision flagged conflicting_replies
+  // resolved an equal-version contradiction deny-wins; its basis version is
+  // tainted by a liar and is not that version's authoritative reading.
+  if (d.conflicting_replies) return;
   switch (d.path) {
     case proto::DecisionPath::kCacheHit:
     case proto::DecisionPath::kQuorumGranted:
@@ -101,6 +166,11 @@ void InvariantOracle::ingest(const proto::AccessDecision& d) {
                                        d.basis_version.counter,
                                        d.basis_version.origin.value(),
                                        d.basis_version.stamp);
+      // A version some liar has answered with is exempt: the liar can show
+      // an incomplete update's version with a flipped bit to hosts whose
+      // honest responders are still behind it, and no intersection argument
+      // contradicts that (the update never completed, so no Te clock runs).
+      if (byzantine_versions_.count(key) != 0) break;
       const auto [it, inserted] = version_decisions_.emplace(key, d.allowed);
       if (!inserted && it->second != d.allowed) {
         record(ViolationKind::kQuorumConflict,
@@ -116,12 +186,70 @@ void InvariantOracle::ingest(const proto::AccessDecision& d) {
   }
 }
 
+void InvariantOracle::ingest_response(
+    int manager_idx, const proto::ManagerModule::QueryAnswerEvent& ev) {
+  // The response observer fires at SEND time, before any host can decide on
+  // this answer, so tainting here always lands before the version oracle
+  // sees a decision built from it.
+  if (ev.byzantine && !ev.version.initial()) {
+    byzantine_versions_.emplace(ev.user.value(), ev.version.counter,
+                                ev.version.origin.value(), ev.version.stamp);
+  }
+  // Freeze oracle, silence arm: §3.3's whole safety argument is that a
+  // manager which has not heard every peer within its local Ti/b threshold
+  // SHUTS UP — its store may have missed a revoke, so any answer it gives
+  // (honest-stale or lying) can seed an unbounded-stale cache entry. The
+  // event carries the honest silence computation at send time; an answer
+  // sent while it said "frozen" is a protocol bug (or a planted compromise).
+  if (!scenario_->config().protocol.freeze_enabled) return;
+  if (ev.frozen_by_silence) {
+    record(ViolationKind::kFrozenManagerAnswered,
+           "manager " + std::to_string(manager_idx) + " answered host " +
+               std::to_string(ev.host.value()) + " for user " +
+               std::to_string(ev.user.value()) +
+               " while frozen by peer silence" +
+               (ev.byzantine ? " (byzantine)" : ""));
+  }
+}
+
 void InvariantOracle::checkpoint() {
   ++checkpoints_;
   const AppId app = scenario_->app();
   const auto& protocol = scenario_->config().protocol;
   const sim::Duration te = protocol.expiry_period();
   const sim::TimePoint now = scenario_->scheduler().now();
+
+  // Freeze oracle, unfreeze arm: a manager may report unfrozen only while
+  // every current peer is tracked and was heard within Ti/b on its clock.
+  // frozen() and peer_silences() read the same bookkeeping through different
+  // code paths, so a disagreement means the silence computation rotted (or a
+  // test override planted exactly that, to prove this check works).
+  if (protocol.freeze_enabled) {
+    for (int m = 0; m < scenario_->manager_count(); ++m) {
+      if (reported_unfreeze_.count(m) != 0) continue;
+      auto& mgr = scenario_->manager(m).manager();
+      if (!mgr.up() || !mgr.synced(app) || mgr.frozen(app)) continue;
+      for (const auto& ps : mgr.peer_silences(app)) {
+        if (!ps.tracked ||
+            ps.silence > mgr.freeze_threshold() + config_.tolerance) {
+          reported_unfreeze_.insert(m);
+          record(ViolationKind::kPrematureUnfreeze,
+                 "manager " + std::to_string(m) +
+                     " reports unfrozen while peer " +
+                     std::to_string(ps.peer.value()) +
+                     (ps.tracked
+                          ? " has been silent " +
+                                std::to_string(ps.silence.to_seconds()) +
+                                "s (threshold " +
+                                std::to_string(
+                                    mgr.freeze_threshold().to_seconds()) +
+                                "s)"
+                          : " is not tracked by the silence bookkeeping"));
+          break;
+        }
+      }
+    }
+  }
 
   for (int i = 0; i < scenario_->host_count(); ++i) {
     auto& host = scenario_->host(i);

@@ -24,20 +24,37 @@
 //                           machinery must have killed it by then);
 //   * version oracle      — quorum intersection (C + (M-C+1) > M) means two
 //                           decisions based on the same update version must
-//                           agree on allow/deny;
+//                           agree on allow/deny; versions a Byzantine manager
+//                           has answered with are exempt (the intersection
+//                           argument binds no honest responder for an update
+//                           still short of its quorum, and a liar may flip
+//                           such a version's bit);
 //   * convergence oracle  — at quiescence (run end, all faults healed, drain
 //                           elapsed), member manager stores must be identical
-//                           and must agree with the ground-truth timeline.
+//                           and must agree with the ground-truth timeline;
+//   * freeze oracle       — in §3.3 freeze runs: a manager whose honest
+//                           silence computation says "frozen" must not answer
+//                           check queries; a manager may only report unfrozen
+//                           while every current peer has been heard within
+//                           Ti/b; and no allow may land later than the freeze
+//                           strategy's tightened bound min(Te, Ti + te*b)
+//                           after a revoke quorum;
+//   * one-way link oracle — a message must never be delivered across a link
+//                           direction the schedule has cut (audits the
+//                           DirectionalPartitions plumbing end to end).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "proto/decision.hpp"
+#include "proto/manager.hpp"
 #include "sim/time.hpp"
+#include "util/ids.hpp"
 #include "workload/scenario.hpp"
 
 namespace wan::chaos {
@@ -49,6 +66,10 @@ enum class ViolationKind : std::uint8_t {
   kQuorumConflict,      ///< same update version decided both allow and deny
   kStoreDivergence,     ///< member stores differ at quiescence
   kGroundTruthMismatch, ///< store grants a user ground truth says is revoked
+  kFrozenManagerAnswered, ///< §3.3: answered a check while frozen by silence
+  kFreezeBoundExceeded,   ///< allow past min(Te, Ti + te*b) in a freeze run
+  kPrematureUnfreeze,     ///< reports unfrozen with a peer silent past Ti/b
+  kOneWayDeliveryLeak,    ///< message delivered across a cut link direction
 };
 
 [[nodiscard]] const char* to_cstring(ViolationKind k) noexcept;
@@ -114,6 +135,18 @@ class InvariantOracle {
   /// so oracle self-tests can present crafted decisions directly.
   void ingest(const proto::AccessDecision& d);
 
+  /// Query-answer entry point — the installed manager response observers
+  /// feed this; public so freeze-oracle self-tests can present crafted
+  /// answer events directly.
+  void ingest_response(int manager_idx,
+                       const proto::ManagerModule::QueryAnswerEvent& ev);
+
+  /// The engine declares which link directions the schedule has cut; any
+  /// message the network then delivers from -> to is a model leak.
+  void note_one_way_cut(HostId from, HostId to);
+  void note_one_way_heal(HostId from, HostId to);
+  void note_all_one_way_healed();
+
   [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
     return violations_;
   }
@@ -151,9 +184,22 @@ class InvariantOracle {
                       std::int64_t>,
            bool>
       version_decisions_;
+  /// Versions a Byzantine manager answered with (same key shape). A liar
+  /// holds these versions legitimately but may flip their bit, and for an
+  /// update still short of its quorum the intersection argument binds no
+  /// honest responder — so equal-version agreement is only promised for
+  /// versions the adversary never touched. Taint is permanent for the run.
+  std::set<std::tuple<std::uint32_t, std::uint64_t, std::uint32_t,
+                      std::int64_t>>
+      byzantine_versions_;
   /// Dedup: a bad cache entry stays bad across many checkpoints; report once.
   std::set<std::tuple<int, std::uint32_t, std::int64_t>> reported_ttl_;
   std::set<std::tuple<int, std::uint32_t, std::int64_t>> reported_latent_;
+  /// Dedup: an unfreeze contradiction persists across checkpoints until the
+  /// silent peer is heard again; one report per manager per run suffices.
+  std::set<int> reported_unfreeze_;
+  /// Currently-cut link directions (from, to) as raw HostId values.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> one_way_cuts_;
 };
 
 }  // namespace wan::chaos

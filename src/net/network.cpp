@@ -85,6 +85,7 @@ void Network::send(HostId from, HostId to, MessagePtr msg) {
       return;
     }
   }
+  if (send_observer_ && from != to) send_observer_(from, to);
 
   const sim::Duration delay =
       from == to ? sim::Duration{} : latency_->sample(from, to, rng_);

@@ -79,6 +79,14 @@ class Network {
   /// Starts dynamic models (partition processes). Call once before running.
   void start();
 
+  /// Observer invoked for every datagram that PASSES the partition check (it
+  /// may still be lost or reach a down host). The chaos oracle uses this to
+  /// prove the network honours directional cuts: a send surviving the check
+  /// on a pair the fault injector cut one-way is a fabric bug. nullptr
+  /// uninstalls.
+  using SendObserver = std::function<void(HostId from, HostId to)>;
+  void set_send_observer(SendObserver obs) { send_observer_ = std::move(obs); }
+
   /// True if the partition model currently allows `a` -> `b` and neither
   /// host is down. Used by measurement probes, not by protocol code.
   [[nodiscard]] bool reachable(HostId a, HostId b) const;
@@ -105,6 +113,7 @@ class Network {
   double duplicate_ = 0.0;
   std::unordered_map<HostId, Endpoint> endpoints_;
   NetworkStats stats_;
+  SendObserver send_observer_;
   bool started_ = false;
 };
 

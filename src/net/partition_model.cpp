@@ -49,6 +49,37 @@ void ScriptedPartitions::isolate(HostId h, const std::vector<HostId>& everyone) 
   }
 }
 
+// ------------------------------------------------------------- Directional
+
+bool DirectionalPartitions::connected(HostId a, HostId b) const {
+  if (a == b) return true;
+  if (oneway_.contains(DirKey{a, b})) return false;
+  return ScriptedPartitions::connected(a, b);
+}
+
+void DirectionalPartitions::cut_one_way(HostId from, HostId to) {
+  WAN_REQUIRE(from != to);
+  oneway_.insert(DirKey{from, to});
+}
+
+void DirectionalPartitions::heal_one_way(HostId from, HostId to) {
+  oneway_.erase(DirKey{from, to});
+}
+
+void DirectionalPartitions::cut_one_way_between(
+    const std::vector<HostId>& sources, const std::vector<HostId>& sinks) {
+  for (const HostId s : sources) {
+    for (const HostId t : sinks) {
+      if (s != t) cut_one_way(s, t);
+    }
+  }
+}
+
+void DirectionalPartitions::heal_all() {
+  ScriptedPartitions::heal_all();
+  oneway_.clear();
+}
+
 // --------------------------------------------------------- PairwiseMarkov
 
 PairwiseMarkovPartitions::PairwiseMarkovPartitions(std::vector<HostId> hosts,

@@ -8,7 +8,11 @@
 // fraction is Pi), plus scripted partitions for deterministic tests and
 // component "storms" for stress scenarios.
 //
-// Models are symmetric: connected(a,b) == connected(b,a).
+// connected(a,b) is DIRECTION-AWARE: it answers "can a datagram sent by `a`
+// reach `b` right now?". The stochastic models happen to be symmetric, but
+// nothing may assume connected(a,b) == connected(b,a) — real WAN outages
+// (unidirectional route withdrawals, asymmetric congestion drops) are not,
+// and DirectionalPartitions models exactly that.
 #pragma once
 
 #include <memory>
@@ -45,7 +49,7 @@ class FullConnectivity final : public PartitionModel {
 /// Deterministic partitions controlled by test code: individual link cuts
 /// plus an optional component split (hosts in different components cannot
 /// communicate; hosts not assigned to any component are in a default one).
-class ScriptedPartitions final : public PartitionModel {
+class ScriptedPartitions : public PartitionModel {
  public:
   bool connected(HostId a, HostId b) const override;
 
@@ -56,8 +60,8 @@ class ScriptedPartitions final : public PartitionModel {
   /// Splits listed hosts into components; replaces any previous split.
   void split(const std::vector<std::vector<HostId>>& components);
 
-  /// Removes all cuts and splits.
-  void heal_all();
+  /// Removes all cuts and splits (derived models also clear their own state).
+  virtual void heal_all();
 
   /// Isolates one host from everybody (convenience for manager-partition
   /// scenarios in §3.3).
@@ -79,6 +83,49 @@ class ScriptedPartitions final : public PartitionModel {
 
   std::unordered_set<PairKey, PairHash> cut_;
   std::unordered_map<HostId, int> component_;  // empty -> no split active
+};
+
+/// ScriptedPartitions plus ONE-WAY link cuts: cut_one_way(a, b) silently
+/// drops every datagram a sends to b while b's datagrams to a still arrive.
+/// This is the asymmetric-reachability adversary the paper's analysis (§4.1)
+/// abstracts away: a manager that hears a host's query but whose response is
+/// swallowed, a peer whose heartbeats flow out but not back. Symmetric cuts
+/// and component splits compose with one-way cuts; connected(a,b) is the
+/// conjunction.
+class DirectionalPartitions final : public ScriptedPartitions {
+ public:
+  bool connected(HostId a, HostId b) const override;
+
+  /// Drops all `from` -> `to` traffic; the reverse direction is untouched.
+  void cut_one_way(HostId from, HostId to);
+  void heal_one_way(HostId from, HostId to);
+
+  /// Asymmetric component split: everything `sources` send toward `sinks`
+  /// vanishes, while sink-to-source traffic still flows — the classic
+  /// one-way route withdrawal between two regions.
+  void cut_one_way_between(const std::vector<HostId>& sources,
+                           const std::vector<HostId>& sinks);
+
+  /// Clears one-way cuts in addition to the base model's cuts and splits.
+  void heal_all() override;
+
+  [[nodiscard]] std::size_t one_way_cut_count() const noexcept {
+    return oneway_.size();
+  }
+
+ private:
+  struct DirKey {
+    HostId from, to;
+    bool operator==(const DirKey&) const = default;
+  };
+  struct DirHash {
+    std::size_t operator()(const DirKey& k) const noexcept {
+      return hash_combine(std::hash<HostId>{}(k.from),
+                          ~std::hash<HostId>{}(k.to));
+    }
+  };
+
+  std::unordered_set<DirKey, DirHash> oneway_;
 };
 
 /// The paper's analytic model, §4.1: every unordered pair of hosts is

@@ -215,8 +215,19 @@ void AccessController::start_session(AppId app, UserId user, CheckCallback done)
     return;
   }
 
-  const int needed = std::min<int>(config_.check_quorum,
-                                   static_cast<int>(managers->managers.size()));
+  // With byzantine_slack = f, C + f responders guarantee an intersection of
+  // at least f + 1 with every completed update quorum: at least one honest
+  // responder has seen every completed update, so freshest-wins still reads
+  // current state past up to f liars. Refusing to decide on fewer IS the
+  // defense: capping at a smaller manager set would let <= f liars decide
+  // alone (a reconfiguration down to one compromised manager could then
+  // serve a stale grant forever). A set too small to ever assemble C + f
+  // exhausts to the configured policy — availability, never the Te bound.
+  const int needed =
+      config_.byzantine_slack > 0
+          ? config_.check_quorum + config_.byzantine_slack
+          : std::min<int>(config_.check_quorum,
+                          static_cast<int>(managers->managers.size()));
   auto session = std::make_unique<CheckSession>(needed, sched_);
   session->app = app;
   session->user = user;
@@ -239,17 +250,35 @@ void AccessController::begin_attempt(CheckSession& s) {
   s.best_version = acl::Version{};
   s.best_expiry = sim::Duration{};
 
+  // Quarantined managers are not queried: their replies would be ignored
+  // anyway, and skipping them gives honest managers the attempt's airtime.
+  // If every manager is benched the attempt sends nothing and times out into
+  // the exhausted policy — an unverifiable access, which is the safe reading.
+  const clk::LocalTime bench_now = local_now();
+  const auto usable = [&](HostId m) {
+    if (!quarantined(m, bench_now)) return true;
+    ++hardening_.queries_suppressed;
+    return false;
+  };
+
   const auto msg =
       net::make_message<QueryRequest>(s.app, s.user, s.query_id);
   if (config_.fanout == QueryFanout::kAll) {
-    for (const HostId m : s.managers) net_.send(self_, m, msg);
+    for (const HostId m : s.managers) {
+      if (usable(m)) net_.send(self_, m, msg);
+    }
   } else {
     // Exactly C managers, rotating the window between attempts so that
     // repeated failures try "different managers" (Fig. 2's loop).
     const std::size_t m = s.managers.size();
     const auto c = static_cast<std::size_t>(s.responders.needed());
-    for (std::size_t i = 0; i < c && i < m; ++i) {
-      net_.send(self_, s.managers[(s.rotate + i) % m], msg);
+    std::size_t sent = 0;
+    for (std::size_t i = 0; i < m && sent < c; ++i) {
+      const HostId target = s.managers[(s.rotate + i) % m];
+      if (usable(target)) {
+        net_.send(self_, target, msg);
+        ++sent;
+      }
     }
     s.rotate = (s.rotate + c) % m;
   }
@@ -275,11 +304,53 @@ void AccessController::handle_query_response(HostId from,
     return;
   }
 
-  if (resp.version >= s.best_version) {
-    s.best_version = resp.version;
-    s.best_rights = resp.rights;
-    s.best_expiry = resp.expiry_period;
+  if (!admit_reply(from, resp)) return;
+
+  acl::RightSet rights = resp.rights;
+  acl::Version version = resp.version;
+  // Deny floor: a grant claim at or below a deny this host already saw
+  // (clean quorum deny or RevokeNotify) is the signature move of a stale-
+  // store liar. The host's own evidence supersedes the claim — the reply is
+  // downgraded to a deny vote at the floor version, so it still counts toward
+  // the quorum (an honest-but-lagging manager must not starve assembly) but
+  // can never be the allow the liar wanted. Only active under a Byzantine
+  // threat model (slack > 0): an honest lagging manager's stale grant is the
+  // same wire bytes, and honouring it during a revoke's in-flight window is
+  // paper-legal availability the crash-only configuration must keep. Lie
+  // resistance trades availability; it never gets to trade it for free.
+  if (config_.byzantine_slack > 0 && rights.has(acl::Right::kUse)) {
+    if (const auto fit = deny_floor_.find(user_key(resp.app, resp.user));
+        fit != deny_floor_.end() && version <= fit->second) {
+      ++hardening_.stale_replies_discarded;
+      rights = acl::RightSet{};
+      version = fit->second;
+    }
   }
+
+  const bool claims_use = rights.has(acl::Right::kUse);
+  // Clamp the advertised lifetime to this host's own configured te: a liar
+  // must not be able to stretch a cache entry past the bound the host's
+  // application chose.
+  const sim::Duration expiry =
+      std::min(resp.expiry_period, config_.expiry_period());
+  if (!s.any_reply || version > s.best_version) {
+    s.best_version = version;
+    s.best_rights = rights;
+    s.best_expiry = expiry;
+  } else if (version == s.best_version &&
+             claims_use != s.best_rights.has(acl::Right::kUse)) {
+    // Contradictory rights at the SAME version: quorum intersection makes an
+    // honest pair impossible, so one of the two lied — and the host cannot
+    // tell which. Deny is the side that cannot break the Te bound; the
+    // decision is flagged so the version oracle knows its basis is tainted.
+    s.conflict = true;
+    ++hardening_.conflicting_replies;
+    if (!claims_use) {
+      s.best_rights = rights;
+      s.best_expiry = expiry;
+    }
+  }
+  s.any_reply = true;
   if (!s.responders.record(from)) return;
 
   // Check quorum assembled; freshest response decides. The update quorum
@@ -300,9 +371,73 @@ void AccessController::handle_query_response(HostId from,
     }
     finish_session(key, true, DecisionPath::kQuorumGranted, DenyReason::kNone);
   } else {
+    // A clean quorum deny at a real version is authoritative evidence: any
+    // later grant claim at or below it contradicts a completed update. A
+    // conflicted quorum's version is tainted and must not raise the floor —
+    // the deny side of the contradiction may itself be the lie.
+    if (!s.conflict && !s.best_version.initial()) {
+      acl::Version& floor = deny_floor_[user_key(s.app, s.user)];
+      if (s.best_version > floor) floor = s.best_version;
+    }
     finish_session(key, false, DecisionPath::kQuorumDenied,
                    DenyReason::kNotAuthorized);
   }
+}
+
+bool AccessController::quarantined(HostId manager, clk::LocalTime now) const {
+  // offenses gates the comparison: local clocks may legitimately read
+  // negative (arbitrary per-host epoch offsets), so the zero-valued
+  // quarantined_until of a fresh, innocent profile must not look like a
+  // bench that extends past `now`.
+  const auto it = profiles_.find(manager);
+  return it != profiles_.end() && it->second.offenses > 0 &&
+         now < it->second.quarantined_until;
+}
+
+void AccessController::quarantine(HostId manager, clk::LocalTime now) {
+  ManagerProfile& prof = profiles_[manager];
+  const std::uint32_t shift = std::min<std::uint32_t>(prof.offenses, 5);
+  ++prof.offenses;
+  prof.quarantined_until =
+      now + sim::Duration::nanos(config_.quarantine_backoff.count_nanos()
+                                 << shift);
+  ++hardening_.quarantines_imposed;
+  WAN_WARN << to_string(self_) << " quarantines manager "
+           << to_string(manager) << " (offense " << prof.offenses << ")";
+}
+
+bool AccessController::manager_quarantined(HostId manager) const {
+  return quarantined(manager, clock_.now(sched_.now()));
+}
+
+bool AccessController::admit_reply(HostId from, const QueryResponse& resp) {
+  const clk::LocalTime now = local_now();
+  if (quarantined(from, now)) {
+    ++hardening_.quarantined_replies_ignored;
+    return false;
+  }
+  const std::uint64_t key = user_key(resp.app, resp.user);
+  const bool claims_use = resp.rights.has(acl::Right::kUse);
+
+  // Self-consistency: a manager's use register is an LWW cell, so the version
+  // in a reply fully determines the use bit — two replies from the SAME
+  // manager at the SAME version with different bits is something no honest
+  // manager produces under any schedule, and benches the sender for a backoff
+  // window. (Version *regressions* are NOT evidence: the network can reorder
+  // one manager's in-flight replies, and a crash-recovered manager honestly
+  // regresses past updates that never completed a quorum. Those replies are
+  // admitted; the deny floor below separately defuses stale grants.)
+  ManagerProfile& prof = profiles_[from];
+  if (const auto it = prof.reported.find(key); it != prof.reported.end()) {
+    const ManagerReport& prev = it->second;
+    if (resp.version == prev.version && claims_use != prev.claims_use) {
+      ++hardening_.self_inconsistent_replies;
+      quarantine(from, now);
+      return false;
+    }
+  }
+  prof.reported[key] = ManagerReport{resp.version, claims_use};
+  return true;
 }
 
 void AccessController::on_attempt_timeout(SessionKey key) {
@@ -350,6 +485,7 @@ void AccessController::finish_session(SessionKey key, bool allowed,
                                   ? 1
                                   : 0);
   d.basis_version = s->best_version;
+  d.conflicting_replies = s->conflict;
   // One decision record per coalesced invocation: each represents a user
   // access, and the metrics layer weights availability by accesses.
   for (std::size_t i = 0; i < s->waiters.size(); ++i) emit(d);
@@ -372,6 +508,12 @@ void AccessController::handle_revoke(HostId from, const RevokeNotify& msg) {
   if (AppState* state = app_state(msg.app)) {
     state->cache.remove_on_revoke(msg.user);
   }
+  // The notify is authoritative deny evidence at its version: remember it so
+  // a lying manager's stale grant replies at or below it are discarded.
+  if (!msg.version.initial()) {
+    acl::Version& floor = deny_floor_[user_key(msg.app, msg.user)];
+    if (msg.version > floor) floor = msg.version;
+  }
   net_.send(self_, from,
             net::make_message<RevokeNotifyAck>(msg.app, msg.user, msg.version));
 }
@@ -381,6 +523,10 @@ void AccessController::crash() {
   sessions_.clear();  // Timer members cancel on destruction
   query_to_session_.clear();
   for (auto& [app, state] : apps_) state.cache.clear();
+  // Hardening memory (reports, floors, benches) is volatile like the cache;
+  // the stats ledger survives, like any metrics counter would.
+  profiles_.clear();
+  deny_floor_.clear();
   authenticator_.reset();
   resolver_.clear();
   sweep_timer_.stop();

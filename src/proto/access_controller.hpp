@@ -91,6 +91,16 @@ class AccessController {
   /// oracle detects it). Protocol code must never use this.
   [[nodiscard]] acl::AclCache* mutable_cache(AppId app);
 
+  /// Byzantine-hardening counters (reply rejections, quarantines). Survives
+  /// crash() — it is a metrics ledger, not protocol state.
+  [[nodiscard]] const HardeningStats& hardening_stats() const noexcept {
+    return hardening_;
+  }
+
+  /// Whether `manager` is currently benched by the self-inconsistency
+  /// quarantine (test/diag hook).
+  [[nodiscard]] bool manager_quarantined(HostId manager) const;
+
   /// Local clock reading (the paper's Time()).
   [[nodiscard]] clk::LocalTime local_now() const {
     return clock_.now(sched_.now());
@@ -115,6 +125,8 @@ class AccessController {
     acl::RightSet best_rights;
     acl::Version best_version{};
     sim::Duration best_expiry{};
+    bool any_reply = false;    ///< best_* fields hold a real response
+    bool conflict = false;     ///< equal-version contradiction seen (liar present)
     std::vector<CheckCallback> waiters;
     sim::Timer timer;
 
@@ -140,6 +152,41 @@ class AccessController {
 
   AppState* app_state(AppId app);
 
+  // --- Byzantine hardening (tentpole PR: lying managers) -------------------
+  // The wire format is unchanged; all defenses are local bookkeeping:
+  //  * deny_floor_ remembers the highest version at which this host saw
+  //    authoritative deny evidence (a clean quorum deny, or a RevokeNotify);
+  //    any later grant claim at or below that version contradicts an update
+  //    the host already knows completed, and is downgraded to a deny vote at
+  //    the floor version (still counted toward the quorum, never an allow).
+  //  * profiles_ remembers each manager's own last (version, use-bit) report
+  //    per user; a rights flip at the same version is self-inconsistent —
+  //    only a liar does that (honest reorderings and crash recoveries can
+  //    regress versions, but never flip the bit a version carries) — and
+  //    benches the manager for a backoff window (skipped in fanout, replies
+  //    ignored).
+  //  * equal-version contradictions BETWEEN managers can't identify the liar,
+  //    so the session takes the deny side and flags the decision.
+
+  struct ManagerReport {
+    acl::Version version{};
+    bool claims_use = false;
+  };
+  struct ManagerProfile {
+    std::unordered_map<std::uint64_t, ManagerReport> reported;  ///< by user key
+    clk::LocalTime quarantined_until{};
+    std::uint32_t offenses = 0;
+  };
+
+  static std::uint64_t user_key(AppId app, UserId user) noexcept {
+    return (static_cast<std::uint64_t>(app.value()) << 32) | user.value();
+  }
+  [[nodiscard]] bool quarantined(HostId manager, clk::LocalTime now) const;
+  void quarantine(HostId manager, clk::LocalTime now);
+  /// Returns false if the reply must be ignored (quarantined sender, stale
+  /// grant under the deny floor, or a self-inconsistent report).
+  bool admit_reply(HostId from, const QueryResponse& resp);
+
   HostId self_;
   sim::Scheduler& sched_;
   net::Network& net_;
@@ -152,6 +199,9 @@ class AccessController {
   std::map<AppId, AppState> apps_;
   std::unordered_map<SessionKey, std::unique_ptr<CheckSession>> sessions_;
   std::unordered_map<std::uint64_t, SessionKey> query_to_session_;
+  std::unordered_map<HostId, ManagerProfile> profiles_;
+  std::unordered_map<std::uint64_t, acl::Version> deny_floor_;  ///< by user key
+  HardeningStats hardening_;
   std::uint64_t next_query_id_ = 1;
   sim::PeriodicTimer sweep_timer_;
   std::function<void(const AccessDecision&)> observer_;

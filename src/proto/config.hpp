@@ -38,6 +38,14 @@ struct ProtocolConfig {
   int max_attempts = 3;          ///< R; 0 means retry forever
   ExhaustedPolicy exhausted_policy = ExhaustedPolicy::kDeny;
 
+  /// Byzantine tolerance f: hosts require C + f distinct check responses
+  /// while the update quorum stays M - C + 1, so every assembled check
+  /// quorum intersects every completed update in at least f + 1 managers —
+  /// with at most f liars, at least one honest responder saw the update and
+  /// the freshest-wins rule picks an honest, current answer. 0 (the default)
+  /// is the paper's crash-only model. Requires C + f <= M to be assemblable.
+  int byzantine_slack = 0;
+
   // --- freeze strategy (the §3.3 alternative to quorums) ------------------
   bool freeze_enabled = false;
   sim::Duration Ti = sim::Duration::minutes(3);  ///< inaccessibility period
@@ -53,6 +61,10 @@ struct ProtocolConfig {
   sim::Duration cache_sweep_period = sim::Duration::minutes(1);
   sim::Duration cache_idle_limit = sim::Duration::minutes(30);
   sim::Duration name_service_ttl = sim::Duration::minutes(10);
+  /// How long a host stops querying a manager whose replies contradicted its
+  /// own earlier replies (see AccessController hardening). Doubles per
+  /// repeat offense, capped at 32x.
+  sim::Duration quarantine_backoff = sim::Duration::seconds(30);
 
   /// The local-clock expiration period managers attach to responses. Under
   /// the freeze strategy the budget Te is split between the inaccessibility
@@ -70,12 +82,27 @@ struct ProtocolConfig {
     WAN_REQUIRE(clock_bound_b >= 1.0);
     WAN_REQUIRE(check_quorum >= 1);
     WAN_REQUIRE(max_attempts >= 0);
+    WAN_REQUIRE(byzantine_slack >= 0);
     WAN_REQUIRE(query_timeout > sim::Duration{});
+    WAN_REQUIRE(quarantine_backoff > sim::Duration{});
     if (freeze_enabled) {
       WAN_REQUIRE(Ti > sim::Duration{});
-      WAN_REQUIRE(Ti < Te);
+      WAN_REQUIRE_MSG(
+          Ti < Te,
+          "freeze strategy splits the budget Te between the inaccessibility "
+          "period Ti and the cache lifetime te = (Te - Ti)/b (section 3.3); "
+          "Ti >= Te leaves a non-positive effective te, so every grant a "
+          "manager hands out would be born expired");
+      WAN_REQUIRE_MSG(
+          expiry_period() > sim::Duration{},
+          "effective te = (Te - Ti)/b rounded to a positive duration; Ti is "
+          "too close to Te for the clock bound b — widen Te or shrink Ti");
       WAN_REQUIRE(heartbeat_period > sim::Duration{});
-      WAN_REQUIRE(heartbeat_period < Ti);
+      WAN_REQUIRE_MSG(
+          heartbeat_period < Ti,
+          "a peer is declared silent after Ti without traffic; with "
+          "heartbeat_period >= Ti a healthy, connected peer cannot ping "
+          "often enough to look alive and every manager freezes permanently");
     }
   }
 };

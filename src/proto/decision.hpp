@@ -39,8 +39,25 @@ struct AccessDecision {
   DenyReason reason = DenyReason::kNone;
   int attempts = 0;             ///< manager-query attempts consumed
   acl::Version basis_version{}; ///< version of the ACL info the decision used
+  /// Two responders reported contradictory rights at the SAME version — at
+  /// least one of them lied (quorum intersection makes an honest pair
+  /// impossible). The session resolved it deny-wins; basis_version is
+  /// therefore tainted and the quorum-conflict oracle must not treat this
+  /// decision as that version's authoritative reading.
+  bool conflicting_replies = false;
 
   [[nodiscard]] sim::Duration latency() const noexcept { return decided - requested; }
+};
+
+/// Counters for the host-side Byzantine hardening (see AccessController):
+/// how often replies were rejected as lies and managers benched for them.
+struct HardeningStats {
+  std::uint64_t stale_replies_discarded = 0;   ///< grants at/below a known revoke version, downgraded to denies
+  std::uint64_t conflicting_replies = 0;       ///< equal-version contradiction, deny won
+  std::uint64_t self_inconsistent_replies = 0; ///< manager contradicted its own reports
+  std::uint64_t quarantines_imposed = 0;       ///< backoff windows started
+  std::uint64_t queries_suppressed = 0;        ///< fanout sends skipped (quarantined)
+  std::uint64_t quarantined_replies_ignored = 0;
 };
 
 }  // namespace wan::proto

@@ -101,20 +101,47 @@ void ManagerModule::note_peer(AppCtl& ctl, HostId peer) {
   if (it != ctl.last_heard.end()) it->second = local_now();
 }
 
-bool ManagerModule::frozen(AppId app) const {
-  if (!config_.freeze_enabled) return false;
-  const AppCtl* ctl = ctl_of(app);
-  if (ctl == nullptr) return false;
+sim::Duration ManagerModule::freeze_threshold() const {
   // Ti is a real-time bound; this clock may run up to b times slow, so the
   // local threshold is Ti / b ("care must be taken to account for clock rate
   // differences at managers", §3.3).
-  const sim::Duration threshold = sim::Duration::from_seconds(
-      config_.Ti.to_seconds() / config_.clock_bound_b);
+  return sim::Duration::from_seconds(config_.Ti.to_seconds() /
+                                     config_.clock_bound_b);
+}
+
+bool ManagerModule::frozen_by_silence(AppId app) const {
+  if (!config_.freeze_enabled) return false;
+  const AppCtl* ctl = ctl_of(app);
+  if (ctl == nullptr) return false;
+  const sim::Duration threshold = freeze_threshold();
   const clk::LocalTime now = clock_.now(sched_.now());
   for (const auto& [peer, heard] : ctl->last_heard) {
     if (now - heard > threshold) return true;
   }
   return false;
+}
+
+bool ManagerModule::frozen(AppId app) const {
+  if (debug_frozen_.has_value()) return *debug_frozen_;
+  return frozen_by_silence(app);
+}
+
+std::vector<ManagerModule::PeerSilence> ManagerModule::peer_silences(
+    AppId app) const {
+  std::vector<PeerSilence> out;
+  const AppCtl* ctl = ctl_of(app);
+  if (ctl == nullptr) return out;
+  const clk::LocalTime now = clock_.now(sched_.now());
+  for (const HostId p : ctl->peers) {
+    PeerSilence ps;
+    ps.peer = p;
+    if (const auto it = ctl->last_heard.find(p); it != ctl->last_heard.end()) {
+      ps.tracked = true;
+      ps.silence = now - it->second;
+    }
+    out.push_back(ps);
+  }
+  return out;
 }
 
 bool ManagerModule::synced(AppId app) const {
@@ -152,8 +179,11 @@ void ManagerModule::submit_update(AppId app, acl::Op op, UserId user,
   // C == 1 read would complete against the empty store and mint a version
   // that LOSES to every completed update — a revoke issued that way is a
   // silent no-op everywhere (found by chaos seed 645). The paper's blocking
-  // Add/Revoke call simply waits for the §3.4 sync to finish.
-  if (!ctl->synced) {
+  // Add/Revoke call simply waits for the §3.4 sync to finish. A compromised
+  // manager parks submits for the same reason: its frozen store is an equally
+  // invalid floor, and the admin's operation must not be minted into a
+  // version that loses everywhere.
+  if (!ctl->synced || byzantine_) {
     ctl->deferred_submits.push_back(
         DeferredSubmit{op, user, right, std::move(done)});
     return;
@@ -339,6 +369,10 @@ void ManagerModule::retransmit_revoke(AppId app, std::uint64_t user_value,
 
 void ManagerModule::on_message(HostId from, const net::MessagePtr& msg) {
   if (!up_) return;
+  if (byzantine_) {
+    byzantine_on_message(from, msg);
+    return;
+  }
   if (const auto* q = net::message_cast<QueryRequest>(msg)) {
     handle_query(from, *q);
   } else if (const auto* u = net::message_cast<UpdateMsg>(msg)) {
@@ -393,6 +427,11 @@ void ManagerModule::handle_query(HostId from, const QueryRequest& q) {
   if (const auto st = ctl->store.state(q.user, acl::Right::kUse)) {
     version = st->version;
   }
+  if (response_observer_) {
+    response_observer_(QueryAnswerEvent{q.app, q.user, from, version,
+                                        frozen_by_silence(q.app), ctl->synced,
+                                        /*byzantine=*/false});
+  }
   net_.send(self_, from,
             net::make_message<QueryResponse>(q.app, q.user, q.query_id, rights,
                                              version, config_.expiry_period()));
@@ -400,6 +439,123 @@ void ManagerModule::handle_query(HostId from, const QueryRequest& q) {
     // Remember who holds cached rights so revocations can be forwarded.
     ctl->grant_table[q.user].insert(from);
   }
+}
+
+// ----------------------------------------------------- byzantine behaviour
+
+void ManagerModule::set_byzantine(std::uint64_t lie_seed, LieMode mode) {
+  WAN_REQUIRE(up_);
+  byzantine_ = true;
+  lie_mode_ = mode;
+  lie_rng_ = Rng(lie_seed);
+}
+
+void ManagerModule::restore_honest() {
+  if (!byzantine_) return;
+  byzantine_ = false;
+  // Operations parked during the compromise window resume exactly like
+  // operations parked during a recovery sync.
+  flush_deferred_submits();
+}
+
+void ManagerModule::flush_deferred_submits() {
+  for (auto& [app, ctl] : apps_) {
+    if (!ctl.synced) continue;  // still parked for the §3.4 reason
+    std::vector<DeferredSubmit> parked;
+    parked.swap(ctl.deferred_submits);
+    for (DeferredSubmit& s : parked) {
+      submit_update(app, s.op, s.user, s.right, std::move(s.done));
+    }
+  }
+}
+
+void ManagerModule::byzantine_on_message(HostId from, const net::MessagePtr& msg) {
+  if (const auto* q = net::message_cast<QueryRequest>(msg)) {
+    byzantine_answer_query(from, *q);
+    return;
+  }
+  if (const auto* u = net::message_cast<UpdateMsg>(msg)) {
+    // Never apply the update (the store stays frozen at its pre-flip state),
+    // and never send a usable ack. Half the time, mis-ack with a mangled txn
+    // id: the issuer's lookup misses, so the liar can neither stall the
+    // quorum nor count toward it — exactly the "at most f liars are outside
+    // every update quorum" premise byzantine_slack relies on.
+    AppCtl* ctl = ctl_of(u->app);
+    if (ctl != nullptr && is_peer(*ctl, from) && lie_rng_.next_bool(0.5)) {
+      net_.send(self_, from,
+                net::make_message<UpdateAck>(
+                    u->app, u->txn_id ^ 0x8000000000000000ULL));
+    }
+    return;
+  }
+  if (const auto* ping = net::message_cast<HeartbeatPing>(msg)) {
+    // Keep pinging back: a liar that played dead would trip the freeze
+    // strategy and bench itself — answering heartbeats while lying about
+    // rights is the strictly nastier adversary.
+    if (AppCtl* ctl = ctl_of(ping->app); ctl != nullptr && is_peer(*ctl, from)) {
+      note_peer(*ctl, from);
+      net_.send(self_, from,
+                net::make_message<HeartbeatPong>(ping->app, ping->seq));
+    }
+    return;
+  }
+  if (const auto* pong = net::message_cast<HeartbeatPong>(msg)) {
+    if (AppCtl* ctl = ctl_of(pong->app); ctl != nullptr && is_peer(*ctl, from)) {
+      note_peer(*ctl, from);
+    }
+    return;
+  }
+  // VersionQuery, SyncRequest, sync traffic, acks: silence. Manager-side
+  // quorums (version reads, recovery syncs) therefore only ever assemble
+  // from honest peers.
+}
+
+void ManagerModule::byzantine_answer_query(HostId from, const QueryRequest& q) {
+  AppCtl* ctl = ctl_of(q.app);
+  if (ctl == nullptr || !ctl->synced) return;  // nothing plausible to lie with
+
+  LieMode mode = lie_mode_;
+  if (mode == LieMode::kSeeded) {
+    const double roll = lie_rng_.next_uniform(0.0, 1.0);
+    if (roll < 0.25) {
+      mode = LieMode::kSilent;
+    } else if (roll < 0.625) {
+      mode = LieMode::kInvert;
+    } else {
+      mode = LieMode::kStale;
+    }
+  }
+  if (mode == LieMode::kSilent) return;
+
+  // Everything the liar says derives from its frozen store: admin-signed
+  // updates mean it cannot fabricate versions it never received, only
+  // misreport the rights attached to ones it did.
+  acl::RightSet rights = ctl->store.rights_of(q.user);
+  acl::Version version{};
+  if (const auto st = ctl->store.state(q.user, acl::Right::kUse)) {
+    version = st->version;
+  }
+  if (mode == LieMode::kInvert) {
+    if (rights.has(acl::Right::kUse)) {
+      rights.remove(acl::Right::kUse);
+    } else {
+      rights.add(acl::Right::kUse);
+    }
+  }
+  sim::Duration expiry = config_.expiry_period();
+  if (mode == LieMode::kHugeExpiry) {
+    expiry = sim::Duration::nanos(expiry.count_nanos() * 64);
+  }
+  if (response_observer_) {
+    response_observer_(QueryAnswerEvent{q.app, q.user, from, version,
+                                        frozen_by_silence(q.app), ctl->synced,
+                                        /*byzantine=*/true});
+  }
+  net_.send(self_, from,
+            net::make_message<QueryResponse>(q.app, q.user, q.query_id, rights,
+                                             version, expiry));
+  // Deliberately no grant_table insert: the liar also shirks its revocation
+  // forwarding duty for grants it hands out.
 }
 
 void ManagerModule::handle_update(HostId from, const UpdateMsg& m) {
@@ -486,11 +642,7 @@ void ManagerModule::handle_sync_response(HostId from, const SyncResponse& m) {
     // up here, restoring store convergence that pull-only sync cannot.
     push_snapshot(m.app, *ctl);
     // Release operations that blocked on the sync, in submission order.
-    std::vector<DeferredSubmit> parked;
-    parked.swap(ctl->deferred_submits);
-    for (DeferredSubmit& s : parked) {
-      submit_update(m.app, s.op, s.user, s.right, std::move(s.done));
-    }
+    flush_deferred_submits();
   }
 }
 
@@ -539,6 +691,7 @@ void ManagerModule::sync_round(AppId app) {
 
 void ManagerModule::crash() {
   up_ = false;
+  byzantine_ = false;  // a crashed-and-reimaged replica comes back honest
   for (auto& [app, ctl] : apps_) {
     ctl.store = acl::AclStore{};
     ctl.grant_table.clear();

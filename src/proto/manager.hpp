@@ -33,6 +33,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +45,7 @@
 #include "proto/messages.hpp"
 #include "quorum/quorum.hpp"
 #include "sim/timer.hpp"
+#include "util/rng.hpp"
 
 namespace wan::proto {
 
@@ -117,9 +119,80 @@ class ManagerModule {
   [[nodiscard]] HostId id() const noexcept { return self_; }
 
   /// Whether the freeze strategy currently suppresses responses for `app`.
+  /// Honours debug_override_frozen(); protocol code routes through this.
   [[nodiscard]] bool frozen(AppId app) const;
+  /// The honest §3.3 computation only: has any tracked peer been silent
+  /// longer than the local threshold? Ignores the debug override — the chaos
+  /// oracle uses this as ground truth when auditing frozen().
+  [[nodiscard]] bool frozen_by_silence(AppId app) const;
+  /// Local-clock silence threshold at which frozen_by_silence trips (Ti / b).
+  [[nodiscard]] sim::Duration freeze_threshold() const;
+  /// Test hook: forces frozen() to the given value (nullopt restores the
+  /// honest computation). Exists so freeze-oracle self-tests can plant a
+  /// manager that answers while it should be frozen, or reports unfrozen
+  /// while a peer is long silent, and prove the oracle catches both.
+  void debug_override_frozen(std::optional<bool> forced) {
+    debug_frozen_ = forced;
+  }
   /// Whether this manager is synced (false while recovering).
   [[nodiscard]] bool synced(AppId app) const;
+
+  /// Per-peer silence on this manager's local clock (freeze diagnostics; the
+  /// oracle's premature-unfreeze check reads it). `tracked == false` means
+  /// the peer is in Managers(app) but missing from the silence bookkeeping —
+  /// itself a freeze bug, since an untracked peer can never freeze us.
+  struct PeerSilence {
+    HostId peer{};
+    bool tracked = false;
+    sim::Duration silence{};
+  };
+  [[nodiscard]] std::vector<PeerSilence> peer_silences(AppId app) const;
+
+  // --- compromise injection (chaos harness) --------------------------------
+  // A Byzantine manager keeps its pre-flip store but stops cooperating:
+  //  * host check queries get stale or inverted grant/deny answers (or
+  //    silence), all derived from the frozen store — the trust model signs
+  //    ACL updates at the admin, so a liar can misreport rights it holds but
+  //    cannot fabricate versions it never saw;
+  //  * peer updates are dropped, or mis-acked with a mangled txn id the
+  //    issuer will not recognize — a liar never counts toward update quorums;
+  //  * version reads and recovery syncs from peers go unanswered, keeping
+  //    manager-side quorums all-honest;
+  //  * admin submits THROUGH the compromised manager park exactly like
+  //    submits on an unsynced one, and release on restore.
+  // All lie choices are deterministic in `lie_seed`.
+
+  /// How a Byzantine manager answers host check queries. kSeeded mixes the
+  /// others pseudo-randomly; the fixed modes exist for deterministic tests.
+  enum class LieMode : std::uint8_t {
+    kSeeded,      ///< draw silent/stale/invert per query from lie_seed
+    kStale,       ///< answer honestly from the frozen (stale) store
+    kInvert,      ///< flip the use right, version kept from the store
+    kSilent,      ///< never answer
+    kHugeExpiry,  ///< stale answer advertising a 64x expiry period
+  };
+
+  void set_byzantine(std::uint64_t lie_seed, LieMode mode = LieMode::kSeeded);
+  /// Back to honest operation with whatever (stale) store survived; parked
+  /// submits are released. State is kept — this is remediation, not
+  /// reimaging (crash()/recover() models the latter and also clears the flag).
+  void restore_honest();
+  [[nodiscard]] bool byzantine() const noexcept { return byzantine_; }
+
+  /// One record per QueryResponse this manager actually sends (honest or
+  /// lying); the freeze oracle audits answered-while-frozen through it.
+  struct QueryAnswerEvent {
+    AppId app{};
+    UserId user{};
+    HostId host{};  ///< the asking host
+    acl::Version version{};
+    bool frozen_by_silence = false;  ///< honest §3.3 reading at send time
+    bool synced = true;
+    bool byzantine = false;
+  };
+  void set_response_observer(std::function<void(const QueryAnswerEvent&)> obs) {
+    response_observer_ = std::move(obs);
+  }
 
   [[nodiscard]] const acl::AclStore* store(AppId app) const;
 
@@ -199,6 +272,9 @@ class ManagerModule {
   };
 
   void handle_query(HostId from, const QueryRequest& q);
+  void byzantine_on_message(HostId from, const net::MessagePtr& msg);
+  void byzantine_answer_query(HostId from, const QueryRequest& q);
+  void flush_deferred_submits();
   void handle_version_reply(HostId from, const VersionReply& m);
   void retransmit_read(AppId app, std::uint64_t read_id);
   void issue_write(AppId app, std::unique_ptr<PendingRead> read);
@@ -239,6 +315,11 @@ class ManagerModule {
   clk::LocalClock clock_;
   ProtocolConfig config_;
   bool up_ = true;
+  bool byzantine_ = false;
+  LieMode lie_mode_ = LieMode::kSeeded;
+  Rng lie_rng_{0};
+  std::optional<bool> debug_frozen_;
+  std::function<void(const QueryAnswerEvent&)> response_observer_;
 
   std::map<AppId, AppCtl> apps_;
   /// Floor for version issue stamps: strictly increasing per issued update

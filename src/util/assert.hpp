@@ -15,6 +15,15 @@ namespace wan::detail {
   std::fflush(stderr);
   std::abort();
 }
+
+[[noreturn]] inline void assert_fail_msg(const char* kind, const char* expr,
+                                         const char* msg, const char* file,
+                                         int line) {
+  std::fprintf(stderr, "[wan] %s failed: %s at %s:%d\n  %s\n", kind, expr,
+               file, line, msg);
+  std::fflush(stderr);
+  std::abort();
+}
 }  // namespace wan::detail
 
 /// Internal invariant: "this cannot happen unless the library has a bug".
@@ -24,6 +33,14 @@ namespace wan::detail {
 /// Precondition on a public API: "the caller handed us nonsense".
 #define WAN_REQUIRE(expr) \
   ((expr) ? (void)0 : ::wan::detail::assert_fail("precondition", #expr, __FILE__, __LINE__))
+
+/// Precondition with an explanation of WHY the constraint exists — for
+/// configuration checks whose failure message must tell an operator what to
+/// change, not just which expression was false.
+#define WAN_REQUIRE_MSG(expr, msg)                                       \
+  ((expr) ? (void)0                                                     \
+          : ::wan::detail::assert_fail_msg("precondition", #expr, msg, \
+                                           __FILE__, __LINE__))
 
 /// Marks unreachable control flow.
 #define WAN_UNREACHABLE(msg) \

@@ -48,7 +48,10 @@ Scenario::Scenario(ScenarioConfig config)
           std::make_shared<net::ComponentStormPartitions>(sites, config_.storm);
       break;
     case ScenarioConfig::Partitions::kScripted:
-      partitions_ = std::make_shared<net::ScriptedPartitions>();
+      // The directional model is a strict superset of ScriptedPartitions, so
+      // handing it out for every scripted scenario costs nothing and lets
+      // tests and the chaos engine mix symmetric and one-way cuts freely.
+      partitions_ = std::make_shared<net::DirectionalPartitions>();
       break;
   }
 
@@ -215,6 +218,12 @@ void Scenario::check(int host_idx, UserId user, proto::CheckCallback done) {
 
 net::ScriptedPartitions& Scenario::scripted() {
   auto* p = dynamic_cast<net::ScriptedPartitions*>(partitions_.get());
+  WAN_REQUIRE(p != nullptr);
+  return *p;
+}
+
+net::DirectionalPartitions& Scenario::directional() {
+  auto* p = dynamic_cast<net::DirectionalPartitions*>(partitions_.get());
   WAN_REQUIRE(p != nullptr);
   return *p;
 }

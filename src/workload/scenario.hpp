@@ -110,6 +110,9 @@ class Scenario {
   /// The scripted partition model (only with Partitions::kScripted).
   [[nodiscard]] net::ScriptedPartitions& scripted();
 
+  /// The same model, as its full directional interface (one-way cuts).
+  [[nodiscard]] net::DirectionalPartitions& directional();
+
   /// Runs the simulation forward.
   void run_for(sim::Duration d) { sched_.run_for(d); }
 

@@ -239,6 +239,75 @@ TEST(ScriptedPartitions, SelfAlwaysConnected) {
   EXPECT_TRUE(p.connected(HostId(1), HostId(1)));
 }
 
+TEST(ScriptedPartitions, LinkCutsPersistAcrossSplitAndHeal) {
+  // split() replaces only the component assignment; explicit link cuts are an
+  // independent overlay that survives both a split and its heal.
+  ScriptedPartitions p;
+  p.cut_link(HostId(1), HostId(2));
+  p.split({{HostId(1), HostId(2)}, {HostId(3)}});
+  EXPECT_FALSE(p.connected(HostId(1), HostId(2)));  // cut wins inside component
+  p.split({});  // kHealSplit semantics: clears the split only
+  EXPECT_FALSE(p.connected(HostId(1), HostId(2)));
+  EXPECT_TRUE(p.connected(HostId(1), HostId(3)));
+  p.heal_all();
+  EXPECT_TRUE(p.connected(HostId(1), HostId(2)));
+}
+
+TEST(DirectionalPartitions, OneWayCutBlocksOnlyThatDirection) {
+  DirectionalPartitions p;
+  p.cut_one_way(HostId(1), HostId(2));
+  EXPECT_FALSE(p.connected(HostId(1), HostId(2)));
+  EXPECT_TRUE(p.connected(HostId(2), HostId(1)));
+  EXPECT_EQ(p.one_way_cut_count(), 1u);
+  p.heal_one_way(HostId(1), HostId(2));
+  EXPECT_TRUE(p.connected(HostId(1), HostId(2)));
+  EXPECT_EQ(p.one_way_cut_count(), 0u);
+}
+
+TEST(DirectionalPartitions, CutBetweenRegionsIsSourceToSinkOnly) {
+  DirectionalPartitions p;
+  const std::vector<HostId> west{HostId(1), HostId(2)};
+  const std::vector<HostId> east{HostId(3), HostId(4)};
+  p.cut_one_way_between(west, east);
+  for (const HostId s : west) {
+    for (const HostId d : east) {
+      EXPECT_FALSE(p.connected(s, d));
+      EXPECT_TRUE(p.connected(d, s));
+    }
+  }
+  EXPECT_TRUE(p.connected(HostId(1), HostId(2)));  // intra-region untouched
+  EXPECT_TRUE(p.connected(HostId(3), HostId(4)));
+}
+
+TEST(DirectionalPartitions, ComposesWithSymmetricCutsAndSplits) {
+  // connected() is the conjunction of all three layers; healing one layer
+  // must not disturb the others.
+  DirectionalPartitions p;
+  p.cut_one_way(HostId(1), HostId(2));
+  p.cut_link(HostId(2), HostId(3));
+  p.split({{HostId(1), HostId(2), HostId(3)}, {HostId(4)}});
+  EXPECT_FALSE(p.connected(HostId(1), HostId(2)));  // one-way
+  EXPECT_FALSE(p.connected(HostId(2), HostId(3)));  // symmetric cut
+  EXPECT_FALSE(p.connected(HostId(1), HostId(4)));  // split
+  p.split({});
+  EXPECT_FALSE(p.connected(HostId(1), HostId(2)));  // one-way persists
+  EXPECT_FALSE(p.connected(HostId(2), HostId(3)));  // cut persists
+  EXPECT_TRUE(p.connected(HostId(1), HostId(4)));
+}
+
+TEST(DirectionalPartitions, HealAllClearsOneWayCutsToo) {
+  DirectionalPartitions p;
+  p.cut_one_way(HostId(1), HostId(2));
+  p.cut_one_way_between({HostId(3)}, {HostId(4), HostId(5)});
+  p.cut_link(HostId(1), HostId(3));
+  ASSERT_EQ(p.one_way_cut_count(), 3u);
+  p.heal_all();
+  EXPECT_EQ(p.one_way_cut_count(), 0u);
+  EXPECT_TRUE(p.connected(HostId(1), HostId(2)));
+  EXPECT_TRUE(p.connected(HostId(3), HostId(4)));
+  EXPECT_TRUE(p.connected(HostId(1), HostId(3)));
+}
+
 TEST(PairwiseMarkov, StationaryDownFractionMatchesPi) {
   sim::Scheduler sched;
   std::vector<HostId> hosts;
@@ -331,6 +400,31 @@ TEST_F(NetFixture, PartitionBlocksDelivery) {
   EXPECT_EQ(net->stats().dropped_partition, 1u);
   scripted->heal_all();
   net->send(HostId(1), HostId(2), make_message<Ping>(2));
+  sched.run_all();
+  EXPECT_EQ(received.size(), 1u);
+}
+
+TEST_F(NetFixture, OneWayCutDropsOnlyTheCutDirection) {
+  auto dir = std::make_shared<DirectionalPartitions>();
+  Network::Config cfg;
+  cfg.partitions = dir;
+  auto net = make_net(std::move(cfg));
+  int host1_got = 0;
+  net->register_host(HostId(1),
+                     [&](HostId, const MessagePtr&) { ++host1_got; });
+
+  dir->cut_one_way(HostId(1), HostId(2));
+  net->send(HostId(1), HostId(2), make_message<Ping>(1));  // dropped
+  net->send(HostId(2), HostId(1), make_message<Ping>(2));  // delivered
+  sched.run_all();
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(host1_got, 1);
+  EXPECT_EQ(net->stats().dropped_partition, 1u);
+  EXPECT_FALSE(net->reachable(HostId(1), HostId(2)));
+  EXPECT_TRUE(net->reachable(HostId(2), HostId(1)));
+
+  dir->heal_one_way(HostId(1), HostId(2));
+  net->send(HostId(1), HostId(2), make_message<Ping>(3));
   sched.run_all();
   EXPECT_EQ(received.size(), 1u);
 }

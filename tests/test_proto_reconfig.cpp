@@ -32,6 +32,9 @@ struct ReconfigFixture : ::testing::Test {
   std::vector<std::unique_ptr<proto::ManagerHost>> managers;  // ids 0..3
   std::unique_ptr<proto::AppHost> host;
 
+  /// Derived fixtures adjust `config` here, before any site is constructed.
+  virtual void configure() {}
+
   void SetUp() override {
     net::Network::Config ncfg;
     ncfg.latency = std::make_unique<net::ConstantLatency>(Duration::millis(10));
@@ -41,6 +44,7 @@ struct ReconfigFixture : ::testing::Test {
     config.check_quorum = 2;
     config.Te = Duration::minutes(2);
     config.name_service_ttl = Duration::seconds(30);
+    configure();
 
     for (std::uint32_t i = 0; i < 4; ++i) {
       managers.push_back(std::make_unique<proto::ManagerHost>(
@@ -163,6 +167,66 @@ TEST_F(ReconfigFixture, ForgottenAppIgnoresTraffic) {
                                        acl::Right::kUse);
   run(Duration::seconds(5));
   EXPECT_TRUE(check()->allowed);
+}
+
+// --- freeze strategy x reconfiguration (§3.3 meets §3.2) --------------------
+// The silence bookkeeping must track the CURRENT Managers(A): a departed
+// peer's silence may not freeze survivors forever, and an adopted peer gets a
+// full Ti of credit before its silence can count.
+
+struct FreezeReconfigFixture : ReconfigFixture {
+  void configure() override {
+    config.check_quorum = 1;  // §3.3 pins C to 1
+    config.freeze_enabled = true;
+    config.Ti = Duration::seconds(30);
+    config.heartbeat_period = Duration::seconds(5);
+    config.clock_bound_b = 1.0;  // threshold = Ti / b = 30s exactly
+  }
+};
+
+TEST_F(FreezeReconfigFixture, DepartedPeerStopsCountingTowardFreeze) {
+  run(Duration::seconds(10));  // heartbeats flowing, nobody silent
+  ASSERT_FALSE(managers[0]->manager().frozen(app));
+
+  partitions->isolate(HostId(2), {HostId(0), HostId(1), HostId(3), HostId(50)});
+  run(Duration::seconds(40));  // silence > Ti / b
+  ASSERT_TRUE(managers[0]->manager().frozen_by_silence(app));
+
+  // The operator removes the dead manager from Managers(A); the survivors
+  // must unfreeze as soon as every REMAINING peer has been heard.
+  reconfigure({HostId(0), HostId(1)});
+  managers[2]->manager().forget_app(app);
+  run(Duration::seconds(6));  // one heartbeat round among {0, 1}
+  EXPECT_FALSE(managers[0]->manager().frozen_by_silence(app));
+  EXPECT_FALSE(managers[0]->manager().frozen(app));
+  for (const auto& ps : managers[0]->manager().peer_silences(app)) {
+    EXPECT_NE(ps.peer, HostId(2));  // departed peer left the bookkeeping
+  }
+}
+
+TEST_F(FreezeReconfigFixture, AdoptedPeerGetsFullTiBeforeFreezing) {
+  run(Duration::seconds(10));
+  // Adopt manager 3 while it is unreachable from the very first instant:
+  // adoption must seed its silence clock at "just heard" rather than zero,
+  // or the newcomer would freeze the whole set before its first heartbeat.
+  partitions->isolate(HostId(3), {HostId(0), HostId(1), HostId(2), HostId(50)});
+  reconfigure({HostId(0), HostId(1), HostId(2), HostId(3)});
+  run(Duration::seconds(1));
+
+  bool tracked3 = false;
+  for (const auto& ps : managers[0]->manager().peer_silences(app)) {
+    if (ps.peer == HostId(3)) {
+      tracked3 = ps.tracked;
+      EXPECT_LE(ps.silence, Duration::seconds(2));
+    }
+  }
+  EXPECT_TRUE(tracked3);
+  EXPECT_FALSE(managers[0]->manager().frozen_by_silence(app));
+
+  run(Duration::seconds(20));  // ~21s of silence, still under Ti / b = 30s
+  EXPECT_FALSE(managers[0]->manager().frozen_by_silence(app));
+  run(Duration::seconds(20));  // now well past the threshold
+  EXPECT_TRUE(managers[0]->manager().frozen_by_silence(app));
 }
 
 }  // namespace

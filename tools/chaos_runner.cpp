@@ -12,12 +12,14 @@
 //   chaos_runner --replay 1337 --trace        # reproduce one run, verbosely
 //   chaos_runner --replay 1337 --shrink       # minimize its fault schedule
 //   chaos_runner --seeds 500 --max-seconds 60 # time-budgeted sweep
+//   chaos_runner --seeds 200 --byzantine 1 --asymmetric --json sweep.json
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -44,6 +46,9 @@ struct Options {
   long max_seconds = 0;  // 0 = no budget
   long horizon_minutes = 8;
   std::string log_level;  // empty = logging off
+  int byzantine = 0;      // liars per run (0 = adversary off)
+  bool asymmetric = false;
+  std::string json_path;  // empty = no machine-readable summary
 };
 
 void usage(const char* argv0) {
@@ -51,6 +56,7 @@ void usage(const char* argv0) {
       "usage: %s [--seeds N] [--seed-base B] [--threads T]\n"
       "          [--replay SEED] [--only-events i,j,...] [--trace] [--shrink]\n"
       "          [--max-seconds S] [--horizon-minutes M]\n"
+      "          [--byzantine N] [--asymmetric] [--json PATH]\n"
       "\n"
       "  --seeds N            sweep seeds B..B+N-1 (default 100)\n"
       "  --seed-base B        first seed of the sweep (default 1)\n"
@@ -61,6 +67,9 @@ void usage(const char* argv0) {
       "  --shrink             on a failing replay, minimize the fault schedule\n"
       "  --max-seconds S      stop launching new seeds after S wall seconds\n"
       "  --horizon-minutes M  simulated minutes of chaos per seed (default 8)\n"
+      "  --byzantine N        inject up to N lying managers per run\n"
+      "  --asymmetric         inject one-way link cuts\n"
+      "  --json PATH          write a machine-readable sweep summary to PATH\n"
       "  --log LEVEL          protocol log (trace|debug|info); replay only\n",
       argv0);
 }
@@ -135,6 +144,17 @@ bool parse_args(int argc, char** argv, Options* opt) {
       const char* v = next();
       if (v == nullptr || !parse_u64(v, &m) || m == 0) return false;
       opt->horizon_minutes = static_cast<long>(m);
+    } else if (a == "--byzantine") {
+      std::uint64_t n = 0;
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, &n) || n == 0) return false;
+      opt->byzantine = static_cast<int>(n);
+    } else if (a == "--asymmetric") {
+      opt->asymmetric = true;
+    } else if (a == "--json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->json_path = v;
     } else if (a == "--log") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -159,7 +179,20 @@ ChaosOptions to_chaos_options(const Options& opt, std::uint64_t seed) {
   c.trace = opt.trace;
   c.restrict_events = opt.restrict_events;
   c.only_events = opt.only_events;
+  c.plan.byzantine = opt.byzantine > 0;
+  c.plan.byzantine_max = opt.byzantine > 0 ? opt.byzantine : 1;
+  c.plan.asymmetric = opt.asymmetric;
   return c;
+}
+
+/// Adversary flags change the generated plan, so repro lines must carry them.
+std::string repro_flags(const Options& opt) {
+  std::string s;
+  if (opt.byzantine > 0) s += " --byzantine " + std::to_string(opt.byzantine);
+  if (opt.asymmetric) s += " --asymmetric";
+  if (opt.horizon_minutes != 8)
+    s += " --horizon-minutes " + std::to_string(opt.horizon_minutes);
+  return s;
 }
 
 void print_result(const ChaosResult& r) {
@@ -222,9 +255,10 @@ int run_replay(const Options& opt) {
       // the minimal subset interacts with max_runs); fall back to full set.
       std::printf("(shrunk subset no longer fails; keep the full schedule)\n");
     } else {
-      std::printf("repro: chaos_runner --replay %llu --only-events %s --trace\n",
-                  static_cast<unsigned long long>(opt.replay_seed),
-                  csv.empty() ? "none" : csv.c_str());
+      std::printf(
+          "repro: chaos_runner --replay %llu --only-events %s%s --trace\n",
+          static_cast<unsigned long long>(opt.replay_seed),
+          csv.empty() ? "none" : csv.c_str(), repro_flags(opt).c_str());
       for (const auto& v : shrunk.result.violations) {
         std::printf("  violation [%s]: %s\n", wan::chaos::to_cstring(v.kind),
                     v.detail.c_str());
@@ -302,20 +336,83 @@ int run_sweep(const Options& opt) {
       static_cast<unsigned long long>(state.skipped.load()), threads,
       static_cast<double>(wall) / 1000.0);
   std::printf(
-      "  %llu decisions audited, %llu faults injected, %zu failing seed(s)\n",
+      "  %llu decisions audited, %llu faults injected, %zu failing seed(s)"
+      "%s%s\n",
       static_cast<unsigned long long>(state.decisions.load()),
       static_cast<unsigned long long>(state.faults.load()),
-      state.failures.size());
+      state.failures.size(), opt.byzantine > 0 ? " [byzantine]" : "",
+      opt.asymmetric ? " [asymmetric]" : "");
+
+  // Per-kind violation tally across failing seeds (recorded violations only;
+  // each run stores at most its oracle's max_violations).
+  std::map<std::string, std::uint64_t> by_kind;
+  for (const auto& r : state.failures) {
+    for (const auto& v : r.violations) ++by_kind[wan::chaos::to_cstring(v.kind)];
+  }
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("  violations [%s]: %llu\n", kind.c_str(),
+                static_cast<unsigned long long>(count));
+  }
 
   for (const auto& r : state.failures) {
     print_result(r);
-    std::printf("  repro: chaos_runner --replay %llu --trace\n",
-                static_cast<unsigned long long>(r.seed));
+    std::printf("  repro: chaos_runner --replay %llu%s --trace\n",
+                static_cast<unsigned long long>(r.seed),
+                repro_flags(opt).c_str());
   }
   for (const std::uint64_t seed : state.nondeterministic) {
     std::printf("DETERMINISM BUG: seed %llu does not replay bit-identically\n",
                 static_cast<unsigned long long>(seed));
   }
+
+  if (!opt.json_path.empty()) {
+    std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"seeds\": %llu,\n",
+                 static_cast<unsigned long long>(opt.seeds));
+    std::fprintf(f, "  \"seed_base\": %llu,\n",
+                 static_cast<unsigned long long>(opt.seed_base));
+    std::fprintf(f, "  \"completed\": %llu,\n",
+                 static_cast<unsigned long long>(state.completed.load()));
+    std::fprintf(f, "  \"skipped\": %llu,\n",
+                 static_cast<unsigned long long>(state.skipped.load()));
+    std::fprintf(f, "  \"byzantine\": %d,\n", opt.byzantine);
+    std::fprintf(f, "  \"asymmetric\": %s,\n",
+                 opt.asymmetric ? "true" : "false");
+    std::fprintf(f, "  \"decisions\": %llu,\n",
+                 static_cast<unsigned long long>(state.decisions.load()));
+    std::fprintf(f, "  \"faults\": %llu,\n",
+                 static_cast<unsigned long long>(state.faults.load()));
+    std::fprintf(f, "  \"failing_seeds\": [");
+    for (std::size_t i = 0; i < state.failures.size(); ++i) {
+      std::fprintf(f, "%s%llu", i == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(state.failures[i].seed));
+    }
+    std::fprintf(f, "],\n");
+    std::fprintf(f, "  \"nondeterministic_seeds\": [");
+    for (std::size_t i = 0; i < state.nondeterministic.size(); ++i) {
+      std::fprintf(f, "%s%llu", i == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(state.nondeterministic[i]));
+    }
+    std::fprintf(f, "],\n");
+    std::fprintf(f, "  \"violations_by_kind\": {");
+    bool first = true;
+    for (const auto& [kind, count] : by_kind) {
+      std::fprintf(f, "%s\"%s\": %llu", first ? "" : ", ", kind.c_str(),
+                   static_cast<unsigned long long>(count));
+      first = false;
+    }
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "  \"wall_seconds\": %.3f\n",
+                 static_cast<double>(wall) / 1000.0);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+
   if (!state.failures.empty() || !state.nondeterministic.empty()) return 1;
   std::printf("  zero invariant violations\n");
   return 0;
