@@ -8,8 +8,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "proto/decision.hpp"
 #include "sim/time.hpp"
@@ -18,6 +22,64 @@
 #include "workload/scenario.hpp"
 
 namespace wan::bench {
+
+/// Machine-readable results sink, mirroring chaos_runner's --json emitter so
+/// bench outputs land beside the sweep summaries (BENCH_*.json). Benches keep
+/// their human-readable tables on stdout; each row they print is also
+/// record()ed here, and write() dumps everything as one JSON document:
+///
+///   { "bench": "...", "rows": [ {"label": "...", "pi": 0.1, ...}, ... ] }
+///
+/// Usage: JsonEmitter json("table1", argc, argv);   // scans for --json PATH
+///        json.record("pi=0.1", {{"pa_measured", 0.93}, ...});
+///        ... json.write() at the end of main (no-op without --json).
+class JsonEmitter {
+ public:
+  JsonEmitter(const char* bench_name, int argc, char** argv)
+      : name_(bench_name) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) path_ = argv[i + 1];
+    }
+  }
+
+  /// Queues one result row. Field order is preserved in the output.
+  void record(std::string label,
+              std::vector<std::pair<std::string, double>> fields) {
+    rows_.push_back({std::move(label), std::move(fields)});
+  }
+
+  /// Writes the document to the --json path; returns false on I/O failure.
+  /// Without --json this is a no-op that reports success.
+  bool write() const {
+    if (path_.empty()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f, "    {\"label\": \"%s\"", r.label.c_str());
+      for (const auto& [key, value] : r.fields) {
+        std::fprintf(f, ", \"%s\": %.9g", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 == rows_.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+  std::string name_;
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 inline bool fast_mode() {
   const char* v = std::getenv("WAN_BENCH_FAST");

@@ -14,7 +14,7 @@ namespace {
 using bench::horizon;
 using sim::Duration;
 
-void run_curves(int m, double pi) {
+void run_curves(int m, double pi, bench::JsonEmitter& json) {
   const analysis::TradeoffCurves model = analysis::tradeoff_curves(m, pi);
 
   std::vector<double> sim_pa, sim_ps;
@@ -52,6 +52,15 @@ void run_curves(int m, double pi) {
   t.set_header({"C", "PA(model)", "PA(sim)", "PS(model)", "PS(sim)"});
   for (int c = 1; c <= m; ++c) {
     const auto i = static_cast<std::size_t>(c - 1);
+    json.record("M=" + std::to_string(m) + ",Pi=" + std::to_string(pi) +
+                    ",C=" + std::to_string(c),
+                {{"m", m},
+                 {"pi", pi},
+                 {"c", c},
+                 {"pa_model", model.pa[i]},
+                 {"pa_sim", sim_pa[i]},
+                 {"ps_model", model.ps[i]},
+                 {"ps_sim", sim_ps[i]}});
     t.add_row({Table::fmt(static_cast<std::int64_t>(c)),
                Table::fmt(model.pa[i]), Table::fmt(sim_pa[i]),
                Table::fmt(model.ps[i]), Table::fmt(sim_ps[i])});
@@ -65,16 +74,17 @@ void run_curves(int m, double pi) {
 }  // namespace
 }  // namespace wan
 
-int main() {
+int main(int argc, char** argv) {
+  wan::bench::JsonEmitter json("figure5", argc, argv);
   wan::bench::print_header(
       "FIGURE 5 — Availability and security curves",
       "Hiltunen & Schlichting, ICDCS'97, Figure 5 (M=10 shown for both Pi)");
-  wan::run_curves(10, 0.1);
+  wan::run_curves(10, 0.1, json);
   std::printf("\n");
-  wan::run_curves(10, 0.2);
+  wan::run_curves(10, 0.2, json);
   std::printf(
       "\nReading guide: the curves cross near C = M/2; per the paper, \"there\n"
       "is a relatively large range of values of C around M/2 where both\n"
       "availability and security are very close to 1.\"\n");
-  return 0;
+  return json.write() ? 0 : 2;
 }

@@ -35,7 +35,7 @@ double monte_carlo_shared_link(const analysis::SharedLinkModel& model,
   return static_cast<double>(hits) / samples;
 }
 
-void heterogeneous_table() {
+void heterogeneous_table(bench::JsonEmitter& json) {
   Table t(
       "\nOne flaky manager (p=0.6) among M=10 otherwise-good (p=0.05) ones —\n"
       "exact Poisson-binomial PA/PS vs the homogeneous approximations:");
@@ -48,6 +48,12 @@ void heterogeneous_table() {
   std::vector<double> peers(9, 0.05);
   peers[0] = 0.6;
   for (int c = 1; c <= 10; ++c) {
+    json.record("hetero,C=" + std::to_string(c),
+                {{"c", c},
+                 {"pa_hetero", analysis::availability_pa_hetero(inaccess, c)},
+                 {"pa_hom", analysis::availability_pa(10, c, mean_p)},
+                 {"ps_hetero", analysis::security_ps_hetero(peers, c)},
+                 {"ps_hom", analysis::security_ps(10, c, mean_p)}});
     t.add_row({Table::fmt(static_cast<std::int64_t>(c)),
                Table::fmt(analysis::availability_pa_hetero(inaccess, c)),
                Table::fmt(analysis::availability_pa(10, c, mean_p)),
@@ -57,7 +63,7 @@ void heterogeneous_table() {
   t.print();
 }
 
-void shared_link_table() {
+void shared_link_table(bench::JsonEmitter& json) {
   Table t(
       "\nCorrelated failures — M=6 managers behind 2 shared links (q=0.1)\n"
       "vs 6 independent managers with the SAME marginal inaccessibility:");
@@ -69,17 +75,23 @@ void shared_link_table() {
   model.residual = std::vector<double>(6, 0.05);
   const double marginal = 1.0 - 0.9 * 0.95;  // P[manager inaccessible]
   for (int k = 1; k <= 6; ++k) {
-    t.add_row({Table::fmt(static_cast<std::int64_t>(k)),
-               Table::fmt(model.at_least_accessible(k)),
-               Table::fmt(monte_carlo_shared_link(
-                   model, k, bench::fast_mode() ? 40000 : 400000,
-                   static_cast<std::uint64_t>(k))),
-               Table::fmt(analysis::binomial_at_least(6, k, 1.0 - marginal))});
+    const double shared = model.at_least_accessible(k);
+    const double mc = monte_carlo_shared_link(
+        model, k, bench::fast_mode() ? 40000 : 400000,
+        static_cast<std::uint64_t>(k));
+    const double indep = analysis::binomial_at_least(6, k, 1.0 - marginal);
+    json.record("shared-link,k=" + std::to_string(k),
+                {{"k", k},
+                 {"p_shared", shared},
+                 {"p_monte_carlo", mc},
+                 {"p_independent", indep}});
+    t.add_row({Table::fmt(static_cast<std::int64_t>(k)), Table::fmt(shared),
+               Table::fmt(mc), Table::fmt(indep)});
   }
   t.print();
 }
 
-void placement_table() {
+void placement_table(bench::JsonEmitter& json) {
   Table t(
       "\nManager placement (paper: \"the assignment of managers to sites\n"
       "should be such that the inaccessibility between these sites is\n"
@@ -96,6 +108,10 @@ void placement_table() {
   const analysis::WeightedEstimate uniform{ps, {1, 1, 1, 1, 1}};
   const analysis::WeightedEstimate hot_is_bad{ps, {10, 1, 1, 1, 1}};
   const analysis::WeightedEstimate hot_is_good{ps, {1, 10, 1, 1, 1}};
+  json.record("placement",
+              {{"uniform_ps", uniform.weighted_mean()},
+               {"hot_is_good_ps", hot_is_good.weighted_mean()},
+               {"hot_is_bad_ps", hot_is_bad.weighted_mean()}});
   t.add_row({"flaky mgr rarely updates", Table::fmt(uniform.weighted_mean()),
              Table::fmt(hot_is_good.weighted_mean())});
   t.add_row({"flaky mgr updates often", Table::fmt(uniform.weighted_mean()),
@@ -106,18 +122,19 @@ void placement_table() {
 }  // namespace
 }  // namespace wan
 
-int main() {
+int main(int argc, char** argv) {
+  wan::bench::JsonEmitter json("heterogeneous", argc, argv);
   wan::bench::print_header(
       "HETEROGENEOUS & CORRELATED INACCESSIBILITY",
       "Hiltunen & Schlichting, ICDCS'97, §4.1 closing paragraphs");
-  wan::heterogeneous_table();
-  wan::shared_link_table();
-  wan::placement_table();
+  wan::heterogeneous_table(json);
+  wan::shared_link_table(json);
+  wan::placement_table(json);
   std::printf(
       "\nReading guide: the homogeneous mean-p approximation misjudges both\n"
       "tails when one manager is flaky; shared links strictly hurt high\n"
       "quorums versus independent failures with identical marginals; and a\n"
       "frequently-updating manager on a bad link drags system security far\n"
       "below the uniform estimate — hence the placement advice.\n");
-  return 0;
+  return json.write() ? 0 : 2;
 }

@@ -90,23 +90,28 @@ double measure_unreachable(int attempts_r) {
 }  // namespace
 }  // namespace wan
 
-int main() {
+int main(int argc, char** argv) {
   using wan::Table;
+  wan::bench::JsonEmitter json("latency", argc, argv);
   wan::bench::print_header(
       "CHECK LATENCY — cache hit vs O(C) miss vs O(R) unreachable",
       "Hiltunen & Schlichting, ICDCS'97, §4.1 (delay discussion)");
 
-  std::printf("\nCache hit (local lookup, no network): %.6f s\n",
-              wan::measure_cache_hit(5));
+  const double hit_s = wan::measure_cache_hit(5);
+  std::printf("\nCache hit (local lookup, no network): %.6f s\n", hit_s);
+  json.record("cache-hit", {{"seconds", hit_s}});
 
   {
     Table t("\nCache miss, M = 5 managers reachable — mean delay vs C:");
     t.set_header({"C", "measured mean (s)", "order-statistic model (s)"});
     for (const int c : {1, 2, 3, 4, 5}) {
-      t.add_row({std::to_string(c), Table::fmt(wan::measure_miss(5, c), 4),
-                 Table::fmt(wan::analysis::expected_check_delay_seconds(
-                                5, c, wan::kBaseS, wan::kTailS),
-                            4)});
+      const double measured = wan::measure_miss(5, c);
+      const double model = wan::analysis::expected_check_delay_seconds(
+          5, c, wan::kBaseS, wan::kTailS);
+      json.record("miss,C=" + std::to_string(c),
+                  {{"c", c}, {"measured_s", measured}, {"model_s", model}});
+      t.add_row({std::to_string(c), Table::fmt(measured, 4),
+                 Table::fmt(model, 4)});
     }
     t.print();
   }
@@ -114,10 +119,13 @@ int main() {
     Table t("\nAll managers unreachable — delay until deny, vs R:");
     t.set_header({"R", "measured (s)", "model R x timeout (s)"});
     for (const int r : {1, 2, 3, 5}) {
-      t.add_row({std::to_string(r), Table::fmt(wan::measure_unreachable(r), 3),
-                 Table::fmt(wan::analysis::unreachable_delay_seconds(
-                                r, wan::sim::Duration::seconds(2)),
-                            3)});
+      const double measured = wan::measure_unreachable(r);
+      const double model = wan::analysis::unreachable_delay_seconds(
+          r, wan::sim::Duration::seconds(2));
+      json.record("unreachable,R=" + std::to_string(r),
+                  {{"r", r}, {"measured_s", measured}, {"model_s", model}});
+      t.add_row({std::to_string(r), Table::fmt(measured, 3),
+                 Table::fmt(model, 3)});
     }
     t.print();
   }
@@ -126,5 +134,5 @@ int main() {
       "in the cache. If not, the delay is O(C) in the normal case ... but\n"
       "O(R) if the required number are not accessible. Reducing R reduces\n"
       "this worst case delay, but at the cost of reduced security.\"\n");
-  return 0;
+  return json.write() ? 0 : 2;
 }

@@ -113,6 +113,22 @@ void BM_SchedulerThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerThroughput);
 
+// The same workload through the handle-free post path: no shared_ptr<bool>
+// cancellation flag per event, so this is the fire-and-forget cost that
+// Network::deliver and the runtime seam's post() actually pay. The delta
+// against BM_SchedulerThroughput is the per-event allocation saved.
+void BM_SchedulerPostThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    for (int i = 0; i < 1000; ++i) {
+      sched.post_after(sim::Duration::nanos(i), [] {});
+    }
+    benchmark::DoNotOptimize(sched.run_all());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerPostThroughput);
+
 void BM_HistogramRecord(benchmark::State& state) {
   metrics::Histogram hist;
   Rng rng(2);

@@ -55,7 +55,8 @@ Probe probe_sim(int m, int c, double pi, std::uint64_t seed) {
   return Probe{probe.result().pa(), probe.result().ps()};
 }
 
-void emit_half(const char* caption, const Row* rows, int n) {
+void emit_half(const char* caption, const Row* rows, int n,
+               bench::JsonEmitter& json) {
   Table t;
   t.set_header({"M", "C",
                 "PA.1(paper)", "PA.1(model)", "PA.1(sim)",
@@ -68,6 +69,21 @@ void emit_half(const char* caption, const Row* rows, int n) {
                                static_cast<std::uint64_t>(i) * 77 + 5);
     const Probe s2 = probe_sim(r.m, r.c, 0.2,
                                static_cast<std::uint64_t>(i) * 77 + 6);
+    json.record("M=" + std::to_string(r.m) + ",C=" + std::to_string(r.c),
+                {{"m", r.m},
+                 {"c", r.c},
+                 {"pa1_paper", r.pa01},
+                 {"pa1_model", analysis::availability_pa(r.m, r.c, 0.1)},
+                 {"pa1_sim", s1.pa},
+                 {"ps1_paper", r.ps01},
+                 {"ps1_model", analysis::security_ps(r.m, r.c, 0.1)},
+                 {"ps1_sim", s1.ps},
+                 {"pa2_paper", r.pa02},
+                 {"pa2_model", analysis::availability_pa(r.m, r.c, 0.2)},
+                 {"pa2_sim", s2.pa},
+                 {"ps2_paper", r.ps02},
+                 {"ps2_model", analysis::security_ps(r.m, r.c, 0.2)},
+                 {"ps2_sim", s2.ps}});
     t.add_row({Table::fmt(static_cast<std::int64_t>(r.m)),
                Table::fmt(static_cast<std::int64_t>(r.c)),
                Table::fmt(r.pa01), Table::fmt(analysis::availability_pa(r.m, r.c, 0.1)),
@@ -86,17 +102,18 @@ void emit_half(const char* caption, const Row* rows, int n) {
 }  // namespace
 }  // namespace wan
 
-int main() {
+int main(int argc, char** argv) {
+  wan::bench::JsonEmitter json("table2", argc, argv);
   wan::bench::print_header(
       "TABLE 2 — Effects of M and C on availability and security",
       "Hiltunen & Schlichting, ICDCS'97, Table 2 (+ simulation columns)");
   wan::emit_half("Upper half — C fixed at 2 while M grows (security decays):",
-                 wan::kUpper, 5);
+                 wan::kUpper, 5, json);
   wan::emit_half("Lower half — C grown with M (both properties improve):",
-                 wan::kLower, 5);
+                 wan::kLower, 5, json);
   std::printf(
       "\nReading guide: \".1\" columns are Pi=0.1, \".2\" are Pi=0.2. The\n"
       "upper half shows why adding managers without raising C is \"generally\n"
       "not a good idea\"; the lower half shows C ~ M/2 scaling fixing it.\n");
-  return 0;
+  return json.write() ? 0 : 2;
 }

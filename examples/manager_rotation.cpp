@@ -21,6 +21,7 @@
 #include "nameservice/name_service.hpp"
 #include "net/network.hpp"
 #include "proto/host.hpp"
+#include "runtime/sim_env.hpp"
 #include "sim/scheduler.hpp"
 
 using namespace wan;
@@ -44,6 +45,7 @@ int main() {
   net::Network::Config ncfg;
   ncfg.latency = std::make_unique<net::ConstantLatency>(Duration::millis(15));
   net::Network net(sched, Rng(4), std::move(ncfg));
+  runtime::SimEnv env(net);
   ns::NameService names;
   auth::KeyRegistry keys;
 
@@ -58,7 +60,7 @@ int main() {
   std::vector<std::unique_ptr<proto::ManagerHost>> managers;
   for (std::uint32_t i = 0; i < 4; ++i) {
     managers.push_back(std::make_unique<proto::ManagerHost>(
-        HostId(i), sched, net, clk::LocalClock::perfect(), config));
+        HostId(i), env, clk::LocalClock::perfect(), config));
   }
   const std::vector<HostId> old_set{HostId(0), HostId(1), HostId(2)};
   const std::vector<HostId> new_set{HostId(1), HostId(2), HostId(3)};
@@ -67,7 +69,7 @@ int main() {
     managers[id.value()]->manager().manage_app(app, old_set);
   }
 
-  proto::AppHost host(HostId(50), sched, net, clk::LocalClock::perfect(),
+  proto::AppHost host(HostId(50), env, clk::LocalClock::perfect(),
                       names, keys, config);
   host.controller().register_app(
       app, [](UserId, const std::string&) { return std::string("ok"); });

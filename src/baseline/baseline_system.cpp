@@ -28,16 +28,16 @@ struct BaselineSystem::ManagerNode {
   struct Txn {
     acl::AclUpdate update;
     std::set<HostId> pending;
-    sim::Timer retry;
-    explicit Txn(sim::Scheduler& sched) : retry(sched) {}
+    runtime::Timer retry;
+    explicit Txn(runtime::Env& env) : retry(env.make_timer()) {}
   };
   std::unordered_map<std::uint64_t, std::unique_ptr<Txn>> txns;
   std::uint64_t next_txn = 1;
 
-  sim::PeriodicTimer gossip_timer;  // kEventual
+  runtime::PeriodicTimer gossip_timer;  // kEventual
 
   ManagerNode(BaselineSystem& system, HostId host)
-      : sys(system), id(host), gossip_timer(system.sched_) {}
+      : sys(system), id(host), gossip_timer(system.env_.make_periodic_timer()) {}
 
   void start() {
     if (sys.config_.kind == Kind::kEventual && sys.managers_.size() > 1) {
@@ -123,8 +123,8 @@ struct BaselineSystem::HostNode {
     acl::Version best_version{};
     int next_manager = 0;  // kEventual rotation
     int attempts = 0;
-    sim::Timer timer;
-    explicit Check(sim::Scheduler& sched) : timer(sched) {}
+    runtime::Timer timer;
+    explicit Check(runtime::Env& env) : timer(env.make_timer()) {}
   };
   std::unordered_map<std::uint64_t, std::unique_ptr<Check>> checks;
   std::uint64_t next_query = 1;
@@ -135,15 +135,15 @@ struct BaselineSystem::HostNode {
   void check(UserId user, std::function<void(const BaselineDecision&)> done) {
     if (sys.config_.kind == Kind::kFullReplication) {
       BaselineDecision d;
-      d.requested = d.decided = sys.sched_.now();
+      d.requested = d.decided = sys.env_.now();
       d.allowed = replica.check(user, acl::Right::kUse);
       done(d);
       return;
     }
     const std::uint64_t qid = next_query++;
-    auto c = std::make_unique<Check>(sys.sched_);
+    auto c = std::make_unique<Check>(sys.env_);
     c->user = user;
-    c->requested = sys.sched_.now();
+    c->requested = sys.env_.now();
     c->done = std::move(done);
     c->next_manager = rotate;
     rotate = (rotate + 1) % static_cast<int>(sys.managers_.size());
@@ -197,7 +197,7 @@ struct BaselineSystem::HostNode {
     c->timer.cancel();
     BaselineDecision d;
     d.requested = c->requested;
-    d.decided = sys.sched_.now();
+    d.decided = sys.env_.now();
     d.allowed = allowed;
     c->done(d);
   }
@@ -237,11 +237,11 @@ void BaselineSystem::ManagerNode::submit(
   update.op = op;
   update.version = store.max_version().next(id);
   store.apply(update);
-  if (done) done(sys.sched_.now());
+  if (done) done(sys.env_.now());
 
   if (sys.config_.kind == Kind::kFullReplication) {
     const std::uint64_t txn_id = next_txn++;
-    auto txn = std::make_unique<Txn>(sys.sched_);
+    auto txn = std::make_unique<Txn>(sys.env_);
     txn->update = update;
     for (const auto& m : sys.managers_) {
       if (m->id != id) txn->pending.insert(m->id);
@@ -256,11 +256,15 @@ void BaselineSystem::ManagerNode::submit(
 
 // --------------------------------------------------------- BaselineSystem
 
-BaselineSystem::BaselineSystem(sim::Scheduler& sched, net::Network& net,
-                               AppId app, std::vector<HostId> manager_ids,
+BaselineSystem::BaselineSystem(runtime::Env& env, AppId app,
+                               std::vector<HostId> manager_ids,
                                std::vector<HostId> host_ids,
                                BaselineConfig config)
-    : sched_(sched), net_(net), app_(app), config_(config), rng_(config.seed) {
+    : env_(env),
+      net_(env.transport()),
+      app_(app),
+      config_(config),
+      rng_(config.seed) {
   WAN_REQUIRE(!manager_ids.empty());
   WAN_REQUIRE(!host_ids.empty());
   WAN_REQUIRE(static_cast<int>(manager_ids.size()) == config_.managers);
@@ -269,14 +273,14 @@ BaselineSystem::BaselineSystem(sim::Scheduler& sched, net::Network& net,
   for (const HostId id : manager_ids) {
     managers_.push_back(std::make_unique<ManagerNode>(*this, id));
     auto* node = managers_.back().get();
-    net_.register_host(id, [node](HostId from, const net::MessagePtr& msg) {
+    net_.register_endpoint(id, [node](HostId from, const net::MessagePtr& msg) {
       node->on_message(from, msg);
     });
   }
   for (const HostId id : host_ids) {
     hosts_.push_back(std::make_unique<HostNode>(*this, id));
     auto* node = hosts_.back().get();
-    net_.register_host(id, [node](HostId from, const net::MessagePtr& msg) {
+    net_.register_endpoint(id, [node](HostId from, const net::MessagePtr& msg) {
       node->on_message(from, msg);
     });
   }

@@ -32,10 +32,8 @@
 
 #include "acl/store.hpp"
 #include "metrics/ground_truth.hpp"
-#include "net/network.hpp"
 #include "proto/messages.hpp"
-#include "sim/scheduler.hpp"
-#include "sim/timer.hpp"
+#include "runtime/env.hpp"
 #include "util/rng.hpp"
 
 namespace wan::baseline {
@@ -70,9 +68,8 @@ struct BaselineDecision {
 /// the partition model.
 class BaselineSystem {
  public:
-  BaselineSystem(sim::Scheduler& sched, net::Network& net, AppId app,
-                 std::vector<HostId> manager_ids, std::vector<HostId> host_ids,
-                 BaselineConfig config);
+  BaselineSystem(runtime::Env& env, AppId app, std::vector<HostId> manager_ids,
+                 std::vector<HostId> host_ids, BaselineConfig config);
   ~BaselineSystem();
   BaselineSystem(const BaselineSystem&) = delete;
   BaselineSystem& operator=(const BaselineSystem&) = delete;
@@ -101,8 +98,8 @@ class BaselineSystem {
 
   void submit(acl::Op op, UserId user, std::function<void(sim::TimePoint)> done);
 
-  sim::Scheduler& sched_;
-  net::Network& net_;
+  runtime::Env& env_;
+  runtime::Transport& net_;
   AppId app_;
   BaselineConfig config_;
   Rng rng_;

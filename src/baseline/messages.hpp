@@ -24,7 +24,7 @@ struct GossipMsg final : net::Message {
   GossipMsg(AppId a, std::vector<acl::AclUpdate> snap, bool reply)
       : app(a), snapshot(std::move(snap)), reply_requested(reply) {}
 
-  std::string type_name() const override { return "GossipMsg"; }
+  WAN_MESSAGE_TYPE("GossipMsg")
   std::size_t wire_size() const override { return 24 + snapshot.size() * 32; }
 };
 

@@ -8,10 +8,35 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 namespace wan::net {
+
+/// Process-wide interned identifier for a message type. Ids are dense small
+/// integers, so per-type statistics index a vector on the send hot path
+/// instead of a string-keyed map. Interning is thread-safe (the threaded
+/// runtime sends from many loop threads); each message class interns exactly
+/// once via the function-local static in its WAN_MESSAGE_TYPE-generated
+/// type_id() override.
+class TypeId {
+ public:
+  constexpr TypeId() noexcept = default;
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// Interns `name`, returning the existing id if the name is already known.
+  static TypeId intern(std::string_view name);
+
+  /// Name for an interned id value (stats materialization).
+  static const std::string& name_of(std::uint32_t value);
+
+ private:
+  constexpr explicit TypeId(std::uint32_t v) noexcept : value_(v) {}
+  std::uint32_t value_ = 0;
+};
 
 /// Base class for everything that travels over the simulated network.
 class Message {
@@ -21,10 +46,30 @@ class Message {
   /// Short type name for traces and per-type statistics ("QueryRequest" ...).
   [[nodiscard]] virtual std::string type_name() const = 0;
 
+  /// Interned type id for per-type statistics on the send hot path. The
+  /// WAN_MESSAGE_TYPE macro overrides this with a cached id; this fallback
+  /// interns per call and is only hit by types that bypass the macro.
+  [[nodiscard]] virtual TypeId type_id() const {
+    return TypeId::intern(type_name());
+  }
+
   /// Approximate wire size in bytes; used for bandwidth-overhead accounting
   /// in the O(C/Te) experiments. Default models a small control packet.
   [[nodiscard]] virtual std::size_t wire_size() const { return 64; }
 };
+
+/// Declares a message type's name and cached interned id in one shot:
+///
+///   struct QueryRequest final : net::Message {
+///     WAN_MESSAGE_TYPE("QueryRequest")
+///     ...
+///   };
+#define WAN_MESSAGE_TYPE(NAME)                                                \
+  [[nodiscard]] std::string type_name() const override { return NAME; }       \
+  [[nodiscard]] ::wan::net::TypeId type_id() const override {                 \
+    static const ::wan::net::TypeId kId = ::wan::net::TypeId::intern(NAME);   \
+    return kId;                                                               \
+  }
 
 using MessagePtr = std::shared_ptr<const Message>;
 

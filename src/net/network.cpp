@@ -7,6 +7,14 @@
 
 namespace wan::net {
 
+std::map<std::string, std::uint64_t> NetworkStats::sent_by_type() const {
+  std::map<std::string, std::uint64_t> out;
+  for (std::uint32_t i = 0; i < sent_by_type_id.size(); ++i) {
+    if (sent_by_type_id[i] != 0) out.emplace(TypeId::name_of(i), sent_by_type_id[i]);
+  }
+  return out;
+}
+
 Network::Network(sim::Scheduler& sched, Rng rng, Config config)
     : sched_(sched),
       rng_(rng),
@@ -59,7 +67,9 @@ void Network::send(HostId from, HostId to, MessagePtr msg) {
 
   ++stats_.sent;
   stats_.bytes_sent += msg->wire_size();
-  ++stats_.sent_by_type[msg->type_name()];
+  const std::uint32_t tid = msg->type_id().value();
+  if (stats_.sent_by_type_id.size() <= tid) stats_.sent_by_type_id.resize(tid + 1, 0);
+  ++stats_.sent_by_type_id[tid];
 
   if (src->second.down) {
     ++stats_.dropped_host_down;
@@ -101,7 +111,9 @@ void Network::send(HostId from, HostId to, MessagePtr msg) {
 
 void Network::deliver(HostId from, HostId to, MessagePtr msg,
                       sim::Duration delay) {
-  sched_.schedule_after(delay, [this, from, to, msg = std::move(msg)] {
+  // Fire-and-forget: deliveries are never cancelled, so the no-handle variant
+  // skips the per-event cancellation-flag allocation on the hottest path.
+  sched_.post_after(delay, [this, from, to, msg = std::move(msg)] {
     const auto dst = endpoints_.find(to);
     if (dst == endpoints_.end() || dst->second.down) {
       ++stats_.dropped_host_down;

@@ -36,7 +36,12 @@ struct NetworkStats {
   std::uint64_t dropped_loss = 0;
   std::uint64_t dropped_host_down = 0;
   std::uint64_t bytes_sent = 0;
-  std::map<std::string, std::uint64_t> sent_by_type;
+  /// Per-type send counters, indexed by interned TypeId value — the send hot
+  /// path touches only this vector. Use sent_by_type() for names.
+  std::vector<std::uint64_t> sent_by_type_id;
+
+  /// Materializes the name -> count map (stats-read path: tests, reports).
+  [[nodiscard]] std::map<std::string, std::uint64_t> sent_by_type() const;
 
   [[nodiscard]] std::uint64_t dropped_total() const noexcept {
     return dropped_partition + dropped_loss + dropped_host_down;

@@ -32,19 +32,19 @@ const char* to_cstring(DenyReason r) noexcept {
   return "?";
 }
 
-AccessController::AccessController(HostId self, sim::Scheduler& sched,
-                                   net::Network& net, clk::LocalClock clock,
+AccessController::AccessController(HostId self, runtime::Env& env,
+                                   clk::LocalClock clock,
                                    const ns::NameService& names,
                                    const auth::KeyRegistry& keys,
                                    ProtocolConfig config)
     : self_(self),
-      sched_(sched),
-      net_(net),
-      clock_(clock),
+      env_(env),
+      net_(env.transport()),
+      clock_(env, clock),
       resolver_(names, config.name_service_ttl),
       authenticator_(keys),
       config_(config),
-      sweep_timer_(sched) {
+      sweep_timer_(env.make_periodic_timer()) {
   config_.validate();
   sweep_timer_.start(config_.cache_sweep_period, [this] {
     if (!up_) return;
@@ -98,7 +98,7 @@ void AccessController::handle_invoke(HostId from, const InvokeRequest& req) {
     d.app = req.app;
     d.user = req.user;
     d.host = self_;
-    d.requested = d.decided = sched_.now();
+    d.requested = d.decided = env_.now();
     d.allowed = false;
     d.path = DecisionPath::kUnknownApp;
     d.reason = DenyReason::kUnknownApp;
@@ -118,7 +118,7 @@ void AccessController::handle_invoke(HostId from, const InvokeRequest& req) {
     d.app = req.app;
     d.user = req.user;
     d.host = self_;
-    d.requested = d.decided = sched_.now();
+    d.requested = d.decided = env_.now();
     d.allowed = false;
     d.path = DecisionPath::kAuthRejected;
     d.reason = DenyReason::kAuthentication;
@@ -160,7 +160,7 @@ void AccessController::check_access(AppId app, UserId user, CheckCallback done) 
     d.app = app;
     d.user = user;
     d.host = self_;
-    d.requested = d.decided = sched_.now();
+    d.requested = d.decided = env_.now();
     d.allowed = false;
     d.path = DecisionPath::kUnknownApp;
     d.reason = DenyReason::kUnknownApp;
@@ -177,7 +177,7 @@ void AccessController::check_access(AppId app, UserId user, CheckCallback done) 
     d.app = app;
     d.user = user;
     d.host = self_;
-    d.requested = d.decided = sched_.now();
+    d.requested = d.decided = env_.now();
     d.allowed = true;
     d.path = DecisionPath::kCacheHit;
     d.basis_version = entry->version;
@@ -205,7 +205,7 @@ void AccessController::start_session(AppId app, UserId user, CheckCallback done)
     d.app = app;
     d.user = user;
     d.host = self_;
-    d.requested = d.decided = sched_.now();
+    d.requested = d.decided = env_.now();
     d.allowed = config_.exhausted_policy == ExhaustedPolicy::kAllow;
     d.path = d.allowed ? DecisionPath::kDefaultAllow
                        : DecisionPath::kUnverifiableDeny;
@@ -228,10 +228,10 @@ void AccessController::start_session(AppId app, UserId user, CheckCallback done)
           ? config_.check_quorum + config_.byzantine_slack
           : std::min<int>(config_.check_quorum,
                           static_cast<int>(managers->managers.size()));
-  auto session = std::make_unique<CheckSession>(needed, sched_);
+  auto session = std::make_unique<CheckSession>(needed, env_);
   session->app = app;
   session->user = user;
-  session->started = sched_.now();
+  session->started = env_.now();
   session->managers = std::move(managers->managers);
   session->waiters.push_back(std::move(done));
   CheckSession& ref = *session;
@@ -244,7 +244,7 @@ void AccessController::begin_attempt(CheckSession& s) {
   query_to_session_.erase(s.query_id);
   s.query_id = next_query_id_++;
   query_to_session_[s.query_id] = key;
-  s.attempt_sent = sched_.now();
+  s.attempt_sent = env_.now();
   s.responders.reset();
   s.best_rights = acl::RightSet{};
   s.best_version = acl::Version{};
@@ -362,7 +362,7 @@ void AccessController::handle_query_response(HostId from,
     AppState* state = app_state(s.app);
     WAN_ASSERT(state != nullptr);
     const clk::LocalTime now_local = local_now();
-    const clk::LocalTime sent_local = clock_.now(s.attempt_sent);
+    const clk::LocalTime sent_local = clock_.skew().now(s.attempt_sent);
     const sim::Duration delta = now_local - sent_local;
     const sim::Duration remaining = s.best_expiry - delta;
     if (remaining > sim::Duration{}) {
@@ -407,7 +407,7 @@ void AccessController::quarantine(HostId manager, clk::LocalTime now) {
 }
 
 bool AccessController::manager_quarantined(HostId manager) const {
-  return quarantined(manager, clock_.now(sched_.now()));
+  return quarantined(manager, clock_.local_now());
 }
 
 bool AccessController::admit_reply(HostId from, const QueryResponse& resp) {
@@ -476,7 +476,7 @@ void AccessController::finish_session(SessionKey key, bool allowed,
   d.user = s->user;
   d.host = self_;
   d.requested = s->started;
-  d.decided = sched_.now();
+  d.decided = env_.now();
   d.allowed = allowed;
   d.path = path;
   d.reason = reason;

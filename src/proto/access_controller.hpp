@@ -29,12 +29,11 @@
 #include "auth/authenticator.hpp"
 #include "clock/local_clock.hpp"
 #include "nameservice/name_service.hpp"
-#include "net/network.hpp"
 #include "proto/config.hpp"
 #include "proto/decision.hpp"
 #include "proto/messages.hpp"
 #include "quorum/quorum.hpp"
-#include "sim/timer.hpp"
+#include "runtime/env.hpp"
 
 namespace wan::proto {
 
@@ -50,9 +49,9 @@ using CheckCallback = std::function<void(const AccessDecision&)>;
 
 class AccessController {
  public:
-  AccessController(HostId self, sim::Scheduler& sched, net::Network& net,
-                   clk::LocalClock clock, const ns::NameService& names,
-                   const auth::KeyRegistry& keys, ProtocolConfig config);
+  AccessController(HostId self, runtime::Env& env, clk::LocalClock clock,
+                   const ns::NameService& names, const auth::KeyRegistry& keys,
+                   ProtocolConfig config);
   ~AccessController();
   AccessController(const AccessController&) = delete;
   AccessController& operator=(const AccessController&) = delete;
@@ -103,7 +102,7 @@ class AccessController {
 
   /// Local clock reading (the paper's Time()).
   [[nodiscard]] clk::LocalTime local_now() const {
-    return clock_.now(sched_.now());
+    return clock_.local_now();
   }
 
  private:
@@ -128,10 +127,10 @@ class AccessController {
     bool any_reply = false;    ///< best_* fields hold a real response
     bool conflict = false;     ///< equal-version contradiction seen (liar present)
     std::vector<CheckCallback> waiters;
-    sim::Timer timer;
+    runtime::Timer timer;
 
-    CheckSession(int needed, sim::Scheduler& sched)
-        : responders(needed), timer(sched) {}
+    CheckSession(int needed, runtime::Env& env)
+        : responders(needed), timer(env.make_timer()) {}
   };
   using SessionKey = std::uint64_t;  ///< (app,user) packed
 
@@ -188,9 +187,9 @@ class AccessController {
   bool admit_reply(HostId from, const QueryResponse& resp);
 
   HostId self_;
-  sim::Scheduler& sched_;
-  net::Network& net_;
-  clk::LocalClock clock_;
+  runtime::Env& env_;
+  runtime::Transport& net_;
+  runtime::Clock clock_;
   ns::ManagerResolver resolver_;
   auth::Authenticator authenticator_;
   ProtocolConfig config_;
@@ -203,7 +202,7 @@ class AccessController {
   std::unordered_map<std::uint64_t, acl::Version> deny_floor_;  ///< by user key
   HardeningStats hardening_;
   std::uint64_t next_query_id_ = 1;
-  sim::PeriodicTimer sweep_timer_;
+  runtime::PeriodicTimer sweep_timer_;
   std::function<void(const AccessDecision&)> observer_;
 };
 

@@ -1,9 +1,9 @@
-// Host compositions: wire a protocol module to the network and the host
+// Host compositions: wire a protocol module to the transport and the host
 // lifecycle. These are the deployable units of Figure 1 — an application host
 // (Access Control + Access Control Management + Applications) and a manager
 // host (Manager + its authoritative ACL state).
 //
-// Crashing a host both silences its network endpoint and destroys the
+// Crashing a host both silences its transport endpoint and destroys the
 // module's volatile state; recovery brings the endpoint back and runs the
 // module's §3.4 recovery procedure.
 #pragma once
@@ -13,30 +13,31 @@
 #include "clock/local_clock.hpp"
 #include "proto/access_controller.hpp"
 #include "proto/manager.hpp"
-#include "sim/lifecycle.hpp"
+#include "runtime/env.hpp"
 
 namespace wan::proto {
 
 /// An application host: runs applications behind the access-control wrapper.
 class AppHost {
  public:
-  AppHost(HostId id, sim::Scheduler& sched, net::Network& net,
-          clk::LocalClock clock, const ns::NameService& names,
-          const auth::KeyRegistry& keys, ProtocolConfig config)
+  AppHost(HostId id, runtime::Env& env, clk::LocalClock clock,
+          const ns::NameService& names, const auth::KeyRegistry& keys,
+          ProtocolConfig config)
       : id_(id),
-        net_(net),
-        controller_(id, sched, net, clock, names, keys, config) {
-    net.register_host(id, [this](HostId from, const net::MessagePtr& msg) {
-      controller_.on_message(from, msg);
-    });
+        transport_(env.transport()),
+        controller_(id, env, clock, names, keys, config) {
+    transport_.register_endpoint(
+        id, [this](HostId from, const net::MessagePtr& msg) {
+          controller_.on_message(from, msg);
+        });
   }
 
   void crash() {
-    net_.set_host_down(id_, true);
+    transport_.set_endpoint_down(id_, true);
     controller_.crash();
   }
   void recover() {
-    net_.set_host_down(id_, false);
+    transport_.set_endpoint_down(id_, false);
     controller_.recover();
   }
   [[nodiscard]] bool up() const noexcept { return controller_.up(); }
@@ -49,27 +50,28 @@ class AppHost {
 
  private:
   HostId id_;
-  net::Network& net_;
+  runtime::Transport& transport_;
   AccessController controller_;
 };
 
 /// A manager host.
 class ManagerHost {
  public:
-  ManagerHost(HostId id, sim::Scheduler& sched, net::Network& net,
-              clk::LocalClock clock, ProtocolConfig config)
-      : id_(id), net_(net), manager_(id, sched, net, clock, config) {
-    net.register_host(id, [this](HostId from, const net::MessagePtr& msg) {
-      manager_.on_message(from, msg);
-    });
+  ManagerHost(HostId id, runtime::Env& env, clk::LocalClock clock,
+              ProtocolConfig config)
+      : id_(id), transport_(env.transport()), manager_(id, env, clock, config) {
+    transport_.register_endpoint(
+        id, [this](HostId from, const net::MessagePtr& msg) {
+          manager_.on_message(from, msg);
+        });
   }
 
   void crash() {
-    net_.set_host_down(id_, true);
+    transport_.set_endpoint_down(id_, true);
     manager_.crash();
   }
   void recover() {
-    net_.set_host_down(id_, false);
+    transport_.set_endpoint_down(id_, false);
     manager_.recover();
   }
   [[nodiscard]] bool up() const noexcept { return manager_.up(); }
@@ -80,7 +82,7 @@ class ManagerHost {
 
  private:
   HostId id_;
-  net::Network& net_;
+  runtime::Transport& transport_;
   ManagerModule manager_;
 };
 

@@ -8,10 +8,13 @@
 
 namespace wan::proto {
 
-ManagerModule::ManagerModule(HostId self, sim::Scheduler& sched,
-                             net::Network& net, clk::LocalClock clock,
-                             ProtocolConfig config)
-    : self_(self), sched_(sched), net_(net), clock_(clock), config_(config) {
+ManagerModule::ManagerModule(HostId self, runtime::Env& env,
+                             clk::LocalClock clock, ProtocolConfig config)
+    : self_(self),
+      env_(env),
+      net_(env.transport()),
+      clock_(env, clock),
+      config_(config) {
   config_.validate();
 }
 
@@ -82,7 +85,7 @@ void ManagerModule::reconfigure_app(AppId app, std::vector<HostId> managers) {
 void ManagerModule::forget_app(AppId app) { apps_.erase(app); }
 
 void ManagerModule::start_heartbeats(AppId app, AppCtl& ctl) {
-  ctl.heartbeat = std::make_unique<sim::PeriodicTimer>(sched_);
+  ctl.heartbeat = std::make_unique<runtime::PeriodicTimer>(env_.make_periodic_timer());
   ctl.heartbeat->start(config_.heartbeat_period, [this, app] {
     AppCtl* ctl = ctl_of(app);
     if (ctl == nullptr || !up_) return;
@@ -114,7 +117,7 @@ bool ManagerModule::frozen_by_silence(AppId app) const {
   const AppCtl* ctl = ctl_of(app);
   if (ctl == nullptr) return false;
   const sim::Duration threshold = freeze_threshold();
-  const clk::LocalTime now = clock_.now(sched_.now());
+  const clk::LocalTime now = clock_.local_now();
   for (const auto& [peer, heard] : ctl->last_heard) {
     if (now - heard > threshold) return true;
   }
@@ -131,7 +134,7 @@ std::vector<ManagerModule::PeerSilence> ManagerModule::peer_silences(
   std::vector<PeerSilence> out;
   const AppCtl* ctl = ctl_of(app);
   if (ctl == nullptr) return out;
-  const clk::LocalTime now = clock_.now(sched_.now());
+  const clk::LocalTime now = clock_.local_now();
   for (const HostId p : ctl->peers) {
     PeerSilence ps;
     ps.peer = p;
@@ -193,12 +196,12 @@ void ManagerModule::submit_update(AppId app, acl::Op op, UserId user,
   const int needed = std::min(ctl->check_quorum,
                               static_cast<int>(ctl->managers.size()));
   const std::uint64_t read_id = next_read_id_++;
-  auto read = std::make_unique<PendingRead>(needed, sched_);
+  auto read = std::make_unique<PendingRead>(needed, env_);
   read->op = op;
   read->user = user;
   read->right = right;
   read->done = std::move(done);
-  read->issued = sched_.now();
+  read->issued = env_.now();
   read->max_seen = ctl->store.max_version();
   read->readers.record(self_);
   if (read->readers.reached()) {
@@ -268,7 +271,7 @@ void ManagerModule::issue_write(AppId app, std::unique_ptr<PendingRead> read) {
   const UserId user = read->user;
   UpdateCallback done = std::move(read->done);
   const std::uint64_t txn_id = next_txn_id_++;
-  auto txn = std::make_unique<Txn>(update_quorum(*ctl), sched_);
+  auto txn = std::make_unique<Txn>(update_quorum(*ctl), env_);
   txn->update = update;
   txn->txn_id = txn_id;
   txn->issued = read->issued;  // the user's operation began at the read
@@ -291,7 +294,7 @@ void ManagerModule::issue_write(AppId app, std::unique_ptr<PendingRead> read) {
     // Update quorum of 1 (C == M): guaranteed as soon as it is local.
     ref.quorum_fired = true;
     if (ref.done) {
-      ref.done(UpdateOutcome{app, ref.update, ref.issued, sched_.now(),
+      ref.done(UpdateOutcome{app, ref.update, ref.issued, env_.now(),
                              ref.acks.count()});
     }
   }
@@ -327,7 +330,7 @@ void ManagerModule::start_revoke_forwarding(AppId app, AppCtl& ctl, UserId user,
 
   const auto key = std::make_pair(static_cast<std::uint64_t>(user.value()),
                                   version.counter);
-  auto fwd = std::make_unique<RevokeFwd>(sched_);
+  auto fwd = std::make_unique<RevokeFwd>(env_);
   fwd->app = app;
   fwd->user = user;
   fwd->version = version;
@@ -335,7 +338,7 @@ void ManagerModule::start_revoke_forwarding(AppId app, AppCtl& ctl, UserId user,
   // "it can stop resending the message when the access right would have
   // expired based on the time mechanism" (§3.4): Te after now bounds every
   // outstanding cached copy.
-  fwd->deadline = sched_.now() + config_.Te;
+  fwd->deadline = env_.now() + config_.Te;
 
   const auto msg = net::make_message<RevokeNotify>(app, user, version);
   for (const HostId h : fwd->pending_hosts) net_.send(self_, h, msg);
@@ -354,7 +357,7 @@ void ManagerModule::retransmit_revoke(AppId app, std::uint64_t user_value,
   const auto it = ctl->revoke_fwds.find(key);
   if (it == ctl->revoke_fwds.end()) return;
   RevokeFwd& fwd = *it->second;
-  if (sched_.now() >= fwd.deadline || fwd.pending_hosts.empty()) {
+  if (env_.now() >= fwd.deadline || fwd.pending_hosts.empty()) {
     ctl->revoke_fwds.erase(it);
     return;
   }
@@ -584,7 +587,7 @@ void ManagerModule::handle_update_ack(HostId from, const UpdateAck& m) {
     WAN_DEBUG << to_string(self_) << " update v" << txn.update.version.counter
               << " reached quorum (" << txn.acks.count() << " acks)";
     if (txn.done) {
-      txn.done(UpdateOutcome{m.app, txn.update, txn.issued, sched_.now(),
+      txn.done(UpdateOutcome{m.app, txn.update, txn.issued, env_.now(),
                              txn.acks.count()});
     }
   }
@@ -671,7 +674,7 @@ void ManagerModule::begin_sync(AppId app, AppCtl& ctl) {
   const int needed = std::min(ctl.check_quorum,
                               static_cast<int>(ctl.peers.size()));
   ctl.sync_votes = std::make_unique<quorum::QuorumTracker>(needed);
-  ctl.sync_timer = std::make_unique<sim::Timer>(sched_);
+  ctl.sync_timer = std::make_unique<runtime::Timer>(env_.make_timer());
   sync_round(app);
 }
 

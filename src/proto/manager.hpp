@@ -40,11 +40,10 @@
 
 #include "acl/store.hpp"
 #include "clock/local_clock.hpp"
-#include "net/network.hpp"
 #include "proto/config.hpp"
 #include "proto/messages.hpp"
 #include "quorum/quorum.hpp"
-#include "sim/timer.hpp"
+#include "runtime/env.hpp"
 #include "util/rng.hpp"
 
 namespace wan::proto {
@@ -63,8 +62,8 @@ using UpdateCallback = std::function<void(const UpdateOutcome&)>;
 
 class ManagerModule {
  public:
-  ManagerModule(HostId self, sim::Scheduler& sched, net::Network& net,
-                clk::LocalClock clock, ProtocolConfig config);
+  ManagerModule(HostId self, runtime::Env& env, clk::LocalClock clock,
+                ProtocolConfig config);
   ~ManagerModule();
   ManagerModule(const ManagerModule&) = delete;
   ManagerModule& operator=(const ManagerModule&) = delete;
@@ -211,10 +210,10 @@ class ManagerModule {
     sim::TimePoint issued{};
     quorum::QuorumTracker readers;
     acl::Version max_seen{};
-    sim::Timer retry;
+    runtime::Timer retry;
 
-    PendingRead(int quorum, sim::Scheduler& sched)
-        : readers(quorum), retry(sched) {}
+    PendingRead(int quorum, runtime::Env& env)
+        : readers(quorum), retry(env.make_timer()) {}
   };
 
   struct Txn {
@@ -225,9 +224,9 @@ class ManagerModule {
     std::set<HostId> pending_peers;
     UpdateCallback done;
     bool quorum_fired = false;
-    sim::Timer retry;
+    runtime::Timer retry;
 
-    Txn(int quorum, sim::Scheduler& sched) : acks(quorum), retry(sched) {}
+    Txn(int quorum, runtime::Env& env) : acks(quorum), retry(env.make_timer()) {}
   };
 
   struct RevokeFwd {
@@ -236,9 +235,9 @@ class ManagerModule {
     acl::Version version{};
     std::set<HostId> pending_hosts;
     sim::TimePoint deadline{};
-    sim::Timer retry;
+    runtime::Timer retry;
 
-    explicit RevokeFwd(sim::Scheduler& sched) : retry(sched) {}
+    explicit RevokeFwd(runtime::Env& env) : retry(env.make_timer()) {}
   };
 
   struct DeferredSubmit {
@@ -266,8 +265,8 @@ class ManagerModule {
     std::vector<DeferredSubmit> deferred_submits;
     std::uint64_t sync_id = 0;
     std::unique_ptr<quorum::QuorumTracker> sync_votes;
-    std::unique_ptr<sim::Timer> sync_timer;
-    std::unique_ptr<sim::PeriodicTimer> heartbeat;
+    std::unique_ptr<runtime::Timer> sync_timer;
+    std::unique_ptr<runtime::PeriodicTimer> heartbeat;
     std::uint64_t heartbeat_seq = 0;
   };
 
@@ -303,16 +302,16 @@ class ManagerModule {
     return static_cast<int>(ctl.managers.size()) - ctl.check_quorum + 1;
   }
   [[nodiscard]] clk::LocalTime local_now() const {
-    return clock_.now(sched_.now());
+    return clock_.local_now();
   }
 
   AppCtl* ctl_of(AppId app);
   const AppCtl* ctl_of(AppId app) const;
 
   HostId self_;
-  sim::Scheduler& sched_;
-  net::Network& net_;
-  clk::LocalClock clock_;
+  runtime::Env& env_;
+  runtime::Transport& net_;
+  runtime::Clock clock_;
   ProtocolConfig config_;
   bool up_ = true;
   bool byzantine_ = false;

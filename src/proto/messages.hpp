@@ -42,7 +42,7 @@ struct InvokeRequest final : net::Message {
       : app(a), user(u), request_id(req), nonce(n), signature(sig),
         payload(std::move(body)) {}
 
-  std::string type_name() const override { return "InvokeRequest"; }
+  WAN_MESSAGE_TYPE("InvokeRequest")
   std::size_t wire_size() const override { return 64 + payload.size(); }
 };
 
@@ -67,7 +67,7 @@ struct InvokeReply final : net::Message {
   InvokeReply(std::uint64_t req, bool ok, DenyReason why, std::string res)
       : request_id(req), accepted(ok), reason(why), result(std::move(res)) {}
 
-  std::string type_name() const override { return "InvokeReply"; }
+  WAN_MESSAGE_TYPE("InvokeReply")
   std::size_t wire_size() const override { return 32 + result.size(); }
 };
 
@@ -79,7 +79,7 @@ struct QueryRequest final : net::Message {
 
   QueryRequest(AppId a, UserId u, std::uint64_t q) : app(a), user(u), query_id(q) {}
 
-  std::string type_name() const override { return "QueryRequest"; }
+  WAN_MESSAGE_TYPE("QueryRequest")
   std::size_t wire_size() const override { return 40; }
 };
 
@@ -98,7 +98,7 @@ struct QueryResponse final : net::Message {
                 acl::Version v, sim::Duration te)
       : app(a), user(u), query_id(q), rights(r), version(v), expiry_period(te) {}
 
-  std::string type_name() const override { return "QueryResponse"; }
+  WAN_MESSAGE_TYPE("QueryResponse")
   std::size_t wire_size() const override { return 56; }
 };
 
@@ -110,7 +110,7 @@ struct RevokeNotify final : net::Message {
 
   RevokeNotify(AppId a, UserId u, acl::Version v) : app(a), user(u), version(v) {}
 
-  std::string type_name() const override { return "RevokeNotify"; }
+  WAN_MESSAGE_TYPE("RevokeNotify")
   std::size_t wire_size() const override { return 40; }
 };
 
@@ -122,7 +122,7 @@ struct RevokeNotifyAck final : net::Message {
 
   RevokeNotifyAck(AppId a, UserId u, acl::Version v) : app(a), user(u), version(v) {}
 
-  std::string type_name() const override { return "RevokeNotifyAck"; }
+  WAN_MESSAGE_TYPE("RevokeNotifyAck")
   std::size_t wire_size() const override { return 40; }
 };
 
@@ -135,7 +135,7 @@ struct UpdateMsg final : net::Message {
   UpdateMsg(AppId a, acl::AclUpdate u, std::uint64_t t)
       : app(a), update(u), txn_id(t) {}
 
-  std::string type_name() const override { return "UpdateMsg"; }
+  WAN_MESSAGE_TYPE("UpdateMsg")
   std::size_t wire_size() const override { return 56; }
 };
 
@@ -146,7 +146,7 @@ struct UpdateAck final : net::Message {
 
   UpdateAck(AppId a, std::uint64_t t) : app(a), txn_id(t) {}
 
-  std::string type_name() const override { return "UpdateAck"; }
+  WAN_MESSAGE_TYPE("UpdateAck")
   std::size_t wire_size() const override { return 24; }
 };
 
@@ -163,7 +163,7 @@ struct VersionQuery final : net::Message {
 
   VersionQuery(AppId a, std::uint64_t r) : app(a), read_id(r) {}
 
-  std::string type_name() const override { return "VersionQuery"; }
+  WAN_MESSAGE_TYPE("VersionQuery")
   std::size_t wire_size() const override { return 24; }
 };
 
@@ -176,7 +176,7 @@ struct VersionReply final : net::Message {
   VersionReply(AppId a, std::uint64_t r, acl::Version v)
       : app(a), read_id(r), max_version(v) {}
 
-  std::string type_name() const override { return "VersionReply"; }
+  WAN_MESSAGE_TYPE("VersionReply")
   std::size_t wire_size() const override { return 32; }
 };
 
@@ -187,7 +187,7 @@ struct SyncRequest final : net::Message {
 
   SyncRequest(AppId a, std::uint64_t s) : app(a), sync_id(s) {}
 
-  std::string type_name() const override { return "SyncRequest"; }
+  WAN_MESSAGE_TYPE("SyncRequest")
   std::size_t wire_size() const override { return 24; }
 };
 
@@ -200,7 +200,7 @@ struct SyncResponse final : net::Message {
   SyncResponse(AppId a, std::uint64_t s, std::vector<acl::AclUpdate> snap)
       : app(a), sync_id(s), snapshot(std::move(snap)) {}
 
-  std::string type_name() const override { return "SyncResponse"; }
+  WAN_MESSAGE_TYPE("SyncResponse")
   std::size_t wire_size() const override { return 24 + snapshot.size() * 32; }
 };
 
@@ -216,7 +216,7 @@ struct SyncPush final : net::Message {
   SyncPush(AppId a, std::vector<acl::AclUpdate> snap)
       : app(a), snapshot(std::move(snap)) {}
 
-  std::string type_name() const override { return "SyncPush"; }
+  WAN_MESSAGE_TYPE("SyncPush")
   std::size_t wire_size() const override { return 16 + snapshot.size() * 32; }
 };
 
@@ -227,7 +227,7 @@ struct HeartbeatPing final : net::Message {
 
   HeartbeatPing(AppId a, std::uint64_t s) : app(a), seq(s) {}
 
-  std::string type_name() const override { return "HeartbeatPing"; }
+  WAN_MESSAGE_TYPE("HeartbeatPing")
   std::size_t wire_size() const override { return 24; }
 };
 
@@ -237,7 +237,7 @@ struct HeartbeatPong final : net::Message {
 
   HeartbeatPong(AppId a, std::uint64_t s) : app(a), seq(s) {}
 
-  std::string type_name() const override { return "HeartbeatPong"; }
+  WAN_MESSAGE_TYPE("HeartbeatPong")
   std::size_t wire_size() const override { return 24; }
 };
 

@@ -7,12 +7,12 @@
 namespace wan::proto {
 
 UserAgent::UserAgent(HostId endpoint, UserId user, auth::KeyPair keys,
-                     sim::Scheduler& sched, net::Network& net, Config config)
+                     runtime::Env& env, Config config)
     : endpoint_(endpoint),
       user_(user),
       keys_(keys),
-      sched_(sched),
-      net_(net),
+      env_(env),
+      net_(env.transport()),
       config_(config) {
   WAN_REQUIRE(config_.reply_timeout > sim::Duration{});
   WAN_REQUIRE(config_.max_hosts >= 1);
@@ -24,12 +24,12 @@ void UserAgent::invoke(AppId app, std::vector<HostId> hosts,
   WAN_REQUIRE(!hosts.empty());
   WAN_REQUIRE(done != nullptr);
   const std::uint64_t request_id = next_request_id_++;
-  auto pending = std::make_unique<Pending>(sched_);
+  auto pending = std::make_unique<Pending>(env_);
   pending->app = app;
   pending->hosts = std::move(hosts);
   pending->payload = std::move(payload);
   pending->done = std::move(done);
-  pending->started = sched_.now();
+  pending->started = env_.now();
   pending_.emplace(request_id, std::move(pending));
   try_next_host(request_id);
 }
@@ -46,7 +46,7 @@ void UserAgent::try_next_host(std::uint64_t request_id) {
     r.ok = false;
     r.timed_out = true;
     r.hosts_tried = p.next_host;
-    r.latency = sched_.now() - p.started;
+    r.latency = env_.now() - p.started;
     finish(request_id, std::move(r));
     return;
   }
@@ -74,7 +74,7 @@ void UserAgent::on_message(HostId /*from*/, const net::MessagePtr& msg) {
   r.reason = reply->reason;
   r.result = reply->result;
   r.hosts_tried = p.next_host;
-  r.latency = sched_.now() - p.started;
+  r.latency = env_.now() - p.started;
   finish(reply->request_id, std::move(r));
 }
 

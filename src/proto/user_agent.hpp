@@ -15,9 +15,8 @@
 
 #include "auth/authenticator.hpp"
 #include "auth/credentials.hpp"
-#include "net/network.hpp"
 #include "proto/messages.hpp"
-#include "sim/timer.hpp"
+#include "runtime/env.hpp"
 
 namespace wan::proto {
 
@@ -41,7 +40,7 @@ class UserAgent {
   /// `endpoint` is the agent's own network address (users are sites too);
   /// the key pair must match the public key registered for `user`.
   UserAgent(HostId endpoint, UserId user, auth::KeyPair keys,
-            sim::Scheduler& sched, net::Network& net, Config config);
+            runtime::Env& env, Config config);
 
   /// Invokes `app` with `payload`, trying `hosts` in order.
   void invoke(AppId app, std::vector<HostId> hosts, std::string payload,
@@ -61,9 +60,9 @@ class UserAgent {
     std::function<void(const InvokeResult&)> done;
     int next_host = 0;
     sim::TimePoint started{};
-    sim::Timer timer;
+    runtime::Timer timer;
 
-    explicit Pending(sim::Scheduler& sched) : timer(sched) {}
+    explicit Pending(runtime::Env& env) : timer(env.make_timer()) {}
   };
 
   void try_next_host(std::uint64_t request_id);
@@ -72,8 +71,8 @@ class UserAgent {
   HostId endpoint_;
   UserId user_;
   auth::KeyPair keys_;
-  sim::Scheduler& sched_;
-  net::Network& net_;
+  runtime::Env& env_;
+  runtime::Transport& net_;
   Config config_;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t next_nonce_ = 1;

@@ -1,0 +1,56 @@
+#include "runtime/sim_env.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "sim/timer.hpp"
+
+namespace wan::runtime {
+
+namespace {
+
+class SimTimerImpl final : public TimerImpl {
+ public:
+  explicit SimTimerImpl(sim::Scheduler& sched) : timer_(sched) {}
+  void arm(sim::Duration delay, std::function<void()> fn) override {
+    timer_.arm(delay, std::move(fn));
+  }
+  void cancel() noexcept override { timer_.cancel(); }
+  [[nodiscard]] bool pending() const noexcept override {
+    return timer_.pending();
+  }
+
+ private:
+  sim::Timer timer_;
+};
+
+class SimPeriodicTimerImpl final : public PeriodicTimerImpl {
+ public:
+  explicit SimPeriodicTimerImpl(sim::Scheduler& sched) : timer_(sched) {}
+  void start(sim::Duration initial_delay, sim::Duration period,
+             std::function<void()> fn) override {
+    timer_.start(initial_delay, period, std::move(fn));
+  }
+  void stop() noexcept override { timer_.stop(); }
+  [[nodiscard]] bool running() const noexcept override {
+    return timer_.running();
+  }
+
+ private:
+  sim::PeriodicTimer timer_;
+};
+
+}  // namespace
+
+SimEnv::SimEnv(net::Network& net)
+    : sched_(net.scheduler()), net_(net), transport_(net) {}
+
+Timer SimEnv::make_timer() {
+  return Timer(std::make_unique<SimTimerImpl>(sched_));
+}
+
+PeriodicTimer SimEnv::make_periodic_timer() {
+  return PeriodicTimer(std::make_unique<SimPeriodicTimerImpl>(sched_));
+}
+
+}  // namespace wan::runtime

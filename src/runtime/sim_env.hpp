@@ -1,0 +1,61 @@
+// SimEnv: the deterministic simulation behind the runtime seam.
+//
+// A thin adapter over sim::Scheduler + net::Network. Every call delegates 1:1
+// to the primitive the protocol used before the seam existed — same scheduler
+// entries, same RNG draws, same ordering — so refactoring protocol code onto
+// runtime::Env leaves every chaos seed bit-identical (pinned by the per-seed
+// trace-hash comparison in the chaos sweep JSON).
+//
+// One SimEnv serves the whole simulated world: all nodes share the scheduler
+// and the simulated network, exactly as before.
+#pragma once
+
+#include "net/network.hpp"
+#include "runtime/env.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wan::runtime {
+
+class SimEnv final : public Env {
+ public:
+  explicit SimEnv(net::Network& net);
+
+  [[nodiscard]] sim::TimePoint now() const override { return sched_.now(); }
+  [[nodiscard]] Timer make_timer() override;
+  [[nodiscard]] PeriodicTimer make_periodic_timer() override;
+  [[nodiscard]] Transport& transport() override { return transport_; }
+  void post(std::function<void()> fn) override {
+    sched_.post_after(sim::Duration{}, std::move(fn));
+  }
+
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept { return sched_; }
+  [[nodiscard]] net::Network& network() noexcept { return net_; }
+
+ private:
+  class SimTransport final : public Transport {
+   public:
+    explicit SimTransport(net::Network& net) : net_(net) {}
+    void register_endpoint(HostId id, Handler handler) override {
+      net_.register_host(id, std::move(handler));
+    }
+    void set_endpoint_down(HostId id, bool down) override {
+      net_.set_host_down(id, down);
+    }
+    void send(HostId from, HostId to, net::MessagePtr msg) override {
+      net_.send(from, to, std::move(msg));
+    }
+    void multicast(HostId from, const std::vector<HostId>& to,
+                   const net::MessagePtr& msg) override {
+      net_.multicast(from, to, msg);
+    }
+
+   private:
+    net::Network& net_;
+  };
+
+  sim::Scheduler& sched_;
+  net::Network& net_;
+  SimTransport transport_;
+};
+
+}  // namespace wan::runtime

@@ -20,13 +20,24 @@ EventHandle Scheduler::schedule_after(Duration delay, std::function<void()> fn) 
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+void Scheduler::post_at(TimePoint at, std::function<void()> fn) {
+  WAN_REQUIRE(fn != nullptr);
+  WAN_REQUIRE(at >= now_);
+  queue_.push(Entry{at, next_seq_++, std::move(fn), nullptr});
+}
+
+void Scheduler::post_after(Duration delay, std::function<void()> fn) {
+  WAN_REQUIRE(!delay.is_negative());
+  post_at(now_ + delay, std::move(fn));
+}
+
 bool Scheduler::pop_and_run() {
   // `const_cast` because priority_queue::top() is const; the entry is moved
   // out and popped before the callback runs, so re-entrant scheduling is safe.
   auto& top = const_cast<Entry&>(queue_.top());
   Entry entry = std::move(top);
   queue_.pop();
-  if (*entry.cancelled) return false;
+  if (entry.cancelled && *entry.cancelled) return false;
   now_ = entry.at;
   ++executed_;
   entry.fn();

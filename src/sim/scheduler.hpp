@@ -54,6 +54,13 @@ class Scheduler {
   /// Schedules `fn` to run `delay` from now (delay >= 0).
   EventHandle schedule_after(Duration delay, std::function<void()> fn);
 
+  /// Fire-and-forget variants: same ordering semantics as schedule_at /
+  /// schedule_after, but no EventHandle and therefore no cancellation-flag
+  /// allocation. Hot paths that discard the handle (network deliveries are
+  /// the bulk of all events) use these.
+  void post_at(TimePoint at, std::function<void()> fn);
+  void post_after(Duration delay, std::function<void()> fn);
+
   /// Runs events until the queue is empty or `deadline` is passed; the clock
   /// is left at min(deadline, time of last event). Returns events executed.
   std::uint64_t run_until(TimePoint deadline);
@@ -88,7 +95,7 @@ class Scheduler {
     TimePoint at;
     std::uint64_t seq;
     std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::shared_ptr<bool> cancelled;  ///< null for post_at/post_after events
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {

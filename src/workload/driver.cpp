@@ -10,7 +10,7 @@ Driver::Driver(Scenario& scenario, DriverConfig config, std::uint64_t seed)
     : scenario_(scenario),
       config_(config),
       rng_(seed),
-      manager_timer_(scenario.scheduler()) {
+      manager_timer_(scenario.env().make_timer()) {
   WAN_REQUIRE(config_.access_rate_per_host > 0.0);
   WAN_REQUIRE(config_.revoke_fraction >= 0.0 && config_.revoke_fraction <= 1.0);
   WAN_REQUIRE(config_.initially_granted >= 0.0 && config_.initially_granted <= 1.0);
@@ -24,7 +24,7 @@ Driver::Driver(Scenario& scenario, DriverConfig config, std::uint64_t seed)
   intended_granted_.assign(static_cast<std::size_t>(users), false);
   access_timers_.reserve(static_cast<std::size_t>(scenario_.host_count()));
   for (int h = 0; h < scenario_.host_count(); ++h) {
-    access_timers_.emplace_back(scenario_.scheduler());
+    access_timers_.emplace_back(scenario_.env().make_timer());
   }
 }
 
@@ -42,7 +42,7 @@ void Driver::start() {
   // version tie-breaks in the stores but by wall-clock order in the ground
   // truth, and the two can disagree (the grant can out-version a revoke
   // issued mid-flight). Serializing per user keeps the truth linearizable.
-  const sim::TimePoint now = scenario_.scheduler().now();
+  const sim::TimePoint now = scenario_.env().now();
   for (int i = 0; i < scenario_.user_count(); ++i) {
     if (rng_.next_bool(config_.initially_granted)) {
       auto done = [this, i] { op_in_flight_.erase(i); };
@@ -89,7 +89,7 @@ void Driver::schedule_manager_op() {
     // (concurrent updates to one register would make "authorized" depend on
     // version tie-breaks rather than quorum instants). Ops stranded by a
     // crashed issuer are reaped after a grace period.
-    const sim::TimePoint now = scenario_.scheduler().now();
+    const sim::TimePoint now = scenario_.env().now();
     for (auto it = op_in_flight_.begin(); it != op_in_flight_.end();) {
       it = now - it->second >= kStuckOpLimit ? op_in_flight_.erase(it)
                                              : std::next(it);

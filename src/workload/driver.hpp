@@ -12,7 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "sim/timer.hpp"
+#include "runtime/env.hpp"
 #include "workload/scenario.hpp"
 
 namespace wan::workload {
@@ -59,8 +59,8 @@ class Driver {
   /// kStuckOpLimit are reaped so the user can receive operations again.
   std::unordered_map<int, sim::TimePoint> op_in_flight_;
   static constexpr sim::Duration kStuckOpLimit = sim::Duration::minutes(5);
-  std::vector<sim::Timer> access_timers_;
-  sim::Timer manager_timer_;
+  std::vector<runtime::Timer> access_timers_;
+  runtime::Timer manager_timer_;
   bool running_ = false;
   std::uint64_t accesses_ = 0;
   std::uint64_t grants_ = 0;

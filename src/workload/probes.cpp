@@ -9,7 +9,7 @@ QuorumProbe::QuorumProbe(Scenario& scenario, int check_quorum,
     : scenario_(scenario),
       check_quorum_(check_quorum),
       interval_(interval),
-      timer_(scenario.scheduler()) {
+      timer_(scenario.env().make_timer()) {
   WAN_REQUIRE(check_quorum >= 1 && check_quorum <= scenario.manager_count());
   WAN_REQUIRE(interval > sim::Duration{});
 }

@@ -13,7 +13,7 @@
 
 #include <cstdint>
 
-#include "sim/timer.hpp"
+#include "runtime/env.hpp"
 #include "workload/scenario.hpp"
 
 namespace wan::workload {
@@ -52,7 +52,7 @@ class QuorumProbe {
   Scenario& scenario_;
   int check_quorum_;
   sim::Duration interval_;
-  sim::Timer timer_;
+  runtime::Timer timer_;
   Result result_;
   int issuer_rotate_ = 0;
 };

@@ -69,6 +69,7 @@ Scenario::Scenario(ScenarioConfig config)
   net_config.duplicate = config_.duplicate;
   net_config.partitions = partitions_;
   net_ = std::make_unique<net::Network>(sched_, rng_.split(), std::move(net_config));
+  env_ = std::make_unique<runtime::SimEnv>(*net_);
 
   names_.set_managers(app_, manager_ids_);
 
@@ -79,13 +80,13 @@ Scenario::Scenario(ScenarioConfig config)
 
   for (const HostId id : manager_ids_) {
     managers_.push_back(std::make_unique<proto::ManagerHost>(
-        id, sched_, *net_, make_clock(), config_.protocol));
+        id, *env_, make_clock(), config_.protocol));
     managers_.back()->manager().manage_app(app_, manager_ids_);
   }
 
   for (const HostId id : host_ids_) {
     hosts_.push_back(std::make_unique<proto::AppHost>(
-        id, sched_, *net_, make_clock(), names_, keys_, config_.protocol));
+        id, *env_, make_clock(), names_, keys_, config_.protocol));
     auto& controller = hosts_.back()->controller();
     controller.register_app(app_, [](UserId, const std::string& payload) {
       return "ok:" + payload;  // echo application
@@ -101,12 +102,12 @@ Scenario::Scenario(ScenarioConfig config)
     user_keys_.push_back(kp);
     const HostId endpoint(kAgentIdBase + static_cast<std::uint32_t>(i));
     agents_.push_back(std::make_unique<proto::UserAgent>(
-        endpoint, uid, kp, sched_, *net_, proto::UserAgent::Config{}));
+        endpoint, uid, kp, *env_, proto::UserAgent::Config{}));
     auto* agent = agents_.back().get();
-    net_->register_host(endpoint,
-                        [agent](HostId from, const net::MessagePtr& msg) {
-                          agent->on_message(from, msg);
-                        });
+    env_->transport().register_endpoint(
+        endpoint, [agent](HostId from, const net::MessagePtr& msg) {
+          agent->on_message(from, msg);
+        });
   }
 
   net_->start();

@@ -18,6 +18,7 @@
 #include "net/network.hpp"
 #include "proto/host.hpp"
 #include "proto/user_agent.hpp"
+#include "runtime/sim_env.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 
@@ -62,6 +63,8 @@ class Scenario {
 
   [[nodiscard]] sim::Scheduler& scheduler() noexcept { return sched_; }
   [[nodiscard]] net::Network& network() noexcept { return *net_; }
+  /// The runtime seam every protocol module in this scenario runs on.
+  [[nodiscard]] runtime::Env& env() noexcept { return *env_; }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
   [[nodiscard]] int manager_count() const noexcept;
@@ -131,6 +134,7 @@ class Scenario {
   auth::KeyRegistry keys_;
   std::shared_ptr<net::PartitionModel> partitions_;
   std::unique_ptr<net::Network> net_;
+  std::unique_ptr<runtime::SimEnv> env_;
   std::vector<HostId> manager_ids_;
   std::vector<HostId> host_ids_;
   std::vector<std::unique_ptr<proto::ManagerHost>> managers_;

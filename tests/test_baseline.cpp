@@ -7,6 +7,7 @@
 
 #include "baseline/baseline_system.hpp"
 #include "net/network.hpp"
+#include "runtime/sim_env.hpp"
 #include "sim/scheduler.hpp"
 
 namespace wan::baseline {
@@ -20,6 +21,7 @@ struct BaselineFixture : ::testing::Test {
   std::shared_ptr<net::ScriptedPartitions> partitions =
       std::make_shared<net::ScriptedPartitions>();
   std::unique_ptr<net::Network> net;
+  std::unique_ptr<runtime::SimEnv> env;
   std::unique_ptr<BaselineSystem> sys;
   std::vector<HostId> mgr_ids{HostId(0), HostId(1), HostId(2)};
   std::vector<HostId> host_ids{HostId(100), HostId(101)};
@@ -29,12 +31,13 @@ struct BaselineFixture : ::testing::Test {
     ncfg.latency = std::make_unique<net::ConstantLatency>(Duration::millis(10));
     ncfg.partitions = partitions;
     net = std::make_unique<net::Network>(sched, Rng(1), std::move(ncfg));
+    env = std::make_unique<runtime::SimEnv>(*net);
     BaselineConfig cfg;
     cfg.kind = kind;
     cfg.managers = 3;
     cfg.app_hosts = 2;
     cfg.gossip_period = Duration::seconds(10);
-    sys = std::make_unique<BaselineSystem>(sched, *net, AppId(1), mgr_ids,
+    sys = std::make_unique<BaselineSystem>(*env, AppId(1), mgr_ids,
                                            host_ids, cfg);
     net->start();
   }
@@ -136,7 +139,7 @@ TEST_F(BaselineFixture, LocalOnlyWaitsForAllManagers) {
   net->reset_stats();
   EXPECT_TRUE(run_check(0, UserId(1)));
   // One query per manager: the O(M) check cost of this design point.
-  EXPECT_EQ(net->stats().sent_by_type.at("QueryRequest"), 3u);
+  EXPECT_EQ(net->stats().sent_by_type().at("QueryRequest"), 3u);
 }
 
 // ------------------------------------------------------ eventual consistency
@@ -158,7 +161,7 @@ TEST_F(BaselineFixture, EventualCheckAsksOneManager) {
   sched.run_until(sched.now() + Duration::minutes(5));
   net->reset_stats();
   EXPECT_TRUE(run_check(0, UserId(1)));
-  EXPECT_EQ(net->stats().sent_by_type.at("QueryRequest"), 1u);
+  EXPECT_EQ(net->stats().sent_by_type().at("QueryRequest"), 1u);
 }
 
 TEST_F(BaselineFixture, EventualStaleManagerGrantsRevokedUserUnboundedly) {

@@ -95,7 +95,7 @@ TEST(Integration, CacheMakesSteadyStateCheap) {
 
   // Control traffic is bounded by re-validations (O(C/Te)), not by accesses:
   // queries are a tiny fraction of the ~6000 accesses.
-  const auto queries = s.network().stats().sent_by_type.at("QueryRequest");
+  const auto queries = s.network().stats().sent_by_type().at("QueryRequest");
   EXPECT_LT(queries, col.report().total / 20);
 }
 

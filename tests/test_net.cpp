@@ -21,7 +21,7 @@ using sim::TimePoint;
 struct Ping final : Message {
   int value = 0;
   explicit Ping(int v) : value(v) {}
-  std::string type_name() const override { return "Ping"; }
+  WAN_MESSAGE_TYPE("Ping")
 };
 
 struct NetFixture : ::testing::Test {
@@ -123,7 +123,7 @@ TEST_F(NetFixture, StatsCountPerType) {
   sched.run_all();
   EXPECT_EQ(net->stats().sent, 2u);
   EXPECT_EQ(net->stats().delivered, 2u);
-  EXPECT_EQ(net->stats().sent_by_type.at("Ping"), 2u);
+  EXPECT_EQ(net->stats().sent_by_type().at("Ping"), 2u);
   EXPECT_GT(net->stats().bytes_sent, 0u);
 }
 

@@ -141,7 +141,7 @@ TEST(ProtoBasic, ConcurrentChecksCoalesceIntoOneSession) {
   EXPECT_EQ(decisions, 5);
   EXPECT_TRUE(all_allowed);
   // One session: exactly M = 3 QueryRequests despite 5 concurrent checks.
-  EXPECT_EQ(s.network().stats().sent_by_type.at("QueryRequest"), 3u);
+  EXPECT_EQ(s.network().stats().sent_by_type().at("QueryRequest"), 3u);
 }
 
 TEST(ProtoBasic, ManagerGrantTableTracksCachingHosts) {
@@ -264,7 +264,7 @@ TEST(ProtoBasic, ExactQuorumFanoutSendsOnlyC) {
   s.network().reset_stats();
   const auto d = run_check(s, 0, s.user(0));
   EXPECT_TRUE(d.allowed);
-  EXPECT_EQ(s.network().stats().sent_by_type.at("QueryRequest"), 2u);  // C = 2
+  EXPECT_EQ(s.network().stats().sent_by_type().at("QueryRequest"), 2u);  // C = 2
 }
 
 TEST(ProtoBasic, CheckQuorumOneAsksAllButNeedsOne) {

@@ -11,6 +11,7 @@
 #include "nameservice/name_service.hpp"
 #include "net/network.hpp"
 #include "proto/host.hpp"
+#include "runtime/sim_env.hpp"
 #include "sim/scheduler.hpp"
 
 namespace wan {
@@ -28,6 +29,7 @@ struct MultiAppFixture : ::testing::Test {
                          Duration::millis(10));
                      return cfg;
                    }()};
+  runtime::SimEnv env{net};
   ns::NameService names;
   auth::KeyRegistry keys;
   proto::ProtocolConfig config = [] {
@@ -51,7 +53,7 @@ struct MultiAppFixture : ::testing::Test {
     names.set_managers(payroll, payroll_managers);
     for (std::uint32_t i = 0; i < 5; ++i) {
       managers.push_back(std::make_unique<proto::ManagerHost>(
-          HostId(i), sched, net, clk::LocalClock::perfect(), config));
+          HostId(i), env, clk::LocalClock::perfect(), config));
     }
     // Manager 2 serves BOTH applications.
     for (const HostId id : wiki_managers) {
@@ -60,8 +62,7 @@ struct MultiAppFixture : ::testing::Test {
     for (const HostId id : payroll_managers) {
       managers[id.value()]->manager().manage_app(payroll, payroll_managers);
     }
-    host = std::make_unique<proto::AppHost>(HostId(50), sched, net,
-                                            clk::LocalClock::perfect(), names,
+    host = std::make_unique<proto::AppHost>(HostId(50), env, clk::LocalClock::perfect(), names,
                                             keys, config);
     host->controller().register_app(
         wiki, [](UserId, const std::string&) { return std::string("wiki"); });

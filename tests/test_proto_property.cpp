@@ -13,6 +13,7 @@
 
 #include "analysis/availability.hpp"
 #include "chaos/engine.hpp"
+#include "sim/lifecycle.hpp"
 #include "workload/driver.hpp"
 #include "workload/probes.hpp"
 #include "workload/scenario.hpp"

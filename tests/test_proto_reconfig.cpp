@@ -11,6 +11,7 @@
 #include "nameservice/name_service.hpp"
 #include "net/network.hpp"
 #include "proto/host.hpp"
+#include "runtime/sim_env.hpp"
 #include "sim/scheduler.hpp"
 
 namespace wan {
@@ -24,6 +25,7 @@ struct ReconfigFixture : ::testing::Test {
   std::shared_ptr<net::ScriptedPartitions> partitions =
       std::make_shared<net::ScriptedPartitions>();
   std::unique_ptr<net::Network> net;
+  std::unique_ptr<runtime::SimEnv> env;
   ns::NameService names;
   auth::KeyRegistry keys;
   proto::ProtocolConfig config;
@@ -40,6 +42,7 @@ struct ReconfigFixture : ::testing::Test {
     ncfg.latency = std::make_unique<net::ConstantLatency>(Duration::millis(10));
     ncfg.partitions = partitions;
     net = std::make_unique<net::Network>(sched, Rng(9), std::move(ncfg));
+    env = std::make_unique<runtime::SimEnv>(*net);
 
     config.check_quorum = 2;
     config.Te = Duration::minutes(2);
@@ -48,7 +51,7 @@ struct ReconfigFixture : ::testing::Test {
 
     for (std::uint32_t i = 0; i < 4; ++i) {
       managers.push_back(std::make_unique<proto::ManagerHost>(
-          HostId(i), sched, *net, clk::LocalClock::perfect(), config));
+          HostId(i), *env, clk::LocalClock::perfect(), config));
     }
     // Initial set: {0, 1, 2}; manager 3 exists but is not a member yet.
     const std::vector<HostId> initial{HostId(0), HostId(1), HostId(2)};
@@ -56,8 +59,7 @@ struct ReconfigFixture : ::testing::Test {
     for (std::uint32_t i = 0; i < 3; ++i) {
       managers[i]->manager().manage_app(app, initial);
     }
-    host = std::make_unique<proto::AppHost>(HostId(50), sched, *net,
-                                            clk::LocalClock::perfect(), names,
+    host = std::make_unique<proto::AppHost>(HostId(50), *env, clk::LocalClock::perfect(), names,
                                             keys, config);
     host->controller().register_app(
         app, [](UserId, const std::string&) { return std::string("ok"); });

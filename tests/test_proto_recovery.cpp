@@ -159,10 +159,10 @@ TEST(ProtoRecovery, RevokeRetransmissionStopsAtExpiryDeadline) {
   }
   s.revoke(s.user(0));
   s.run_for(Duration::seconds(120));  // two full Te periods
-  const auto sent_at_2te = s.network().stats().sent_by_type.at("RevokeNotify");
+  const auto sent_at_2te = s.network().stats().sent_by_type().at("RevokeNotify");
 
   s.run_for(Duration::seconds(120));
-  const auto sent_later = s.network().stats().sent_by_type.at("RevokeNotify");
+  const auto sent_later = s.network().stats().sent_by_type().at("RevokeNotify");
   // "it can stop resending the message when the access right would have
   // expired": no RevokeNotify traffic after the deadline passed.
   EXPECT_EQ(sent_later, sent_at_2te);

@@ -13,6 +13,7 @@
 //   chaos_runner --replay 1337 --shrink       # minimize its fault schedule
 //   chaos_runner --seeds 500 --max-seconds 60 # time-budgeted sweep
 //   chaos_runner --seeds 200 --byzantine 1 --asymmetric --json sweep.json
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -268,6 +269,21 @@ int run_replay(const Options& opt) {
   return 1;
 }
 
+/// Compact per-seed fingerprint for the machine-readable summary. The trace
+/// hash covers every decision, oracle verdict, and fault application in the
+/// run, so two sweeps whose per-seed records match are bit-identical — this
+/// is what refactors of the simulation substrate pin themselves against.
+struct SeedRecord {
+  std::uint64_t seed = 0;
+  std::uint64_t trace_hash = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t entries_audited = 0;
+  std::uint64_t violations = 0;
+  std::size_t faults_applied = 0;
+};
+
 struct SweepState {
   std::atomic<std::uint64_t> next{0};
   std::atomic<std::uint64_t> completed{0};
@@ -278,6 +294,7 @@ struct SweepState {
   std::mutex mu;
   std::vector<ChaosResult> failures;
   std::vector<std::uint64_t> nondeterministic;
+  std::vector<SeedRecord> records;  ///< collected only when --json is given
 };
 
 int run_sweep(const Options& opt) {
@@ -308,6 +325,14 @@ int run_sweep(const Options& opt) {
       state.completed.fetch_add(1, std::memory_order_relaxed);
       state.decisions.fetch_add(r.decisions, std::memory_order_relaxed);
       state.faults.fetch_add(r.faults_applied, std::memory_order_relaxed);
+      if (!opt.json_path.empty()) {
+        const SeedRecord rec{r.seed,        r.trace_hash,     r.decisions,
+                             r.events_executed, r.checkpoints,
+                             r.entries_audited, r.violation_count,
+                             r.faults_applied};
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.records.push_back(rec);
+      }
       if (!r.ok()) {
         // Confirm the failure replays bit-identically before reporting it.
         const ChaosResult again = run_chaos(to_chaos_options(opt, seed));
@@ -407,8 +432,33 @@ int run_sweep(const Options& opt) {
       first = false;
     }
     std::fprintf(f, "},\n");
-    std::fprintf(f, "  \"wall_seconds\": %.3f\n",
+    std::fprintf(f, "  \"wall_seconds\": %.3f,\n",
                  static_cast<double>(wall) / 1000.0);
+    // Per-seed fingerprints, sorted by seed so two sweeps diff line-by-line
+    // regardless of worker interleaving. `wall_seconds` above is the only
+    // field expected to differ between bit-identical sweeps.
+    std::sort(state.records.begin(), state.records.end(),
+              [](const SeedRecord& a, const SeedRecord& b) {
+                return a.seed < b.seed;
+              });
+    std::fprintf(f, "  \"per_seed\": [\n");
+    for (std::size_t i = 0; i < state.records.size(); ++i) {
+      const SeedRecord& r = state.records[i];
+      std::fprintf(
+          f,
+          "    {\"seed\": %llu, \"trace_hash\": \"%016llx\", "
+          "\"decisions\": %llu, \"events\": %llu, \"checkpoints\": %llu, "
+          "\"entries_audited\": %llu, \"violations\": %llu, \"faults\": %zu}%s\n",
+          static_cast<unsigned long long>(r.seed),
+          static_cast<unsigned long long>(r.trace_hash),
+          static_cast<unsigned long long>(r.decisions),
+          static_cast<unsigned long long>(r.events_executed),
+          static_cast<unsigned long long>(r.checkpoints),
+          static_cast<unsigned long long>(r.entries_audited),
+          static_cast<unsigned long long>(r.violations), r.faults_applied,
+          i + 1 == state.records.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
   }
