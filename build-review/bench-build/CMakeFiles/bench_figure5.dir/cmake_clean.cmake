@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure5"
+  "../bench/bench_figure5.pdb"
+  "CMakeFiles/bench_figure5.dir/bench_figure5.cpp.o"
+  "CMakeFiles/bench_figure5.dir/bench_figure5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tradeoff"
+  "../bench/bench_tradeoff.pdb"
+  "CMakeFiles/bench_tradeoff.dir/bench_tradeoff.cpp.o"
+  "CMakeFiles/bench_tradeoff.dir/bench_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/corporate_directory"
+  "../examples/corporate_directory.pdb"
+  "CMakeFiles/corporate_directory.dir/corporate_directory.cpp.o"
+  "CMakeFiles/corporate_directory.dir/corporate_directory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corporate_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/manager_rotation.cpp" "examples-build/CMakeFiles/manager_rotation.dir/manager_rotation.cpp.o" "gcc" "examples-build/CMakeFiles/manager_rotation.dir/manager_rotation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/baseline/CMakeFiles/wan_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/wan_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/chaos/CMakeFiles/wan_chaos.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/wan_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metrics/CMakeFiles/wan_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/proto/CMakeFiles/wan_proto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/wan_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/wan_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/auth/CMakeFiles/wan_auth.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/acl/CMakeFiles/wan_acl.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/quorum/CMakeFiles/wan_quorum.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nameservice/CMakeFiles/wan_nameservice.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/clock/CMakeFiles/wan_clock.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/wan_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/wan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

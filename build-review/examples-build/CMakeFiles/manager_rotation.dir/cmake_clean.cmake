@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/manager_rotation"
+  "../examples/manager_rotation.pdb"
+  "CMakeFiles/manager_rotation.dir/manager_rotation.cpp.o"
+  "CMakeFiles/manager_rotation.dir/manager_rotation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manager_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/stock_quotes"
+  "../examples/stock_quotes.pdb"
+  "CMakeFiles/stock_quotes.dir/stock_quotes.cpp.o"
+  "CMakeFiles/stock_quotes.dir/stock_quotes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_quotes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("clock")
+subdirs("net")
+subdirs("runtime")
+subdirs("auth")
+subdirs("acl")
+subdirs("quorum")
+subdirs("nameservice")
+subdirs("proto")
+subdirs("baseline")
+subdirs("workload")
+subdirs("metrics")
+subdirs("analysis")
+subdirs("chaos")

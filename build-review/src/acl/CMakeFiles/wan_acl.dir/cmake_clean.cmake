@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_acl.dir/cache.cpp.o"
+  "CMakeFiles/wan_acl.dir/cache.cpp.o.d"
+  "CMakeFiles/wan_acl.dir/rights.cpp.o"
+  "CMakeFiles/wan_acl.dir/rights.cpp.o.d"
+  "CMakeFiles/wan_acl.dir/store.cpp.o"
+  "CMakeFiles/wan_acl.dir/store.cpp.o.d"
+  "libwan_acl.a"
+  "libwan_acl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_acl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/advisor.cpp" "src/analysis/CMakeFiles/wan_analysis.dir/advisor.cpp.o" "gcc" "src/analysis/CMakeFiles/wan_analysis.dir/advisor.cpp.o.d"
+  "/root/repo/src/analysis/availability.cpp" "src/analysis/CMakeFiles/wan_analysis.dir/availability.cpp.o" "gcc" "src/analysis/CMakeFiles/wan_analysis.dir/availability.cpp.o.d"
+  "/root/repo/src/analysis/binomial.cpp" "src/analysis/CMakeFiles/wan_analysis.dir/binomial.cpp.o" "gcc" "src/analysis/CMakeFiles/wan_analysis.dir/binomial.cpp.o.d"
+  "/root/repo/src/analysis/heterogeneous.cpp" "src/analysis/CMakeFiles/wan_analysis.dir/heterogeneous.cpp.o" "gcc" "src/analysis/CMakeFiles/wan_analysis.dir/heterogeneous.cpp.o.d"
+  "/root/repo/src/analysis/overhead_model.cpp" "src/analysis/CMakeFiles/wan_analysis.dir/overhead_model.cpp.o" "gcc" "src/analysis/CMakeFiles/wan_analysis.dir/overhead_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/wan_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/wan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_analysis.dir/advisor.cpp.o"
+  "CMakeFiles/wan_analysis.dir/advisor.cpp.o.d"
+  "CMakeFiles/wan_analysis.dir/availability.cpp.o"
+  "CMakeFiles/wan_analysis.dir/availability.cpp.o.d"
+  "CMakeFiles/wan_analysis.dir/binomial.cpp.o"
+  "CMakeFiles/wan_analysis.dir/binomial.cpp.o.d"
+  "CMakeFiles/wan_analysis.dir/heterogeneous.cpp.o"
+  "CMakeFiles/wan_analysis.dir/heterogeneous.cpp.o.d"
+  "CMakeFiles/wan_analysis.dir/overhead_model.cpp.o"
+  "CMakeFiles/wan_analysis.dir/overhead_model.cpp.o.d"
+  "libwan_analysis.a"
+  "libwan_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

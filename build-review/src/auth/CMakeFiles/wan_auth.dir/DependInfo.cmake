@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auth/authenticator.cpp" "src/auth/CMakeFiles/wan_auth.dir/authenticator.cpp.o" "gcc" "src/auth/CMakeFiles/wan_auth.dir/authenticator.cpp.o.d"
+  "/root/repo/src/auth/credentials.cpp" "src/auth/CMakeFiles/wan_auth.dir/credentials.cpp.o" "gcc" "src/auth/CMakeFiles/wan_auth.dir/credentials.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/wan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_auth.dir/authenticator.cpp.o"
+  "CMakeFiles/wan_auth.dir/authenticator.cpp.o.d"
+  "CMakeFiles/wan_auth.dir/credentials.cpp.o"
+  "CMakeFiles/wan_auth.dir/credentials.cpp.o.d"
+  "libwan_auth.a"
+  "libwan_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

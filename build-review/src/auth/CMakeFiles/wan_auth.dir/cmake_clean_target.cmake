@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwan_auth.a"
+)

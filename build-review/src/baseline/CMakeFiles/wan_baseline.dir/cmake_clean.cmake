@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_baseline.dir/baseline_system.cpp.o"
+  "CMakeFiles/wan_baseline.dir/baseline_system.cpp.o.d"
+  "libwan_baseline.a"
+  "libwan_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_chaos.dir/engine.cpp.o"
+  "CMakeFiles/wan_chaos.dir/engine.cpp.o.d"
+  "CMakeFiles/wan_chaos.dir/fault_schedule.cpp.o"
+  "CMakeFiles/wan_chaos.dir/fault_schedule.cpp.o.d"
+  "CMakeFiles/wan_chaos.dir/oracle.cpp.o"
+  "CMakeFiles/wan_chaos.dir/oracle.cpp.o.d"
+  "libwan_chaos.a"
+  "libwan_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

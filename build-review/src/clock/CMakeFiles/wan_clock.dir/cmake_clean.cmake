@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_clock.dir/local_clock.cpp.o"
+  "CMakeFiles/wan_clock.dir/local_clock.cpp.o.d"
+  "libwan_clock.a"
+  "libwan_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

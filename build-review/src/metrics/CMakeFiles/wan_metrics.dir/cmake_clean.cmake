@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_metrics.dir/collector.cpp.o"
+  "CMakeFiles/wan_metrics.dir/collector.cpp.o.d"
+  "CMakeFiles/wan_metrics.dir/ground_truth.cpp.o"
+  "CMakeFiles/wan_metrics.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/wan_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/wan_metrics.dir/histogram.cpp.o.d"
+  "libwan_metrics.a"
+  "libwan_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_nameservice.dir/name_service.cpp.o"
+  "CMakeFiles/wan_nameservice.dir/name_service.cpp.o.d"
+  "libwan_nameservice.a"
+  "libwan_nameservice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_nameservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

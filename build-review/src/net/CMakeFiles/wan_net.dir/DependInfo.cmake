@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/latency_model.cpp" "src/net/CMakeFiles/wan_net.dir/latency_model.cpp.o" "gcc" "src/net/CMakeFiles/wan_net.dir/latency_model.cpp.o.d"
+  "/root/repo/src/net/loss_model.cpp" "src/net/CMakeFiles/wan_net.dir/loss_model.cpp.o" "gcc" "src/net/CMakeFiles/wan_net.dir/loss_model.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/net/CMakeFiles/wan_net.dir/message.cpp.o" "gcc" "src/net/CMakeFiles/wan_net.dir/message.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/wan_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/wan_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/partition_model.cpp" "src/net/CMakeFiles/wan_net.dir/partition_model.cpp.o" "gcc" "src/net/CMakeFiles/wan_net.dir/partition_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/wan_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/wan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

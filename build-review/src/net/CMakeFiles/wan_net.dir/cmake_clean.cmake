@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_net.dir/latency_model.cpp.o"
+  "CMakeFiles/wan_net.dir/latency_model.cpp.o.d"
+  "CMakeFiles/wan_net.dir/loss_model.cpp.o"
+  "CMakeFiles/wan_net.dir/loss_model.cpp.o.d"
+  "CMakeFiles/wan_net.dir/message.cpp.o"
+  "CMakeFiles/wan_net.dir/message.cpp.o.d"
+  "CMakeFiles/wan_net.dir/network.cpp.o"
+  "CMakeFiles/wan_net.dir/network.cpp.o.d"
+  "CMakeFiles/wan_net.dir/partition_model.cpp.o"
+  "CMakeFiles/wan_net.dir/partition_model.cpp.o.d"
+  "libwan_net.a"
+  "libwan_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_proto.dir/access_controller.cpp.o"
+  "CMakeFiles/wan_proto.dir/access_controller.cpp.o.d"
+  "CMakeFiles/wan_proto.dir/manager.cpp.o"
+  "CMakeFiles/wan_proto.dir/manager.cpp.o.d"
+  "CMakeFiles/wan_proto.dir/user_agent.cpp.o"
+  "CMakeFiles/wan_proto.dir/user_agent.cpp.o.d"
+  "libwan_proto.a"
+  "libwan_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

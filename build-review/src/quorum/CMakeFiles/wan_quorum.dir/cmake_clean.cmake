@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_quorum.dir/quorum.cpp.o"
+  "CMakeFiles/wan_quorum.dir/quorum.cpp.o.d"
+  "libwan_quorum.a"
+  "libwan_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/sim_env.cpp" "src/runtime/CMakeFiles/wan_runtime.dir/sim_env.cpp.o" "gcc" "src/runtime/CMakeFiles/wan_runtime.dir/sim_env.cpp.o.d"
+  "/root/repo/src/runtime/threaded_env.cpp" "src/runtime/CMakeFiles/wan_runtime.dir/threaded_env.cpp.o" "gcc" "src/runtime/CMakeFiles/wan_runtime.dir/threaded_env.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/wan_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/wan_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/clock/CMakeFiles/wan_clock.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/wan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_runtime.dir/sim_env.cpp.o"
+  "CMakeFiles/wan_runtime.dir/sim_env.cpp.o.d"
+  "CMakeFiles/wan_runtime.dir/threaded_env.cpp.o"
+  "CMakeFiles/wan_runtime.dir/threaded_env.cpp.o.d"
+  "libwan_runtime.a"
+  "libwan_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/lifecycle.cpp" "src/sim/CMakeFiles/wan_sim.dir/lifecycle.cpp.o" "gcc" "src/sim/CMakeFiles/wan_sim.dir/lifecycle.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/wan_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/wan_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/sim/CMakeFiles/wan_sim.dir/time.cpp.o" "gcc" "src/sim/CMakeFiles/wan_sim.dir/time.cpp.o.d"
+  "/root/repo/src/sim/timer.cpp" "src/sim/CMakeFiles/wan_sim.dir/timer.cpp.o" "gcc" "src/sim/CMakeFiles/wan_sim.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/wan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

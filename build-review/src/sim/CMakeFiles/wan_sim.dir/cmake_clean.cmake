@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_sim.dir/lifecycle.cpp.o"
+  "CMakeFiles/wan_sim.dir/lifecycle.cpp.o.d"
+  "CMakeFiles/wan_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/wan_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/wan_sim.dir/time.cpp.o"
+  "CMakeFiles/wan_sim.dir/time.cpp.o.d"
+  "CMakeFiles/wan_sim.dir/timer.cpp.o"
+  "CMakeFiles/wan_sim.dir/timer.cpp.o.d"
+  "libwan_sim.a"
+  "libwan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_util.dir/ids.cpp.o"
+  "CMakeFiles/wan_util.dir/ids.cpp.o.d"
+  "CMakeFiles/wan_util.dir/logging.cpp.o"
+  "CMakeFiles/wan_util.dir/logging.cpp.o.d"
+  "CMakeFiles/wan_util.dir/rng.cpp.o"
+  "CMakeFiles/wan_util.dir/rng.cpp.o.d"
+  "CMakeFiles/wan_util.dir/table.cpp.o"
+  "CMakeFiles/wan_util.dir/table.cpp.o.d"
+  "libwan_util.a"
+  "libwan_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_workload.dir/driver.cpp.o"
+  "CMakeFiles/wan_workload.dir/driver.cpp.o.d"
+  "CMakeFiles/wan_workload.dir/probes.cpp.o"
+  "CMakeFiles/wan_workload.dir/probes.cpp.o.d"
+  "CMakeFiles/wan_workload.dir/scenario.cpp.o"
+  "CMakeFiles/wan_workload.dir/scenario.cpp.o.d"
+  "libwan_workload.a"
+  "libwan_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

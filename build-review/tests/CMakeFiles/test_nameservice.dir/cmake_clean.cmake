@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nameservice.dir/test_nameservice.cpp.o"
+  "CMakeFiles/test_nameservice.dir/test_nameservice.cpp.o.d"
+  "test_nameservice"
+  "test_nameservice.pdb"
+  "test_nameservice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nameservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

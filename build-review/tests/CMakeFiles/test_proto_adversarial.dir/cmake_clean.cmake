@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_adversarial.dir/test_proto_adversarial.cpp.o"
+  "CMakeFiles/test_proto_adversarial.dir/test_proto_adversarial.cpp.o.d"
+  "test_proto_adversarial"
+  "test_proto_adversarial.pdb"
+  "test_proto_adversarial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_basic.dir/test_proto_basic.cpp.o"
+  "CMakeFiles/test_proto_basic.dir/test_proto_basic.cpp.o.d"
+  "test_proto_basic"
+  "test_proto_basic.pdb"
+  "test_proto_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

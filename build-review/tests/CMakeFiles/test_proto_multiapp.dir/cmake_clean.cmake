@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_multiapp.dir/test_proto_multiapp.cpp.o"
+  "CMakeFiles/test_proto_multiapp.dir/test_proto_multiapp.cpp.o.d"
+  "test_proto_multiapp"
+  "test_proto_multiapp.pdb"
+  "test_proto_multiapp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_multiapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_partition.dir/test_proto_partition.cpp.o"
+  "CMakeFiles/test_proto_partition.dir/test_proto_partition.cpp.o.d"
+  "test_proto_partition"
+  "test_proto_partition.pdb"
+  "test_proto_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_property.dir/test_proto_property.cpp.o"
+  "CMakeFiles/test_proto_property.dir/test_proto_property.cpp.o.d"
+  "test_proto_property"
+  "test_proto_property.pdb"
+  "test_proto_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_reconfig.dir/test_proto_reconfig.cpp.o"
+  "CMakeFiles/test_proto_reconfig.dir/test_proto_reconfig.cpp.o.d"
+  "test_proto_reconfig"
+  "test_proto_reconfig.pdb"
+  "test_proto_reconfig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_acl[1]_include.cmake")
+include("/root/repo/build-review/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build-review/tests/test_auth[1]_include.cmake")
+include("/root/repo/build-review/tests/test_logging[1]_include.cmake")
+include("/root/repo/build-review/tests/test_nameservice[1]_include.cmake")
+include("/root/repo/build-review/tests/test_proto_basic[1]_include.cmake")
+include("/root/repo/build-review/tests/test_proto_partition[1]_include.cmake")
+include("/root/repo/build-review/tests/test_proto_recovery[1]_include.cmake")
+include("/root/repo/build-review/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build-review/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-review/tests/test_proto_adversarial[1]_include.cmake")
+include("/root/repo/build-review/tests/test_proto_byzantine[1]_include.cmake")
+include("/root/repo/build-review/tests/test_proto_multiapp[1]_include.cmake")
+include("/root/repo/build-review/tests/test_proto_reconfig[1]_include.cmake")
+include("/root/repo/build-review/tests/test_quorum[1]_include.cmake")
+include("/root/repo/build-review/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build-review/tests/test_workload[1]_include.cmake")
+include("/root/repo/build-review/tests/test_clock[1]_include.cmake")
+include("/root/repo/build-review/tests/test_net[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_util[1]_include.cmake")
+include("/root/repo/build-review/tests/test_chaos[1]_include.cmake")
+include("/root/repo/build-review/tests/test_proto_property[1]_include.cmake")

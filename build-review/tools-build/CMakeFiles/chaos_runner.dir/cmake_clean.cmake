@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/chaos_runner"
+  "../tools/chaos_runner.pdb"
+  "CMakeFiles/chaos_runner.dir/chaos_runner.cpp.o"
+  "CMakeFiles/chaos_runner.dir/chaos_runner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

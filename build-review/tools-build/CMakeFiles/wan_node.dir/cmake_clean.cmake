@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/wan_node"
+  "../tools/wan_node.pdb"
+  "CMakeFiles/wan_node.dir/wan_node.cpp.o"
+  "CMakeFiles/wan_node.dir/wan_node.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

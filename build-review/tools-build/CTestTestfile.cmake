@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(chaos_smoke "/root/repo/build-review/tools/chaos_runner" "--seeds" "25" "--max-seconds" "240")
+set_tests_properties(chaos_smoke PROPERTIES  LABELS "chaos" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(realtime_smoke "/root/repo/build-review/tools/wan_node" "--realtime" "--verbose")
+set_tests_properties(realtime_smoke PROPERTIES  LABELS "realtime" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
