@@ -11,6 +11,8 @@
 #include <unordered_map>
 
 #include "bench_common.hpp"
+#include "obs/te_probe.hpp"
+#include "obs/trace.hpp"
 #include "sim/timer.hpp"
 #include "metrics/histogram.hpp"
 #include "util/table.hpp"
@@ -220,13 +222,28 @@ int main(int argc, char** argv) {
                 "within bound"});
   for (const int te_s : {30, 60, 120}) {
     for (const double b : {1.0, 1.05}) {
-      const auto wc = wan::worst_case(wan::sim::Duration::seconds(te_s), b,
-                                      static_cast<std::uint64_t>(te_s));
+      // The span tracer measures the same bound from the OUTSIDE — pure
+      // span-stream analysis, independent of the bench's own bookkeeping.
+      // The two must agree that the bound held.
+      wan::obs::Tracer tracer;
+      wan::WorstCase wc{};
+      {
+        const wan::obs::TracerScope scope(&tracer);
+        wc = wan::worst_case(wan::sim::Duration::seconds(te_s), b,
+                             static_cast<std::uint64_t>(te_s));
+      }
+      const wan::obs::TeReport te_report = wan::obs::TeProbe::analyze(
+          tracer.events(), wan::sim::Duration::seconds(te_s));
       json.record("worst-case,Te=" + std::to_string(te_s) + "s",
                   {{"te_s", te_s},
                    {"b", b},
                    {"last_allowed_lateness_s", wc.last_allowed_lateness},
-                   {"bound_s", wc.bound}});
+                   {"bound_s", wc.bound},
+                   {"empirical_te_max_s", te_report.max_seconds},
+                   {"empirical_te_revocations",
+                    static_cast<double>(te_report.revocations)},
+                   {"empirical_te_violations",
+                    static_cast<double>(te_report.violations)}});
       w.add_row({std::to_string(te_s) + "s", Table::fmt(b, 2),
                  Table::fmt(wc.last_allowed_lateness, 2),
                  Table::fmt(wc.bound, 1),

@@ -48,6 +48,18 @@ ChaosResult run_chaos(const ChaosOptions& opts) {
     ~TimeSourceGuard() { log::clear_time_source(); }
   } time_source_guard;
 
+  // Span tracing is opt-in per run; installation is process-global, so the
+  // caller guarantees no concurrent run shares it (see ChaosOptions::tracer).
+  struct TracerGuard {
+    explicit TracerGuard(obs::Tracer* t) : installed(t != nullptr) {
+      if (installed) obs::install_tracer(t);
+    }
+    ~TracerGuard() {
+      if (installed) obs::install_tracer(nullptr);
+    }
+    const bool installed;
+  } tracer_guard(opts.tracer);
+
   TraceHasher hasher;
   hasher.mix(opts.seed);
   hasher.mix(static_cast<std::uint64_t>(M));
@@ -257,6 +269,11 @@ ChaosResult run_chaos(const ChaosOptions& opts) {
   for (const Violation& v : result.violations) {
     trace("t=" + sim::to_string(v.at) + "  VIOLATION " +
           std::string(to_cstring(v.kind)) + ": " + v.detail);
+  }
+  if (opts.tracer != nullptr) {
+    result.te =
+        obs::TeProbe::analyze(opts.tracer->events(), plan.scenario.protocol.Te);
+    result.te_checked = true;
   }
   return result;
 }

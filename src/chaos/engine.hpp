@@ -18,6 +18,8 @@
 #include "chaos/fault_schedule.hpp"
 #include "chaos/oracle.hpp"
 #include "metrics/collector.hpp"
+#include "obs/te_probe.hpp"
+#include "obs/trace.hpp"
 
 namespace wan::chaos {
 
@@ -34,6 +36,13 @@ struct ChaosOptions {
   std::vector<int> only_events;
   /// Collect a human-readable line per injected fault and per violation.
   bool trace = false;
+  /// When set, installed as the process-global span tracer for the run and
+  /// analyzed for the empirical-Te report. The caller owns it. Because the
+  /// installation is process-global, never set this on runs that execute
+  /// concurrently (the parallel sweep leaves it null; only single-seed
+  /// replay uses it). Span events are NOT mixed into the trace hash, so a
+  /// traced and an untraced run of the same seed hash identically.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct ChaosResult {
@@ -50,6 +59,10 @@ struct ChaosResult {
   std::size_t faults_applied = 0;
   metrics::CollectorReport report;
   std::vector<std::string> trace_lines;  ///< only with ChaosOptions::trace
+  /// Empirical revocation latency vs the configured Te bound, measured from
+  /// the span stream. Only populated (te_checked) when a tracer was set.
+  bool te_checked = false;
+  obs::TeReport te;
 
   [[nodiscard]] bool ok() const noexcept { return violation_count == 0; }
 };

@@ -1,0 +1,97 @@
+#include "obs/te_probe.hpp"
+
+#include <cstring>
+
+namespace wan::obs {
+
+void TeProbe::on_revoke_quorum(UserId user, sim::TimePoint at) {
+  // A newer revocation for the same user supersedes the open one: close the
+  // old record first so its lateness is measured against its own quorum.
+  on_grant_quorum(user, at);
+  Open rec;
+  rec.user = user;
+  rec.quorum_at = at;
+  rec.last_allow = at;
+  open_.push_back(rec);
+  ++revocations_;
+}
+
+void TeProbe::on_grant_quorum(UserId user, sim::TimePoint at) {
+  (void)at;
+  for (std::size_t i = 0; i < open_.size();) {
+    if (open_[i].user == user) {
+      close(open_[i]);
+      open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void TeProbe::on_allowed(UserId user, sim::TimePoint at) {
+  for (Open& rec : open_) {
+    if (rec.user == user && at >= rec.quorum_at) {
+      rec.any_allow = true;
+      if (at > rec.last_allow) rec.last_allow = at;
+    }
+  }
+}
+
+void TeProbe::close(Open& rec) {
+  if (!rec.any_allow) return;
+  double lateness = (rec.last_allow - rec.quorum_at).to_seconds();
+  ++measured_;
+  sum_seconds_ += lateness;
+  if (lateness > max_seconds_) max_seconds_ = lateness;
+  if (lateness > bound_.to_seconds()) ++violations_;
+}
+
+TeReport TeProbe::report() const {
+  // Fold still-open records in without mutating state, so report() can be
+  // called mid-run and again at the end.
+  TeReport r;
+  r.revocations = revocations_;
+  r.measured = measured_;
+  r.violations = violations_;
+  r.max_seconds = max_seconds_;
+  r.bound_seconds = bound_.to_seconds();
+  double sum = sum_seconds_;
+  for (const Open& rec : open_) {
+    if (!rec.any_allow) continue;
+    double lateness = (rec.last_allow - rec.quorum_at).to_seconds();
+    ++r.measured;
+    sum += lateness;
+    if (lateness > r.max_seconds) r.max_seconds = lateness;
+    if (lateness > r.bound_seconds) ++r.violations;
+  }
+  r.mean_seconds = r.measured > 0 ? sum / static_cast<double>(r.measured) : 0.0;
+  return r;
+}
+
+TeReport TeProbe::analyze(const std::vector<TraceEvent>& events,
+                          sim::Duration bound) {
+  TeProbe probe(bound);
+  for (const TraceEvent& e : events) {
+    if (e.name == nullptr) continue;
+    sim::TimePoint at = sim::TimePoint::from_nanos(e.at_nanos);
+    if (std::strcmp(e.name, "update.quorum") == 0) {
+      UserId user{static_cast<std::uint32_t>(e.a0)};
+      if (e.a1 != 0) {
+        probe.on_revoke_quorum(user, at);
+      } else {
+        probe.on_grant_quorum(user, at);
+      }
+    } else if (std::strcmp(e.name, "check.decide") == 0) {
+      bool allowed = (e.a1 >> 8) != 0;
+      std::int64_t path = e.a1 & 0xff;
+      // Only state-based allows count: cache hit (0) or quorum granted (1).
+      // Default-allow is the availability fallback, not a stale grant.
+      if (allowed && (path == 0 || path == 1)) {
+        probe.on_allowed(UserId{static_cast<std::uint32_t>(e.a0)}, at);
+      }
+    }
+  }
+  return probe.report();
+}
+
+}  // namespace wan::obs

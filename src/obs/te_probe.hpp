@@ -1,0 +1,83 @@
+// Empirical-Te probe.
+//
+// The paper's Te bound promises: once a revocation reaches its update
+// quorum, no host allows the revoked right for longer than Te (the cached
+// grant must expire within te = Te/b at each host, and every host saw the
+// grant at most Te - te ago). This probe measures that promise empirically:
+// for each revocation it tracks update-quorum-reached -> the last moment any
+// host still allowed the stale right, and compares against the configured
+// bound.
+//
+// Two front ends over the same report:
+//  - the online API (on_revoke_quorum / on_allowed / ...), fed by observers
+//    in benches and the chaos engine;
+//  - analyze(), which replays a recorded span stream ("update.quorum",
+//    "revoke.flush", "check.decide" events) so a dumped trace file can be
+//    audited after the fact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+
+namespace wan::obs {
+
+struct TeReport {
+  std::uint64_t revocations = 0;  ///< revocations whose quorum we saw
+  std::uint64_t measured = 0;     ///< of those, had a post-quorum stale allow
+  std::uint64_t violations = 0;   ///< stale-allow lateness exceeded the bound
+  double max_seconds = 0.0;       ///< worst stale-allow lateness observed
+  double mean_seconds = 0.0;      ///< mean over `measured`
+  double bound_seconds = 0.0;     ///< configured Te
+
+  [[nodiscard]] bool ok() const noexcept { return violations == 0; }
+};
+
+/// Online accumulator. Single-threaded by design: feed it from one observer
+/// (sim callbacks or a post-run replay), not from concurrent node threads.
+class TeProbe {
+ public:
+  explicit TeProbe(sim::Duration bound) : bound_(bound) {}
+
+  /// A revocation for `user` reached its update quorum at `at`.
+  void on_revoke_quorum(UserId user, sim::TimePoint at);
+  /// A later grant for `user` reached quorum: stop attributing allows to the
+  /// open revocation (the right is legitimately back).
+  void on_grant_quorum(UserId user, sim::TimePoint at);
+  /// A host allowed `user` based on prior state (cache hit / granted path).
+  /// Default-allow decisions are the availability trade-off, not a stale
+  /// grant, and must not be fed here.
+  void on_allowed(UserId user, sim::TimePoint at);
+
+  [[nodiscard]] TeReport report() const;
+
+  /// Replays a recorded span stream. Uses "update.quorum" events
+  /// (a0 = user, a1 = op: 1 for revoke, 0 for grant) and "check.decide"
+  /// events (a0 = user, a1 = (allowed << 8) | path with path 0 = cache hit,
+  /// 1 = quorum granted).
+  [[nodiscard]] static TeReport analyze(const std::vector<TraceEvent>& events,
+                                        sim::Duration bound);
+
+ private:
+  struct Open {
+    UserId user;
+    sim::TimePoint quorum_at;
+    sim::TimePoint last_allow;
+    bool any_allow = false;
+  };
+
+  void close(Open& rec);
+
+  sim::Duration bound_;
+  std::vector<Open> open_;
+  std::uint64_t revocations_ = 0;
+  std::uint64_t measured_ = 0;
+  std::uint64_t violations_ = 0;
+  double max_seconds_ = 0.0;
+  double sum_seconds_ = 0.0;
+};
+
+}  // namespace wan::obs

@@ -1,0 +1,225 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+
+#include "util/logging.hpp"
+
+namespace wan::obs {
+namespace {
+
+std::atomic<Tracer*> g_tracer{nullptr};
+
+void append_printf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_printf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, std::min<std::size_t>(n, sizeof(buf) - 1));
+}
+
+// JSON string escaping for log lines (names are literals and stay ASCII).
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          append_printf(out, "\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+const char* to_cstring(SpanKind k) noexcept {
+  switch (k) {
+    case SpanKind::kBegin:
+      return "begin";
+    case SpanKind::kSend:
+      return "send";
+    case SpanKind::kRecv:
+      return "recv";
+    case SpanKind::kTimer:
+      return "timer";
+    case SpanKind::kDecision:
+      return "decision";
+    case SpanKind::kInstant:
+      return "instant";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t max_events) : max_events_(max_events) {
+  events_.reserve(std::min<std::size_t>(max_events_, 1u << 16));
+}
+
+void Tracer::record(const TraceEvent& e) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(e);
+}
+
+void Tracer::log_line(std::string line) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (logs_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  logs_.push_back(std::move(line));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_;
+}
+
+std::vector<std::string> Tracer::log_lines() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return logs_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.clear();
+  logs_.clear();
+  dropped_ = 0;
+}
+
+std::string Tracer::text() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  out.reserve(events_.size() * 64);
+  for (const TraceEvent& e : events_) {
+    append_printf(out, "t=%" PRId64 " trace=%016" PRIx64 " node=%u %s %s",
+                  e.at_nanos, e.trace, e.node, to_cstring(e.kind),
+                  e.name != nullptr ? e.name : "?");
+    if (e.a0 != 0 || e.a1 != 0) {
+      append_printf(out, " a0=%" PRId64 " a1=%" PRId64, e.a0, e.a1);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string Tracer::chrome_json() const {
+  std::vector<TraceEvent> evs;
+  std::vector<std::string> logs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    evs = events_;
+    logs = logs_;
+  }
+
+  // First/last event index per trace, for the synthesized async b/e pair
+  // that makes each causal chain one named track in the viewer.
+  struct Extent {
+    std::size_t first;
+    std::size_t last;
+  };
+  std::unordered_map<TraceId, Extent> extents;
+  extents.reserve(evs.size());
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    auto [it, fresh] = extents.try_emplace(evs[i].trace, Extent{i, i});
+    if (!fresh) it->second.last = i;
+  }
+
+  std::string out;
+  out.reserve(evs.size() * 160 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first_ev = true;
+  auto emit = [&](char ph, const TraceEvent& e, const char* name) {
+    if (!first_ev) out.push_back(',');
+    first_ev = false;
+    // trace_event async events pair by (cat, id, name); ts is microseconds.
+    append_printf(out,
+                  "{\"ph\":\"%c\",\"cat\":\"wan\",\"id\":\"0x%016" PRIx64
+                  "\",\"name\":\"%s\",\"pid\":%u,\"tid\":%u,\"ts\":%.3f",
+                  ph, e.trace, name, e.node, e.node, e.at_nanos / 1000.0);
+    if (ph == 'n') {
+      append_printf(out,
+                    ",\"args\":{\"kind\":\"%s\",\"a0\":%" PRId64
+                    ",\"a1\":%" PRId64 "}",
+                    to_cstring(e.kind), e.a0, e.a1);
+    }
+    out.push_back('}');
+  };
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const TraceEvent& e = evs[i];
+    const Extent& ext = extents.at(e.trace);
+    // The track is named after the chain's root event so the viewer groups
+    // every span of one check/update/invoke under one label.
+    const char* root = evs[ext.first].name;
+    if (root == nullptr) root = "?";
+    if (i == ext.first) emit('b', e, root);
+    emit('n', e, e.name != nullptr ? e.name : "?");
+    if (i == ext.last) emit('e', evs[ext.last], root);
+  }
+  out += "],\"logLines\":[";
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    append_json_string(out, logs[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << chrome_json();
+  return static_cast<bool>(f);
+}
+
+Tracer* tracer() noexcept { return g_tracer.load(std::memory_order_relaxed); }
+
+void install_tracer(Tracer* t) {
+  g_tracer.store(t, std::memory_order_release);
+  if (t != nullptr) {
+    log::set_mirror([t](const std::string& line) { t->log_line(line); });
+  } else {
+    log::clear_mirror();
+  }
+}
+
+}  // namespace wan::obs

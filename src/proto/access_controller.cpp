@@ -3,10 +3,68 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
 namespace wan::proto {
+
+namespace {
+
+// Metric handles resolve once (function-local static) and then cost one
+// relaxed atomic add per event.
+obs::Counter& decision_counter(DecisionPath p) {
+  auto& reg = obs::Registry::global();
+  switch (p) {
+    case DecisionPath::kCacheHit: {
+      static obs::Counter& c =
+          reg.counter("wan_decisions_total{path=\"cache-hit\"}");
+      return c;
+    }
+    case DecisionPath::kQuorumGranted: {
+      static obs::Counter& c =
+          reg.counter("wan_decisions_total{path=\"quorum-granted\"}");
+      return c;
+    }
+    case DecisionPath::kQuorumDenied: {
+      static obs::Counter& c =
+          reg.counter("wan_decisions_total{path=\"quorum-denied\"}");
+      return c;
+    }
+    case DecisionPath::kDefaultAllow: {
+      static obs::Counter& c =
+          reg.counter("wan_decisions_total{path=\"default-allow\"}");
+      return c;
+    }
+    case DecisionPath::kUnverifiableDeny: {
+      static obs::Counter& c =
+          reg.counter("wan_decisions_total{path=\"unverifiable-deny\"}");
+      return c;
+    }
+    case DecisionPath::kAuthRejected: {
+      static obs::Counter& c =
+          reg.counter("wan_decisions_total{path=\"auth-rejected\"}");
+      return c;
+    }
+    case DecisionPath::kUnknownApp: {
+      static obs::Counter& c =
+          reg.counter("wan_decisions_total{path=\"unknown-app\"}");
+      return c;
+    }
+  }
+  static obs::Counter& c = reg.counter("wan_decisions_total{path=\"?\"}");
+  return c;
+}
+
+// "check.decide" span arg encoding, shared with obs::TeProbe::analyze:
+// allowed in bit 8, DecisionPath in the low byte.
+std::int64_t encode_decision(bool allowed, DecisionPath path) {
+  return (static_cast<std::int64_t>(allowed) << 8) |
+         static_cast<std::int64_t>(path);
+}
+
+}  // namespace
 
 const char* to_cstring(DecisionPath p) noexcept {
   switch (p) {
@@ -134,8 +192,9 @@ void AccessController::handle_invoke(HostId from, const InvokeRequest& req) {
   const AppId app = req.app;
   const std::uint64_t request_id = req.request_id;
   const std::string payload = req.payload;
-  check_access(app, req.user, [this, from, app, request_id,
-                               payload](const AccessDecision& d) {
+  check_access(
+      app, req.user,
+      [this, from, app, request_id, payload](const AccessDecision& d) {
     AppState* state = app_state(app);
     if (state == nullptr) return;  // app deregistered while checking
     if (d.allowed) {
@@ -148,10 +207,12 @@ void AccessController::handle_invoke(HostId from, const InvokeRequest& req) {
       net_.send(self_, from,
                 net::make_message<InvokeReply>(request_id, false, d.reason, ""));
     }
-  });
+      },
+      req.trace);
 }
 
-void AccessController::check_access(AppId app, UserId user, CheckCallback done) {
+void AccessController::check_access(AppId app, UserId user, CheckCallback done,
+                                    obs::TraceId parent) {
   WAN_REQUIRE(done != nullptr);
   if (!up_) return;  // a crashed host runs nothing; the caller's session dies
   AppState* state = app_state(app);
@@ -173,6 +234,13 @@ void AccessController::check_access(AppId app, UserId user, CheckCallback done) 
   const clk::LocalTime now_local = local_now();
   if (auto entry = state->cache.lookup(user, now_local);
       entry && entry->rights.has(acl::Right::kUse)) {
+    const obs::TraceId trace =
+        obs::mint(obs::TraceKind::kCheck, self_, next_trace_seq_++);
+    obs::record(trace, obs::SpanKind::kBegin, self_, env_.now(), "check.begin",
+                user.value(), static_cast<std::int64_t>(parent));
+    obs::record(trace, obs::SpanKind::kDecision, self_, env_.now(),
+                "check.decide", user.value(),
+                encode_decision(true, DecisionPath::kCacheHit));
     AccessDecision d;
     d.app = app;
     d.user = user;
@@ -190,13 +258,16 @@ void AccessController::check_access(AppId app, UserId user, CheckCallback done) 
 
   const SessionKey key = session_key(app, user);
   if (const auto it = sessions_.find(key); it != sessions_.end()) {
+    obs::record(it->second->trace, obs::SpanKind::kInstant, self_, env_.now(),
+                "check.join", user.value(), static_cast<std::int64_t>(parent));
     it->second->waiters.push_back(std::move(done));
     return;
   }
-  start_session(app, user, std::move(done));
+  start_session(app, user, std::move(done), parent);
 }
 
-void AccessController::start_session(AppId app, UserId user, CheckCallback done) {
+void AccessController::start_session(AppId app, UserId user, CheckCallback done,
+                                     obs::TraceId parent) {
   auto managers = resolver_.resolve(app, local_now());
   const SessionKey key = session_key(app, user);
 
@@ -233,7 +304,10 @@ void AccessController::start_session(AppId app, UserId user, CheckCallback done)
   session->user = user;
   session->started = env_.now();
   session->managers = std::move(managers->managers);
+  session->trace = obs::mint(obs::TraceKind::kCheck, self_, next_trace_seq_++);
   session->waiters.push_back(std::move(done));
+  obs::record(session->trace, obs::SpanKind::kBegin, self_, env_.now(),
+              "check.begin", user.value(), static_cast<std::int64_t>(parent));
   CheckSession& ref = *session;
   sessions_.emplace(key, std::move(session));
   begin_attempt(ref);
@@ -262,10 +336,18 @@ void AccessController::begin_attempt(CheckSession& s) {
   };
 
   const auto msg =
-      net::make_message<QueryRequest>(s.app, s.user, s.query_id);
+      net::make_message<QueryRequest>(s.app, s.user, s.query_id, s.trace);
+  static obs::Counter& queries_sent =
+      obs::Registry::global().counter("wan_queries_sent_total");
+  const auto send_query = [&](HostId target) {
+    obs::record(s.trace, obs::SpanKind::kSend, self_, env_.now(), "query.send",
+                target.value(), s.attempts);
+    queries_sent.inc();
+    net_.send(self_, target, msg);
+  };
   if (config_.fanout == QueryFanout::kAll) {
     for (const HostId m : s.managers) {
-      if (usable(m)) net_.send(self_, m, msg);
+      if (usable(m)) send_query(m);
     }
   } else {
     // Exactly C managers, rotating the window between attempts so that
@@ -276,7 +358,7 @@ void AccessController::begin_attempt(CheckSession& s) {
     for (std::size_t i = 0; i < m && sent < c; ++i) {
       const HostId target = s.managers[(s.rotate + i) % m];
       if (usable(target)) {
-        net_.send(self_, target, msg);
+        send_query(target);
         ++sent;
       }
     }
@@ -295,6 +377,12 @@ void AccessController::handle_query_response(HostId from,
   WAN_ASSERT(sit != sessions_.end());
   CheckSession& s = *sit->second;
   WAN_ASSERT(resp.app == s.app && resp.user == s.user);
+  obs::record(s.trace, obs::SpanKind::kRecv, self_, env_.now(), "query.recv",
+              from.value(),
+              static_cast<std::int64_t>(resp.version.counter));
+  static obs::Counter& replies =
+      obs::Registry::global().counter("wan_query_replies_total");
+  replies.inc();
   // Only the managers this session queried may vote: the paper's trust model
   // authenticates manager traffic, so a response from anyone else is forged.
   if (std::find(s.managers.begin(), s.managers.end(), from) ==
@@ -445,6 +533,11 @@ void AccessController::on_attempt_timeout(SessionKey key) {
   WAN_ASSERT(sit != sessions_.end());
   CheckSession& s = *sit->second;
   ++s.attempts;
+  obs::record(s.trace, obs::SpanKind::kTimer, self_, env_.now(),
+              "check.timeout", s.attempts);
+  static obs::Counter& timeouts =
+      obs::Registry::global().counter("wan_check_attempt_timeouts_total");
+  timeouts.inc();
   if (config_.max_attempts > 0 && s.attempts >= config_.max_attempts) {
     if (config_.exhausted_policy == ExhaustedPolicy::kAllow) {
       // Fig. 4: "when attempt to verify access right has failed R times,
@@ -470,6 +563,8 @@ void AccessController::finish_session(SessionKey key, bool allowed,
   sessions_.erase(sit);
   query_to_session_.erase(s->query_id);
   s->timer.cancel();
+  obs::record(s->trace, obs::SpanKind::kDecision, self_, env_.now(),
+              "check.decide", s->user.value(), encode_decision(allowed, path));
 
   AccessDecision d;
   d.app = s->app;
@@ -505,6 +600,14 @@ void AccessController::handle_revoke(HostId from, const RevokeNotify& msg) {
   }
   // Fig. 2: flush unconditionally. If the user was meanwhile re-granted, the
   // flush only costs one re-check — safe for security, cheap for availability.
+  // The flush span lands on the *issuing manager's* update trace (msg.trace),
+  // closing the revocation chain at each notified host.
+  obs::record(msg.trace, obs::SpanKind::kRecv, self_, env_.now(),
+              "revoke.flush", msg.user.value(),
+              static_cast<std::int64_t>(msg.version.counter));
+  static obs::Counter& flushes =
+      obs::Registry::global().counter("wan_revoke_flushes_total");
+  flushes.inc();
   if (AppState* state = app_state(msg.app)) {
     state->cache.remove_on_revoke(msg.user);
   }
@@ -546,6 +649,10 @@ void AccessController::recover() {
 }
 
 void AccessController::emit(const AccessDecision& d) {
+  decision_counter(d.path).inc();
+  static obs::Histo& latency =
+      obs::Registry::global().histogram("wan_check_latency_seconds");
+  latency.observe(d.decided - d.requested);
   if (observer_) observer_(d);
 }
 

@@ -64,7 +64,10 @@ class AccessController {
 
   /// Programmatic access check (used by benches and tests; skips user
   /// authentication, which the paper treats as an orthogonal oracle).
-  void check_access(AppId app, UserId user, CheckCallback done);
+  /// `parent` links the check's trace to an enclosing causal chain (the
+  /// invoke path passes the InvokeRequest's trace); 0 = standalone.
+  void check_access(AppId app, UserId user, CheckCallback done,
+                    obs::TraceId parent = 0);
 
   /// Observer for every decision this host makes (metrics hook).
   void set_decision_observer(std::function<void(const AccessDecision&)> obs) {
@@ -126,6 +129,7 @@ class AccessController {
     sim::Duration best_expiry{};
     bool any_reply = false;    ///< best_* fields hold a real response
     bool conflict = false;     ///< equal-version contradiction seen (liar present)
+    obs::TraceId trace = 0;    ///< this check's causal chain
     std::vector<CheckCallback> waiters;
     runtime::Timer timer;
 
@@ -142,7 +146,8 @@ class AccessController {
   void handle_query_response(HostId from, const QueryResponse& resp);
   void handle_revoke(HostId from, const RevokeNotify& msg);
 
-  void start_session(AppId app, UserId user, CheckCallback done);
+  void start_session(AppId app, UserId user, CheckCallback done,
+                     obs::TraceId parent);
   void begin_attempt(CheckSession& s);
   void on_attempt_timeout(SessionKey key);
   void finish_session(SessionKey key, bool allowed, DecisionPath path,
@@ -202,6 +207,10 @@ class AccessController {
   std::unordered_map<std::uint64_t, acl::Version> deny_floor_;  ///< by user key
   HardeningStats hardening_;
   std::uint64_t next_query_id_ = 1;
+  // Minted unconditionally (a plain increment) so the ids riding in messages
+  // do not depend on whether a tracer happens to be installed — traced and
+  // untraced runs of the same seed stay bit-identical.
+  std::uint32_t next_trace_seq_ = 1;
   runtime::PeriodicTimer sweep_timer_;
   std::function<void(const AccessDecision&)> observer_;
 };

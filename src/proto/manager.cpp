@@ -3,10 +3,26 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
 namespace wan::proto {
+
+namespace {
+
+// "update.quorum" / "update.submit" span arg: op in a1 (1 = revoke), shared
+// with obs::TeProbe::analyze.
+std::int64_t op_arg(acl::Op op) { return op == acl::Op::kRevoke ? 1 : 0; }
+
+obs::Counter& update_quorum_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("wan_update_quorums_total");
+  return c;
+}
+
+}  // namespace
 
 ManagerModule::ManagerModule(HostId self, runtime::Env& env,
                              clk::LocalClock clock, ProtocolConfig config)
@@ -203,14 +219,25 @@ void ManagerModule::submit_update(AppId app, acl::Op op, UserId user,
   read->done = std::move(done);
   read->issued = env_.now();
   read->max_seen = ctl->store.max_version();
+  read->trace = obs::mint(obs::TraceKind::kUpdate, self_, next_trace_seq_++);
   read->readers.record(self_);
+  obs::record(read->trace, obs::SpanKind::kBegin, self_, env_.now(),
+              "update.submit", user.value(), op_arg(op));
+  static obs::Counter& submits =
+      obs::Registry::global().counter("wan_updates_submitted_total");
+  submits.inc();
   if (read->readers.reached()) {
     issue_write(app, std::move(read));
     return;
   }
+  const obs::TraceId trace = read->trace;
   ctl->reads.emplace(read_id, std::move(read));
   const auto msg = net::make_message<VersionQuery>(app, read_id);
-  for (const HostId p : ctl->peers) net_.send(self_, p, msg);
+  for (const HostId p : ctl->peers) {
+    obs::record(trace, obs::SpanKind::kSend, self_, env_.now(),
+                "version.query.send", p.value());
+    net_.send(self_, p, msg);
+  }
   ctl->reads.at(read_id)->retry.arm(
       config_.update_retransmit,
       [this, app, read_id] { retransmit_read(app, read_id); });
@@ -237,6 +264,9 @@ void ManagerModule::handle_version_reply(HostId from, const VersionReply& m) {
   const auto it = ctl->reads.find(m.read_id);
   if (it == ctl->reads.end()) return;
   PendingRead& read = *it->second;
+  obs::record(read.trace, obs::SpanKind::kRecv, self_, env_.now(),
+              "version.reply.recv", from.value(),
+              static_cast<std::int64_t>(m.max_version.counter));
   if (m.max_version > read.max_seen) read.max_seen = m.max_version;
   if (!read.readers.record(from)) return;
   auto owned = std::move(it->second);
@@ -276,8 +306,12 @@ void ManagerModule::issue_write(AppId app, std::unique_ptr<PendingRead> read) {
   txn->txn_id = txn_id;
   txn->issued = read->issued;  // the user's operation began at the read
   txn->done = std::move(done);
+  txn->trace = read->trace;
   txn->acks.record(self_);  // the issuer counts toward the update quorum
   for (const HostId p : ctl->peers) txn->pending_peers.insert(p);
+  obs::record(txn->trace, obs::SpanKind::kInstant, self_, env_.now(),
+              "update.issue", user.value(),
+              static_cast<std::int64_t>(update.version.counter));
 
   WAN_DEBUG << to_string(self_) << " issues " << acl::to_cstring(op) << "("
             << to_string(app) << "," << to_string(user) << ") v"
@@ -287,12 +321,15 @@ void ManagerModule::issue_write(AppId app, std::unique_ptr<PendingRead> read) {
   ctl->txns.emplace(txn_id, std::move(txn));
 
   if (op == acl::Op::kRevoke) {
-    start_revoke_forwarding(app, *ctl, user, update.version);
+    start_revoke_forwarding(app, *ctl, user, update.version, ref.trace);
   }
 
   if (ref.acks.reached() && !ref.quorum_fired) {
     // Update quorum of 1 (C == M): guaranteed as soon as it is local.
     ref.quorum_fired = true;
+    obs::record(ref.trace, obs::SpanKind::kDecision, self_, env_.now(),
+                "update.quorum", user.value(), op_arg(op));
+    update_quorum_counter().inc();
     if (ref.done) {
       ref.done(UpdateOutcome{app, ref.update, ref.issued, env_.now(),
                              ref.acks.count()});
@@ -303,8 +340,12 @@ void ManagerModule::issue_write(AppId app, std::unique_ptr<PendingRead> read) {
     ctl->txns.erase(txn_id);
     return;
   }
-  const auto msg = net::make_message<UpdateMsg>(app, update, txn_id);
-  for (const HostId p : ref.pending_peers) net_.send(self_, p, msg);
+  const auto msg = net::make_message<UpdateMsg>(app, update, txn_id, ref.trace);
+  for (const HostId p : ref.pending_peers) {
+    obs::record(ref.trace, obs::SpanKind::kSend, self_, env_.now(),
+                "update.send", p.value());
+    net_.send(self_, p, msg);
+  }
   ref.retry.arm(config_.update_retransmit,
                 [this, app, txn_id] { retransmit_txn(app, txn_id); });
 }
@@ -317,14 +358,22 @@ void ManagerModule::retransmit_txn(AppId app, std::uint64_t txn_id) {
   Txn& txn = *it->second;
   // "A manager issuing an update uses a persistent strategy ... it repeatedly
   // transmits the update to every manager until it succeeds."
-  const auto msg = net::make_message<UpdateMsg>(app, txn.update, txn_id);
+  obs::record(txn.trace, obs::SpanKind::kTimer, self_, env_.now(),
+              "update.retransmit",
+              static_cast<std::int64_t>(txn.pending_peers.size()));
+  static obs::Counter& retx =
+      obs::Registry::global().counter("wan_update_retransmits_total");
+  retx.inc();
+  const auto msg = net::make_message<UpdateMsg>(app, txn.update, txn_id,
+                                                txn.trace);
   for (const HostId p : txn.pending_peers) net_.send(self_, p, msg);
   txn.retry.arm(config_.update_retransmit,
                 [this, app, txn_id] { retransmit_txn(app, txn_id); });
 }
 
 void ManagerModule::start_revoke_forwarding(AppId app, AppCtl& ctl, UserId user,
-                                            acl::Version version) {
+                                            acl::Version version,
+                                            obs::TraceId trace) {
   const auto git = ctl.grant_table.find(user);
   if (git == ctl.grant_table.end() || git->second.empty()) return;
 
@@ -335,13 +384,22 @@ void ManagerModule::start_revoke_forwarding(AppId app, AppCtl& ctl, UserId user,
   fwd->user = user;
   fwd->version = version;
   fwd->pending_hosts = git->second;
+  fwd->trace = trace;
   // "it can stop resending the message when the access right would have
   // expired based on the time mechanism" (§3.4): Te after now bounds every
   // outstanding cached copy.
   fwd->deadline = env_.now() + config_.Te;
 
-  const auto msg = net::make_message<RevokeNotify>(app, user, version);
-  for (const HostId h : fwd->pending_hosts) net_.send(self_, h, msg);
+  static obs::Counter& notifies =
+      obs::Registry::global().counter("wan_revoke_notifies_total");
+  const auto msg = net::make_message<RevokeNotify>(app, user, version, trace);
+  for (const HostId h : fwd->pending_hosts) {
+    obs::record(trace, obs::SpanKind::kSend, self_, env_.now(),
+                "revoke.notify.send", h.value(),
+                static_cast<std::int64_t>(version.counter));
+    notifies.inc();
+    net_.send(self_, h, msg);
+  }
   RevokeFwd& ref = *fwd;
   ctl.revoke_fwds[key] = std::move(fwd);
   ref.retry.arm(config_.revoke_retransmit, [this, app, key] {
@@ -361,7 +419,14 @@ void ManagerModule::retransmit_revoke(AppId app, std::uint64_t user_value,
     ctl->revoke_fwds.erase(it);
     return;
   }
-  const auto msg = net::make_message<RevokeNotify>(app, fwd.user, fwd.version);
+  obs::record(fwd.trace, obs::SpanKind::kTimer, self_, env_.now(),
+              "revoke.retransmit",
+              static_cast<std::int64_t>(fwd.pending_hosts.size()));
+  static obs::Counter& retx =
+      obs::Registry::global().counter("wan_revoke_retransmits_total");
+  retx.inc();
+  const auto msg =
+      net::make_message<RevokeNotify>(app, fwd.user, fwd.version, fwd.trace);
   for (const HostId h : fwd.pending_hosts) net_.send(self_, h, msg);
   fwd.retry.arm(config_.revoke_retransmit, [this, app, key] {
     retransmit_revoke(app, key.first, key.second);
@@ -420,7 +485,14 @@ void ManagerModule::handle_query(HostId from, const QueryRequest& q) {
   if (ctl == nullptr) return;
   // A recovering manager answers nothing until synced (§3.4); a frozen one
   // answers nothing until all peers are reachable again (§3.3).
-  if (!ctl->synced || frozen(q.app)) return;
+  if (!ctl->synced || frozen(q.app)) {
+    obs::record(q.trace, obs::SpanKind::kInstant, self_, env_.now(),
+                "query.refuse", from.value(), ctl->synced ? 1 : 0);
+    static obs::Counter& refused =
+        obs::Registry::global().counter("wan_queries_refused_total");
+    refused.inc();
+    return;
+  }
 
   const acl::RightSet rights = ctl->store.rights_of(q.user);
   // The decision-relevant version is the "use" register's: a fresher write to
@@ -435,9 +507,15 @@ void ManagerModule::handle_query(HostId from, const QueryRequest& q) {
                                         frozen_by_silence(q.app), ctl->synced,
                                         /*byzantine=*/false});
   }
+  obs::record(q.trace, obs::SpanKind::kSend, self_, env_.now(), "query.answer",
+              from.value(), static_cast<std::int64_t>(version.counter));
+  static obs::Counter& answered =
+      obs::Registry::global().counter("wan_queries_answered_total");
+  answered.inc();
   net_.send(self_, from,
             net::make_message<QueryResponse>(q.app, q.user, q.query_id, rights,
-                                             version, config_.expiry_period()));
+                                             version, config_.expiry_period(),
+                                             q.trace));
   if (rights.has(acl::Right::kUse)) {
     // Remember who holds cached rights so revocations can be forwarded.
     ctl->grant_table[q.user].insert(from);
@@ -556,7 +634,7 @@ void ManagerModule::byzantine_answer_query(HostId from, const QueryRequest& q) {
   }
   net_.send(self_, from,
             net::make_message<QueryResponse>(q.app, q.user, q.query_id, rights,
-                                             version, expiry));
+                                             version, expiry, q.trace));
   // Deliberately no grant_table insert: the liar also shirks its revocation
   // forwarding duty for grants it hands out.
 }
@@ -565,11 +643,17 @@ void ManagerModule::handle_update(HostId from, const UpdateMsg& m) {
   AppCtl* ctl = ctl_of(m.app);
   if (ctl == nullptr || !is_peer(*ctl, from)) return;
   note_peer(*ctl, from);
+  obs::record(m.trace, obs::SpanKind::kRecv, self_, env_.now(), "update.recv",
+              from.value(),
+              static_cast<std::int64_t>(m.update.version.counter));
   const bool applied = ctl->store.apply(m.update);
   net_.send(self_, from, net::make_message<UpdateAck>(m.app, m.txn_id));
   if (applied && m.update.op == acl::Op::kRevoke) {
-    // Each manager forwards the revocation to the hosts *it* granted (§3.1).
-    start_revoke_forwarding(m.app, *ctl, m.update.user, m.update.version);
+    // Each manager forwards the revocation to the hosts *it* granted (§3.1);
+    // the forwarded notifies stay on the ISSUER's trace, so the full
+    // revocation fan-out reconstructs from one id.
+    start_revoke_forwarding(m.app, *ctl, m.update.user, m.update.version,
+                            m.trace);
   }
 }
 
@@ -581,9 +665,15 @@ void ManagerModule::handle_update_ack(HostId from, const UpdateAck& m) {
   if (it == ctl->txns.end()) return;
   Txn& txn = *it->second;
   txn.pending_peers.erase(from);
+  obs::record(txn.trace, obs::SpanKind::kRecv, self_, env_.now(), "update.ack",
+              from.value());
   txn.acks.record(from);
   if (txn.acks.reached() && !txn.quorum_fired) {
     txn.quorum_fired = true;
+    obs::record(txn.trace, obs::SpanKind::kDecision, self_, env_.now(),
+                "update.quorum", txn.update.user.value(),
+                op_arg(txn.update.op));
+    update_quorum_counter().inc();
     WAN_DEBUG << to_string(self_) << " update v" << txn.update.version.counter
               << " reached quorum (" << txn.acks.count() << " acks)";
     if (txn.done) {
@@ -601,6 +691,8 @@ void ManagerModule::handle_revoke_ack(HostId from, const RevokeNotifyAck& m) {
                                   m.version.counter);
   const auto it = ctl->revoke_fwds.find(key);
   if (it == ctl->revoke_fwds.end()) return;
+  obs::record(it->second->trace, obs::SpanKind::kRecv, self_, env_.now(),
+              "revoke.ack.recv", from.value());
   it->second->pending_hosts.erase(from);
   // The host flushed its cache; it no longer holds a grant from us.
   if (auto git = ctl->grant_table.find(m.user); git != ctl->grant_table.end()) {

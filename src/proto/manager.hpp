@@ -210,6 +210,7 @@ class ManagerModule {
     sim::TimePoint issued{};
     quorum::QuorumTracker readers;
     acl::Version max_seen{};
+    obs::TraceId trace = 0;  ///< the update's causal chain (minted at submit)
     runtime::Timer retry;
 
     PendingRead(int quorum, runtime::Env& env)
@@ -224,6 +225,7 @@ class ManagerModule {
     std::set<HostId> pending_peers;
     UpdateCallback done;
     bool quorum_fired = false;
+    obs::TraceId trace = 0;  ///< inherited from the PendingRead
     runtime::Timer retry;
 
     Txn(int quorum, runtime::Env& env) : acks(quorum), retry(env.make_timer()) {}
@@ -235,6 +237,7 @@ class ManagerModule {
     acl::Version version{};
     std::set<HostId> pending_hosts;
     sim::TimePoint deadline{};
+    obs::TraceId trace = 0;  ///< the issuing manager's update chain
     runtime::Timer retry;
 
     explicit RevokeFwd(runtime::Env& env) : retry(env.make_timer()) {}
@@ -286,7 +289,7 @@ class ManagerModule {
   void push_snapshot(AppId app, AppCtl& ctl);
 
   void start_revoke_forwarding(AppId app, AppCtl& ctl, UserId user,
-                               acl::Version version);
+                               acl::Version version, obs::TraceId trace);
   void retransmit_txn(AppId app, std::uint64_t txn_id);
   void retransmit_revoke(AppId app, std::uint64_t user_value,
                          std::uint64_t version_counter);
@@ -330,6 +333,9 @@ class ManagerModule {
   std::uint64_t next_txn_id_ = 1;
   std::uint64_t next_sync_id_ = 1;
   std::uint64_t next_read_id_ = 1;
+  // Minted unconditionally so message-borne trace ids never depend on whether
+  // a tracer is installed (traced/untraced runs stay bit-identical).
+  std::uint32_t next_trace_seq_ = 1;
 };
 
 }  // namespace wan::proto

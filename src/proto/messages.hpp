@@ -11,6 +11,13 @@
 //
 // Wire sizes are rough estimates of an early-Internet datagram encoding;
 // they only feed the bandwidth-overhead accounting.
+//
+// Messages that continue a causal chain — invoke -> check (InvokeRequest),
+// check -> query (QueryRequest/QueryResponse), update dissemination
+// (UpdateMsg), and revocation flush (RevokeNotify) — carry the chain's
+// obs::TraceId so spans recorded at the receiving node land on the same
+// trace. The field defaults to 0 ("untraced") and adds 8 bytes of wire size,
+// the cost of making the propagation timeline observable end to end.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +29,7 @@
 #include "acl/store.hpp"
 #include "auth/credentials.hpp"
 #include "net/message.hpp"
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
 #include "util/ids.hpp"
 
@@ -36,14 +44,15 @@ struct InvokeRequest final : net::Message {
   std::uint64_t nonce = 0;
   auth::Signature signature{};
   std::string payload;
+  obs::TraceId trace = 0;  ///< the agent's invoke chain
 
   InvokeRequest(AppId a, UserId u, std::uint64_t req, std::uint64_t n,
-                auth::Signature sig, std::string body)
+                auth::Signature sig, std::string body, obs::TraceId tr = 0)
       : app(a), user(u), request_id(req), nonce(n), signature(sig),
-        payload(std::move(body)) {}
+        payload(std::move(body)), trace(tr) {}
 
   WAN_MESSAGE_TYPE("InvokeRequest")
-  std::size_t wire_size() const override { return 64 + payload.size(); }
+  std::size_t wire_size() const override { return 72 + payload.size(); }
 };
 
 /// Why an invocation was rejected (surfaced to the user agent and metrics).
@@ -76,11 +85,13 @@ struct QueryRequest final : net::Message {
   AppId app{};
   UserId user{};
   std::uint64_t query_id = 0;  ///< identifies the host's check attempt
+  obs::TraceId trace = 0;      ///< the host's check chain
 
-  QueryRequest(AppId a, UserId u, std::uint64_t q) : app(a), user(u), query_id(q) {}
+  QueryRequest(AppId a, UserId u, std::uint64_t q, obs::TraceId tr = 0)
+      : app(a), user(u), query_id(q), trace(tr) {}
 
   WAN_MESSAGE_TYPE("QueryRequest")
-  std::size_t wire_size() const override { return 40; }
+  std::size_t wire_size() const override { return 48; }
 };
 
 /// Manager -> application host. Carries the user's current rights, the
@@ -93,13 +104,15 @@ struct QueryResponse final : net::Message {
   acl::RightSet rights;          ///< empty set == no rights / unknown user
   acl::Version version{};        ///< freshest version backing `rights`
   sim::Duration expiry_period{}; ///< te = Te / b
+  obs::TraceId trace = 0;        ///< echoed from the QueryRequest
 
   QueryResponse(AppId a, UserId u, std::uint64_t q, acl::RightSet r,
-                acl::Version v, sim::Duration te)
-      : app(a), user(u), query_id(q), rights(r), version(v), expiry_period(te) {}
+                acl::Version v, sim::Duration te, obs::TraceId tr = 0)
+      : app(a), user(u), query_id(q), rights(r), version(v), expiry_period(te),
+        trace(tr) {}
 
   WAN_MESSAGE_TYPE("QueryResponse")
-  std::size_t wire_size() const override { return 56; }
+  std::size_t wire_size() const override { return 64; }
 };
 
 /// Manager -> application host: flush `user` from ACL_cache(app) (Fig. 2).
@@ -107,11 +120,13 @@ struct RevokeNotify final : net::Message {
   AppId app{};
   UserId user{};
   acl::Version version{};
+  obs::TraceId trace = 0;  ///< the issuing manager's update chain
 
-  RevokeNotify(AppId a, UserId u, acl::Version v) : app(a), user(u), version(v) {}
+  RevokeNotify(AppId a, UserId u, acl::Version v, obs::TraceId tr = 0)
+      : app(a), user(u), version(v), trace(tr) {}
 
   WAN_MESSAGE_TYPE("RevokeNotify")
-  std::size_t wire_size() const override { return 40; }
+  std::size_t wire_size() const override { return 48; }
 };
 
 /// Application host -> manager: stops the revoke retransmission loop.
@@ -131,12 +146,13 @@ struct UpdateMsg final : net::Message {
   AppId app{};
   acl::AclUpdate update{};
   std::uint64_t txn_id = 0;
+  obs::TraceId trace = 0;  ///< the issuing manager's update chain
 
-  UpdateMsg(AppId a, acl::AclUpdate u, std::uint64_t t)
-      : app(a), update(u), txn_id(t) {}
+  UpdateMsg(AppId a, acl::AclUpdate u, std::uint64_t t, obs::TraceId tr = 0)
+      : app(a), update(u), txn_id(t), trace(tr) {}
 
   WAN_MESSAGE_TYPE("UpdateMsg")
-  std::size_t wire_size() const override { return 56; }
+  std::size_t wire_size() const override { return 64; }
 };
 
 /// Manager -> manager: acknowledges an UpdateMsg.

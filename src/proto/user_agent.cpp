@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace wan::proto {
@@ -30,6 +32,13 @@ void UserAgent::invoke(AppId app, std::vector<HostId> hosts,
   pending->payload = std::move(payload);
   pending->done = std::move(done);
   pending->started = env_.now();
+  pending->trace =
+      obs::mint(obs::TraceKind::kInvoke, endpoint_, next_trace_seq_++);
+  obs::record(pending->trace, obs::SpanKind::kBegin, endpoint_, env_.now(),
+              "invoke.begin", user_.value());
+  static obs::Counter& invokes =
+      obs::Registry::global().counter("wan_invokes_total");
+  invokes.inc();
   pending_.emplace(request_id, std::move(pending));
   try_next_host(request_id);
 }
@@ -42,6 +51,8 @@ void UserAgent::try_next_host(std::uint64_t request_id) {
   const int limit =
       std::min<int>(config_.max_hosts, static_cast<int>(p.hosts.size()));
   if (p.next_host >= limit) {
+    obs::record(p.trace, obs::SpanKind::kTimer, endpoint_, env_.now(),
+                "invoke.exhausted", p.next_host);
     InvokeResult r;
     r.ok = false;
     r.timed_out = true;
@@ -50,15 +61,21 @@ void UserAgent::try_next_host(std::uint64_t request_id) {
     finish(request_id, std::move(r));
     return;
   }
+  if (p.next_host > 0) {
+    obs::record(p.trace, obs::SpanKind::kTimer, endpoint_, env_.now(),
+                "invoke.timeout", p.next_host);
+  }
 
   const HostId target = p.hosts[static_cast<std::size_t>(p.next_host++)];
   const std::uint64_t nonce = next_nonce_++;
   const auth::Signature sig =
       auth::sign(user_, auth::Authenticator::signed_bytes(p.payload, nonce),
                  keys_.secret);
+  obs::record(p.trace, obs::SpanKind::kSend, endpoint_, env_.now(),
+              "invoke.send", target.value());
   net_.send(endpoint_, target,
             net::make_message<InvokeRequest>(p.app, user_, request_id, nonce,
-                                             sig, p.payload));
+                                             sig, p.payload, p.trace));
   p.timer.arm(config_.reply_timeout,
               [this, request_id] { try_next_host(request_id); });
 }
@@ -69,6 +86,8 @@ void UserAgent::on_message(HostId /*from*/, const net::MessagePtr& msg) {
   const auto it = pending_.find(reply->request_id);
   if (it == pending_.end()) return;  // reply raced a timeout/failover
   Pending& p = *it->second;
+  obs::record(p.trace, obs::SpanKind::kRecv, endpoint_, env_.now(),
+              "invoke.reply", reply->accepted ? 1 : 0);
   InvokeResult r;
   r.ok = reply->accepted;
   r.reason = reply->reason;
@@ -84,6 +103,21 @@ void UserAgent::finish(std::uint64_t request_id, InvokeResult result) {
   auto pending = std::move(it->second);
   pending_.erase(it);
   pending->timer.cancel();
+  obs::record(pending->trace, obs::SpanKind::kDecision, endpoint_, env_.now(),
+              "invoke.done", result.ok ? 1 : 0, result.hosts_tried);
+  auto& reg = obs::Registry::global();
+  if (result.ok) {
+    static obs::Counter& ok = reg.counter("wan_invokes_ok_total");
+    ok.inc();
+  } else if (result.timed_out) {
+    static obs::Counter& to = reg.counter("wan_invokes_timeout_total");
+    to.inc();
+  } else {
+    static obs::Counter& denied = reg.counter("wan_invokes_denied_total");
+    denied.inc();
+  }
+  static obs::Histo& lat = reg.histogram("wan_invoke_latency_seconds");
+  lat.observe(result.latency);
   pending->done(result);
 }
 

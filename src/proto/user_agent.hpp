@@ -60,6 +60,7 @@ class UserAgent {
     std::function<void(const InvokeResult&)> done;
     int next_host = 0;
     sim::TimePoint started{};
+    obs::TraceId trace = 0;  ///< the invocation's causal chain
     runtime::Timer timer;
 
     explicit Pending(runtime::Env& env) : timer(env.make_timer()) {}
@@ -76,6 +77,7 @@ class UserAgent {
   Config config_;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t next_nonce_ = 1;
+  std::uint32_t next_trace_seq_ = 1;  ///< minted unconditionally (see obs)
   std::unordered_map<std::uint64_t, std::unique_ptr<Pending>> pending_;
 };
 

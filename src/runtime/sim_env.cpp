@@ -3,16 +3,24 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "sim/timer.hpp"
 
 namespace wan::runtime {
 
 namespace {
 
+obs::Counter& sim_timer_arms() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("wan_env_timer_arms_total{env=\"sim\"}");
+  return c;
+}
+
 class SimTimerImpl final : public TimerImpl {
  public:
   explicit SimTimerImpl(sim::Scheduler& sched) : timer_(sched) {}
   void arm(sim::Duration delay, std::function<void()> fn) override {
+    sim_timer_arms().inc();
     timer_.arm(delay, std::move(fn));
   }
   void cancel() noexcept override { timer_.cancel(); }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/env.hpp"
 #include "sim/scheduler.hpp"
 
@@ -25,6 +26,9 @@ class SimEnv final : public Env {
   [[nodiscard]] PeriodicTimer make_periodic_timer() override;
   [[nodiscard]] Transport& transport() override { return transport_; }
   void post(std::function<void()> fn) override {
+    static obs::Counter& posts =
+        obs::Registry::global().counter("wan_env_posts_total{env=\"sim\"}");
+    posts.inc();
     sched_.post_after(sim::Duration{}, std::move(fn));
   }
 
@@ -42,6 +46,9 @@ class SimEnv final : public Env {
       net_.set_host_down(id, down);
     }
     void send(HostId from, HostId to, net::MessagePtr msg) override {
+      static obs::Counter& sends =
+          obs::Registry::global().counter("wan_env_sends_total{env=\"sim\"}");
+      sends.inc();
       net_.send(from, to, std::move(msg));
     }
     void multicast(HostId from, const std::vector<HostId>& to,

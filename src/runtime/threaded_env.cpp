@@ -4,6 +4,7 @@
 #include <atomic>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace wan::runtime {
@@ -15,6 +16,12 @@ namespace {
 
 std::chrono::nanoseconds to_chrono(sim::Duration d) noexcept {
   return std::chrono::nanoseconds(d.count_nanos());
+}
+
+obs::Counter& threaded_timer_arms() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "wan_env_timer_arms_total{env=\"threaded\"}");
+  return c;
 }
 
 }  // namespace
@@ -99,6 +106,7 @@ class ThreadedTimerImpl final : public TimerImpl {
 
   void arm(sim::Duration delay, std::function<void()> fn) override {
     cancel();
+    threaded_timer_arms().inc();
     flag_ = std::make_shared<std::atomic<bool>>(false);
     auto flag = flag_;
     ThreadedEnv::Core::post_at(
@@ -238,6 +246,9 @@ PeriodicTimer ThreadedEnv::make_periodic_timer() {
 Transport& ThreadedEnv::transport() { return *port_; }
 
 void ThreadedEnv::post(std::function<void()> fn) {
+  static obs::Counter& posts =
+      obs::Registry::global().counter("wan_env_posts_total{env=\"threaded\"}");
+  posts.inc();
   Core::post_at(core_, SteadyClock::now(), std::move(fn));
 }
 
@@ -324,6 +335,9 @@ void LoopbackFabric::set_endpoint_down(HostId id, bool down) {
 
 void LoopbackFabric::send(HostId from, HostId to, net::MessagePtr msg) {
   WAN_REQUIRE(msg != nullptr);
+  static obs::Counter& sends =
+      obs::Registry::global().counter("wan_env_sends_total{env=\"threaded\"}");
+  sends.inc();
   std::shared_ptr<ThreadedEnv::Core> dest;
   Transport::Handler handler;
   std::chrono::nanoseconds delay{};

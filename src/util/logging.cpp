@@ -1,15 +1,26 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <utility>
 
 namespace wan::log {
 
 namespace {
 
-Level g_level = Level::kOff;
-Sink g_sink;  // empty -> stderr
-std::function<double()> g_time_source;
+std::atomic<Level> g_level{Level::kOff};
+
+// Sink/time-source/mirror swaps must not race in-flight emits on other
+// threads. Each is a shared_ptr guarded by g_mu: emit copies the pointer
+// under the lock and invokes outside it, so a concurrent reset only drops
+// the registry reference — the callable stays alive until the last emit
+// using it returns.
+std::mutex g_mu;
+std::shared_ptr<const Sink> g_sink;  // null -> stderr
+std::shared_ptr<const std::function<double()>> g_time_source;
+std::shared_ptr<const Mirror> g_mirror;
 
 const char* level_name(Level lvl) {
   switch (lvl) {
@@ -25,33 +36,58 @@ const char* level_name(Level lvl) {
 
 }  // namespace
 
-Level level() noexcept { return g_level; }
-void set_level(Level lvl) noexcept { g_level = lvl; }
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_level(Level lvl) noexcept { g_level.store(lvl, std::memory_order_relaxed); }
 
-void set_sink(Sink sink) { g_sink = std::move(sink); }
-void reset_sink() { g_sink = nullptr; }
+void set_sink(Sink sink) {
+  auto p = sink ? std::make_shared<const Sink>(std::move(sink)) : nullptr;
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_sink = std::move(p);
+}
+void reset_sink() { set_sink(nullptr); }
 
-void set_time_source(std::function<double()> source) { g_time_source = std::move(source); }
-void clear_time_source() { g_time_source = nullptr; }
+void set_time_source(std::function<double()> source) {
+  auto p = source ? std::make_shared<const std::function<double()>>(std::move(source)) : nullptr;
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_time_source = std::move(p);
+}
+void clear_time_source() { set_time_source(nullptr); }
+
+void set_mirror(Mirror mirror) {
+  auto p = mirror ? std::make_shared<const Mirror>(std::move(mirror)) : nullptr;
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_mirror = std::move(p);
+}
+void clear_mirror() { set_mirror(nullptr); }
 
 namespace detail {
 
 void emit(Level lvl, std::string msg) {
-  if (lvl < g_level) return;
+  if (lvl < level()) return;
+  std::shared_ptr<const Sink> sink;
+  std::shared_ptr<const std::function<double()>> time_source;
+  std::shared_ptr<const Mirror> mirror;
+  {
+    std::lock_guard<std::mutex> lk(g_mu);
+    sink = g_sink;
+    time_source = g_time_source;
+    mirror = g_mirror;
+  }
   std::string line;
   line.reserve(msg.size() + 32);
   line += '[';
   line += level_name(lvl);
   line += ']';
-  if (g_time_source) {
+  if (time_source) {
     char buf[32];
-    std::snprintf(buf, sizeof(buf), " t=%.6f", g_time_source());
+    std::snprintf(buf, sizeof(buf), " t=%.6f", (*time_source)());
     line += buf;
   }
   line += ' ';
   line += msg;
-  if (g_sink) {
-    g_sink(lvl, line);
+  if (mirror) (*mirror)(line);
+  if (sink) {
+    (*sink)(lvl, line);
   } else {
     std::fprintf(stderr, "%s\n", line.c_str());
   }

@@ -1,9 +1,15 @@
-// Minimal leveled logger for the simulator.
+// Minimal leveled logger for the simulator and the threaded runtime.
 //
 // Logging is off by default (benchmarks and property tests run millions of
 // events); tests and examples flip the level when tracing a scenario. The
 // logger prepends the simulation time when a time source has been installed,
 // which makes protocol traces directly comparable to the paper's figures.
+//
+// Thread safety: ThreadedEnv runs one loop thread per node, all of which may
+// log while the driver thread installs/removes sinks. The level is an atomic;
+// sink, time source, and mirror are shared_ptr snapshots copied under a lock
+// and invoked outside it — so a sink swap never races an in-flight emit and a
+// removed sink is only destroyed once no emit still holds a reference.
 #pragma once
 
 #include <functional>
@@ -27,6 +33,15 @@ void reset_sink();
 /// The simulator installs its scheduler clock here (value in seconds).
 void set_time_source(std::function<double()> source);
 void clear_time_source();
+
+/// Mirror invoked with every formatted line *in addition to* the sink,
+/// regardless of which sink is installed. obs::install_tracer routes log
+/// lines into the trace via this hook (the indirection keeps wan_util from
+/// depending on wan_obs). The mirror receives the line without a level tag
+/// decision of its own — filtering already happened at the level gate.
+using Mirror = std::function<void(const std::string&)>;
+void set_mirror(Mirror mirror);
+void clear_mirror();
 
 namespace detail {
 void emit(Level lvl, std::string msg);

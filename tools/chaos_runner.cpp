@@ -11,8 +11,17 @@
 //   chaos_runner --seeds 1000                 # sweep seeds 1..1000
 //   chaos_runner --replay 1337 --trace        # reproduce one run, verbosely
 //   chaos_runner --replay 1337 --shrink       # minimize its fault schedule
+//   chaos_runner --trace out.json 1337        # replay + Chrome span trace
 //   chaos_runner --seeds 500 --max-seconds 60 # time-budgeted sweep
 //   chaos_runner --seeds 200 --byzantine 1 --asymmetric --json sweep.json
+//
+// A bare positional integer is shorthand for --replay SEED. When --trace is
+// followed by a filename (anything that is not a flag or an integer), the
+// replay additionally records causal spans through the whole protocol stack
+// and writes them as Chrome trace_event JSON (open in about:tracing or
+// https://ui.perfetto.dev), plus an empirical-Te report comparing measured
+// revocation latency against the configured bound. --metrics PATH dumps the
+// process-wide metrics registry in Prometheus text format on exit.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -27,6 +36,8 @@
 #include <vector>
 
 #include "chaos/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace {
@@ -49,7 +60,9 @@ struct Options {
   std::string log_level;  // empty = logging off
   int byzantine = 0;      // liars per run (0 = adversary off)
   bool asymmetric = false;
-  std::string json_path;  // empty = no machine-readable summary
+  std::string json_path;   // empty = no machine-readable summary
+  std::string trace_path;  // --trace FILE: Chrome trace_event JSON (replay)
+  std::string metrics_path;  // --metrics PATH: Prometheus dump on exit
 };
 
 void usage(const char* argv0) {
@@ -64,14 +77,19 @@ void usage(const char* argv0) {
       "  --threads T          worker threads (default: hardware concurrency)\n"
       "  --replay SEED        run exactly one seed and report it in detail\n"
       "  --only-events i,j    inject only these fault-schedule indices\n"
-      "  --trace              print per-fault and per-violation trace lines\n"
+      "  --trace [FILE]       print per-fault and per-violation trace lines;\n"
+      "                       with FILE, also write causal spans as Chrome\n"
+      "                       trace_event JSON and report empirical Te\n"
+      "  --metrics PATH       dump the metrics registry (Prometheus text)\n"
+      "                       to PATH on exit\n"
       "  --shrink             on a failing replay, minimize the fault schedule\n"
       "  --max-seconds S      stop launching new seeds after S wall seconds\n"
       "  --horizon-minutes M  simulated minutes of chaos per seed (default 8)\n"
       "  --byzantine N        inject up to N lying managers per run\n"
       "  --asymmetric         inject one-way link cuts\n"
       "  --json PATH          write a machine-readable sweep summary to PATH\n"
-      "  --log LEVEL          protocol log (trace|debug|info); replay only\n",
+      "  --log LEVEL          protocol log (trace|debug|info); replay only\n"
+      "  SEED                 bare integer: shorthand for --replay SEED\n",
       argv0);
 }
 
@@ -133,6 +151,16 @@ bool parse_args(int argc, char** argv, Options* opt) {
       }
     } else if (a == "--trace") {
       opt->trace = true;
+      // Optional FILE operand: anything that is not a flag and not a bare
+      // integer (a bare integer is the positional replay seed).
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        std::uint64_t ignored = 0;
+        if (!parse_u64(argv[i + 1], &ignored)) opt->trace_path = argv[++i];
+      }
+    } else if (a == "--metrics") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->metrics_path = v;
     } else if (a == "--shrink") {
       opt->shrink = true;
     } else if (a == "--max-seconds") {
@@ -165,6 +193,9 @@ bool parse_args(int argc, char** argv, Options* opt) {
         std::fprintf(stderr, "unknown log level: %s\n", v);
         return false;
       }
+    } else if (!a.empty() && a[0] != '-' &&
+               parse_u64(a.c_str(), &opt->replay_seed)) {
+      opt->replay = true;  // bare positional integer = --replay SEED
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       return false;
@@ -194,6 +225,30 @@ std::string repro_flags(const Options& opt) {
   if (opt.horizon_minutes != 8)
     s += " --horizon-minutes " + std::to_string(opt.horizon_minutes);
   return s;
+}
+
+void print_te_report(const ChaosResult& r) {
+  if (!r.te_checked) return;
+  std::printf(
+      "  empirical Te: revocations=%llu measured=%llu violations=%llu "
+      "max=%.3fs mean=%.3fs bound=%.3fs%s\n",
+      static_cast<unsigned long long>(r.te.revocations),
+      static_cast<unsigned long long>(r.te.measured),
+      static_cast<unsigned long long>(r.te.violations), r.te.max_seconds,
+      r.te.mean_seconds, r.te.bound_seconds,
+      r.te.ok() ? "" : "  ** BOUND EXCEEDED **");
+}
+
+void dump_metrics(const std::string& path) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string text = wan::obs::Registry::global().prometheus_text();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
 }
 
 void print_result(const ChaosResult& r) {
@@ -226,9 +281,29 @@ int run_replay(const Options& opt) {
                                                 : Level::kDebug;
     wan::log::set_level(lvl);
   }
-  const ChaosResult r = run_chaos(to_chaos_options(opt, opt.replay_seed));
+  // Span tracing covers only the first (reported) run: the determinism
+  // double-check and the shrinker re-run the engine many times, and the
+  // tracer installation is process-global.
+  wan::obs::Tracer tracer;
+  ChaosOptions chaos_opts = to_chaos_options(opt, opt.replay_seed);
+  if (!opt.trace_path.empty()) chaos_opts.tracer = &tracer;
+  const ChaosResult r = run_chaos(chaos_opts);
   wan::log::set_level(wan::log::Level::kOff);
   print_result(r);
+  print_te_report(r);
+  if (!opt.trace_path.empty()) {
+    if (tracer.write_chrome_json(opt.trace_path)) {
+      std::printf("  wrote %zu span(s), %zu log line(s) to %s%s\n",
+                  tracer.size(), tracer.log_lines().size(),
+                  opt.trace_path.c_str(),
+                  tracer.dropped() == 0 ? "" : "  (capacity hit; some dropped)");
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", opt.trace_path.c_str());
+      return 2;
+    }
+  }
+  dump_metrics(opt.metrics_path);
+  if (r.te_checked && !r.te.ok()) return 1;
   if (r.ok()) return 0;
 
   // Replay determinism check: the same inputs must hash identically.
@@ -298,6 +373,11 @@ struct SweepState {
 };
 
 int run_sweep(const Options& opt) {
+  if (!opt.trace_path.empty()) {
+    // Seeds run on parallel workers and the tracer install is process-global.
+    std::fprintf(stderr,
+                 "--trace FILE applies only to single-seed replay; ignoring\n");
+  }
   const unsigned threads =
       opt.threads != 0
           ? opt.threads
@@ -463,6 +543,7 @@ int run_sweep(const Options& opt) {
     std::fclose(f);
   }
 
+  dump_metrics(opt.metrics_path);
   if (!state.failures.empty() || !state.nondeterministic.empty()) return 1;
   std::printf("  zero invariant violations\n");
   return 0;

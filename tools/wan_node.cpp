@@ -6,6 +6,13 @@
 // discrete-event scheduler.
 //
 //   wan_node --realtime [--te-ms N] [--delay-us N] [--verbose]
+//            [--metrics [FILE]]
+//
+// --metrics exports the process-wide metrics registry in Prometheus text
+// format: with FILE, a background thread rewrites the file twice a second
+// while the smoke runs (tail -f it, or point a node_exporter textfile
+// collector at it) and once more on exit; without FILE, the registry is
+// printed to stdout on exit.
 //
 // The --realtime smoke deploys 3 managers + 4 application hosts + 1 user
 // agent (each on its own ThreadedEnv loop thread), then:
@@ -19,7 +26,9 @@
 //      Te after the revocation's quorum instant.
 //
 // Exit code 0 iff every step behaved and the Te bound held in real time.
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "proto/host.hpp"
 #include "proto/user_agent.hpp"
 #include "runtime/threaded_env.hpp"
@@ -44,17 +54,70 @@ struct Options {
   int te_ms = 2000;      ///< revocation bound Te (small: this runs wall-clock)
   int delay_us = 1000;   ///< loopback fabric one-way delay
   bool verbose = false;
+  bool metrics = false;      ///< export the metrics registry
+  std::string metrics_path;  ///< with --metrics: live file (empty = stdout)
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: wan_node --realtime [--te-ms N] [--delay-us N] "
-               "[--verbose]\n"
+               "[--verbose] [--metrics [FILE]]\n"
                "  Threaded-runtime smoke: 3 managers + 4 hosts + 1 user agent\n"
                "  on real threads; verifies the Te revocation bound against\n"
-               "  the wall clock. See docs/ARCHITECTURE.md.\n");
+               "  the wall clock. See docs/ARCHITECTURE.md.\n"
+               "  --metrics FILE rewrites FILE (Prometheus text) twice a\n"
+               "  second while running and once on exit; without FILE the\n"
+               "  registry is printed to stdout on exit.\n");
   return 2;
 }
+
+bool write_metrics_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = obs::Registry::global().prometheus_text();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+/// Background exporter: rewrites `path` every 500 ms until stopped, then
+/// once more so the file reflects the final counter values.
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(std::string path) : path_(std::move(path)) {
+    thread_ = std::thread([this] { loop(); });
+  }
+  ~MetricsExporter() { stop(); }
+
+  void stop() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+    write_metrics_file(path_);
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopped_) {
+      lock.unlock();
+      write_metrics_file(path_);
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::milliseconds(500),
+                   [this] { return stopped_; });
+    }
+  }
+
+  const std::string path_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
@@ -306,10 +369,23 @@ int main(int argc, char** argv) {
       opt.te_ms = std::atoi(argv[++i]);
     } else if (std::strcmp(a, "--delay-us") == 0 && i + 1 < argc) {
       opt.delay_us = std::atoi(argv[++i]);
+    } else if (std::strcmp(a, "--metrics") == 0) {
+      opt.metrics = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') opt.metrics_path = argv[++i];
     } else {
       return wan::usage();
     }
   }
   if (!opt.realtime || opt.te_ms <= 0 || opt.delay_us < 0) return wan::usage();
-  return wan::Smoke(opt).run();
+  std::unique_ptr<wan::MetricsExporter> exporter;
+  if (opt.metrics && !opt.metrics_path.empty()) {
+    exporter = std::make_unique<wan::MetricsExporter>(opt.metrics_path);
+  }
+  const int rc = wan::Smoke(opt).run();
+  if (exporter != nullptr) exporter->stop();
+  if (opt.metrics && opt.metrics_path.empty()) {
+    const std::string text = wan::obs::Registry::global().prometheus_text();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+  }
+  return rc;
 }
