@@ -30,17 +30,12 @@ namespace wan::bench {
 ///
 ///   { "bench": "...", "rows": [ {"label": "...", "pi": 0.1, ...}, ... ] }
 ///
-/// Usage: JsonEmitter json("table1", argc, argv);   // scans for --json PATH
-///        json.record("pi=0.1", {{"pa_measured", 0.93}, ...});
-///        ... json.write() at the end of main (no-op without --json).
+/// Constructed by the bench_main() harness (bench_main.hpp), which owns flag
+/// parsing; an empty path makes record() a buffer and write() a no-op.
 class JsonEmitter {
  public:
-  JsonEmitter(const char* bench_name, int argc, char** argv)
-      : name_(bench_name) {
-    for (int i = 1; i + 1 < argc; ++i) {
-      if (std::strcmp(argv[i], "--json") == 0) path_ = argv[i + 1];
-    }
-  }
+  JsonEmitter(std::string bench_name, std::string path)
+      : name_(std::move(bench_name)), path_(std::move(path)) {}
 
   /// Queues one result row. Field order is preserved in the output.
   void record(std::string label,

@@ -6,6 +6,7 @@
 
 #include "analysis/availability.hpp"
 #include "bench_common.hpp"
+#include "bench_main.hpp"
 #include "util/table.hpp"
 
 namespace wan {
@@ -75,16 +76,17 @@ void run_curves(int m, double pi, bench::JsonEmitter& json) {
 }  // namespace wan
 
 int main(int argc, char** argv) {
-  wan::bench::JsonEmitter json("figure5", argc, argv);
-  wan::bench::print_header(
+  const wan::bench::BenchInfo info{
+      "figure5",
       "FIGURE 5 — Availability and security curves",
-      "Hiltunen & Schlichting, ICDCS'97, Figure 5 (M=10 shown for both Pi)");
-  wan::run_curves(10, 0.1, json);
-  std::printf("\n");
-  wan::run_curves(10, 0.2, json);
-  std::printf(
-      "\nReading guide: the curves cross near C = M/2; per the paper, \"there\n"
+      "Hiltunen & Schlichting, ICDCS'97, Figure 5 (M=10 shown for both Pi)",
+      "the curves cross near C = M/2; per the paper, \"there\n"
       "is a relatively large range of values of C around M/2 where both\n"
-      "availability and security are very close to 1.\"\n");
-  return json.write() ? 0 : 2;
+      "availability and security are very close to 1.\""};
+  return wan::bench::bench_main(argc, argv, info,
+                                [](wan::bench::JsonEmitter& json) {
+    wan::run_curves(10, 0.1, json);
+    std::printf("\n");
+    wan::run_curves(10, 0.2, json);
+  });
 }

@@ -8,6 +8,7 @@
 #include "analysis/binomial.hpp"
 #include "analysis/heterogeneous.hpp"
 #include "bench_common.hpp"
+#include "bench_main.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -123,18 +124,19 @@ void placement_table(bench::JsonEmitter& json) {
 }  // namespace wan
 
 int main(int argc, char** argv) {
-  wan::bench::JsonEmitter json("heterogeneous", argc, argv);
-  wan::bench::print_header(
+  const wan::bench::BenchInfo info{
+      "heterogeneous",
       "HETEROGENEOUS & CORRELATED INACCESSIBILITY",
-      "Hiltunen & Schlichting, ICDCS'97, §4.1 closing paragraphs");
-  wan::heterogeneous_table(json);
-  wan::shared_link_table(json);
-  wan::placement_table(json);
-  std::printf(
-      "\nReading guide: the homogeneous mean-p approximation misjudges both\n"
+      "Hiltunen & Schlichting, ICDCS'97, §4.1 closing paragraphs",
+      "the homogeneous mean-p approximation misjudges both\n"
       "tails when one manager is flaky; shared links strictly hurt high\n"
       "quorums versus independent failures with identical marginals; and a\n"
       "frequently-updating manager on a bad link drags system security far\n"
-      "below the uniform estimate — hence the placement advice.\n");
-  return json.write() ? 0 : 2;
+      "below the uniform estimate — hence the placement advice."};
+  return wan::bench::bench_main(argc, argv, info,
+                                [](wan::bench::JsonEmitter& json) {
+    wan::heterogeneous_table(json);
+    wan::shared_link_table(json);
+    wan::placement_table(json);
+  });
 }

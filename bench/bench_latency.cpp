@@ -9,6 +9,7 @@
 
 #include "analysis/overhead_model.hpp"
 #include "bench_common.hpp"
+#include "bench_main.hpp"
 #include "metrics/histogram.hpp"
 #include "util/table.hpp"
 
@@ -91,12 +92,17 @@ double measure_unreachable(int attempts_r) {
 }  // namespace wan
 
 int main(int argc, char** argv) {
-  using wan::Table;
-  wan::bench::JsonEmitter json("latency", argc, argv);
-  wan::bench::print_header(
+  const wan::bench::BenchInfo info{
+      "latency",
       "CHECK LATENCY — cache hit vs O(C) miss vs O(R) unreachable",
-      "Hiltunen & Schlichting, ICDCS'97, §4.1 (delay discussion)");
-
+      "Hiltunen & Schlichting, ICDCS'97, §4.1 (delay discussion)",
+      "\"the delay ... is very small if the valid entry is\n"
+      "in the cache. If not, the delay is O(C) in the normal case ... but\n"
+      "O(R) if the required number are not accessible. Reducing R reduces\n"
+      "this worst case delay, but at the cost of reduced security.\""};
+  return wan::bench::bench_main(argc, argv, info,
+                                [](wan::bench::JsonEmitter& json) {
+  using wan::Table;
   const double hit_s = wan::measure_cache_hit(5);
   std::printf("\nCache hit (local lookup, no network): %.6f s\n", hit_s);
   json.record("cache-hit", {{"seconds", hit_s}});
@@ -129,10 +135,5 @@ int main(int argc, char** argv) {
     }
     t.print();
   }
-  std::printf(
-      "\nReading guide: \"the delay ... is very small if the valid entry is\n"
-      "in the cache. If not, the delay is O(C) in the normal case ... but\n"
-      "O(R) if the required number are not accessible. Reducing R reduces\n"
-      "this worst case delay, but at the cost of reduced security.\"\n");
-  return json.write() ? 0 : 2;
+  });
 }

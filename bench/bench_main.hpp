@@ -1,0 +1,62 @@
+// Shared entry point of the bench binaries.
+//
+// Every bench used to repeat the same main() boilerplate: scan argv for
+// --json by hand, print the banner, run the measurements, print a reading
+// guide, and turn json.write() into an exit code. The copies drifted (some
+// accepted `--json` with no operand, none rejected typos, none had --help).
+// bench_main() centralizes all of it on the shared tools/cli.hpp parser; a
+// bench binary is now just a BenchInfo plus a body:
+//
+//   int main(int argc, char** argv) {
+//     const wan::bench::BenchInfo info{
+//         "table1", "TABLE 1 — ...", "Hiltunen & Schlichting ...",
+//         "how to read the output ..."};
+//     return wan::bench::bench_main(argc, argv, info,
+//                                   [](wan::bench::JsonEmitter& json) {
+//       // measurements; record() rows on json as they print
+//     });
+//   }
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "bench_common.hpp"
+#include "tools/cli.hpp"
+
+namespace wan::bench {
+
+struct BenchInfo {
+  const char* name;    ///< JSON "bench" field and --help program name
+  const char* title;   ///< banner headline
+  const char* source;  ///< the paper artifact this bench reproduces
+  /// Printed after the body as "Reading guide: ..." (nullptr = none).
+  const char* reading_guide = nullptr;
+};
+
+/// Parses the common bench flags (--json PATH, auto --help), prints the
+/// banner, runs `body`, prints the reading guide, and writes the JSON
+/// document. Exit code 2 means bad flags or an unwritable --json path.
+inline int bench_main(int argc, char** argv, const BenchInfo& info,
+                      const std::function<void(JsonEmitter&)>& body) {
+  std::string json_path;
+  cli::Parser cli(info.name,
+                  std::string("Reproduces: ") + info.source +
+                      "\nSet WAN_BENCH_FAST=1 for shorter (noisier) simulated "
+                      "horizons.");
+  cli.add_string("--json", "PATH",
+                 "write a machine-readable result summary to PATH",
+                 &json_path);
+  if (!cli.parse(argc, argv)) return 2;
+
+  JsonEmitter json(info.name, json_path);
+  print_header(info.title, info.source);
+  body(json);
+  if (info.reading_guide != nullptr) {
+    std::printf("\nReading guide: %s\n", info.reading_guide);
+  }
+  return json.write() ? 0 : 2;
+}
+
+}  // namespace wan::bench

@@ -13,6 +13,7 @@
 
 #include "analysis/overhead_model.hpp"
 #include "bench_common.hpp"
+#include "bench_main.hpp"
 #include "util/table.hpp"
 
 namespace wan {
@@ -79,12 +80,17 @@ Measured run(Duration te_target, int check_quorum, std::uint64_t seed) {
 }  // namespace wan
 
 int main(int argc, char** argv) {
-  using wan::Table;
-  wan::bench::JsonEmitter json("overhead", argc, argv);
-  wan::bench::print_header(
+  const wan::bench::BenchInfo info{
+      "overhead",
       "OVERHEAD — control-message rate is O(C/Te)",
-      "Hiltunen & Schlichting, ICDCS'97, §4.1 (complexity discussion)");
-
+      "Hiltunen & Schlichting, ICDCS'97, §4.1 (complexity discussion)",
+      "ratios ~1.0 confirm the O(C/Te) law; the cache-hit\n"
+      "rate shows why per-access cost stays negligible (\"increasing Te\n"
+      "reduces the overall overhead ... but also increases the potential\n"
+      "delay when an access right is revoked\")."};
+  return wan::bench::bench_main(argc, argv, info,
+                                [](wan::bench::JsonEmitter& json) {
+  using wan::Table;
   {
     Table t("\nSweep 1: Te varies, C = 3  (rate should halve when Te doubles):");
     t.set_header({"Te", "measured msg/s", "model 2C/te msg/s", "ratio",
@@ -123,10 +129,5 @@ int main(int argc, char** argv) {
     }
     t.print();
   }
-  std::printf(
-      "\nReading guide: ratios ~1.0 confirm the O(C/Te) law; the cache-hit\n"
-      "rate shows why per-access cost stays negligible (\"increasing Te\n"
-      "reduces the overall overhead ... but also increases the potential\n"
-      "delay when an access right is revoked\").\n");
-  return json.write() ? 0 : 2;
+  });
 }

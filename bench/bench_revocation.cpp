@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "bench_common.hpp"
+#include "bench_main.hpp"
 #include "obs/te_probe.hpp"
 #include "obs/trace.hpp"
 #include "sim/timer.hpp"
@@ -184,12 +185,19 @@ WorstCase worst_case(Duration te, double b, std::uint64_t seed) {
 }  // namespace wan
 
 int main(int argc, char** argv) {
-  using wan::Table;
-  wan::bench::JsonEmitter json("revocation", argc, argv);
-  wan::bench::print_header(
+  const wan::bench::BenchInfo info{
+      "revocation",
       "REVOCATION TIME BOUND — lateness of post-revoke accesses vs Te",
-      "Hiltunen & Schlichting, ICDCS'97, §3.2-3.3 (time-bounded revocation)");
-
+      "Hiltunen & Schlichting, ICDCS'97, §3.2-3.3 (time-bounded revocation)",
+      "violations must be 0 — no access is allowed more than\n"
+      "Te after a revoke's quorum instant, despite partitions and clock\n"
+      "drift. Typical lateness is far below the bound because RevokeNotify\n"
+      "flushes caches proactively; the bound only binds when the notify\n"
+      "cannot be delivered (partitioned host), where max -> Te as the cache\n"
+      "entry rides out its full expiry period."};
+  return wan::bench::bench_main(argc, argv, info,
+                                [](wan::bench::JsonEmitter& json) {
+  using wan::Table;
   Table t;
   t.set_header({"Te", "Pi", "revokes", "post-quorum allows", "mean late (s)",
                 "p99 late (s)", "max late (s)", "bound Te (s)", "violations"});
@@ -251,13 +259,5 @@ int main(int argc, char** argv) {
     }
   }
   w.print();
-
-  std::printf(
-      "\nReading guide: violations must be 0 — no access is allowed more than\n"
-      "Te after a revoke's quorum instant, despite partitions and clock\n"
-      "drift. Typical lateness is far below the bound because RevokeNotify\n"
-      "flushes caches proactively; the bound only binds when the notify\n"
-      "cannot be delivered (partitioned host), where max -> Te as the cache\n"
-      "entry rides out its full expiry period.\n");
-  return json.write() ? 0 : 2;
+  });
 }

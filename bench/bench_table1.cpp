@@ -16,6 +16,7 @@
 #include "analysis/availability.hpp"
 #include "sim/timer.hpp"
 #include "bench_common.hpp"
+#include "bench_main.hpp"
 #include "util/table.hpp"
 
 namespace wan {
@@ -128,14 +129,11 @@ void run_pi(double pi, const PaperRow* paper, bench::JsonEmitter& json) {
 }  // namespace wan
 
 int main(int argc, char** argv) {
-  wan::bench::JsonEmitter json("table1", argc, argv);
-  wan::bench::print_header(
+  const wan::bench::BenchInfo info{
+      "table1",
       "TABLE 1 — Effects of the check quorum C on availability and security",
-      "Hiltunen & Schlichting, ICDCS'97, Table 1 (+ simulation columns)");
-  wan::run_pi(0.1, wan::kPaper01, json);
-  wan::run_pi(0.2, wan::kPaper02, json);
-  std::printf(
-      "\nReading guide: model must equal paper to 5 decimals; sim matches the\n"
+      "Hiltunen & Schlichting, ICDCS'97, Table 1 (+ simulation columns)",
+      "model must equal paper to 5 decimals; sim matches the\n"
       "model within sampling noise (the partition processes realize the same\n"
       "stationary pairwise-Pi the formulas assume); proto columns show the\n"
       "live protocol (timeouts, retransmissions) tracking the model.\n"
@@ -145,6 +143,10 @@ int main(int argc, char** argv) {
       "must first version-read a check quorum of C (see DESIGN.md §6), so\n"
       "the live protocol's timely-update probability is the product of both\n"
       "phases and no longer saturates at C = M. The paper's curve is an\n"
-      "upper bound that its own prose construction cannot quite reach.\n");
-  return json.write() ? 0 : 2;
+      "upper bound that its own prose construction cannot quite reach."};
+  return wan::bench::bench_main(argc, argv, info,
+                                [](wan::bench::JsonEmitter& json) {
+    wan::run_pi(0.1, wan::kPaper01, json);
+    wan::run_pi(0.2, wan::kPaper02, json);
+  });
 }

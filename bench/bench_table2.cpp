@@ -6,6 +6,7 @@
 
 #include "analysis/availability.hpp"
 #include "bench_common.hpp"
+#include "bench_main.hpp"
 #include "util/table.hpp"
 
 namespace wan {
@@ -103,17 +104,18 @@ void emit_half(const char* caption, const Row* rows, int n,
 }  // namespace wan
 
 int main(int argc, char** argv) {
-  wan::bench::JsonEmitter json("table2", argc, argv);
-  wan::bench::print_header(
+  const wan::bench::BenchInfo info{
+      "table2",
       "TABLE 2 — Effects of M and C on availability and security",
-      "Hiltunen & Schlichting, ICDCS'97, Table 2 (+ simulation columns)");
-  wan::emit_half("Upper half — C fixed at 2 while M grows (security decays):",
-                 wan::kUpper, 5, json);
-  wan::emit_half("Lower half — C grown with M (both properties improve):",
-                 wan::kLower, 5, json);
-  std::printf(
-      "\nReading guide: \".1\" columns are Pi=0.1, \".2\" are Pi=0.2. The\n"
+      "Hiltunen & Schlichting, ICDCS'97, Table 2 (+ simulation columns)",
+      "\".1\" columns are Pi=0.1, \".2\" are Pi=0.2. The\n"
       "upper half shows why adding managers without raising C is \"generally\n"
-      "not a good idea\"; the lower half shows C ~ M/2 scaling fixing it.\n");
-  return json.write() ? 0 : 2;
+      "not a good idea\"; the lower half shows C ~ M/2 scaling fixing it."};
+  return wan::bench::bench_main(argc, argv, info,
+                                [](wan::bench::JsonEmitter& json) {
+    wan::emit_half("Upper half — C fixed at 2 while M grows (security decays):",
+                   wan::kUpper, 5, json);
+    wan::emit_half("Lower half — C grown with M (both properties improve):",
+                   wan::kLower, 5, json);
+  });
 }

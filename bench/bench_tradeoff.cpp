@@ -19,6 +19,7 @@
 #include "sim/timer.hpp"
 #include "runtime/sim_env.hpp"
 #include "bench_common.hpp"
+#include "bench_main.hpp"
 #include "metrics/collector.hpp"
 #include "util/table.hpp"
 
@@ -234,17 +235,18 @@ void emit(double pi, bench::JsonEmitter& json) {
 }  // namespace wan
 
 int main(int argc, char** argv) {
-  wan::bench::JsonEmitter json("tradeoff", argc, argv);
-  wan::bench::print_header(
+  const wan::bench::BenchInfo info{
+      "tradeoff",
       "STRATEGY ABLATION — quorum vs freeze vs baseline designs",
-      "Hiltunen & Schlichting, ICDCS'97, §3.3 strategies + §3/§4.2 contrasts");
-  wan::emit(0.05, json);
-  wan::emit(0.20, json);
-  std::printf(
-      "\nReading guide: 'violations' counts accesses allowed > Te after a\n"
+      "Hiltunen & Schlichting, ICDCS'97, §3.3 strategies + §3/§4.2 contrasts",
+      "'violations' counts accesses allowed > Te after a\n"
       "revocation took local effect. Only the paper's protocol keeps this at\n"
       "zero while retaining availability; freeze keeps it at zero by giving\n"
       "up availability; the baselines either violate the bound (stale\n"
-      "replicas, eventual gossip) or pay in availability/messages.\n");
-  return json.write() ? 0 : 2;
+      "replicas, eventual gossip) or pay in availability/messages."};
+  return wan::bench::bench_main(argc, argv, info,
+                                [](wan::bench::JsonEmitter& json) {
+    wan::emit(0.05, json);
+    wan::emit(0.20, json);
+  });
 }

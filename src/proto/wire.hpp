@@ -1,0 +1,45 @@
+// Wire codecs for the access-control protocol messages.
+//
+// net/codec.hpp owns the framing and the tag registry but knows nothing
+// about concrete message types (net/ sits below proto/ in the layer
+// diagram); this translation unit supplies the per-type field layouts and
+// registers them under their stable tags. docs/WIRE_FORMAT.md is the
+// authoritative tag table — tags here are frozen: never renumbered, never
+// reused, new types get new tags and removed types leave holes.
+//
+// Call register_wire_messages() once before touching the codec (socket
+// transports, codec tests). It is idempotent and thread-safe; it is an
+// explicit call rather than a static initializer because these codecs live
+// in a static library, where unreferenced global constructors are dropped
+// by the linker.
+#pragma once
+
+#include "net/codec.hpp"
+
+namespace wan::proto {
+
+/// Stable wire tags for every message in proto/messages.hpp. The enum is
+/// public so tests and docs can enumerate the full table.
+enum WireTags : net::WireTag {
+  kTagInvokeRequest = 1,
+  kTagInvokeReply = 2,
+  kTagQueryRequest = 3,
+  kTagQueryResponse = 4,
+  kTagRevokeNotify = 5,
+  kTagRevokeNotifyAck = 6,
+  kTagUpdateMsg = 7,
+  kTagUpdateAck = 8,
+  kTagVersionQuery = 9,
+  kTagVersionReply = 10,
+  kTagSyncRequest = 11,
+  kTagSyncResponse = 12,
+  kTagSyncPush = 13,
+  kTagHeartbeatPing = 14,
+  kTagHeartbeatPong = 15,
+};
+
+/// Registers the codec for every protocol message type with the global
+/// net::CodecRegistry. Idempotent; safe to call from multiple threads.
+void register_wire_messages();
+
+}  // namespace wan::proto

@@ -1,0 +1,30 @@
+#include "runtime/env_options.hpp"
+
+#include <memory>
+
+#include "net/latency_model.hpp"
+#include "net/loss_model.hpp"
+#include "util/assert.hpp"
+
+namespace wan::runtime {
+
+net::Network::Config to_network_config(const EnvOptions& opts) {
+  WAN_REQUIRE(opts.loss >= 0.0 && opts.loss < 1.0);
+  WAN_REQUIRE(!opts.delay.is_negative());
+  WAN_REQUIRE(!opts.jitter.is_negative());
+  net::Network::Config cfg;
+  if (opts.jitter.is_zero()) {
+    cfg.latency = std::make_unique<net::ConstantLatency>(opts.delay);
+  } else {
+    cfg.latency = std::make_unique<net::UniformLatency>(
+        opts.delay, opts.delay + opts.jitter);
+  }
+  if (opts.loss > 0.0) {
+    cfg.loss = std::make_unique<net::BernoulliLoss>(opts.loss);
+  } else {
+    cfg.loss = std::make_unique<net::NoLoss>();
+  }
+  return cfg;
+}
+
+}  // namespace wan::runtime

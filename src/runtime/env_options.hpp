@@ -1,0 +1,48 @@
+// EnvOptions: the one configuration surface shared by every runtime backend.
+//
+// Before this header each backend grew its own config struct (the simulator
+// took a net::Network::Config, the loopback fabric a LoopbackFabric::Config,
+// and the socket transport would have added a third). Tools that let the
+// user pick a backend at the command line had to translate flags three ways.
+// Now they fill one EnvOptions and hand it to whichever backend runs:
+//
+//   * SimEnv        — to_network_config(opts) builds the simulated network
+//     (delay/jitter/loss/seed); listen/topology are ignored.
+//   * LoopbackFabric — delay/jitter/loss/seed shape the in-process fabric;
+//     listen/topology are ignored.
+//   * UdpTransport  — listen/topology_path/send_queue_limit wire the socket;
+//     delay/jitter/loss are ignored (a real network provides its own).
+//
+// Fields a backend ignores are deliberately not an error: the whole point is
+// that one struct travels from flag parsing to whichever backend the run
+// selects.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/network.hpp"
+#include "sim/time.hpp"
+
+namespace wan::runtime {
+
+struct EnvOptions {
+  // --- simulated-path shaping (SimEnv, LoopbackFabric) ---
+  std::uint64_t seed = 1;                          ///< loss/jitter stream
+  sim::Duration delay = sim::Duration::millis(1);  ///< per-datagram latency
+  sim::Duration jitter = sim::Duration{};          ///< + uniform [0, jitter]
+  double loss = 0.0;                               ///< i.i.d. drop probability
+
+  // --- socket backends (UdpTransport) ---
+  std::string listen;         ///< bind address "host:port"; port 0 = ephemeral
+  std::string topology_path;  ///< HostId -> host:port map file (docs/WIRE_FORMAT.md)
+  std::size_t send_queue_limit = 1024;  ///< outbound frames queued before drop
+};
+
+/// Builds the simulated network's config from the shared options: constant
+/// delay (or uniform [delay, delay+jitter]) plus i.i.d. loss, matching what
+/// LoopbackFabric does with the same fields on real threads.
+[[nodiscard]] net::Network::Config to_network_config(const EnvOptions& opts);
+
+}  // namespace wan::runtime

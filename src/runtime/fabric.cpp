@@ -1,0 +1,30 @@
+#include "runtime/fabric.hpp"
+
+#include <algorithm>
+
+#include "runtime/threaded_env.hpp"
+
+namespace wan::runtime {
+
+void Fabric::stop_all() {
+  std::vector<ThreadedEnv*> envs;
+  {
+    std::lock_guard<std::mutex> lock(env_mu_);
+    envs = envs_;
+  }
+  // stop() joins the loop thread, which may itself be blocked inside the
+  // fabric's send(); never hold a fabric lock across it.
+  for (ThreadedEnv* env : envs) env->stop();
+}
+
+void Fabric::register_env(ThreadedEnv* env) {
+  std::lock_guard<std::mutex> lock(env_mu_);
+  envs_.push_back(env);
+}
+
+void Fabric::forget_env(ThreadedEnv* env) {
+  std::lock_guard<std::mutex> lock(env_mu_);
+  envs_.erase(std::remove(envs_.begin(), envs_.end(), env), envs_.end());
+}
+
+}  // namespace wan::runtime

@@ -1,6 +1,5 @@
 #include "runtime/threaded_env.hpp"
 
-#include <algorithm>
 #include <atomic>
 #include <utility>
 
@@ -24,83 +23,12 @@ obs::Counter& threaded_timer_arms() {
   return c;
 }
 
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Loop core: a mutex-protected timer wheel driven by one thread.
-
-struct ThreadedEnv::Core {
-  struct Entry {
-    SteadyTP at;
-    std::uint64_t seq = 0;
-    std::function<void()> fn;
-    /// Set true to cancel; also flipped by timer shots when they fire so
-    /// Timer::pending() stays accurate. Null for fire-and-forget work.
-    std::shared_ptr<std::atomic<bool>> dead;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
-  explicit Core(SteadyTP epoch) : epoch(epoch) {}
-
-  const SteadyTP epoch;
-  std::mutex mu;
-  std::condition_variable cv;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue;
-  std::uint64_t next_seq = 0;
-  bool stopped = false;
-
-  /// Enqueues work; returns false (dropping it) if the loop has stopped.
-  static bool post_at(const std::shared_ptr<Core>& core, SteadyTP at,
-                      std::function<void()> fn,
-                      std::shared_ptr<std::atomic<bool>> dead = nullptr) {
-    {
-      std::lock_guard<std::mutex> lock(core->mu);
-      if (core->stopped) return false;
-      core->queue.push(
-          Entry{at, core->next_seq++, std::move(fn), std::move(dead)});
-    }
-    core->cv.notify_one();
-    return true;
-  }
-
-  void run_loop() {
-    std::unique_lock<std::mutex> lock(mu);
-    while (!stopped) {
-      if (queue.empty()) {
-        cv.wait(lock);
-        continue;
-      }
-      const SteadyTP next = queue.top().at;
-      if (next > SteadyClock::now()) {
-        cv.wait_until(lock, next);
-        continue;
-      }
-      // priority_queue::top() is const; the entry is moved out and popped
-      // before the callback runs, so re-entrant posting is safe.
-      Entry entry = std::move(const_cast<Entry&>(queue.top()));
-      queue.pop();
-      lock.unlock();
-      if (!entry.dead || !entry.dead->load(std::memory_order_acquire)) {
-        entry.fn();
-      }
-      lock.lock();
-    }
-  }
-};
-
-namespace {
-
 // One-shot timer over a loop core. The armed callback fires at most once:
 // firing and cancelling race on the same atomic flag, and exactly one side
 // wins the exchange.
 class ThreadedTimerImpl final : public TimerImpl {
  public:
-  explicit ThreadedTimerImpl(std::shared_ptr<ThreadedEnv::Core> core)
+  explicit ThreadedTimerImpl(std::shared_ptr<LoopCore> core)
       : core_(std::move(core)) {}
   ~ThreadedTimerImpl() override { cancel(); }
 
@@ -109,7 +37,7 @@ class ThreadedTimerImpl final : public TimerImpl {
     threaded_timer_arms().inc();
     flag_ = std::make_shared<std::atomic<bool>>(false);
     auto flag = flag_;
-    ThreadedEnv::Core::post_at(
+    LoopCore::post_at(
         core_, SteadyClock::now() + to_chrono(delay),
         [flag, fn = std::move(fn)] {
           bool expected = false;
@@ -127,7 +55,7 @@ class ThreadedTimerImpl final : public TimerImpl {
   }
 
  private:
-  std::shared_ptr<ThreadedEnv::Core> core_;
+  std::shared_ptr<LoopCore> core_;
   std::shared_ptr<std::atomic<bool>> flag_;
 };
 
@@ -136,7 +64,7 @@ class ThreadedTimerImpl final : public TimerImpl {
 // stopped flag and does nothing).
 class ThreadedPeriodicTimerImpl final : public PeriodicTimerImpl {
  public:
-  explicit ThreadedPeriodicTimerImpl(std::shared_ptr<ThreadedEnv::Core> core)
+  explicit ThreadedPeriodicTimerImpl(std::shared_ptr<LoopCore> core)
       : core_(std::move(core)) {}
   ~ThreadedPeriodicTimerImpl() override { stop(); }
 
@@ -162,14 +90,14 @@ class ThreadedPeriodicTimerImpl final : public PeriodicTimerImpl {
 
  private:
   struct State {
-    std::shared_ptr<ThreadedEnv::Core> core;
+    std::shared_ptr<LoopCore> core;
     std::chrono::nanoseconds period{};
     std::function<void()> fn;
     std::atomic<bool> stopped{false};
   };
 
   static void schedule(const std::shared_ptr<State>& st, SteadyTP at) {
-    ThreadedEnv::Core::post_at(st->core, at, [st] {
+    LoopCore::post_at(st->core, at, [st] {
       if (st->stopped.load(std::memory_order_acquire)) return;
       st->fn();
       if (st->stopped.load(std::memory_order_acquire)) return;
@@ -177,7 +105,7 @@ class ThreadedPeriodicTimerImpl final : public PeriodicTimerImpl {
     });
   }
 
-  std::shared_ptr<ThreadedEnv::Core> core_;
+  std::shared_ptr<LoopCore> core_;
   std::shared_ptr<State> state_;
 };
 
@@ -188,7 +116,7 @@ class ThreadedPeriodicTimerImpl final : public PeriodicTimerImpl {
 
 class ThreadedEnv::Port final : public Transport {
  public:
-  Port(LoopbackFabric& fabric, std::shared_ptr<Core> core)
+  Port(Fabric& fabric, std::shared_ptr<LoopCore> core)
       : fabric_(fabric), core_(std::move(core)) {}
 
   void register_endpoint(HostId id, Handler handler) override {
@@ -208,16 +136,16 @@ class ThreadedEnv::Port final : public Transport {
   }
 
  private:
-  LoopbackFabric& fabric_;
-  std::shared_ptr<Core> core_;
+  Fabric& fabric_;
+  std::shared_ptr<LoopCore> core_;
 };
 
 // ---------------------------------------------------------------------------
 // ThreadedEnv
 
-ThreadedEnv::ThreadedEnv(LoopbackFabric& fabric)
+ThreadedEnv::ThreadedEnv(Fabric& fabric)
     : fabric_(fabric),
-      core_(std::make_shared<Core>(fabric.epoch())),
+      core_(std::make_shared<LoopCore>(fabric.epoch())),
       port_(std::make_unique<Port>(fabric, core_)) {
   fabric_.register_env(this);
   thread_ = std::thread([core = core_] { core->run_loop(); });
@@ -249,7 +177,7 @@ void ThreadedEnv::post(std::function<void()> fn) {
   static obs::Counter& posts =
       obs::Registry::global().counter("wan_env_posts_total{env=\"threaded\"}");
   posts.inc();
-  Core::post_at(core_, SteadyClock::now(), std::move(fn));
+  LoopCore::post_at(core_, SteadyClock::now(), std::move(fn));
 }
 
 void ThreadedEnv::run_sync(std::function<void()> fn) {
@@ -264,15 +192,15 @@ void ThreadedEnv::run_sync(std::function<void()> fn) {
   };
   auto state = std::make_shared<SyncState>();
   const bool posted =
-      Core::post_at(core_, SteadyClock::now(),
-                    [state, fn = std::move(fn)] {
-                      fn();
-                      {
-                        std::lock_guard<std::mutex> lock(state->mu);
-                        state->done = true;
-                      }
-                      state->cv.notify_one();
-                    });
+      LoopCore::post_at(core_, SteadyClock::now(),
+                        [state, fn = std::move(fn)] {
+                          fn();
+                          {
+                            std::lock_guard<std::mutex> lock(state->mu);
+                            state->done = true;
+                          }
+                          state->cv.notify_one();
+                        });
   WAN_REQUIRE(posted);  // run_sync after stop() would hang forever
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&] { return state->done; });
@@ -290,22 +218,11 @@ void ThreadedEnv::stop() {
 // ---------------------------------------------------------------------------
 // LoopbackFabric
 
-LoopbackFabric::LoopbackFabric(Config config)
-    : epoch_(SteadyClock::now()), config_(config), rng_(config.seed) {
-  WAN_REQUIRE(config_.loss >= 0.0 && config_.loss < 1.0);
-  WAN_REQUIRE(!config_.delay.is_negative());
-  WAN_REQUIRE(!config_.jitter.is_negative());
-}
-
-void LoopbackFabric::stop_all() {
-  std::vector<ThreadedEnv*> envs;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    envs = envs_;
-  }
-  // stop() joins the loop thread, which may itself be blocked on mu_ inside
-  // send(); never hold the fabric lock across it.
-  for (ThreadedEnv* env : envs) env->stop();
+LoopbackFabric::LoopbackFabric(const EnvOptions& opts)
+    : opts_(opts), rng_(opts.seed) {
+  WAN_REQUIRE(opts_.loss >= 0.0 && opts_.loss < 1.0);
+  WAN_REQUIRE(!opts_.delay.is_negative());
+  WAN_REQUIRE(!opts_.jitter.is_negative());
 }
 
 std::uint64_t LoopbackFabric::delivered() const {
@@ -318,7 +235,7 @@ std::uint64_t LoopbackFabric::sent() const {
   return sent_;
 }
 
-void LoopbackFabric::attach(HostId id, std::shared_ptr<ThreadedEnv::Core> core,
+void LoopbackFabric::attach(HostId id, std::shared_ptr<LoopCore> core,
                             Transport::Handler handler) {
   WAN_REQUIRE(id.valid());
   WAN_REQUIRE(handler != nullptr);
@@ -338,7 +255,7 @@ void LoopbackFabric::send(HostId from, HostId to, net::MessagePtr msg) {
   static obs::Counter& sends =
       obs::Registry::global().counter("wan_env_sends_total{env=\"threaded\"}");
   sends.inc();
-  std::shared_ptr<ThreadedEnv::Core> dest;
+  std::shared_ptr<LoopCore> dest;
   Transport::Handler handler;
   std::chrono::nanoseconds delay{};
   {
@@ -349,33 +266,23 @@ void LoopbackFabric::send(HostId from, HostId to, net::MessagePtr msg) {
     const auto dst = endpoints_.find(to);
     if (dst == endpoints_.end() || dst->second.down) return;
     if (from != to) {
-      if (config_.loss > 0.0 && rng_.next_double() < config_.loss) return;
-      delay = to_chrono(config_.delay);
-      if (!config_.jitter.is_zero()) {
+      if (opts_.loss > 0.0 && rng_.next_double() < opts_.loss) return;
+      delay = to_chrono(opts_.delay);
+      if (!opts_.jitter.is_zero()) {
         delay += std::chrono::nanoseconds(static_cast<std::int64_t>(
             rng_.next_below(static_cast<std::uint64_t>(
-                config_.jitter.count_nanos() + 1))));
+                opts_.jitter.count_nanos() + 1))));
       }
     }
     dest = dst->second.core;
     handler = dst->second.handler;
     ++delivered_;
   }
-  ThreadedEnv::Core::post_at(
+  LoopCore::post_at(
       dest, SteadyClock::now() + delay,
       [handler = std::move(handler), from, msg = std::move(msg)] {
         handler(from, msg);
       });
-}
-
-void LoopbackFabric::register_env(ThreadedEnv* env) {
-  std::lock_guard<std::mutex> lock(mu_);
-  envs_.push_back(env);
-}
-
-void LoopbackFabric::forget_env(ThreadedEnv* env) {
-  std::lock_guard<std::mutex> lock(mu_);
-  envs_.erase(std::remove(envs_.begin(), envs_.end(), env), envs_.end());
 }
 
 }  // namespace wan::runtime

@@ -1,49 +1,50 @@
 // ThreadedEnv: the real-time runtime behind the seam.
 //
 // One ThreadedEnv per node. Each env owns an event-loop thread driving a
-// mutex-protected timer wheel (a priority queue of steady-clock deadlines);
-// timers, post()ed work, and inbound deliveries all run serialized on that
-// thread, so protocol modules stay single-threaded per node with no locks of
-// their own — the same discipline the simulator enforces by construction.
+// LoopCore (runtime/loop_core.hpp) — a mutex-protected timer wheel; timers,
+// post()ed work, and inbound deliveries all run serialized on that thread,
+// so protocol modules stay single-threaded per node with no locks of their
+// own — the same discipline the simulator enforces by construction.
 //
-// Nodes are connected by a LoopbackFabric: an in-process datagram transport
-// with configurable constant delay (+ uniform jitter) and i.i.d. loss. A
-// send locks the fabric, samples loss/delay, and enqueues the delivery onto
-// the destination env's loop. The fabric holds each env's loop core by
+// Nodes are connected by a Fabric (runtime/fabric.hpp). The in-process
+// implementation here is LoopbackFabric: a datagram transport with
+// configurable constant delay (+ uniform jitter) and i.i.d. loss. A send
+// locks the fabric, samples loss/delay, and enqueues the delivery onto the
+// destination env's loop. The fabric holds each env's loop core by
 // shared_ptr, so deliveries to an env that has already stopped (or been
-// destroyed) are silently dropped — exactly an unreachable host.
+// destroyed) are silently dropped — exactly an unreachable host. The UDP
+// socket fabric lives in runtime/udp_transport.hpp; a ThreadedEnv runs
+// unchanged over either.
 //
 // Time: sim::TimePoint, measured from the fabric's construction instant on
 // the shared steady clock, so timestamps from different nodes are comparable
 // (the envs of one fabric model one "real time", as in the paper; per-node
 // *local* clock skew stays in runtime::Clock / clk::LocalClock on top).
 //
-// Teardown discipline: call stop() (or let LoopbackFabric::stop_all() do it)
-// on every env BEFORE destroying the protocol modules attached to it — a
+// Teardown discipline: call stop() (or let Fabric::stop_all() do it) on
+// every env BEFORE destroying the protocol modules attached to it — a
 // stopped loop runs nothing, so queued deliveries can no longer touch a
 // module being destroyed.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <unordered_map>
-#include <vector>
 
 #include "runtime/env.hpp"
+#include "runtime/env_options.hpp"
+#include "runtime/fabric.hpp"
+#include "runtime/loop_core.hpp"
 #include "util/rng.hpp"
 
 namespace wan::runtime {
 
-class LoopbackFabric;
-
 class ThreadedEnv final : public Env {
  public:
-  explicit ThreadedEnv(LoopbackFabric& fabric);
+  explicit ThreadedEnv(Fabric& fabric);
   ~ThreadedEnv() override;
   ThreadedEnv(const ThreadedEnv&) = delete;
   ThreadedEnv& operator=(const ThreadedEnv&) = delete;
@@ -64,67 +65,43 @@ class ThreadedEnv final : public Env {
   /// discarded; deliveries from other nodes are dropped. Idempotent.
   void stop();
 
-  /// The loop core, shared with timers and the fabric (lifetime safety).
-  struct Core;
-
  private:
   class Port;
 
-  LoopbackFabric& fabric_;
-  std::shared_ptr<Core> core_;
+  Fabric& fabric_;
+  std::shared_ptr<LoopCore> core_;
   std::unique_ptr<Port> port_;
   std::thread thread_;
 };
 
-/// In-process datagram fabric connecting ThreadedEnvs.
-class LoopbackFabric {
+/// In-process datagram fabric connecting ThreadedEnvs. Uses the simulated-
+/// path fields of EnvOptions (delay, jitter, loss, seed); the socket fields
+/// are ignored.
+class LoopbackFabric final : public Fabric {
  public:
-  struct Config {
-    sim::Duration delay = sim::Duration::millis(1);   ///< per-datagram latency
-    sim::Duration jitter = sim::Duration{};           ///< + uniform [0, jitter]
-    double loss = 0.0;                                ///< i.i.d. drop prob
-    std::uint64_t seed = 1;                           ///< loss/jitter stream
-  };
+  LoopbackFabric() : LoopbackFabric(EnvOptions{}) {}
+  explicit LoopbackFabric(const EnvOptions& opts);
 
-  LoopbackFabric() : LoopbackFabric(Config{}) {}
-  explicit LoopbackFabric(Config config);
-  LoopbackFabric(const LoopbackFabric&) = delete;
-  LoopbackFabric& operator=(const LoopbackFabric&) = delete;
-
-  /// Stops every env ever attached to this fabric (teardown convenience).
-  void stop_all();
+  void attach(HostId id, std::shared_ptr<LoopCore> core,
+              Transport::Handler handler) override;
+  void set_endpoint_down(HostId id, bool down) override;
+  void send(HostId from, HostId to, net::MessagePtr msg) override;
 
   /// Datagrams handed to a destination loop (delivered counter; diagnostics).
   [[nodiscard]] std::uint64_t delivered() const;
   [[nodiscard]] std::uint64_t sent() const;
 
-  /// Steady-clock instant that is sim::TimePoint zero for attached envs.
-  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const noexcept {
-    return epoch_;
-  }
-
  private:
-  friend class ThreadedEnv;
-
   struct Endpoint {
-    std::shared_ptr<ThreadedEnv::Core> core;
+    std::shared_ptr<LoopCore> core;
     Transport::Handler handler;
     bool down = false;
   };
 
-  void attach(HostId id, std::shared_ptr<ThreadedEnv::Core> core,
-              Transport::Handler handler);
-  void set_endpoint_down(HostId id, bool down);
-  void send(HostId from, HostId to, net::MessagePtr msg);
-  void register_env(ThreadedEnv* env);
-  void forget_env(ThreadedEnv* env);
-
-  const std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
-  Config config_;
+  EnvOptions opts_;
   Rng rng_;
   std::unordered_map<HostId, Endpoint> endpoints_;
-  std::vector<ThreadedEnv*> envs_;  ///< live envs, for stop_all
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
 };

@@ -294,8 +294,9 @@ std::vector<std::string> run_on_sim() {
 
 std::vector<std::string> run_on_threads() {
   const AppId app(1);
-  LoopbackFabric fabric(LoopbackFabric::Config{
-      Duration::millis(1), Duration{}, 0.0, 1});
+  EnvOptions fabric_options;
+  fabric_options.delay = Duration::millis(1);
+  LoopbackFabric fabric(fabric_options);
   ns::NameService names;
   auth::KeyRegistry keys;
   const proto::ProtocolConfig config = equivalence_config();

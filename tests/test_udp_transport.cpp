@@ -1,0 +1,317 @@
+// UdpTransport tests: two ThreadedEnvs in one process, each behind its own
+// UdpTransport on a 127.0.0.1 ephemeral port, exchanging real datagrams
+// through the wire codec. Covers delivery onto the destination loop,
+// topology parsing, the add_peer patch path, one-way inbound blocking (the
+// partition primitive of the multi-process smoke), and every labelled drop
+// counter on the send path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "net/codec.hpp"
+#include "obs/metrics.hpp"
+#include "proto/messages.hpp"
+#include "proto/wire.hpp"
+#include "runtime/threaded_env.hpp"
+#include "runtime/udp_transport.hpp"
+
+namespace wan::runtime {
+namespace {
+
+bool eventually(const std::function<bool()>& pred, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+std::uint64_t drop_count(const char* reason) {
+  return obs::Registry::global()
+      .counter(std::string("wan_udp_drops_total{reason=\"") + reason + "\"}")
+      .value();
+}
+
+std::unique_ptr<UdpTransport> make_transport() {
+  EnvOptions opts;
+  opts.listen = "127.0.0.1:0";
+  std::string error;
+  auto t = UdpTransport::create(opts, &error);
+  EXPECT_NE(t, nullptr) << error;
+  return t;
+}
+
+/// Two single-node processes' worth of plumbing, minus the processes: A and
+/// B each get their own socket, env, and endpoint, cross-wired via add_peer.
+struct Pair {
+  Pair() {
+    proto::register_wire_messages();
+    a = make_transport();
+    b = make_transport();
+    a->add_peer(HostId(2), NodeAddress{"127.0.0.1", b->local_port()});
+    b->add_peer(HostId(1), NodeAddress{"127.0.0.1", a->local_port()});
+    env_a = std::make_unique<ThreadedEnv>(*a);
+    env_b = std::make_unique<ThreadedEnv>(*b);
+  }
+  ~Pair() {
+    a->shutdown();
+    b->shutdown();
+  }
+
+  std::unique_ptr<UdpTransport> a, b;
+  std::unique_ptr<ThreadedEnv> env_a, env_b;
+};
+
+TEST(UdpTransport, DeliversAcrossRealSockets) {
+  Pair pair;
+  std::atomic<int> received{0};
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint32_t> from_value{0};
+  pair.env_b->transport().register_endpoint(
+      HostId(2), [&](HostId from, const net::MessagePtr& msg) {
+        from_value = from.value();
+        seq = static_cast<const proto::HeartbeatPing&>(*msg).seq;
+        received.fetch_add(1);
+      });
+  pair.env_a->transport().register_endpoint(
+      HostId(1), [](HostId, const net::MessagePtr&) {});
+
+  pair.env_a->run_sync([&] {
+    pair.env_a->transport().send(
+        HostId(1), HostId(2),
+        net::make_message<proto::HeartbeatPing>(AppId(7), 4242));
+  });
+  ASSERT_TRUE(eventually([&] { return received.load() == 1; }));
+  EXPECT_EQ(from_value.load(), 1u);
+  EXPECT_EQ(seq.load(), 4242u);
+}
+
+TEST(UdpTransport, RoundTripRequestReply) {
+  Pair pair;
+  std::atomic<int> replies{0};
+  // B echoes every ping back as a pong; A counts pongs. This exercises both
+  // directions of both sockets and the recv->loop->send chain.
+  pair.env_b->transport().register_endpoint(
+      HostId(2), [&](HostId from, const net::MessagePtr& msg) {
+        const auto& ping = static_cast<const proto::HeartbeatPing&>(*msg);
+        pair.env_b->transport().send(
+            HostId(2), from,
+            net::make_message<proto::HeartbeatPong>(ping.app, ping.seq));
+      });
+  pair.env_a->transport().register_endpoint(
+      HostId(1), [&](HostId, const net::MessagePtr& msg) {
+        if (static_cast<const proto::HeartbeatPong&>(*msg).seq == 5) {
+          replies.fetch_add(1);
+        }
+      });
+  pair.env_a->run_sync([&] {
+    pair.env_a->transport().send(
+        HostId(1), HostId(2),
+        net::make_message<proto::HeartbeatPing>(AppId(1), 5));
+  });
+  ASSERT_TRUE(eventually([&] { return replies.load() == 1; }));
+}
+
+TEST(UdpTransport, BlockInboundFromDropsOneDirectionOnly) {
+  Pair pair;
+  std::atomic<int> at_b{0};
+  std::atomic<int> at_a{0};
+  pair.env_b->transport().register_endpoint(
+      HostId(2),
+      [&](HostId, const net::MessagePtr&) { at_b.fetch_add(1); });
+  pair.env_a->transport().register_endpoint(
+      HostId(1),
+      [&](HostId, const net::MessagePtr&) { at_a.fetch_add(1); });
+
+  const std::uint64_t blocked_before = drop_count("blocked");
+  pair.b->block_inbound_from(HostId(1), true);
+  pair.env_a->run_sync([&] {
+    pair.env_a->transport().send(
+        HostId(1), HostId(2),
+        net::make_message<proto::HeartbeatPing>(AppId(1), 1));
+  });
+  // The blocked frame still arrives at B's socket and is counted there.
+  ASSERT_TRUE(
+      eventually([&] { return drop_count("blocked") > blocked_before; }));
+  EXPECT_EQ(at_b.load(), 0);
+
+  // The reverse direction is unaffected: a one-way partition, not a cut link.
+  pair.env_b->run_sync([&] {
+    pair.env_b->transport().send(
+        HostId(2), HostId(1),
+        net::make_message<proto::HeartbeatPong>(AppId(1), 2));
+  });
+  ASSERT_TRUE(eventually([&] { return at_a.load() == 1; }));
+
+  pair.b->block_inbound_from(HostId(1), false);
+  pair.env_a->run_sync([&] {
+    pair.env_a->transport().send(
+        HostId(1), HostId(2),
+        net::make_message<proto::HeartbeatPing>(AppId(1), 3));
+  });
+  ASSERT_TRUE(eventually([&] { return at_b.load() == 1; }));
+}
+
+TEST(UdpTransport, SendPathDropReasonsAreCounted) {
+  Pair pair;
+  pair.env_a->transport().register_endpoint(
+      HostId(1), [](HostId, const net::MessagePtr&) {});
+
+  // No route for the destination id.
+  const std::uint64_t unknown_before = drop_count("unknown_dest");
+  pair.env_a->run_sync([&] {
+    pair.env_a->transport().send(
+        HostId(1), HostId(77),
+        net::make_message<proto::HeartbeatPing>(AppId(1), 1));
+  });
+  EXPECT_EQ(drop_count("unknown_dest"), unknown_before + 1);
+
+  // Sending from an id that never attached (or is marked down).
+  const std::uint64_t down_before = drop_count("endpoint_down");
+  pair.env_a->run_sync([&] {
+    pair.env_a->transport().send(
+        HostId(99), HostId(2),
+        net::make_message<proto::HeartbeatPing>(AppId(1), 1));
+  });
+  EXPECT_EQ(drop_count("endpoint_down"), down_before + 1);
+
+  // A payload that cannot fit one datagram.
+  const std::uint64_t oversize_before = drop_count("oversize");
+  pair.env_a->run_sync([&] {
+    pair.env_a->transport().send(
+        HostId(1), HostId(2),
+        net::make_message<proto::InvokeRequest>(
+            AppId(1), UserId(2), 3, 4, auth::Signature{5},
+            std::string(net::kMaxFrameSize, 'x'), 6));
+  });
+  EXPECT_EQ(drop_count("oversize"), oversize_before + 1);
+}
+
+TEST(UdpTransport, DownEndpointDropsInboundDeliveries) {
+  Pair pair;
+  std::atomic<int> at_b{0};
+  pair.env_b->transport().register_endpoint(
+      HostId(2),
+      [&](HostId, const net::MessagePtr&) { at_b.fetch_add(1); });
+  pair.env_a->transport().register_endpoint(
+      HostId(1), [](HostId, const net::MessagePtr&) {});
+
+  const std::uint64_t down_before = drop_count("endpoint_down");
+  pair.env_b->transport().set_endpoint_down(HostId(2), true);
+  pair.env_a->run_sync([&] {
+    pair.env_a->transport().send(
+        HostId(1), HostId(2),
+        net::make_message<proto::HeartbeatPing>(AppId(1), 1));
+  });
+  ASSERT_TRUE(
+      eventually([&] { return drop_count("endpoint_down") > down_before; }));
+  EXPECT_EQ(at_b.load(), 0);
+
+  pair.env_b->transport().set_endpoint_down(HostId(2), false);
+  pair.env_a->run_sync([&] {
+    pair.env_a->transport().send(
+        HostId(1), HostId(2),
+        net::make_message<proto::HeartbeatPing>(AppId(1), 2));
+  });
+  ASSERT_TRUE(eventually([&] { return at_b.load() == 1; }));
+}
+
+// ------------------------------------------------------------- Topology
+
+TEST(Topology, ParsesEntriesAndComments) {
+  std::istringstream in(
+      "# deployment of three\n"
+      "0 127.0.0.1:9000\n"
+      "\n"
+      "100 node-a.example:9001   # app host\n"
+      "9000 127.0.0.1:9002\n");
+  std::string error;
+  const auto topo = Topology::parse(in, &error);
+  ASSERT_TRUE(topo.has_value()) << error;
+  EXPECT_EQ(topo->size(), 3u);
+  ASSERT_NE(topo->find(HostId(100)), nullptr);
+  EXPECT_EQ(topo->find(HostId(100))->host, "node-a.example");
+  EXPECT_EQ(topo->find(HostId(100))->port, 9001);
+  EXPECT_EQ(topo->find(HostId(5)), nullptr);
+}
+
+TEST(Topology, SerializeRoundTrips) {
+  Topology topo;
+  topo.add(HostId(3), NodeAddress{"127.0.0.1", 1234});
+  topo.add(HostId(1), NodeAddress{"example.org", 80});
+  std::istringstream in(topo.serialize());
+  std::string error;
+  const auto again = Topology::parse(in, &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->entries(), topo.entries());
+}
+
+TEST(Topology, RejectsMalformedLines) {
+  const char* bad_inputs[] = {
+      "not-a-number 127.0.0.1:1\n",  // unparseable id
+      "1 127.0.0.1\n",               // missing port
+      "1 127.0.0.1:99999\n",         // port out of range
+      "1 :5\n",                      // empty host
+      "1 127.0.0.1:5 trailing\n",    // trailing non-comment text
+      "1 127.0.0.1:5\n1 127.0.0.1:6\n",  // duplicate id
+  };
+  for (const char* text : bad_inputs) {
+    std::istringstream in(text);
+    std::string error;
+    EXPECT_FALSE(Topology::parse(in, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(Topology, ParseNodeAddress) {
+  const auto ok = parse_node_address("10.1.2.3:8080");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->host, "10.1.2.3");
+  EXPECT_EQ(ok->port, 8080);
+  EXPECT_FALSE(parse_node_address("nocolon").has_value());
+  EXPECT_FALSE(parse_node_address(":80").has_value());
+  EXPECT_FALSE(parse_node_address("h:").has_value());
+  EXPECT_FALSE(parse_node_address("h:65536").has_value());
+  EXPECT_FALSE(parse_node_address("h:12x").has_value());
+}
+
+TEST(UdpTransport, CreateRejectsBadOptions) {
+  proto::register_wire_messages();
+  {
+    EnvOptions opts;
+    opts.listen = "not-an-address";
+    std::string error;
+    EXPECT_EQ(UdpTransport::create(opts, &error), nullptr);
+    EXPECT_FALSE(error.empty());
+  }
+  {
+    EnvOptions opts;
+    opts.listen = "127.0.0.1:0";
+    opts.topology_path = "/nonexistent/topology.txt";
+    std::string error;
+    EXPECT_EQ(UdpTransport::create(opts, &error), nullptr);
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(UdpTransport, ShutdownIsIdempotentAndStopsEnvs) {
+  auto t = make_transport();
+  auto env = std::make_unique<ThreadedEnv>(*t);
+  env->transport().register_endpoint(HostId(1),
+                                     [](HostId, const net::MessagePtr&) {});
+  t->shutdown();
+  t->shutdown();  // second call must be a no-op
+  // The env was stopped by shutdown(); destroying it after must not hang.
+  env.reset();
+}
+
+}  // namespace
+}  // namespace wan::runtime

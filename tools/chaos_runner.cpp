@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "chaos/engine.hpp"
+#include "cli.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -44,6 +45,7 @@ namespace {
 
 using wan::chaos::ChaosOptions;
 using wan::chaos::ChaosResult;
+using wan::cli::parse_u64;
 
 struct Options {
   std::uint64_t seeds = 100;
@@ -65,143 +67,132 @@ struct Options {
   std::string metrics_path;  // --metrics PATH: Prometheus dump on exit
 };
 
-void usage(const char* argv0) {
-  std::printf(
-      "usage: %s [--seeds N] [--seed-base B] [--threads T]\n"
-      "          [--replay SEED] [--only-events i,j,...] [--trace] [--shrink]\n"
-      "          [--max-seconds S] [--horizon-minutes M]\n"
-      "          [--byzantine N] [--asymmetric] [--json PATH]\n"
-      "\n"
-      "  --seeds N            sweep seeds B..B+N-1 (default 100)\n"
-      "  --seed-base B        first seed of the sweep (default 1)\n"
-      "  --threads T          worker threads (default: hardware concurrency)\n"
-      "  --replay SEED        run exactly one seed and report it in detail\n"
-      "  --only-events i,j    inject only these fault-schedule indices\n"
-      "  --trace [FILE]       print per-fault and per-violation trace lines;\n"
-      "                       with FILE, also write causal spans as Chrome\n"
-      "                       trace_event JSON and report empirical Te\n"
-      "  --metrics PATH       dump the metrics registry (Prometheus text)\n"
-      "                       to PATH on exit\n"
-      "  --shrink             on a failing replay, minimize the fault schedule\n"
-      "  --max-seconds S      stop launching new seeds after S wall seconds\n"
-      "  --horizon-minutes M  simulated minutes of chaos per seed (default 8)\n"
-      "  --byzantine N        inject up to N lying managers per run\n"
-      "  --asymmetric         inject one-way link cuts\n"
-      "  --json PATH          write a machine-readable sweep summary to PATH\n"
-      "  --log LEVEL          protocol log (trace|debug|info); replay only\n"
-      "  SEED                 bare integer: shorthand for --replay SEED\n",
-      argv0);
-}
-
-bool parse_u64(const char* s, std::uint64_t* out) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s, &end, 10);
-  if (end == s || *end != '\0') return false;
-  *out = v;
-  return true;
-}
-
+/// Registers every flag on the shared parser. Returns false (error already
+/// printed) on a bad command line.
 bool parse_args(int argc, char** argv, Options* opt) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    const auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (a == "--help" || a == "-h") {
-      usage(argv[0]);
-      std::exit(0);
-    } else if (a == "--seeds") {
-      const char* v = next();
-      if (v == nullptr || !parse_u64(v, &opt->seeds) || opt->seeds == 0)
-        return false;
-    } else if (a == "--seed-base") {
-      const char* v = next();
-      if (v == nullptr || !parse_u64(v, &opt->seed_base)) return false;
-    } else if (a == "--threads") {
-      std::uint64_t t = 0;
-      const char* v = next();
-      if (v == nullptr || !parse_u64(v, &t) || t == 0) return false;
-      opt->threads = static_cast<unsigned>(t);
-    } else if (a == "--replay") {
-      const char* v = next();
-      if (v == nullptr || !parse_u64(v, &opt->replay_seed)) return false;
-      opt->replay = true;
-    } else if (a == "--only-events") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt->restrict_events = true;
-      if (std::string(v) != "none") {  // "none" = inject no faults at all
-        std::string item;
-        for (const char* p = v;; ++p) {
-          if (*p == ',' || *p == '\0') {
-            if (!item.empty()) {
-              std::uint64_t idx = 0;
-              if (!parse_u64(item.c_str(), &idx)) {
-                std::fprintf(stderr, "bad event index: %s\n", item.c_str());
-                return false;
-              }
-              opt->only_events.push_back(static_cast<int>(idx));
-            }
-            item.clear();
-            if (*p == '\0') break;
-          } else {
-            item.push_back(*p);
-          }
-        }
-      }
-    } else if (a == "--trace") {
-      opt->trace = true;
-      // Optional FILE operand: anything that is not a flag and not a bare
-      // integer (a bare integer is the positional replay seed).
-      if (i + 1 < argc && argv[i + 1][0] != '-') {
+  wan::cli::Parser cli(
+      "chaos_runner",
+      "Seed-swept fault-injection harness: each seed is an independent,\n"
+      "deterministic simulated deployment with its own fault schedule and\n"
+      "invariant oracle. Failures print a one-command repro line and are\n"
+      "double-checked for bit-identical replay before being reported.");
+  cli.add_value("--seeds", "N", "sweep seeds B..B+N-1 (default 100)",
+                [opt](const std::string& v) {
+                  return parse_u64(v, &opt->seeds) && opt->seeds != 0;
+                });
+  cli.add_value("--seed-base", "B", "first seed of the sweep (default 1)",
+                [opt](const std::string& v) {
+                  return parse_u64(v, &opt->seed_base);
+                });
+  cli.add_value("--threads", "T",
+                "worker threads (default: hardware concurrency)",
+                [opt](const std::string& v) {
+                  std::uint64_t t = 0;
+                  if (!parse_u64(v, &t) || t == 0) return false;
+                  opt->threads = static_cast<unsigned>(t);
+                  return true;
+                });
+  cli.add_value("--replay", "SEED",
+                "run exactly one seed and report it in detail",
+                [opt](const std::string& v) {
+                  opt->replay = true;
+                  return parse_u64(v, &opt->replay_seed);
+                });
+  cli.add_value("--only-events", "i,j",
+                "inject only these fault-schedule indices ('none' = no\n"
+                "faults at all)",
+                [opt](const std::string& v) {
+                  opt->restrict_events = true;
+                  if (v == "none") return true;
+                  std::string item;
+                  for (std::size_t p = 0; p <= v.size(); ++p) {
+                    if (p == v.size() || v[p] == ',') {
+                      if (!item.empty()) {
+                        std::uint64_t idx = 0;
+                        if (!parse_u64(item, &idx)) return false;
+                        opt->only_events.push_back(static_cast<int>(idx));
+                      }
+                      item.clear();
+                    } else {
+                      item.push_back(v[p]);
+                    }
+                  }
+                  return true;
+                });
+  cli.add_optional_value(
+      "--trace", "[FILE]",
+      "print per-fault and per-violation trace lines; with FILE, also\n"
+      "write causal spans as Chrome trace_event JSON and report\n"
+      "empirical Te",
+      [opt] { opt->trace = true; },
+      [opt](const std::string& v) {
+        opt->trace_path = v;
+        return true;
+      },
+      // A bare integer after --trace is the positional replay seed, not a
+      // filename.
+      [](const std::string& v) {
         std::uint64_t ignored = 0;
-        if (!parse_u64(argv[i + 1], &ignored)) opt->trace_path = argv[++i];
-      }
-    } else if (a == "--metrics") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt->metrics_path = v;
-    } else if (a == "--shrink") {
-      opt->shrink = true;
-    } else if (a == "--max-seconds") {
-      std::uint64_t s = 0;
-      const char* v = next();
-      if (v == nullptr || !parse_u64(v, &s)) return false;
-      opt->max_seconds = static_cast<long>(s);
-    } else if (a == "--horizon-minutes") {
-      std::uint64_t m = 0;
-      const char* v = next();
-      if (v == nullptr || !parse_u64(v, &m) || m == 0) return false;
-      opt->horizon_minutes = static_cast<long>(m);
-    } else if (a == "--byzantine") {
-      std::uint64_t n = 0;
-      const char* v = next();
-      if (v == nullptr || !parse_u64(v, &n) || n == 0) return false;
-      opt->byzantine = static_cast<int>(n);
-    } else if (a == "--asymmetric") {
-      opt->asymmetric = true;
-    } else if (a == "--json") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt->json_path = v;
-    } else if (a == "--log") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt->log_level = v;
-      if (opt->log_level != "trace" && opt->log_level != "debug" &&
-          opt->log_level != "info") {
-        std::fprintf(stderr, "unknown log level: %s\n", v);
-        return false;
-      }
-    } else if (!a.empty() && a[0] != '-' &&
-               parse_u64(a.c_str(), &opt->replay_seed)) {
-      opt->replay = true;  // bare positional integer = --replay SEED
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
-      return false;
-    }
-  }
-  return true;
+        return !v.empty() && v[0] != '-' && !parse_u64(v, &ignored);
+      });
+  cli.add_string("--metrics", "PATH",
+                 "dump the metrics registry (Prometheus text) to PATH on exit",
+                 &opt->metrics_path);
+  cli.add_flag("--shrink",
+               "on a failing replay, minimize the fault schedule",
+               &opt->shrink);
+  cli.add_value("--max-seconds", "S",
+                "stop launching new seeds after S wall seconds",
+                [opt](const std::string& v) {
+                  std::uint64_t s = 0;
+                  if (!parse_u64(v, &s)) return false;
+                  opt->max_seconds = static_cast<long>(s);
+                  return true;
+                });
+  cli.add_value("--horizon-minutes", "M",
+                "simulated minutes of chaos per seed (default 8)",
+                [opt](const std::string& v) {
+                  std::uint64_t m = 0;
+                  if (!parse_u64(v, &m) || m == 0) return false;
+                  opt->horizon_minutes = static_cast<long>(m);
+                  return true;
+                });
+  cli.add_value("--byzantine", "N",
+                "inject up to N lying managers per run",
+                [opt](const std::string& v) {
+                  std::uint64_t n = 0;
+                  if (!parse_u64(v, &n) || n == 0) return false;
+                  opt->byzantine = static_cast<int>(n);
+                  return true;
+                });
+  cli.add_flag("--asymmetric", "inject one-way link cuts", &opt->asymmetric);
+  cli.add_string("--json", "PATH",
+                 "write a machine-readable sweep summary to PATH",
+                 &opt->json_path);
+  cli.add_value("--log", "LEVEL",
+                "protocol log (trace|debug|info); replay only",
+                [opt](const std::string& v) {
+                  opt->log_level = v;
+                  return v == "trace" || v == "debug" || v == "info";
+                });
+  cli.set_positional(
+      "SEED", "bare integer: shorthand for --replay SEED",
+      [opt, seen = false](const std::string& v) mutable {
+        // A second positional used to silently overwrite the first; now it
+        // is a hard error.
+        if (seen || opt->replay) {
+          std::fprintf(stderr,
+                       "chaos_runner: replay seed already given; "
+                       "unexpected extra argument: %s\n",
+                       v.c_str());
+          return false;
+        }
+        if (!parse_u64(v, &opt->replay_seed)) return false;
+        seen = true;
+        opt->replay = true;
+        return true;
+      });
+  return cli.parse(argc, argv);
 }
 
 ChaosOptions to_chaos_options(const Options& opt, std::uint64_t seed) {
@@ -553,9 +544,6 @@ int run_sweep(const Options& opt) {
 
 int main(int argc, char** argv) {
   Options opt;
-  if (!parse_args(argc, argv, &opt)) {
-    usage(argv[0]);
-    return 2;
-  }
+  if (!parse_args(argc, argv, &opt)) return 2;
   return opt.replay ? run_replay(opt) : run_sweep(opt);
 }

@@ -1,0 +1,239 @@
+// Shared command-line parsing for the tools/ binaries.
+//
+// Every tool used to hand-roll its own argv loop, and they drifted: one
+// accepted `--flag value` only, another silently ignored a second positional,
+// help text was maintained by hand next to (not generated from) the parser.
+// This header gives them one flag registry:
+//
+//   cli::Parser cli("wan_node", "one-line summary");
+//   cli.add_flag("--verbose", "chatty progress output", &verbose);
+//   cli.add_value("--te-ms", "N", "revocation bound", [&](const std::string& v) {
+//     return cli::parse_int(v, &te_ms) && te_ms > 0;
+//   });
+//   if (!cli.parse(argc, argv)) return 2;   // error already printed
+//
+// `--help` / `-h` is automatic and generated from the registrations, so the
+// usage text cannot drift from what the parser accepts. Unrecognized flags
+// and unexpected positionals are hard errors — a typo fails loudly instead
+// of being skipped.
+//
+// Optional-operand flags (`--metrics [FILE]`, `--trace [FILE]`) are
+// supported via an accept predicate that decides whether the *next* argv
+// element belongs to the flag; the default predicate takes anything that
+// does not start with '-'.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wan::cli {
+
+/// Strict unsigned decimal parse (whole string, no sign, no whitespace).
+inline bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~0ull - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+inline bool parse_int(const std::string& text, int* out) {
+  const bool negative = !text.empty() && text[0] == '-';
+  std::uint64_t magnitude = 0;
+  if (!parse_u64(negative ? text.substr(1) : text, &magnitude)) return false;
+  if (magnitude > 0x7FFFFFFFull) return false;
+  *out = negative ? -static_cast<int>(magnitude) : static_cast<int>(magnitude);
+  return true;
+}
+
+class Parser {
+ public:
+  using ValueFn = std::function<bool(const std::string&)>;
+  using AcceptFn = std::function<bool(const std::string&)>;
+
+  Parser(std::string prog, std::string summary)
+      : prog_(std::move(prog)), summary_(std::move(summary)) {}
+
+  /// Boolean switch: present -> *out = true.
+  void add_flag(const std::string& name, std::string help, bool* out) {
+    Spec spec;
+    spec.help = std::move(help);
+    spec.parse = [out](const std::string&) {
+      *out = true;
+      return true;
+    };
+    add(name, std::move(spec));
+  }
+
+  /// Flag with a required operand; `parse` validates and stores it.
+  void add_value(const std::string& name, std::string meta, std::string help,
+                 ValueFn parse) {
+    Spec spec;
+    spec.help = std::move(help);
+    spec.meta = std::move(meta);
+    spec.parse = std::move(parse);
+    spec.arity = Arity::kRequired;
+    add(name, std::move(spec));
+  }
+
+  /// Required-operand convenience for plain strings.
+  void add_string(const std::string& name, std::string meta, std::string help,
+                  std::string* out) {
+    add_value(name, std::move(meta), std::move(help),
+              [out](const std::string& v) {
+                *out = v;
+                return true;
+              });
+  }
+
+  /// Flag with an optional operand. `on_present` runs when the flag is seen
+  /// (operand or not); `parse` runs only when an operand is consumed.
+  /// `accept` decides whether the next argv element is this flag's operand
+  /// (default: anything not starting with '-').
+  void add_optional_value(const std::string& name, std::string meta,
+                          std::string help, std::function<void()> on_present,
+                          ValueFn parse, AcceptFn accept = {}) {
+    Spec spec;
+    spec.help = std::move(help);
+    spec.meta = std::move(meta);
+    spec.parse = std::move(parse);
+    spec.arity = Arity::kOptional;
+    spec.on_present = std::move(on_present);
+    spec.accept = accept ? std::move(accept) : [](const std::string& v) {
+      return !v.empty() && v[0] != '-';
+    };
+    add(name, std::move(spec));
+  }
+
+  /// Handler for positional (non-flag) arguments. Return false to reject
+  /// (parse() then fails with the handler's complaint already printed, or a
+  /// generic one). Without a handler every positional is an error.
+  void set_positional(std::string meta, std::string help, ValueFn handle) {
+    positional_meta_ = std::move(meta);
+    positional_help_ = std::move(help);
+    positional_ = std::move(handle);
+  }
+
+  /// Free-form text appended to --help (examples, file formats).
+  void add_epilog(std::string text) { epilog_ += std::move(text); }
+
+  /// Parses argv. On --help prints usage and exits 0. On error prints a
+  /// complaint plus a pointer to --help and returns false.
+  [[nodiscard]] bool parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--help" || a == "-h") {
+        print_usage(stdout);
+        std::exit(0);
+      }
+      const auto it = specs_.find(a);
+      if (it == specs_.end()) {
+        if (!a.empty() && a[0] == '-') {
+          return complain("unknown flag: " + a);
+        }
+        if (!positional_) {
+          return complain("unexpected argument: " + a);
+        }
+        if (!positional_(a)) {
+          return complain("bad argument: " + a);
+        }
+        continue;
+      }
+      Spec& spec = it->second;
+      if (spec.on_present) spec.on_present();
+      switch (spec.arity) {
+        case Arity::kNone:
+          if (!spec.parse(a)) return complain("bad flag: " + a);
+          break;
+        case Arity::kRequired:
+          if (i + 1 >= argc) {
+            return complain(a + " needs a " + spec.meta + " operand");
+          }
+          if (!spec.parse(argv[++i])) {
+            return complain("bad " + a + " operand: " + argv[i]);
+          }
+          break;
+        case Arity::kOptional:
+          if (i + 1 < argc && spec.accept(argv[i + 1])) {
+            if (!spec.parse(argv[++i])) {
+              return complain("bad " + a + " operand: " + argv[i]);
+            }
+          }
+          break;
+      }
+    }
+    return true;
+  }
+
+  void print_usage(std::FILE* out) const {
+    std::fprintf(out, "usage: %s [flags]%s\n%s\n\nflags:\n", prog_.c_str(),
+                 positional_ ? (" [" + positional_meta_ + "]").c_str() : "",
+                 summary_.c_str());
+    for (const auto& [name, spec] : specs_) {
+      print_item(out, spec.meta.empty() ? name : name + " " + spec.meta,
+                 spec.help);
+    }
+    if (positional_) print_item(out, positional_meta_, positional_help_);
+    print_item(out, "--help, -h", "print this help and exit");
+    if (!epilog_.empty()) std::fprintf(out, "\n%s", epilog_.c_str());
+  }
+
+ private:
+  enum class Arity { kNone, kRequired, kOptional };
+  struct Spec {
+    std::string help;
+    std::string meta;
+    ValueFn parse;
+    Arity arity = Arity::kNone;
+    std::function<void()> on_present;
+    AcceptFn accept;
+  };
+
+  void add(const std::string& name, Spec spec) {
+    specs_.emplace(name, std::move(spec));
+  }
+
+  bool complain(const std::string& what) const {
+    std::fprintf(stderr, "%s: %s (try --help)\n", prog_.c_str(), what.c_str());
+    return false;
+  }
+
+  static void print_item(std::FILE* out, const std::string& head,
+                         const std::string& help) {
+    // Help strings may be multi-line; continuation lines align with the
+    // first line's help column.
+    std::size_t start = 0;
+    bool first = true;
+    while (start <= help.size()) {
+      const std::size_t nl = help.find('\n', start);
+      const std::string line = nl == std::string::npos
+                                   ? help.substr(start)
+                                   : help.substr(start, nl - start);
+      std::fprintf(out, "  %-24s %s\n", first ? head.c_str() : "",
+                   line.c_str());
+      first = false;
+      if (nl == std::string::npos) break;
+      start = nl + 1;
+    }
+  }
+
+  const std::string prog_;
+  const std::string summary_;
+  std::map<std::string, Spec> specs_;  ///< ordered -> stable --help output
+  std::string positional_meta_;
+  std::string positional_help_;
+  ValueFn positional_;
+  std::string epilog_;
+};
+
+}  // namespace wan::cli

@@ -1,48 +1,83 @@
 // wan_node: runs the protocol on the threaded runtime, in real time.
 //
 // The simulator proves the protocol's logic; this tool proves the runtime
-// seam — the same proto/ modules, byte for byte, driven by OS threads, a
-// steady clock, and an in-process loopback fabric instead of the
-// discrete-event scheduler.
+// seam — the same proto/ modules, byte for byte, driven by OS threads and a
+// steady clock. Three modes:
 //
 //   wan_node --realtime [--te-ms N] [--delay-us N] [--verbose]
 //            [--metrics [FILE]]
+//       All 8 nodes in one process over the in-process loopback fabric
+//       (the PR 3 smoke, unchanged).
+//
+//   wan_node --role manager|host|agent --id N --topology FILE
+//            [--listen ADDR] [--te-ms N] [--verbose]
+//       ONE node of a multi-process deployment over real UDP sockets. Every
+//       process loads the same topology file (HostId -> host:port); frames
+//       travel through the versioned wire codec (docs/WIRE_FORMAT.md). Each
+//       role follows a fixed timer script (below) so that 8 independent
+//       processes re-enact the revocation worst case with no coordination
+//       channel beyond the sockets themselves.
+//
+//   wan_node --udp-smoke [--te-ms N] [--verbose]
+//       Orchestrator: picks 8 free localhost ports, writes a topology file,
+//       spawns the 8 node processes (3 managers, 4 hosts, 1 agent) from this
+//       same binary, collects their stdout, and asserts the Te bound across
+//       process boundaries. This is what CI runs.
+//
+// The multi-process script (offsets from each process's start; spawn skew is
+// tens of ms, the gaps are hundreds):
+//
+//   +500 ms   manager 0 grants the user             (prints GRANT_OK_US)
+//   +1200 ms  agent starts invoking via the cut host, repeatedly
+//   +3000 ms  the cut host blocks inbound from all managers — revocations
+//             and query replies can no longer reach it, but its cache was
+//             refreshed moments ago (the paper's worst case: a partition
+//             landing right after a grant confirmation)
+//   +3200 ms  manager 1 revokes                     (prints REVOKE_QUORUM_US)
+//   ...       agent keeps invoking; allows come only from the cut host's
+//             cache, which must expire within te. First deny after the
+//             revoke instant ends the poll            (prints LAST_ALLOW_US)
+//
+// Timestamps are system-clock microseconds — comparable across processes on
+// one machine — so the orchestrator checks LAST_ALLOW_US - REVOKE_QUORUM_US
+// <= Te without any cross-process clock protocol.
 //
 // --metrics exports the process-wide metrics registry in Prometheus text
 // format: with FILE, a background thread rewrites the file twice a second
 // while the smoke runs (tail -f it, or point a node_exporter textfile
 // collector at it) and once more on exit; without FILE, the registry is
 // printed to stdout on exit.
-//
-// The --realtime smoke deploys 3 managers + 4 application hosts + 1 user
-// agent (each on its own ThreadedEnv loop thread), then:
-//
-//   1. grants a user and checks access at every host (cache warm-up),
-//   2. invokes the application end-to-end through the user agent,
-//   3. cuts one host off from all inbound traffic (so revoke notifications
-//      cannot reach it — the paper's worst case, §3.2),
-//   4. revokes the user and polls the cut host until it denies,
-//   5. verifies against the WALL CLOCK that no access was allowed more than
-//      Te after the revocation's quorum instant.
-//
-// Exit code 0 iff every step behaved and the Te bound held in real time.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cli.hpp"
 #include "obs/metrics.hpp"
 #include "proto/host.hpp"
 #include "proto/user_agent.hpp"
+#include "proto/wire.hpp"
 #include "runtime/threaded_env.hpp"
+#include "runtime/udp_transport.hpp"
 
 namespace wan {
 namespace {
@@ -51,24 +86,70 @@ using Clock = std::chrono::steady_clock;
 
 struct Options {
   bool realtime = false;
+  bool udp_smoke = false;
+  std::string role;      ///< manager|host|agent (multi-process mode)
+  std::uint32_t id = 0;  ///< HostId in the topology (multi-process mode)
+  bool id_set = false;
+  std::string listen;    ///< bind override (default: the topology entry)
+  std::string topology;  ///< topology file path
   int te_ms = 2000;      ///< revocation bound Te (small: this runs wall-clock)
-  int delay_us = 1000;   ///< loopback fabric one-way delay
+  int delay_us = 1000;   ///< loopback fabric one-way delay (--realtime only)
   bool verbose = false;
   bool metrics = false;      ///< export the metrics registry
   std::string metrics_path;  ///< with --metrics: live file (empty = stdout)
 };
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: wan_node --realtime [--te-ms N] [--delay-us N] "
-               "[--verbose] [--metrics [FILE]]\n"
-               "  Threaded-runtime smoke: 3 managers + 4 hosts + 1 user agent\n"
-               "  on real threads; verifies the Te revocation bound against\n"
-               "  the wall clock. See docs/ARCHITECTURE.md.\n"
-               "  --metrics FILE rewrites FILE (Prometheus text) twice a\n"
-               "  second while running and once on exit; without FILE the\n"
-               "  registry is printed to stdout on exit.\n");
-  return 2;
+// The fixed 8-node deployment every mode runs.
+constexpr std::uint32_t kManagerIds[] = {0, 1, 2};
+constexpr std::uint32_t kHostIds[] = {100, 101, 102, 103};
+constexpr std::uint32_t kAgentId = 9000;
+constexpr std::uint32_t kCutHostId = 103;
+constexpr int kManagers = 3;
+constexpr int kHosts = 4;
+
+// Multi-process script offsets (ms from each process's start).
+constexpr int kGrantAtMs = 500;
+constexpr int kAgentPollStartMs = 1200;
+constexpr int kBlockAtMs = 3000;
+constexpr int kRevokeAtMs = 3200;
+
+/// How long a node process serves before exiting cleanly: the script plus
+/// three Te periods for the cache to expire plus slack for slow CI machines.
+int node_lifetime_ms(int te_ms) { return kRevokeAtMs + 3 * te_ms + 2000; }
+
+std::int64_t system_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+void sleep_until_offset(Clock::time_point t0, int offset_ms) {
+  std::this_thread::sleep_until(t0 + std::chrono::milliseconds(offset_ms));
+}
+
+/// The protocol knobs every node of a deployment must agree on.
+proto::ProtocolConfig make_config(int te_ms) {
+  proto::ProtocolConfig config;
+  config.check_quorum = 2;
+  config.Te = sim::Duration::millis(te_ms);
+  config.query_timeout = sim::Duration::millis(200);
+  config.max_attempts = 2;
+  config.cache_sweep_period = sim::Duration::millis(100);
+  config.update_retransmit = sim::Duration::millis(200);
+  config.revoke_retransmit = sim::Duration::millis(200);
+  config.sync_retransmit = sim::Duration::millis(200);
+  return config;
+}
+
+/// Every process derives the same user keypair from the same seed, so hosts
+/// can verify what the agent signs without any key-distribution protocol.
+auth::KeyPair shared_keypair() {
+  Rng rng{12345};
+  return auth::generate_keypair(rng);
 }
 
 bool write_metrics_file(const std::string& path) {
@@ -119,15 +200,18 @@ class MetricsExporter {
   std::thread thread_;
 };
 
-double ms_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-}
+// ---------------------------------------------------------------------------
+// --realtime: the single-process loopback smoke (PR 3), unchanged in spirit.
 
 struct Smoke {
+  static runtime::EnvOptions loopback_options(int delay_us) {
+    runtime::EnvOptions eopts;
+    eopts.delay = sim::Duration::micros(delay_us);
+    return eopts;
+  }
+
   explicit Smoke(const Options& opt)
-      : opt_(opt),
-        fabric_(runtime::LoopbackFabric::Config{
-            sim::Duration::micros(opt.delay_us), sim::Duration{}, 0.0, 1}) {}
+      : opt_(opt), fabric_(loopback_options(opt.delay_us)) {}
 
   int run() {
     build();
@@ -141,23 +225,14 @@ struct Smoke {
   }
 
  private:
-  static constexpr int kManagers = 3;
-  static constexpr int kHosts = 4;
   const AppId app_{1};
   const UserId alice_{7};
 
   void build() {
-    config_.check_quorum = 2;
-    config_.Te = sim::Duration::millis(opt_.te_ms);
-    config_.query_timeout = sim::Duration::millis(200);
-    config_.max_attempts = 2;
-    config_.cache_sweep_period = sim::Duration::millis(100);
-    config_.update_retransmit = sim::Duration::millis(200);
-    config_.revoke_retransmit = sim::Duration::millis(200);
-    config_.sync_retransmit = sim::Duration::millis(200);
+    config_ = make_config(opt_.te_ms);
 
-    for (std::uint32_t i = 0; i < kManagers; ++i) manager_ids_.push_back(HostId(i));
-    for (std::uint32_t i = 0; i < kHosts; ++i) host_ids_.push_back(HostId(100 + i));
+    for (const std::uint32_t id : kManagerIds) manager_ids_.push_back(HostId(id));
+    for (const std::uint32_t id : kHostIds) host_ids_.push_back(HostId(id));
 
     for (int i = 0; i < kManagers + kHosts + 1; ++i) {
       envs_.push_back(std::make_unique<runtime::ThreadedEnv>(fabric_));
@@ -174,7 +249,7 @@ struct Smoke {
       });
     }
 
-    const auth::KeyPair kp = auth::generate_keypair(rng_);
+    const auth::KeyPair kp = shared_keypair();
     keys_.register_user(alice_, kp.public_key);
     for (int i = 0; i < kHosts; ++i) {
       auto& env = *envs_[static_cast<std::size_t>(kManagers + i)];
@@ -188,16 +263,16 @@ struct Smoke {
     }
 
     auto& agent_env = *envs_.back();
-    agent_ = std::make_unique<proto::UserAgent>(HostId(9000), alice_, kp,
+    agent_ = std::make_unique<proto::UserAgent>(HostId(kAgentId), alice_, kp,
                                                 agent_env,
                                                 proto::UserAgent::Config{});
     agent_env.transport().register_endpoint(
-        HostId(9000), [this](HostId from, const net::MessagePtr& msg) {
+        HostId(kAgentId), [this](HostId from, const net::MessagePtr& msg) {
           agent_->on_message(from, msg);
         });
   }
 
-  // Runs `fn` on node `idx`'s loop and waits for `done` to flip true.
+  // Polls `pred` until it holds or `timeout_ms` of wall clock elapses.
   bool await(const std::function<bool()>& pred, int timeout_ms = 10000) {
     const auto deadline =
         Clock::now() + std::chrono::milliseconds(timeout_ms);
@@ -225,7 +300,7 @@ struct Smoke {
     });
   }
 
-  // Returns the decision's allowed bit, or nullopt-like -1 on timeout.
+  // Returns the decision's allowed bit, or -1 on timeout.
   int check(int host) {
     std::mutex mu;
     bool done = false;
@@ -345,7 +420,6 @@ struct Smoke {
   proto::ProtocolConfig config_;
   ns::NameService names_;
   auth::KeyRegistry keys_;
-  Rng rng_{12345};
   std::vector<HostId> manager_ids_;
   std::vector<HostId> host_ids_;
   std::vector<std::unique_ptr<runtime::ThreadedEnv>> envs_;
@@ -354,34 +428,521 @@ struct Smoke {
   std::unique_ptr<proto::UserAgent> agent_;
 };
 
+// ---------------------------------------------------------------------------
+// --role: one node of a multi-process UDP deployment.
+
+int role_error(const std::string& what) {
+  std::fprintf(stderr, "wan_node --role: %s\n", what.c_str());
+  return 2;
+}
+
+std::unique_ptr<runtime::UdpTransport> open_transport(const Options& opt) {
+  std::string error;
+  const std::optional<runtime::Topology> topo =
+      runtime::Topology::load(opt.topology, &error);
+  if (!topo) {
+    role_error(error);
+    return nullptr;
+  }
+  runtime::EnvOptions eopts;
+  eopts.topology_path = opt.topology;
+  if (!opt.listen.empty()) {
+    eopts.listen = opt.listen;
+  } else {
+    const runtime::NodeAddress* self = topo->find(HostId(opt.id));
+    if (self == nullptr) {
+      role_error("host id " + std::to_string(opt.id) +
+                 " not in topology (and no --listen)");
+      return nullptr;
+    }
+    eopts.listen = self->to_string();
+  }
+  auto transport = runtime::UdpTransport::create(eopts, &error);
+  if (!transport) role_error(error);
+  return transport;
+}
+
+int run_manager(const Options& opt, runtime::UdpTransport& transport) {
+  const AppId app{1};
+  const UserId alice{7};
+  std::vector<HostId> manager_ids;
+  for (const std::uint32_t id : kManagerIds) manager_ids.push_back(HostId(id));
+  const proto::ProtocolConfig config = make_config(opt.te_ms);
+
+  runtime::ThreadedEnv env(transport);
+  proto::ManagerHost mgr(HostId(opt.id), env, clk::LocalClock::perfect(),
+                         config);
+  env.run_sync([&] { mgr.manager().manage_app(app, manager_ids); });
+  const Clock::time_point t0 = Clock::now();
+  std::printf("NODE_READY role=manager id=%u port=%u\n", opt.id,
+              transport.local_port());
+  std::fflush(stdout);
+
+  if (opt.id == kManagerIds[0]) {
+    sleep_until_offset(t0, kGrantAtMs);
+    env.run_sync([&] {
+      mgr.manager().submit_update(app, acl::Op::kAdd, alice, acl::Right::kUse,
+                                  [](const proto::UpdateOutcome&) {
+                                    std::printf("GRANT_OK_US %lld\n",
+                                                static_cast<long long>(
+                                                    system_us()));
+                                    std::fflush(stdout);
+                                  });
+    });
+  }
+  if (opt.id == kManagerIds[1]) {
+    sleep_until_offset(t0, kRevokeAtMs);
+    env.run_sync([&] {
+      mgr.manager().submit_update(app, acl::Op::kRevoke, alice,
+                                  acl::Right::kUse,
+                                  [](const proto::UpdateOutcome&) {
+                                    // The instant the revoke reached its
+                                    // write quorum — the Te clock starts now.
+                                    std::printf("REVOKE_QUORUM_US %lld\n",
+                                                static_cast<long long>(
+                                                    system_us()));
+                                    std::fflush(stdout);
+                                  });
+    });
+  }
+
+  sleep_until_offset(t0, node_lifetime_ms(opt.te_ms));
+  transport.shutdown();
+  return 0;
+}
+
+int run_host(const Options& opt, runtime::UdpTransport& transport) {
+  const AppId app{1};
+  std::vector<HostId> manager_ids;
+  for (const std::uint32_t id : kManagerIds) manager_ids.push_back(HostId(id));
+  const proto::ProtocolConfig config = make_config(opt.te_ms);
+
+  ns::NameService names;
+  names.set_managers(app, manager_ids);
+  auth::KeyRegistry keys;
+  keys.register_user(UserId(7), shared_keypair().public_key);
+
+  runtime::ThreadedEnv env(transport);
+  proto::AppHost host(HostId(opt.id), env, clk::LocalClock::perfect(), names,
+                      keys, config);
+  env.run_sync([&] {
+    host.controller().register_app(
+        app, [](UserId, const std::string& p) { return "ok:" + p; });
+  });
+  const Clock::time_point t0 = Clock::now();
+  std::printf("NODE_READY role=host id=%u port=%u\n", opt.id,
+              transport.local_port());
+  std::fflush(stdout);
+
+  if (opt.id == kCutHostId) {
+    sleep_until_offset(t0, kBlockAtMs);
+    // One-way partition: the agent can still invoke through this host, but
+    // nothing the managers send (RevokeNotify, QueryResponse) gets in. Only
+    // the cache's te expiry can end access — the bound under test.
+    for (const HostId m : manager_ids) transport.block_inbound_from(m, true);
+    std::printf("BLOCKED_MANAGERS_US %lld\n",
+                static_cast<long long>(system_us()));
+    std::fflush(stdout);
+  }
+
+  sleep_until_offset(t0, node_lifetime_ms(opt.te_ms));
+  transport.shutdown();
+  return 0;
+}
+
+int run_agent(const Options& opt, runtime::UdpTransport& transport) {
+  const AppId app{1};
+  const UserId alice{7};
+  const auth::KeyPair kp = shared_keypair();
+
+  runtime::ThreadedEnv env(transport);
+  proto::UserAgent agent(HostId(kAgentId), alice, kp, env,
+                         proto::UserAgent::Config{});
+  env.transport().register_endpoint(
+      HostId(kAgentId), [&](HostId from, const net::MessagePtr& msg) {
+        agent.on_message(from, msg);
+      });
+  const Clock::time_point t0 = Clock::now();
+  std::printf("NODE_READY role=agent id=%u port=%u\n", kAgentId,
+              transport.local_port());
+  std::fflush(stdout);
+
+  sleep_until_offset(t0, kAgentPollStartMs);
+
+  // Poll invocations through the cut host only: its answers are the ones the
+  // Te bound constrains once the managers are blocked away from it.
+  bool ever_allowed = false;
+  bool denied_after_revoke = false;
+  std::int64_t last_allow_us = 0;
+  const int deadline_ms = node_lifetime_ms(opt.te_ms) - 500;
+  while (ms_since(t0) < deadline_ms) {
+    std::mutex mu;
+    bool done = false;
+    bool ok = false;
+    env.run_sync([&] {
+      agent.invoke(app, {HostId(kCutHostId)}, "hello",
+                   [&](const proto::InvokeResult& r) {
+                     const std::lock_guard<std::mutex> lock(mu);
+                     ok = r.ok;
+                     done = true;
+                   });
+    });
+    const auto wait_deadline = Clock::now() + std::chrono::seconds(5);
+    while (true) {
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (done) break;
+      }
+      if (Clock::now() >= wait_deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (ok) {
+      ever_allowed = true;
+      last_allow_us = system_us();
+      if (opt.verbose) {
+        std::printf("  allow at +%.0f ms\n", ms_since(t0));
+        std::fflush(stdout);
+      }
+    } else if (ms_since(t0) > kRevokeAtMs) {
+      // Transient denies before the revoke (e.g. a query attempt racing the
+      // very first grant) are retried; a deny after it is the revocation
+      // taking effect at the cut host.
+      denied_after_revoke = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+
+  int rc = 0;
+  if (!ever_allowed) {
+    std::printf("AGENT_NEVER_ALLOWED\n");
+    rc = 1;
+  } else if (!denied_after_revoke) {
+    std::printf("AGENT_NEVER_DENIED\n");
+    rc = 1;
+  } else {
+    std::printf("LAST_ALLOW_US %lld\n", static_cast<long long>(last_allow_us));
+  }
+  std::fflush(stdout);
+  transport.shutdown();
+  return rc;
+}
+
+int run_role(const Options& opt) {
+  // Socket transports move bytes, not pointers: the wire codecs must be
+  // registered before the first frame is encoded or decoded.
+  proto::register_wire_messages();
+  auto transport = open_transport(opt);
+  if (!transport) return 2;
+  if (opt.role == "manager") return run_manager(opt, *transport);
+  if (opt.role == "host") return run_host(opt, *transport);
+  return run_agent(opt, *transport);
+}
+
+// ---------------------------------------------------------------------------
+// --udp-smoke: orchestrates the 8 node processes and asserts the Te bound.
+
+std::vector<std::uint16_t> pick_free_udp_ports(int count) {
+  // Bind all sockets before closing any, so the kernel can't hand the same
+  // ephemeral port out twice.
+  std::vector<int> fds;
+  std::vector<std::uint16_t> ports;
+  for (int i = 0; i < count; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0) break;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      break;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      ::close(fd);
+      break;
+    }
+    fds.push_back(fd);
+    ports.push_back(ntohs(addr.sin_port));
+  }
+  for (const int fd : fds) ::close(fd);
+  if (static_cast<int>(ports.size()) != count) ports.clear();
+  return ports;
+}
+
+struct ChildProc {
+  pid_t pid = -1;
+  std::string name;
+  std::string out_path;
+  int exit_code = -1;
+  bool exited = false;
+};
+
+std::optional<std::int64_t> scrape_stamp(const std::string& path,
+                                         const std::string& key) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(key + " ", 0) == 0) {
+      return std::strtoll(line.c_str() + key.size() + 1, nullptr, 10);
+    }
+  }
+  return std::nullopt;
+}
+
+void dump_child_output(const ChildProc& child) {
+  std::ifstream in(child.out_path);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::printf("  [%s] %s\n", child.name.c_str(), line.c_str());
+  }
+}
+
+int run_udp_smoke(const Options& opt, const char* argv0) {
+  const std::vector<std::uint16_t> ports = pick_free_udp_ports(8);
+  if (ports.size() != 8) {
+    std::fprintf(stderr, "wan_node --udp-smoke: cannot allocate UDP ports\n");
+    return 2;
+  }
+
+  char dir_template[] = "/tmp/wan_udp_smoke.XXXXXX";
+  const char* dir = ::mkdtemp(dir_template);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "wan_node --udp-smoke: mkdtemp failed\n");
+    return 2;
+  }
+
+  runtime::Topology topo;
+  std::vector<std::pair<std::string, std::uint32_t>> nodes;
+  for (const std::uint32_t id : kManagerIds) nodes.emplace_back("manager", id);
+  for (const std::uint32_t id : kHostIds) nodes.emplace_back("host", id);
+  nodes.emplace_back("agent", kAgentId);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    topo.add(HostId(nodes[i].second),
+             runtime::NodeAddress{"127.0.0.1", ports[i]});
+  }
+  const std::string topo_path = std::string(dir) + "/topology.txt";
+  {
+    std::ofstream out(topo_path);
+    out << topo.serialize();
+  }
+
+  std::vector<ChildProc> children;
+  for (const auto& [role, id] : nodes) {
+    ChildProc child;
+    child.name = role + "-" + std::to_string(id);
+    child.out_path = std::string(dir) + "/" + child.name + ".out";
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "wan_node --udp-smoke: fork failed\n");
+      for (const ChildProc& c : children) ::kill(c.pid, SIGKILL);
+      return 2;
+    }
+    if (pid == 0) {
+      // Child: stdout -> per-node file the parent scrapes after the run.
+      std::FILE* out = std::freopen(child.out_path.c_str(), "w", stdout);
+      if (out == nullptr) std::_Exit(3);
+      const std::string id_text = std::to_string(id);
+      const std::string te_text = std::to_string(opt.te_ms);
+      std::vector<const char*> args = {argv0,        "--role",     role.c_str(),
+                                       "--id",       id_text.c_str(),
+                                       "--topology", topo_path.c_str(),
+                                       "--te-ms",    te_text.c_str()};
+      if (opt.verbose) args.push_back("--verbose");
+      args.push_back(nullptr);
+      ::execv(argv0, const_cast<char* const*>(args.data()));
+      std::_Exit(3);  // execv only returns on failure
+    }
+    child.pid = pid;
+    children.push_back(std::move(child));
+  }
+  if (opt.verbose) {
+    std::printf("  spawned %zu node processes (topology %s)\n",
+                children.size(), topo_path.c_str());
+  }
+
+  // Wait for every child, with a hard deadline: a wedged deployment must
+  // fail the smoke, not hang CI.
+  const auto deadline =
+      Clock::now() +
+      std::chrono::milliseconds(node_lifetime_ms(opt.te_ms) + 10000);
+  std::size_t remaining = children.size();
+  while (remaining > 0 && Clock::now() < deadline) {
+    for (ChildProc& child : children) {
+      if (child.exited) continue;
+      int status = 0;
+      const pid_t r = ::waitpid(child.pid, &status, WNOHANG);
+      if (r == child.pid) {
+        child.exited = true;
+        child.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+        --remaining;
+      }
+    }
+    if (remaining > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  if (remaining > 0) {
+    std::fprintf(stderr,
+                 "wan_node --udp-smoke: FAILED — %zu process(es) still "
+                 "running at deadline; killing\n",
+                 remaining);
+    for (ChildProc& child : children) {
+      if (!child.exited) ::kill(child.pid, SIGKILL);
+      dump_child_output(child);
+    }
+    return 1;
+  }
+
+  bool all_ok = true;
+  for (const ChildProc& child : children) {
+    if (child.exit_code != 0) {
+      std::fprintf(stderr, "wan_node --udp-smoke: %s exited %d\n",
+                   child.name.c_str(), child.exit_code);
+      all_ok = false;
+    }
+  }
+  const std::optional<std::int64_t> quorum_us = scrape_stamp(
+      std::string(dir) + "/manager-1.out", "REVOKE_QUORUM_US");
+  const std::optional<std::int64_t> last_allow_us = scrape_stamp(
+      std::string(dir) + "/agent-" + std::to_string(kAgentId) + ".out",
+      "LAST_ALLOW_US");
+  if (!quorum_us) {
+    std::fprintf(stderr,
+                 "wan_node --udp-smoke: revoke never reached quorum\n");
+    all_ok = false;
+  }
+  if (!last_allow_us) {
+    std::fprintf(stderr, "wan_node --udp-smoke: agent saw no allow/deny "
+                         "transition\n");
+    all_ok = false;
+  }
+  if (!all_ok || opt.verbose) {
+    for (const ChildProc& child : children) dump_child_output(child);
+  }
+  if (!all_ok) {
+    std::fprintf(stderr, "wan_node --udp-smoke: FAILED (outputs kept in %s)\n",
+                 dir);
+    return 1;
+  }
+
+  const double over_ms =
+      static_cast<double>(*last_allow_us - *quorum_us) / 1000.0;
+  const bool held = over_ms <= static_cast<double>(opt.te_ms);
+  std::printf(
+      "wan_node --udp-smoke: Te bound across 8 processes: last allow %.1f ms "
+      "after revoke quorum (bound %d ms) — %s\n",
+      over_ms, opt.te_ms, held ? "HELD" : "VIOLATED");
+  if (!held) {
+    std::fprintf(stderr, "wan_node --udp-smoke: FAILED (outputs kept in %s)\n",
+                 dir);
+    return 1;
+  }
+
+  // Success: tidy up the scratch dir.
+  for (const ChildProc& child : children) {
+    std::remove(child.out_path.c_str());
+  }
+  std::remove(topo_path.c_str());
+  ::rmdir(dir);
+  std::printf("wan_node --udp-smoke: OK (8 processes over localhost UDP)\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace wan
 
 int main(int argc, char** argv) {
   wan::Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const char* a = argv[i];
-    if (std::strcmp(a, "--realtime") == 0) {
-      opt.realtime = true;
-    } else if (std::strcmp(a, "--verbose") == 0) {
-      opt.verbose = true;
-    } else if (std::strcmp(a, "--te-ms") == 0 && i + 1 < argc) {
-      opt.te_ms = std::atoi(argv[++i]);
-    } else if (std::strcmp(a, "--delay-us") == 0 && i + 1 < argc) {
-      opt.delay_us = std::atoi(argv[++i]);
-    } else if (std::strcmp(a, "--metrics") == 0) {
-      opt.metrics = true;
-      if (i + 1 < argc && argv[i + 1][0] != '-') opt.metrics_path = argv[++i];
-    } else {
-      return wan::usage();
-    }
+  wan::cli::Parser cli(
+      "wan_node",
+      "Runs the access-control protocol on the real-time runtime: all nodes\n"
+      "in-process over loopback (--realtime), one node of a multi-process\n"
+      "UDP deployment (--role), or the 8-process localhost UDP smoke\n"
+      "orchestrator (--udp-smoke). See docs/ARCHITECTURE.md and\n"
+      "docs/WIRE_FORMAT.md.");
+  cli.add_flag("--realtime",
+               "single-process smoke: 3 managers + 4 hosts + 1 agent on\n"
+               "loopback threads; verifies the Te bound against the wall\n"
+               "clock",
+               &opt.realtime);
+  cli.add_flag("--udp-smoke",
+               "spawn the same deployment as 8 OS processes over localhost\n"
+               "UDP sockets and verify the Te bound across them",
+               &opt.udp_smoke);
+  cli.add_value("--role", "ROLE",
+                "run one node: manager, host, or agent (needs --id and\n"
+                "--topology)",
+                [&](const std::string& v) {
+                  opt.role = v;
+                  return v == "manager" || v == "host" || v == "agent";
+                });
+  cli.add_value("--id", "N", "this node's host id in the topology",
+                [&](const std::string& v) {
+                  std::uint64_t id = 0;
+                  if (!wan::cli::parse_u64(v, &id) || id > 0xFFFFFFFEull) {
+                    return false;
+                  }
+                  opt.id = static_cast<std::uint32_t>(id);
+                  opt.id_set = true;
+                  return true;
+                });
+  cli.add_string("--listen", "ADDR",
+                 "bind address host:port (default: this node's topology\n"
+                 "entry; port 0 picks an ephemeral port)",
+                 &opt.listen);
+  cli.add_string("--topology", "FILE",
+                 "topology file: one '<host-id> <host>:<port>' per line",
+                 &opt.topology);
+  cli.add_value("--te-ms", "N", "revocation bound Te in ms (default 2000)",
+                [&](const std::string& v) {
+                  return wan::cli::parse_int(v, &opt.te_ms) && opt.te_ms > 0;
+                });
+  cli.add_value("--delay-us", "N",
+                "loopback one-way delay in us (--realtime only, default 1000)",
+                [&](const std::string& v) {
+                  return wan::cli::parse_int(v, &opt.delay_us) &&
+                         opt.delay_us >= 0;
+                });
+  cli.add_flag("--verbose", "chatty per-step progress output", &opt.verbose);
+  cli.add_optional_value(
+      "--metrics", "[FILE]",
+      "export the metrics registry (Prometheus text): with FILE, rewrite\n"
+      "it twice a second while running and once on exit; without FILE,\n"
+      "print to stdout on exit",
+      [&] { opt.metrics = true; },
+      [&](const std::string& v) {
+        opt.metrics_path = v;
+        return true;
+      });
+  if (!cli.parse(argc, argv)) return 2;
+
+  const int modes = (opt.realtime ? 1 : 0) + (opt.udp_smoke ? 1 : 0) +
+                    (opt.role.empty() ? 0 : 1);
+  if (modes != 1) {
+    std::fprintf(stderr,
+                 "wan_node: pick exactly one of --realtime, --udp-smoke, "
+                 "--role (try --help)\n");
+    return 2;
   }
-  if (!opt.realtime || opt.te_ms <= 0 || opt.delay_us < 0) return wan::usage();
+  if (!opt.role.empty() && (!opt.id_set || opt.topology.empty())) {
+    std::fprintf(stderr, "wan_node: --role needs --id and --topology\n");
+    return 2;
+  }
+
   std::unique_ptr<wan::MetricsExporter> exporter;
   if (opt.metrics && !opt.metrics_path.empty()) {
     exporter = std::make_unique<wan::MetricsExporter>(opt.metrics_path);
   }
-  const int rc = wan::Smoke(opt).run();
+  int rc = 0;
+  if (opt.realtime) {
+    rc = wan::Smoke(opt).run();
+  } else if (opt.udp_smoke) {
+    rc = wan::run_udp_smoke(opt, argv[0]);
+  } else {
+    rc = wan::run_role(opt);
+  }
   if (exporter != nullptr) exporter->stop();
   if (opt.metrics && opt.metrics_path.empty()) {
     const std::string text = wan::obs::Registry::global().prometheus_text();
