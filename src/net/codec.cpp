@@ -45,19 +45,30 @@ std::optional<WireTag> CodecRegistry::tag_of(const Message& msg) const {
 
 std::optional<std::vector<std::uint8_t>> CodecRegistry::encode(
     HostId from, HostId to, const Message& msg) const {
+  std::vector<std::uint8_t> frame;
+  if (!encode_into(from, to, msg, &frame)) return std::nullopt;
+  return frame;
+}
+
+bool CodecRegistry::encode_into(HostId from, HostId to, const Message& msg,
+                                std::vector<std::uint8_t>* out) const {
+  WAN_REQUIRE(out != nullptr);
   WireTag tag = 0;
   const EncodeFn* encode = nullptr;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     const auto it = by_type_.find(msg.type_id().value());
-    if (it == by_type_.end()) return std::nullopt;
+    if (it == by_type_.end()) {
+      out->clear();
+      return false;
+    }
     tag = it->second.tag;
     encode = &it->second.encode;
   }
   // Encoders are registered once at startup and never replaced, so calling
   // through the pointer outside the lock is safe (unordered_map never moves
   // a node) and keeps payload serialization out of the critical section.
-  WireWriter w;
+  WireWriter w(std::move(*out));
   w.u16(kWireMagic);
   w.u8(kWireVersion);
   w.u8(0);  // flags
@@ -66,13 +77,16 @@ std::optional<std::vector<std::uint8_t>> CodecRegistry::encode(
   w.host_id(to);
   w.u32(0);  // payload length, patched below
   (*encode)(msg, w);
-  std::vector<std::uint8_t> frame = w.take();
-  if (frame.size() > kMaxFrameSize) return std::nullopt;
+  *out = w.take();
+  if (out->size() > kMaxFrameSize) {
+    out->clear();
+    return false;
+  }
   const auto payload_len =
-      static_cast<std::uint32_t>(frame.size() - kWireHeaderSize);
-  std::memcpy(frame.data() + kWireHeaderSize - sizeof payload_len,
-              &payload_len, sizeof payload_len);
-  return frame;
+      static_cast<std::uint32_t>(out->size() - kWireHeaderSize);
+  std::memcpy(out->data() + kWireHeaderSize - sizeof payload_len, &payload_len,
+              sizeof payload_len);
+  return true;
 }
 
 CodecRegistry::Decoded CodecRegistry::decode(const std::uint8_t* data,

@@ -66,6 +66,14 @@ inline constexpr std::size_t kMaxFrameSize = 65507;
 /// Append-only little-endian serializer.
 class WireWriter {
  public:
+  WireWriter() = default;
+  /// Adopts `reuse`'s allocation (cleared, capacity kept) so hot encode paths
+  /// can recycle buffers instead of allocating one per frame.
+  explicit WireWriter(std::vector<std::uint8_t>&& reuse)
+      : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) { append(&v, sizeof v); }
   void u32(std::uint32_t v) { append(&v, sizeof v); }
@@ -204,6 +212,14 @@ class CodecRegistry {
   /// is unregistered or the frame would exceed kMaxFrameSize.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> encode(
       HostId from, HostId to, const Message& msg) const;
+
+  /// Same as encode(), but recycles `out`'s allocation (cleared then filled),
+  /// so steady-state hot paths — the reactor's send side — stop allocating
+  /// once buffers have grown to their working size. Returns false (leaving
+  /// *out cleared or partially written, contents unspecified) when the type
+  /// is unregistered or the frame would exceed kMaxFrameSize.
+  bool encode_into(HostId from, HostId to, const Message& msg,
+                   std::vector<std::uint8_t>* out) const;
 
   /// Decodes a full frame. Exactly one of the result fields is set.
   struct Decoded {

@@ -8,6 +8,25 @@
 
 namespace wan::runtime {
 
+const char* to_cstring(BackendKind kind) noexcept {
+  switch (kind) {
+    case BackendKind::kSim: return "sim";
+    case BackendKind::kLoopback: return "loopback";
+    case BackendKind::kUdp: return "udp";
+    case BackendKind::kReactor: return "reactor";
+  }
+  return "?";
+}
+
+bool parse_backend(const std::string& text, BackendKind* out) {
+  if (text == "sim") *out = BackendKind::kSim;
+  else if (text == "loopback") *out = BackendKind::kLoopback;
+  else if (text == "udp") *out = BackendKind::kUdp;
+  else if (text == "reactor") *out = BackendKind::kReactor;
+  else return false;
+  return true;
+}
+
 net::Network::Config to_network_config(const EnvOptions& opts) {
   WAN_REQUIRE(opts.loss >= 0.0 && opts.loss < 1.0);
   WAN_REQUIRE(!opts.delay.is_negative());

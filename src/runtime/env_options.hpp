@@ -27,7 +27,24 @@
 
 namespace wan::runtime {
 
+/// Which runtime backend a run constructs. kSim is the discrete-event
+/// simulator (an Env, not a Fabric); the other three are real-thread fabrics
+/// built by make_fabric() (runtime/backend.hpp).
+enum class BackendKind : std::uint8_t {
+  kSim,       ///< SimEnv: virtual time, single thread
+  kLoopback,  ///< LoopbackFabric: real threads, in-process delivery
+  kUdp,       ///< UdpTransport: real sockets, thread-per-direction
+  kReactor,   ///< ReactorTransport: real sockets, epoll + batched syscalls
+};
+
+/// "sim" / "loopback" / "udp" / "reactor" <-> BackendKind (for flags).
+[[nodiscard]] const char* to_cstring(BackendKind kind) noexcept;
+[[nodiscard]] bool parse_backend(const std::string& text, BackendKind* out);
+
 struct EnvOptions {
+  /// Which backend to construct (tools route on this; see make_fabric()).
+  BackendKind backend = BackendKind::kLoopback;
+
   // --- simulated-path shaping (SimEnv, LoopbackFabric) ---
   std::uint64_t seed = 1;                          ///< loss/jitter stream
   sim::Duration delay = sim::Duration::millis(1);  ///< per-datagram latency

@@ -1,0 +1,280 @@
+#include "runtime/reactor_transport.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/codec.hpp"
+#include "obs/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace wan::runtime {
+
+namespace {
+
+// Large enough that a localhost saturation bench is not limited by kernel
+// socket buffers; best effort (the kernel clamps to its sysctl ceilings).
+constexpr int kSocketBufBytes = 4 * 1024 * 1024;
+
+}  // namespace
+
+std::unique_ptr<ReactorTransport> ReactorTransport::create(
+    const EnvOptions& opts, std::string* error) {
+  // Can't use make_unique with the private constructor.
+  std::unique_ptr<ReactorTransport> t(new ReactorTransport());
+  if (!t->open_socket(opts, error)) return nullptr;
+
+  if (::fcntl(t->fd_, F_SETFL, O_NONBLOCK) != 0) {
+    if (error) *error = std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno);
+    return nullptr;
+  }
+  ::setsockopt(t->fd_, SOL_SOCKET, SO_RCVBUF, &kSocketBufBytes,
+               sizeof kSocketBufBytes);
+  ::setsockopt(t->fd_, SOL_SOCKET, SO_SNDBUF, &kSocketBufBytes,
+               sizeof kSocketBufBytes);
+
+  t->epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (t->epoll_fd_ < 0) {
+    if (error) *error = std::string("epoll_create1(): ") + std::strerror(errno);
+    return nullptr;
+  }
+  t->wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (t->wake_fd_ < 0) {
+    if (error) *error = std::string("eventfd(): ") + std::strerror(errno);
+    return nullptr;
+  }
+  epoll_event sock_ev{};
+  sock_ev.events = EPOLLIN;
+  sock_ev.data.fd = t->fd_;
+  epoll_event wake_ev{};
+  wake_ev.events = EPOLLIN;
+  wake_ev.data.fd = t->wake_fd_;
+  if (::epoll_ctl(t->epoll_fd_, EPOLL_CTL_ADD, t->fd_, &sock_ev) != 0 ||
+      ::epoll_ctl(t->epoll_fd_, EPOLL_CTL_ADD, t->wake_fd_, &wake_ev) != 0) {
+    if (error) *error = std::string("epoll_ctl(): ") + std::strerror(errno);
+    return nullptr;
+  }
+
+  t->reactor_ = std::thread([p = t.get()] { p->reactor_loop(); });
+  return t;
+}
+
+ReactorTransport::~ReactorTransport() {
+  shutdown();
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+}
+
+void ReactorTransport::shutdown() {
+  if (!mark_shut_down()) return;
+  // Envs first: once their loops stop, queued deliveries are dropped and no
+  // protocol code runs while the reactor winds down.
+  stop_all();
+  stopping_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  }
+  if (reactor_.joinable()) reactor_.join();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::vector<std::uint8_t> ReactorTransport::take_buffer() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_.empty()) return {};
+  std::vector<std::uint8_t> buf = std::move(pool_.back());
+  pool_.pop_back();
+  return buf;
+}
+
+void ReactorTransport::recycle_buffer(std::vector<std::uint8_t>&& buf) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_.size() < send_queue_limit_) pool_.push_back(std::move(buf));
+}
+
+void ReactorTransport::send(HostId from, HostId to, net::MessagePtr msg) {
+  WAN_REQUIRE(msg != nullptr);
+  static obs::Counter& sends =
+      obs::Registry::global().counter("wan_env_sends_total{env=\"reactor\"}");
+  sends.inc();
+  const std::optional<ResolvedAddr> dest = route_for_send(from, to);
+  if (!dest) return;
+  const net::CodecRegistry& codec = net::CodecRegistry::global();
+  if (!codec.tag_of(*msg)) {
+    count_socket_drop("unregistered_type");
+    return;
+  }
+  std::vector<std::uint8_t> frame = take_buffer();
+  if (!codec.encode_into(from, to, *msg, &frame)) {
+    // tag_of succeeded, so the only way encode fails is a frame bigger than
+    // one UDP datagram can carry.
+    count_socket_drop("oversize");
+    recycle_buffer(std::move(frame));
+    return;
+  }
+  bool was_empty = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= send_queue_limit_) {
+      count_socket_drop("queue_full");
+      return;
+    }
+    was_empty = queue_.empty();
+    queue_.push_back(Outbound{std::move(frame), *dest});
+  }
+  // Ring the reactor only on the empty->nonempty edge: once it is awake it
+  // drains the whole queue, so further wakeups would be redundant syscalls.
+  if (was_empty) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  }
+}
+
+void ReactorTransport::set_want_write(bool want) {
+  if (want == want_write_) return;
+  want_write_ = want;
+  epoll_event ev{};
+  ev.events = want ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  ev.data.fd = fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd_, &ev);
+}
+
+void ReactorTransport::reactor_loop() {
+  epoll_event events[4];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, 4, /*timeout_ms=*/100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll fd gone — shutdown is racing us
+    }
+    bool readable = false;
+    bool writable = false;
+    bool woken = false;
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == wake_fd_) {
+        woken = true;
+      } else {
+        if (events[i].events & EPOLLIN) readable = true;
+        if (events[i].events & EPOLLOUT) writable = true;
+      }
+    }
+    if (woken) {
+      std::uint64_t drained = 0;
+      [[maybe_unused]] const ssize_t r =
+          ::read(wake_fd_, &drained, sizeof drained);
+    }
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (readable) drain_inbound();
+    // Flush whenever there might be outbound work: a wakeup (new frames), a
+    // writable edge (kernel buffer drained), or leftovers from a prior pass.
+    if (woken || writable || want_write_) {
+      set_want_write(!flush_outbound());
+    }
+  }
+}
+
+void ReactorTransport::drain_inbound() {
+  // Preallocated batch machinery: kBatch slots, each a full-size datagram
+  // buffer, reused across every recvmmsg call for the life of the reactor.
+  static thread_local std::vector<std::uint8_t> storage(kBatch * 65536);
+  static thread_local std::array<iovec, kBatch> iovecs;
+  static thread_local std::array<mmsghdr, kBatch> headers;
+  for (unsigned i = 0; i < kBatch; ++i) {
+    iovecs[i].iov_base = storage.data() + i * std::size_t{65536};
+    iovecs[i].iov_len = 65536;
+    headers[i].msg_hdr = msghdr{};
+    headers[i].msg_hdr.msg_iov = &iovecs[i];
+    headers[i].msg_hdr.msg_iovlen = 1;
+  }
+  for (;;) {
+    const int got = ::recvmmsg(fd_, headers.data(), kBatch, MSG_DONTWAIT,
+                               /*timeout=*/nullptr);
+    if (got <= 0) return;  // EAGAIN (drained) or transient error
+    for (int i = 0; i < got; ++i) {
+      on_datagram(static_cast<const std::uint8_t*>(iovecs[i].iov_base),
+                  headers[i].msg_len);
+    }
+    if (static_cast<unsigned>(got) < kBatch) return;  // socket drained
+  }
+}
+
+bool ReactorTransport::flush_outbound() {
+  for (;;) {
+    // Pop up to one batch; sending happens outside queue_mu_ so send() is
+    // never blocked behind a syscall.
+    std::array<Outbound, kBatch> batch;
+    unsigned count = 0;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      while (count < kBatch && !queue_.empty()) {
+        batch[count++] = std::move(queue_.front());
+        queue_.pop_front();
+      }
+    }
+    if (count == 0) return true;
+
+    std::array<sockaddr_in, kBatch> dests;
+    std::array<iovec, kBatch> iovecs;
+    std::array<mmsghdr, kBatch> headers;
+    for (unsigned i = 0; i < count; ++i) {
+      dests[i] = sockaddr_in{};
+      dests[i].sin_family = AF_INET;
+      dests[i].sin_port = batch[i].dest.port_be;
+      dests[i].sin_addr.s_addr = batch[i].dest.ip_be;
+      iovecs[i].iov_base = batch[i].frame.data();
+      iovecs[i].iov_len = batch[i].frame.size();
+      headers[i].msg_hdr = msghdr{};
+      headers[i].msg_hdr.msg_name = &dests[i];
+      headers[i].msg_hdr.msg_namelen = sizeof dests[i];
+      headers[i].msg_hdr.msg_iov = &iovecs[i];
+      headers[i].msg_hdr.msg_iovlen = 1;
+    }
+
+    unsigned sent = 0;
+    while (sent < count) {
+      const int n =
+          ::sendmmsg(fd_, headers.data() + sent, count - sent, MSG_DONTWAIT);
+      if (n > 0) {
+        for (int i = 0; i < n; ++i) {
+          socket_frames_sent().inc();
+          recycle_buffer(std::move(batch[sent + i].frame));
+        }
+        sent += static_cast<unsigned>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Kernel buffer full: requeue the unsent tail (preserving order) and
+        // let EPOLLOUT resume us.
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        for (unsigned i = count; i > sent; --i) {
+          queue_.push_front(std::move(batch[i - 1]));
+        }
+        return false;
+      }
+      // Hard error on the head frame: drop it, keep going with the rest.
+      count_socket_drop("sendto_error");
+      recycle_buffer(std::move(batch[sent].frame));
+      ++sent;
+    }
+  }
+}
+
+}  // namespace wan::runtime

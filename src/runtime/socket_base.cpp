@@ -1,0 +1,368 @@
+#include "runtime/socket_base.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace wan::runtime {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+bool parse_port(const std::string& text, std::uint16_t* port) {
+  if (text.empty() || text.size() > 5) return false;
+  std::uint32_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (value > 65535) return false;
+  *port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+std::optional<std::uint32_t> resolve_host(const std::string& host,
+                                          std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_DGRAM;
+  addrinfo* result = nullptr;
+  if (const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &result);
+      rc != 0) {
+    if (error) {
+      *error = "cannot resolve '" + host + "': " + ::gai_strerror(rc);
+    }
+    return std::nullopt;
+  }
+  const std::uint32_t ip_be =
+      reinterpret_cast<const sockaddr_in*>(result->ai_addr)->sin_addr.s_addr;
+  ::freeaddrinfo(result);
+  return ip_be;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Counters
+
+obs::Counter& socket_frames_sent() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("wan_udp_frames_sent_total");
+  return c;
+}
+
+obs::Counter& socket_frames_received() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("wan_udp_frames_received_total");
+  return c;
+}
+
+obs::Counter& socket_deliveries() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("wan_udp_deliveries_total");
+  return c;
+}
+
+void count_socket_drop(const char* reason) {
+  obs::Registry::global()
+      .counter(std::string("wan_udp_drops_total{reason=\"") + reason + "\"}")
+      .inc();
+}
+
+// ---------------------------------------------------------------------------
+// NodeAddress / Topology
+
+std::string NodeAddress::to_string() const {
+  return host + ":" + std::to_string(port);
+}
+
+std::optional<NodeAddress> parse_node_address(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) return std::nullopt;
+  NodeAddress addr;
+  addr.host = text.substr(0, colon);
+  if (!parse_port(text.substr(colon + 1), &addr.port)) return std::nullopt;
+  return addr;
+}
+
+std::optional<Topology> Topology::load(const std::string& path,
+                                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open topology file '" + path + "'";
+    return std::nullopt;
+  }
+  return parse(in, error);
+}
+
+std::optional<Topology> Topology::parse(std::istream& in, std::string* error) {
+  Topology topo;
+  std::string line;
+  for (int lineno = 1; std::getline(in, line); ++lineno) {
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    std::string id_text, addr_text, extra;
+    if (!(fields >> id_text)) continue;  // blank / comment-only line
+    const auto complain = [&](const std::string& what) {
+      if (error) {
+        *error = "topology line " + std::to_string(lineno) + ": " + what;
+      }
+      return std::nullopt;
+    };
+    if (!(fields >> addr_text)) return complain("expected '<id> <host>:<port>'");
+    if (fields >> extra) return complain("trailing text '" + extra + "'");
+    std::uint64_t id_value = 0;
+    for (const char c : id_text) {
+      if (c < '0' || c > '9') return complain("bad host id '" + id_text + "'");
+      id_value = id_value * 10 + static_cast<std::uint64_t>(c - '0');
+      if (id_value > 0xFFFFFFFFull) {
+        return complain("host id out of range '" + id_text + "'");
+      }
+    }
+    const std::optional<NodeAddress> addr = parse_node_address(addr_text);
+    if (!addr) return complain("bad address '" + addr_text + "'");
+    if (topo.entries_.count(static_cast<std::uint32_t>(id_value)) != 0) {
+      return complain("duplicate host id '" + id_text + "'");
+    }
+    topo.add(HostId(static_cast<std::uint32_t>(id_value)), *addr);
+  }
+  return topo;
+}
+
+void Topology::add(HostId id, NodeAddress addr) {
+  entries_[id.value()] = std::move(addr);
+}
+
+const NodeAddress* Topology::find(HostId id) const {
+  const auto it = entries_.find(id.value());
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::string Topology::serialize() const {
+  std::string out = "# wan topology: <host-id> <host>:<port>\n";
+  for (const auto& [id, addr] : entries_) {
+    out += std::to_string(id) + " " + addr.to_string() + "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SocketTransport
+
+SocketTransport::~SocketTransport() {
+  // Subclass destructors run shutdown(); this is the last-resort fd guard for
+  // construction paths that failed before the I/O machinery started.
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SocketTransport::open_socket(const EnvOptions& opts, std::string* error) {
+  const std::string listen_text =
+      opts.listen.empty() ? std::string("127.0.0.1:0") : opts.listen;
+  const std::optional<NodeAddress> listen = parse_node_address(listen_text);
+  if (!listen) {
+    if (error) *error = "bad listen address '" + listen_text + "'";
+    return false;
+  }
+  const std::optional<std::uint32_t> listen_ip =
+      resolve_host(listen->host, error);
+  if (!listen_ip) return false;
+
+  send_queue_limit_ = opts.send_queue_limit;
+
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    if (error) *error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in bind_addr{};
+  bind_addr.sin_family = AF_INET;
+  bind_addr.sin_port = htons(listen->port);
+  bind_addr.sin_addr.s_addr = *listen_ip;
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&bind_addr),
+             sizeof bind_addr) != 0) {
+    if (error) {
+      *error = "bind(" + listen->to_string() + "): " + std::strerror(errno);
+    }
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    if (error) *error = std::string("getsockname(): ") + std::strerror(errno);
+    return false;
+  }
+  local_port_ = ntohs(bound.sin_port);
+
+  if (!opts.topology_path.empty()) {
+    const std::optional<Topology> topo =
+        Topology::load(opts.topology_path, error);
+    if (!topo) return false;
+    for (const auto& [id, addr] : topo->entries()) {
+      if (!add_peer(HostId(id), addr)) {
+        if (error) {
+          *error = "topology host " + std::to_string(id) +
+                   ": cannot resolve '" + addr.host + "'";
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void SocketTransport::attach(HostId id, std::shared_ptr<LoopCore> core,
+                             Transport::Handler handler) {
+  WAN_REQUIRE(id.valid());
+  WAN_REQUIRE(handler != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_[id] = Endpoint{std::move(core), std::move(handler), false};
+}
+
+void SocketTransport::set_endpoint_down(HostId id, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = endpoints_.find(id);
+  WAN_REQUIRE(it != endpoints_.end());
+  it->second.down = down;
+}
+
+bool SocketTransport::add_peer(HostId id, const NodeAddress& addr) {
+  const std::optional<std::uint32_t> ip_be = resolve_host(addr.host, nullptr);
+  if (!ip_be) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_[id.value()] = ResolvedAddr{*ip_be, htons(addr.port)};
+  return true;
+}
+
+void SocketTransport::block_inbound_from(HostId peer, bool blocked) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (blocked) {
+    blocked_sources_.insert(peer.value());
+  } else {
+    blocked_sources_.erase(peer.value());
+  }
+}
+
+void SocketTransport::set_fault_plan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  fault_plan_ = plan;
+  fault_rng_ = Rng(plan.seed);
+  faults_armed_ =
+      plan.loss > 0.0 || plan.duplicate > 0.0 || plan.reorder > 0.0;
+  held_.reset();
+}
+
+std::optional<SocketTransport::ResolvedAddr> SocketTransport::route_for_send(
+    HostId from, HostId to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto src = endpoints_.find(from);
+  if (src == endpoints_.end() || src->second.down) {
+    count_socket_drop("endpoint_down");
+    return std::nullopt;
+  }
+  const auto peer = peers_.find(to.value());
+  if (peer == peers_.end()) {
+    count_socket_drop("unknown_dest");
+    return std::nullopt;
+  }
+  return peer->second;
+}
+
+void SocketTransport::on_datagram(const std::uint8_t* data, std::size_t size) {
+  socket_frames_received().inc();
+  const net::CodecRegistry::Decoded decoded =
+      net::CodecRegistry::global().decode(data, size);
+  if (!decoded.ok()) {
+    count_socket_drop(net::to_cstring(decoded.error));
+    return;
+  }
+  const std::uint32_t from = decoded.frame->from.value();
+  const std::uint32_t to = decoded.frame->to.value();
+  net::MessagePtr msg = decoded.frame->msg;
+
+  // Adverse-network injection (test hook). Decisions are drawn under
+  // fault_mu_; delivery happens outside it so a released held frame cannot
+  // re-enter protocol code while the lock is held.
+  bool drop = false;
+  bool duplicate = false;
+  bool hold = false;
+  std::optional<HeldFrame> release;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    if (faults_armed_) {
+      drop = fault_rng_.next_bool(fault_plan_.loss);
+      if (!drop) {
+        hold = !held_.has_value() && fault_rng_.next_bool(fault_plan_.reorder);
+        duplicate = !hold && fault_rng_.next_bool(fault_plan_.duplicate);
+        if (hold) {
+          held_ = HeldFrame{from, to, msg};
+        } else if (held_.has_value()) {
+          release = std::move(held_);
+          held_.reset();
+        }
+      }
+    }
+  }
+  if (drop) {
+    count_socket_drop("injected_loss");
+    return;
+  }
+  if (hold) return;  // delivered (reordered) behind the next frame
+  deliver(from, to, msg);
+  if (duplicate) deliver(from, to, msg);
+  if (release) deliver(release->from, release->to, std::move(release->msg));
+}
+
+void SocketTransport::deliver(std::uint32_t from_value, std::uint32_t to_value,
+                              net::MessagePtr msg) {
+  std::shared_ptr<LoopCore> core;
+  Transport::Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (blocked_sources_.count(from_value) != 0) {
+      count_socket_drop("blocked");
+      return;
+    }
+    const auto it = endpoints_.find(HostId(to_value));
+    if (it == endpoints_.end()) {
+      count_socket_drop("not_local");
+      return;
+    }
+    if (it->second.down) {
+      count_socket_drop("endpoint_down");
+      return;
+    }
+    core = it->second.core;
+    handler = it->second.handler;
+  }
+  socket_deliveries().inc();
+  LoopCore::post_at(core, SteadyClock::now(),
+                    [handler = std::move(handler), from = HostId(from_value),
+                     msg = std::move(msg)] { handler(from, msg); });
+}
+
+bool SocketTransport::mark_shut_down() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shut_down_) return false;
+  shut_down_ = true;
+  return true;
+}
+
+}  // namespace wan::runtime

@@ -1,0 +1,205 @@
+// SocketTransport: the shared substrate of every real-socket fabric backend.
+//
+// PR 5's UdpTransport owned everything a socket fabric needs — address
+// parsing, the static topology, peer resolution, endpoint bookkeeping, the
+// inbound decode/deliver path, and the labelled drop counters. The reactor
+// backend (runtime/reactor_transport.hpp) needs all of the same pieces, so
+// they live here and the two backends differ only in how bytes move:
+//
+//   * UdpTransport     — recv-loop thread + sender thread, one datagram per
+//     blocking syscall. Simple, portable; the PR 5 baseline.
+//   * ReactorTransport — one epoll-driven event loop, recvmmsg/sendmmsg
+//     batched syscalls, reusable encode buffers. The saturation backend.
+//
+// Both speak the identical wire protocol (net::CodecRegistry frames, one per
+// datagram), expose the identical operational surface (topology files,
+// add_peer patching, block_inbound_from partitions, per-reason
+// wan_udp_drops_total counters), and deliver inbound messages the identical
+// way (decoded, then posted onto the destination node's LoopCore). The
+// cross-backend conformance suite (tests/test_conformance.cpp) holds them to
+// that: the same seeded op script must produce the same protocol outcomes on
+// either backend — and on the in-process loopback fabric.
+//
+// Adverse-network injection: set_fault_plan() arms a *deterministic* seeded
+// fault stream applied to inbound frames after decode — loss (counted as
+// wan_udp_drops_total{reason="injected_loss"}), duplication, and reordering
+// (hold one delivery, release it after the next frame). Given the same
+// arrival sequence, the same plan makes the same decisions; tests use it to
+// prove the protocol converges (and the Te bound holds) over a misbehaving
+// fabric without ever touching real packet schedules.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/env_options.hpp"
+#include "runtime/fabric.hpp"
+#include "util/rng.hpp"
+
+namespace wan::runtime {
+
+/// Where a node listens: numeric IPv4 or a resolvable name, plus a UDP port.
+struct NodeAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string to_string() const;
+  bool operator==(const NodeAddress&) const = default;
+};
+
+/// Parses "host:port". Returns nullopt on a missing colon, empty host, or an
+/// out-of-range port.
+[[nodiscard]] std::optional<NodeAddress> parse_node_address(
+    const std::string& text);
+
+/// Static HostId -> NodeAddress map shared by every process of a deployment.
+class Topology {
+ public:
+  /// Loads from a file; on failure returns nullopt and describes why.
+  static std::optional<Topology> load(const std::string& path,
+                                      std::string* error);
+  static std::optional<Topology> parse(std::istream& in, std::string* error);
+
+  void add(HostId id, NodeAddress addr);
+  [[nodiscard]] const NodeAddress* find(HostId id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Entries keyed by HostId value, in ascending order.
+  [[nodiscard]] const std::map<std::uint32_t, NodeAddress>& entries() const {
+    return entries_;
+  }
+
+  /// The file representation (what load() parses) — orchestrators write this.
+  [[nodiscard]] std::string serialize() const;
+
+ private:
+  std::map<std::uint32_t, NodeAddress> entries_;
+};
+
+/// Deterministic adverse-network model for the socket fabrics (test hook).
+/// Decisions are drawn per inbound frame from a seeded stream, so the same
+/// plan over the same arrival sequence misbehaves identically.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double loss = 0.0;       ///< drop the frame (counted as injected_loss)
+  double duplicate = 0.0;  ///< deliver the frame twice
+  double reorder = 0.0;    ///< hold the frame, release after the next one
+};
+
+/// Common machinery of the real-socket fabric backends. Subclasses own the
+/// I/O strategy (threads, syscall batching) and implement send(); everything
+/// else — bind, routing, endpoints, decode, delivery, counters — is here.
+class SocketTransport : public Fabric {
+ public:
+  ~SocketTransport() override;
+
+  void attach(HostId id, std::shared_ptr<LoopCore> core,
+              Transport::Handler handler) override;
+  void set_endpoint_down(HostId id, bool down) override;
+
+  /// The port actually bound (resolves a port-0 listen address).
+  [[nodiscard]] std::uint16_t local_port() const noexcept {
+    return local_port_;
+  }
+
+  /// Adds or replaces one peer route (tests and orchestrators patch in
+  /// addresses discovered after port-0 binds; production loads a topology
+  /// file instead). Returns false when the host does not resolve.
+  bool add_peer(HostId id, const NodeAddress& addr);
+
+  /// Drops every inbound frame whose source is `peer` (and counts it).
+  /// Simulates a one-way partition for the revocation worst case: the cut
+  /// host keeps serving its agent while manager traffic never arrives.
+  void block_inbound_from(HostId peer, bool blocked);
+
+  /// Arms (or, with a default-constructed plan, disarms) deterministic
+  /// inbound loss/duplication/reordering. Test-only; see FaultPlan.
+  void set_fault_plan(const FaultPlan& plan);
+
+  /// Stops attached envs, then winds down the backend's I/O. Idempotent;
+  /// every subclass destructor calls it.
+  virtual void shutdown() = 0;
+
+ protected:
+  struct ResolvedAddr {
+    std::uint32_t ip_be = 0;    ///< network byte order
+    std::uint16_t port_be = 0;  ///< network byte order
+  };
+  struct Endpoint {
+    std::shared_ptr<LoopCore> core;
+    Transport::Handler handler;
+    bool down = false;
+  };
+
+  SocketTransport() = default;
+
+  /// Opens and binds the UDP socket per opts.listen (default "127.0.0.1:0"),
+  /// records the bound port, and loads opts.topology_path if non-empty.
+  /// On failure sets *error and returns false; fd_ stays owned either way.
+  bool open_socket(const EnvOptions& opts, std::string* error);
+
+  /// Route lookup for a send; nullopt counts the unknown_dest drop.
+  /// Additionally verifies the source endpoint is attached and up
+  /// (endpoint_down drop otherwise).
+  std::optional<ResolvedAddr> route_for_send(HostId from, HostId to);
+
+  /// Decodes one received datagram and hands it to deliver(); every reject
+  /// class lands in its labelled drop counter. The inbound fault plan (if
+  /// armed) is applied here.
+  void on_datagram(const std::uint8_t* data, std::size_t size);
+
+  /// Posts one decoded message onto the destination endpoint's loop,
+  /// honouring blocked sources and down endpoints.
+  void deliver(std::uint32_t from_value, std::uint32_t to_value,
+               net::MessagePtr msg);
+
+  /// True once shutdown() has run (subclasses gate their idempotence on it).
+  bool mark_shut_down();
+
+  int fd_ = -1;
+  std::uint16_t local_port_ = 0;
+  std::size_t send_queue_limit_ = 1024;
+
+  mutable std::mutex mu_;
+  std::unordered_map<HostId, Endpoint> endpoints_;
+  std::unordered_map<std::uint32_t, ResolvedAddr> peers_;  ///< HostId value
+  std::unordered_set<std::uint32_t> blocked_sources_;
+  bool shut_down_ = false;  ///< guarded by mu_
+
+  // Inbound fault injection (guarded by fault_mu_, never held across
+  // delivery so reordered releases cannot deadlock with protocol code).
+  std::mutex fault_mu_;
+  bool faults_armed_ = false;
+  FaultPlan fault_plan_;
+  Rng fault_rng_{1};
+  struct HeldFrame {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    net::MessagePtr msg;
+  };
+  std::optional<HeldFrame> held_;
+};
+
+/// Shared drop accounting: wan_udp_drops_total{reason=...}. Reasons are
+/// queue_full, oversize, unregistered_type, unknown_dest, endpoint_down,
+/// blocked, not_local, sendto_error, injected_loss, or a codec DecodeError
+/// string. Drops are rare, so the per-call registry lookup is fine.
+void count_socket_drop(const char* reason);
+
+/// Hot counters shared by the socket backends.
+obs::Counter& socket_frames_sent();
+obs::Counter& socket_frames_received();
+obs::Counter& socket_deliveries();
+
+}  // namespace wan::runtime

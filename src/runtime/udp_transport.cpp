@@ -1,16 +1,10 @@
 #include "runtime/udp_transport.hpp"
 
-#include <arpa/inet.h>
-#include <netdb.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "net/codec.hpp"
@@ -19,217 +13,17 @@
 
 namespace wan::runtime {
 
-namespace {
-
-using SteadyClock = std::chrono::steady_clock;
-
-obs::Counter& frames_sent() {
-  static obs::Counter& c =
-      obs::Registry::global().counter("wan_udp_frames_sent_total");
-  return c;
-}
-
-obs::Counter& frames_received() {
-  static obs::Counter& c =
-      obs::Registry::global().counter("wan_udp_frames_received_total");
-  return c;
-}
-
-obs::Counter& deliveries() {
-  static obs::Counter& c =
-      obs::Registry::global().counter("wan_udp_deliveries_total");
-  return c;
-}
-
-// Drops are rare and labeled by reason, so the per-call registry lookup is
-// fine (the hot counters above are the cached ones).
-void count_drop(const char* reason) {
-  obs::Registry::global()
-      .counter(std::string("wan_udp_drops_total{reason=\"") + reason + "\"}")
-      .inc();
-}
-
-bool parse_port(const std::string& text, std::uint16_t* port) {
-  if (text.empty() || text.size() > 5) return false;
-  std::uint32_t value = 0;
-  for (const char c : text) {
-    if (c < '0' || c > '9') return false;
-    value = value * 10 + static_cast<std::uint32_t>(c - '0');
-  }
-  if (value > 65535) return false;
-  *port = static_cast<std::uint16_t>(value);
-  return true;
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// NodeAddress / Topology
-
-std::string NodeAddress::to_string() const {
-  return host + ":" + std::to_string(port);
-}
-
-std::optional<NodeAddress> parse_node_address(const std::string& text) {
-  const std::size_t colon = text.rfind(':');
-  if (colon == std::string::npos || colon == 0) return std::nullopt;
-  NodeAddress addr;
-  addr.host = text.substr(0, colon);
-  if (!parse_port(text.substr(colon + 1), &addr.port)) return std::nullopt;
-  return addr;
-}
-
-std::optional<Topology> Topology::load(const std::string& path,
-                                       std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    if (error) *error = "cannot open topology file '" + path + "'";
-    return std::nullopt;
-  }
-  return parse(in, error);
-}
-
-std::optional<Topology> Topology::parse(std::istream& in, std::string* error) {
-  Topology topo;
-  std::string line;
-  for (int lineno = 1; std::getline(in, line); ++lineno) {
-    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
-      line.erase(hash);
-    }
-    std::istringstream fields(line);
-    std::string id_text, addr_text, extra;
-    if (!(fields >> id_text)) continue;  // blank / comment-only line
-    const auto complain = [&](const std::string& what) {
-      if (error) {
-        *error = "topology line " + std::to_string(lineno) + ": " + what;
-      }
-      return std::nullopt;
-    };
-    if (!(fields >> addr_text)) return complain("expected '<id> <host>:<port>'");
-    if (fields >> extra) return complain("trailing text '" + extra + "'");
-    std::uint64_t id_value = 0;
-    for (const char c : id_text) {
-      if (c < '0' || c > '9') return complain("bad host id '" + id_text + "'");
-      id_value = id_value * 10 + static_cast<std::uint64_t>(c - '0');
-      if (id_value > 0xFFFFFFFFull) {
-        return complain("host id out of range '" + id_text + "'");
-      }
-    }
-    const std::optional<NodeAddress> addr = parse_node_address(addr_text);
-    if (!addr) return complain("bad address '" + addr_text + "'");
-    if (topo.entries_.count(static_cast<std::uint32_t>(id_value)) != 0) {
-      return complain("duplicate host id '" + id_text + "'");
-    }
-    topo.add(HostId(static_cast<std::uint32_t>(id_value)), *addr);
-  }
-  return topo;
-}
-
-void Topology::add(HostId id, NodeAddress addr) {
-  entries_[id.value()] = std::move(addr);
-}
-
-const NodeAddress* Topology::find(HostId id) const {
-  const auto it = entries_.find(id.value());
-  return it == entries_.end() ? nullptr : &it->second;
-}
-
-std::string Topology::serialize() const {
-  std::string out = "# wan topology: <host-id> <host>:<port>\n";
-  for (const auto& [id, addr] : entries_) {
-    out += std::to_string(id) + " " + addr.to_string() + "\n";
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// UdpTransport
-
-namespace {
-
-std::optional<std::uint32_t> resolve_host(const std::string& host,
-                                          std::string* error) {
-  addrinfo hints{};
-  hints.ai_family = AF_INET;
-  hints.ai_socktype = SOCK_DGRAM;
-  addrinfo* result = nullptr;
-  if (const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &result);
-      rc != 0) {
-    if (error) {
-      *error = "cannot resolve '" + host + "': " + ::gai_strerror(rc);
-    }
-    return std::nullopt;
-  }
-  const std::uint32_t ip_be =
-      reinterpret_cast<const sockaddr_in*>(result->ai_addr)->sin_addr.s_addr;
-  ::freeaddrinfo(result);
-  return ip_be;
-}
-
-}  // namespace
-
 std::unique_ptr<UdpTransport> UdpTransport::create(const EnvOptions& opts,
                                                    std::string* error) {
-  const std::string listen_text =
-      opts.listen.empty() ? std::string("127.0.0.1:0") : opts.listen;
-  const std::optional<NodeAddress> listen = parse_node_address(listen_text);
-  if (!listen) {
-    if (error) *error = "bad listen address '" + listen_text + "'";
-    return nullptr;
-  }
-  const std::optional<std::uint32_t> listen_ip =
-      resolve_host(listen->host, error);
-  if (!listen_ip) return nullptr;
-
   // Can't use make_unique with the private constructor.
   std::unique_ptr<UdpTransport> t(new UdpTransport());
-  t->send_queue_limit_ = opts.send_queue_limit;
-
-  t->fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
-  if (t->fd_ < 0) {
-    if (error) *error = std::string("socket(): ") + std::strerror(errno);
-    return nullptr;
-  }
-  sockaddr_in bind_addr{};
-  bind_addr.sin_family = AF_INET;
-  bind_addr.sin_port = htons(listen->port);
-  bind_addr.sin_addr.s_addr = *listen_ip;
-  if (::bind(t->fd_, reinterpret_cast<const sockaddr*>(&bind_addr),
-             sizeof bind_addr) != 0) {
-    if (error) {
-      *error = "bind(" + listen->to_string() + "): " + std::strerror(errno);
-    }
-    return nullptr;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof bound;
-  if (::getsockname(t->fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) != 0) {
-    if (error) *error = std::string("getsockname(): ") + std::strerror(errno);
-    return nullptr;
-  }
-  t->local_port_ = ntohs(bound.sin_port);
+  if (!t->open_socket(opts, error)) return nullptr;
 
   // The recv loop blocks at most this long before rechecking the stop flag,
   // which bounds shutdown() latency without fd-closing races.
   timeval timeout{};
   timeout.tv_usec = 100 * 1000;
   ::setsockopt(t->fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
-
-  if (!opts.topology_path.empty()) {
-    const std::optional<Topology> topo =
-        Topology::load(opts.topology_path, error);
-    if (!topo) return nullptr;
-    for (const auto& [id, addr] : topo->entries()) {
-      if (!t->add_peer(HostId(id), addr)) {
-        if (error) {
-          *error = "topology host " + std::to_string(id) +
-                   ": cannot resolve '" + addr.host + "'";
-        }
-        return nullptr;
-      }
-    }
-  }
 
   t->sender_ = std::thread([p = t.get()] { p->sender_loop(); });
   t->receiver_ = std::thread([p = t.get()] { p->recv_loop(); });
@@ -239,11 +33,7 @@ std::unique_ptr<UdpTransport> UdpTransport::create(const EnvOptions& opts,
 UdpTransport::~UdpTransport() { shutdown(); }
 
 void UdpTransport::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shut_down_) return;
-    shut_down_ = true;
-  }
+  if (!mark_shut_down()) return;
   // Envs first: once their loops stop, queued deliveries are dropped and no
   // protocol code runs while the socket threads wind down.
   stop_all();
@@ -257,77 +47,32 @@ void UdpTransport::shutdown() {
   }
 }
 
-void UdpTransport::attach(HostId id, std::shared_ptr<LoopCore> core,
-                          Transport::Handler handler) {
-  WAN_REQUIRE(id.valid());
-  WAN_REQUIRE(handler != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
-  endpoints_[id] = Endpoint{std::move(core), std::move(handler), false};
-}
-
-void UdpTransport::set_endpoint_down(HostId id, bool down) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = endpoints_.find(id);
-  WAN_REQUIRE(it != endpoints_.end());
-  it->second.down = down;
-}
-
-bool UdpTransport::add_peer(HostId id, const NodeAddress& addr) {
-  const std::optional<std::uint32_t> ip_be = resolve_host(addr.host, nullptr);
-  if (!ip_be) return false;
-  std::lock_guard<std::mutex> lock(mu_);
-  peers_[id.value()] = ResolvedAddr{*ip_be, htons(addr.port)};
-  return true;
-}
-
-void UdpTransport::block_inbound_from(HostId peer, bool blocked) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (blocked) {
-    blocked_sources_.insert(peer.value());
-  } else {
-    blocked_sources_.erase(peer.value());
-  }
-}
-
 void UdpTransport::send(HostId from, HostId to, net::MessagePtr msg) {
   WAN_REQUIRE(msg != nullptr);
   static obs::Counter& sends =
       obs::Registry::global().counter("wan_env_sends_total{env=\"udp\"}");
   sends.inc();
-  ResolvedAddr dest{};
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto src = endpoints_.find(from);
-    if (src == endpoints_.end() || src->second.down) {
-      count_drop("endpoint_down");
-      return;
-    }
-    const auto peer = peers_.find(to.value());
-    if (peer == peers_.end()) {
-      count_drop("unknown_dest");
-      return;
-    }
-    dest = peer->second;
-  }
+  const std::optional<ResolvedAddr> dest = route_for_send(from, to);
+  if (!dest) return;
   const net::CodecRegistry& codec = net::CodecRegistry::global();
   if (!codec.tag_of(*msg)) {
-    count_drop("unregistered_type");
+    count_socket_drop("unregistered_type");
     return;
   }
   std::optional<std::vector<std::uint8_t>> frame = codec.encode(from, to, *msg);
   if (!frame) {
     // tag_of succeeded, so the only way encode fails is a frame bigger than
     // one UDP datagram can carry.
-    count_drop("oversize");
+    count_socket_drop("oversize");
     return;
   }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (queue_.size() >= send_queue_limit_) {
-      count_drop("queue_full");
+      count_socket_drop("queue_full");
       return;
     }
-    queue_.push_back(Outbound{std::move(*frame), dest});
+    queue_.push_back(Outbound{std::move(*frame), *dest});
   }
   queue_cv_.notify_one();
 }
@@ -352,9 +97,9 @@ void UdpTransport::sender_loop() {
         ::sendto(fd_, out.frame.data(), out.frame.size(), 0,
                  reinterpret_cast<const sockaddr*>(&dest), sizeof dest);
     if (n < 0) {
-      count_drop("sendto_error");
+      count_socket_drop("sendto_error");
     } else {
-      frames_sent().inc();
+      socket_frames_sent().inc();
     }
   }
 }
@@ -365,45 +110,8 @@ void UdpTransport::recv_loop() {
     const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
                                  /*src_addr=*/nullptr, /*addrlen=*/nullptr);
     if (n < 0) continue;  // timeout (stop-flag recheck) or transient error
-    frames_received().inc();
-    const net::CodecRegistry::Decoded decoded =
-        net::CodecRegistry::global().decode(buf.data(),
-                                            static_cast<std::size_t>(n));
-    if (!decoded.ok()) {
-      count_drop(net::to_cstring(decoded.error));
-      continue;
-    }
-    deliver(decoded.frame->from.value(), decoded.frame->to.value(),
-            decoded.frame->msg);
+    on_datagram(buf.data(), static_cast<std::size_t>(n));
   }
-}
-
-void UdpTransport::deliver(std::uint32_t from_value, std::uint32_t to_value,
-                           net::MessagePtr msg) {
-  std::shared_ptr<LoopCore> core;
-  Transport::Handler handler;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (blocked_sources_.count(from_value) != 0) {
-      count_drop("blocked");
-      return;
-    }
-    const auto it = endpoints_.find(HostId(to_value));
-    if (it == endpoints_.end()) {
-      count_drop("not_local");
-      return;
-    }
-    if (it->second.down) {
-      count_drop("endpoint_down");
-      return;
-    }
-    core = it->second.core;
-    handler = it->second.handler;
-  }
-  deliveries().inc();
-  LoopCore::post_at(core, SteadyClock::now(),
-                    [handler = std::move(handler), from = HostId(from_value),
-                     msg = std::move(msg)] { handler(from, msg); });
 }
 
 }  // namespace wan::runtime

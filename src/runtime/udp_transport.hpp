@@ -19,12 +19,14 @@
 // state only through LoopCore::post_at, preserving the seam's
 // single-threaded-per-node discipline.
 //
+// This is the portable one-datagram-per-syscall backend; the epoll-batched
+// ReactorTransport (runtime/reactor_transport.hpp) shares all addressing,
+// decode, and delivery machinery through runtime/socket_base.hpp and is
+// selected via EnvOptions::backend when raw throughput matters.
+//
 // Observability (PR 4 registry): wan_udp_frames_sent_total,
 // wan_udp_frames_received_total, wan_udp_deliveries_total, and
-// wan_udp_drops_total{reason=...} where reason is one of queue_full,
-// oversize, unregistered_type, unknown_dest, endpoint_down, blocked,
-// not_local, sendto_error, or a codec DecodeError string (truncated,
-// bad_magic, bad_version, unknown_tag, malformed).
+// wan_udp_drops_total{reason=...} — see socket_base.hpp for the reason set.
 //
 // Topology file format (docs/WIRE_FORMAT.md): one `<host-id> <host>:<port>`
 // pair per line; `#` starts a comment. Every process of a deployment loads
@@ -35,61 +37,18 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <iosfwd>
-#include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <thread>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "runtime/env_options.hpp"
-#include "runtime/fabric.hpp"
+#include "runtime/socket_base.hpp"
 
 namespace wan::runtime {
 
-/// Where a node listens: numeric IPv4 or a resolvable name, plus a UDP port.
-struct NodeAddress {
-  std::string host = "127.0.0.1";
-  std::uint16_t port = 0;
-
-  [[nodiscard]] std::string to_string() const;
-  bool operator==(const NodeAddress&) const = default;
-};
-
-/// Parses "host:port". Returns nullopt on a missing colon, empty host, or an
-/// out-of-range port.
-[[nodiscard]] std::optional<NodeAddress> parse_node_address(
-    const std::string& text);
-
-/// Static HostId -> NodeAddress map shared by every process of a deployment.
-class Topology {
- public:
-  /// Loads from a file; on failure returns nullopt and describes why.
-  static std::optional<Topology> load(const std::string& path,
-                                      std::string* error);
-  static std::optional<Topology> parse(std::istream& in, std::string* error);
-
-  void add(HostId id, NodeAddress addr);
-  [[nodiscard]] const NodeAddress* find(HostId id) const;
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
-
-  /// Entries keyed by HostId value, in ascending order.
-  [[nodiscard]] const std::map<std::uint32_t, NodeAddress>& entries() const {
-    return entries_;
-  }
-
-  /// The file representation (what load() parses) — orchestrators write this.
-  [[nodiscard]] std::string serialize() const;
-
- private:
-  std::map<std::uint32_t, NodeAddress> entries_;
-};
-
-class UdpTransport final : public Fabric {
+class UdpTransport final : public SocketTransport {
  public:
   /// Binds opts.listen (default "127.0.0.1:0"; port 0 picks an ephemeral
   /// port, see local_port()) and loads opts.topology_path if non-empty.
@@ -98,39 +57,13 @@ class UdpTransport final : public Fabric {
                                               std::string* error);
   ~UdpTransport() override;
 
-  void attach(HostId id, std::shared_ptr<LoopCore> core,
-              Transport::Handler handler) override;
-  void set_endpoint_down(HostId id, bool down) override;
   void send(HostId from, HostId to, net::MessagePtr msg) override;
-
-  /// The port actually bound (resolves a port-0 listen address).
-  [[nodiscard]] std::uint16_t local_port() const noexcept {
-    return local_port_;
-  }
-
-  /// Adds or replaces one peer route (tests patch in addresses discovered
-  /// after their port-0 binds; production loads a topology file instead).
-  bool add_peer(HostId id, const NodeAddress& addr);
-
-  /// Drops every inbound frame whose source is `peer` (and counts it).
-  /// Simulates a one-way partition for the revocation worst case: the cut
-  /// host keeps serving its agent while manager traffic never arrives.
-  void block_inbound_from(HostId peer, bool blocked);
 
   /// Stops attached envs, then joins the socket threads. Idempotent; the
   /// destructor calls it.
-  void shutdown();
+  void shutdown() override;
 
  private:
-  struct ResolvedAddr {
-    std::uint32_t ip_be = 0;    ///< network byte order
-    std::uint16_t port_be = 0;  ///< network byte order
-  };
-  struct Endpoint {
-    std::shared_ptr<LoopCore> core;
-    Transport::Handler handler;
-    bool down = false;
-  };
   struct Outbound {
     std::vector<std::uint8_t> frame;
     ResolvedAddr dest;
@@ -140,24 +73,12 @@ class UdpTransport final : public Fabric {
 
   void sender_loop();
   void recv_loop();
-  void deliver(std::uint32_t from_value, std::uint32_t to_value,
-               net::MessagePtr msg);
-
-  int fd_ = -1;
-  std::uint16_t local_port_ = 0;
-  std::size_t send_queue_limit_ = 1024;
-
-  mutable std::mutex mu_;
-  std::unordered_map<HostId, Endpoint> endpoints_;
-  std::unordered_map<std::uint32_t, ResolvedAddr> peers_;  ///< HostId value
-  std::unordered_set<std::uint32_t> blocked_sources_;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<Outbound> queue_;
 
   std::atomic<bool> stopping_{false};
-  bool shut_down_ = false;  ///< shutdown() ran (guarded by mu_)
   std::thread sender_;
   std::thread receiver_;
 };

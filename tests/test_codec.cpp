@@ -8,8 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <functional>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/codec.hpp"
@@ -370,6 +374,88 @@ TEST(CodecReject, GarbageBuffersNeverParse) {
       EXPECT_EQ(*again, bad);
     }
   }
+}
+
+// Checked-in crash corpus: every datagram that has ever been rejected (or,
+// for ok_*, accepted as a wire-stability pin) lives in tests/corpus/codec/
+// and is replayed here. The filename prefix names the expected outcome, so
+// adding a regression is dropping a .bin file in the directory — no code
+// change. A decoder behavior change that reclassifies any corpus entry
+// fails loudly instead of silently shifting drop-counter reasons.
+TEST(CodecCorpus, EveryCheckedInFrameKeepsItsOutcome) {
+  proto::register_wire_messages();
+  // Longest-prefix match: "bad_version" must win over a hypothetical "bad".
+  const std::vector<std::pair<std::string, std::optional<DecodeError>>>
+      outcomes = {
+          {"ok", std::nullopt},
+          {"truncated", DecodeError::kTruncated},
+          {"bad_magic", DecodeError::kBadMagic},
+          {"bad_version", DecodeError::kBadVersion},
+          {"unknown_tag", DecodeError::kUnknownTag},
+          {"malformed", DecodeError::kMalformed},
+      };
+  const std::filesystem::path dir = WAN_CODEC_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::size_t seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".bin") continue;
+    const std::string name = entry.path().stem().string();
+    std::optional<DecodeError> expected;
+    std::size_t best = 0;
+    for (const auto& [prefix, outcome] : outcomes) {
+      if (prefix.size() > best && name.compare(0, prefix.size(), prefix) == 0) {
+        best = prefix.size();
+        expected = outcome;
+      }
+    }
+    ASSERT_GT(best, 0u) << "corpus file with unknown outcome prefix: " << name;
+    std::ifstream in(entry.path(), std::ios::binary);
+    ASSERT_TRUE(in) << entry.path();
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    const auto decoded =
+        CodecRegistry::global().decode(bytes.data(), bytes.size());
+    if (expected.has_value()) {
+      EXPECT_FALSE(decoded.ok()) << name << " decoded but is pinned rejected";
+      EXPECT_EQ(decoded.error, *expected)
+          << name << ": got " << net::to_cstring(decoded.error);
+    } else {
+      ASSERT_TRUE(decoded.ok())
+          << name << ": " << net::to_cstring(decoded.error);
+    }
+    ++seen;
+  }
+  // The corpus shipped with 14 entries; it only ever grows.
+  EXPECT_GE(seen, 14u);
+}
+
+// The one accepted corpus frame is a wire-stability pin: these exact bytes
+// must decode to these exact field values forever (docs/WIRE_FORMAT.md
+// freezes the layout). Regenerating the frame from current encoders would
+// test nothing — the bytes on disk are the contract.
+TEST(CodecCorpus, OkHeartbeatPingPinsWireLayout) {
+  proto::register_wire_messages();
+  const std::filesystem::path file =
+      std::filesystem::path(WAN_CODEC_CORPUS_DIR) / "ok_heartbeat_ping.bin";
+  std::ifstream in(file, std::ios::binary);
+  ASSERT_TRUE(in) << file;
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ASSERT_EQ(bytes.size(), net::kWireHeaderSize + 12u);
+  const auto decoded =
+      CodecRegistry::global().decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok()) << net::to_cstring(decoded.error);
+  EXPECT_EQ(decoded.frame->from, HostId(1));
+  EXPECT_EQ(decoded.frame->to, HostId(2));
+  const auto& ping =
+      static_cast<const proto::HeartbeatPing&>(*decoded.frame->msg);
+  EXPECT_EQ(ping.app, AppId(7));
+  EXPECT_EQ(ping.seq, 4242u);
+  // And the canonical re-encode reproduces the checked-in bytes.
+  const auto again = CodecRegistry::global().encode(
+      decoded.frame->from, decoded.frame->to, *decoded.frame->msg);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, bytes);
 }
 
 // Oversize frames fail at encode time (they could never fit one datagram).

@@ -18,11 +18,15 @@
 //       processes re-enact the revocation worst case with no coordination
 //       channel beyond the sockets themselves.
 //
-//   wan_node --udp-smoke [--te-ms N] [--verbose]
-//       Orchestrator: picks 8 free localhost ports, writes a topology file,
-//       spawns the 8 node processes (3 managers, 4 hosts, 1 agent) from this
-//       same binary, collects their stdout, and asserts the Te bound across
-//       process boundaries. This is what CI runs.
+//   wan_node --udp-smoke [--te-ms N] [--backend udp|reactor] [--verbose]
+//       Orchestrator: spawns the 8 node processes (3 managers, 4 hosts,
+//       1 agent) from this same binary, each binding port 0; scrapes the
+//       kernel-assigned ports from their output, then writes the topology
+//       file the children are waiting on (two-phase startup — no
+//       bind-then-close port race). Collects their stdout and asserts the
+//       Te bound across process boundaries. This is what CI runs.
+//       --backend selects the socket fabric: udp (thread-per-direction,
+//       default) or reactor (epoll + batched syscalls).
 //
 // The multi-process script (offsets from each process's start; spawn skew is
 // tens of ms, the gaps are hundreds):
@@ -76,6 +80,7 @@
 #include "proto/host.hpp"
 #include "proto/user_agent.hpp"
 #include "proto/wire.hpp"
+#include "runtime/reactor_transport.hpp"
 #include "runtime/threaded_env.hpp"
 #include "runtime/udp_transport.hpp"
 
@@ -92,6 +97,7 @@ struct Options {
   bool id_set = false;
   std::string listen;    ///< bind override (default: the topology entry)
   std::string topology;  ///< topology file path
+  std::string backend = "udp";  ///< socket fabric: udp | reactor
   int te_ms = 2000;      ///< revocation bound Te (small: this runs wall-clock)
   int delay_us = 1000;   ///< loopback fabric one-way delay (--realtime only)
   bool verbose = false;
@@ -436,19 +442,36 @@ int role_error(const std::string& what) {
   return 2;
 }
 
-std::unique_ptr<runtime::UdpTransport> open_transport(const Options& opt) {
-  std::string error;
-  const std::optional<runtime::Topology> topo =
-      runtime::Topology::load(opt.topology, &error);
-  if (!topo) {
-    role_error(error);
-    return nullptr;
+/// Polls for the topology file until it exists and parses (the smoke
+/// orchestrator writes it atomically only after every child has announced
+/// its bound port), or until the deadline passes.
+std::optional<runtime::Topology> wait_for_topology(const std::string& path,
+                                                   int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    std::string error;
+    std::optional<runtime::Topology> topo =
+        runtime::Topology::load(path, &error);
+    if (topo && topo->size() > 0) return topo;
+    if (Clock::now() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
+}
+
+std::unique_ptr<runtime::SocketTransport> open_transport(const Options& opt) {
+  std::string error;
   runtime::EnvOptions eopts;
-  eopts.topology_path = opt.topology;
+  std::optional<runtime::Topology> topo;
   if (!opt.listen.empty()) {
     eopts.listen = opt.listen;
   } else {
+    // No explicit bind address: this node's topology entry is it, so the
+    // file must already exist.
+    topo = runtime::Topology::load(opt.topology, &error);
+    if (!topo) {
+      role_error(error);
+      return nullptr;
+    }
     const runtime::NodeAddress* self = topo->find(HostId(opt.id));
     if (self == nullptr) {
       role_error("host id " + std::to_string(opt.id) +
@@ -457,12 +480,39 @@ std::unique_ptr<runtime::UdpTransport> open_transport(const Options& opt) {
     }
     eopts.listen = self->to_string();
   }
-  auto transport = runtime::UdpTransport::create(eopts, &error);
-  if (!transport) role_error(error);
+  std::unique_ptr<runtime::SocketTransport> transport;
+  if (opt.backend == "reactor") {
+    transport = runtime::ReactorTransport::create(eopts, &error);
+  } else {
+    transport = runtime::UdpTransport::create(eopts, &error);
+  }
+  if (!transport) {
+    role_error(error);
+    return nullptr;
+  }
+  // Announce the kernel-assigned port before waiting on the topology: the
+  // smoke orchestrator scrapes this line from every child, then writes the
+  // topology file everyone is waiting for.
+  std::printf("NODE_PORT %u\n", transport->local_port());
+  std::fflush(stdout);
+  if (!topo) {
+    topo = wait_for_topology(opt.topology, /*timeout_ms=*/15000);
+    if (!topo) {
+      role_error("topology file '" + opt.topology + "' never appeared");
+      return nullptr;
+    }
+  }
+  for (const auto& [id, addr] : topo->entries()) {
+    if (!transport->add_peer(HostId(id), addr)) {
+      role_error("topology host " + std::to_string(id) +
+                 ": cannot resolve '" + addr.host + "'");
+      return nullptr;
+    }
+  }
   return transport;
 }
 
-int run_manager(const Options& opt, runtime::UdpTransport& transport) {
+int run_manager(const Options& opt, runtime::SocketTransport& transport) {
   const AppId app{1};
   const UserId alice{7};
   std::vector<HostId> manager_ids;
@@ -511,7 +561,7 @@ int run_manager(const Options& opt, runtime::UdpTransport& transport) {
   return 0;
 }
 
-int run_host(const Options& opt, runtime::UdpTransport& transport) {
+int run_host(const Options& opt, runtime::SocketTransport& transport) {
   const AppId app{1};
   std::vector<HostId> manager_ids;
   for (const std::uint32_t id : kManagerIds) manager_ids.push_back(HostId(id));
@@ -550,7 +600,7 @@ int run_host(const Options& opt, runtime::UdpTransport& transport) {
   return 0;
 }
 
-int run_agent(const Options& opt, runtime::UdpTransport& transport) {
+int run_agent(const Options& opt, runtime::SocketTransport& transport) {
   const AppId app{1};
   const UserId alice{7};
   const auth::KeyPair kp = shared_keypair();
@@ -642,35 +692,6 @@ int run_role(const Options& opt) {
 // ---------------------------------------------------------------------------
 // --udp-smoke: orchestrates the 8 node processes and asserts the Te bound.
 
-std::vector<std::uint16_t> pick_free_udp_ports(int count) {
-  // Bind all sockets before closing any, so the kernel can't hand the same
-  // ephemeral port out twice.
-  std::vector<int> fds;
-  std::vector<std::uint16_t> ports;
-  for (int i = 0; i < count; ++i) {
-    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
-    if (fd < 0) break;
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = 0;
-    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      ::close(fd);
-      break;
-    }
-    socklen_t len = sizeof(addr);
-    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-      ::close(fd);
-      break;
-    }
-    fds.push_back(fd);
-    ports.push_back(ntohs(addr.sin_port));
-  }
-  for (const int fd : fds) ::close(fd);
-  if (static_cast<int>(ports.size()) != count) ports.clear();
-  return ports;
-}
-
 struct ChildProc {
   pid_t pid = -1;
   std::string name;
@@ -700,34 +721,24 @@ void dump_child_output(const ChildProc& child) {
 }
 
 int run_udp_smoke(const Options& opt, const char* argv0) {
-  const std::vector<std::uint16_t> ports = pick_free_udp_ports(8);
-  if (ports.size() != 8) {
-    std::fprintf(stderr, "wan_node --udp-smoke: cannot allocate UDP ports\n");
-    return 2;
-  }
-
   char dir_template[] = "/tmp/wan_udp_smoke.XXXXXX";
   const char* dir = ::mkdtemp(dir_template);
   if (dir == nullptr) {
     std::fprintf(stderr, "wan_node --udp-smoke: mkdtemp failed\n");
     return 2;
   }
+  const std::string topo_path = std::string(dir) + "/topology.txt";
 
-  runtime::Topology topo;
   std::vector<std::pair<std::string, std::uint32_t>> nodes;
   for (const std::uint32_t id : kManagerIds) nodes.emplace_back("manager", id);
   for (const std::uint32_t id : kHostIds) nodes.emplace_back("host", id);
   nodes.emplace_back("agent", kAgentId);
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    topo.add(HostId(nodes[i].second),
-             runtime::NodeAddress{"127.0.0.1", ports[i]});
-  }
-  const std::string topo_path = std::string(dir) + "/topology.txt";
-  {
-    std::ofstream out(topo_path);
-    out << topo.serialize();
-  }
 
+  // Phase 1: spawn every child binding port 0. The topology file does not
+  // exist yet; each child binds, prints NODE_PORT, and waits for the file.
+  // Ports are owned by the sockets that will use them from the instant the
+  // kernel assigns them — the old bind-then-close prober could lose its port
+  // to another process between close() and the child's bind().
   std::vector<ChildProc> children;
   for (const auto& [role, id] : nodes) {
     ChildProc child;
@@ -748,7 +759,9 @@ int run_udp_smoke(const Options& opt, const char* argv0) {
       std::vector<const char*> args = {argv0,        "--role",     role.c_str(),
                                        "--id",       id_text.c_str(),
                                        "--topology", topo_path.c_str(),
-                                       "--te-ms",    te_text.c_str()};
+                                       "--te-ms",    te_text.c_str(),
+                                       "--listen",   "127.0.0.1:0",
+                                       "--backend",  opt.backend.c_str()};
       if (opt.verbose) args.push_back("--verbose");
       args.push_back(nullptr);
       ::execv(argv0, const_cast<char* const*>(args.data()));
@@ -758,8 +771,55 @@ int run_udp_smoke(const Options& opt, const char* argv0) {
     children.push_back(std::move(child));
   }
   if (opt.verbose) {
-    std::printf("  spawned %zu node processes (topology %s)\n",
-                children.size(), topo_path.c_str());
+    std::printf("  spawned %zu node processes (topology %s, backend %s)\n",
+                children.size(), topo_path.c_str(), opt.backend.c_str());
+  }
+
+  // Phase 2: scrape each child's kernel-assigned port, then publish the
+  // real topology (atomically, via rename, so no child ever parses a
+  // half-written file).
+  runtime::Topology topo;
+  {
+    std::vector<std::optional<std::int64_t>> ports(children.size());
+    const auto port_deadline = Clock::now() + std::chrono::seconds(10);
+    std::size_t found = 0;
+    while (found < children.size()) {
+      found = 0;
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (!ports[i]) {
+          ports[i] = scrape_stamp(children[i].out_path, "NODE_PORT");
+        }
+        if (ports[i]) ++found;
+      }
+      if (found == children.size()) break;
+      if (Clock::now() >= port_deadline) {
+        std::fprintf(stderr,
+                     "wan_node --udp-smoke: FAILED — %zu/%zu children never "
+                     "announced a port\n",
+                     children.size() - found, children.size());
+        for (ChildProc& child : children) {
+          ::kill(child.pid, SIGKILL);
+          dump_child_output(child);
+        }
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      topo.add(HostId(nodes[i].second),
+               runtime::NodeAddress{
+                   "127.0.0.1", static_cast<std::uint16_t>(*ports[i])});
+    }
+    const std::string tmp_path = topo_path + ".tmp";
+    {
+      std::ofstream out(tmp_path);
+      out << topo.serialize();
+    }
+    if (std::rename(tmp_path.c_str(), topo_path.c_str()) != 0) {
+      std::fprintf(stderr, "wan_node --udp-smoke: cannot publish topology\n");
+      for (const ChildProc& c : children) ::kill(c.pid, SIGKILL);
+      return 2;
+    }
   }
 
   // Wait for every child, with a hard deadline: a wedged deployment must
@@ -846,7 +906,9 @@ int run_udp_smoke(const Options& opt, const char* argv0) {
   }
   std::remove(topo_path.c_str());
   ::rmdir(dir);
-  std::printf("wan_node --udp-smoke: OK (8 processes over localhost UDP)\n");
+  std::printf("wan_node --udp-smoke: OK (8 processes over localhost UDP, %s "
+              "backend)\n",
+              opt.backend.c_str());
   return 0;
 }
 
@@ -895,6 +957,13 @@ int main(int argc, char** argv) {
   cli.add_string("--topology", "FILE",
                  "topology file: one '<host-id> <host>:<port>' per line",
                  &opt.topology);
+  cli.add_value("--backend", "KIND",
+                "socket fabric for --role / --udp-smoke: udp (thread per\n"
+                "direction, default) or reactor (epoll + batched syscalls)",
+                [&](const std::string& v) {
+                  opt.backend = v;
+                  return v == "udp" || v == "reactor";
+                });
   cli.add_value("--te-ms", "N", "revocation bound Te in ms (default 2000)",
                 [&](const std::string& v) {
                   return wan::cli::parse_int(v, &opt.te_ms) && opt.te_ms > 0;
