@@ -355,6 +355,38 @@ int throughput_main(int argc, char** argv, BackendKind kind) {
                  {"revokes", static_cast<double>(update_storm->revokes.load())},
                  {"checks_per_sec", bg_checks_per_sec},
                  {"seconds", bg.elapsed}});
+
+    // Phase 3 (reactor runs only): the same check storm, briefly, on the
+    // thread-per-direction udp backend — the batching speedup as one number.
+    // Field names deliberately avoid `checks_per_sec`: the ratio row records
+    // relative backend cost, it is not a machine-comparable rate the CI
+    // regression gate should key on.
+    if (kind == BackendKind::kReactor) {
+      const double ratio_secs = fast_mode() ? 0.5 : 1.5;
+      Rig udp_rig(BackendKind::kUdp);
+      for (int h = 0; h < kHosts; ++h) {
+        if (!udp_rig.barrier_update(acl::Op::kAdd, Rig::user_of(h))) {
+          std::fprintf(stderr, "udp ratio grant %d never reached quorum\n", h);
+          std::exit(2);
+        }
+      }
+      CheckDriver udp_driver(udp_rig);
+      (void)udp_driver.run(0.2, 16);  // warm caches and nonce floors
+      // Window 64, not 256: the per-direction-thread backend saturates its
+      // socket buffers earlier, and a dropped reply would stall the drain.
+      const auto udp_storm = udp_driver.run(ratio_secs, 64);
+      const double udp_checks_per_sec =
+          static_cast<double>(udp_storm.replies) / udp_storm.elapsed;
+      const double reactor_vs_udp =
+          udp_checks_per_sec > 0.0 ? checks_per_sec / udp_checks_per_sec : 0.0;
+      std::printf("  backend ratio (%4.1fs udp run):    %9.0f udp checks/sec"
+                  "  (reactor/udp = %.2fx)\n",
+                  udp_storm.elapsed, udp_checks_per_sec, reactor_vs_udp);
+      json.record("backend_ratio",
+                  {{"udp_checks_per_sec", udp_checks_per_sec},
+                   {"reactor_vs_udp", reactor_vs_udp},
+                   {"seconds", udp_storm.elapsed}});
+    }
   });
 }
 

@@ -86,6 +86,9 @@ class WireWriter {
     u32(static_cast<std::uint32_t>(s.size()));
     append(s.data(), s.size());
   }
+  /// Raw byte run, no length prefix — the caller's layout carries the length
+  /// (the reliability envelope embeds whole frames this way).
+  void raw(const std::uint8_t* p, std::size_t n) { append(p, n); }
   void host_id(HostId id) { u32(id.value()); }
   void user_id(UserId id) { u32(id.value()); }
   void app_id(AppId id) { u32(id.value()); }
@@ -138,6 +141,17 @@ class WireReader {
   HostId host_id() { return HostId(u32()); }
   UserId user_id() { return UserId(u32()); }
   AppId app_id() { return AppId(u32()); }
+  /// Raw byte run of exactly `n` bytes (no length prefix); fails when fewer
+  /// remain.
+  std::vector<std::uint8_t> raw(std::size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<std::uint8_t> out(p_, p_ + n);
+    p_ += n;
+    return out;
+  }
 
   [[nodiscard]] bool ok() const noexcept { return ok_; }
   /// True when every byte has been consumed — decoders require this so a

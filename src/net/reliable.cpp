@@ -1,0 +1,69 @@
+#include "net/reliable.hpp"
+
+#include <mutex>
+#include <utility>
+
+namespace wan::net {
+
+namespace {
+
+void encode_data(const Message& msg, WireWriter& w) {
+  const auto& m = static_cast<const ReliableData&>(msg);
+  w.u64(m.seq);
+  w.u64(m.cum_ack);
+  w.u64(m.ack_bits);
+  w.u32(static_cast<std::uint32_t>(m.inner.size()));
+  w.raw(m.inner.data(), m.inner.size());
+}
+
+MessagePtr decode_data(WireReader& r) {
+  const std::uint64_t seq = r.u64();
+  const std::uint64_t cum_ack = r.u64();
+  const std::uint64_t ack_bits = r.u64();
+  const std::uint32_t inner_len = r.u32();
+  if (!r.ok()) return nullptr;
+  // Sequences are 1-based: seq 0 can only come from a hostile or corrupt
+  // sender and would wedge the receiver's cumulative watermark forever.
+  if (seq == 0) {
+    r.fail();
+    return nullptr;
+  }
+  // The inner length must describe exactly the bytes that remain, and those
+  // bytes must at least hold a frame header — anything shorter cannot be the
+  // complete encoded frame the envelope promises.
+  if (inner_len != r.remaining() || inner_len < kWireHeaderSize) {
+    r.fail();
+    return nullptr;
+  }
+  std::vector<std::uint8_t> inner = r.raw(inner_len);
+  if (!r.ok()) return nullptr;
+  return make_message<ReliableData>(seq, cum_ack, ack_bits, std::move(inner));
+}
+
+void encode_ack(const Message& msg, WireWriter& w) {
+  const auto& m = static_cast<const ReliableAck&>(msg);
+  w.u64(m.cum_ack);
+  w.u64(m.ack_bits);
+}
+
+MessagePtr decode_ack(WireReader& r) {
+  const std::uint64_t cum_ack = r.u64();
+  const std::uint64_t ack_bits = r.u64();
+  if (!r.ok()) return nullptr;
+  return make_message<ReliableAck>(cum_ack, ack_bits);
+}
+
+}  // namespace
+
+void register_reliable_codecs() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    CodecRegistry& reg = CodecRegistry::global();
+    reg.register_codec(kTagReliableData, TypeId::intern("ReliableData"),
+                       encode_data, decode_data);
+    reg.register_codec(kTagReliableAck, TypeId::intern("ReliableAck"),
+                       encode_ack, decode_ack);
+  });
+}
+
+}  // namespace wan::net

@@ -1,0 +1,91 @@
+// Wire envelope of the reliability layer (tags 16 and 17).
+//
+// The socket fabrics are fire-and-forget UDP: a dropped datagram is a lost
+// message. runtime/reliable_channel.hpp fixes that for critical protocol
+// traffic by wrapping each encoded frame in a ReliableData envelope carrying
+// a per-flow sequence number, and acknowledging receipt with cumulative +
+// selective acks (ReliableAck, also piggybacked on reverse-direction data).
+// These two message types are the envelope's on-wire form; they live in
+// net/ — below proto/ — because the reliability layer is protocol-agnostic:
+// it moves *frames*, never caring what message is inside.
+//
+// Layouts (payload, after the standard 18-byte frame header):
+//
+//   ReliableData (tag 16):
+//       offset  size  field
+//            0     8  seq       per-flow sequence number, 1-based (0 is
+//                               malformed — sequences start at 1)
+//            8     8  cum_ack   piggybacked cumulative ack for the REVERSE
+//                               flow: every seq <= cum_ack was received
+//           16     8  ack_bits  selective ack bitmap: bit i set means seq
+//                               cum_ack + 1 + i was received out of order
+//           24     4  inner_len length of the wrapped frame
+//           28     …  inner     one complete encoded frame (header included)
+//                               whose from/to MUST equal the outer header's
+//
+//   ReliableAck (tag 17):
+//       offset  size  field
+//            0     8  cum_ack   as above, for the flow (to -> from) of the
+//                               ack frame's own header
+//            8     8  ack_bits  as above
+//
+// A flow is the ordered pair (from, to) of HostIds; an ack travelling from B
+// to A acknowledges the flow A -> B. Tags 16/17 are frozen exactly like the
+// protocol tags (docs/WIRE_FORMAT.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "net/message.hpp"
+
+namespace wan::net {
+
+inline constexpr WireTag kTagReliableData = 16;
+inline constexpr WireTag kTagReliableAck = 17;
+
+/// Bytes ReliableData adds around an inner frame (seq + cum_ack + ack_bits +
+/// inner length prefix). A wrapped frame therefore needs
+/// inner + kReliableDataOverhead + kWireHeaderSize <= kMaxFrameSize.
+inline constexpr std::size_t kReliableDataOverhead = 8 + 8 + 8 + 4;
+
+/// Width of the selective-ack bitmap: acks describe cum_ack + 1 .. + 64.
+inline constexpr std::uint64_t kAckBitmapWidth = 64;
+
+struct ReliableData final : Message {
+  std::uint64_t seq = 0;
+  std::uint64_t cum_ack = 0;
+  std::uint64_t ack_bits = 0;
+  std::vector<std::uint8_t> inner;  ///< a complete encoded frame
+
+  ReliableData(std::uint64_t s, std::uint64_t cum, std::uint64_t bits,
+               std::vector<std::uint8_t> in)
+      : seq(s), cum_ack(cum), ack_bits(bits), inner(std::move(in)) {}
+
+  WAN_MESSAGE_TYPE("ReliableData")
+  std::size_t wire_size() const override {
+    return kWireHeaderSize + kReliableDataOverhead + inner.size();
+  }
+  bool reliable() const override { return false; }  ///< never re-wrapped
+};
+
+struct ReliableAck final : Message {
+  std::uint64_t cum_ack = 0;
+  std::uint64_t ack_bits = 0;
+
+  ReliableAck(std::uint64_t cum, std::uint64_t bits)
+      : cum_ack(cum), ack_bits(bits) {}
+
+  WAN_MESSAGE_TYPE("ReliableAck")
+  std::size_t wire_size() const override { return kWireHeaderSize + 16; }
+  bool reliable() const override { return false; }  ///< acks ride best-effort
+};
+
+/// Registers the tag 16/17 codecs with CodecRegistry::global(). Idempotent
+/// and thread-safe; transports call it when a reliability layer is enabled
+/// (an explicit call for the same static-library reason as
+/// proto::register_wire_messages()).
+void register_reliable_codecs();
+
+}  // namespace wan::net

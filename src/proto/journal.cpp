@@ -1,0 +1,298 @@
+#include "proto/journal.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+#include <algorithm>
+
+namespace wan::proto {
+
+namespace {
+
+constexpr std::uint32_t kJournalMagic = 0x4C414A57;  // "WJAL" little-endian
+constexpr std::uint16_t kJournalVersion = 1;
+constexpr std::size_t kHeaderSize = 8;
+// u32 app_id + u32 user + u8 right + u8 op + u64 counter + u32 origin +
+// i64 stamp. Mirrors the AclUpdate wire layout (docs/WIRE_FORMAT.md).
+constexpr std::uint32_t kRecordLen = 30;
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+void encode_record(std::uint8_t* out, std::uint32_t app,
+                   const acl::AclUpdate& u) {
+  put_u32(out + 0, kRecordLen);
+  put_u32(out + 4, app);
+  put_u32(out + 8, u.user.value());
+  out[12] = static_cast<std::uint8_t>(u.right);
+  out[13] = static_cast<std::uint8_t>(u.op);
+  put_u64(out + 14, u.version.counter);
+  put_u32(out + 22, u.version.origin.value());
+  put_u64(out + 26, static_cast<std::uint64_t>(u.version.stamp));
+}
+
+/// Decodes a record body (after the length prefix); enum range-checks guard
+/// against on-disk corruption the same way the wire decoder guards against
+/// hostile frames. Returns false to stop replay of this file.
+bool decode_record(const std::uint8_t* body, std::uint32_t expected_app,
+                   acl::AclUpdate* out) {
+  if (get_u32(body + 0) != expected_app) return false;
+  const std::uint8_t right = body[8];
+  const std::uint8_t op = body[9];
+  if (right > static_cast<std::uint8_t>(acl::Right::kManage)) return false;
+  if (op > static_cast<std::uint8_t>(acl::Op::kRevoke)) return false;
+  out->user = UserId{get_u32(body + 4)};
+  out->right = static_cast<acl::Right>(right);
+  out->op = static_cast<acl::Op>(op);
+  out->version.counter = get_u64(body + 10);
+  out->version.origin = HostId{get_u32(body + 18)};
+  out->version.stamp = static_cast<std::int64_t>(get_u64(body + 22));
+  return true;
+}
+
+bool write_header(std::FILE* f) {
+  std::uint8_t h[kHeaderSize] = {};
+  put_u32(h + 0, kJournalMagic);
+  put_u16(h + 4, kJournalVersion);
+  put_u16(h + 6, 0);
+  return std::fwrite(h, 1, sizeof h, f) == sizeof h;
+}
+
+/// Replays one journal file into `fn`; returns the number of whole records
+/// read. A short or corrupt tail stops the read — a torn final append is the
+/// expected kill -9 artifact, not an error.
+std::size_t replay_file(const std::string& path, std::uint32_t app,
+                        const std::function<void(AppId, const acl::AclUpdate&)>& fn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return 0;
+  std::size_t replayed = 0;
+  std::uint8_t header[kHeaderSize];
+  if (std::fread(header, 1, sizeof header, f) == sizeof header &&
+      get_u32(header) == kJournalMagic &&
+      get_u16(header + 4) == kJournalVersion) {
+    for (;;) {
+      std::uint8_t lenbuf[4];
+      if (std::fread(lenbuf, 1, sizeof lenbuf, f) != sizeof lenbuf) break;
+      const std::uint32_t len = get_u32(lenbuf);
+      if (len != kRecordLen) break;  // corrupt or torn — stop here
+      std::uint8_t body[kRecordLen];
+      if (std::fread(body, 1, len, f) != len) break;  // torn tail
+      acl::AclUpdate u;
+      if (!decode_record(body, app, &u)) break;
+      fn(AppId{app}, u);
+      ++replayed;
+    }
+  }
+  std::fclose(f);
+  return replayed;
+}
+
+/// Whole bytes of complete records in a log (past the header) — used to
+/// truncate away a torn tail before reopening for append, so a new record
+/// is never written after garbage.
+long valid_log_extent(const std::string& path, std::uint32_t app,
+                      std::size_t* records) {
+  *records = 0;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return -1;
+  long extent = -1;
+  std::uint8_t header[kHeaderSize];
+  if (std::fread(header, 1, sizeof header, f) == sizeof header &&
+      get_u32(header) == kJournalMagic &&
+      get_u16(header + 4) == kJournalVersion) {
+    extent = static_cast<long>(kHeaderSize);
+    for (;;) {
+      std::uint8_t lenbuf[4];
+      if (std::fread(lenbuf, 1, sizeof lenbuf, f) != sizeof lenbuf) break;
+      const std::uint32_t len = get_u32(lenbuf);
+      if (len != kRecordLen) break;
+      std::uint8_t body[kRecordLen];
+      if (std::fread(body, 1, len, f) != len) break;
+      acl::AclUpdate u;
+      if (!decode_record(body, app, &u)) break;
+      extent += static_cast<long>(4 + len);
+      ++*records;
+    }
+  }
+  std::fclose(f);
+  return extent;
+}
+
+}  // namespace
+
+std::unique_ptr<ManagerJournal> ManagerJournal::open(const std::string& dir,
+                                                     std::string* error) {
+  struct stat st{};
+  if (::stat(dir.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      if (error) *error = "state dir '" + dir + "' is not a directory";
+      return nullptr;
+    }
+  } else if (::mkdir(dir.c_str(), 0755) != 0) {
+    if (error) {
+      *error = "cannot create state dir '" + dir + "': " + std::strerror(errno);
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<ManagerJournal> j(new ManagerJournal(dir));
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (const dirent* ent = ::readdir(d)) {
+      unsigned app = 0;
+      char suffix[8] = {};
+      // Matches app-<id>.snap / app-<id>.log; anything else is ignored.
+      if (std::sscanf(ent->d_name, "app-%u.%4s", &app, suffix) == 2 &&
+          (std::strcmp(suffix, "snap") == 0 || std::strcmp(suffix, "log") == 0)) {
+        j->had_state_ = true;
+        if (std::find(j->found_apps_.begin(), j->found_apps_.end(), app) ==
+            j->found_apps_.end()) {
+          j->found_apps_.push_back(app);
+        }
+      }
+    }
+    ::closedir(d);
+  }
+  std::sort(j->found_apps_.begin(), j->found_apps_.end());
+  return j;
+}
+
+ManagerJournal::~ManagerJournal() {
+  for (auto& [app, f] : logs_) {
+    if (f) std::fclose(f);
+  }
+}
+
+std::string ManagerJournal::snap_path(std::uint32_t app) const {
+  return dir_ + "/app-" + std::to_string(app) + ".snap";
+}
+
+std::string ManagerJournal::log_path(std::uint32_t app) const {
+  return dir_ + "/app-" + std::to_string(app) + ".log";
+}
+
+std::size_t ManagerJournal::replay(
+    const std::function<void(AppId, const acl::AclUpdate&)>& fn) {
+  std::size_t total = 0;
+  for (std::uint32_t app : found_apps_) {
+    total += replay_file(snap_path(app), app, fn);
+    std::size_t log_count = 0;
+    // Trim any torn tail now, so the append handle opened later starts at a
+    // record boundary.
+    const long extent = valid_log_extent(log_path(app), app, &log_count);
+    if (extent >= 0) {
+      struct stat st{};
+      if (::stat(log_path(app).c_str(), &st) == 0 && st.st_size > extent) {
+        [[maybe_unused]] const int rc =
+            ::truncate(log_path(app).c_str(), extent);
+      }
+    }
+    total += replay_file(log_path(app), app, fn);
+    log_counts_[app] = log_count;
+  }
+  return total;
+}
+
+std::FILE* ManagerJournal::log_handle(std::uint32_t app) {
+  auto it = logs_.find(app);
+  if (it != logs_.end()) return it->second;
+  const std::string path = log_path(app);
+  struct stat st{};
+  const bool fresh = ::stat(path.c_str(), &st) != 0 ||
+                     st.st_size < static_cast<off_t>(kHeaderSize);
+  std::FILE* f = std::fopen(path.c_str(), fresh ? "wb" : "ab");
+  if (f && fresh && !write_header(f)) {
+    std::fclose(f);
+    f = nullptr;
+  }
+  logs_[app] = f;
+  return f;
+}
+
+bool ManagerJournal::append(AppId app, const acl::AclUpdate& update) {
+  std::FILE* f = log_handle(app.value());
+  if (!f) return false;
+  std::uint8_t rec[4 + kRecordLen];
+  encode_record(rec, app.value(), update);
+  if (std::fwrite(rec, 1, sizeof rec, f) != sizeof rec) return false;
+  // fflush is the durability point: the record reaches the kernel page
+  // cache, which outlives a kill -9 of this process (see the header comment
+  // for why there is no fsync).
+  if (std::fflush(f) != 0) return false;
+  ++log_counts_[app.value()];
+  return true;
+}
+
+bool ManagerJournal::compact(AppId app,
+                             const std::vector<acl::AclUpdate>& snapshot) {
+  const std::string tmp = snap_path(app.value()) + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  bool ok = write_header(f);
+  for (const acl::AclUpdate& u : snapshot) {
+    if (!ok) break;
+    std::uint8_t rec[4 + kRecordLen];
+    encode_record(rec, app.value(), u);
+    ok = std::fwrite(rec, 1, sizeof rec, f) == sizeof rec;
+  }
+  ok = (std::fflush(f) == 0) && ok;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), snap_path(app.value()).c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  // Truncate (not delete) the log: the append handle, if open, stays valid
+  // and keeps writing at the new end.
+  auto it = logs_.find(app.value());
+  if (it != logs_.end() && it->second) {
+    std::fclose(it->second);
+    logs_.erase(it);
+  }
+  std::FILE* log = std::fopen(log_path(app.value()).c_str(), "wb");
+  if (log) {
+    write_header(log);
+    std::fflush(log);
+    logs_[app.value()] = log;
+  }
+  log_counts_[app.value()] = 0;
+  return true;
+}
+
+std::size_t ManagerJournal::log_records(AppId app) const {
+  const auto it = log_counts_.find(app.value());
+  return it == log_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace wan::proto

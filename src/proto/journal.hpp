@@ -1,0 +1,119 @@
+// ManagerJournal: durable manager state under a --state-dir.
+//
+// The paper's managers survive crashes by re-synchronizing from a quorum of
+// peers (§2.4) — which works only while a quorum remembers. This journal
+// adds the local half of recovery: every applied AclUpdate is appended to an
+// on-disk log before the manager acts on it, so a manager restarted after
+// kill -9 replays its own state first and then runs the existing resync to
+// pick up what it missed while down. Replay + resync together make recovery
+// exact instead of quorum-dependent.
+//
+// On-disk layout, per application, inside the state directory:
+//
+//   app-<id>.snap   compacted snapshot: header, then one record per register
+//   app-<id>.log    append-only tail: records applied since the snapshot
+//
+// Both files share the format (all little-endian):
+//
+//   header   u32 magic 0x4C414A57 ("WJAL"), u16 version 1, u16 reserved 0
+//   record   u32 len (= 30), then:
+//              u32 app_id      (must match the filename — corruption check)
+//              u32 user
+//              u8  right       (acl::Right)
+//              u8  op          (acl::Op)
+//              u64 version.counter
+//              u32 version.origin
+//              i64 version.stamp
+//
+// The record body deliberately mirrors the AclUpdate wire layout
+// (docs/WIRE_FORMAT.md) so the two serializations can never drift apart
+// silently — test_journal pins both to the same bytes.
+//
+// Durability model: append() writes the record and fflush()es it. That moves
+// the bytes into the kernel page cache, which survives the *process* dying
+// (kill -9, the failure mode the chaos orchestrator injects); it does not
+// survive the machine dying (no fsync — the paper's managers already handle
+// peer amnesia via sync, so machine-level durability is not worth an fsync
+// per update on the dissemination path). A crash mid-append leaves a torn
+// final record; replay detects it, stops there, and truncate-repairs on the
+// next append. Records after a torn one are unreachable by construction —
+// appends go through one FILE* — so stopping loses nothing.
+//
+// Compaction: compact() writes the full store snapshot to app-<id>.snap.tmp,
+// renames it over the snapshot (atomic on POSIX), then truncates the log.
+// A crash between rename and truncate leaves log records that are already in
+// the snapshot — harmless, replay applies them as stale no-ops (AclUpdate
+// application is idempotent LWW).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "acl/store.hpp"
+#include "util/ids.hpp"
+
+namespace wan::proto {
+
+class ManagerJournal {
+ public:
+  /// Opens (creating if needed) the state directory and scans it for
+  /// existing app-*.snap / app-*.log files. On failure returns nullptr and
+  /// sets *error ("state dir '<dir>' is not a directory" when the path names
+  /// a non-directory; "cannot create state dir '<dir>': <reason>" when
+  /// mkdir fails).
+  static std::unique_ptr<ManagerJournal> open(const std::string& dir,
+                                              std::string* error);
+  ~ManagerJournal();
+  ManagerJournal(const ManagerJournal&) = delete;
+  ManagerJournal& operator=(const ManagerJournal&) = delete;
+
+  /// True when open() found any journal files — i.e. this is a restart, not
+  /// a first boot. Gates the restart-resync in ManagerModule::attach_journal
+  /// (a fresh simultaneous boot must not sync against peers that cannot
+  /// answer yet).
+  [[nodiscard]] bool had_state() const noexcept { return had_state_; }
+
+  /// Replays every durable record (snapshot first, then log, per app) into
+  /// `fn`. Torn trailing records stop that file's replay without error.
+  /// Returns the number of records replayed. Call once, before append().
+  std::size_t replay(
+      const std::function<void(AppId, const acl::AclUpdate&)>& fn);
+
+  /// Appends one applied update to app-<id>.log and flushes it to the page
+  /// cache. Returns false on I/O failure (disk full — the manager keeps
+  /// running; durability degrades, correctness does not).
+  bool append(AppId app, const acl::AclUpdate& update);
+
+  /// Replaces app-<id>.snap with `snapshot` (tmp + rename) and truncates the
+  /// log. Call with AclStore::snapshot() output.
+  bool compact(AppId app, const std::vector<acl::AclUpdate>& snapshot);
+
+  /// Log records appended (or found at open) since the last compact() for
+  /// this app — the compaction trigger reads this.
+  [[nodiscard]] std::size_t log_records(AppId app) const;
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  explicit ManagerJournal(std::string dir) : dir_(std::move(dir)) {}
+
+  [[nodiscard]] std::string snap_path(std::uint32_t app) const;
+  [[nodiscard]] std::string log_path(std::uint32_t app) const;
+
+  /// The open append handle for one app's log (opened lazily, kept for the
+  /// journal's lifetime so appends are one fwrite+fflush).
+  std::FILE* log_handle(std::uint32_t app);
+
+  std::string dir_;
+  bool had_state_ = false;
+  std::vector<std::uint32_t> found_apps_;          ///< from the open() scan
+  std::map<std::uint32_t, std::FILE*> logs_;       ///< open append handles
+  std::map<std::uint32_t, std::size_t> log_counts_;
+};
+
+}  // namespace wan::proto

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "proto/journal.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -295,7 +296,7 @@ void ManagerModule::issue_write(AppId app, std::unique_ptr<PendingRead> read) {
       std::max(version_stamp_ + 1, local_now().nanos());
   version_stamp_ = stamp;
   update.version = base.next(self_, stamp);
-  ctl->store.apply(update);
+  apply_update(app, *ctl, update);
 
   const acl::Op op = read->op;
   const UserId user = read->user;
@@ -646,7 +647,7 @@ void ManagerModule::handle_update(HostId from, const UpdateMsg& m) {
   obs::record(m.trace, obs::SpanKind::kRecv, self_, env_.now(), "update.recv",
               from.value(),
               static_cast<std::int64_t>(m.update.version.counter));
-  const bool applied = ctl->store.apply(m.update);
+  const bool applied = apply_update(m.app, *ctl, m.update);
   net_.send(self_, from, net::make_message<UpdateAck>(m.app, m.txn_id));
   if (applied && m.update.op == acl::Op::kRevoke) {
     // Each manager forwards the revocation to the hosts *it* granted (§3.1);
@@ -720,11 +721,11 @@ void ManagerModule::handle_sync_response(HostId from, const SyncResponse& m) {
     // Straggler from the sync that already completed. It can still carry an
     // update the quorum responders never saw (stranded by an issuer crash),
     // so merge it — and if it taught us anything, spread the news.
-    if (ctl->store.merge(m.snapshot) > 0) push_snapshot(m.app, *ctl);
+    if (merge_snapshot(m.app, *ctl, m.snapshot) > 0) push_snapshot(m.app, *ctl);
     return;
   }
   if (ctl->sync_votes == nullptr) return;
-  ctl->store.merge(m.snapshot);
+  merge_snapshot(m.app, *ctl, m.snapshot);
   if (ctl->sync_votes->record(from)) {
     ctl->synced = true;
     ctl->sync_votes.reset();
@@ -747,7 +748,7 @@ void ManagerModule::handle_sync_push(HostId from, const SyncPush& m) {
   note_peer(*ctl, from);
   // Merging is safe in every state (idempotent, version-gated); receipt
   // never triggers a further push, so pushes cannot cascade.
-  ctl->store.merge(m.snapshot);
+  merge_snapshot(m.app, *ctl, m.snapshot);
 }
 
 void ManagerModule::push_snapshot(AppId app, AppCtl& ctl) {
@@ -779,6 +780,58 @@ void ManagerModule::sync_round(AppId app) {
   if (ctl->sync_timer) {
     ctl->sync_timer->arm(config_.sync_retransmit,
                          [this, app] { sync_round(app); });
+  }
+}
+
+// ------------------------------------------------------ durable state
+
+std::size_t ManagerModule::attach_journal(ManagerJournal* journal) {
+  journal_ = journal;
+  if (journal_ == nullptr) return 0;
+  std::size_t replayed = 0;
+  journal_->replay([this, &replayed](AppId app, const acl::AclUpdate& u) {
+    AppCtl* ctl = ctl_of(app);
+    if (ctl == nullptr) return;  // app no longer managed; records are inert
+    // Direct apply: replay must not re-append what is already durable.
+    ctl->store.apply(u);
+    // Restore the issue-stamp floor from our own updates so a restarted
+    // incarnation never mints a stamp at or below one it already used.
+    if (u.version.origin == self_ && u.version.stamp > version_stamp_) {
+      version_stamp_ = u.version.stamp;
+    }
+    ++replayed;
+  });
+  return replayed;
+}
+
+bool ManagerModule::apply_update(AppId app, AppCtl& ctl,
+                                 const acl::AclUpdate& update) {
+  const bool applied = ctl.store.apply(update);
+  if (applied && journal_ != nullptr) {
+    journal_->append(app, update);
+    maybe_compact(app, ctl);
+  }
+  return applied;
+}
+
+std::size_t ManagerModule::merge_snapshot(
+    AppId app, AppCtl& ctl, const std::vector<acl::AclUpdate>& snapshot) {
+  // AclStore::merge is a loop of applies; doing the loop here keeps the
+  // journal exact (only registers that actually changed are appended).
+  std::size_t changed = 0;
+  for (const acl::AclUpdate& u : snapshot) {
+    if (apply_update(app, ctl, u)) ++changed;
+  }
+  return changed;
+}
+
+void ManagerModule::maybe_compact(AppId app, AppCtl& ctl) {
+  // Past this many log records a replay costs more than a snapshot write;
+  // stale log entries surviving a crash-between-rename-and-truncate are
+  // re-applied as no-ops, so the threshold is pure tuning.
+  constexpr std::size_t kCompactAfter = 256;
+  if (journal_->log_records(app) >= kCompactAfter) {
+    journal_->compact(app, ctl.store.snapshot());
   }
 }
 

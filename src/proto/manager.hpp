@@ -48,6 +48,8 @@
 
 namespace wan::proto {
 
+class ManagerJournal;
+
 /// Result of a manager Add/Revoke operation, reported when the update quorum
 /// is assembled (the paper's blocking call "returning").
 struct UpdateOutcome {
@@ -101,6 +103,21 @@ class ManagerModule {
 
   /// Network receive entry point.
   void on_message(HostId from, const net::MessagePtr& msg);
+
+  /// Attaches a durable journal (proto/journal.hpp) and replays its records
+  /// into the stores of currently-managed apps — call after manage_app() and
+  /// before the node starts answering. Every subsequent store mutation
+  /// (local issue, peer dissemination, sync merge) is appended to the
+  /// journal before the manager acts on the result, and the journal is
+  /// compacted to a snapshot once the log grows past a threshold. Replayed
+  /// records also restore the version-stamp floor for updates this manager
+  /// issued, so a restarted manager never reissues a stamp. The grant table
+  /// is deliberately NOT journaled: a restarted manager that forgot a grant
+  /// merely fails to forward one revocation, and the paper's Te expiry
+  /// already bounds that exposure (§3.4) — the resync it runs on restart
+  /// (gated on ManagerJournal::had_state()) restores the ACL itself exactly.
+  /// Non-owning; pass nullptr to detach. Returns records replayed.
+  std::size_t attach_journal(ManagerJournal* journal);
 
   /// Crash: the whole manager state is volatile (§3.4).
   void crash();
@@ -293,6 +310,17 @@ class ManagerModule {
   void retransmit_txn(AppId app, std::uint64_t txn_id);
   void retransmit_revoke(AppId app, std::uint64_t user_value,
                          std::uint64_t version_counter);
+  /// The journaled mutation path: AclStore::apply plus, when a journal is
+  /// attached and the update changed a register, a durable append (and a
+  /// compaction check). Every store mutation site routes through this or
+  /// merge_snapshot() so durable state can never miss an applied update.
+  bool apply_update(AppId app, AppCtl& ctl, const acl::AclUpdate& update);
+  /// Journaled AclStore::merge (a merge is a loop of applies); returns the
+  /// number of registers changed.
+  std::size_t merge_snapshot(AppId app, AppCtl& ctl,
+                             const std::vector<acl::AclUpdate>& snapshot);
+  void maybe_compact(AppId app, AppCtl& ctl);
+
   void begin_sync(AppId app, AppCtl& ctl);
   void sync_round(AppId app);
   void start_heartbeats(AppId app, AppCtl& ctl);
@@ -318,6 +346,7 @@ class ManagerModule {
   ProtocolConfig config_;
   bool up_ = true;
   bool byzantine_ = false;
+  ManagerJournal* journal_ = nullptr;  ///< non-owning; nullptr == volatile
   LieMode lie_mode_ = LieMode::kSeeded;
   Rng lie_rng_{0};
   std::optional<bool> debug_frozen_;

@@ -41,6 +41,31 @@ enum class BackendKind : std::uint8_t {
 [[nodiscard]] const char* to_cstring(BackendKind kind) noexcept;
 [[nodiscard]] bool parse_backend(const std::string& text, BackendKind* out);
 
+/// Knobs of the socket backends' reliability layer (ack/retransmit/dedup;
+/// runtime/reliable_channel.hpp). Off by default: the raw fabrics keep plain
+/// UDP semantics unless a deployment opts in, and transport tests that pin
+/// duplicate-delivery behavior run against the raw path.
+struct ReliabilityOptions {
+  bool enabled = false;
+  /// First retransmit fires this long after the original send...
+  sim::Duration initial_rto = sim::Duration::millis(50);
+  /// ...then backs off exponentially (rto *= backoff) up to this ceiling...
+  sim::Duration max_rto = sim::Duration::millis(1000);
+  double backoff = 2.0;
+  /// ...with each interval jittered by a uniform +/- fraction so synchronized
+  /// retransmit storms decorrelate.
+  double jitter = 0.1;
+  /// Transmissions per message including the first; when exhausted the
+  /// message is abandoned and the peer_unreachable upcall fires.
+  int retry_budget = 10;
+  /// Receive-side dedup remembers out-of-order seqs this far above the
+  /// cumulative watermark; frames beyond it are dropped (seq_out_of_window)
+  /// until retransmits fill the gap.
+  std::size_t recv_window = 1024;
+  /// Seed of the jitter stream (deterministic tests pin it).
+  std::uint64_t jitter_seed = 1;
+};
+
 struct EnvOptions {
   /// Which backend to construct (tools route on this; see make_fabric()).
   BackendKind backend = BackendKind::kLoopback;
@@ -55,6 +80,7 @@ struct EnvOptions {
   std::string listen;         ///< bind address "host:port"; port 0 = ephemeral
   std::string topology_path;  ///< HostId -> host:port map file (docs/WIRE_FORMAT.md)
   std::size_t send_queue_limit = 1024;  ///< outbound frames queued before drop
+  ReliabilityOptions reliability;       ///< ack/retransmit layer (socket backends)
 };
 
 /// Builds the simulated network's config from the shared options: constant

@@ -82,8 +82,11 @@ ReactorTransport::~ReactorTransport() {
 void ReactorTransport::shutdown() {
   if (!mark_shut_down()) return;
   // Envs first: once their loops stop, queued deliveries are dropped and no
-  // protocol code runs while the reactor winds down.
+  // protocol code runs while the reactor winds down. The reliability layer
+  // goes next — its timer thread enqueues into the outbound queue, so it
+  // must stop before the reactor does.
   stop_all();
+  stop_reliable();
   stopping_.store(true, std::memory_order_release);
   if (wake_fd_ >= 0) {
     const std::uint64_t one = 1;
@@ -109,35 +112,31 @@ void ReactorTransport::recycle_buffer(std::vector<std::uint8_t>&& buf) {
   if (pool_.size() < send_queue_limit_) pool_.push_back(std::move(buf));
 }
 
-void ReactorTransport::send(HostId from, HostId to, net::MessagePtr msg) {
-  WAN_REQUIRE(msg != nullptr);
+void ReactorTransport::count_env_send() {
   static obs::Counter& sends =
       obs::Registry::global().counter("wan_env_sends_total{env=\"reactor\"}");
   sends.inc();
-  const std::optional<ResolvedAddr> dest = route_for_send(from, to);
-  if (!dest) return;
-  const net::CodecRegistry& codec = net::CodecRegistry::global();
-  if (!codec.tag_of(*msg)) {
-    count_socket_drop("unregistered_type");
-    return;
-  }
-  std::vector<std::uint8_t> frame = take_buffer();
-  if (!codec.encode_into(from, to, *msg, &frame)) {
-    // tag_of succeeded, so the only way encode fails is a frame bigger than
-    // one UDP datagram can carry.
-    count_socket_drop("oversize");
-    recycle_buffer(std::move(frame));
-    return;
-  }
+}
+
+std::vector<std::uint8_t> ReactorTransport::take_send_buffer() {
+  return take_buffer();
+}
+
+void ReactorTransport::recycle_send_buffer(std::vector<std::uint8_t>&& buf) {
+  recycle_buffer(std::move(buf));
+}
+
+bool ReactorTransport::enqueue_frame(std::vector<std::uint8_t> frame,
+                                     const ResolvedAddr& dest) {
   bool was_empty = false;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (queue_.size() >= send_queue_limit_) {
       count_socket_drop("queue_full");
-      return;
+      return false;
     }
     was_empty = queue_.empty();
-    queue_.push_back(Outbound{std::move(frame), *dest});
+    queue_.push_back(Outbound{std::move(frame), dest});
   }
   // Ring the reactor only on the empty->nonempty edge: once it is awake it
   // drains the whole queue, so further wakeups would be redundant syscalls.
@@ -145,6 +144,7 @@ void ReactorTransport::send(HostId from, HostId to, net::MessagePtr msg) {
     const std::uint64_t one = 1;
     [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
   }
+  return true;
 }
 
 void ReactorTransport::set_want_write(bool want) {

@@ -54,8 +54,6 @@ class ReactorTransport final : public SocketTransport {
                                                   std::string* error);
   ~ReactorTransport() override;
 
-  void send(HostId from, HostId to, net::MessagePtr msg) override;
-
   /// Stops attached envs, then the reactor thread. Idempotent; the
   /// destructor calls it.
   void shutdown() override;
@@ -70,6 +68,12 @@ class ReactorTransport final : public SocketTransport {
   };
 
   ReactorTransport() = default;
+
+  bool enqueue_frame(std::vector<std::uint8_t> frame,
+                     const ResolvedAddr& dest) override;
+  void count_env_send() override;
+  std::vector<std::uint8_t> take_send_buffer() override;
+  void recycle_send_buffer(std::vector<std::uint8_t>&& buf) override;
 
   void reactor_loop();
   /// Drains the inbound side with recvmmsg until EAGAIN.

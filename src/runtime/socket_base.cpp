@@ -13,6 +13,8 @@
 #include <sstream>
 #include <utility>
 
+#include "net/reliable.hpp"
+#include "runtime/reliable_channel.hpp"
 #include "util/assert.hpp"
 
 namespace wan::runtime {
@@ -163,6 +165,8 @@ std::string Topology::serialize() const {
 // ---------------------------------------------------------------------------
 // SocketTransport
 
+SocketTransport::SocketTransport() = default;
+
 SocketTransport::~SocketTransport() {
   // Subclass destructors run shutdown(); this is the last-resort fd guard for
   // construction paths that failed before the I/O machinery started.
@@ -225,7 +229,61 @@ bool SocketTransport::open_socket(const EnvOptions& opts, std::string* error) {
       }
     }
   }
+
+  if (opts.reliability.enabled) {
+    reliable_ = std::make_unique<ReliableChannel>(
+        opts.reliability,
+        [this](std::vector<std::uint8_t> frame, ResolvedAddr dest) {
+          return enqueue_frame(std::move(frame), dest);
+        },
+        [this](std::uint32_t host) -> std::optional<ResolvedAddr> {
+          std::lock_guard<std::mutex> lock(mu_);
+          const auto it = peers_.find(host);
+          if (it == peers_.end()) return std::nullopt;
+          return it->second;
+        },
+        [this](std::uint32_t from, std::uint32_t to, net::MessagePtr msg) {
+          deliver(from, to, std::move(msg));
+        });
+  }
   return true;
+}
+
+void SocketTransport::send(HostId from, HostId to, net::MessagePtr msg) {
+  WAN_REQUIRE(msg != nullptr);
+  count_env_send();
+  const std::optional<ResolvedAddr> dest = route_for_send(from, to);
+  if (!dest) return;
+  const net::CodecRegistry& codec = net::CodecRegistry::global();
+  if (!codec.tag_of(*msg)) {
+    count_socket_drop("unregistered_type");
+    return;
+  }
+  if (reliable_ != nullptr && msg->reliable()) {
+    reliable_->send_reliable(from, to, *msg, *dest);
+    return;
+  }
+  std::vector<std::uint8_t> frame = take_send_buffer();
+  if (!codec.encode_into(from, to, *msg, &frame)) {
+    // tag_of succeeded, so the only way encode fails is a frame bigger than
+    // one UDP datagram can carry.
+    count_socket_drop("oversize");
+    recycle_send_buffer(std::move(frame));
+    return;
+  }
+  enqueue_frame(std::move(frame), *dest);
+}
+
+void SocketTransport::set_peer_unreachable(UnreachableFn fn) {
+  if (reliable_ != nullptr) reliable_->set_peer_unreachable(std::move(fn));
+}
+
+ReliableChannel* SocketTransport::reliable_channel() noexcept {
+  return reliable_.get();
+}
+
+void SocketTransport::stop_reliable() {
+  if (reliable_ != nullptr) reliable_->stop();
 }
 
 void SocketTransport::attach(HostId id, std::shared_ptr<LoopCore> core,
@@ -269,8 +327,8 @@ void SocketTransport::set_fault_plan(const FaultPlan& plan) {
   held_.reset();
 }
 
-std::optional<SocketTransport::ResolvedAddr> SocketTransport::route_for_send(
-    HostId from, HostId to) {
+std::optional<ResolvedAddr> SocketTransport::route_for_send(HostId from,
+                                                            HostId to) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto src = endpoints_.find(from);
   if (src == endpoints_.end() || src->second.down) {
@@ -325,9 +383,35 @@ void SocketTransport::on_datagram(const std::uint8_t* data, std::size_t size) {
     return;
   }
   if (hold) return;  // delivered (reordered) behind the next frame
-  deliver(from, to, msg);
-  if (duplicate) deliver(from, to, msg);
-  if (release) deliver(release->from, release->to, std::move(release->msg));
+  dispatch(from, to, msg);
+  if (duplicate) dispatch(from, to, msg);
+  if (release) dispatch(release->from, release->to, std::move(release->msg));
+}
+
+void SocketTransport::dispatch(std::uint32_t from_value, std::uint32_t to_value,
+                               net::MessagePtr msg) {
+  // Blocked sources are filtered before the reliability layer sees the
+  // frame: a one-way partition must swallow the envelope too, or the ack it
+  // triggers would defeat the cut the test armed.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (blocked_sources_.count(from_value) != 0) {
+      count_socket_drop("blocked");
+      return;
+    }
+  }
+  if (reliable_ != nullptr) {
+    if (const auto* data =
+            dynamic_cast<const net::ReliableData*>(msg.get())) {
+      reliable_->on_data(from_value, to_value, *data);
+      return;
+    }
+    if (const auto* ack = dynamic_cast<const net::ReliableAck*>(msg.get())) {
+      reliable_->on_ack(from_value, to_value, *ack);
+      return;
+    }
+  }
+  deliver(from_value, to_value, std::move(msg));
 }
 
 void SocketTransport::deliver(std::uint32_t from_value, std::uint32_t to_value,
@@ -336,10 +420,6 @@ void SocketTransport::deliver(std::uint32_t from_value, std::uint32_t to_value,
   Transport::Handler handler;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (blocked_sources_.count(from_value) != 0) {
-      count_socket_drop("blocked");
-      return;
-    }
     const auto it = endpoints_.find(HostId(to_value));
     if (it == endpoints_.end()) {
       count_socket_drop("not_local");

@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -97,12 +98,27 @@ struct FaultPlan {
   double reorder = 0.0;    ///< hold the frame, release after the next one
 };
 
+/// A peer address resolved to wire form, ready for a sendto destination.
+struct ResolvedAddr {
+  std::uint32_t ip_be = 0;    ///< network byte order
+  std::uint16_t port_be = 0;  ///< network byte order
+};
+
+class ReliableChannel;
+
 /// Common machinery of the real-socket fabric backends. Subclasses own the
-/// I/O strategy (threads, syscall batching) and implement send(); everything
-/// else — bind, routing, endpoints, decode, delivery, counters — is here.
+/// I/O strategy (threads, syscall batching) and implement enqueue_frame();
+/// everything else — bind, routing, endpoints, the send path, decode,
+/// delivery, the optional reliability layer, counters — is here.
 class SocketTransport : public Fabric {
  public:
   ~SocketTransport() override;
+
+  /// The shared send path: route, classify, encode, enqueue. With the
+  /// reliability layer enabled (EnvOptions::reliability), messages whose
+  /// net::Message::reliable() is true travel wrapped in the ack/retransmit
+  /// envelope; heartbeats and the envelope itself stay fire-and-forget.
+  void send(HostId from, HostId to, net::MessagePtr msg) override;
 
   void attach(HostId id, std::shared_ptr<LoopCore> core,
               Transport::Handler handler) override;
@@ -127,22 +143,30 @@ class SocketTransport : public Fabric {
   /// inbound loss/duplication/reordering. Test-only; see FaultPlan.
   void set_fault_plan(const FaultPlan& plan);
 
+  /// Fired when the reliability layer abandons a peer (retry budget
+  /// exhausted); `abandoned` counts the frames dropped in that sweep. Runs
+  /// on the channel's timer thread. No-op without a reliability layer.
+  using UnreachableFn = std::function<void(HostId peer, std::size_t abandoned)>;
+  void set_peer_unreachable(UnreachableFn fn);
+
+  /// The reliability layer, or nullptr when EnvOptions::reliability was off
+  /// (tests poll in_flight() through this).
+  [[nodiscard]] ReliableChannel* reliable_channel() noexcept;
+
   /// Stops attached envs, then winds down the backend's I/O. Idempotent;
   /// every subclass destructor calls it.
   virtual void shutdown() = 0;
 
  protected:
-  struct ResolvedAddr {
-    std::uint32_t ip_be = 0;    ///< network byte order
-    std::uint16_t port_be = 0;  ///< network byte order
-  };
   struct Endpoint {
     std::shared_ptr<LoopCore> core;
     Transport::Handler handler;
     bool down = false;
   };
 
-  SocketTransport() = default;
+  // Out of line: the implicit constructor/destructor need the complete
+  // ReliableChannel type for the unique_ptr member.
+  SocketTransport();
 
   /// Opens and binds the UDP socket per opts.listen (default "127.0.0.1:0"),
   /// records the bound port, and loads opts.topology_path if non-empty.
@@ -154,22 +178,51 @@ class SocketTransport : public Fabric {
   /// (endpoint_down drop otherwise).
   std::optional<ResolvedAddr> route_for_send(HostId from, HostId to);
 
-  /// Decodes one received datagram and hands it to deliver(); every reject
+  /// Hands one encoded frame to the backend's bounded outbound queue.
+  /// Returns false on a queue-full shed (counted as queue_full by the
+  /// implementation). Called from env loop threads and from the reliability
+  /// layer's timer thread.
+  virtual bool enqueue_frame(std::vector<std::uint8_t> frame,
+                             const ResolvedAddr& dest) = 0;
+
+  /// Bumps the backend's wan_env_sends_total counter (one per send() call).
+  virtual void count_env_send() = 0;
+
+  /// Encode-buffer recycling hooks; the reactor overrides these with its
+  /// pool, the udp backend keeps the allocate-per-frame default.
+  virtual std::vector<std::uint8_t> take_send_buffer() { return {}; }
+  virtual void recycle_send_buffer(std::vector<std::uint8_t>&& buf) {
+    (void)buf;
+  }
+
+  /// Decodes one received datagram and hands it to dispatch(); every reject
   /// class lands in its labelled drop counter. The inbound fault plan (if
-  /// armed) is applied here.
+  /// armed) is applied here — before the reliability layer, so injected loss
+  /// hits the envelope and retransmission is what recovers it.
   void on_datagram(const std::uint8_t* data, std::size_t size);
 
+  /// Post-fault routing: blocked-source filtering, then the reliability
+  /// layer's envelope handling (when enabled), then deliver().
+  void dispatch(std::uint32_t from_value, std::uint32_t to_value,
+                net::MessagePtr msg);
+
   /// Posts one decoded message onto the destination endpoint's loop,
-  /// honouring blocked sources and down endpoints.
+  /// honouring down endpoints (blocked sources were filtered in dispatch()).
   void deliver(std::uint32_t from_value, std::uint32_t to_value,
                net::MessagePtr msg);
 
   /// True once shutdown() has run (subclasses gate their idempotence on it).
   bool mark_shut_down();
 
+  /// Stops the reliability layer's timer thread (no-op when disabled).
+  /// Subclass shutdown() calls this after stop_all() and before joining its
+  /// own I/O threads — the channel enqueues into their queues.
+  void stop_reliable();
+
   int fd_ = -1;
   std::uint16_t local_port_ = 0;
   std::size_t send_queue_limit_ = 1024;
+  std::unique_ptr<ReliableChannel> reliable_;  ///< nullptr when disabled
 
   mutable std::mutex mu_;
   std::unordered_map<HostId, Endpoint> endpoints_;
@@ -193,8 +246,9 @@ class SocketTransport : public Fabric {
 
 /// Shared drop accounting: wan_udp_drops_total{reason=...}. Reasons are
 /// queue_full, oversize, unregistered_type, unknown_dest, endpoint_down,
-/// blocked, not_local, sendto_error, injected_loss, or a codec DecodeError
-/// string. Drops are rare, so the per-call registry lookup is fine.
+/// blocked, not_local, sendto_error, injected_loss, seq_out_of_window,
+/// reliable_inner_mismatch, or a codec DecodeError string. Drops are rare,
+/// so the per-call registry lookup is fine.
 void count_socket_drop(const char* reason);
 
 /// Hot counters shared by the socket backends.

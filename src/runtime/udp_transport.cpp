@@ -35,8 +35,11 @@ UdpTransport::~UdpTransport() { shutdown(); }
 void UdpTransport::shutdown() {
   if (!mark_shut_down()) return;
   // Envs first: once their loops stop, queued deliveries are dropped and no
-  // protocol code runs while the socket threads wind down.
+  // protocol code runs while the socket threads wind down. The reliability
+  // layer goes next — its timer thread enqueues into the sender queue, so it
+  // must stop before the sender does.
   stop_all();
+  stop_reliable();
   stopping_.store(true, std::memory_order_release);
   queue_cv_.notify_all();
   if (sender_.joinable()) sender_.join();
@@ -47,34 +50,24 @@ void UdpTransport::shutdown() {
   }
 }
 
-void UdpTransport::send(HostId from, HostId to, net::MessagePtr msg) {
-  WAN_REQUIRE(msg != nullptr);
+void UdpTransport::count_env_send() {
   static obs::Counter& sends =
       obs::Registry::global().counter("wan_env_sends_total{env=\"udp\"}");
   sends.inc();
-  const std::optional<ResolvedAddr> dest = route_for_send(from, to);
-  if (!dest) return;
-  const net::CodecRegistry& codec = net::CodecRegistry::global();
-  if (!codec.tag_of(*msg)) {
-    count_socket_drop("unregistered_type");
-    return;
-  }
-  std::optional<std::vector<std::uint8_t>> frame = codec.encode(from, to, *msg);
-  if (!frame) {
-    // tag_of succeeded, so the only way encode fails is a frame bigger than
-    // one UDP datagram can carry.
-    count_socket_drop("oversize");
-    return;
-  }
+}
+
+bool UdpTransport::enqueue_frame(std::vector<std::uint8_t> frame,
+                                 const ResolvedAddr& dest) {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (queue_.size() >= send_queue_limit_) {
       count_socket_drop("queue_full");
-      return;
+      return false;
     }
-    queue_.push_back(Outbound{std::move(*frame), *dest});
+    queue_.push_back(Outbound{std::move(frame), dest});
   }
   queue_cv_.notify_one();
+  return true;
 }
 
 void UdpTransport::sender_loop() {

@@ -57,8 +57,6 @@ class UdpTransport final : public SocketTransport {
                                               std::string* error);
   ~UdpTransport() override;
 
-  void send(HostId from, HostId to, net::MessagePtr msg) override;
-
   /// Stops attached envs, then joins the socket threads. Idempotent; the
   /// destructor calls it.
   void shutdown() override;
@@ -70,6 +68,10 @@ class UdpTransport final : public SocketTransport {
   };
 
   UdpTransport() = default;
+
+  bool enqueue_frame(std::vector<std::uint8_t> frame,
+                     const ResolvedAddr& dest) override;
+  void count_env_send() override;
 
   void sender_loop();
   void recv_loop();

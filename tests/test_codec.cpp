@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/codec.hpp"
+#include "net/reliable.hpp"
 #include "proto/messages.hpp"
 #include "proto/wire.hpp"
 #include "util/rng.hpp"
@@ -26,6 +27,13 @@ namespace {
 
 using net::CodecRegistry;
 using net::DecodeError;
+
+/// The full tag table under test: the 15 protocol messages plus the
+/// reliability envelope (tags 16/17, net/reliable.hpp).
+void register_all() {
+  proto::register_wire_messages();
+  net::register_reliable_codecs();
+}
 
 acl::Version random_version(Rng& rng) {
   return acl::Version{rng.next_u64(),
@@ -69,7 +77,7 @@ UserId random_user(Rng& rng) {
   return UserId(static_cast<std::uint32_t>(rng.next_u64()));
 }
 
-/// One seeded generator per message type, in wire-tag order 1..15. Adding a
+/// One seeded generator per message type, in wire-tag order 1..17. Adding a
 /// message type without extending this list fails the coverage check below.
 std::vector<std::function<net::MessagePtr(Rng&)>> generators() {
   using net::make_message;
@@ -143,6 +151,20 @@ std::vector<std::function<net::MessagePtr(Rng&)>> generators() {
         return make_message<proto::HeartbeatPong>(random_app(rng),
                                                   rng.next_u64());
       },
+      [](Rng& rng) {
+        // The envelope wraps a complete encoded frame; decoders only require
+        // the inner bytes to hold at least a frame header.
+        const auto inner_msg =
+            make_message<proto::HeartbeatPing>(random_app(rng), rng.next_u64());
+        auto inner =
+            CodecRegistry::global().encode(HostId(1), HostId(2), *inner_msg);
+        return make_message<net::ReliableData>(
+            1 + rng.next_u64() % 100000, rng.next_u64(), rng.next_u64(),
+            inner.value_or(std::vector<std::uint8_t>(net::kWireHeaderSize)));
+      },
+      [](Rng& rng) {
+        return make_message<net::ReliableAck>(rng.next_u64(), rng.next_u64());
+      },
   };
 }
 
@@ -155,10 +177,10 @@ std::vector<std::uint8_t> encode_or_die(const net::Message& msg,
 }
 
 TEST(Codec, RegistryCoversEveryMessageType) {
-  proto::register_wire_messages();
+  register_all();
   EXPECT_EQ(CodecRegistry::global().registered_count(),
             generators().size());
-  // Tags are the frozen contiguous block 1..15 (docs/WIRE_FORMAT.md).
+  // Tags are the frozen contiguous block 1..17 (docs/WIRE_FORMAT.md).
   const std::vector<net::WireTag> tags = CodecRegistry::global().tags();
   ASSERT_EQ(tags.size(), generators().size());
   for (std::size_t i = 0; i < tags.size(); ++i) {
@@ -167,9 +189,9 @@ TEST(Codec, RegistryCoversEveryMessageType) {
 }
 
 TEST(Codec, RegistrationIsIdempotent) {
-  proto::register_wire_messages();
+  register_all();
   const std::size_t count = CodecRegistry::global().registered_count();
-  proto::register_wire_messages();  // must not abort on duplicate tags
+  register_all();  // must not abort on duplicate tags
   EXPECT_EQ(CodecRegistry::global().registered_count(), count);
 }
 
@@ -179,7 +201,7 @@ TEST(Codec, RegistrationIsIdempotent) {
 // bytes exactly. Byte-equality covers every field of every type at once; a
 // single dropped, reordered, or misparsed field breaks it.
 TEST(Codec, RandomizedRoundTripIsLosslessAndCanonical) {
-  proto::register_wire_messages();
+  register_all();
   Rng rng{20260805};
   for (const auto& gen : generators()) {
     for (int iter = 0; iter < 64; ++iter) {
@@ -206,7 +228,7 @@ TEST(Codec, RandomizedRoundTripIsLosslessAndCanonical) {
 // Byte-equality proves fidelity only if encoders read the fields; spot-check
 // a representative message against explicit field values.
 TEST(Codec, FieldFidelitySpotCheck) {
-  proto::register_wire_messages();
+  register_all();
   acl::RightSet rights;
   rights.add(acl::Right::kUse);
   const acl::Version version{42, HostId(2), 777};
@@ -231,7 +253,7 @@ TEST(Codec, FieldFidelitySpotCheck) {
 // Every strict prefix of every frame must be rejected — no partial parse,
 // no out-of-bounds read. (ASAN-clean under the sanitizer CI job.)
 TEST(CodecReject, EveryTruncationOfEveryFrame) {
-  proto::register_wire_messages();
+  register_all();
   Rng rng{7};
   for (const auto& gen : generators()) {
     const net::MessagePtr msg = gen(rng);
@@ -245,7 +267,7 @@ TEST(CodecReject, EveryTruncationOfEveryFrame) {
 }
 
 TEST(CodecReject, HeaderFieldValidation) {
-  proto::register_wire_messages();
+  register_all();
   const auto msg = net::make_message<proto::HeartbeatPing>(AppId(1), 99);
   const auto frame = encode_or_die(*msg);
 
@@ -279,7 +301,7 @@ TEST(CodecReject, HeaderFieldValidation) {
 // The frame is exactly one datagram: any disagreement between the payload
 // length field and the bytes actually present is truncation/padding.
 TEST(CodecReject, PayloadLengthMustMatchDatagram) {
-  proto::register_wire_messages();
+  register_all();
   const auto msg = net::make_message<proto::UpdateAck>(AppId(3), 4);
   const auto frame = encode_or_die(*msg);
   {
@@ -300,7 +322,7 @@ TEST(CodecReject, PayloadLengthMustMatchDatagram) {
 // (booleans > 1, out-of-range enums, impossible right bits) are malformed,
 // not silently coerced.
 TEST(CodecReject, NonCanonicalPayloadBytes) {
-  proto::register_wire_messages();
+  register_all();
   {
     // InvokeReply payload: request_id u64 @0, accepted u8 @8, reason u8 @9.
     const auto msg = net::make_message<proto::InvokeReply>(
@@ -330,7 +352,7 @@ TEST(CodecReject, NonCanonicalPayloadBytes) {
 // An adversarial snapshot count must be rejected by comparing it against the
 // bytes actually present — not trusted into a reserve()/resize() call.
 TEST(CodecReject, HostileSnapshotCountDoesNotAllocate) {
-  proto::register_wire_messages();
+  register_all();
   const auto msg = net::make_message<proto::SyncResponse>(
       AppId(1), 2, std::vector<acl::AclUpdate>{});
   auto bad = encode_or_die(*msg);
@@ -344,7 +366,7 @@ TEST(CodecReject, HostileSnapshotCountDoesNotAllocate) {
 // Seeded garbage fuzz: random buffers must never crash the decoder, and a
 // buffer that does not start with the magic can never decode.
 TEST(CodecReject, GarbageBuffersNeverParse) {
-  proto::register_wire_messages();
+  register_all();
   Rng rng{99};
   for (int iter = 0; iter < 4000; ++iter) {
     std::vector<std::uint8_t> buf(rng.next_u64() % 128);
@@ -383,7 +405,7 @@ TEST(CodecReject, GarbageBuffersNeverParse) {
 // change. A decoder behavior change that reclassifies any corpus entry
 // fails loudly instead of silently shifting drop-counter reasons.
 TEST(CodecCorpus, EveryCheckedInFrameKeepsItsOutcome) {
-  proto::register_wire_messages();
+  register_all();
   // Longest-prefix match: "bad_version" must win over a hypothetical "bad".
   const std::vector<std::pair<std::string, std::optional<DecodeError>>>
       outcomes = {
@@ -425,8 +447,34 @@ TEST(CodecCorpus, EveryCheckedInFrameKeepsItsOutcome) {
     }
     ++seen;
   }
-  // The corpus shipped with 14 entries; it only ever grows.
-  EXPECT_GE(seen, 14u);
+  // The corpus shipped with 14 entries and grew to 19 with the reliability
+  // envelope (tags 16/17); it only ever grows.
+  EXPECT_GE(seen, 19u);
+}
+
+// Same wire-stability pin for the reliability envelope: the checked-in tag 17
+// ack frame must decode to these exact fields and re-encode byte-identically.
+TEST(CodecCorpus, OkReliableAckPinsWireLayout) {
+  register_all();
+  const std::filesystem::path file =
+      std::filesystem::path(WAN_CODEC_CORPUS_DIR) / "ok_reliable_ack.bin";
+  std::ifstream in(file, std::ios::binary);
+  ASSERT_TRUE(in) << file;
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ASSERT_EQ(bytes.size(), net::kWireHeaderSize + 16u);
+  const auto decoded =
+      CodecRegistry::global().decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok()) << net::to_cstring(decoded.error);
+  EXPECT_EQ(decoded.frame->from, HostId(2));
+  EXPECT_EQ(decoded.frame->to, HostId(1));
+  const auto& ack = static_cast<const net::ReliableAck&>(*decoded.frame->msg);
+  EXPECT_EQ(ack.cum_ack, 5u);
+  EXPECT_EQ(ack.ack_bits, 0b1010u);
+  const auto again = CodecRegistry::global().encode(
+      decoded.frame->from, decoded.frame->to, *decoded.frame->msg);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, bytes);
 }
 
 // The one accepted corpus frame is a wire-stability pin: these exact bytes
@@ -434,7 +482,7 @@ TEST(CodecCorpus, EveryCheckedInFrameKeepsItsOutcome) {
 // freezes the layout). Regenerating the frame from current encoders would
 // test nothing — the bytes on disk are the contract.
 TEST(CodecCorpus, OkHeartbeatPingPinsWireLayout) {
-  proto::register_wire_messages();
+  register_all();
   const std::filesystem::path file =
       std::filesystem::path(WAN_CODEC_CORPUS_DIR) / "ok_heartbeat_ping.bin";
   std::ifstream in(file, std::ios::binary);
@@ -460,7 +508,7 @@ TEST(CodecCorpus, OkHeartbeatPingPinsWireLayout) {
 
 // Oversize frames fail at encode time (they could never fit one datagram).
 TEST(CodecReject, OversizePayloadFailsEncode) {
-  proto::register_wire_messages();
+  register_all();
   const auto msg = net::make_message<proto::InvokeRequest>(
       AppId(1), UserId(2), 3, 4, auth::Signature{5},
       std::string(net::kMaxFrameSize, 'x'), 6);

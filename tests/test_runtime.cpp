@@ -17,6 +17,7 @@
 #include "chaos/engine.hpp"
 #include "net/network.hpp"
 #include "proto/host.hpp"
+#include "runtime/backend.hpp"
 #include "runtime/sim_env.hpp"
 #include "runtime/threaded_env.hpp"
 #include "sim/scheduler.hpp"
@@ -397,6 +398,54 @@ TEST(CrossRuntime, AdversarialChaosSeedsReplayBitIdentically) {
   EXPECT_EQ(a.trace_hash, b.trace_hash);
   EXPECT_EQ(a.decisions, b.decisions);
   EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+// --------------------------------------- EnvOptions / make_fabric error paths
+
+// Operators see these exact strings (wan_node prints them verbatim), so the
+// messages are pinned, not just "non-empty".
+
+TEST(EnvOptionsErrors, ParseBackendRoundTripsAndRejectsUnknown) {
+  for (const BackendKind kind :
+       {BackendKind::kSim, BackendKind::kLoopback, BackendKind::kUdp,
+        BackendKind::kReactor}) {
+    BackendKind parsed = BackendKind::kSim;
+    ASSERT_TRUE(parse_backend(to_cstring(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  BackendKind out = BackendKind::kUdp;
+  EXPECT_FALSE(parse_backend("tcp", &out));
+  EXPECT_EQ(out, BackendKind::kUdp);  // a failed parse leaves *out alone
+}
+
+TEST(EnvOptionsErrors, MakeFabricRejectsSimBackend) {
+  EnvOptions opts;
+  opts.backend = BackendKind::kSim;
+  std::string error;
+  EXPECT_EQ(make_fabric(opts, &error), nullptr);
+  EXPECT_EQ(error, "backend 'sim' is not a fabric");
+}
+
+TEST(EnvOptionsErrors, MakeFabricReportsMissingTopologyFile) {
+  for (const BackendKind kind : {BackendKind::kUdp, BackendKind::kReactor}) {
+    EnvOptions opts;
+    opts.backend = kind;
+    opts.listen = "127.0.0.1:0";
+    opts.topology_path = "/nonexistent/topology.txt";
+    std::string error;
+    EXPECT_EQ(make_fabric(opts, &error), nullptr);
+    EXPECT_EQ(error, "cannot open topology file '/nonexistent/topology.txt'")
+        << to_cstring(kind);
+  }
+}
+
+TEST(EnvOptionsErrors, MakeFabricReportsBadListenAddress) {
+  EnvOptions opts;
+  opts.backend = BackendKind::kUdp;
+  opts.listen = "no-port-here";
+  std::string error;
+  EXPECT_EQ(make_fabric(opts, &error), nullptr);
+  EXPECT_EQ(error, "bad listen address 'no-port-here'");
 }
 
 }  // namespace

@@ -18,7 +18,8 @@
 //       processes re-enact the revocation worst case with no coordination
 //       channel beyond the sockets themselves.
 //
-//   wan_node --udp-smoke [--te-ms N] [--backend udp|reactor] [--verbose]
+//   wan_node --udp-smoke [--te-ms N] [--backend udp|reactor] [--reliable]
+//            [--loss P] [--verbose]
 //       Orchestrator: spawns the 8 node processes (3 managers, 4 hosts,
 //       1 agent) from this same binary, each binding port 0; scrapes the
 //       kernel-assigned ports from their output, then writes the topology
@@ -26,7 +27,20 @@
 //       bind-then-close port race). Collects their stdout and asserts the
 //       Te bound across process boundaries. This is what CI runs.
 //       --backend selects the socket fabric: udp (thread-per-direction,
-//       default) or reactor (epoll + batched syscalls).
+//       default) or reactor (epoll + batched syscalls). --reliable arms the
+//       ack/retransmit layer in every child; --loss P additionally makes
+//       each child drop fraction P of inbound frames (seeded, deterministic
+//       per child), which only converges because retransmission recovers it.
+//
+//   wan_node --proc-chaos [--chaos-seed N] [--te-ms N] [--backend ...]
+//       Process-level chaos orchestrator: the same 8-process deployment
+//       (reliability layer on, managers journaling to per-process state
+//       dirs), plus a seeded kill/restart schedule — one non-revoking
+//       manager and one non-cut host are SIGKILLed mid-traffic and
+//       re-exec'd on their original ports a few hundred ms later. The
+//       restarted manager must replay its journal (JOURNAL_REPLAYED),
+//       re-sync from peers (RESYNCED), and the Te bound must hold across
+//       the crashes exactly as in the smoke. See docs/CHAOS.md.
 //
 // The multi-process script (offsets from each process's start; spawn skew is
 // tens of ms, the gaps are hundreds):
@@ -58,6 +72,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -66,6 +81,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -78,8 +94,10 @@
 #include "cli.hpp"
 #include "obs/metrics.hpp"
 #include "proto/host.hpp"
+#include "proto/journal.hpp"
 #include "proto/user_agent.hpp"
 #include "proto/wire.hpp"
+#include "util/rng.hpp"
 #include "runtime/reactor_transport.hpp"
 #include "runtime/threaded_env.hpp"
 #include "runtime/udp_transport.hpp"
@@ -92,6 +110,7 @@ using Clock = std::chrono::steady_clock;
 struct Options {
   bool realtime = false;
   bool udp_smoke = false;
+  bool proc_chaos = false;
   std::string role;      ///< manager|host|agent (multi-process mode)
   std::uint32_t id = 0;  ///< HostId in the topology (multi-process mode)
   bool id_set = false;
@@ -103,6 +122,13 @@ struct Options {
   bool verbose = false;
   bool metrics = false;      ///< export the metrics registry
   std::string metrics_path;  ///< with --metrics: live file (empty = stdout)
+  std::string state_dir;     ///< manager role: durable journal directory
+  bool reliable = false;     ///< arm the ack/retransmit layer
+  double loss = 0.0;         ///< seeded inbound loss fraction (test adversity)
+  std::uint64_t fault_seed = 1;
+  bool resume = false;   ///< restarted node: skip the scripted one-shot duties
+  int lifetime_ms = 0;   ///< override node lifetime (0 = derive from te_ms)
+  std::uint64_t chaos_seed = 1;  ///< --proc-chaos kill/restart schedule
 };
 
 // The fixed 8-node deployment every mode runs.
@@ -122,6 +148,12 @@ constexpr int kRevokeAtMs = 3200;
 /// How long a node process serves before exiting cleanly: the script plus
 /// three Te periods for the cache to expire plus slack for slow CI machines.
 int node_lifetime_ms(int te_ms) { return kRevokeAtMs + 3 * te_ms + 2000; }
+
+/// A node's actual lifetime: the --lifetime-ms override (restarted chaos
+/// victims get the remaining schedule) or the standard derivation.
+int lifetime_of(const Options& opt) {
+  return opt.lifetime_ms > 0 ? opt.lifetime_ms : node_lifetime_ms(opt.te_ms);
+}
 
 std::int64_t system_us() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -461,6 +493,9 @@ std::optional<runtime::Topology> wait_for_topology(const std::string& path,
 std::unique_ptr<runtime::SocketTransport> open_transport(const Options& opt) {
   std::string error;
   runtime::EnvOptions eopts;
+  eopts.reliability.enabled = opt.reliable;
+  // Distinct jitter per node keeps retransmit schedules from synchronizing.
+  eopts.reliability.jitter_seed = opt.id + 1;
   std::optional<runtime::Topology> topo;
   if (!opt.listen.empty()) {
     eopts.listen = opt.listen;
@@ -489,6 +524,12 @@ std::unique_ptr<runtime::SocketTransport> open_transport(const Options& opt) {
   if (!transport) {
     role_error(error);
     return nullptr;
+  }
+  if (opt.loss > 0.0) {
+    runtime::FaultPlan plan;
+    plan.seed = opt.fault_seed + opt.id;  // distinct stream per node
+    plan.loss = opt.loss;
+    transport->set_fault_plan(plan);
   }
   // Announce the kernel-assigned port before waiting on the topology: the
   // smoke orchestrator scrapes this line from every child, then writes the
@@ -523,12 +564,46 @@ int run_manager(const Options& opt, runtime::SocketTransport& transport) {
   proto::ManagerHost mgr(HostId(opt.id), env, clk::LocalClock::perfect(),
                          config);
   env.run_sync([&] { mgr.manager().manage_app(app, manager_ids); });
+
+  // Durable state: open the journal, replay whatever survived a previous
+  // incarnation, and — only when there WAS a previous incarnation — re-sync
+  // from peers to pick up updates issued while this manager was dead. A
+  // fresh simultaneous boot must not sync: its peers are equally fresh and
+  // would be asked to vouch for state nobody has yet.
+  std::unique_ptr<proto::ManagerJournal> journal;
+  if (!opt.state_dir.empty()) {
+    std::string error;
+    journal = proto::ManagerJournal::open(opt.state_dir, &error);
+    if (!journal) return role_error(error);
+    std::size_t replayed = 0;
+    env.run_sync(
+        [&] { replayed = mgr.manager().attach_journal(journal.get()); });
+    if (journal->had_state()) {
+      std::printf("JOURNAL_REPLAYED %zu\n", replayed);
+      std::fflush(stdout);
+      env.run_sync([&] { mgr.manager().resync(app); });
+      // RESYNCED means the sync actually completed, not merely started.
+      const auto sync_deadline = Clock::now() + std::chrono::seconds(10);
+      bool synced = false;
+      while (!synced && Clock::now() < sync_deadline) {
+        env.run_sync([&] { synced = mgr.manager().synced(app); });
+        if (!synced) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      }
+      if (synced) {
+        std::printf("RESYNCED %lld\n", static_cast<long long>(system_us()));
+        std::fflush(stdout);
+      }
+    }
+  }
+
   const Clock::time_point t0 = Clock::now();
   std::printf("NODE_READY role=manager id=%u port=%u\n", opt.id,
               transport.local_port());
   std::fflush(stdout);
 
-  if (opt.id == kManagerIds[0]) {
+  if (!opt.resume && opt.id == kManagerIds[0]) {
     sleep_until_offset(t0, kGrantAtMs);
     env.run_sync([&] {
       mgr.manager().submit_update(app, acl::Op::kAdd, alice, acl::Right::kUse,
@@ -540,7 +615,7 @@ int run_manager(const Options& opt, runtime::SocketTransport& transport) {
                                   });
     });
   }
-  if (opt.id == kManagerIds[1]) {
+  if (!opt.resume && opt.id == kManagerIds[1]) {
     sleep_until_offset(t0, kRevokeAtMs);
     env.run_sync([&] {
       mgr.manager().submit_update(app, acl::Op::kRevoke, alice,
@@ -556,7 +631,7 @@ int run_manager(const Options& opt, runtime::SocketTransport& transport) {
     });
   }
 
-  sleep_until_offset(t0, node_lifetime_ms(opt.te_ms));
+  sleep_until_offset(t0, lifetime_of(opt));
   transport.shutdown();
   return 0;
 }
@@ -584,7 +659,7 @@ int run_host(const Options& opt, runtime::SocketTransport& transport) {
               transport.local_port());
   std::fflush(stdout);
 
-  if (opt.id == kCutHostId) {
+  if (!opt.resume && opt.id == kCutHostId) {
     sleep_until_offset(t0, kBlockAtMs);
     // One-way partition: the agent can still invoke through this host, but
     // nothing the managers send (RevokeNotify, QueryResponse) gets in. Only
@@ -595,7 +670,7 @@ int run_host(const Options& opt, runtime::SocketTransport& transport) {
     std::fflush(stdout);
   }
 
-  sleep_until_offset(t0, node_lifetime_ms(opt.te_ms));
+  sleep_until_offset(t0, lifetime_of(opt));
   transport.shutdown();
   return 0;
 }
@@ -624,7 +699,7 @@ int run_agent(const Options& opt, runtime::SocketTransport& transport) {
   bool ever_allowed = false;
   bool denied_after_revoke = false;
   std::int64_t last_allow_us = 0;
-  const int deadline_ms = node_lifetime_ms(opt.te_ms) - 500;
+  const int deadline_ms = lifetime_of(opt) - 500;
   while (ms_since(t0) < deadline_ms) {
     std::mutex mu;
     bool done = false;
@@ -698,7 +773,32 @@ struct ChildProc {
   std::string out_path;
   int exit_code = -1;
   bool exited = false;
+  bool killed = false;  ///< chaos victim: nonzero exit is the point, not a bug
+  Clock::time_point spawned_at;
 };
+
+/// Forks and execs this binary with `args`, stdout redirected to `out_path`
+/// (the parent scrapes it). pid stays -1 when fork fails.
+ChildProc spawn_child(const char* argv0, const std::string& name,
+                      const std::string& out_path,
+                      const std::vector<std::string>& args) {
+  ChildProc child;
+  child.name = name;
+  child.out_path = out_path;
+  child.spawned_at = Clock::now();
+  const pid_t pid = ::fork();
+  if (pid < 0) return child;
+  if (pid == 0) {
+    if (std::freopen(out_path.c_str(), "w", stdout) == nullptr) std::_Exit(3);
+    std::vector<const char*> argv = {argv0};
+    for (const std::string& a : args) argv.push_back(a.c_str());
+    argv.push_back(nullptr);
+    ::execv(argv0, const_cast<char* const*>(argv.data()));
+    std::_Exit(3);  // execv only returns on failure
+  }
+  child.pid = pid;
+  return child;
+}
 
 std::optional<std::int64_t> scrape_stamp(const std::string& path,
                                          const std::string& key) {
@@ -718,6 +818,61 @@ void dump_child_output(const ChildProc& child) {
   while (std::getline(in, line)) {
     std::printf("  [%s] %s\n", child.name.c_str(), line.c_str());
   }
+}
+
+/// Phase 2 of the two-phase startup shared by the orchestrators: scrape each
+/// child's NODE_PORT announcement, assemble the real topology, and publish
+/// it atomically (rename, so no child ever parses a half-written file).
+/// Fills `ports_out` indexed like `children`/`nodes`. On timeout kills the
+/// deployment, dumps its output, and returns false.
+bool publish_topology(
+    const char* tag, std::vector<ChildProc>& children,
+    const std::vector<std::pair<std::string, std::uint32_t>>& nodes,
+    const std::string& topo_path, std::vector<std::int64_t>* ports_out) {
+  std::vector<std::optional<std::int64_t>> ports(children.size());
+  const auto port_deadline = Clock::now() + std::chrono::seconds(10);
+  std::size_t found = 0;
+  while (found < children.size()) {
+    found = 0;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      if (!ports[i]) {
+        ports[i] = scrape_stamp(children[i].out_path, "NODE_PORT");
+      }
+      if (ports[i]) ++found;
+    }
+    if (found == children.size()) break;
+    if (Clock::now() >= port_deadline) {
+      std::fprintf(stderr,
+                   "wan_node %s: FAILED — %zu/%zu children never announced "
+                   "a port\n",
+                   tag, children.size() - found, children.size());
+      for (ChildProc& child : children) {
+        ::kill(child.pid, SIGKILL);
+        dump_child_output(child);
+      }
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  runtime::Topology topo;
+  ports_out->clear();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    topo.add(HostId(nodes[i].second),
+             runtime::NodeAddress{"127.0.0.1",
+                                  static_cast<std::uint16_t>(*ports[i])});
+    ports_out->push_back(*ports[i]);
+  }
+  const std::string tmp_path = topo_path + ".tmp";
+  {
+    std::ofstream out(tmp_path);
+    out << topo.serialize();
+  }
+  if (std::rename(tmp_path.c_str(), topo_path.c_str()) != 0) {
+    std::fprintf(stderr, "wan_node %s: cannot publish topology\n", tag);
+    for (const ChildProc& c : children) ::kill(c.pid, SIGKILL);
+    return false;
+  }
+  return true;
 }
 
 int run_udp_smoke(const Options& opt, const char* argv0) {
@@ -741,33 +896,29 @@ int run_udp_smoke(const Options& opt, const char* argv0) {
   // to another process between close() and the child's bind().
   std::vector<ChildProc> children;
   for (const auto& [role, id] : nodes) {
-    ChildProc child;
-    child.name = role + "-" + std::to_string(id);
-    child.out_path = std::string(dir) + "/" + child.name + ".out";
-    const pid_t pid = ::fork();
-    if (pid < 0) {
+    const std::string name = role + "-" + std::to_string(id);
+    std::vector<std::string> args = {
+        "--role",     role,
+        "--id",       std::to_string(id),
+        "--topology", topo_path,
+        "--te-ms",    std::to_string(opt.te_ms),
+        "--listen",   "127.0.0.1:0",
+        "--backend",  opt.backend};
+    if (opt.reliable) args.push_back("--reliable");
+    if (opt.loss > 0.0) {
+      args.push_back("--loss");
+      args.push_back(std::to_string(opt.loss));
+      args.push_back("--fault-seed");
+      args.push_back(std::to_string(opt.fault_seed));
+    }
+    if (opt.verbose) args.push_back("--verbose");
+    ChildProc child =
+        spawn_child(argv0, name, std::string(dir) + "/" + name + ".out", args);
+    if (child.pid < 0) {
       std::fprintf(stderr, "wan_node --udp-smoke: fork failed\n");
       for (const ChildProc& c : children) ::kill(c.pid, SIGKILL);
       return 2;
     }
-    if (pid == 0) {
-      // Child: stdout -> per-node file the parent scrapes after the run.
-      std::FILE* out = std::freopen(child.out_path.c_str(), "w", stdout);
-      if (out == nullptr) std::_Exit(3);
-      const std::string id_text = std::to_string(id);
-      const std::string te_text = std::to_string(opt.te_ms);
-      std::vector<const char*> args = {argv0,        "--role",     role.c_str(),
-                                       "--id",       id_text.c_str(),
-                                       "--topology", topo_path.c_str(),
-                                       "--te-ms",    te_text.c_str(),
-                                       "--listen",   "127.0.0.1:0",
-                                       "--backend",  opt.backend.c_str()};
-      if (opt.verbose) args.push_back("--verbose");
-      args.push_back(nullptr);
-      ::execv(argv0, const_cast<char* const*>(args.data()));
-      std::_Exit(3);  // execv only returns on failure
-    }
-    child.pid = pid;
     children.push_back(std::move(child));
   }
   if (opt.verbose) {
@@ -776,50 +927,10 @@ int run_udp_smoke(const Options& opt, const char* argv0) {
   }
 
   // Phase 2: scrape each child's kernel-assigned port, then publish the
-  // real topology (atomically, via rename, so no child ever parses a
-  // half-written file).
-  runtime::Topology topo;
-  {
-    std::vector<std::optional<std::int64_t>> ports(children.size());
-    const auto port_deadline = Clock::now() + std::chrono::seconds(10);
-    std::size_t found = 0;
-    while (found < children.size()) {
-      found = 0;
-      for (std::size_t i = 0; i < children.size(); ++i) {
-        if (!ports[i]) {
-          ports[i] = scrape_stamp(children[i].out_path, "NODE_PORT");
-        }
-        if (ports[i]) ++found;
-      }
-      if (found == children.size()) break;
-      if (Clock::now() >= port_deadline) {
-        std::fprintf(stderr,
-                     "wan_node --udp-smoke: FAILED — %zu/%zu children never "
-                     "announced a port\n",
-                     children.size() - found, children.size());
-        for (ChildProc& child : children) {
-          ::kill(child.pid, SIGKILL);
-          dump_child_output(child);
-        }
-        return 1;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    }
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      topo.add(HostId(nodes[i].second),
-               runtime::NodeAddress{
-                   "127.0.0.1", static_cast<std::uint16_t>(*ports[i])});
-    }
-    const std::string tmp_path = topo_path + ".tmp";
-    {
-      std::ofstream out(tmp_path);
-      out << topo.serialize();
-    }
-    if (std::rename(tmp_path.c_str(), topo_path.c_str()) != 0) {
-      std::fprintf(stderr, "wan_node --udp-smoke: cannot publish topology\n");
-      for (const ChildProc& c : children) ::kill(c.pid, SIGKILL);
-      return 2;
-    }
+  // real topology.
+  std::vector<std::int64_t> ports;
+  if (!publish_topology("--udp-smoke", children, nodes, topo_path, &ports)) {
+    return 1;
   }
 
   // Wait for every child, with a hard deadline: a wedged deployment must
@@ -912,6 +1023,303 @@ int run_udp_smoke(const Options& opt, const char* argv0) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --proc-chaos: the 8-process deployment plus a seeded kill/restart schedule.
+
+/// Remaining lifetime for a restarted victim: the schedule it would have
+/// served minus the time its first incarnation already consumed, plus slack
+/// so it outlives the agent's poll (it must be up to answer resyncs and
+/// acks, and to exit cleanly).
+int remaining_lifetime_ms(const ChildProc& original, int te_ms) {
+  const int consumed = static_cast<int>(ms_since(original.spawned_at));
+  return std::max(1500, node_lifetime_ms(te_ms) - consumed + 1000);
+}
+
+int run_proc_chaos(const Options& opt, const char* argv0) {
+  char dir_template[] = "/tmp/wan_proc_chaos.XXXXXX";
+  const char* dir = ::mkdtemp(dir_template);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "wan_node --proc-chaos: mkdtemp failed\n");
+    return 2;
+  }
+  const std::string topo_path = std::string(dir) + "/topology.txt";
+
+  std::vector<std::pair<std::string, std::uint32_t>> nodes;
+  for (const std::uint32_t id : kManagerIds) nodes.emplace_back("manager", id);
+  for (const std::uint32_t id : kHostIds) nodes.emplace_back("host", id);
+  nodes.emplace_back("agent", kAgentId);
+
+  // The victims, drawn from the seed. Never the revoking manager (1) — the
+  // revoke must still happen so the oracle has an instant to measure from —
+  // and never the cut host (103), whose cache expiry IS the property under
+  // test. Everything else is fair game mid-traffic.
+  Rng chaos(opt.chaos_seed);
+  const std::uint32_t victim_mgr = chaos.next_bool(0.5) ? 0u : 2u;
+  constexpr std::uint32_t kHostPool[] = {100, 101, 102};
+  const std::uint32_t victim_host =
+      kHostPool[chaos.next_below(std::size(kHostPool))];
+  // Kill ~[1.6, 2.6] s after the grant lands — between the cache warm-up and
+  // the revocation, so the crash overlaps the revocation storm. Restart a
+  // few hundred ms later, well within the outage the retry budgets absorb.
+  const int kill_mgr_after_grant_ms = 1600 + static_cast<int>(chaos.next_below(1000));
+  const int restart_mgr_delay_ms = 300 + static_cast<int>(chaos.next_below(500));
+  const int kill_host_after_grant_ms = 1600 + static_cast<int>(chaos.next_below(1000));
+  const int restart_host_delay_ms = 300 + static_cast<int>(chaos.next_below(500));
+
+  auto node_args = [&](const std::string& role, std::uint32_t id,
+                       const std::string& listen) {
+    std::vector<std::string> args = {
+        "--role",     role,
+        "--id",       std::to_string(id),
+        "--topology", topo_path,
+        "--te-ms",    std::to_string(opt.te_ms),
+        "--listen",   listen,
+        "--backend",  opt.backend,
+        "--reliable"};
+    if (role == "manager") {
+      args.push_back("--state-dir");
+      args.push_back(std::string(dir) + "/state-" + std::to_string(id));
+    }
+    if (opt.verbose) args.push_back("--verbose");
+    return args;
+  };
+
+  std::vector<ChildProc> children;
+  for (const auto& [role, id] : nodes) {
+    const std::string name = role + "-" + std::to_string(id);
+    ChildProc child =
+        spawn_child(argv0, name, std::string(dir) + "/" + name + ".out",
+                    node_args(role, id, "127.0.0.1:0"));
+    if (child.pid < 0) {
+      std::fprintf(stderr, "wan_node --proc-chaos: fork failed\n");
+      for (const ChildProc& c : children) ::kill(c.pid, SIGKILL);
+      return 2;
+    }
+    children.push_back(std::move(child));
+  }
+  std::printf(
+      "wan_node --proc-chaos: seed %llu — will kill manager-%u (+%d ms after "
+      "grant, back %d ms later) and host-%u (+%d ms, back %d ms later)\n",
+      static_cast<unsigned long long>(opt.chaos_seed), victim_mgr,
+      kill_mgr_after_grant_ms, restart_mgr_delay_ms, victim_host,
+      kill_host_after_grant_ms, restart_host_delay_ms);
+
+  std::vector<std::int64_t> ports;
+  if (!publish_topology("--proc-chaos", children, nodes, topo_path, &ports)) {
+    return 1;
+  }
+
+  // The schedule anchors on the grant actually landing, not on wall-clock
+  // offsets: spawn skew varies, and killing a manager before the grant
+  // completes would test a different (earlier, easier) interleaving.
+  const std::string mgr0_out = std::string(dir) + "/manager-0.out";
+  std::optional<std::int64_t> grant_us;
+  const auto grant_deadline = Clock::now() + std::chrono::seconds(15);
+  while (!(grant_us = scrape_stamp(mgr0_out, "GRANT_OK_US"))) {
+    if (Clock::now() >= grant_deadline) {
+      std::fprintf(stderr,
+                   "wan_node --proc-chaos: FAILED — grant never completed\n");
+      for (ChildProc& child : children) {
+        ::kill(child.pid, SIGKILL);
+        dump_child_output(child);
+      }
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const Clock::time_point grant_at = Clock::now();
+
+  auto index_of = [&](std::uint32_t id) -> std::size_t {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].second == id) return i;
+    }
+    return 0;  // unreachable: victims are drawn from the node list
+  };
+
+  struct ChaosEvent {
+    Clock::time_point at;
+    bool restart = false;
+    std::size_t index = 0;  ///< into children/nodes/ports
+  };
+  std::vector<ChaosEvent> events = {
+      {grant_at + std::chrono::milliseconds(kill_mgr_after_grant_ms), false,
+       index_of(victim_mgr)},
+      {grant_at + std::chrono::milliseconds(kill_mgr_after_grant_ms +
+                                            restart_mgr_delay_ms),
+       true, index_of(victim_mgr)},
+      {grant_at + std::chrono::milliseconds(kill_host_after_grant_ms), false,
+       index_of(victim_host)},
+      {grant_at + std::chrono::milliseconds(kill_host_after_grant_ms +
+                                            restart_host_delay_ms),
+       true, index_of(victim_host)},
+  };
+  std::sort(events.begin(), events.end(),
+            [](const ChaosEvent& a, const ChaosEvent& b) { return a.at < b.at; });
+
+  std::vector<ChildProc> restarts;
+  for (const ChaosEvent& ev : events) {
+    std::this_thread::sleep_until(ev.at);
+    ChildProc& victim = children[ev.index];
+    const auto& [role, id] = nodes[ev.index];
+    if (!ev.restart) {
+      // SIGKILL: no atexit, no flush, no shutdown — the journal must already
+      // be durable and the survivors must carry the protocol meanwhile.
+      ::kill(victim.pid, SIGKILL);
+      ::waitpid(victim.pid, nullptr, 0);
+      victim.exited = true;
+      victim.killed = true;
+      victim.exit_code = 0;
+      std::printf("  killed %s at +%.0f ms\n", victim.name.c_str(),
+                  ms_since(grant_at));
+    } else {
+      // Re-exec on the original port (every peer still routes to it) with
+      // --resume (its one-shot scripted duties are done or forfeited) and
+      // the remaining schedule as its lifetime.
+      std::vector<std::string> args = node_args(
+          role, id, "127.0.0.1:" + std::to_string(ports[ev.index]));
+      args.push_back("--resume");
+      args.push_back("--lifetime-ms");
+      args.push_back(std::to_string(remaining_lifetime_ms(victim, opt.te_ms)));
+      ChildProc restarted = spawn_child(
+          argv0, victim.name + "-restart",
+          std::string(dir) + "/" + victim.name + ".restart.out", args);
+      if (restarted.pid < 0) {
+        std::fprintf(stderr, "wan_node --proc-chaos: restart fork failed\n");
+        for (const ChildProc& c : children) {
+          if (!c.exited) ::kill(c.pid, SIGKILL);
+        }
+        return 2;
+      }
+      std::printf("  restarted %s at +%.0f ms\n", victim.name.c_str(),
+                  ms_since(grant_at));
+      restarts.push_back(std::move(restarted));
+    }
+    std::fflush(stdout);
+  }
+  for (ChildProc& r : restarts) children.push_back(std::move(r));
+
+  // Wait for everything still alive, with a hard deadline.
+  const auto deadline =
+      Clock::now() +
+      std::chrono::milliseconds(node_lifetime_ms(opt.te_ms) + 15000);
+  std::size_t remaining = 0;
+  for (const ChildProc& c : children) {
+    if (!c.exited) ++remaining;
+  }
+  while (remaining > 0 && Clock::now() < deadline) {
+    for (ChildProc& child : children) {
+      if (child.exited) continue;
+      int status = 0;
+      if (::waitpid(child.pid, &status, WNOHANG) == child.pid) {
+        child.exited = true;
+        child.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+        --remaining;
+      }
+    }
+    if (remaining > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  bool all_ok = true;
+  if (remaining > 0) {
+    std::fprintf(stderr,
+                 "wan_node --proc-chaos: FAILED — %zu process(es) still "
+                 "running at deadline; killing\n",
+                 remaining);
+    for (ChildProc& child : children) {
+      if (!child.exited) ::kill(child.pid, SIGKILL);
+    }
+    all_ok = false;
+  }
+  for (const ChildProc& child : children) {
+    if (!child.killed && child.exited && child.exit_code != 0) {
+      std::fprintf(stderr, "wan_node --proc-chaos: %s exited %d\n",
+                   child.name.c_str(), child.exit_code);
+      all_ok = false;
+    }
+  }
+
+  // The recovery oracle: the restarted manager must have replayed durable
+  // state and completed a resync. (The restarted host is stateless — its
+  // check is simply the clean exit above.)
+  const std::string mgr_restart_out = std::string(dir) + "/manager-" +
+                                      std::to_string(victim_mgr) +
+                                      ".restart.out";
+  const std::optional<std::int64_t> replayed =
+      scrape_stamp(mgr_restart_out, "JOURNAL_REPLAYED");
+  if (!replayed || *replayed < 1) {
+    std::fprintf(stderr,
+                 "wan_node --proc-chaos: FAILED — restarted manager-%u "
+                 "replayed no journal records\n",
+                 victim_mgr);
+    all_ok = false;
+  }
+  if (!scrape_stamp(mgr_restart_out, "RESYNCED")) {
+    std::fprintf(stderr,
+                 "wan_node --proc-chaos: FAILED — restarted manager-%u never "
+                 "completed its resync\n",
+                 victim_mgr);
+    all_ok = false;
+  }
+
+  // The Te oracle, identical to the smoke: crashes may delay convergence but
+  // must never extend the window in which a revoked right is honoured.
+  const std::optional<std::int64_t> quorum_us =
+      scrape_stamp(std::string(dir) + "/manager-1.out", "REVOKE_QUORUM_US");
+  const std::optional<std::int64_t> last_allow_us = scrape_stamp(
+      std::string(dir) + "/agent-" + std::to_string(kAgentId) + ".out",
+      "LAST_ALLOW_US");
+  if (!quorum_us) {
+    std::fprintf(stderr,
+                 "wan_node --proc-chaos: revoke never reached quorum\n");
+    all_ok = false;
+  }
+  if (!last_allow_us) {
+    std::fprintf(stderr, "wan_node --proc-chaos: agent saw no allow/deny "
+                         "transition\n");
+    all_ok = false;
+  }
+  if (all_ok) {
+    const double over_ms =
+        static_cast<double>(*last_allow_us - *quorum_us) / 1000.0;
+    const bool held = over_ms <= static_cast<double>(opt.te_ms);
+    std::printf(
+        "wan_node --proc-chaos: Te bound across crashes: last allow %.1f ms "
+        "after revoke quorum (bound %d ms) — %s; manager-%u replayed %lld "
+        "records\n",
+        over_ms, opt.te_ms, held ? "HELD" : "VIOLATED", victim_mgr,
+        static_cast<long long>(*replayed));
+    all_ok = held;
+  }
+
+  if (!all_ok || opt.verbose) {
+    for (const ChildProc& child : children) dump_child_output(child);
+  }
+  if (!all_ok) {
+    std::fprintf(stderr, "wan_node --proc-chaos: FAILED (outputs kept in %s)\n",
+                 dir);
+    return 1;
+  }
+
+  // Success: tidy the scratch dir (out files, topology, journal state).
+  for (const ChildProc& child : children) {
+    std::remove(child.out_path.c_str());
+  }
+  for (const std::uint32_t id : kManagerIds) {
+    const std::string state = std::string(dir) + "/state-" + std::to_string(id);
+    std::remove((state + "/app-1.snap").c_str());
+    std::remove((state + "/app-1.log").c_str());
+    ::rmdir(state.c_str());
+  }
+  std::remove(topo_path.c_str());
+  ::rmdir(dir);
+  std::printf("wan_node --proc-chaos: OK (seed %llu, %s backend)\n",
+              static_cast<unsigned long long>(opt.chaos_seed),
+              opt.backend.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace wan
 
@@ -933,6 +1341,12 @@ int main(int argc, char** argv) {
                "spawn the same deployment as 8 OS processes over localhost\n"
                "UDP sockets and verify the Te bound across them",
                &opt.udp_smoke);
+  cli.add_flag("--proc-chaos",
+               "the 8-process deployment plus a seeded kill/restart\n"
+               "schedule: SIGKILL one manager and one host mid-traffic,\n"
+               "restart them, and verify journal replay, resync, and the\n"
+               "Te bound across the crashes (see docs/CHAOS.md)",
+               &opt.proc_chaos);
   cli.add_value("--role", "ROLE",
                 "run one node: manager, host, or agent (needs --id and\n"
                 "--topology)",
@@ -968,6 +1382,44 @@ int main(int argc, char** argv) {
                 [&](const std::string& v) {
                   return wan::cli::parse_int(v, &opt.te_ms) && opt.te_ms > 0;
                 });
+  cli.add_string("--state-dir", "DIR",
+                 "manager role: journal ACL state under DIR (created if\n"
+                 "missing); a restarted manager replays it and re-syncs",
+                 &opt.state_dir);
+  cli.add_flag("--reliable",
+               "arm the ack/retransmit layer on the socket fabric (critical\n"
+               "messages get per-flow sequencing, retransmission, and dedup;\n"
+               "heartbeats stay fire-and-forget)",
+               &opt.reliable);
+  cli.add_value("--loss", "P",
+                "drop fraction P (0..1) of inbound frames, deterministically\n"
+                "seeded — only converges with --reliable",
+                [&](const std::string& v) {
+                  char* end = nullptr;
+                  opt.loss = std::strtod(v.c_str(), &end);
+                  return end != v.c_str() && *end == '\0' && opt.loss >= 0.0 &&
+                         opt.loss < 1.0;
+                });
+  cli.add_value("--fault-seed", "N", "seed for the --loss fault stream",
+                [&](const std::string& v) {
+                  return wan::cli::parse_u64(v, &opt.fault_seed);
+                });
+  cli.add_flag("--resume",
+               "restarted node: skip the one-shot scripted duties (grant,\n"
+               "revoke, partition) its first incarnation already performed",
+               &opt.resume);
+  cli.add_value("--lifetime-ms", "N",
+                "serve for N ms before exiting (default: derived from\n"
+                "--te-ms; restarted chaos victims get the remaining time)",
+                [&](const std::string& v) {
+                  return wan::cli::parse_int(v, &opt.lifetime_ms) &&
+                         opt.lifetime_ms > 0;
+                });
+  cli.add_value("--chaos-seed", "N",
+                "--proc-chaos: seed for the kill/restart schedule",
+                [&](const std::string& v) {
+                  return wan::cli::parse_u64(v, &opt.chaos_seed);
+                });
   cli.add_value("--delay-us", "N",
                 "loopback one-way delay in us (--realtime only, default 1000)",
                 [&](const std::string& v) {
@@ -988,11 +1440,11 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 2;
 
   const int modes = (opt.realtime ? 1 : 0) + (opt.udp_smoke ? 1 : 0) +
-                    (opt.role.empty() ? 0 : 1);
+                    (opt.proc_chaos ? 1 : 0) + (opt.role.empty() ? 0 : 1);
   if (modes != 1) {
     std::fprintf(stderr,
                  "wan_node: pick exactly one of --realtime, --udp-smoke, "
-                 "--role (try --help)\n");
+                 "--proc-chaos, --role (try --help)\n");
     return 2;
   }
   if (!opt.role.empty() && (!opt.id_set || opt.topology.empty())) {
@@ -1009,6 +1461,8 @@ int main(int argc, char** argv) {
     rc = wan::Smoke(opt).run();
   } else if (opt.udp_smoke) {
     rc = wan::run_udp_smoke(opt, argv[0]);
+  } else if (opt.proc_chaos) {
+    rc = wan::run_proc_chaos(opt, argv[0]);
   } else {
     rc = wan::run_role(opt);
   }
