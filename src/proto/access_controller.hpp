@@ -103,6 +103,19 @@ class AccessController {
   /// quarantine (test/diag hook).
   [[nodiscard]] bool manager_quarantined(HostId manager) const;
 
+  /// Installs (or replaces) the shard map this host routes `app`'s checks
+  /// through; overrides whatever map the name service carries. The
+  /// coordinator of a rebalance calls this at commit; over the wire the
+  /// same installation happens via ShardMapAnnounce. Survives crash() like
+  /// the name-service record it mirrors — a stale epoch only ever routes to
+  /// the OLD owner group, which after commit refuses and times the check out
+  /// into a deny (safe direction) until a fresher map arrives.
+  void install_shard_map(AppId app, shard::ShardMap map);
+
+  /// The installed shard-map override for `app`, or nullptr when none is
+  /// installed (routing then falls back to the name-service record's map).
+  [[nodiscard]] const shard::ShardMap* shard_map(AppId app) const;
+
   /// Local clock reading (the paper's Time()).
   [[nodiscard]] clk::LocalTime local_now() const {
     return clock_.local_now();
@@ -145,6 +158,7 @@ class AccessController {
   void handle_invoke(HostId from, const InvokeRequest& req);
   void handle_query_response(HostId from, const QueryResponse& resp);
   void handle_revoke(HostId from, const RevokeNotify& msg);
+  void handle_shard_map(HostId from, const ShardMapAnnounce& msg);
 
   void start_session(AppId app, UserId user, CheckCallback done,
                      obs::TraceId parent);
@@ -201,6 +215,10 @@ class AccessController {
   bool up_ = true;
 
   std::map<AppId, AppState> apps_;
+  /// Installed shard-map overrides by app (empty when routing flat). Kept
+  /// across crash(): distribution state, not protocol state — see
+  /// install_shard_map.
+  std::map<AppId, shard::ShardMap> shard_maps_;
   std::unordered_map<SessionKey, std::unique_ptr<CheckSession>> sessions_;
   std::unordered_map<std::uint64_t, SessionKey> query_to_session_;
   std::unordered_map<HostId, ManagerProfile> profiles_;

@@ -44,6 +44,7 @@
 #include "proto/messages.hpp"
 #include "quorum/quorum.hpp"
 #include "runtime/env.hpp"
+#include "shard/shard_map.hpp"
 #include "util/rng.hpp"
 
 namespace wan::proto {
@@ -97,7 +98,10 @@ class ManagerModule {
   /// dissemination to remaining managers continues in the background. Under
   /// a partition that denies even the read quorum, the operation simply
   /// blocks (retrying) until connectivity returns — the paper's blocking
-  /// semantics.
+  /// semantics. Under a non-trivial shard map the submit must be routed to a
+  /// member of the key's owner group; a mis-routed submit is refused
+  /// (counted in submits_refused_unowned(), callback dropped) exactly like a
+  /// mis-routed query — the caller re-resolves and retries.
   void submit_update(AppId app, acl::Op op, UserId user, acl::Right right,
                      UpdateCallback done = nullptr);
 
@@ -218,6 +222,80 @@ class ManagerModule {
   /// Count of in-flight originated updates (diagnostics).
   [[nodiscard]] std::size_t inflight_updates(AppId app) const;
 
+  // --- sharding (shard/shard_map.hpp) --------------------------------------
+  // A sharded manager runs the unmodified protocol inside its own group (its
+  // AppCtl.managers IS the group), and the map adds exactly two things on
+  // top: ownership gating — queries, submits, and peer updates for keys
+  // outside the shards this group owns are refused or ack'd-without-apply,
+  // so a stale router times out into a deny (the safe direction) — and the
+  // catch-up-then-flip handoff below, which moves a shard's ACL slice to its
+  // next owner group while reads and writes stay on the old owner until
+  // commit.
+
+  /// Installs `map` as the app's current shard map (deployment setup, or the
+  /// receive side of a committed rebalance). Does not touch group
+  /// membership: groups are fixed, they only enter or leave the map. The map
+  /// survives crash() like the name-service record it mirrors — it is
+  /// distribution state, not protocol state.
+  void set_shard_map(AppId app, shard::ShardMap map);
+
+  /// The current map (empty map if none installed / app unknown).
+  [[nodiscard]] const shard::ShardMap* shard_map(AppId app) const;
+
+  /// Old-owner side of a rebalance: for every shard this manager holds today
+  /// that `next` assigns to a different group, start streaming the slice
+  /// (Begin + Chunk series keyed by a content hash) to every member of the
+  /// next owner group, re-snapshotting and re-sending on each retransmit
+  /// period until each destination acks the series it currently advertises.
+  /// Reads and writes keep landing here until commit_shard_map().
+  void begin_shard_handoff(AppId app, const shard::ShardMap& next);
+
+  /// True when every outgoing handoff series has been acked by every
+  /// destination AND still matches the live slice (no write raced the last
+  /// snapshot). The rebalance coordinator polls this and must call
+  /// commit_shard_map() in the same scheduler event that observed true —
+  /// that atomicity is what makes the flip race-free in the simulator.
+  [[nodiscard]] bool handoff_drained(AppId app) const;
+
+  /// Flips to `next`: adopts the map, merges staged slices for shards this
+  /// group gained (gated on complete series from a quorum of old-owner
+  /// members — quorum intersection carries every completed update), drops
+  /// slices and grant-table entries for shards it lost, and force-compacts
+  /// the journal so dropped registers cannot resurrect on replay. Grant
+  /// tables are deliberately NOT transferred: cache expiry (te) bounds every
+  /// grant the old owner issued, so the Te revocation bound holds across the
+  /// flip without them.
+  void commit_shard_map(AppId app, shard::ShardMap next);
+
+  /// Abandons an in-progress rebalance: outgoing handoffs stop, staged
+  /// slices are discarded, the current map stays authoritative.
+  void abort_shard_handoff(AppId app);
+
+  /// Sends the CURRENT map as a ShardMapAnnounce to `recipients` (the
+  /// coordinator's post-commit distribution step; receivers apply epoch
+  /// discipline).
+  void announce_shard_map(AppId app, const std::vector<HostId>& recipients);
+
+  /// Shards this group owns under the current map but cannot answer for yet
+  /// (flipped before enough complete handoff series arrived). Queries for
+  /// them are refused — deny by timeout — until the series count is met.
+  [[nodiscard]] std::size_t pending_shards(AppId app) const;
+
+  /// Host queries refused because the key's shard is not owned here.
+  [[nodiscard]] std::uint64_t queries_refused_unowned() const noexcept {
+    return queries_refused_unowned_;
+  }
+  /// Submits refused for the same reason (caller routed with a stale map).
+  [[nodiscard]] std::uint64_t submits_refused_unowned() const noexcept {
+    return submits_refused_unowned_;
+  }
+  /// ACL entries this manager has sent in SyncResponse messages — the
+  /// resync-scoping regression tests pin this (a sync must transfer the
+  /// requester's owned slice, not the whole store).
+  [[nodiscard]] std::uint64_t sync_entries_sent() const noexcept {
+    return sync_entries_sent_;
+  }
+
  private:
   struct PendingRead {
     acl::Op op = acl::Op::kAdd;
@@ -267,6 +345,44 @@ class ManagerModule {
     UpdateCallback done;
   };
 
+  /// One outgoing handoff: this manager streaming one shard's slice to the
+  /// members of its next owner group. `series` is the content hash of
+  /// `slice`; a write racing the handoff changes the hash, which resets the
+  /// ack set and resends — so an acked series always names exactly the bytes
+  /// the destination holds. After commit the slice leaves the store and the
+  /// snapshot freezes; retransmission continues until every destination
+  /// acks, then the record retires.
+  struct HandoffOut {
+    std::uint32_t shard = 0;
+    std::uint64_t epoch = 0;  ///< the PROPOSED map's epoch
+    std::uint64_t series = 0;
+    std::vector<acl::AclUpdate> slice;
+    std::set<HostId> dests;
+    std::set<HostId> acked;  ///< dests that acked the current series
+    bool frozen = false;     ///< post-commit: stop re-snapshotting
+    runtime::Timer retry;
+
+    explicit HandoffOut(runtime::Env& env) : retry(env.make_timer()) {}
+  };
+
+  /// One incoming handoff series from one old-owner member. Chunks merge
+  /// into the per-shard staging store as they land (idempotent LWW, so
+  /// redelivery and series restarts are harmless); completeness is tracked
+  /// per sender because the flip requires complete series from a QUORUM of
+  /// distinct old-owner members before the staged slice may answer queries.
+  struct HandoffIn {
+    std::uint64_t epoch = 0;
+    std::uint64_t series = 0;
+    std::uint32_t total = 0;
+    std::set<std::uint32_t> received;  ///< chunk seqs of the current series
+    bool complete = false;
+  };
+
+  struct AppCtl;
+
+  [[nodiscard]] bool owns_key(const AppCtl& ctl, AppId app,
+                              UserId user) const;
+
   struct AppCtl {
     std::vector<HostId> managers;  ///< full set, incl. self
     std::vector<HostId> peers;     ///< managers minus self
@@ -288,6 +404,22 @@ class ManagerModule {
     std::unique_ptr<runtime::Timer> sync_timer;
     std::unique_ptr<runtime::PeriodicTimer> heartbeat;
     std::uint64_t heartbeat_seq = 0;
+    /// Current shard map (empty = flat). Survives crash() — see
+    /// set_shard_map().
+    shard::ShardMap shard_map;
+    /// The map a begin_shard_handoff() is migrating toward; defines shard
+    /// numbering for slice re-snapshots. Cleared at commit/abort.
+    std::optional<shard::ShardMap> proposed;
+    /// Outgoing handoffs by shard (this manager is an old owner).
+    std::map<std::uint32_t, std::unique_ptr<HandoffOut>> handoffs_out;
+    /// Incoming handoff series by (shard, sender).
+    std::map<std::pair<std::uint32_t, HostId>, HandoffIn> handoffs_in;
+    /// Staged slices by shard — merged into the store only at activation,
+    /// never consulted by queries, discarded on abort.
+    std::map<std::uint32_t, acl::AclStore> staging;
+    /// Gained shards awaiting enough complete series (shard -> senders
+    /// still required). Queries for these shards are refused.
+    std::map<std::uint32_t, int> pending_acquire;
   };
 
   void handle_query(HostId from, const QueryRequest& q);
@@ -304,6 +436,31 @@ class ManagerModule {
   void handle_sync_response(HostId from, const SyncResponse& m);
   void handle_sync_push(HostId from, const SyncPush& m);
   void push_snapshot(AppId app, AppCtl& ctl);
+
+  void handle_shard_map_announce(HostId from, const ShardMapAnnounce& m);
+  void handle_handoff_begin(HostId from, const ShardHandoffBegin& m);
+  void handle_handoff_chunk(HostId from, const ShardHandoffChunk& m);
+  void handle_handoff_done(HostId from, const ShardHandoffDone& m);
+  /// One retransmit round of an outgoing handoff: re-snapshot the slice
+  /// (unless frozen), restart the series if it changed, send Begin + all
+  /// chunks to every destination that has not acked the current series.
+  void handoff_round(AppId app, std::uint32_t shard);
+  void send_handoff_series(AppId app, const AppCtl& ctl, const HandoffOut& h);
+  /// Slice predicate under `map` for shard `s` (which users belong to it).
+  [[nodiscard]] std::vector<acl::AclUpdate> slice_snapshot(
+      const AppCtl& ctl, AppId app, const shard::ShardMap& map,
+      std::uint32_t shard) const;
+  /// Count of distinct senders with a complete series for `shard`.
+  [[nodiscard]] static std::size_t complete_senders(const AppCtl& ctl,
+                                                    std::uint32_t shard);
+  /// If `shard` is pending and enough complete series arrived, merge the
+  /// staged slice into the live store and open the shard for queries.
+  void maybe_activate_shard(AppId app, AppCtl& ctl, std::uint32_t shard);
+  /// Whether cross-group shard traffic from `from` is trustworthy: a member
+  /// of the current map (old and new owners both are — joining groups get
+  /// the pre-rebalance map installed before handoff), falling back to
+  /// is_peer when no map is installed.
+  [[nodiscard]] bool shard_sender_ok(const AppCtl& ctl, HostId from) const;
 
   void start_revoke_forwarding(AppId app, AppCtl& ctl, UserId user,
                                acl::Version version, obs::TraceId trace);
@@ -362,6 +519,9 @@ class ManagerModule {
   std::uint64_t next_txn_id_ = 1;
   std::uint64_t next_sync_id_ = 1;
   std::uint64_t next_read_id_ = 1;
+  std::uint64_t queries_refused_unowned_ = 0;
+  std::uint64_t submits_refused_unowned_ = 0;
+  std::uint64_t sync_entries_sent_ = 0;
   // Minted unconditionally so message-borne trace ids never depend on whether
   // a tracer is installed (traced/untraced runs stay bit-identical).
   std::uint32_t next_trace_seq_ = 1;

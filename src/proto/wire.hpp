@@ -36,6 +36,11 @@ enum WireTags : net::WireTag {
   kTagSyncPush = 13,
   kTagHeartbeatPing = 14,
   kTagHeartbeatPong = 15,
+  // 16 and 17 belong to the reliability envelope (net/reliable.hpp).
+  kTagShardMapAnnounce = 18,
+  kTagShardHandoffBegin = 19,
+  kTagShardHandoffChunk = 20,
+  kTagShardHandoffDone = 21,
 };
 
 /// Registers the codec for every protocol message type with the global

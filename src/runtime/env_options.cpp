@@ -27,6 +27,21 @@ bool parse_backend(const std::string& text, BackendKind* out) {
   return true;
 }
 
+shard::ShardMap make_shard_map(const ShardTopologyOptions& topo,
+                               const std::vector<HostId>& managers) {
+  if (topo.groups <= 1) return shard::ShardMap{};
+  WAN_REQUIRE(!managers.empty());
+  WAN_REQUIRE(managers.size() % topo.groups == 0);
+  const std::size_t per_group = managers.size() / topo.groups;
+  std::vector<std::vector<HostId>> groups(topo.groups);
+  for (std::size_t i = 0; i < managers.size(); ++i) {
+    groups[i / per_group].push_back(managers[i]);
+  }
+  const std::uint32_t shards = topo.shards != 0 ? topo.shards : topo.groups;
+  return shard::ShardMap::ring(std::move(groups), shards, /*epoch=*/1,
+                               topo.ring_seed);
+}
+
 net::Network::Config to_network_config(const EnvOptions& opts) {
   WAN_REQUIRE(opts.loss >= 0.0 && opts.loss < 1.0);
   WAN_REQUIRE(!opts.delay.is_negative());

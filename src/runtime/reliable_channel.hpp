@@ -52,12 +52,14 @@
 #include <optional>
 #include <set>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "net/reliable.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/env_options.hpp"
 #include "runtime/socket_base.hpp"
+#include "util/hash.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
 
@@ -132,6 +134,18 @@ class ReliableChannel {
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
 
+  /// Buckets the flow tables through the seeded stable hash: flow keys are
+  /// built from peer-chosen host ids, and the identity hash the standard
+  /// library defaults to would let a hostile or merely unlucky id pattern
+  /// cluster every flow into a handful of buckets. stable_hash64 avalanches,
+  /// so the dedup window stays O(1) regardless of the id distribution.
+  struct FlowHash {
+    std::size_t operator()(std::uint64_t key) const noexcept {
+      return static_cast<std::size_t>(stable_hash64(kFlowHashSeed, key));
+    }
+  };
+  static constexpr std::uint64_t kFlowHashSeed = 0x57414e464c4f5753ULL;
+
   /// Next interval: rto * backoff^(n) clamped to max, +/- jitter. mu_ held.
   std::chrono::nanoseconds jittered(std::chrono::nanoseconds rto);
   /// Ack state of the receive flow (from -> to). mu_ held.
@@ -153,8 +167,8 @@ class ReliableChannel {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
-  std::map<std::uint64_t, SendFlow> send_flows_;  ///< keyed by flow_key
-  std::map<std::uint64_t, RecvFlow> recv_flows_;
+  std::unordered_map<std::uint64_t, SendFlow, FlowHash> send_flows_;
+  std::unordered_map<std::uint64_t, RecvFlow, FlowHash> recv_flows_;
   Rng jitter_rng_;
   UnreachableFn unreachable_;  ///< written before the first send in practice
 

@@ -1,0 +1,185 @@
+#include "shard/shard_map.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace wan::shard {
+
+namespace {
+
+/// Domain separators keep the three hash uses (group vnodes, shard ring
+/// points, key->shard) from ever colliding by construction.
+constexpr std::uint64_t kGroupDomain = 0x67;  // 'g'
+constexpr std::uint64_t kShardDomain = 0x73;  // 's'
+constexpr std::uint64_t kKeyDomain = 0x6b;    // 'k'
+
+/// A group's ring label: its smallest member id. Stable under changes to
+/// OTHER groups — the property monotonicity rests on.
+std::uint64_t group_label(const std::vector<HostId>& group) {
+  WAN_REQUIRE(!group.empty());
+  std::uint64_t label = group.front().value();
+  for (const HostId m : group) {
+    label = std::min<std::uint64_t>(label, m.value());
+  }
+  return label;
+}
+
+}  // namespace
+
+ShardMap ShardMap::single_group(std::vector<HostId> managers,
+                                std::uint64_t epoch) {
+  WAN_REQUIRE(!managers.empty());
+  ShardMap map;
+  map.epoch_ = epoch;
+  map.shard_count_ = 1;
+  map.groups_.push_back(std::move(managers));
+  map.owner_.assign(1, 0);
+  return map;
+}
+
+ShardMap ShardMap::ring(std::vector<std::vector<HostId>> groups,
+                        std::uint32_t shard_count, std::uint64_t epoch,
+                        std::uint64_t ring_seed) {
+  WAN_REQUIRE(!groups.empty());
+  WAN_REQUIRE(shard_count >= 1);
+  ShardMap map;
+  map.epoch_ = epoch;
+  map.shard_count_ = shard_count;
+  map.ring_seed_ = ring_seed;
+  map.groups_ = std::move(groups);
+
+  // Project every group's vnodes onto the ring. Ties (astronomically rare)
+  // break toward the smaller label so placement is total-order deterministic.
+  struct Point {
+    std::uint64_t at;
+    std::uint64_t label;
+    std::uint32_t group;
+  };
+  std::vector<Point> points;
+  points.reserve(map.groups_.size() * kVnodesPerGroup);
+  for (std::uint32_t g = 0; g < map.groups_.size(); ++g) {
+    const std::uint64_t label = group_label(map.groups_[g]);
+    for (std::uint32_t v = 0; v < kVnodesPerGroup; ++v) {
+      points.push_back(
+          {stable_hash64(ring_seed ^ kGroupDomain, label, v), label, g});
+    }
+  }
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    return a.at != b.at ? a.at < b.at : a.label < b.label;
+  });
+
+  map.owner_.resize(shard_count);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    const std::uint64_t at = stable_hash64(ring_seed ^ kShardDomain, s);
+    // First point at or clockwise after the shard's position; wrap to the
+    // ring's first point past the top.
+    auto it = std::lower_bound(
+        points.begin(), points.end(), at,
+        [](const Point& p, std::uint64_t key) { return p.at < key; });
+    if (it == points.end()) it = points.begin();
+    map.owner_[s] = it->group;
+  }
+  return map;
+}
+
+ShardMap ShardMap::assigned(std::vector<std::vector<HostId>> groups,
+                            std::vector<std::uint32_t> owner,
+                            std::uint64_t epoch, std::uint64_t ring_seed) {
+  WAN_REQUIRE(!groups.empty());
+  WAN_REQUIRE(!owner.empty());
+  ShardMap map;
+  map.epoch_ = epoch;
+  map.shard_count_ = static_cast<std::uint32_t>(owner.size());
+  map.ring_seed_ = ring_seed;
+  map.groups_ = std::move(groups);
+  map.owner_ = std::move(owner);
+  WAN_REQUIRE(map.valid());
+  return map;
+}
+
+std::optional<ShardMap> ShardMap::checked(
+    std::vector<std::vector<HostId>> groups, std::vector<std::uint32_t> owner,
+    std::uint64_t epoch, std::uint64_t ring_seed) {
+  ShardMap map;
+  map.epoch_ = epoch;
+  map.shard_count_ = static_cast<std::uint32_t>(owner.size());
+  map.ring_seed_ = ring_seed;
+  map.groups_ = std::move(groups);
+  map.owner_ = std::move(owner);
+  if (!map.valid() || map.empty()) return std::nullopt;
+  return map;
+}
+
+std::uint32_t ShardMap::shard_of(AppId app, UserId user) const {
+  WAN_REQUIRE(shard_count_ >= 1);
+  return static_cast<std::uint32_t>(
+      stable_hash64(ring_seed_ ^ kKeyDomain, app.value(), user.value()) %
+      shard_count_);
+}
+
+std::uint32_t ShardMap::group_of_shard(std::uint32_t shard) const {
+  WAN_REQUIRE(shard < owner_.size());
+  return owner_[shard];
+}
+
+const std::vector<HostId>& ShardMap::group(std::uint32_t g) const {
+  WAN_REQUIRE(g < groups_.size());
+  return groups_[g];
+}
+
+const std::vector<HostId>& ShardMap::group_for(AppId app, UserId user) const {
+  return group(group_of_shard(shard_of(app, user)));
+}
+
+std::optional<std::uint32_t> ShardMap::group_index_of(HostId manager) const {
+  for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+    for (const HostId m : groups_[g]) {
+      if (m == manager) return g;
+    }
+  }
+  return std::nullopt;
+}
+
+bool ShardMap::owns_shard(HostId manager, std::uint32_t shard) const {
+  const auto g = group_index_of(manager);
+  return g.has_value() && *g == group_of_shard(shard);
+}
+
+bool ShardMap::owns(HostId manager, AppId app, UserId user) const {
+  return owns_shard(manager, shard_of(app, user));
+}
+
+std::vector<std::uint32_t> ShardMap::shards_of_group(std::uint32_t g) const {
+  std::vector<std::uint32_t> shards;
+  for (std::uint32_t s = 0; s < owner_.size(); ++s) {
+    if (owner_[s] == g) shards.push_back(s);
+  }
+  return shards;
+}
+
+std::vector<HostId> ShardMap::all_managers() const {
+  std::vector<HostId> all;
+  for (const auto& g : groups_) all.insert(all.end(), g.begin(), g.end());
+  return all;
+}
+
+bool ShardMap::valid() const {
+  if (groups_.empty()) return owner_.empty() && shard_count_ == 0;
+  if (owner_.size() != shard_count_ || shard_count_ == 0) return false;
+  std::set<std::uint64_t> seen;
+  for (const auto& g : groups_) {
+    if (g.empty()) return false;
+    for (const HostId m : g) {
+      if (!m.valid() || !seen.insert(m.value()).second) return false;
+    }
+  }
+  for (const std::uint32_t g : owner_) {
+    if (g >= groups_.size()) return false;
+  }
+  return true;
+}
+
+}  // namespace wan::shard

@@ -1,0 +1,144 @@
+// ShardMap: a versioned partition of the (app, user) key space across
+// manager GROUPS.
+//
+// The paper's protocol runs every quorum — check quorum C, update quorum
+// M-C+1, recovery sync from C peers — over "the" manager set of an
+// application. That set is the scale ceiling: every manager holds the full
+// ACL and every revocation fans out from all of them. Sharding keeps the
+// protocol untouched and shrinks its world instead: managers are partitioned
+// into disjoint groups, the key space is split into a fixed number of
+// logical shards, and each shard is owned by exactly one group. Within a
+// group the original protocol runs verbatim (a sharded manager's
+// Managers(A) is simply its own group), so every quorum-intersection
+// argument — including the Te revocation bound — holds per shard.
+//
+// Two placement functions compose (the kumofs HashSpace idiom):
+//
+//   key -> shard    stable_hash64(ring_seed, app, user) % shard_count.
+//                   shard_count is fixed for the lifetime of a deployment,
+//                   so this mapping never moves; only ownership does.
+//   shard -> group  a consistent-hash ring: each group projects kVnodes
+//                   virtual points onto the u64 ring (hashed from the
+//                   group's label — its smallest member id, which is stable
+//                   under membership of OTHER groups), and a shard lands on
+//                   the first group point at or clockwise after the shard's
+//                   own ring point. Adding a group therefore only MOVES
+//                   shards onto the new group, and removing one only moves
+//                   that group's shards elsewhere — the monotonicity the
+//                   property tests pin, and the reason a rebalance hands off
+//                   O(moved shards) state instead of reshuffling everything.
+//
+// Maps are versioned by `epoch`. During a rebalance two epochs coexist:
+// reads AND writes stay routed by the old epoch until the handoff commits
+// (catch-up-then-flip — the kumofs read/write-space discipline collapsed to
+// its safe end state), so no key ever has two active owners. Distribution
+// and state transfer travel as frozen wire messages (ShardMapAnnounce,
+// ShardHandoffBegin/Chunk/Done — docs/WIRE_FORMAT.md).
+//
+// This library depends only on util/ — proto/, runtime/, and the tools all
+// layer on top of it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace wan::shard {
+
+/// Seed of the default placement ring. Pinned: persisted placements and wire
+/// frames derive from it (see stable_hash64 in util/hash.hpp).
+inline constexpr std::uint64_t kDefaultRingSeed = 0x5741'4e53'4841'5244ULL;
+
+/// Virtual points each group projects onto the ring. More vnodes = smoother
+/// shard balance between groups; 64 keeps the max/min shard-count ratio
+/// under ~1.3 for the group counts this system runs (the balance test pins
+/// the same bound for the key->shard hash itself).
+inline constexpr std::uint32_t kVnodesPerGroup = 64;
+
+class ShardMap {
+ public:
+  /// An empty (epoch-0) map: no groups, trivially unsharded.
+  ShardMap() = default;
+
+  /// The whole key space owned by one group — the unsharded deployments
+  /// every pre-shard test runs, expressed in the sharded vocabulary.
+  static ShardMap single_group(std::vector<HostId> managers,
+                               std::uint64_t epoch = 1);
+
+  /// Consistent-hash placement: `shard_count` logical shards distributed
+  /// over `groups` by the ring. Groups must be disjoint and non-empty.
+  static ShardMap ring(std::vector<std::vector<HostId>> groups,
+                       std::uint32_t shard_count, std::uint64_t epoch,
+                       std::uint64_t ring_seed = kDefaultRingSeed);
+
+  /// Explicit placement: `owner[s]` names the owning group of shard s.
+  /// Deterministic deployments (wan_node's multi-process script) use this so
+  /// scripted duties don't depend on hash values.
+  static ShardMap assigned(std::vector<std::vector<HostId>> groups,
+                           std::vector<std::uint32_t> owner,
+                           std::uint64_t epoch,
+                           std::uint64_t ring_seed = kDefaultRingSeed);
+
+  /// Non-aborting assigned(): nullopt instead of WAN_REQUIRE on structural
+  /// invalidity. The wire decoder builds maps from untrusted bytes through
+  /// this — a hostile ShardMapAnnounce must surface as a malformed-frame
+  /// drop, never a process abort.
+  static std::optional<ShardMap> checked(
+      std::vector<std::vector<HostId>> groups, std::vector<std::uint32_t> owner,
+      std::uint64_t epoch, std::uint64_t ring_seed = kDefaultRingSeed);
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return shard_count_;
+  }
+  [[nodiscard]] std::uint64_t ring_seed() const noexcept { return ring_seed_; }
+  [[nodiscard]] const std::vector<std::vector<HostId>>& groups()
+      const noexcept {
+    return groups_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& owners() const noexcept {
+    return owner_;
+  }
+
+  /// Empty or single-group: shard routing degenerates to the flat protocol.
+  [[nodiscard]] bool trivial() const noexcept { return groups_.size() <= 1; }
+  [[nodiscard]] bool empty() const noexcept { return groups_.empty(); }
+
+  [[nodiscard]] std::uint32_t shard_of(AppId app, UserId user) const;
+  [[nodiscard]] std::uint32_t group_of_shard(std::uint32_t shard) const;
+  [[nodiscard]] const std::vector<HostId>& group(std::uint32_t g) const;
+  /// The manager group that owns (app, user) — where a host sends its
+  /// queries and an admin routes updates.
+  [[nodiscard]] const std::vector<HostId>& group_for(AppId app,
+                                                    UserId user) const;
+
+  /// The group a manager belongs to, or nullopt for a non-member.
+  [[nodiscard]] std::optional<std::uint32_t> group_index_of(
+      HostId manager) const;
+  /// Does `manager`'s group own the shard / the key?
+  [[nodiscard]] bool owns_shard(HostId manager, std::uint32_t shard) const;
+  [[nodiscard]] bool owns(HostId manager, AppId app, UserId user) const;
+
+  [[nodiscard]] std::vector<std::uint32_t> shards_of_group(
+      std::uint32_t g) const;
+  /// Flat union of every group — the legacy Managers(A) view (revocation
+  /// sender validation, name-service compatibility).
+  [[nodiscard]] std::vector<HostId> all_managers() const;
+
+  /// Structural sanity: non-empty disjoint groups, one owner per shard, all
+  /// owner indices in range. An empty map is valid.
+  [[nodiscard]] bool valid() const;
+
+  friend bool operator==(const ShardMap&, const ShardMap&) = default;
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::uint32_t shard_count_ = 0;
+  std::uint64_t ring_seed_ = kDefaultRingSeed;
+  std::vector<std::vector<HostId>> groups_;
+  std::vector<std::uint32_t> owner_;  ///< shard index -> group index
+};
+
+}  // namespace wan::shard

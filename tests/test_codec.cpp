@@ -20,6 +20,7 @@
 #include "net/reliable.hpp"
 #include "proto/messages.hpp"
 #include "proto/wire.hpp"
+#include "shard/shard_map.hpp"
 #include "util/rng.hpp"
 
 namespace wan {
@@ -28,8 +29,9 @@ namespace {
 using net::CodecRegistry;
 using net::DecodeError;
 
-/// The full tag table under test: the 15 protocol messages plus the
-/// reliability envelope (tags 16/17, net/reliable.hpp).
+/// The full tag table under test: the 15 original protocol messages, the
+/// reliability envelope (tags 16/17, net/reliable.hpp), and the shard
+/// rebalancing messages (tags 18-21).
 void register_all() {
   proto::register_wire_messages();
   net::register_reliable_codecs();
@@ -77,7 +79,29 @@ UserId random_user(Rng& rng) {
   return UserId(static_cast<std::uint32_t>(rng.next_u64()));
 }
 
-/// One seeded generator per message type, in wire-tag order 1..17. Adding a
+shard::ShardMap random_shard_map(Rng& rng) {
+  const std::uint32_t group_count =
+      1 + static_cast<std::uint32_t>(rng.next_u64() % 3);
+  std::uint32_t next = static_cast<std::uint32_t>(rng.next_u64() % 1000);
+  std::vector<std::vector<HostId>> groups;
+  for (std::uint32_t g = 0; g < group_count; ++g) {
+    std::vector<HostId> group;
+    const std::uint32_t members =
+        1 + static_cast<std::uint32_t>(rng.next_u64() % 3);
+    for (std::uint32_t m = 0; m < members; ++m) group.push_back(HostId(next++));
+    groups.push_back(std::move(group));
+  }
+  const std::uint32_t shards =
+      1 + static_cast<std::uint32_t>(rng.next_u64() % 8);
+  std::vector<std::uint32_t> owner(shards);
+  for (auto& o : owner) {
+    o = static_cast<std::uint32_t>(rng.next_u64() % group_count);
+  }
+  return shard::ShardMap::assigned(std::move(groups), std::move(owner),
+                                   rng.next_u64(), rng.next_u64());
+}
+
+/// One seeded generator per message type, in wire-tag order 1..21. Adding a
 /// message type without extending this list fails the coverage check below.
 std::vector<std::function<net::MessagePtr(Rng&)>> generators() {
   using net::make_message;
@@ -165,6 +189,27 @@ std::vector<std::function<net::MessagePtr(Rng&)>> generators() {
       [](Rng& rng) {
         return make_message<net::ReliableAck>(rng.next_u64(), rng.next_u64());
       },
+      [](Rng& rng) {
+        return make_message<proto::ShardMapAnnounce>(random_app(rng),
+                                                     random_shard_map(rng));
+      },
+      [](Rng& rng) {
+        return make_message<proto::ShardHandoffBegin>(
+            random_app(rng), rng.next_u64(),
+            static_cast<std::uint32_t>(rng.next_u64()), rng.next_u64(),
+            static_cast<std::uint32_t>(rng.next_u64()));
+      },
+      [](Rng& rng) {
+        return make_message<proto::ShardHandoffChunk>(
+            random_app(rng), rng.next_u64(),
+            static_cast<std::uint32_t>(rng.next_u64()), rng.next_u64(),
+            static_cast<std::uint32_t>(rng.next_u64()), random_snapshot(rng));
+      },
+      [](Rng& rng) {
+        return make_message<proto::ShardHandoffDone>(
+            random_app(rng), rng.next_u64(),
+            static_cast<std::uint32_t>(rng.next_u64()), rng.next_u64());
+      },
   };
 }
 
@@ -180,7 +225,7 @@ TEST(Codec, RegistryCoversEveryMessageType) {
   register_all();
   EXPECT_EQ(CodecRegistry::global().registered_count(),
             generators().size());
-  // Tags are the frozen contiguous block 1..17 (docs/WIRE_FORMAT.md).
+  // Tags are the frozen contiguous block 1..21 (docs/WIRE_FORMAT.md).
   const std::vector<net::WireTag> tags = CodecRegistry::global().tags();
   ASSERT_EQ(tags.size(), generators().size());
   for (std::size_t i = 0; i < tags.size(); ++i) {
@@ -447,9 +492,37 @@ TEST(CodecCorpus, EveryCheckedInFrameKeepsItsOutcome) {
     }
     ++seen;
   }
-  // The corpus shipped with 14 entries and grew to 19 with the reliability
-  // envelope (tags 16/17); it only ever grows.
-  EXPECT_GE(seen, 19u);
+  // The corpus shipped with 14 entries, grew to 19 with the reliability
+  // envelope (tags 16/17) and to 25 with the shard messages (tags 18-21);
+  // it only ever grows.
+  EXPECT_GE(seen, 25u);
+}
+
+// Wire-stability pin for the richest shard message: the checked-in tag 18
+// frame must decode to exactly this map and re-encode byte-identically.
+TEST(CodecCorpus, OkShardMapAnnouncePinsWireLayout) {
+  register_all();
+  const std::filesystem::path file =
+      std::filesystem::path(WAN_CODEC_CORPUS_DIR) / "ok_shard_map_announce.bin";
+  std::ifstream in(file, std::ios::binary);
+  ASSERT_TRUE(in) << file;
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const auto decoded =
+      CodecRegistry::global().decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok()) << net::to_cstring(decoded.error);
+  EXPECT_EQ(decoded.frame->from, HostId(3));
+  EXPECT_EQ(decoded.frame->to, HostId(1));
+  const auto& announce =
+      static_cast<const proto::ShardMapAnnounce&>(*decoded.frame->msg);
+  EXPECT_EQ(announce.app, AppId(7));
+  const shard::ShardMap expected = shard::ShardMap::assigned(
+      {{HostId(0), HostId(1)}, {HostId(2), HostId(3)}}, {1, 0, 1}, 5);
+  EXPECT_EQ(announce.map, expected);
+  const auto again = CodecRegistry::global().encode(
+      decoded.frame->from, decoded.frame->to, *decoded.frame->msg);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, bytes);
 }
 
 // Same wire-stability pin for the reliability envelope: the checked-in tag 17

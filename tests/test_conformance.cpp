@@ -39,8 +39,10 @@
 #include "proto/host.hpp"
 #include "proto/wire.hpp"
 #include "runtime/backend.hpp"
+#include "runtime/env_options.hpp"
 #include "runtime/socket_base.hpp"
 #include "runtime/threaded_env.hpp"
+#include "shard/shard_map.hpp"
 #include "util/rng.hpp"
 
 namespace wan::runtime {
@@ -73,22 +75,42 @@ proto::ProtocolConfig conformance_config() {
   return config;
 }
 
-/// One whole deployment — 3 managers, 2 app hosts, each on its own
-/// ThreadedEnv — over whichever fabric backend the kind names. Socket
-/// backends self-wire every node id to the transport's bound port.
+/// One whole deployment — managers (3 flat, 2 per group sharded), 2 app
+/// hosts, each on its own ThreadedEnv — over whichever fabric backend the
+/// kind names. Socket backends self-wire every node id to the transport's
+/// bound port. `shard_groups` 0 = the flat reference deployment; 1 = the
+/// one-shard sharded vocabulary (single_group map installed everywhere, must
+/// behave bit-identically to flat); >= 2 = a real multi-shard partition.
 struct Deployment {
   std::unique_ptr<Fabric> fabric;
   SocketTransport* socket = nullptr;  ///< non-null for udp/reactor
   ns::NameService names;
   auth::KeyRegistry keys;
+  shard::ShardMap map;  ///< empty when flat
   std::vector<std::unique_ptr<ThreadedEnv>> envs;
   std::vector<std::unique_ptr<proto::ManagerHost>> managers;
   std::vector<std::unique_ptr<proto::AppHost>> hosts;
+  std::size_t host_env_base = 3;
 
-  explicit Deployment(BackendKind kind, bool reliable = false) {
+  explicit Deployment(BackendKind kind, bool reliable = false,
+                      std::uint32_t shard_groups = 0) {
     proto::register_wire_messages();
-    const std::vector<HostId> manager_ids{HostId(0), HostId(1), HostId(2)};
+    const int n_managers =
+        shard_groups >= 2 ? static_cast<int>(2 * shard_groups) : 3;
+    std::vector<HostId> manager_ids;
+    for (int i = 0; i < n_managers; ++i) {
+      manager_ids.push_back(HostId(static_cast<std::uint32_t>(i)));
+    }
     const std::vector<HostId> host_ids{HostId(100), HostId(101)};
+    host_env_base = manager_ids.size();
+    if (shard_groups == 1) {
+      map = shard::ShardMap::single_group(manager_ids);
+    } else if (shard_groups >= 2) {
+      ShardTopologyOptions topo;
+      topo.groups = shard_groups;
+      topo.shards = 8;
+      map = make_shard_map(topo, manager_ids);
+    }
 
     EnvOptions opts;
     opts.backend = kind;
@@ -113,7 +135,7 @@ struct Deployment {
     }
 
     const proto::ProtocolConfig config = conformance_config();
-    for (int i = 0; i < 5; ++i) {
+    for (std::size_t i = 0; i < manager_ids.size() + host_ids.size(); ++i) {
       envs.push_back(std::make_unique<ThreadedEnv>(*fabric));
     }
     for (std::size_t i = 0; i < manager_ids.size(); ++i) {
@@ -121,19 +143,36 @@ struct Deployment {
           manager_ids[i], *envs[i], clk::LocalClock::perfect(), config));
     }
     names.set_managers(kApp, manager_ids);
+    if (!map.empty()) names.set_shard_map(kApp, map);
     for (std::size_t i = 0; i < managers.size(); ++i) {
-      envs[i]->run_sync(
-          [&, i] { managers[i]->manager().manage_app(kApp, manager_ids); });
+      envs[i]->run_sync([&, i] {
+        // A sharded manager's Managers(A) is its own group; the flat and
+        // one-shard deployments use the whole set.
+        const auto g =
+            map.empty() ? std::nullopt : map.group_index_of(manager_ids[i]);
+        managers[i]->manager().manage_app(
+            kApp, g.has_value() ? map.group(*g) : manager_ids);
+        if (!map.empty()) managers[i]->manager().set_shard_map(kApp, map);
+      });
     }
     for (std::size_t i = 0; i < host_ids.size(); ++i) {
       hosts.push_back(std::make_unique<proto::AppHost>(
-          host_ids[i], *envs[3 + i], clk::LocalClock::perfect(), names, keys,
-          config));
-      envs[3 + i]->run_sync([&, i] {
+          host_ids[i], *envs[host_env_base + i], clk::LocalClock::perfect(),
+          names, keys, config));
+      envs[host_env_base + i]->run_sync([&, i] {
         hosts[i]->controller().register_app(
             kApp, [](UserId, const std::string& p) { return p; });
       });
     }
+  }
+
+  /// Index of the manager an update for `user` must be submitted at: the
+  /// first member of the key's owner group (managers are id == index here).
+  /// Flat and one-shard deployments route everything to manager 0, matching
+  /// the reference scripts.
+  [[nodiscard]] int route(UserId user) const {
+    if (map.empty() || map.trivial()) return 0;
+    return static_cast<int>(map.group_for(kApp, user).front().value());
   }
 
   ~Deployment() {
@@ -150,7 +189,7 @@ struct Deployment {
     envs[static_cast<std::size_t>(i)]->run_sync(std::move(fn));
   }
   void on_host(int i, std::function<void()> fn) {
-    envs[static_cast<std::size_t>(3 + i)]->run_sync(std::move(fn));
+    envs[host_env_base + static_cast<std::size_t>(i)]->run_sync(std::move(fn));
   }
 };
 
@@ -286,13 +325,13 @@ std::vector<std::string> run_script_on(Deployment& d,
                       barrier_check(d, op.host, user));
         break;
       case Op::kGrant:
-        log.push_back(barrier_update(d, 0, acl::Op::kAdd, user)
+        log.push_back(barrier_update(d, d.route(user), acl::Op::kAdd, user)
                           ? "grant u" + std::to_string(op.user_idx)
                           : "grant-timeout u" + std::to_string(op.user_idx));
         break;
       case Op::kRevoke: {
         std::string entry = "revoke u" + std::to_string(op.user_idx);
-        if (!barrier_update(d, 0, acl::Op::kRevoke, user)) {
+        if (!barrier_update(d, d.route(user), acl::Op::kRevoke, user)) {
           entry += " (quorum-timeout)";
         } else if (!settle_revoked(d, user)) {
           entry += " (settle-timeout)";
@@ -352,6 +391,81 @@ TEST(Conformance, CanonicalScriptMatchesOnSocketBackends) {
     log.push_back(barrier_check(d, 1, alice));
     log.push_back(barrier_check(d, 0, mallory));
     ASSERT_TRUE(barrier_update(d, 1, acl::Op::kRevoke, alice));
+    ASSERT_TRUE(settle_revoked(d, alice));
+    log.push_back(barrier_check(d, 1, alice));
+
+    const std::vector<std::string> expected{
+        "deny/quorum-denied", "allow/quorum-granted", "allow/cache-hit",
+        "deny/quorum-denied", "deny/quorum-denied",
+    };
+    EXPECT_EQ(log, expected);
+  }
+}
+
+// --------------------------------------------------- sharded deployments
+
+// A one-shard sharded deployment — the whole key space owned by one group,
+// expressed through ShardMap::single_group and installed on the name
+// service and every manager — must be bit-identical to the flat reference:
+// same model-predicted decision log, seed for seed, on all three backends.
+TEST(Conformance, OneShardShardedMatchesFlatReference) {
+  for (const BackendKind kind :
+       {BackendKind::kLoopback, BackendKind::kUdp, BackendKind::kReactor}) {
+    SCOPED_TRACE(to_cstring(kind));
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const SeedScript script = make_script(seed);
+      Deployment d(kind, /*reliable=*/false, /*shard_groups=*/1);
+      ASSERT_NE(d.fabric, nullptr);
+      ASSERT_TRUE(d.map.trivial());
+      EXPECT_EQ(run_script_on(d, script), script.expected)
+          << "seed " << seed << ": one-shard sharded diverged from reference";
+    }
+  }
+}
+
+// A real multi-shard partition (2 groups x 2 managers, 8 shards) runs the
+// same seeded scripts with updates routed to each key's owner group. The
+// reference model is shard-agnostic — quorum semantics are per group — so
+// the decision logs must still match it exactly.
+TEST(Conformance, MultiShardSeedSweepMatchesReference) {
+  for (const BackendKind kind :
+       {BackendKind::kLoopback, BackendKind::kUdp, BackendKind::kReactor}) {
+    SCOPED_TRACE(to_cstring(kind));
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const SeedScript script = make_script(seed);
+      Deployment d(kind, /*reliable=*/false, /*shard_groups=*/2);
+      ASSERT_NE(d.fabric, nullptr);
+      ASSERT_FALSE(d.map.trivial());
+      EXPECT_EQ(run_script_on(d, script), script.expected)
+          << "seed " << seed << ": multi-shard diverged from reference";
+    }
+  }
+}
+
+// The canonical script on the multi-shard deployment, with the revoke
+// submitted at the OTHER member of the owner group: the final deny proves
+// update propagation within the group and owner-routed queries across
+// groups (mallory's check may land on a different group than alice's).
+TEST(Conformance, MultiShardCanonicalScriptMatchesReferenceDecisions) {
+  for (const BackendKind kind :
+       {BackendKind::kLoopback, BackendKind::kUdp, BackendKind::kReactor}) {
+    SCOPED_TRACE(to_cstring(kind));
+    Deployment d(kind, /*reliable=*/false, /*shard_groups=*/2);
+    ASSERT_NE(d.fabric, nullptr);
+    const UserId alice(7);
+    const UserId mallory(8);
+    const auto& owner_group = d.map.group_for(kApp, alice);
+    ASSERT_EQ(owner_group.size(), 2u);
+    const int grantor = static_cast<int>(owner_group[0].value());
+    const int revoker = static_cast<int>(owner_group[1].value());
+
+    std::vector<std::string> log;
+    log.push_back(barrier_check(d, 0, alice));
+    ASSERT_TRUE(barrier_update(d, grantor, acl::Op::kAdd, alice));
+    log.push_back(barrier_check(d, 1, alice));
+    log.push_back(barrier_check(d, 1, alice));
+    log.push_back(barrier_check(d, 0, mallory));
+    ASSERT_TRUE(barrier_update(d, revoker, acl::Op::kRevoke, alice));
     ASSERT_TRUE(settle_revoked(d, alice));
     log.push_back(barrier_check(d, 1, alice));
 

@@ -1,0 +1,220 @@
+// Property tests for the shard subsystem: the seeded stable hash the ring
+// and the key->shard mapping stand on, and the ShardMap placement itself.
+//
+// Two properties carry the whole design (shard_map.hpp):
+//   balance      — keys spread evenly over shards and shards spread evenly
+//                  over groups, so no manager group becomes the hot ceiling
+//                  the sharding exists to remove;
+//   monotonicity — adding a group only MOVES shards onto it, removing one
+//                  only moves that group's shards away. Every shard that
+//                  moves is a handoff; a non-monotone ring would reshuffle
+//                  the world on every join/leave.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "shard/shard_map.hpp"
+#include "util/hash.hpp"
+
+namespace wan {
+namespace {
+
+using shard::ShardMap;
+
+std::vector<std::vector<HostId>> make_groups(int n, int size = 2) {
+  std::vector<std::vector<HostId>> groups;
+  std::uint32_t next = 0;
+  for (int g = 0; g < n; ++g) {
+    std::vector<HostId> members;
+    for (int m = 0; m < size; ++m) members.push_back(HostId(next++));
+    groups.push_back(std::move(members));
+  }
+  return groups;
+}
+
+// --- stable_hash64 ----------------------------------------------------------
+
+TEST(StableHash, PinnedValues) {
+  // The hash is frozen: ring placements and wire-carried seeds depend on it.
+  // If this test ever fails, the change is a breaking format change, not a
+  // refactor.
+  EXPECT_EQ(stable_hash64(0, 0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(stable_hash64(0, 1), 0x910a2dec89025cc1ULL);
+  EXPECT_EQ(stable_hash64(1, 0), 0x910a2dec89025cc1ULL);
+  EXPECT_EQ(stable_hash64(shard::kDefaultRingSeed, 1, 7),
+            stable_hash64(stable_hash64(shard::kDefaultRingSeed, 1), 7));
+}
+
+TEST(StableHash, SeedChangesEverything) {
+  int same = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    if (stable_hash64(1, x) == stable_hash64(2, x)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(StableHash, BalanceOverOneMillionKeys) {
+  // The satellite's stated bar: bucket the hash of 1M sequential keys —
+  // the worst realistic input, since real user ids ARE sequential — and
+  // require max/min bucket occupancy within 1.3x. A biased mixer fails this
+  // instantly; an avalanching one passes with huge margin.
+  constexpr int kBuckets = 64;
+  constexpr std::uint64_t kKeys = 1'000'000;
+  std::vector<std::uint64_t> bucket(kBuckets, 0);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ++bucket[stable_hash64(shard::kDefaultRingSeed, k) % kBuckets];
+  }
+  std::uint64_t lo = kKeys;
+  std::uint64_t hi = 0;
+  for (const std::uint64_t b : bucket) {
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+  }
+  ASSERT_GT(lo, 0u);
+  EXPECT_LT(static_cast<double>(hi) / static_cast<double>(lo), 1.3)
+      << "max bucket " << hi << " vs min " << lo;
+}
+
+TEST(StableHash, PairBalanceOverAppUserKeys) {
+  // The actual shard key is the (app, user) pair; make sure the two-word
+  // variant spreads as well as the one-word one.
+  constexpr int kBuckets = 32;
+  std::vector<std::uint64_t> bucket(kBuckets, 0);
+  for (std::uint64_t app = 1; app <= 4; ++app) {
+    for (std::uint64_t user = 0; user < 250'000; ++user) {
+      ++bucket[stable_hash64(shard::kDefaultRingSeed, app, user) % kBuckets];
+    }
+  }
+  std::uint64_t lo = ~0ULL;
+  std::uint64_t hi = 0;
+  for (const std::uint64_t b : bucket) {
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+  }
+  ASSERT_GT(lo, 0u);
+  EXPECT_LT(static_cast<double>(hi) / static_cast<double>(lo), 1.3);
+}
+
+// --- ShardMap placement -----------------------------------------------------
+
+TEST(ShardMap, SingleGroupOwnsEverything) {
+  const ShardMap map = ShardMap::single_group({HostId(0), HostId(1)});
+  EXPECT_TRUE(map.trivial());
+  EXPECT_TRUE(map.valid());
+  EXPECT_EQ(map.shard_count(), 1u);
+  EXPECT_TRUE(map.owns(HostId(0), AppId(1), UserId(7)));
+  EXPECT_TRUE(map.owns(HostId(1), AppId(9), UserId(123)));
+  EXPECT_FALSE(map.owns(HostId(2), AppId(1), UserId(7)));
+}
+
+TEST(ShardMap, RingCoversEveryShardExactlyOnce) {
+  const ShardMap map = ShardMap::ring(make_groups(3), 64, 1);
+  EXPECT_TRUE(map.valid());
+  EXPECT_FALSE(map.trivial());
+  std::set<std::uint32_t> covered;
+  for (std::uint32_t g = 0; g < 3; ++g) {
+    for (const std::uint32_t s : map.shards_of_group(g)) {
+      EXPECT_TRUE(covered.insert(s).second) << "shard " << s << " owned twice";
+    }
+  }
+  EXPECT_EQ(covered.size(), 64u);
+}
+
+TEST(ShardMap, GroupBalance) {
+  // With vnodes the ring splits shards between groups within a loose bound;
+  // what matters operationally is that no group ends up empty or with the
+  // bulk of the key space.
+  const ShardMap map = ShardMap::ring(make_groups(4), 256, 1);
+  std::size_t lo = 256;
+  std::size_t hi = 0;
+  for (std::uint32_t g = 0; g < 4; ++g) {
+    const std::size_t n = map.shards_of_group(g).size();
+    lo = std::min(lo, n);
+    hi = std::max(hi, n);
+  }
+  ASSERT_GT(lo, 0u);
+  EXPECT_LT(static_cast<double>(hi) / static_cast<double>(lo), 3.0)
+      << "shards per group: max " << hi << " min " << lo;
+}
+
+TEST(ShardMap, MonotoneUnderGroupAdd) {
+  // Consistent-hash monotonicity: going from G groups to G+1, a shard
+  // either keeps its owner or moves TO the new group. Any other move is a
+  // gratuitous handoff.
+  const ShardMap before = ShardMap::ring(make_groups(3), 128, 1);
+  const ShardMap after = ShardMap::ring(make_groups(4), 128, 2);
+  int moved = 0;
+  for (std::uint32_t s = 0; s < 128; ++s) {
+    const std::uint32_t was = before.group_of_shard(s);
+    const std::uint32_t now = after.group_of_shard(s);
+    if (was != now) {
+      EXPECT_EQ(now, 3u) << "shard " << s << " moved " << was << " -> " << now
+                         << " instead of to the new group";
+      ++moved;
+    }
+  }
+  // The new group must actually take a share of the space.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, 128);
+}
+
+TEST(ShardMap, MonotoneUnderGroupRemove) {
+  const ShardMap before = ShardMap::ring(make_groups(4), 128, 1);
+  const ShardMap after = ShardMap::ring(make_groups(3), 128, 2);
+  for (std::uint32_t s = 0; s < 128; ++s) {
+    const std::uint32_t was = before.group_of_shard(s);
+    const std::uint32_t now = after.group_of_shard(s);
+    if (was != 3u) {
+      EXPECT_EQ(was, now) << "shard " << s
+                          << " moved although its group survived";
+    } else {
+      EXPECT_NE(now, 3u);
+    }
+  }
+}
+
+TEST(ShardMap, KeyToShardIgnoresOwnership) {
+  // shard_of depends only on (ring_seed, shard_count): a rebalance moves
+  // ownership, never key placement.
+  const ShardMap a = ShardMap::ring(make_groups(2), 64, 1);
+  const ShardMap b = ShardMap::ring(make_groups(3), 64, 2);
+  for (std::uint32_t u = 0; u < 500; ++u) {
+    EXPECT_EQ(a.shard_of(AppId(1), UserId(u)), b.shard_of(AppId(1), UserId(u)));
+  }
+}
+
+TEST(ShardMap, AssignedPlacementAndLookups) {
+  const ShardMap map = ShardMap::assigned(make_groups(2), {1, 0, 1}, 5);
+  EXPECT_EQ(map.epoch(), 5u);
+  EXPECT_EQ(map.shard_count(), 3u);
+  EXPECT_EQ(map.group_of_shard(0), 1u);
+  EXPECT_EQ(map.group_of_shard(1), 0u);
+  EXPECT_TRUE(map.owns_shard(HostId(2), 0));   // group 1 = {2, 3}
+  EXPECT_FALSE(map.owns_shard(HostId(0), 0));  // group 0 = {0, 1}
+  EXPECT_EQ(map.group_index_of(HostId(3)), std::optional<std::uint32_t>{1});
+  EXPECT_EQ(map.group_index_of(HostId(9)), std::nullopt);
+  EXPECT_EQ(map.all_managers().size(), 4u);
+}
+
+TEST(ShardMap, ValidRejectsOverlapAndBadOwners) {
+  ShardMap overlap = ShardMap::assigned(make_groups(2), {0, 1}, 1);
+  EXPECT_TRUE(overlap.valid());
+  // Overlapping groups are structurally invalid: a manager with two groups
+  // would run two conflicting quorum worlds.
+  EXPECT_DEATH(ShardMap::assigned({{HostId(0)}, {HostId(0)}}, {0}, 1), "");
+  EXPECT_DEATH(ShardMap::assigned(make_groups(2), {0, 7}, 1), "");
+}
+
+TEST(ShardMap, EmptyMapIsTrivialAndValid) {
+  const ShardMap map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_TRUE(map.trivial());
+  EXPECT_TRUE(map.valid());
+  EXPECT_EQ(map.epoch(), 0u);
+}
+
+}  // namespace
+}  // namespace wan
