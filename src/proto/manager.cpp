@@ -829,6 +829,7 @@ void ManagerModule::handle_sync_response(HostId from, const SyncResponse& m) {
     ctl->sync_timer.reset();
     WAN_DEBUG << to_string(self_) << " recovery sync complete for "
               << to_string(m.app);
+    if (ctl->sync_adopts_pending) adopt_pending_shards(m.app, *ctl);
     // Push the merged state back: peers that missed a partially-disseminated
     // update (whose issuer crashed and lost its retransmission duty) pick it
     // up here, restoring store convergence that pull-only sync cannot.
@@ -869,6 +870,9 @@ void ManagerModule::push_snapshot(AppId app, AppCtl& ctl) {
 void ManagerModule::begin_sync(AppId app, AppCtl& ctl) {
   if (ctl.peers.empty()) {
     ctl.synced = true;  // single-manager degenerate case (see header)
+    // No group peer can vouch for a stuck acquisition, so pending shards
+    // stay refused; the old owners' retransmissions remain the only exit.
+    ctl.sync_adopts_pending = false;
     return;
   }
   ctl.synced = false;
@@ -980,6 +984,16 @@ std::size_t ManagerModule::pending_shards(AppId app) const {
   return ctl == nullptr ? 0 : ctl->pending_acquire.size();
 }
 
+std::size_t ManagerModule::staged_shards(AppId app) const {
+  const AppCtl* ctl = ctl_of(app);
+  return ctl == nullptr ? 0 : ctl->staging.size();
+}
+
+std::size_t ManagerModule::tracked_handoff_series(AppId app) const {
+  const AppCtl* ctl = ctl_of(app);
+  return ctl == nullptr ? 0 : ctl->handoffs_in.size();
+}
+
 std::vector<acl::AclUpdate> ManagerModule::slice_snapshot(
     const AppCtl& ctl, AppId app, const shard::ShardMap& map,
     std::uint32_t shard) const {
@@ -989,11 +1003,27 @@ std::vector<acl::AclUpdate> ManagerModule::slice_snapshot(
 
 std::size_t ManagerModule::complete_senders(const AppCtl& ctl,
                                             std::uint32_t shard) {
+  const auto pit = ctl.pending_acquire.find(shard);
+  if (pit == ctl.pending_acquire.end()) return 0;
+  const PendingAcquire& pa = pit->second;
   std::size_t n = 0;
   for (const auto& [key, hi] : ctl.handoffs_in) {
-    if (key.first == shard && hi.complete) ++n;
+    if (key.first != shard || !hi.complete) continue;
+    // Only a series carrying the committed rebalance's epoch, streamed by a
+    // member of the shard's old owner group, is quorum evidence. Anything
+    // else is a leftover from an earlier epoch — a shard that bounced away
+    // and back — and proves nothing about the slice in flight now.
+    if (hi.epoch != pa.epoch || pa.senders.count(key.second) == 0) continue;
+    ++n;
   }
   return n;
+}
+
+void ManagerModule::drop_handoff_in(AppCtl& ctl, std::uint32_t shard) {
+  for (auto it = ctl.handoffs_in.begin(); it != ctl.handoffs_in.end();) {
+    it = it->first.first == shard ? ctl.handoffs_in.erase(it) : std::next(it);
+  }
+  ctl.staging.erase(shard);
 }
 
 void ManagerModule::begin_shard_handoff(AppId app,
@@ -1166,6 +1196,15 @@ void ManagerModule::commit_shard_map(AppId app, shard::ShardMap next) {
       it = in_lost(it->first) ? ctl->grant_table.erase(it) : std::next(it);
     }
     if (journal_ != nullptr) journal_->compact(app, ctl->store.snapshot());
+    // A lost shard's acquisition state dies with it: a pending entry is
+    // moot (this group no longer answers for the shard), and any tracked or
+    // staged inbound series must not linger to masquerade as evidence if a
+    // later rebalance brings the shard back.
+    for (std::uint32_t s = 0; s < map.shard_count(); ++s) {
+      if (lost[s] == 0) continue;
+      ctl->pending_acquire.erase(s);
+      drop_handoff_in(*ctl, s);
+    }
   }
 
   for (const std::uint32_t s : gained) {
@@ -1173,9 +1212,12 @@ void ManagerModule::commit_shard_map(AppId app, shard::ShardMap next) {
     // from min(C, |old group|) distinct old members are guaranteed to carry
     // every update that completed its quorum there. `old` is non-trivial
     // whenever `gained` is non-empty (a trivial map owned everything).
-    const std::size_t old_size = old.group(old.group_of_shard(s)).size();
-    ctl->pending_acquire[s] =
-        std::min(ctl->check_quorum, static_cast<int>(old_size));
+    const std::vector<HostId>& old_members = old.group(old.group_of_shard(s));
+    PendingAcquire pa;
+    pa.need = std::min(ctl->check_quorum, static_cast<int>(old_members.size()));
+    pa.epoch = map.epoch();
+    pa.senders.insert(old_members.begin(), old_members.end());
+    ctl->pending_acquire[s] = std::move(pa);
     maybe_activate_shard(app, *ctl, s);
   }
   WAN_DEBUG << to_string(self_) << " committed shard map epoch "
@@ -1209,14 +1251,42 @@ void ManagerModule::maybe_activate_shard(AppId app, AppCtl& ctl,
                                          std::uint32_t shard) {
   const auto it = ctl.pending_acquire.find(shard);
   if (it == ctl.pending_acquire.end()) return;
-  if (static_cast<int>(complete_senders(ctl, shard)) < it->second) return;
+  if (static_cast<int>(complete_senders(ctl, shard)) < it->second.need) {
+    return;
+  }
   if (const auto sit = ctl.staging.find(shard); sit != ctl.staging.end()) {
     merge_snapshot(app, ctl, sit->second.snapshot());
     ctl.staging.erase(sit);
   }
   ctl.pending_acquire.erase(it);
+  // The series did their job; drop them so they can never be mistaken for
+  // evidence by a later rebalance. A sender whose Done was lost retransmits
+  // its Begin and gets re-acked through the active-shard path.
+  drop_handoff_in(ctl, shard);
   WAN_DEBUG << to_string(self_) << " activated shard " << shard << " of "
             << to_string(app);
+}
+
+void ManagerModule::adopt_pending_shards(AppId app, AppCtl& ctl) {
+  ctl.sync_adopts_pending = false;
+  if (ctl.pending_acquire.empty()) return;
+  // A quorum of group peers just vouched for their stores, and a store (or
+  // a sync response) only ever carries activation-complete slices — staging
+  // never leaks into either. Adopting that state is the only exit when the
+  // old owners retired their handoffs against acks this manager lost in
+  // the crash: without it the shard is refused forever, even though the
+  // group answers for it. Sub-quorum staging is dropped, not merged — short
+  // of the transfer quorum it may hold a grant whose completed revoke only
+  // the missing senders carry, which is exactly what pending_acquire
+  // guards the Te bound against.
+  for (auto it = ctl.pending_acquire.begin();
+       it != ctl.pending_acquire.end();) {
+    const std::uint32_t s = it->first;
+    it = ctl.pending_acquire.erase(it);
+    drop_handoff_in(ctl, s);
+    WAN_DEBUG << to_string(self_) << " adopted shard " << s << " of "
+              << to_string(app) << " from its recovery sync";
+  }
 }
 
 void ManagerModule::handle_shard_map_announce(HostId from,
@@ -1226,6 +1296,18 @@ void ManagerModule::handle_shard_map_announce(HostId from,
   // Epoch discipline: only strictly newer maps are adopted, so replayed or
   // reordered announces cannot roll ownership back.
   if (m.map.epoch() <= ctl->shard_map.epoch()) return;
+  // shard_count is fixed for a deployment's lifetime; an announce that
+  // disagrees with the installed map is a misconfigured (or lying)
+  // coordinator. A bad frame is a drop, never an abort — funnelling it into
+  // commit_shard_map's WAN_REQUIRE would let one such announce crash every
+  // manager that hears it.
+  if (!ctl->shard_map.trivial() &&
+      m.map.shard_count() != ctl->shard_map.shard_count()) {
+    WAN_DEBUG << to_string(self_) << " drops shard map announce from "
+              << to_string(from) << " (shard_count " << m.map.shard_count()
+              << " != " << ctl->shard_map.shard_count() << ")";
+    return;
+  }
   commit_shard_map(m.app, m.map);
 }
 
@@ -1237,6 +1319,23 @@ void ManagerModule::handle_handoff_begin(HostId from,
   // able to complete a pending shard.
   if (m.epoch < ctl->shard_map.epoch()) return;
   if (!ctl->shard_map.empty() && m.shard >= ctl->shard_map.shard_count()) {
+    return;
+  }
+  // A current-epoch series for a shard that is not pending is a straggler:
+  // either this manager already activated the shard (its quorum is met and
+  // the series carries nothing the merge did not) or the shard was never
+  // gained here. Ack the former so the sender can retire — repairing a lost
+  // Done — but do not track or stage it: recreating staging for an active
+  // shard would leak it for the process lifetime, since nothing drains
+  // staging after activation. Higher-epoch series (pre-commit transfers)
+  // fall through to normal tracking.
+  if (m.epoch == ctl->shard_map.epoch() &&
+      ctl->pending_acquire.count(m.shard) == 0) {
+    if (ctl->shard_map.trivial() || ctl->shard_map.owns_shard(self_, m.shard)) {
+      net_.send(self_, from,
+                net::make_message<ShardHandoffDone>(m.app, m.epoch, m.shard,
+                                                    m.series));
+    }
     return;
   }
   HandoffIn& hi = ctl->handoffs_in[{m.shard, from}];
@@ -1263,6 +1362,15 @@ void ManagerModule::handle_handoff_chunk(HostId from,
   AppCtl* ctl = ctl_of(m.app);
   if (ctl == nullptr || !shard_sender_ok(*ctl, from)) return;
   if (m.epoch < ctl->shard_map.epoch()) return;
+  // Same straggler discipline as handle_handoff_begin: once the shard is no
+  // longer pending at the current epoch, inbound series are finished
+  // business — drop any leftover tracking instead of staging data nothing
+  // will ever drain.
+  if (m.epoch == ctl->shard_map.epoch() &&
+      ctl->pending_acquire.count(m.shard) == 0) {
+    drop_handoff_in(*ctl, m.shard);
+    return;
+  }
   const auto it = ctl->handoffs_in.find({m.shard, from});
   if (it == ctl->handoffs_in.end() || it->second.series != m.series) return;
   HandoffIn& hi = it->second;
@@ -1319,8 +1427,10 @@ void ManagerModule::crash() {
     // name-service record it mirrors), and so does pending_acquire: a gained
     // shard whose transfer quorum never completed has no activation in the
     // journal, so a restarted manager must keep refusing it — answering from
-    // a re-synced partial slice could outlive a revocation the old owner
-    // completed.
+    // a partial slice could outlive a revocation the old owner completed.
+    // The refusal ends when old owners re-stream enough series, or when the
+    // recovery sync completes and adopts the group's activated state
+    // (adopt_pending_shards).
     for (auto& [shard, h] : ctl.handoffs_out) h->retry.cancel();
     ctl.handoffs_out.clear();
     ctl.handoffs_in.clear();
@@ -1335,6 +1445,9 @@ void ManagerModule::recover() {
   for (auto& [app, ctl] : apps_) {
     for (const HostId p : ctl.peers) ctl.last_heard[p] = now;
     if (config_.freeze_enabled) start_heartbeats(app, ctl);
+    // Crash-recovery syncs (and only those) may adopt group state for
+    // shards stuck in pending_acquire — see adopt_pending_shards().
+    ctl.sync_adopts_pending = true;
     begin_sync(app, ctl);
   }
 }

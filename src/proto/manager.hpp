@@ -281,6 +281,14 @@ class ManagerModule {
   /// them are refused — deny by timeout — until the series count is met.
   [[nodiscard]] std::size_t pending_shards(AppId app) const;
 
+  /// Shards with a staged (received but not yet activated) inbound slice.
+  /// Test observability: after a shard activates or is adopted, stragglers
+  /// must not recreate staging — a non-zero count at quiescence is a leak.
+  [[nodiscard]] std::size_t staged_shards(AppId app) const;
+  /// Inbound handoff series still tracked, across all shards and senders
+  /// (same quiescence expectation as staged_shards()).
+  [[nodiscard]] std::size_t tracked_handoff_series(AppId app) const;
+
   /// Host queries refused because the key's shard is not owned here.
   [[nodiscard]] std::uint64_t queries_refused_unowned() const noexcept {
     return queries_refused_unowned_;
@@ -378,6 +386,20 @@ class ManagerModule {
     bool complete = false;
   };
 
+  /// A gained shard awaiting its transfer quorum: how many complete series
+  /// are still required, the epoch of the rebalance that moved the shard
+  /// here, and the members of its OLD owner group — the only hosts whose
+  /// series count toward `need`. Without the epoch/sender filter, a
+  /// complete series left over from an earlier rebalance (a shard that
+  /// bounced away and back) would satisfy the quorum instantly and activate
+  /// the shard around the real transfer, voiding the quorum-intersection
+  /// guarantee the flip rests on.
+  struct PendingAcquire {
+    int need = 0;
+    std::uint64_t epoch = 0;
+    std::set<HostId> senders;
+  };
+
   struct AppCtl;
 
   [[nodiscard]] bool owns_key(const AppCtl& ctl, AppId app,
@@ -417,9 +439,14 @@ class ManagerModule {
     /// Staged slices by shard — merged into the store only at activation,
     /// never consulted by queries, discarded on abort.
     std::map<std::uint32_t, acl::AclStore> staging;
-    /// Gained shards awaiting enough complete series (shard -> senders
-    /// still required). Queries for these shards are refused.
-    std::map<std::uint32_t, int> pending_acquire;
+    /// Gained shards awaiting enough complete series. Queries for these
+    /// shards are refused.
+    std::map<std::uint32_t, PendingAcquire> pending_acquire;
+    /// Set by recover(): the in-flight sync is a crash recovery, so its
+    /// completion (a quorum of group peers vouching for their stores) may
+    /// adopt the group's state for shards stuck in pending_acquire whose
+    /// senders retired against acks the crash erased.
+    bool sync_adopts_pending = false;
   };
 
   void handle_query(HostId from, const QueryRequest& q);
@@ -450,12 +477,20 @@ class ManagerModule {
   [[nodiscard]] std::vector<acl::AclUpdate> slice_snapshot(
       const AppCtl& ctl, AppId app, const shard::ShardMap& map,
       std::uint32_t shard) const;
-  /// Count of distinct senders with a complete series for `shard`.
+  /// Count of distinct ELIGIBLE senders — old-owner-group members whose
+  /// complete series carries the committed rebalance's epoch — for `shard`.
   [[nodiscard]] static std::size_t complete_senders(const AppCtl& ctl,
                                                     std::uint32_t shard);
   /// If `shard` is pending and enough complete series arrived, merge the
   /// staged slice into the live store and open the shard for queries.
   void maybe_activate_shard(AppId app, AppCtl& ctl, std::uint32_t shard);
+  /// Drops every inbound-handoff record and the staged slice for `shard` —
+  /// at activation, when the shard is lost, or when recovery adopts it.
+  static void drop_handoff_in(AppCtl& ctl, std::uint32_t shard);
+  /// Crash-recovery exit for stuck acquisitions: once a quorum of group
+  /// peers vouched for their stores, adopt that state for every shard still
+  /// in pending_acquire (see handle_sync_response).
+  void adopt_pending_shards(AppId app, AppCtl& ctl);
   /// Whether cross-group shard traffic from `from` is trustworthy: a member
   /// of the current map (old and new owners both are — joining groups get
   /// the pre-rebalance map installed before handoff), falling back to

@@ -384,5 +384,256 @@ TEST(ShardIntegration, LiveRebalanceHoldsTeAcrossTheFlip) {
   EXPECT_EQ(report.security_violations, 0u);
 }
 
+// Regression (high): a complete handoff series left over from an EARLIER
+// rebalance must not count toward a later acquisition's quorum. The shard
+// bounces A -> B -> C -> B; at the final hop B commits BEFORE C streams, so
+// the only "evidence" B holds would be the stale epoch-3 series from A.
+// Counting it would activate the shard over an empty store — and around the
+// revoke C is carrying — voiding the quorum-intersection guarantee.
+TEST(ShardIntegration, ShardBounceStaleSeriesIsNotQuorumEvidence) {
+  ScenarioConfig cfg;
+  cfg.managers = 3;
+  cfg.app_hosts = 1;
+  cfg.users = 8;
+  cfg.constant_latency = true;
+  cfg.protocol.check_quorum = 1;
+  cfg.protocol.Te = Duration::seconds(5);
+  cfg.protocol.sync_retransmit = Duration::millis(500);
+  cfg.seed = 7005;
+  Scenario s(cfg);
+  const AppId app = s.app();
+  const std::vector<std::vector<HostId>> groups{
+      {s.manager_ids()[0]}, {s.manager_ids()[1]}, {s.manager_ids()[2]}};
+  auto mgr = [&](int i) -> proto::ManagerModule& {
+    return s.manager(i).manager();
+  };
+  auto begin_all = [&](const ShardMap& m) {
+    for (int i = 0; i < cfg.managers; ++i) mgr(i).begin_shard_handoff(app, m);
+  };
+  auto commit_all = [&](const ShardMap& m) {
+    for (int i = 0; i < cfg.managers; ++i) mgr(i).commit_shard_map(app, m);
+  };
+
+  for (int i = 0; i < cfg.users; ++i) ASSERT_TRUE(s.grant(s.user(i), 0));
+  s.run_for(Duration::seconds(2));
+
+  // Epoch 2: the whole (1-shard) key space is A's.
+  const ShardMap e2 = ShardMap::assigned(groups, {0}, /*epoch=*/2);
+  for (int i = 0; i < cfg.managers; ++i) mgr(i).set_shard_map(app, e2);
+
+  // Epoch 3: A hands the shard to B (stream, then commit).
+  const ShardMap e3 = ShardMap::assigned(groups, {1}, /*epoch=*/3);
+  begin_all(e3);
+  s.run_for(Duration::seconds(2));
+  commit_all(e3);
+  s.run_for(Duration::seconds(1));
+  ASSERT_EQ(mgr(1).pending_shards(app), 0u);
+  ASSERT_EQ(mgr(1).store(app)->register_count(), 8u);
+  // Activation consumed A's series; nothing may linger as future evidence.
+  EXPECT_EQ(mgr(1).tracked_handoff_series(app), 0u);
+  EXPECT_EQ(mgr(1).staged_shards(app), 0u);
+
+  // Epoch 4: B hands it to C; B sheds the slice.
+  const ShardMap e4 = ShardMap::assigned(groups, {2}, /*epoch=*/4);
+  begin_all(e4);
+  s.run_for(Duration::seconds(2));
+  commit_all(e4);
+  s.run_for(Duration::seconds(1));
+  ASSERT_EQ(mgr(2).pending_shards(app), 0u);
+  ASSERT_EQ(mgr(1).store(app)->register_count(), 0u);
+
+  // C revokes a user while it owns the shard; the revoke must ride the
+  // final handoff back to B.
+  const UserId victim = s.user(2);
+  ASSERT_TRUE(s.revoke(victim, 2));
+  s.run_for(Duration::seconds(1));
+
+  // Epoch 5: the shard returns to B — committed BEFORE C begins streaming
+  // (a scripted commit racing the transfer). B must hold the shard pending:
+  // its only complete series ever was A's, from epoch 3.
+  const ShardMap e5 = ShardMap::assigned(groups, {1}, /*epoch=*/5);
+  mgr(1).commit_shard_map(app, e5);
+  EXPECT_EQ(mgr(1).pending_shards(app), 1u)
+      << "a stale epoch-3 series satisfied the epoch-5 acquisition";
+  EXPECT_EQ(mgr(1).store(app)->register_count(), 0u);
+
+  // C now streams the real transfer; B activates on the CURRENT series.
+  mgr(2).begin_shard_handoff(app, e5);
+  s.run_for(Duration::seconds(2));
+  mgr(2).commit_shard_map(app, e5);
+  mgr(0).commit_shard_map(app, e5);
+  s.run_for(Duration::seconds(1));
+  EXPECT_EQ(mgr(1).pending_shards(app), 0u);
+  EXPECT_EQ(mgr(1).store(app)->register_count(), 8u);
+  const auto entry = store_entry(mgr(1), app, victim);
+  ASSERT_TRUE(entry.has_value()) << "the revoke did not ride the handoff";
+  EXPECT_EQ(entry->op, acl::Op::kRevoke);
+  EXPECT_EQ(mgr(1).tracked_handoff_series(app), 0u);
+  EXPECT_EQ(mgr(1).staged_shards(app), 0u);
+}
+
+// Regression (medium): a handoff series that straggles in after the shard
+// already activated must be acked (so the sender retires) but neither
+// tracked nor staged — recreated staging has no drain path and would leak
+// for the process lifetime. Old group {A,B} streams to singleton {C} with a
+// transfer quorum of 1; B's stream is held back by a one-way cut until C
+// has activated on A's series alone.
+TEST(ShardIntegration, StragglerSeriesAfterActivationLeavesNoResidue) {
+  ScenarioConfig cfg;
+  cfg.managers = 3;
+  cfg.app_hosts = 1;
+  cfg.users = 8;
+  cfg.constant_latency = true;
+  cfg.partitions = ScenarioConfig::Partitions::kScripted;
+  cfg.protocol.check_quorum = 1;
+  cfg.protocol.Te = Duration::seconds(5);
+  cfg.protocol.sync_retransmit = Duration::millis(500);
+  cfg.seed = 7006;
+  Scenario s(cfg);
+  const AppId app = s.app();
+  const HostId b = s.manager_ids()[1], c = s.manager_ids()[2];
+  const std::vector<std::vector<HostId>> groups{
+      {s.manager_ids()[0], b}, {c}};
+  auto mgr = [&](int i) -> proto::ManagerModule& {
+    return s.manager(i).manager();
+  };
+
+  for (int i = 0; i < cfg.users; ++i) ASSERT_TRUE(s.grant(s.user(i), 0));
+  s.run_for(Duration::seconds(2));
+
+  const ShardMap e2 = ShardMap::assigned(groups, {0}, /*epoch=*/2);
+  for (int i = 0; i < cfg.managers; ++i) mgr(i).set_shard_map(app, e2);
+
+  // B's stream toward C is cut (one-way: C's acks still flow) before the
+  // rebalance starts, so C activates on A's complete series alone.
+  s.directional().cut_one_way(b, c);
+  const ShardMap e3 = ShardMap::assigned(groups, {1}, /*epoch=*/3);
+  for (int i = 0; i < cfg.managers; ++i) mgr(i).begin_shard_handoff(app, e3);
+  s.run_for(Duration::seconds(2));
+  for (int i = 0; i < cfg.managers; ++i) mgr(i).commit_shard_map(app, e3);
+  s.run_for(Duration::seconds(1));
+  ASSERT_EQ(mgr(2).pending_shards(app), 0u) << "C did not activate on A";
+  ASSERT_EQ(mgr(2).store(app)->register_count(), 8u);
+
+  // Heal: B's frozen post-commit series now arrives at an ACTIVE shard.
+  s.directional().heal_one_way(b, c);
+  s.run_for(Duration::seconds(3));
+
+  // The straggler was acked away: B retired its handoff, and C tracked and
+  // staged nothing.
+  EXPECT_TRUE(mgr(1).handoff_drained(app)) << "B never retired its series";
+  EXPECT_EQ(mgr(2).staged_shards(app), 0u) << "straggler recreated staging";
+  EXPECT_EQ(mgr(2).tracked_handoff_series(app), 0u);
+  EXPECT_EQ(mgr(2).pending_shards(app), 0u);
+  EXPECT_EQ(mgr(2).store(app)->register_count(), 8u);
+}
+
+// Regression (medium): a ShardMapAnnounce whose shard_count disagrees with
+// the installed map must be dropped, not funnelled into the asserting
+// commit path — one misconfigured coordinator must not abort the fleet.
+TEST(ShardIntegration, MismatchedShardCountAnnounceIsDropped) {
+  ScenarioConfig cfg;
+  cfg.managers = 2;
+  cfg.app_hosts = 1;
+  cfg.users = 4;
+  cfg.constant_latency = true;
+  cfg.protocol.check_quorum = 1;
+  cfg.protocol.Te = Duration::seconds(5);
+  cfg.seed = 7007;
+  Scenario s(cfg);
+  const AppId app = s.app();
+  const HostId a = s.manager_ids()[0], b = s.manager_ids()[1];
+  const std::vector<std::vector<HostId>> groups{{a}, {b}};
+
+  const ShardMap e2 = ShardMap::assigned(groups, {0, 0}, /*epoch=*/2);
+  s.manager(0).manager().set_shard_map(app, e2);
+  s.manager(1).manager().set_shard_map(app, e2);
+
+  // A (mis)configured coordinator announces a 3-shard map into a 2-shard
+  // deployment. The receiver must survive and keep its map.
+  const ShardMap bad = ShardMap::assigned(groups, {0, 0, 0}, /*epoch=*/3);
+  s.manager(0).manager().set_shard_map(app, bad);
+  s.manager(0).manager().announce_shard_map(app, {b});
+  s.run_for(Duration::seconds(1));
+  ASSERT_NE(s.manager(1).manager().shard_map(app), nullptr);
+  EXPECT_EQ(s.manager(1).manager().shard_map(app)->epoch(), 2u);
+  EXPECT_EQ(s.manager(1).manager().shard_map(app)->shard_count(), 2u);
+
+  // A well-formed newer announce still commits (the drop is a filter, not a
+  // freeze): epoch advances once the shard_count agrees.
+  const ShardMap e4 = ShardMap::assigned(groups, {0, 0}, /*epoch=*/4);
+  s.manager(0).manager().set_shard_map(app, e4);
+  s.manager(0).manager().announce_shard_map(app, {b});
+  s.run_for(Duration::seconds(1));
+  EXPECT_EQ(s.manager(1).manager().shard_map(app)->epoch(), 4u);
+}
+
+// Regression (low): a gaining manager that crashes after acking a sender
+// that then retired must not refuse the shard forever. Old group {C,D}
+// streams to {A,B} with a transfer quorum of 2; A sees only C's series
+// (D's stream is cut), everyone commits, A crashes — erasing the ack C
+// retired against. On recovery, D alone can never complete the quorum; the
+// completed recovery sync from A's group must adopt the shard instead.
+TEST(ShardIntegration, CrashedGainerAdoptsPendingShardFromRecoverySync) {
+  ScenarioConfig cfg;
+  cfg.managers = 4;
+  cfg.app_hosts = 1;
+  cfg.users = 8;
+  cfg.constant_latency = true;
+  cfg.partitions = ScenarioConfig::Partitions::kScripted;
+  cfg.protocol.check_quorum = 2;
+  cfg.protocol.Te = Duration::seconds(5);
+  cfg.protocol.sync_retransmit = Duration::millis(500);
+  cfg.seed = 7008;
+  Scenario s(cfg);
+  const AppId app = s.app();
+  const HostId a = s.manager_ids()[0], d = s.manager_ids()[3];
+  const std::vector<std::vector<HostId>> groups{
+      {a, s.manager_ids()[1]}, {s.manager_ids()[2], d}};
+  auto mgr = [&](int i) -> proto::ManagerModule& {
+    return s.manager(i).manager();
+  };
+
+  for (int i = 0; i < cfg.users; ++i) ASSERT_TRUE(s.grant(s.user(i), 0));
+  s.run_for(Duration::seconds(2));
+
+  // Epoch 2: group {C,D} owns the single shard; {A,B} shed their residuals
+  // through a real commit so the final store content is attributable.
+  const ShardMap e2 = ShardMap::assigned(groups, {1}, /*epoch=*/2);
+  for (int i = 0; i < cfg.managers; ++i) mgr(i).commit_shard_map(app, e2);
+  ASSERT_EQ(mgr(0).store(app)->register_count(), 0u);
+
+  // Epoch 3: the shard moves to {A,B}. D's stream to A is cut, so A ends
+  // the commit one series short of its quorum of 2.
+  s.directional().cut_one_way(d, a);
+  const ShardMap e3 = ShardMap::assigned(groups, {0}, /*epoch=*/3);
+  for (int i = 0; i < cfg.managers; ++i) mgr(i).begin_shard_handoff(app, e3);
+  s.run_for(Duration::seconds(2));
+  for (int i = 0; i < cfg.managers; ++i) mgr(i).commit_shard_map(app, e3);
+  s.run_for(Duration::seconds(1));
+  ASSERT_EQ(mgr(1).pending_shards(app), 0u) << "B did not activate";
+  ASSERT_EQ(mgr(0).pending_shards(app), 1u) << "A activated short of quorum";
+  // C saw acks from both destinations and retired; it will never re-stream.
+  ASSERT_TRUE(mgr(2).handoff_drained(app));
+
+  // A crashes (losing the ack C retired against) and recovers behind a
+  // healed link. D re-streams, but one eligible series can never make the
+  // quorum of 2 — only the recovery sync can unstick the shard.
+  s.manager(0).crash();
+  s.run_for(Duration::millis(200));
+  s.directional().heal_one_way(d, a);
+  s.manager(0).recover();
+  s.run_for(Duration::seconds(5));
+
+  EXPECT_TRUE(mgr(0).synced(app));
+  EXPECT_EQ(mgr(0).pending_shards(app), 0u)
+      << "A still refuses the shard its group answers for";
+  EXPECT_EQ(mgr(0).store(app)->register_count(), 8u);
+  EXPECT_EQ(mgr(0).staged_shards(app), 0u);
+  EXPECT_EQ(mgr(0).tracked_handoff_series(app), 0u);
+  // The straggling sender retired against the adopted shard's acks.
+  EXPECT_TRUE(mgr(3).handoff_drained(app));
+}
+
 }  // namespace
 }  // namespace wan
