@@ -30,6 +30,7 @@
 
 #include "auth/authenticator.hpp"
 #include "bench/bench_main.hpp"
+#include "obs/metrics.hpp"
 #include "proto/host.hpp"
 #include "proto/wire.hpp"
 #include "runtime/backend.hpp"
@@ -371,8 +372,15 @@ int throughput_main(int argc, char** argv, BackendKind kind, bool shards) {
       std::exit(2);
     }
 
-    // Phase 1: open-loop check storm, caches hot.
+    // Phase 1: open-loop check storm, caches hot. The host-side decision
+    // latency histogram (AccessController::emit observes requested->decided
+    // per decision) is reset here so its percentiles cover exactly this
+    // storm, not the warm-up.
+    obs::Histo& check_latency =
+        obs::Registry::global().histogram("wan_check_latency_seconds");
+    check_latency.reset();
     const auto storm = driver.run(storm_secs, window);
+    const metrics::Histogram latency_snap = check_latency.snapshot();
     const double checks_per_sec =
         static_cast<double>(storm.replies) / storm.elapsed;
     std::printf("\n  check storm   (%4.1fs, window %3llu): %9.0f checks/sec"
@@ -388,6 +396,24 @@ int throughput_main(int argc, char** argv, BackendKind kind, bool shards) {
                                 {"accepted", static_cast<double>(storm.accepted)},
                                 {"seconds", storm.elapsed},
                                 {"window", static_cast<double>(window)}});
+
+    // Host-side per-decision latency during phase 1, from the
+    // wan_check_latency_seconds histogram (cache-hot, so this is the signed
+    // request -> local decide path, not a quorum round). Field names avoid
+    // `checks_per_sec` so the CI regression gate keys only on the rate row.
+    const double lat_p50 = latency_snap.quantile_seconds(0.50);
+    const double lat_p99 = latency_snap.quantile_seconds(0.99);
+    std::printf("  check latency (%llu samples):      p50 %8.1fus  "
+                "p99 %8.1fus  max %8.1fus\n",
+                static_cast<unsigned long long>(latency_snap.count()),
+                lat_p50 * 1e6, lat_p99 * 1e6,
+                latency_snap.max_seconds() * 1e6);
+    json.record("check_latency",
+                {{"p50_s", lat_p50},
+                 {"p99_s", lat_p99},
+                 {"max_s", latency_snap.max_seconds()},
+                 {"samples", static_cast<double>(latency_snap.count())},
+                 {"seconds", storm.elapsed}});
 
     // Phase 2: revocation storm — pipelined grant/revoke quorums at manager
     // 0 while a lighter check load keeps caches live (so RevokeNotify

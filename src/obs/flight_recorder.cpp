@@ -1,0 +1,243 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace wan::obs {
+
+// On-disk layout. The header owns the first 4096-byte page; slots follow,
+// 80 bytes each. Atomics are used in-process for the claim/stamp protocol;
+// the harvester reads the same bytes as plain integers out of a dead file
+// (RawHeader/RawSlot below pin the layout equivalence).
+struct FlightRecorder::Header {
+  std::uint32_t magic;
+  std::uint16_t version;
+  std::uint16_t slot_size;
+  std::uint32_t node;
+  std::uint32_t capacity;
+  std::atomic<std::uint64_t> cursor;
+  std::int64_t anchor_runtime_ns;
+  std::int64_t anchor_wall_us;
+  char label[64];
+};
+
+struct FlightRecorder::Slot {
+  std::atomic<std::uint64_t> seq;  ///< 0 = in flight; index+1 = committed
+  std::uint64_t trace;
+  std::int64_t at_nanos;
+  std::int64_t a0;
+  std::int64_t a1;
+  std::uint32_t node;
+  std::uint8_t kind;
+  char name[kNameCap + 1];
+};
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4096;
+
+// Plain-integer mirrors for harvesting: std::atomic<uint64_t> is required
+// lock-free here and shares uint64_t's representation, so the raw structs
+// are byte-compatible with what the writer mapped.
+struct RawHeader {
+  std::uint32_t magic;
+  std::uint16_t version;
+  std::uint16_t slot_size;
+  std::uint32_t node;
+  std::uint32_t capacity;
+  std::uint64_t cursor;
+  std::int64_t anchor_runtime_ns;
+  std::int64_t anchor_wall_us;
+  char label[64];
+};
+
+struct RawSlot {
+  std::uint64_t seq;
+  std::uint64_t trace;
+  std::int64_t at_nanos;
+  std::int64_t a0;
+  std::int64_t a1;
+  std::uint32_t node;
+  std::uint8_t kind;
+  char name[FlightRecorder::kNameCap + 1];
+};
+
+bool read_exact(int fd, off_t off, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::pread(fd, p, n, off);
+    if (got <= 0) return false;
+    p += got;
+    off += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace
+
+static_assert(sizeof(FlightRecorder::Header) <= kHeaderBytes);
+static_assert(sizeof(FlightRecorder::Slot) == 80);
+static_assert(sizeof(RawHeader) == sizeof(FlightRecorder::Header));
+static_assert(sizeof(RawSlot) == sizeof(FlightRecorder::Slot));
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+
+std::unique_ptr<FlightRecorder> FlightRecorder::create(const std::string& path,
+                                                       std::uint32_t node,
+                                                       std::uint32_t capacity,
+                                                       std::string* error) {
+  if (capacity == 0) {
+    if (error) *error = "flight recorder capacity must be > 0";
+    return nullptr;
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error) {
+      *error = "open('" + path + "'): " + std::strerror(errno);
+    }
+    return nullptr;
+  }
+  const std::size_t size = kHeaderBytes + std::size_t{capacity} * sizeof(Slot);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    if (error) {
+      *error = "ftruncate('" + path + "'): " + std::strerror(errno);
+    }
+    ::close(fd);
+    return nullptr;
+  }
+  void* map =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    if (error) {
+      *error = "mmap('" + path + "'): " + std::strerror(errno);
+    }
+    return nullptr;
+  }
+
+  auto r = std::unique_ptr<FlightRecorder>(new FlightRecorder());
+  r->path_ = path;
+  r->map_ = map;
+  r->map_size_ = size;
+  r->hdr_ = static_cast<Header*>(map);
+  r->slots_ = reinterpret_cast<Slot*>(static_cast<std::uint8_t*>(map) +
+                                      kHeaderBytes);
+  r->capacity_ = capacity;
+  // Pages come back zeroed from ftruncate; fill the header and set the magic
+  // last so a half-created file never validates.
+  r->hdr_->version = kVersion;
+  r->hdr_->slot_size = sizeof(Slot);
+  r->hdr_->node = node;
+  r->hdr_->capacity = capacity;
+  r->hdr_->cursor.store(0, std::memory_order_relaxed);
+  r->hdr_->magic = kMagic;
+  return r;
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+}
+
+void FlightRecorder::set_identity(const std::string& label,
+                                  std::int64_t anchor_runtime_ns,
+                                  std::int64_t anchor_wall_us) {
+  hdr_->anchor_runtime_ns = anchor_runtime_ns;
+  hdr_->anchor_wall_us = anchor_wall_us;
+  std::size_t n = std::min(label.size(), sizeof(hdr_->label) - 1);
+  std::memcpy(hdr_->label, label.data(), n);
+  hdr_->label[n] = '\0';
+}
+
+void FlightRecorder::record(const TraceEvent& e) noexcept {
+  const std::uint64_t idx =
+      hdr_->cursor.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[idx % capacity_];
+  // Invalidate before overwriting so a kill mid-rewrite leaves a slot the
+  // harvester rejects rather than a chimera of two events.
+  s.seq.store(0, std::memory_order_release);
+  s.trace = e.trace;
+  s.at_nanos = e.at_nanos;
+  s.a0 = e.a0;
+  s.a1 = e.a1;
+  s.node = e.node;
+  s.kind = static_cast<std::uint8_t>(e.kind);
+  const char* n = e.name != nullptr ? e.name : "?";
+  std::size_t i = 0;
+  for (; i < kNameCap && n[i] != '\0'; ++i) s.name[i] = n[i];
+  s.name[i] = '\0';
+  s.seq.store(idx + 1, std::memory_order_release);
+}
+
+std::uint64_t FlightRecorder::recorded() const noexcept {
+  return hdr_->cursor.load(std::memory_order_relaxed);
+}
+
+std::optional<FlightRecorder::Harvested> FlightRecorder::harvest(
+    const std::string& path, std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error) {
+      *error = "open('" + path + "'): " + std::strerror(errno);
+    }
+    return std::nullopt;
+  }
+  RawHeader hdr{};
+  if (!read_exact(fd, 0, &hdr, sizeof hdr)) {
+    if (error) *error = "short read on ring header of '" + path + "'";
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (hdr.magic != kMagic || hdr.version != kVersion ||
+      hdr.slot_size != sizeof(Slot) || hdr.capacity == 0) {
+    if (error) *error = "'" + path + "' is not a v1 flight-recorder ring";
+    ::close(fd);
+    return std::nullopt;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 ||
+      static_cast<std::size_t>(st.st_size) <
+          kHeaderBytes + std::size_t{hdr.capacity} * sizeof(Slot)) {
+    if (error) *error = "'" + path + "' is truncated";
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  Harvested out;
+  hdr.label[sizeof(hdr.label) - 1] = '\0';
+  out.label = hdr.label;
+  out.node = hdr.node;
+  out.anchor_runtime_ns = hdr.anchor_runtime_ns;
+  out.anchor_wall_us = hdr.anchor_wall_us;
+  out.total_recorded = hdr.cursor;
+
+  const std::uint64_t start =
+      hdr.cursor > hdr.capacity ? hdr.cursor - hdr.capacity : 0;
+  for (std::uint64_t idx = start; idx < hdr.cursor; ++idx) {
+    RawSlot slot{};
+    const off_t off = static_cast<off_t>(
+        kHeaderBytes + (idx % hdr.capacity) * sizeof(Slot));
+    if (!read_exact(fd, off, &slot, sizeof slot)) break;
+    if (slot.seq != idx + 1) continue;  // torn by the kill, or lapped
+    HarvestedEvent ev;
+    ev.trace = slot.trace;
+    ev.at_nanos = slot.at_nanos;
+    slot.name[kNameCap] = '\0';
+    ev.name = slot.name;
+    ev.node = slot.node;
+    ev.kind = slot.kind <= static_cast<std::uint8_t>(SpanKind::kInstant)
+                  ? static_cast<SpanKind>(slot.kind)
+                  : SpanKind::kInstant;
+    ev.a0 = slot.a0;
+    ev.a1 = slot.a1;
+    out.events.push_back(std::move(ev));
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace wan::obs

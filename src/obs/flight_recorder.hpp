@@ -1,0 +1,111 @@
+// Crash-surviving flight recorder: a bounded, mmap-backed ring of the last N
+// trace events a process recorded, written lock-free and readable after the
+// process is SIGKILLed.
+//
+// Why the Tracer is not enough: its event vector lives on the heap and dies
+// with the process, so a `--proc-chaos` SIGKILL erases exactly the events
+// that explain what the victim was doing. The flight recorder writes every
+// event straight into an mmap'd file instead — dirty pages belong to the
+// kernel's page cache, which survives any process death short of a machine
+// crash (the same durability argument proto/journal.hpp relies on). No
+// msync, no flush: SIGKILL cannot unwrite an mmap'd store.
+//
+// Writer protocol (multi-thread, lock-free): a slot index is claimed with one
+// relaxed fetch_add on the header cursor; the slot's sequence stamp is zeroed
+// (release), the payload is written, and the stamp is set to index+1 with a
+// release store as the LAST write. A harvester — which by contract runs only
+// once the writer process is dead — accepts a slot only when its stamp
+// matches the expected index, so a slot torn mid-write by the kill (or lapped
+// by a concurrent wrap-around) is skipped, never misread. Event names are
+// copied into the slot (truncated to kNameCap): the TraceEvent's string
+// literal pointer means nothing in the harvesting process.
+//
+// The header carries the same wall-clock anchor as a process trace file
+// (obs/trace_io.hpp), so harvested events land on the merged cross-process
+// timeline exactly like live-exported ones.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace wan::obs {
+
+class FlightRecorder : public TraceSink {
+ public:
+  static constexpr std::uint32_t kMagic = 0x524C4657;  // "WFLR", little-endian
+  static constexpr std::uint16_t kVersion = 1;
+  /// Longest span name stored verbatim; longer names are truncated.
+  static constexpr std::size_t kNameCap = 27;
+
+  /// Creates (truncating) the ring file with `capacity` slots. Returns
+  /// nullptr with `*error` set on I/O failure.
+  static std::unique_ptr<FlightRecorder> create(const std::string& path,
+                                                std::uint32_t node,
+                                                std::uint32_t capacity,
+                                                std::string* error);
+
+  ~FlightRecorder() override;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Stamps the header with the process label and the wall-clock anchor
+  /// (runtime-clock nanos paired with system_clock micros at one instant).
+  void set_identity(const std::string& label, std::int64_t anchor_runtime_ns,
+                    std::int64_t anchor_wall_us);
+
+  /// Lock-free event write; safe from any thread, at any time up to SIGKILL.
+  void record(const TraceEvent& e) noexcept override;
+
+  /// Total events ever recorded (monotonic; exceeds capacity once wrapped).
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// One event recovered from a ring. Name is an owned copy — the writer
+  /// process (and its string literals) no longer exists.
+  struct HarvestedEvent {
+    TraceId trace = 0;
+    std::int64_t at_nanos = 0;
+    std::string name;
+    std::uint32_t node = 0;
+    SpanKind kind = SpanKind::kInstant;
+    std::int64_t a0 = 0;
+    std::int64_t a1 = 0;
+  };
+  struct Harvested {
+    std::string label;
+    std::uint32_t node = 0;
+    std::int64_t anchor_runtime_ns = 0;
+    std::int64_t anchor_wall_us = 0;
+    std::uint64_t total_recorded = 0;  ///< cursor value, counts overwritten
+    std::vector<HarvestedEvent> events;  ///< surviving slots, oldest first
+  };
+
+  /// Reads a ring written by a (now dead) process. Torn or lapped slots are
+  /// skipped. Returns nullopt with `*error` set on open/validation failure.
+  static std::optional<Harvested> harvest(const std::string& path,
+                                          std::string* error);
+
+  // On-disk layout types (defined in flight_recorder.cpp; public so the
+  // layout pins there can static_assert against them).
+  struct Header;
+  struct Slot;
+
+ private:
+  FlightRecorder() = default;
+
+  std::string path_;
+  void* map_ = nullptr;
+  std::size_t map_size_ = 0;
+  Header* hdr_ = nullptr;
+  Slot* slots_ = nullptr;
+  std::uint32_t capacity_ = 0;
+};
+
+}  // namespace wan::obs

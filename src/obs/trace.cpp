@@ -13,6 +13,7 @@ namespace wan::obs {
 namespace {
 
 std::atomic<Tracer*> g_tracer{nullptr};
+std::atomic<TraceSink*> g_sink{nullptr};
 
 void append_printf(std::string& out, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
@@ -212,6 +213,14 @@ bool Tracer::write_chrome_json(const std::string& path) const {
 }
 
 Tracer* tracer() noexcept { return g_tracer.load(std::memory_order_relaxed); }
+
+TraceSink* trace_sink() noexcept {
+  return g_sink.load(std::memory_order_relaxed);
+}
+
+void install_trace_sink(TraceSink* s) {
+  g_sink.store(s, std::memory_order_release);
+}
 
 void install_tracer(Tracer* t) {
   g_tracer.store(t, std::memory_order_release);

@@ -116,6 +116,25 @@ class Tracer {
 /// nullptr after a single relaxed load.
 [[nodiscard]] Tracer* tracer() noexcept;
 
+/// Secondary event sink, fed the same TraceEvents as the tracer. The one
+/// implementation today is the crash-surviving FlightRecorder ring
+/// (obs/flight_recorder.hpp): unlike the Tracer it must keep working up to
+/// the instant of a SIGKILL, so it gets the raw event instead of riding the
+/// Tracer's mutex-guarded vector. Both hooks are independent: either may be
+/// installed without the other.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& e) noexcept = 0;
+};
+
+/// Currently installed secondary sink (nullptr = none).
+[[nodiscard]] TraceSink* trace_sink() noexcept;
+
+/// Installs `s` as the process-global secondary sink (nullptr to disable).
+/// Same scoping contract as install_tracer: one traced world at a time.
+void install_trace_sink(TraceSink* s);
+
 /// Installs `t` as the process-global tracer and routes wan::log lines into
 /// it. Pass nullptr to disable. Not reference-counted: callers scope
 /// installation (see TracerScope) and must not run two traced worlds
@@ -138,7 +157,8 @@ inline void record(TraceId trace, SpanKind kind, HostId node,
                    sim::TimePoint at, const char* name, std::int64_t a0 = 0,
                    std::int64_t a1 = 0) {
   Tracer* t = tracer();
-  if (t == nullptr) return;
+  TraceSink* s = trace_sink();
+  if (t == nullptr && s == nullptr) return;
   TraceEvent e;
   e.trace = trace;
   e.at_nanos = at.nanos_since_origin();
@@ -147,11 +167,14 @@ inline void record(TraceId trace, SpanKind kind, HostId node,
   e.kind = kind;
   e.a0 = a0;
   e.a1 = a1;
-  t->record(e);
+  if (t != nullptr) t->record(e);
+  if (s != nullptr) s->record(e);
 }
 
-/// True when a tracer is installed (for callers that want to skip building
-/// args entirely).
-[[nodiscard]] inline bool enabled() noexcept { return tracer() != nullptr; }
+/// True when a tracer or sink is installed (for callers that want to skip
+/// building args entirely).
+[[nodiscard]] inline bool enabled() noexcept {
+  return tracer() != nullptr || trace_sink() != nullptr;
+}
 
 }  // namespace wan::obs

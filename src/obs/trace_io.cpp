@@ -1,0 +1,389 @@
+#include "obs/trace_io.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace wan::obs {
+namespace {
+
+void append_printf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_printf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, std::min<std::size_t>(n, sizeof(buf) - 1));
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          append_printf(out, "\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+[[nodiscard]] std::uint32_t mint_node_of(TraceId t) {
+  return static_cast<std::uint32_t>((t >> 32) & 0x3FFFFFFFu);
+}
+
+[[nodiscard]] TraceKind kind_of(TraceId t) {
+  return static_cast<TraceKind>(t >> 62);
+}
+
+}  // namespace
+
+ProcessTrace snapshot_process_trace(const Tracer& tracer, std::string label,
+                                    std::uint32_t node,
+                                    std::int64_t anchor_runtime_ns,
+                                    std::int64_t anchor_wall_us) {
+  ProcessTrace pt;
+  pt.label = std::move(label);
+  pt.node = node;
+  pt.anchor_runtime_ns = anchor_runtime_ns;
+  pt.anchor_wall_us = anchor_wall_us;
+  pt.dropped = tracer.dropped();
+  const std::vector<TraceEvent> evs = tracer.events();
+  pt.events.reserve(evs.size());
+  for (const TraceEvent& e : evs) {
+    ProcessTrace::Event out;
+    out.trace = e.trace;
+    out.at_nanos = e.at_nanos;
+    out.name = e.name != nullptr ? e.name : "?";
+    out.node = e.node;
+    out.kind = e.kind;
+    out.a0 = e.a0;
+    out.a1 = e.a1;
+    pt.events.push_back(std::move(out));
+  }
+  return pt;
+}
+
+ProcessTrace from_harvest(const FlightRecorder::Harvested& h,
+                          std::string label) {
+  ProcessTrace pt;
+  pt.label = std::move(label);
+  if (pt.label.empty()) pt.label = h.label;
+  pt.node = h.node;
+  pt.anchor_runtime_ns = h.anchor_runtime_ns;
+  pt.anchor_wall_us = h.anchor_wall_us;
+  pt.from_flight_recorder = true;
+  pt.dropped = h.total_recorded - h.events.size();
+  pt.events.reserve(h.events.size());
+  for (const FlightRecorder::HarvestedEvent& e : h.events) {
+    ProcessTrace::Event out;
+    out.trace = e.trace;
+    out.at_nanos = e.at_nanos;
+    out.name = e.name;
+    out.node = e.node;
+    out.kind = e.kind;
+    out.a0 = e.a0;
+    out.a1 = e.a1;
+    pt.events.push_back(std::move(out));
+  }
+  return pt;
+}
+
+bool write_process_trace(const std::string& path, const ProcessTrace& pt,
+                         std::string* error) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    if (error) *error = "cannot open '" + tmp + "' for writing";
+    return false;
+  }
+  std::fprintf(f, "WANTRACE 1\n");
+  std::fprintf(f, "label %s\n", pt.label.c_str());
+  std::fprintf(f, "node %u\n", pt.node);
+  std::fprintf(f, "anchor_runtime_ns %" PRId64 "\n", pt.anchor_runtime_ns);
+  std::fprintf(f, "anchor_wall_us %" PRId64 "\n", pt.anchor_wall_us);
+  std::fprintf(f, "flightrecorder %d\n", pt.from_flight_recorder ? 1 : 0);
+  std::fprintf(f, "dropped %" PRIu64 "\n", pt.dropped);
+  for (const ProcessTrace::Event& e : pt.events) {
+    std::fprintf(f,
+                 "E %016" PRIx64 " %" PRId64 " %u %d %" PRId64 " %" PRId64
+                 " %s\n",
+                 e.trace, e.at_nanos, e.node, static_cast<int>(e.kind), e.a0,
+                 e.a1, e.name.empty() ? "?" : e.name.c_str());
+  }
+  const bool ok = std::fflush(f) == 0 && !std::ferror(f);
+  std::fclose(f);
+  if (!ok) {
+    if (error) *error = "write failure on '" + tmp + "'";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error) *error = "rename('" + tmp + "' -> '" + path + "') failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<ProcessTrace> load_process_trace(const std::string& path,
+                                               std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  const auto fail = [&](const std::string& what) {
+    if (error) *error = "'" + path + "': " + what;
+    return std::nullopt;
+  };
+  std::string line;
+  if (!std::getline(in, line) || line != "WANTRACE 1") {
+    return fail("missing WANTRACE 1 header");
+  }
+  ProcessTrace pt;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == 'E' && line.size() > 1 && line[1] == ' ') {
+      ProcessTrace::Event e;
+      char name[128] = {0};
+      int kind = 0;
+      if (std::sscanf(line.c_str(),
+                      "E %" SCNx64 " %" SCNd64 " %u %d %" SCNd64 " %" SCNd64
+                      " %127s",
+                      &e.trace, &e.at_nanos, &e.node, &kind, &e.a0, &e.a1,
+                      name) != 7) {
+        return fail("bad event line '" + line + "'");
+      }
+      if (kind < 0 || kind > static_cast<int>(SpanKind::kInstant)) {
+        kind = static_cast<int>(SpanKind::kInstant);
+      }
+      e.kind = static_cast<SpanKind>(kind);
+      e.name = name;
+      pt.events.push_back(std::move(e));
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "label") {
+      fields >> pt.label;
+    } else if (key == "node") {
+      fields >> pt.node;
+    } else if (key == "anchor_runtime_ns") {
+      fields >> pt.anchor_runtime_ns;
+    } else if (key == "anchor_wall_us") {
+      fields >> pt.anchor_wall_us;
+    } else if (key == "flightrecorder") {
+      int v = 0;
+      fields >> v;
+      pt.from_flight_recorder = v != 0;
+    } else if (key == "dropped") {
+      fields >> pt.dropped;
+    }
+    // Unknown keys are skipped: a v1 reader stays usable on v1+ files.
+  }
+  return pt;
+}
+
+MergedTrace merge_traces(std::vector<ProcessTrace> procs) {
+  MergedTrace m;
+  m.procs = std::move(procs);
+  std::size_t total = 0;
+  for (const ProcessTrace& p : m.procs) total += p.events.size();
+  m.events.reserve(total);
+  for (std::size_t p = 0; p < m.procs.size(); ++p) {
+    for (std::size_t i = 0; i < m.procs[p].events.size(); ++i) {
+      MergedTrace::Event e;
+      e.proc = p;
+      e.idx = i;
+      e.wall_us = m.procs[p].wall_us_of(m.procs[p].events[i].at_nanos);
+      m.events.push_back(e);
+    }
+  }
+  std::sort(m.events.begin(), m.events.end(),
+            [](const MergedTrace::Event& a, const MergedTrace::Event& b) {
+              if (a.wall_us != b.wall_us) return a.wall_us < b.wall_us;
+              if (a.proc != b.proc) return a.proc < b.proc;
+              return a.idx < b.idx;
+            });
+  m.base_wall_us = m.events.empty() ? 0.0 : m.events.front().wall_us;
+  return m;
+}
+
+std::vector<TraceEvent> analysis_events(const MergedTrace& m) {
+  std::vector<TraceEvent> out;
+  out.reserve(m.events.size());
+  for (const MergedTrace::Event& me : m.events) {
+    const ProcessTrace::Event& src = m.at(me);
+    TraceEvent e;
+    e.trace = src.trace;
+    e.at_nanos =
+        static_cast<std::int64_t>((me.wall_us - m.base_wall_us) * 1000.0);
+    e.name = src.name.c_str();
+    e.node = src.node;
+    e.kind = src.kind;
+    e.a0 = src.a0;
+    e.a1 = src.a1;
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<ChainStats> chain_stats(const MergedTrace& m) {
+  std::vector<ChainStats> out;
+  std::map<TraceId, std::size_t> index;
+  std::map<TraceId, std::set<std::size_t>> procs;
+  for (const MergedTrace::Event& me : m.events) {
+    const ProcessTrace::Event& src = m.at(me);
+    if (src.trace == 0) continue;
+    auto [it, fresh] = index.try_emplace(src.trace, out.size());
+    if (fresh) {
+      ChainStats cs;
+      cs.trace = src.trace;
+      cs.kind = kind_of(src.trace);
+      cs.mint_node = mint_node_of(src.trace);
+      // Events are visited in anchored-clock order, so the first sighting IS
+      // the chain's earliest event.
+      cs.root_first = src.node == cs.mint_node;
+      out.push_back(cs);
+    }
+    ChainStats& cs = out[it->second];
+    ++cs.event_count;
+    cs.proc_count = procs[src.trace].insert(me.proc).second
+                        ? cs.proc_count + 1
+                        : cs.proc_count;
+  }
+  return out;
+}
+
+std::string merged_chrome_json(const MergedTrace& m) {
+  std::string out;
+  out.reserve(m.events.size() * 192 + 512);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+  for (std::size_t p = 0; p < m.procs.size(); ++p) {
+    comma();
+    append_printf(out,
+                  "{\"ph\":\"M\",\"pid\":%zu,\"name\":\"process_name\","
+                  "\"args\":{\"name\":",
+                  p);
+    std::string label = m.procs[p].label;
+    if (m.procs[p].from_flight_recorder) label += " (flight recorder)";
+    append_json_string(out, label);
+    out += "}}";
+    comma();
+    append_printf(out,
+                  "{\"ph\":\"M\",\"pid\":%zu,\"name\":\"process_sort_index\","
+                  "\"args\":{\"sort_index\":%zu}}",
+                  p, p);
+  }
+  for (const MergedTrace::Event& me : m.events) {
+    const ProcessTrace::Event& e = m.at(me);
+    comma();
+    append_printf(out,
+                  "{\"ph\":\"X\",\"cat\":\"wan\",\"name\":\"%s\",\"pid\":%zu,"
+                  "\"tid\":%u,\"ts\":%.3f,\"dur\":1,\"args\":{\"kind\":\"%s\","
+                  "\"a0\":%" PRId64 ",\"a1\":%" PRId64
+                  ",\"trace\":\"0x%016" PRIx64 "\"}}",
+                  e.name.c_str(), me.proc, e.node, me.wall_us - m.base_wall_us,
+                  to_cstring(e.kind), e.a0, e.a1, e.trace);
+  }
+  // Flow arrows: one s -> t... -> f sequence per cross-process chain, bound
+  // to the first slice the chain records on each process it reaches.
+  std::map<TraceId, std::vector<const MergedTrace::Event*>> touches;
+  std::map<TraceId, std::set<std::size_t>> seen;
+  for (const MergedTrace::Event& me : m.events) {
+    const ProcessTrace::Event& e = m.at(me);
+    if (e.trace == 0) continue;
+    if (seen[e.trace].insert(me.proc).second) {
+      touches[e.trace].push_back(&me);
+    }
+  }
+  for (const auto& [trace, firsts] : touches) {
+    if (firsts.size() < 2) continue;
+    const char* flow_name = m.at(*firsts.front()).name.c_str();
+    for (std::size_t i = 0; i < firsts.size(); ++i) {
+      const MergedTrace::Event& me = *firsts[i];
+      const ProcessTrace::Event& e = m.at(me);
+      const char ph = i == 0 ? 's' : (i + 1 == firsts.size() ? 'f' : 't');
+      comma();
+      append_printf(out,
+                    "{\"ph\":\"%c\",\"cat\":\"flow\",\"name\":\"%s\","
+                    "\"id\":\"0x%016" PRIx64
+                    "\",\"pid\":%zu,\"tid\":%u,\"ts\":%.3f",
+                    ph, flow_name, trace, me.proc, e.node,
+                    me.wall_us - m.base_wall_us);
+      if (ph == 'f') out += ",\"bp\":\"e\"";
+      out += "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_merged_chrome_json(const std::string& path, const MergedTrace& m,
+                              std::string* error) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    if (error) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  f << merged_chrome_json(m);
+  if (!f) {
+    if (error) *error = "write failure on '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+std::string merged_text(const MergedTrace& m) {
+  std::string out;
+  out.reserve(m.events.size() * 96);
+  for (const MergedTrace::Event& me : m.events) {
+    const ProcessTrace::Event& e = m.at(me);
+    append_printf(out,
+                  "t_us=%.3f proc=%s node=%u trace=%016" PRIx64 " %s %s",
+                  me.wall_us - m.base_wall_us, m.procs[me.proc].label.c_str(),
+                  e.node, e.trace, to_cstring(e.kind),
+                  e.name.empty() ? "?" : e.name.c_str());
+    if (e.a0 != 0 || e.a1 != 0) {
+      append_printf(out, " a0=%" PRId64 " a1=%" PRId64, e.a0, e.a1);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace wan::obs

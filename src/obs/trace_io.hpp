@@ -1,0 +1,135 @@
+// Per-process trace export and cross-process merge.
+//
+// TraceEvent timestamps are runtime-clock nanos — steady_clock since the
+// process's Fabric epoch (runtime/fabric.hpp), which is process-local: two
+// wan_node roles forked milliseconds apart disagree on what "t=0" means. A
+// ProcessTrace therefore carries a wall-clock anchor: one instant sampled on
+// both clocks (runtime nanos, system_clock micros). With the anchor, any
+// event maps onto the machine-shared system_clock timeline:
+//
+//   wall_us(e) = anchor_wall_us + (e.at_nanos - anchor_runtime_ns) / 1000
+//
+// which is what lets trace_merge interleave nine processes' spans into one
+// causally ordered stream, draw TraceId flow arrows across process tracks,
+// and run TeProbe::analyze over revocations whose quorum and stale allows
+// happened in different OS processes. Anchor error is the skew between the
+// two clock samples (sub-microsecond, same machine) — far below the
+// network latencies the merged ordering reflects.
+//
+// The on-disk form is a versioned line-oriented text file ("WANTRACE 1"),
+// one event per line, names last so they parse without quoting. Flight
+// recorder rings (obs/flight_recorder.hpp) harvest into the same struct, so
+// a SIGKILLed process's final events merge exactly like a clean export.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
+
+namespace wan::obs {
+
+/// One process's exported span stream plus its wall-clock anchor.
+struct ProcessTrace {
+  std::string label;
+  std::uint32_t node = 0;
+  std::int64_t anchor_runtime_ns = 0;  ///< runtime clock at the anchor instant
+  std::int64_t anchor_wall_us = 0;     ///< system_clock micros, same instant
+  bool from_flight_recorder = false;
+  std::uint64_t dropped = 0;  ///< tracer drops (capacity) or lapped ring slots
+
+  /// Same shape as TraceEvent but with an owned name: these events cross
+  /// process and file boundaries where a string-literal pointer is void.
+  struct Event {
+    TraceId trace = 0;
+    std::int64_t at_nanos = 0;
+    std::string name;
+    std::uint32_t node = 0;
+    SpanKind kind = SpanKind::kInstant;
+    std::int64_t a0 = 0;
+    std::int64_t a1 = 0;
+  };
+  std::vector<Event> events;
+
+  /// System-clock micros of a runtime-clock timestamp, via the anchor.
+  [[nodiscard]] double wall_us_of(std::int64_t at_nanos) const {
+    return static_cast<double>(anchor_wall_us) +
+           static_cast<double>(at_nanos - anchor_runtime_ns) / 1000.0;
+  }
+};
+
+/// Snapshot of an in-process Tracer, ready for write_process_trace.
+[[nodiscard]] ProcessTrace snapshot_process_trace(const Tracer& tracer,
+                                                  std::string label,
+                                                  std::uint32_t node,
+                                                  std::int64_t anchor_runtime_ns,
+                                                  std::int64_t anchor_wall_us);
+
+/// A harvested flight-recorder ring as a ProcessTrace (from_flight_recorder
+/// set; dropped = events lost to ring wrap or torn slots).
+[[nodiscard]] ProcessTrace from_harvest(const FlightRecorder::Harvested& h,
+                                        std::string label);
+
+/// Writes `pt` as a WANTRACE v1 file (tmp + atomic rename).
+bool write_process_trace(const std::string& path, const ProcessTrace& pt,
+                         std::string* error);
+
+/// Parses a WANTRACE v1 file. nullopt with `*error` set on malformed input.
+[[nodiscard]] std::optional<ProcessTrace> load_process_trace(
+    const std::string& path, std::string* error);
+
+/// Every process's events interleaved on the anchored wall clock.
+struct MergedTrace {
+  struct Event {
+    std::size_t proc = 0;  ///< index into procs
+    std::size_t idx = 0;   ///< index into procs[proc].events
+    double wall_us = 0;    ///< absolute system_clock micros
+  };
+  std::vector<ProcessTrace> procs;
+  std::vector<Event> events;  ///< sorted by wall_us (ties: proc, idx)
+  double base_wall_us = 0;    ///< earliest event (0 when empty)
+
+  [[nodiscard]] const ProcessTrace::Event& at(const Event& e) const {
+    return procs[e.proc].events[e.idx];
+  }
+};
+
+[[nodiscard]] MergedTrace merge_traces(std::vector<ProcessTrace> procs);
+
+/// The merged stream as TraceEvents on one timeline (nanos since
+/// base_wall_us) for TeProbe::analyze and Tracer-style tooling. Name
+/// pointers alias strings owned by `m` — keep it alive while using them.
+[[nodiscard]] std::vector<TraceEvent> analysis_events(const MergedTrace& m);
+
+/// Cross-process reach of one causal chain.
+struct ChainStats {
+  TraceId trace = 0;
+  TraceKind kind = TraceKind::kCheck;
+  std::uint32_t mint_node = 0;  ///< node encoded in the TraceId (bits 61..32)
+  std::size_t proc_count = 0;   ///< distinct processes the chain touched
+  std::size_t event_count = 0;
+  /// Anchored-clock causality check: the chain's earliest merged event was
+  /// recorded by the node that minted the id. False means either a protocol
+  /// bug or anchor skew larger than a cross-process hop.
+  bool root_first = true;
+};
+
+/// Stats per non-zero TraceId, ordered by first appearance.
+[[nodiscard]] std::vector<ChainStats> chain_stats(const MergedTrace& m);
+
+/// Chrome trace_event JSON over the merged stream: one pid (track group) per
+/// process with its label as process_name, every span event as a thin 'X'
+/// slice, and s/t/f flow arrows threading each cross-process TraceId through
+/// the processes it touched. Open in chrome://tracing or ui.perfetto.dev.
+[[nodiscard]] std::string merged_chrome_json(const MergedTrace& m);
+bool write_merged_chrome_json(const std::string& path, const MergedTrace& m,
+                              std::string* error);
+
+/// Deterministic text dump of the merged stream (one event per line,
+/// timestamps relative to base_wall_us).
+[[nodiscard]] std::string merged_text(const MergedTrace& m);
+
+}  // namespace wan::obs

@@ -152,13 +152,18 @@ void AccessController::on_message(HostId from, const net::MessagePtr& msg) {
 }
 
 void AccessController::handle_invoke(HostId from, const InvokeRequest& req) {
+  // Latency clock starts at arrival: every decision stemming from this
+  // invoke — including the cache hit decided later in this same handler —
+  // charges authentication and lookup time to wan_check_latency_seconds.
+  const sim::TimePoint arrived = env_.now();
   AppState* state = app_state(req.app);
   if (state == nullptr) {
     AccessDecision d;
     d.app = req.app;
     d.user = req.user;
     d.host = self_;
-    d.requested = d.decided = env_.now();
+    d.requested = arrived;
+    d.decided = env_.now();
     d.allowed = false;
     d.path = DecisionPath::kUnknownApp;
     d.reason = DenyReason::kUnknownApp;
@@ -178,7 +183,8 @@ void AccessController::handle_invoke(HostId from, const InvokeRequest& req) {
     d.app = req.app;
     d.user = req.user;
     d.host = self_;
-    d.requested = d.decided = env_.now();
+    d.requested = arrived;
+    d.decided = env_.now();
     d.allowed = false;
     d.path = DecisionPath::kAuthRejected;
     d.reason = DenyReason::kAuthentication;
@@ -210,20 +216,23 @@ void AccessController::handle_invoke(HostId from, const InvokeRequest& req) {
                 net::make_message<InvokeReply>(request_id, false, d.reason, ""));
     }
       },
-      req.trace);
+      req.trace, arrived);
 }
 
 void AccessController::check_access(AppId app, UserId user, CheckCallback done,
-                                    obs::TraceId parent) {
+                                    obs::TraceId parent,
+                                    std::optional<sim::TimePoint> requested) {
   WAN_REQUIRE(done != nullptr);
   if (!up_) return;  // a crashed host runs nothing; the caller's session dies
+  const sim::TimePoint t_req = requested.value_or(env_.now());
   AppState* state = app_state(app);
   if (state == nullptr) {
     AccessDecision d;
     d.app = app;
     d.user = user;
     d.host = self_;
-    d.requested = d.decided = env_.now();
+    d.requested = t_req;
+    d.decided = env_.now();
     d.allowed = false;
     d.path = DecisionPath::kUnknownApp;
     d.reason = DenyReason::kUnknownApp;
@@ -247,7 +256,8 @@ void AccessController::check_access(AppId app, UserId user, CheckCallback done,
     d.app = app;
     d.user = user;
     d.host = self_;
-    d.requested = d.decided = env_.now();
+    d.requested = t_req;
+    d.decided = env_.now();
     d.allowed = true;
     d.path = DecisionPath::kCacheHit;
     d.basis_version = entry->version;
@@ -265,11 +275,12 @@ void AccessController::check_access(AppId app, UserId user, CheckCallback done,
     it->second->waiters.push_back(std::move(done));
     return;
   }
-  start_session(app, user, std::move(done), parent);
+  start_session(app, user, std::move(done), parent, t_req);
 }
 
 void AccessController::start_session(AppId app, UserId user, CheckCallback done,
-                                     obs::TraceId parent) {
+                                     obs::TraceId parent,
+                                     sim::TimePoint requested) {
   auto managers = resolver_.resolve(app, local_now());
   const SessionKey key = session_key(app, user);
 
@@ -291,7 +302,8 @@ void AccessController::start_session(AppId app, UserId user, CheckCallback done,
     d.app = app;
     d.user = user;
     d.host = self_;
-    d.requested = d.decided = env_.now();
+    d.requested = requested;
+    d.decided = env_.now();
     d.allowed = config_.exhausted_policy == ExhaustedPolicy::kAllow;
     d.path = d.allowed ? DecisionPath::kDefaultAllow
                        : DecisionPath::kUnverifiableDeny;
@@ -317,7 +329,7 @@ void AccessController::start_session(AppId app, UserId user, CheckCallback done,
   auto session = std::make_unique<CheckSession>(needed, env_);
   session->app = app;
   session->user = user;
-  session->started = env_.now();
+  session->started = requested;
   session->managers = std::move(managers->managers);
   session->trace = obs::mint(obs::TraceKind::kCheck, self_, next_trace_seq_++);
   session->waiters.push_back(std::move(done));

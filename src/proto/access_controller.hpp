@@ -66,8 +66,13 @@ class AccessController {
   /// authentication, which the paper treats as an orthogonal oracle).
   /// `parent` links the check's trace to an enclosing causal chain (the
   /// invoke path passes the InvokeRequest's trace); 0 = standalone.
+  /// `requested` backdates the decision's latency clock to when the work
+  /// actually began (the invoke path passes its arrival time, so the
+  /// wan_check_latency_seconds histogram includes authentication); unset =
+  /// the check starts now.
   void check_access(AppId app, UserId user, CheckCallback done,
-                    obs::TraceId parent = 0);
+                    obs::TraceId parent = 0,
+                    std::optional<sim::TimePoint> requested = std::nullopt);
 
   /// Observer for every decision this host makes (metrics hook).
   void set_decision_observer(std::function<void(const AccessDecision&)> obs) {
@@ -161,7 +166,7 @@ class AccessController {
   void handle_shard_map(HostId from, const ShardMapAnnounce& msg);
 
   void start_session(AppId app, UserId user, CheckCallback done,
-                     obs::TraceId parent);
+                     obs::TraceId parent, sim::TimePoint requested);
   void begin_attempt(CheckSession& s);
   void on_attempt_timeout(SessionKey key);
   void finish_session(SessionKey key, bool allowed, DecisionPath path,

@@ -8,6 +8,8 @@
 #include <cstring>
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace wan::proto {
 
 namespace {
@@ -201,6 +203,8 @@ std::string ManagerJournal::log_path(std::uint32_t app) const {
 
 std::size_t ManagerJournal::replay(
     const std::function<void(AppId, const acl::AclUpdate&)>& fn) {
+  static obs::Counter& replayed_records =
+      obs::Registry::global().counter("wan_journal_replayed_records_total");
   std::size_t total = 0;
   for (std::uint32_t app : found_apps_) {
     total += replay_file(snap_path(app), app, fn);
@@ -218,6 +222,7 @@ std::size_t ManagerJournal::replay(
     total += replay_file(log_path(app), app, fn);
     log_counts_[app] = log_count;
   }
+  replayed_records.inc(total);
   return total;
 }
 
@@ -238,21 +243,36 @@ std::FILE* ManagerJournal::log_handle(std::uint32_t app) {
 }
 
 bool ManagerJournal::append(AppId app, const acl::AclUpdate& update) {
+  static obs::Counter& appends =
+      obs::Registry::global().counter("wan_journal_appends_total");
+  static obs::Counter& failures =
+      obs::Registry::global().counter("wan_journal_append_failures_total");
   std::FILE* f = log_handle(app.value());
-  if (!f) return false;
+  if (!f) {
+    failures.inc();
+    return false;
+  }
   std::uint8_t rec[4 + kRecordLen];
   encode_record(rec, app.value(), update);
-  if (std::fwrite(rec, 1, sizeof rec, f) != sizeof rec) return false;
+  const bool wrote = std::fwrite(rec, 1, sizeof rec, f) == sizeof rec;
   // fflush is the durability point: the record reaches the kernel page
   // cache, which outlives a kill -9 of this process (see the header comment
   // for why there is no fsync).
-  if (std::fflush(f) != 0) return false;
+  if (!wrote || std::fflush(f) != 0) {
+    failures.inc();
+    return false;
+  }
   ++log_counts_[app.value()];
+  appends.inc();
   return true;
 }
 
 bool ManagerJournal::compact(AppId app,
                              const std::vector<acl::AclUpdate>& snapshot) {
+  static obs::Counter& compactions =
+      obs::Registry::global().counter("wan_journal_compactions_total");
+  static obs::Counter& snap_records =
+      obs::Registry::global().counter("wan_journal_compacted_records_total");
   const std::string tmp = snap_path(app.value()) + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) return false;
@@ -287,6 +307,8 @@ bool ManagerJournal::compact(AppId app,
     logs_[app.value()] = log;
   }
   log_counts_[app.value()] = 0;
+  compactions.inc();
+  snap_records.inc(snapshot.size());
   return true;
 }
 

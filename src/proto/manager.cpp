@@ -914,6 +914,8 @@ std::size_t ManagerModule::attach_journal(ManagerJournal* journal) {
     }
     ++replayed;
   });
+  obs::record(/*trace=*/0, obs::SpanKind::kInstant, self_, env_.now(),
+              "journal.replay", static_cast<std::int64_t>(replayed));
   return replayed;
 }
 
@@ -947,7 +949,10 @@ void ManagerModule::maybe_compact(AppId app, AppCtl& ctl) {
   // re-applied as no-ops, so the threshold is pure tuning.
   constexpr std::size_t kCompactAfter = 256;
   if (journal_->log_records(app) >= kCompactAfter) {
-    journal_->compact(app, ctl.store.snapshot());
+    const auto snapshot = ctl.store.snapshot();
+    journal_->compact(app, snapshot);
+    obs::record(/*trace=*/0, obs::SpanKind::kInstant, self_, env_.now(),
+                "journal.compact", static_cast<std::int64_t>(snapshot.size()));
   }
 }
 
@@ -1052,6 +1057,12 @@ void ManagerModule::begin_shard_handoff(AppId app,
     WAN_DEBUG << to_string(self_) << " hands off shard " << s << " of "
               << to_string(app) << " (" << h->slice.size() << " entries, "
               << h->dests.size() << " dests)";
+    static obs::Counter& handoffs =
+        obs::Registry::global().counter("wan_shard_handoffs_total");
+    handoffs.inc();
+    obs::record(/*trace=*/0, obs::SpanKind::kInstant, self_, env_.now(),
+                "shard.handoff.begin", s,
+                static_cast<std::int64_t>(h->epoch));
     ctl->handoffs_out[s] = std::move(h);
     handoff_round(app, s);
   }
@@ -1106,10 +1117,16 @@ void ManagerModule::send_handoff_series(AppId app, const AppCtl& ctl,
         std::vector<acl::AclUpdate>(h.slice.begin() + lo,
                                     h.slice.begin() + hi)));
   }
+  static obs::Counter& chunks_sent =
+      obs::Registry::global().counter("wan_shard_chunks_sent_total");
   for (const HostId d : h.dests) {
     if (h.acked.count(d) != 0) continue;
     net_.send(self_, d, begin);
     for (const auto& c : chunks) net_.send(self_, d, c);
+    chunks_sent.inc(chunks.size());
+    obs::record(/*trace=*/0, obs::SpanKind::kSend, self_, env_.now(),
+                "shard.handoff.chunks", h.shard,
+                static_cast<std::int64_t>(total));
   }
 }
 
@@ -1217,9 +1234,16 @@ void ManagerModule::commit_shard_map(AppId app, shard::ShardMap next) {
     pa.need = std::min(ctl->check_quorum, static_cast<int>(old_members.size()));
     pa.epoch = map.epoch();
     pa.senders.insert(old_members.begin(), old_members.end());
+    pa.begun = env_.now();
     ctl->pending_acquire[s] = std::move(pa);
     maybe_activate_shard(app, *ctl, s);
   }
+  static obs::Counter& rebalances =
+      obs::Registry::global().counter("wan_shard_rebalances_total");
+  rebalances.inc();
+  obs::record(/*trace=*/0, obs::SpanKind::kInstant, self_, env_.now(),
+              "shard.map.commit", static_cast<std::int64_t>(map.epoch()),
+              static_cast<std::int64_t>(gained.size()));
   WAN_DEBUG << to_string(self_) << " committed shard map epoch "
             << map.epoch() << " for " << to_string(app) << " (+"
             << gained.size() << " shards, pending "
@@ -1258,7 +1282,17 @@ void ManagerModule::maybe_activate_shard(AppId app, AppCtl& ctl,
     merge_snapshot(app, ctl, sit->second.snapshot());
     ctl.staging.erase(sit);
   }
+  const std::uint64_t epoch = it->second.epoch;
+  const sim::TimePoint begun = it->second.begun;
   ctl.pending_acquire.erase(it);
+  static obs::Counter& activations =
+      obs::Registry::global().counter("wan_shard_activations_total");
+  activations.inc();
+  static obs::Histo& handoff_latency =
+      obs::Registry::global().histogram("wan_shard_handoff_seconds");
+  handoff_latency.observe(env_.now() - begun);
+  obs::record(/*trace=*/0, obs::SpanKind::kInstant, self_, env_.now(),
+              "shard.activate", shard, static_cast<std::int64_t>(epoch));
   // The series did their job; drop them so they can never be mistaken for
   // evidence by a later rebalance. A sender whose Done was lost retransmits
   // its Begin and gets re-acked through the active-shard path.
@@ -1279,11 +1313,17 @@ void ManagerModule::adopt_pending_shards(AppId app, AppCtl& ctl) {
   // of the transfer quorum it may hold a grant whose completed revoke only
   // the missing senders carry, which is exactly what pending_acquire
   // guards the Te bound against.
+  static obs::Counter& adoptions =
+      obs::Registry::global().counter("wan_shard_adoptions_total");
   for (auto it = ctl.pending_acquire.begin();
        it != ctl.pending_acquire.end();) {
     const std::uint32_t s = it->first;
+    const std::uint64_t epoch = it->second.epoch;
     it = ctl.pending_acquire.erase(it);
     drop_handoff_in(ctl, s);
+    adoptions.inc();
+    obs::record(/*trace=*/0, obs::SpanKind::kInstant, self_, env_.now(),
+                "shard.adopt", s, static_cast<std::int64_t>(epoch));
     WAN_DEBUG << to_string(self_) << " adopted shard " << s << " of "
               << to_string(app) << " from its recovery sync";
   }
@@ -1376,6 +1416,9 @@ void ManagerModule::handle_handoff_chunk(HostId from,
   HandoffIn& hi = it->second;
   if (m.seq >= hi.total) return;
   if (!hi.received.insert(m.seq).second) return;  // duplicate chunk
+  static obs::Counter& chunks_received =
+      obs::Registry::global().counter("wan_shard_chunks_received_total");
+  chunks_received.inc();
   // Chunks merge into the staging store, never the live one: queries must
   // not see a half-transferred slice, and an abort simply discards staging.
   // LWW merging makes chunks from different senders and restarted series

@@ -398,6 +398,8 @@ class ManagerModule {
     int need = 0;
     std::uint64_t epoch = 0;
     std::set<HostId> senders;
+    sim::TimePoint begun{};  ///< commit time; activation latency is measured
+                             ///< from here into wan_shard_handoff_seconds
   };
 
   struct AppCtl;

@@ -15,15 +15,28 @@ std::chrono::nanoseconds to_chrono(sim::Duration d) {
   return std::chrono::nanoseconds(d.count_nanos());
 }
 
+/// Fallback span clock for channels built without a fabric: steady time
+/// since this channel came up. Useless for cross-process merging but keeps
+/// standalone-test spans monotonic.
+ReliableChannel::NowFn local_epoch_now() {
+  const auto epoch = std::chrono::steady_clock::now();
+  return [epoch] {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+  };
+}
+
 }  // namespace
 
 ReliableChannel::ReliableChannel(const ReliabilityOptions& opts,
                                  EnqueueFn enqueue, ResolveFn resolve,
-                                 DeliverFn deliver)
+                                 DeliverFn deliver, NowFn now_nanos)
     : opts_(opts),
       enqueue_(std::move(enqueue)),
       resolve_(std::move(resolve)),
       deliver_(std::move(deliver)),
+      now_nanos_(now_nanos ? std::move(now_nanos) : local_epoch_now()),
       jitter_rng_(opts.jitter_seed),
       retransmits_(obs::Registry::global().counter("wan_retransmits_total")),
       acks_sent_(obs::Registry::global().counter("wan_acks_total")),
@@ -70,6 +83,14 @@ std::chrono::nanoseconds ReliableChannel::jittered(
       static_cast<std::int64_t>(static_cast<double>(rto.count()) * factor));
 }
 
+void ReliableChannel::trace_flow(const char* name, obs::SpanKind kind,
+                                 std::uint32_t from, std::uint32_t to,
+                                 std::int64_t a1) const noexcept {
+  if (!obs::enabled()) return;
+  obs::record(/*trace=*/0, kind, HostId(from),
+              sim::TimePoint::from_nanos(now_nanos_()), name, to, a1);
+}
+
 std::pair<std::uint64_t, std::uint64_t> ReliableChannel::ack_state(
     std::uint64_t key) const {
   const auto it = recv_flows_.find(key);
@@ -98,11 +119,13 @@ void ReliableChannel::send_reliable(HostId from, HostId to,
   }
 
   std::vector<std::uint8_t> frame;
+  std::uint64_t sent_seq = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;
     SendFlow& flow = send_flows_[flow_key(from.value(), to.value())];
     const std::uint64_t seq = flow.next_seq++;
+    sent_seq = seq;
     const auto [cum, bits] = ack_state(flow_key(to.value(), from.value()));
     const net::ReliableData data(seq, cum, bits, std::move(*inner));
     std::optional<std::vector<std::uint8_t>> outer =
@@ -119,6 +142,8 @@ void ReliableChannel::send_reliable(HostId from, HostId to,
     frame = std::move(*outer);
   }
   cv_.notify_all();  // the new deadline may be the earliest
+  trace_flow("rel.send", obs::SpanKind::kSend, from.value(), to.value(),
+             static_cast<std::int64_t>(sent_seq));
   // A false return is a queue-full shed: the pending entry above already
   // guarantees a retransmit picks it up, so the drop only delays.
   (void)enqueue_(std::move(frame), dest);
@@ -130,10 +155,17 @@ void ReliableChannel::absorb_ack(std::uint64_t key, std::uint64_t cum,
   const auto it = send_flows_.find(key);
   if (it == send_flows_.end()) return;
   auto& pending = it->second.pending;
+  const auto from = static_cast<std::uint32_t>(key >> 32);
+  const auto to = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
   const auto settle = [&](std::map<std::uint64_t, Pending>::iterator p) {
     if (p->second.attempts == 1) {
-      rtt_.observe_seconds(
-          std::chrono::duration<double>(now - p->second.first_sent).count());
+      const double rtt_s =
+          std::chrono::duration<double>(now - p->second.first_sent).count();
+      rtt_.observe_seconds(rtt_s);
+      // RTT-tagged timer event (a1 = round trip in micros). Karn's rule as
+      // for the histogram: only unambiguous first-transmission acks.
+      trace_flow("rel.rtt", obs::SpanKind::kTimer, from, to,
+                 static_cast<std::int64_t>(rtt_s * 1e6));
     }
     return pending.erase(p);
   };
@@ -166,7 +198,11 @@ void ReliableChannel::send_ack(std::uint32_t data_from,
       net::CodecRegistry::global().encode(HostId(data_to), HostId(data_from),
                                           ack);
   WAN_ASSERT(frame.has_value());
-  if (enqueue_(std::move(*frame), *dest)) acks_sent_.inc();
+  if (enqueue_(std::move(*frame), *dest)) {
+    acks_sent_.inc();
+    trace_flow("rel.ack", obs::SpanKind::kSend, data_to, data_from,
+               static_cast<std::int64_t>(cum));
+  }
 }
 
 void ReliableChannel::on_data(std::uint32_t from_value,
@@ -259,6 +295,8 @@ void ReliableChannel::timer_loop() {
     std::vector<std::pair<std::vector<std::uint8_t>, ResolvedAddr>> resend;
     std::map<std::uint32_t, std::size_t> dead;  ///< peer -> abandoned count
     for (auto& [key, flow] : send_flows_) {
+      const auto flow_from = static_cast<std::uint32_t>(key >> 32);
+      const auto flow_to = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
       for (auto it = flow.pending.begin(); it != flow.pending.end();) {
         Pending& p = it->second;
         if (p.next_due > now) {
@@ -267,10 +305,14 @@ void ReliableChannel::timer_loop() {
         }
         if (p.attempts >= opts_.retry_budget) {
           expired_.inc();
+          trace_flow("rel.expire", obs::SpanKind::kInstant, flow_from,
+                     flow_to, static_cast<std::int64_t>(it->first));
           dead[static_cast<std::uint32_t>(key & 0xFFFFFFFFu)] += 1;
           it = flow.pending.erase(it);
           continue;
         }
+        trace_flow("rel.retransmit", obs::SpanKind::kTimer, flow_from,
+                   flow_to, static_cast<std::int64_t>(it->first));
         ++p.attempts;
         p.rto = std::min(
             std::chrono::nanoseconds(static_cast<std::int64_t>(

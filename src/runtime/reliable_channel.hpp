@@ -57,6 +57,7 @@
 
 #include "net/reliable.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/env_options.hpp"
 #include "runtime/socket_base.hpp"
 #include "util/hash.hpp"
@@ -81,9 +82,14 @@ class ReliableChannel {
   /// Fired (off-lock, on the timer thread) when a peer exhausts the retry
   /// budget; `abandoned` counts the frames dropped for it in this sweep.
   using UnreachableFn = std::function<void(HostId peer, std::size_t abandoned)>;
+  /// Runtime-clock nanos for span timestamps (steady clock since the owning
+  /// fabric's epoch), so channel spans interleave correctly with the spans
+  /// protocol modules record through env.now(). Empty = a channel-local
+  /// epoch (standalone tests).
+  using NowFn = std::function<std::int64_t()>;
 
   ReliableChannel(const ReliabilityOptions& opts, EnqueueFn enqueue,
-                  ResolveFn resolve, DeliverFn deliver);
+                  ResolveFn resolve, DeliverFn deliver, NowFn now_nanos = {});
   ~ReliableChannel();
   ReliableChannel(const ReliableChannel&) = delete;
   ReliableChannel& operator=(const ReliableChannel&) = delete;
@@ -157,12 +163,18 @@ class ReliableChannel {
   /// Called outside mu_.
   void send_ack(std::uint32_t data_from, std::uint32_t data_to);
 
+  /// Flow-level span (trace 0: the channel is beneath the causal chains it
+  /// carries). No-op when no tracer or sink is installed.
+  void trace_flow(const char* name, obs::SpanKind kind, std::uint32_t from,
+                  std::uint32_t to, std::int64_t a1) const noexcept;
+
   void timer_loop();
 
   const ReliabilityOptions opts_;
   const EnqueueFn enqueue_;
   const ResolveFn resolve_;
   const DeliverFn deliver_;
+  const NowFn now_nanos_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

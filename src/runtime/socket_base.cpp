@@ -244,6 +244,13 @@ bool SocketTransport::open_socket(const EnvOptions& opts, std::string* error) {
         },
         [this](std::uint32_t from, std::uint32_t to, net::MessagePtr msg) {
           deliver(from, to, std::move(msg));
+        },
+        // Channel spans on the fabric's runtime clock, the same basis as
+        // env.now() — merged traces interleave them with protocol spans.
+        [this] {
+          return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - epoch())
+              .count();
         });
   }
   return true;

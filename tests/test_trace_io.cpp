@@ -1,0 +1,332 @@
+// Cross-process trace plumbing: WANTRACE round-trips, anchored-clock merge
+// math, causal chain stats over multi-process streams, the TeProbe audit on
+// a merged stream, and the flight recorder's survive-SIGKILL contract (a
+// forked child is killed mid-flight and its final events are harvested from
+// the mmap'd ring).
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/te_probe.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_io.hpp"
+
+namespace wan {
+namespace {
+
+using obs::FlightRecorder;
+using obs::MergedTrace;
+using obs::ProcessTrace;
+using obs::SpanKind;
+using obs::TeProbe;
+using obs::TraceEvent;
+using obs::TraceKind;
+
+std::string make_temp_dir() {
+  char tmpl[] = "/tmp/wan_trace_io_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string{} : std::string{dir};
+}
+
+ProcessTrace::Event event(obs::TraceId trace, std::int64_t at_nanos,
+                          std::string name, std::uint32_t node, SpanKind kind,
+                          std::int64_t a0 = 0, std::int64_t a1 = 0) {
+  ProcessTrace::Event e;
+  e.trace = trace;
+  e.at_nanos = at_nanos;
+  e.name = std::move(name);
+  e.node = node;
+  e.kind = kind;
+  e.a0 = a0;
+  e.a1 = a1;
+  return e;
+}
+
+// ------------------------------------------------------------ WANTRACE v1
+
+TEST(TraceIo, WantraceRoundTripPreservesEveryField) {
+  const std::string dir = make_temp_dir();
+  ProcessTrace pt;
+  pt.label = "manager-7";
+  pt.node = 7;
+  pt.anchor_runtime_ns = 123456789;
+  pt.anchor_wall_us = 1722000000123456;
+  pt.from_flight_recorder = true;
+  pt.dropped = 42;
+  const obs::TraceId check = obs::mint(TraceKind::kCheck, HostId(7), 1);
+  const obs::TraceId update = obs::mint(TraceKind::kUpdate, HostId(3), 9);
+  pt.events.push_back(
+      event(check, 1000, "check.begin", 7, SpanKind::kBegin, 55, -1));
+  pt.events.push_back(event(update, 2500, "update.quorum", 7,
+                            SpanKind::kDecision, 55, 1));
+  pt.events.push_back(event(0, 3000, "rel.rtt", 7, SpanKind::kTimer, 9,
+                            INT64_C(-9223372036854775807)));
+
+  const std::string path = dir + "/manager-7.trace";
+  std::string error;
+  ASSERT_TRUE(obs::write_process_trace(path, pt, &error)) << error;
+  const auto back = obs::load_process_trace(path, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+
+  EXPECT_EQ(back->label, pt.label);
+  EXPECT_EQ(back->node, pt.node);
+  EXPECT_EQ(back->anchor_runtime_ns, pt.anchor_runtime_ns);
+  EXPECT_EQ(back->anchor_wall_us, pt.anchor_wall_us);
+  EXPECT_EQ(back->from_flight_recorder, pt.from_flight_recorder);
+  EXPECT_EQ(back->dropped, pt.dropped);
+  ASSERT_EQ(back->events.size(), pt.events.size());
+  for (std::size_t i = 0; i < pt.events.size(); ++i) {
+    EXPECT_EQ(back->events[i].trace, pt.events[i].trace) << i;
+    EXPECT_EQ(back->events[i].at_nanos, pt.events[i].at_nanos) << i;
+    EXPECT_EQ(back->events[i].name, pt.events[i].name) << i;
+    EXPECT_EQ(back->events[i].node, pt.events[i].node) << i;
+    EXPECT_EQ(back->events[i].kind, pt.events[i].kind) << i;
+    EXPECT_EQ(back->events[i].a0, pt.events[i].a0) << i;
+    EXPECT_EQ(back->events[i].a1, pt.events[i].a1) << i;
+  }
+}
+
+TEST(TraceIo, LoadRejectsGarbage) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/garbage.trace";
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOT A TRACE\n", f);
+  std::fclose(f);
+  std::string error;
+  EXPECT_FALSE(obs::load_process_trace(path, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------------- anchored merging
+
+// Two processes whose runtime clocks started 5 ms apart: the anchors must
+// cancel the offset so merge order follows wall time, not raw at_nanos.
+TEST(TraceIo, MergeAlignsDifferentEpochsOntoOneTimeline) {
+  ProcessTrace a;
+  a.label = "a";
+  a.node = 1;
+  a.anchor_runtime_ns = 0;
+  a.anchor_wall_us = 1000000;  // runtime 0 == wall 1.0 s
+  ProcessTrace b;
+  b.label = "b";
+  b.node = 2;
+  b.anchor_runtime_ns = 0;
+  b.anchor_wall_us = 1005000;  // forked 5 ms later
+
+  // Raw at_nanos says b's event is earlier (1 ms < 8 ms); on the wall it is
+  // later (1006.0 ms vs 1009.0... no: a @ wall 1.0s+8ms = 1008ms, b @ wall
+  // 1005ms+1ms = 1006ms -> b first).
+  a.events.push_back(event(0, 8000000, "late.on.wall", 1, SpanKind::kInstant));
+  b.events.push_back(event(0, 1000000, "early.on.wall", 2, SpanKind::kInstant));
+
+  const MergedTrace m = obs::merge_traces({a, b});
+  ASSERT_EQ(m.events.size(), 2u);
+  EXPECT_EQ(m.at(m.events[0]).name, "early.on.wall");
+  EXPECT_EQ(m.at(m.events[1]).name, "late.on.wall");
+  EXPECT_DOUBLE_EQ(m.base_wall_us, 1006000.0);
+  EXPECT_DOUBLE_EQ(m.events[1].wall_us - m.events[0].wall_us, 2000.0);
+
+  // analysis_events re-bases onto nanos since the earliest event.
+  const std::vector<TraceEvent> ev = obs::analysis_events(m);
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[0].at_nanos, 0);
+  EXPECT_EQ(ev[1].at_nanos, 2000000);
+}
+
+// ------------------------------------------------------------ chain stats
+
+TEST(TraceIo, ChainStatsCountProcessesAndCheckCausalRoot) {
+  const obs::TraceId good = obs::mint(TraceKind::kCheck, HostId(100), 1);
+  const obs::TraceId bad = obs::mint(TraceKind::kUpdate, HostId(1), 1);
+
+  ProcessTrace host;
+  host.label = "host-100";
+  host.node = 100;
+  host.anchor_wall_us = 0;
+  ProcessTrace mgr;
+  mgr.label = "manager-1";
+  mgr.node = 1;
+  mgr.anchor_wall_us = 0;
+  ProcessTrace mgr2;
+  mgr2.label = "manager-2";
+  mgr2.node = 2;
+  mgr2.anchor_wall_us = 0;
+
+  // `good`: minted at node 100, whose event is earliest -> root_first, and
+  // it touches all three processes.
+  host.events.push_back(event(good, 1000, "check.begin", 100, SpanKind::kBegin));
+  mgr.events.push_back(event(good, 2000, "query.recv", 1, SpanKind::kRecv));
+  mgr2.events.push_back(event(good, 3000, "query.recv", 2, SpanKind::kRecv));
+  // `bad`: minted at node 1 but its earliest merged event was recorded by
+  // node 2 -> the causal-order check must flag it.
+  mgr2.events.push_back(event(bad, 4000, "update.recv", 2, SpanKind::kRecv));
+  mgr.events.push_back(event(bad, 5000, "update.quorum", 1,
+                             SpanKind::kDecision));
+
+  const MergedTrace m = obs::merge_traces({host, mgr, mgr2});
+  const std::vector<obs::ChainStats> chains = obs::chain_stats(m);
+  ASSERT_EQ(chains.size(), 2u);
+
+  EXPECT_EQ(chains[0].trace, good);
+  EXPECT_EQ(chains[0].kind, TraceKind::kCheck);
+  EXPECT_EQ(chains[0].mint_node, 100u);
+  EXPECT_EQ(chains[0].proc_count, 3u);
+  EXPECT_EQ(chains[0].event_count, 3u);
+  EXPECT_TRUE(chains[0].root_first);
+
+  EXPECT_EQ(chains[1].trace, bad);
+  EXPECT_EQ(chains[1].mint_node, 1u);
+  EXPECT_EQ(chains[1].proc_count, 2u);
+  EXPECT_FALSE(chains[1].root_first);
+}
+
+// --------------------------------------------- Te audit on a merged stream
+
+// The revocation quorum and the stale allow happen in DIFFERENT processes;
+// only the anchor-aligned merged stream can relate their timestamps.
+TEST(TraceIo, TeProbeFindsCrossProcessViolationOnMergedStream) {
+  constexpr std::int64_t kUser = 55;
+  ProcessTrace mgr;
+  mgr.label = "manager-0";
+  mgr.node = 0;
+  mgr.anchor_wall_us = 0;
+  // Revoke (a1 = 1) reaches quorum at wall t = 1 ms.
+  mgr.events.push_back(event(obs::mint(TraceKind::kUpdate, HostId(0), 1),
+                             1000000, "update.quorum", 0, SpanKind::kDecision,
+                             kUser, 1));
+
+  ProcessTrace host;
+  host.label = "host-100";
+  host.node = 100;
+  host.anchor_wall_us = 0;
+  // Stale cache-hit allow ((1 << 8) | path 0) at wall t = 2.5 s — 2.499 s
+  // after the quorum.
+  host.events.push_back(event(obs::mint(TraceKind::kCheck, HostId(100), 1),
+                              2500000000, "check.decide", 100,
+                              SpanKind::kDecision, kUser, (1 << 8) | 0));
+
+  const MergedTrace m = obs::merge_traces({mgr, host});
+  const std::vector<TraceEvent> ev = obs::analysis_events(m);
+
+  const obs::TeReport tight = TeProbe::analyze(ev, sim::Duration::seconds(1));
+  EXPECT_EQ(tight.revocations, 1u);
+  EXPECT_EQ(tight.measured, 1u);
+  EXPECT_EQ(tight.violations, 1u);
+  EXPECT_NEAR(tight.max_seconds, 2.499, 1e-6);
+
+  const obs::TeReport loose = TeProbe::analyze(ev, sim::Duration::seconds(5));
+  EXPECT_EQ(loose.violations, 0u);
+  EXPECT_TRUE(loose.ok());
+}
+
+// --------------------------------------------------------- flight recorder
+
+// A child process records through the ring and is SIGKILLed while alive; the
+// parent harvests the mmap'd file and must recover the child's final events
+// (page-cache durability — the kill cannot unwrite an mmap'd store).
+TEST(FlightRecorderIo, HarvestRecoversFinalEventsAfterSigkill) {
+  const std::string dir = make_temp_dir();
+  const std::string ring = dir + "/victim.ring";
+
+  int ready[2];
+  ASSERT_EQ(::pipe(ready), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(ready[0]);
+    std::string error;
+    auto fr = FlightRecorder::create(ring, /*node=*/3, /*capacity=*/64, &error);
+    if (fr == nullptr) ::_exit(3);
+    fr->set_identity("victim", /*anchor_runtime_ns=*/111,
+                     /*anchor_wall_us=*/222);
+    for (int i = 0; i < 5; ++i) {
+      TraceEvent e;
+      e.trace = obs::mint(TraceKind::kUpdate, HostId(3), 1);
+      e.at_nanos = 1000 * (i + 1);
+      e.name = "journal.append";
+      e.node = 3;
+      e.kind = SpanKind::kInstant;
+      e.a0 = i;
+      fr->record(e);
+    }
+    // Signal the parent that the ring is written, then wait to be killed.
+    const char byte = 'R';
+    (void)!::write(ready[1], &byte, 1);
+    for (;;) ::pause();
+  }
+
+  ::close(ready[1]);
+  char byte = 0;
+  ASSERT_EQ(::read(ready[0], &byte, 1), 1);
+  ::close(ready[0]);
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  std::string error;
+  const auto h = FlightRecorder::harvest(ring, &error);
+  ASSERT_TRUE(h.has_value()) << error;
+  EXPECT_EQ(h->label, "victim");
+  EXPECT_EQ(h->node, 3u);
+  EXPECT_EQ(h->anchor_runtime_ns, 111);
+  EXPECT_EQ(h->anchor_wall_us, 222);
+  EXPECT_EQ(h->total_recorded, 5u);
+  ASSERT_EQ(h->events.size(), 5u);
+  // The LAST event the victim wrote before dying is present and intact.
+  EXPECT_EQ(h->events.back().name, "journal.append");
+  EXPECT_EQ(h->events.back().a0, 4);
+  EXPECT_EQ(h->events.back().at_nanos, 5000);
+
+  // Harvested rings convert to a ProcessTrace that merges like any other.
+  const ProcessTrace pt = obs::from_harvest(*h, "victim-killed");
+  EXPECT_TRUE(pt.from_flight_recorder);
+  EXPECT_EQ(pt.events.size(), 5u);
+  const MergedTrace m = obs::merge_traces({pt});
+  EXPECT_EQ(m.events.size(), 5u);
+}
+
+// Wrap-around: a ring of capacity 8 fed 20 events keeps the newest 8 and
+// reports the rest as recorded-then-overwritten.
+TEST(FlightRecorderIo, WrapKeepsNewestEvents) {
+  const std::string dir = make_temp_dir();
+  const std::string ring = dir + "/wrap.ring";
+  std::string error;
+  {
+    auto fr = FlightRecorder::create(ring, /*node=*/1, /*capacity=*/8, &error);
+    ASSERT_NE(fr, nullptr) << error;
+    fr->set_identity("wrap", 0, 0);
+    for (int i = 0; i < 20; ++i) {
+      TraceEvent e;
+      e.at_nanos = i;
+      e.name = "tick";
+      e.node = 1;
+      e.kind = SpanKind::kInstant;
+      e.a0 = i;
+      fr->record(e);
+    }
+    EXPECT_EQ(fr->recorded(), 20u);
+  }  // unmapped; the file stays
+  const auto h = FlightRecorder::harvest(ring, &error);
+  ASSERT_TRUE(h.has_value()) << error;
+  EXPECT_EQ(h->total_recorded, 20u);
+  ASSERT_EQ(h->events.size(), 8u);
+  for (std::size_t i = 0; i < h->events.size(); ++i) {
+    EXPECT_EQ(h->events[i].a0, static_cast<std::int64_t>(12 + i));
+  }
+}
+
+}  // namespace
+}  // namespace wan

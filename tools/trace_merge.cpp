@@ -1,0 +1,293 @@
+// trace_merge: one timeline out of a directory of per-process traces.
+//
+//   trace_merge --dir DIR [--out FILE] [--te-ms N] [--require-cross N]
+//               [--text] [--verbose]
+//
+// Input is what `wan_node --trace DIR` leaves behind: a WANTRACE v1 file per
+// cleanly exited role process, plus flight-recorder rings (`*.ring`) for
+// every process and `<name>-killed.trace` harvests the chaos orchestrator
+// salvaged from SIGKILLed victims. Each carries a wall-clock anchor — one
+// instant sampled on both the process-local runtime clock and the
+// machine-shared system clock — which is what lets nine processes' spans
+// interleave into one causally ordered stream (obs/trace_io.hpp).
+//
+// Outputs and audits:
+//  * a merged Chrome trace_event JSON (default DIR/merged_trace.json): one
+//    track group per process, flow arrows threading each TraceId through
+//    every process it touched — open in chrome://tracing or ui.perfetto.dev;
+//  * chain statistics: how many OS processes each causal chain crossed, and
+//    whether its earliest merged event was recorded by the node that minted
+//    the id (the anchored-clock causality check);
+//  * with --te-ms, the empirical-Te probe (obs/te_probe.hpp) replayed over
+//    the MERGED stream — the revocation bound audited across real process
+//    boundaries, not within one address space.
+//
+// Exit is nonzero when the Te probe reports a violation, when
+// --require-cross N is given and no check (or no update) chain reached N
+// distinct processes, or when a multi-process chain fails the causality
+// check — which is how CI turns a merged trace into a gate.
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/te_probe.hpp"
+#include "obs/trace_io.hpp"
+
+namespace wan {
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+const char* kind_name(obs::TraceKind k) {
+  switch (k) {
+    case obs::TraceKind::kCheck:
+      return "check";
+    case obs::TraceKind::kUpdate:
+      return "update";
+    case obs::TraceKind::kInvoke:
+      return "invoke";
+  }
+  return "?";
+}
+
+struct MergeOptions {
+  std::string dir;
+  std::string out;
+  int te_ms = 0;           ///< 0 = skip the Te probe
+  int require_cross = 0;   ///< 0 = no cross-process reach gate
+  bool text = false;
+  bool verbose = false;
+};
+
+int run(const MergeOptions& opt) {
+  // Gather the capture set. A ring is only harvested here when no trace file
+  // covers the same process: a clean exit exported `<stem>.trace` (a strict
+  // superset of the ring), and a chaos kill already salvaged the ring into
+  // `<stem>-killed.trace` before the victim's restart truncated it.
+  std::vector<std::string> trace_files;
+  std::vector<std::string> ring_files;
+  DIR* d = ::opendir(opt.dir.c_str());
+  if (d == nullptr) {
+    std::fprintf(stderr, "trace_merge: cannot open directory '%s'\n",
+                 opt.dir.c_str());
+    return 2;
+  }
+  while (dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (ends_with(name, ".trace")) {
+      trace_files.push_back(opt.dir + "/" + name);
+    } else if (ends_with(name, ".ring")) {
+      ring_files.push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(trace_files.begin(), trace_files.end());
+  std::sort(ring_files.begin(), ring_files.end());
+
+  std::vector<obs::ProcessTrace> procs;
+  for (const std::string& path : trace_files) {
+    std::string error;
+    std::optional<obs::ProcessTrace> pt =
+        obs::load_process_trace(path, &error);
+    if (!pt) {
+      std::fprintf(stderr, "trace_merge: %s\n", error.c_str());
+      return 2;
+    }
+    procs.push_back(std::move(*pt));
+  }
+  std::size_t harvested_rings = 0;
+  for (const std::string& name : ring_files) {
+    const std::string stem = name.substr(0, name.size() - 5);
+    if (file_exists(opt.dir + "/" + stem + ".trace") ||
+        file_exists(opt.dir + "/" + stem + "-killed.trace")) {
+      continue;
+    }
+    std::string error;
+    std::optional<obs::FlightRecorder::Harvested> h =
+        obs::FlightRecorder::harvest(opt.dir + "/" + name, &error);
+    if (!h) {
+      // An uncovered but unreadable ring is worth a warning, not a failure:
+      // the process that owned it may still be writing.
+      std::fprintf(stderr, "trace_merge: skipping %s: %s\n", name.c_str(),
+                   error.c_str());
+      continue;
+    }
+    procs.push_back(obs::from_harvest(*h, stem));
+    ++harvested_rings;
+  }
+  if (procs.empty()) {
+    std::fprintf(stderr, "trace_merge: no traces in '%s'\n", opt.dir.c_str());
+    return 2;
+  }
+
+  const obs::MergedTrace merged = obs::merge_traces(std::move(procs));
+  std::size_t recorders = 0;
+  std::uint64_t dropped = 0;
+  for (const obs::ProcessTrace& p : merged.procs) {
+    if (p.from_flight_recorder) ++recorders;
+    dropped += p.dropped;
+  }
+  std::printf(
+      "TRACE_MERGE procs=%zu events=%zu flight_recorders=%zu "
+      "harvested_rings=%zu dropped=%llu\n",
+      merged.procs.size(), merged.events.size(), recorders, harvested_rings,
+      static_cast<unsigned long long>(dropped));
+
+  // Chain reach + the anchored-clock causality audit.
+  const std::vector<obs::ChainStats> chains = obs::chain_stats(merged);
+  std::size_t max_cross[3] = {0, 0, 0};
+  std::size_t causal_violations = 0;
+  for (const obs::ChainStats& c : chains) {
+    std::size_t& best = max_cross[static_cast<std::size_t>(c.kind)];
+    best = std::max(best, c.proc_count);
+    // Single-process chains cannot witness anchor error; only a chain that
+    // crossed processes can have its root displaced by a bad anchor.
+    if (c.proc_count >= 2 && !c.root_first) {
+      ++causal_violations;
+      if (opt.verbose) {
+        std::printf(
+            "  causal violation: %s chain %016llx (minted by node %u) does "
+            "not start at its minting node\n",
+            kind_name(c.kind), static_cast<unsigned long long>(c.trace),
+            c.mint_node);
+      }
+    }
+  }
+  std::printf(
+      "CROSS chains=%zu check_max_procs=%zu update_max_procs=%zu "
+      "invoke_max_procs=%zu causal_violations=%zu\n",
+      chains.size(), max_cross[0], max_cross[1], max_cross[2],
+      causal_violations);
+  if (opt.verbose) {
+    for (const obs::ChainStats& c : chains) {
+      if (c.proc_count < 2) continue;
+      std::printf("  chain %016llx kind=%s mint_node=%u procs=%zu events=%zu "
+                  "root_first=%d\n",
+                  static_cast<unsigned long long>(c.trace), kind_name(c.kind),
+                  c.mint_node, c.proc_count, c.event_count,
+                  c.root_first ? 1 : 0);
+    }
+  }
+
+  bool ok = true;
+  if (opt.te_ms > 0) {
+    // The point of the whole exercise: the paper's revocation bound audited
+    // over spans that crossed real OS process boundaries.
+    const std::vector<obs::TraceEvent> stream = obs::analysis_events(merged);
+    const obs::TeReport report =
+        obs::TeProbe::analyze(stream, sim::Duration::millis(opt.te_ms));
+    std::printf(
+        "TE_PROBE revocations=%llu measured=%llu violations=%llu "
+        "max_s=%.3f bound_s=%.3f\n",
+        static_cast<unsigned long long>(report.revocations),
+        static_cast<unsigned long long>(report.measured),
+        static_cast<unsigned long long>(report.violations),
+        report.max_seconds, report.bound_seconds);
+    if (!report.ok()) {
+      std::fprintf(stderr,
+                   "trace_merge: FAILED — Te bound violated on the merged "
+                   "stream\n");
+      ok = false;
+    }
+    if (report.revocations == 0) {
+      std::fprintf(stderr,
+                   "trace_merge: FAILED — no revocation quorum in the merged "
+                   "stream (nothing audited)\n");
+      ok = false;
+    }
+  }
+  if (opt.require_cross > 0) {
+    const auto want = static_cast<std::size_t>(opt.require_cross);
+    if (max_cross[0] < want) {
+      std::fprintf(stderr,
+                   "trace_merge: FAILED — no check chain crossed %d "
+                   "processes (max %zu)\n",
+                   opt.require_cross, max_cross[0]);
+      ok = false;
+    }
+    if (max_cross[1] < want) {
+      std::fprintf(stderr,
+                   "trace_merge: FAILED — no update chain crossed %d "
+                   "processes (max %zu)\n",
+                   opt.require_cross, max_cross[1]);
+      ok = false;
+    }
+    if (causal_violations > 0) {
+      std::fprintf(stderr,
+                   "trace_merge: FAILED — %zu cross-process chain(s) do not "
+                   "start at their minting node\n",
+                   causal_violations);
+      ok = false;
+    }
+  }
+
+  const std::string out =
+      opt.out.empty() ? opt.dir + "/merged_trace.json" : opt.out;
+  std::string error;
+  if (!obs::write_merged_chrome_json(out, merged, &error)) {
+    std::fprintf(stderr, "trace_merge: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("MERGED_JSON %s\n", out.c_str());
+  if (opt.text) std::fputs(obs::merged_text(merged).c_str(), stdout);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace wan
+
+int main(int argc, char** argv) {
+  wan::MergeOptions opt;
+  wan::cli::Parser cli(
+      "trace_merge",
+      "Merges the per-process traces a `wan_node --trace DIR` run left in\n"
+      "DIR — clean WANTRACE exports, chaos-harvested kills, and any\n"
+      "uncovered flight-recorder rings — onto one anchored wall-clock\n"
+      "timeline; emits Chrome trace_event JSON with cross-process flow\n"
+      "arrows and audits the merged stream (chain reach, causal order,\n"
+      "empirical Te).");
+  cli.add_string("--dir", "DIR", "trace directory (required)", &opt.dir);
+  cli.add_string("--out", "FILE",
+                 "merged Chrome JSON path (default DIR/merged_trace.json)",
+                 &opt.out);
+  cli.add_value("--te-ms", "N",
+                "audit the merged stream against the Te bound of N ms; a\n"
+                "violation (or an empty audit) fails the run",
+                [&](const std::string& v) {
+                  return wan::cli::parse_int(v, &opt.te_ms) && opt.te_ms > 0;
+                });
+  cli.add_value("--require-cross", "N",
+                "fail unless at least one check chain AND one update chain\n"
+                "each cross N distinct processes, and every cross-process\n"
+                "chain starts at its minting node",
+                [&](const std::string& v) {
+                  return wan::cli::parse_int(v, &opt.require_cross) &&
+                         opt.require_cross > 0;
+                });
+  cli.add_flag("--text", "dump the merged stream as text to stdout",
+               &opt.text);
+  cli.add_flag("--verbose", "per-chain detail", &opt.verbose);
+  if (!cli.parse(argc, argv)) return 2;
+  if (opt.dir.empty()) {
+    std::fprintf(stderr, "trace_merge: --dir is required (try --help)\n");
+    return 2;
+  }
+  return wan::run(opt);
+}

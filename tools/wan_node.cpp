@@ -68,6 +68,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -83,6 +84,7 @@
 #include <fstream>
 #include <iterator>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -92,7 +94,10 @@
 #include <vector>
 
 #include "cli.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_io.hpp"
 #include "proto/host.hpp"
 #include "proto/journal.hpp"
 #include "proto/user_agent.hpp"
@@ -131,6 +136,7 @@ struct Options {
   int lifetime_ms = 0;   ///< override node lifetime (0 = derive from te_ms)
   std::uint64_t chaos_seed = 1;  ///< --proc-chaos kill/restart schedule
   bool shards = false;   ///< sharded deployment: 4 managers in 2 groups
+  std::string trace_dir;  ///< per-process span capture directory (empty = off)
 };
 
 // The fixed 8-node deployment every mode runs.
@@ -229,12 +235,21 @@ auth::KeyPair shared_keypair() {
   return auth::generate_keypair(rng);
 }
 
+/// Atomic rewrite: a scraper (tail -f, a textfile collector, a test) reading
+/// mid-update must see either the old exposition or the new one, never a
+/// truncated half. fopen(path, "w") would truncate the live file in place —
+/// so write a sibling tmp and rename it over the target instead.
 bool write_metrics_file(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) return false;
   const std::string text = obs::Registry::global().prometheus_text();
-  std::fwrite(text.data(), 1, text.size(), f);
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
   std::fclose(f);
+  if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
   return true;
 }
 
@@ -792,8 +807,29 @@ int run_agent(const Options& opt, runtime::SocketTransport& transport) {
   bool ever_allowed = false;
   bool denied_after_revoke = false;
   std::int64_t last_allow_us = 0;
+  int polls = 0;
   const int deadline_ms = lifetime_of(opt) - 500;
   while (ms_since(t0) < deadline_ms) {
+    // Every few polls, also invoke via a CONNECTED host. Its outcome is
+    // deliberately ignored — the Te oracle is the cut host's cache alone —
+    // but the side effect matters: the connected host's re-queries keep it
+    // registered at the *current* owner group, so the revoke's notify
+    // fan-out (and the revocation's causal chain in a --trace capture)
+    // reaches beyond the manager group. The cut host can never witness the
+    // flush; a connected host can.
+    if (polls++ % 8 == 0) {
+      auto side_done = std::make_shared<std::atomic<bool>>(false);
+      env.run_sync([&] {
+        agent.invoke(app, {HostId(kHostIds[0])}, "ping",
+                     [side_done](const proto::InvokeResult&) {
+                       side_done->store(true);
+                     });
+      });
+      const auto side_deadline = Clock::now() + std::chrono::seconds(2);
+      while (!side_done->load() && Clock::now() < side_deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
     std::mutex mu;
     bool done = false;
     bool ok = false;
@@ -847,15 +883,109 @@ int run_agent(const Options& opt, runtime::SocketTransport& transport) {
   return rc;
 }
 
+/// --trace DIR: per-process span capture for the multi-process modes.
+///
+/// Installs BOTH observability hooks for the life of the role: an in-memory
+/// Tracer (full fidelity, exported as DIR/<role>-<id>.trace on clean exit)
+/// and a crash-surviving FlightRecorder ring at DIR/<role>-<id>.ring whose
+/// final events an orchestrator harvests after a SIGKILL. The wall-clock
+/// anchor — one instant sampled on the runtime clock (steady, since the
+/// fabric epoch) and on system_clock — is what lets tools/trace_merge
+/// interleave every process's events on one machine-shared timeline.
+class RoleTrace {
+ public:
+  RoleTrace(const Options& opt, const runtime::SocketTransport& transport)
+      : dir_(opt.trace_dir) {
+    if (dir_.empty()) return;
+    ::mkdir(dir_.c_str(), 0755);  // fine if it already exists
+    label_ = opt.role + "-" + std::to_string(opt.id);
+    node_ = opt.id;
+    // Anchor sampling: one wall-clock read bracketed by two runtime-clock
+    // reads. A preemption between the reads would skew every merged
+    // timestamp of this process by the gap, so take the tightest of several
+    // brackets and anchor at its midpoint — worst-case anchor error is half
+    // the bracket width (microseconds, far below a cross-process hop).
+    std::int64_t best_bracket_ns = std::numeric_limits<std::int64_t>::max();
+    for (int i = 0; i < 5; ++i) {
+      const Clock::time_point before = Clock::now();
+      const std::int64_t wall_us = system_us();
+      const std::int64_t bracket_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               before)
+              .count();
+      if (bracket_ns < best_bracket_ns) {
+        best_bracket_ns = bracket_ns;
+        anchor_wall_us_ = wall_us;
+        anchor_runtime_ns_ =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                before - transport.epoch())
+                .count() +
+            bracket_ns / 2;
+      }
+    }
+    std::string error;
+    ring_ = obs::FlightRecorder::create(dir_ + "/" + label_ + ".ring", node_,
+                                        /*capacity=*/4096, &error);
+    if (ring_) {
+      ring_->set_identity(label_, anchor_runtime_ns_, anchor_wall_us_);
+      obs::install_trace_sink(ring_.get());
+    } else {
+      std::fprintf(stderr, "wan_node --trace: %s\n", error.c_str());
+    }
+    tracer_ = std::make_unique<obs::Tracer>(1u << 20);
+    obs::install_tracer(tracer_.get());
+  }
+
+  ~RoleTrace() { finish(); }
+  RoleTrace(const RoleTrace&) = delete;
+  RoleTrace& operator=(const RoleTrace&) = delete;
+
+  /// Uninstalls the hooks and exports the full span stream. Called after the
+  /// role's env (and its recording threads) are gone.
+  void finish() {
+    if (tracer_ == nullptr) return;
+    obs::install_tracer(nullptr);
+    obs::install_trace_sink(nullptr);
+    const obs::ProcessTrace pt = obs::snapshot_process_trace(
+        *tracer_, label_, node_, anchor_runtime_ns_, anchor_wall_us_);
+    std::string error;
+    if (!obs::write_process_trace(dir_ + "/" + label_ + ".trace", pt,
+                                  &error)) {
+      std::fprintf(stderr, "wan_node --trace: %s\n", error.c_str());
+    }
+    tracer_.reset();
+    ring_.reset();
+  }
+
+ private:
+  std::string dir_;
+  std::string label_;
+  std::uint32_t node_ = 0;
+  std::int64_t anchor_runtime_ns_ = 0;
+  std::int64_t anchor_wall_us_ = 0;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::FlightRecorder> ring_;
+};
+
 int run_role(const Options& opt) {
   // Socket transports move bytes, not pointers: the wire codecs must be
   // registered before the first frame is encoded or decoded.
   proto::register_wire_messages();
   auto transport = open_transport(opt);
   if (!transport) return 2;
-  if (opt.role == "manager") return run_manager(opt, *transport);
-  if (opt.role == "host") return run_host(opt, *transport);
-  return run_agent(opt, *transport);
+  // Hooks go in before any protocol module exists, so the very first grant
+  // or query span lands in the capture.
+  RoleTrace trace(opt, *transport);
+  int rc = 2;
+  if (opt.role == "manager") {
+    rc = run_manager(opt, *transport);
+  } else if (opt.role == "host") {
+    rc = run_host(opt, *transport);
+  } else {
+    rc = run_agent(opt, *transport);
+  }
+  trace.finish();
+  return rc;
 }
 
 // ---------------------------------------------------------------------------
@@ -1010,6 +1140,10 @@ int run_udp_smoke(const Options& opt, const char* argv0) {
       args.push_back("--fault-seed");
       args.push_back(std::to_string(opt.fault_seed));
     }
+    if (!opt.trace_dir.empty()) {
+      args.push_back("--trace");
+      args.push_back(opt.trace_dir);
+    }
     if (opt.verbose) args.push_back("--verbose");
     ChildProc child =
         spawn_child(argv0, name, std::string(dir) + "/" + name + ".out", args);
@@ -1156,6 +1290,30 @@ int remaining_lifetime_ms(const ChildProc& original, const Options& opt) {
   return std::max(1500, node_lifetime_ms(opt) - consumed + 1000);
 }
 
+/// Recovers a SIGKILLed child's flight-recorder ring into a WANTRACE file
+/// (DIR/<name>-killed.trace). Must run before the victim's restarted
+/// incarnation re-creates (truncates) the ring at the same path — the
+/// orchestrator calls it synchronously right after waitpid, hundreds of ms
+/// ahead of the restart. Returns the recovered event count, -1 on failure.
+long harvest_killed_ring(const std::string& trace_dir,
+                         const std::string& name) {
+  std::string error;
+  const std::optional<obs::FlightRecorder::Harvested> h =
+      obs::FlightRecorder::harvest(trace_dir + "/" + name + ".ring", &error);
+  if (!h) {
+    std::fprintf(stderr, "wan_node --proc-chaos: ring harvest of %s: %s\n",
+                 name.c_str(), error.c_str());
+    return -1;
+  }
+  const obs::ProcessTrace pt = obs::from_harvest(*h, name + "-killed");
+  if (!obs::write_process_trace(trace_dir + "/" + name + "-killed.trace", pt,
+                                &error)) {
+    std::fprintf(stderr, "wan_node --proc-chaos: %s\n", error.c_str());
+    return -1;
+  }
+  return static_cast<long>(pt.events.size());
+}
+
 int run_proc_chaos(const Options& opt, const char* argv0) {
   char dir_template[] = "/tmp/wan_proc_chaos.XXXXXX";
   const char* dir = ::mkdtemp(dir_template);
@@ -1216,6 +1374,10 @@ int run_proc_chaos(const Options& opt, const char* argv0) {
     if (role == "manager") {
       args.push_back("--state-dir");
       args.push_back(std::string(dir) + "/state-" + std::to_string(id));
+    }
+    if (!opt.trace_dir.empty()) {
+      args.push_back("--trace");
+      args.push_back(opt.trace_dir);
     }
     if (opt.verbose) args.push_back("--verbose");
     return args;
@@ -1309,6 +1471,7 @@ int run_proc_chaos(const Options& opt, const char* argv0) {
             [](const ChaosEvent& a, const ChaosEvent& b) { return a.at < b.at; });
 
   std::vector<ChildProc> restarts;
+  long mgr_ring_events = -1;  ///< events harvested from the killed manager
   for (const ChaosEvent& ev : events) {
     std::this_thread::sleep_until(ev.at);
     ChildProc& victim = children[ev.index];
@@ -1323,6 +1486,18 @@ int run_proc_chaos(const Options& opt, const char* argv0) {
       victim.exit_code = 0;
       std::printf("  killed %s at +%.0f ms\n", victim.name.c_str(),
                   ms_since(grant_at));
+      if (!opt.trace_dir.empty()) {
+        // The victim's last spans survive only in its mmap ring; fold them
+        // into the trace set before its restart truncates the ring file.
+        const long recovered =
+            harvest_killed_ring(opt.trace_dir, victim.name);
+        if (role == "manager") mgr_ring_events = recovered;
+        if (recovered >= 0) {
+          std::printf(
+              "  harvested %ld flight-recorder events from killed %s\n",
+              recovered, victim.name.c_str());
+        }
+      }
     } else {
       // Re-exec on the original port (every peer still routes to it) with
       // --resume (its one-shot scripted duties are done or forfeited) and
@@ -1416,6 +1591,16 @@ int run_proc_chaos(const Options& opt, const char* argv0) {
     std::fprintf(stderr,
                  "wan_node --proc-chaos: FAILED — restarted manager-%u never "
                  "completed its resync\n",
+                 victim_mgr);
+    all_ok = false;
+  }
+  if (!opt.trace_dir.empty() && mgr_ring_events <= 0) {
+    // The flight recorder exists precisely for this moment: a SIGKILL that
+    // erased the in-memory tracer must still leave the victim's final spans
+    // recoverable from its mmap ring.
+    std::fprintf(stderr,
+                 "wan_node --proc-chaos: FAILED — no flight-recorder events "
+                 "recovered from SIGKILLed manager-%u\n",
                  victim_mgr);
     all_ok = false;
   }
@@ -1606,6 +1791,15 @@ int main(int argc, char** argv) {
                   return wan::cli::parse_int(v, &opt.delay_us) &&
                          opt.delay_us >= 0;
                 });
+  cli.add_string(
+      "--trace", "DIR",
+      "per-process span capture: each role process writes\n"
+      "DIR/<role>-<id>.trace (WANTRACE v1, wall-clock anchored) on clean\n"
+      "exit and keeps a crash-surviving flight-recorder ring at\n"
+      "DIR/<role>-<id>.ring; orchestrators pass this through to children\n"
+      "and --proc-chaos harvests the rings of SIGKILLed victims. Merge with\n"
+      "tools/trace_merge",
+      &opt.trace_dir);
   cli.add_flag("--verbose", "chatty per-step progress output", &opt.verbose);
   cli.add_optional_value(
       "--metrics", "[FILE]",
