@@ -290,6 +290,23 @@ ChaosResult run_chaos(const ChaosOptions& opts) {
             [poll] { (*poll)(); });
         return true;
       }
+      case FaultKind::kByzantineRelay: {
+        // Tree-dissemination adversary: the host acks every RelayForward as
+        // fully delivered and delivers nothing. A crashed host cannot lie.
+        auto& host = scenario.host(e.a);
+        if (!host.up()) return false;
+        host.controller().debug_set_lying_relay(true);
+        return true;
+      }
+      case FaultKind::kRestoreRelay: {
+        auto& host = scenario.host(e.a);
+        // A crash between the flip and this event already reset the flag
+        // (a reimaged host comes back honest); count the remediation anyway
+        // when the host is up, clearing is idempotent.
+        if (!host.up()) return false;
+        host.controller().debug_set_lying_relay(false);
+        return true;
+      }
     }
     return false;
   };
@@ -331,6 +348,8 @@ ChaosResult run_chaos(const ChaosOptions& opts) {
   }
   for (int h = 0; h < H; ++h) {
     if (!scenario.host(h).up()) scenario.host(h).recover();
+    // Remediate any relay still lying, like the Byzantine managers above.
+    scenario.host(h).controller().debug_set_lying_relay(false);
   }
   scenario.run_for(sim::Duration::seconds(10));
   // Post-incident administrative anti-entropy: every member pulls, merges,

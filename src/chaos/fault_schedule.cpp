@@ -43,6 +43,8 @@ const char* to_cstring(FaultKind k) noexcept {
     case FaultKind::kByzantineManager: return "byzantine-manager";
     case FaultKind::kRestoreManager: return "restore-manager";
     case FaultKind::kShardRebalance: return "shard-rebalance";
+    case FaultKind::kByzantineRelay: return "byzantine-relay";
+    case FaultKind::kRestoreRelay: return "restore-relay";
   }
   return "?";
 }
@@ -272,6 +274,21 @@ ChaosPlan make_plan(std::uint64_t seed, sim::Duration horizon,
     const int leave =
         static_cast<int>(faults.next_below(static_cast<std::uint64_t>(M)));
     add(uniform_offset(faults, window), FaultKind::kShardRebalance, leave);
+  }
+
+  // Collective dissemination. Assigning the kind draws nothing; only tree
+  // plans (which cannot predate this site) take extra draws, so unicast and
+  // coalesced sweeps of historical seeds replay bit-identically.
+  p.dissemination.kind = opts.dissemination;
+  if (opts.dissemination == runtime::DisseminationKind::kTree) {
+    p.dissemination.relay_width =
+        static_cast<std::size_t>(faults.next_in_range(2, 4));
+    const int relay =
+        static_cast<int>(faults.next_below(static_cast<std::uint64_t>(H)));
+    const sim::Duration at = uniform_offset(faults, window);
+    const sim::Duration dur = exp_duration(faults, 60.0, 10.0, 120.0);
+    add(at, FaultKind::kByzantineRelay, relay);
+    add(at + dur, FaultKind::kRestoreRelay, relay);
   }
 
   std::stable_sort(ev.begin(), ev.end(),

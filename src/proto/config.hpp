@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "clock/local_clock.hpp"
+#include "runtime/env_options.hpp"
 #include "sim/time.hpp"
 #include "util/assert.hpp"
 
@@ -66,6 +67,11 @@ struct ProtocolConfig {
   /// repeat offense, capped at 32x.
   sim::Duration quarantine_backoff = sim::Duration::seconds(30);
 
+  /// How managers fan revocation notices out to cached hosts and how
+  /// recovery resync transfers ACL state (src/proto/dissemination.hpp).
+  /// Defaults reproduce the paper's unicast loop and full-snapshot sync.
+  runtime::DisseminationOptions dissemination;
+
   /// The local-clock expiration period managers attach to responses. Under
   /// the freeze strategy the budget Te is split between the inaccessibility
   /// period and the cached-entry lifetime ("Ti and te must be chosen so that
@@ -85,6 +91,7 @@ struct ProtocolConfig {
     WAN_REQUIRE(byzantine_slack >= 0);
     WAN_REQUIRE(query_timeout > sim::Duration{});
     WAN_REQUIRE(quarantine_backoff > sim::Duration{});
+    dissemination.validate();
     if (freeze_enabled) {
       WAN_REQUIRE(Ti > sim::Duration{});
       WAN_REQUIRE_MSG(

@@ -56,6 +56,9 @@ ManagerModule::ManagerModule(HostId self, runtime::Env& env,
       clock_(env, clock),
       config_(config) {
   config_.validate();
+  disseminator_ =
+      make_disseminator(config_.dissemination, self_, env_, config_.Te,
+                        config_.revoke_retransmit, *this);
 }
 
 ManagerModule::~ManagerModule() = default;
@@ -81,6 +84,7 @@ void ManagerModule::manage_app(AppId app, std::vector<HostId> managers) {
     if (m != self_) ctl.peers.push_back(m);
   }
   ctl.check_quorum = config_.check_quorum;
+  mint_log_epoch(ctl);
   const clk::LocalTime now = local_now();
   for (const HostId p : ctl.peers) ctl.last_heard[p] = now;
   if (config_.freeze_enabled) start_heartbeats(app, ctl);
@@ -122,7 +126,10 @@ void ManagerModule::reconfigure_app(AppId app, std::vector<HostId> managers) {
   }
 }
 
-void ManagerModule::forget_app(AppId app) { apps_.erase(app); }
+void ManagerModule::forget_app(AppId app) {
+  disseminator_->drop_app(app);
+  apps_.erase(app);
+}
 
 void ManagerModule::start_heartbeats(AppId app, AppCtl& ctl) {
   ctl.heartbeat = std::make_unique<runtime::PeriodicTimer>(env_.make_periodic_timer());
@@ -421,63 +428,27 @@ void ManagerModule::retransmit_txn(AppId app, std::uint64_t txn_id) {
 void ManagerModule::start_revoke_forwarding(AppId app, AppCtl& ctl, UserId user,
                                             acl::Version version,
                                             obs::TraceId trace) {
+  // The grant table stays the manager's: the strategy is handed the row and
+  // reports per-host delivery back through Sink::delivered.
   const auto git = ctl.grant_table.find(user);
   if (git == ctl.grant_table.end() || git->second.empty()) return;
-
-  const auto key = std::make_pair(static_cast<std::uint64_t>(user.value()),
-                                  version.counter);
-  auto fwd = std::make_unique<RevokeFwd>(env_);
-  fwd->app = app;
-  fwd->user = user;
-  fwd->version = version;
-  fwd->pending_hosts = git->second;
-  fwd->trace = trace;
-  // "it can stop resending the message when the access right would have
-  // expired based on the time mechanism" (§3.4): Te after now bounds every
-  // outstanding cached copy.
-  fwd->deadline = env_.now() + config_.Te;
-
-  static obs::Counter& notifies =
-      obs::Registry::global().counter("wan_revoke_notifies_total");
-  const auto msg = net::make_message<RevokeNotify>(app, user, version, trace);
-  for (const HostId h : fwd->pending_hosts) {
-    obs::record(trace, obs::SpanKind::kSend, self_, env_.now(),
-                "revoke.notify.send", h.value(),
-                static_cast<std::int64_t>(version.counter));
-    notifies.inc();
-    net_.send(self_, h, msg);
-  }
-  RevokeFwd& ref = *fwd;
-  ctl.revoke_fwds[key] = std::move(fwd);
-  ref.retry.arm(config_.revoke_retransmit, [this, app, key] {
-    retransmit_revoke(app, key.first, key.second);
-  });
+  disseminator_->revoke(app, user, version, git->second, trace);
 }
 
-void ManagerModule::retransmit_revoke(AppId app, std::uint64_t user_value,
-                                      std::uint64_t version_counter) {
+// Disseminator::Sink -------------------------------------------------------
+
+void ManagerModule::send(HostId to, const net::MessagePtr& msg) {
+  net_.send(self_, to, msg);
+}
+
+void ManagerModule::delivered(AppId app, HostId host, UserId user,
+                              acl::Version /*version*/) {
   AppCtl* ctl = ctl_of(app);
-  if (ctl == nullptr || !up_) return;
-  const auto key = std::make_pair(user_value, version_counter);
-  const auto it = ctl->revoke_fwds.find(key);
-  if (it == ctl->revoke_fwds.end()) return;
-  RevokeFwd& fwd = *it->second;
-  if (env_.now() >= fwd.deadline || fwd.pending_hosts.empty()) {
-    ctl->revoke_fwds.erase(it);
-    return;
+  if (ctl == nullptr) return;
+  // The host flushed its cache; it no longer holds a grant from us.
+  if (auto git = ctl->grant_table.find(user); git != ctl->grant_table.end()) {
+    git->second.erase(host);
   }
-  obs::record(fwd.trace, obs::SpanKind::kTimer, self_, env_.now(),
-              "revoke.retransmit",
-              static_cast<std::int64_t>(fwd.pending_hosts.size()));
-  static obs::Counter& retx =
-      obs::Registry::global().counter("wan_revoke_retransmits_total");
-  retx.inc();
-  const auto msg =
-      net::make_message<RevokeNotify>(app, fwd.user, fwd.version, fwd.trace);
-  for (const HostId h : fwd.pending_hosts) net_.send(self_, h, msg);
-  fwd.retry.arm(config_.revoke_retransmit, [this, app, key] {
-    retransmit_revoke(app, key.first, key.second);
-  });
 }
 
 // --------------------------------------------------------------- receive
@@ -494,8 +465,10 @@ void ManagerModule::on_message(HostId from, const net::MessagePtr& msg) {
     handle_update(from, *u);
   } else if (const auto* a = net::message_cast<UpdateAck>(msg)) {
     handle_update_ack(from, *a);
-  } else if (const auto* r = net::message_cast<RevokeNotifyAck>(msg)) {
-    handle_revoke_ack(from, *r);
+  } else if (disseminator_->on_message(from, msg)) {
+    // Revocation fan-out acks (RevokeNotifyAck / RevokeBatchAck / RelayAck):
+    // consumed by the dissemination strategy, which reports per-host
+    // delivery back through Sink::delivered.
   } else if (const auto* vq = net::message_cast<VersionQuery>(msg)) {
     if (AppCtl* ctl = ctl_of(vq->app); ctl != nullptr && is_peer(*ctl, from)) {
       note_peer(*ctl, from);
@@ -514,6 +487,10 @@ void ManagerModule::on_message(HostId from, const net::MessagePtr& msg) {
     handle_sync_response(from, *sr);
   } else if (const auto* sp = net::message_cast<SyncPush>(msg)) {
     handle_sync_push(from, *sp);
+  } else if (const auto* dq = net::message_cast<DeltaSyncRequest>(msg)) {
+    handle_delta_sync_request(from, *dq);
+  } else if (const auto* dr = net::message_cast<DeltaSyncResponse>(msg)) {
+    handle_delta_sync_response(from, *dr);
   } else if (const auto* sa = net::message_cast<ShardMapAnnounce>(msg)) {
     handle_shard_map_announce(from, *sa);
   } else if (const auto* hb = net::message_cast<ShardHandoffBegin>(msg)) {
@@ -764,23 +741,6 @@ void ManagerModule::handle_update_ack(HostId from, const UpdateAck& m) {
   if (txn.pending_peers.empty()) ctl->txns.erase(it);
 }
 
-void ManagerModule::handle_revoke_ack(HostId from, const RevokeNotifyAck& m) {
-  AppCtl* ctl = ctl_of(m.app);
-  if (ctl == nullptr) return;
-  const auto key = std::make_pair(static_cast<std::uint64_t>(m.user.value()),
-                                  m.version.counter);
-  const auto it = ctl->revoke_fwds.find(key);
-  if (it == ctl->revoke_fwds.end()) return;
-  obs::record(it->second->trace, obs::SpanKind::kRecv, self_, env_.now(),
-              "revoke.ack.recv", from.value());
-  it->second->pending_hosts.erase(from);
-  // The host flushed its cache; it no longer holds a grant from us.
-  if (auto git = ctl->grant_table.find(m.user); git != ctl->grant_table.end()) {
-    git->second.erase(from);
-  }
-  if (it->second->pending_hosts.empty()) ctl->revoke_fwds.erase(it);
-}
-
 void ManagerModule::handle_sync_request(HostId from, const SyncRequest& m) {
   AppCtl* ctl = ctl_of(m.app);
   if (ctl == nullptr || !is_peer(*ctl, from)) return;
@@ -822,21 +782,24 @@ void ManagerModule::handle_sync_response(HostId from, const SyncResponse& m) {
   }
   if (ctl->sync_votes == nullptr) return;
   merge_snapshot(m.app, *ctl, m.snapshot);
-  if (ctl->sync_votes->record(from)) {
-    ctl->synced = true;
-    ctl->sync_votes.reset();
-    if (ctl->sync_timer) ctl->sync_timer->cancel();
-    ctl->sync_timer.reset();
-    WAN_DEBUG << to_string(self_) << " recovery sync complete for "
-              << to_string(m.app);
-    if (ctl->sync_adopts_pending) adopt_pending_shards(m.app, *ctl);
-    // Push the merged state back: peers that missed a partially-disseminated
-    // update (whose issuer crashed and lost its retransmission duty) pick it
-    // up here, restoring store convergence that pull-only sync cannot.
-    push_snapshot(m.app, *ctl);
-    // Release operations that blocked on the sync, in submission order.
-    flush_deferred_submits();
-  }
+  record_sync_vote(m.app, *ctl, from);
+}
+
+void ManagerModule::record_sync_vote(AppId app, AppCtl& ctl, HostId from) {
+  if (ctl.sync_votes == nullptr || !ctl.sync_votes->record(from)) return;
+  ctl.synced = true;
+  ctl.sync_votes.reset();
+  if (ctl.sync_timer) ctl.sync_timer->cancel();
+  ctl.sync_timer.reset();
+  WAN_DEBUG << to_string(self_) << " recovery sync complete for "
+            << to_string(app);
+  if (ctl.sync_adopts_pending) adopt_pending_shards(app, ctl);
+  // Push the merged state back: peers that missed a partially-disseminated
+  // update (whose issuer crashed and lost its retransmission duty) pick it
+  // up here, restoring store convergence that pull-only sync cannot.
+  push_snapshot(app, ctl);
+  // Release operations that blocked on the sync, in submission order.
+  flush_deferred_submits();
 }
 
 void ManagerModule::handle_sync_push(HostId from, const SyncPush& m) {
@@ -846,6 +809,92 @@ void ManagerModule::handle_sync_push(HostId from, const SyncPush& m) {
   // Merging is safe in every state (idempotent, version-gated); receipt
   // never triggers a further push, so pushes cannot cascade.
   merge_snapshot(m.app, *ctl, m.snapshot);
+}
+
+void ManagerModule::handle_delta_sync_request(HostId from,
+                                              const DeltaSyncRequest& m) {
+  AppCtl* ctl = ctl_of(m.app);
+  if (ctl == nullptr || !is_peer(*ctl, from)) return;
+  note_peer(*ctl, from);
+  if (!ctl->synced) return;  // cannot vouch for state we have not recovered
+
+  // Same scoping as handle_sync_request: only the shards the REQUESTER's
+  // group owns travel (everything, under a trivial map).
+  const auto owned_by_requester = [&](UserId u) {
+    const shard::ShardMap& map = ctl->shard_map;
+    if (map.trivial()) return true;
+    const auto req_group = map.group_index_of(from);
+    if (!req_group) return false;
+    return map.group_of_shard(map.shard_of(m.app, u)) == *req_group;
+  };
+
+  // A cursor is only a position in THIS incarnation's log, and only while
+  // the capped log still holds everything past it. Anything else falls back
+  // to the full snapshot — correctness never depends on the log.
+  const bool delta_ok = m.log_epoch == ctl->log_epoch &&
+                        m.cursor >= ctl->log_floor &&
+                        m.cursor <= ctl->next_apply_seq;
+  std::vector<acl::AclUpdate> updates;
+  if (delta_ok) {
+    for (std::uint64_t seq = m.cursor; seq < ctl->next_apply_seq; ++seq) {
+      const acl::AclUpdate& u =
+          ctl->apply_log[static_cast<std::size_t>(seq - ctl->log_floor)];
+      if (owned_by_requester(u.user)) updates.push_back(u);
+    }
+  } else {
+    updates = ctl->store.snapshot_if(owned_by_requester);
+  }
+  sync_entries_sent_ += updates.size();
+  net_.send(self_, from,
+            net::make_message<DeltaSyncResponse>(
+                m.app, m.sync_id, /*full=*/!delta_ok, ctl->log_epoch,
+                ctl->next_apply_seq, std::move(updates)));
+}
+
+void ManagerModule::handle_delta_sync_response(HostId from,
+                                               const DeltaSyncResponse& m) {
+  AppCtl* ctl = ctl_of(m.app);
+  if (ctl == nullptr || !is_peer(*ctl, from)) return;
+  note_peer(*ctl, from);
+  if (m.sync_id != ctl->sync_id) return;
+  if (ctl->synced) {
+    // Straggler from the completed sync (see handle_sync_response). A delta
+    // suffix merges just as safely as a snapshot: both are version-gated.
+    if (merge_snapshot(m.app, *ctl, m.updates) > 0) push_snapshot(m.app, *ctl);
+    ctl->sync_cursors[from] = {m.log_epoch, m.next_seq};
+    return;
+  }
+  if (ctl->sync_votes == nullptr) return;
+  merge_snapshot(m.app, *ctl, m.updates);
+  // Only after merging may we claim the peer's position: the cursor asserts
+  // "everything this peer applied before next_seq is reflected here".
+  ctl->sync_cursors[from] = {m.log_epoch, m.next_seq};
+  record_sync_vote(m.app, *ctl, from);
+}
+
+void ManagerModule::mint_log_epoch(AppCtl& ctl) {
+  // Deterministic under the simulated clock, unique per incarnation (the
+  // salt survives crash() like version_stamp_ does): a fresh epoch
+  // invalidates every cursor handed out against the previous log.
+  ctl.log_epoch = stable_hash64(
+      static_cast<std::uint64_t>(self_.value()),
+      static_cast<std::uint64_t>(env_.now().nanos_since_origin()),
+      ++log_epoch_salt_);
+  if (ctl.log_epoch == 0) ctl.log_epoch = 1;  // 0 is the "no cursor" epoch
+  ctl.apply_log.clear();
+  ctl.log_floor = 0;
+  ctl.next_apply_seq = 0;
+}
+
+void ManagerModule::log_applied(AppCtl& ctl, const acl::AclUpdate& update) {
+  ctl.apply_log.push_back(update);
+  ++ctl.next_apply_seq;
+  const std::size_t cap =
+      std::max<std::size_t>(1, config_.dissemination.delta_log_cap);
+  while (ctl.apply_log.size() > cap) {
+    ctl.apply_log.pop_front();
+    ++ctl.log_floor;
+  }
 }
 
 void ManagerModule::push_snapshot(AppId app, AppCtl& ctl) {
@@ -888,8 +937,23 @@ void ManagerModule::sync_round(AppId app) {
   AppCtl* ctl = ctl_of(app);
   if (ctl == nullptr || !up_ || ctl->synced) return;
   // Retransmit until enough snapshots arrive.
-  const auto msg = net::make_message<SyncRequest>(app, ctl->sync_id);
-  for (const HostId p : ctl->peers) net_.send(self_, p, msg);
+  if (config_.dissemination.delta_sync) {
+    // Ask each peer for just the suffix past our last-known cursor; a peer
+    // that cannot honour the cursor answers with a full snapshot anyway.
+    for (const HostId p : ctl->peers) {
+      const auto it = ctl->sync_cursors.find(p);
+      const std::uint64_t epoch = it != ctl->sync_cursors.end()
+                                      ? it->second.first : 0;
+      const std::uint64_t cursor = it != ctl->sync_cursors.end()
+                                       ? it->second.second : 0;
+      net_.send(self_, p,
+                net::make_message<DeltaSyncRequest>(app, ctl->sync_id, epoch,
+                                                    cursor));
+    }
+  } else {
+    const auto msg = net::make_message<SyncRequest>(app, ctl->sync_id);
+    for (const HostId p : ctl->peers) net_.send(self_, p, msg);
+  }
   if (ctl->sync_timer) {
     ctl->sync_timer->arm(config_.sync_retransmit,
                          [this, app] { sync_round(app); });
@@ -922,6 +986,7 @@ std::size_t ManagerModule::attach_journal(ManagerJournal* journal) {
 bool ManagerModule::apply_update(AppId app, AppCtl& ctl,
                                  const acl::AclUpdate& update) {
   const bool applied = ctl.store.apply(update);
+  if (applied && config_.dissemination.delta_sync) log_applied(ctl, update);
   if (applied && journal_ != nullptr) {
     journal_->append(app, update);
     maybe_compact(app, ctl);
@@ -1458,8 +1523,14 @@ void ManagerModule::crash() {
     ctl.grant_table.clear();
     ctl.reads.clear();
     ctl.txns.clear();
-    ctl.revoke_fwds.clear();
     ctl.last_heard.clear();
+    // Delta-sync state is as volatile as the store it shadows: the log dies
+    // with the store, and our cursors into peers are void (an empty store
+    // cannot be completed by a suffix — recovery must pull full snapshots).
+    ctl.apply_log.clear();
+    ctl.log_floor = 0;
+    ctl.next_apply_seq = 0;
+    ctl.sync_cursors.clear();
     ctl.sync_votes.reset();
     ctl.sync_timer.reset();
     if (ctl.heartbeat) ctl.heartbeat->stop();
@@ -1480,6 +1551,8 @@ void ManagerModule::crash() {
     ctl.staging.clear();
     ctl.proposed.reset();
   }
+  // Every in-flight revocation fan-out is volatile strategy state.
+  disseminator_->shutdown();
 }
 
 void ManagerModule::recover() {
@@ -1488,6 +1561,9 @@ void ManagerModule::recover() {
   for (auto& [app, ctl] : apps_) {
     for (const HostId p : ctl.peers) ctl.last_heard[p] = now;
     if (config_.freeze_enabled) start_heartbeats(app, ctl);
+    // A fresh apply-log incarnation: cursors peers hold into the pre-crash
+    // log must miss (the log died with the store) and fall back to full.
+    mint_log_epoch(ctl);
     // Crash-recovery syncs (and only those) may adopt group state for
     // shards stuck in pending_acquire — see adopt_pending_shards().
     ctl.sync_adopts_pending = true;

@@ -30,17 +30,20 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "acl/store.hpp"
 #include "clock/local_clock.hpp"
 #include "proto/config.hpp"
+#include "proto/dissemination.hpp"
 #include "proto/messages.hpp"
 #include "quorum/quorum.hpp"
 #include "runtime/env.hpp"
@@ -63,7 +66,7 @@ struct UpdateOutcome {
 
 using UpdateCallback = std::function<void(const UpdateOutcome&)>;
 
-class ManagerModule {
+class ManagerModule : private Disseminator::Sink {
  public:
   ManagerModule(HostId self, runtime::Env& env, clk::LocalClock clock,
                 ProtocolConfig config);
@@ -303,6 +306,11 @@ class ManagerModule {
   [[nodiscard]] std::uint64_t sync_entries_sent() const noexcept {
     return sync_entries_sent_;
   }
+  /// Revocations still fanning out (all apps) — owned by the configured
+  /// dissemination strategy (proto/dissemination.hpp).
+  [[nodiscard]] std::size_t inflight_revocations() const {
+    return disseminator_->inflight();
+  }
 
  private:
   struct PendingRead {
@@ -332,18 +340,6 @@ class ManagerModule {
     runtime::Timer retry;
 
     Txn(int quorum, runtime::Env& env) : acks(quorum), retry(env.make_timer()) {}
-  };
-
-  struct RevokeFwd {
-    AppId app{};
-    UserId user{};
-    acl::Version version{};
-    std::set<HostId> pending_hosts;
-    sim::TimePoint deadline{};
-    obs::TraceId trace = 0;  ///< the issuing manager's update chain
-    runtime::Timer retry;
-
-    explicit RevokeFwd(runtime::Env& env) : retry(env.make_timer()) {}
   };
 
   struct DeferredSubmit {
@@ -415,8 +411,6 @@ class ManagerModule {
     std::map<UserId, std::set<HostId>> grant_table;
     std::unordered_map<std::uint64_t, std::unique_ptr<PendingRead>> reads;
     std::unordered_map<std::uint64_t, std::unique_ptr<Txn>> txns;
-    std::map<std::pair<std::uint64_t, std::uint64_t>, std::unique_ptr<RevokeFwd>>
-        revoke_fwds;  ///< keyed by (user id, version counter)
     std::unordered_map<HostId, clk::LocalTime> last_heard;  ///< freeze input
     bool synced = true;
     /// Operations submitted while recovering (§3.4: an unsynced manager can
@@ -449,6 +443,23 @@ class ManagerModule {
     /// adopt the group's state for shards stuck in pending_acquire whose
     /// senders retired against acks the crash erased.
     bool sync_adopts_pending = false;
+    /// Delta-sync apply log (config.dissemination.delta_sync): the tail of
+    /// updates applied to the store, in apply order. A recovering peer
+    /// presenting a cursor inside [log_floor, next_apply_seq] under the
+    /// current log_epoch gets just the suffix; anything else (epoch
+    /// mismatch, cursor older than the capped log) falls back to a full
+    /// snapshot. Volatile — cleared with the store on crash().
+    std::deque<acl::AclUpdate> apply_log;
+    std::uint64_t log_floor = 0;       ///< apply seq of apply_log.front()
+    std::uint64_t next_apply_seq = 0;  ///< seq the next applied update gets
+    /// Identifies one incarnation of this manager's apply log; a cursor is
+    /// only meaningful under the epoch it was handed out with. Re-minted by
+    /// mint_log_epoch() whenever the log restarts (manage_app, recover).
+    std::uint64_t log_epoch = 0;
+    /// Requester-side cursors: the (log_epoch, next_seq) each peer reported
+    /// in its last DeltaSyncResponse. Cleared on crash() — a recovering
+    /// manager's store is empty, so a suffix cannot reconstruct it.
+    std::map<HostId, std::pair<std::uint64_t, std::uint64_t>> sync_cursors;
   };
 
   void handle_query(HostId from, const QueryRequest& q);
@@ -460,10 +471,14 @@ class ManagerModule {
   void issue_write(AppId app, std::unique_ptr<PendingRead> read);
   void handle_update(HostId from, const UpdateMsg& m);
   void handle_update_ack(HostId from, const UpdateAck& m);
-  void handle_revoke_ack(HostId from, const RevokeNotifyAck& m);
   void handle_sync_request(HostId from, const SyncRequest& m);
   void handle_sync_response(HostId from, const SyncResponse& m);
   void handle_sync_push(HostId from, const SyncPush& m);
+  void handle_delta_sync_request(HostId from, const DeltaSyncRequest& m);
+  void handle_delta_sync_response(HostId from, const DeltaSyncResponse& m);
+  /// Records a sync vote from `from`; on quorum, completes the recovery
+  /// (shared tail of handle_sync_response / handle_delta_sync_response).
+  void record_sync_vote(AppId app, AppCtl& ctl, HostId from);
   void push_snapshot(AppId app, AppCtl& ctl);
 
   void handle_shard_map_announce(HostId from, const ShardMapAnnounce& m);
@@ -502,8 +517,15 @@ class ManagerModule {
   void start_revoke_forwarding(AppId app, AppCtl& ctl, UserId user,
                                acl::Version version, obs::TraceId trace);
   void retransmit_txn(AppId app, std::uint64_t txn_id);
-  void retransmit_revoke(AppId app, std::uint64_t user_value,
-                         std::uint64_t version_counter);
+  // Disseminator::Sink — the strategy's way back into the manager.
+  void send(HostId to, const net::MessagePtr& msg) override;
+  void delivered(AppId app, HostId host, UserId user,
+                 acl::Version version) override;
+  /// Starts a fresh apply-log incarnation for `ctl` (new epoch, empty log).
+  void mint_log_epoch(AppCtl& ctl);
+  /// Appends an APPLIED update to the delta-sync log (capped; advancing the
+  /// floor past a compaction point forces stale cursors to full snapshots).
+  void log_applied(AppCtl& ctl, const acl::AclUpdate& update);
   /// The journaled mutation path: AclStore::apply plus, when a journal is
   /// attached and the update changed a register, a durable append (and a
   /// compaction check). Every store mutation site routes through this or
@@ -543,6 +565,10 @@ class ManagerModule {
   ManagerJournal* journal_ = nullptr;  ///< non-owning; nullptr == volatile
   LieMode lie_mode_ = LieMode::kSeeded;
   Rng lie_rng_{0};
+  /// Revocation fan-out strategy (built from config_.dissemination; owns all
+  /// in-flight revoke state, which crash() drops via shutdown()).
+  std::unique_ptr<Disseminator> disseminator_;
+  std::uint64_t log_epoch_salt_ = 0;  ///< per-incarnation epoch tie-breaker
   std::optional<bool> debug_frozen_;
   std::function<void(const QueryAnswerEvent&)> response_observer_;
 

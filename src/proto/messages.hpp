@@ -30,6 +30,7 @@
 #include "auth/credentials.hpp"
 #include "net/message.hpp"
 #include "obs/trace.hpp"
+#include "proto/wire.hpp"
 #include "shard/shard_map.hpp"
 #include "sim/time.hpp"
 #include "util/ids.hpp"
@@ -218,7 +219,9 @@ struct SyncResponse final : net::Message {
       : app(a), sync_id(s), snapshot(std::move(snap)) {}
 
   WAN_MESSAGE_TYPE("SyncResponse")
-  std::size_t wire_size() const override { return 24 + snapshot.size() * 32; }
+  std::size_t wire_size() const override {
+    return 24 + AclSlicePayload::estimate(snapshot.size());
+  }
 };
 
 /// Recovered manager -> peers: its merged post-sync snapshot, pushed so that
@@ -234,7 +237,9 @@ struct SyncPush final : net::Message {
       : app(a), snapshot(std::move(snap)) {}
 
   WAN_MESSAGE_TYPE("SyncPush")
-  std::size_t wire_size() const override { return 16 + snapshot.size() * 32; }
+  std::size_t wire_size() const override {
+    return 16 + AclSlicePayload::estimate(snapshot.size());
+  }
 };
 
 /// Manager <-> manager liveness probes for the freeze strategy (§3.3).
@@ -326,7 +331,9 @@ struct ShardHandoffChunk final : net::Message {
       : app(a), epoch(e), shard(s), series(ser), seq(q), updates(std::move(u)) {}
 
   WAN_MESSAGE_TYPE("ShardHandoffChunk")
-  std::size_t wire_size() const override { return 48 + updates.size() * 32; }
+  std::size_t wire_size() const override {
+    return 48 + AclSlicePayload::estimate(updates.size());
+  }
 };
 
 /// New-group member -> old owner: series received in full. The old owner is
@@ -344,6 +351,142 @@ struct ShardHandoffDone final : net::Message {
 
   WAN_MESSAGE_TYPE("ShardHandoffDone")
   std::size_t wire_size() const override { return 32; }
+};
+
+// --- collective revocation dissemination (src/proto/dissemination.hpp) -------
+//
+// The reference protocol unicasts one RevokeNotify per cached host per
+// revoked right. The coalesced and tree strategies trade a small slice of
+// the Te budget (a flush window) for fewer frames: many (user, version)
+// rights ride one RevokeBatch per destination, and the tree strategy pushes
+// whole batches through relay hosts that fan out locally and ack upward.
+// All three strategies keep the manager's retransmit-until-Te loop — a
+// relay or batch that goes unacked is simply resent (possibly through a
+// different relay), so the paper's revocation bound is unchanged.
+
+/// One revoked right inside a batch: flush `user`'s cache entry; deny-floor
+/// evidence at `version` (only when the sender is an authenticated manager).
+struct RevokeItem {
+  UserId user{};
+  acl::Version version{};
+};
+
+/// Manager (or relay) -> application host: flush every listed right from
+/// ACL_cache(app). Semantically a vector of RevokeNotify in one frame.
+struct RevokeBatch final : net::Message {
+  AppId app{};
+  std::uint64_t batch_id = 0;  ///< sender-local; echoed by the ack
+  std::vector<RevokeItem> items;
+  obs::TraceId trace = 0;  ///< the issuing manager's update chain
+
+  RevokeBatch(AppId a, std::uint64_t b, std::vector<RevokeItem> it,
+              obs::TraceId tr = 0)
+      : app(a), batch_id(b), items(std::move(it)), trace(tr) {}
+
+  WAN_MESSAGE_TYPE("RevokeBatch")
+  std::size_t wire_size() const override { return 40 + items.size() * 16; }
+};
+
+/// Application host -> batch sender: the whole batch was applied. The sender
+/// maps `batch_id` back to the (destination, rights) it packed into that
+/// frame; an ack for a forgotten batch (sender restarted) is a no-op.
+struct RevokeBatchAck final : net::Message {
+  AppId app{};
+  std::uint64_t batch_id = 0;
+
+  RevokeBatchAck(AppId a, std::uint64_t b) : app(a), batch_id(b) {}
+
+  WAN_MESSAGE_TYPE("RevokeBatchAck")
+  std::size_t wire_size() const override { return 24; }
+};
+
+/// Manager -> relay host: apply `items` locally if you appear in `dests`,
+/// then fan a relay-minted RevokeBatch out to every other destination and
+/// report progress upward with incremental RelayAcks. The relay keeps no
+/// durable state — a crashed or partitioned relay just stops acking and the
+/// manager's retransmit loop re-routes the pending destinations through a
+/// surviving relay (or directly, for singleton groups).
+struct RelayForward final : net::Message {
+  AppId app{};
+  std::uint64_t batch_id = 0;  ///< manager-local; echoed by RelayAck
+  std::vector<RevokeItem> items;
+  std::vector<HostId> dests;  ///< leaf destinations (the relay may be one)
+  obs::TraceId trace = 0;     ///< the issuing manager's update chain
+
+  RelayForward(AppId a, std::uint64_t b, std::vector<RevokeItem> it,
+               std::vector<HostId> d, obs::TraceId tr = 0)
+      : app(a), batch_id(b), items(std::move(it)), dests(std::move(d)),
+        trace(tr) {}
+
+  WAN_MESSAGE_TYPE("RelayForward")
+  std::size_t wire_size() const override {
+    return 40 + items.size() * 16 + dests.size() * 8;
+  }
+};
+
+/// Relay host -> manager: these destinations of `batch_id` have acked their
+/// leaf batches (the relay lists itself once its own cache is flushed).
+/// Incremental and idempotent — each ack carries the relay's cumulative set.
+struct RelayAck final : net::Message {
+  AppId app{};
+  std::uint64_t batch_id = 0;
+  std::vector<HostId> acked_dests;
+
+  RelayAck(AppId a, std::uint64_t b, std::vector<HostId> d)
+      : app(a), batch_id(b), acked_dests(std::move(d)) {}
+
+  WAN_MESSAGE_TYPE("RelayAck")
+  std::size_t wire_size() const override { return 24 + acked_dests.size() * 8; }
+};
+
+// --- delta ACL sync (recovery, §3.4) ----------------------------------------
+//
+// Full-snapshot sync re-sends the entire ACL on every recovery. With delta
+// sync enabled (DisseminationOptions::delta_sync) each manager keeps a
+// bounded apply log — the updates it applied, in apply order, stamped with a
+// per-incarnation log_epoch and a monotonic apply_seq — and a recovering
+// peer presents its last cursor to receive only the suffix it missed. A
+// cursor from another incarnation (epoch mismatch) or below the log's
+// compaction floor falls back to a full snapshot. Plain SyncRequest/
+// SyncResponse remain the reference path and the cross-version fallback.
+
+/// Recovering manager -> peer: "send me what I missed since (log_epoch,
+/// cursor)". cursor == the next apply_seq the requester has NOT applied;
+/// log_epoch == 0 means "no cursor for you, send everything".
+struct DeltaSyncRequest final : net::Message {
+  AppId app{};
+  std::uint64_t sync_id = 0;
+  std::uint64_t log_epoch = 0;  ///< responder incarnation the cursor is from
+  std::uint64_t cursor = 0;     ///< first apply_seq the requester lacks
+
+  DeltaSyncRequest(AppId a, std::uint64_t s, std::uint64_t e, std::uint64_t c)
+      : app(a), sync_id(s), log_epoch(e), cursor(c) {}
+
+  WAN_MESSAGE_TYPE("DeltaSyncRequest")
+  std::size_t wire_size() const override { return 40; }
+};
+
+/// Peer -> recovering manager: the post-cursor suffix of the peer's apply
+/// log (`full == false`), or a full snapshot when the cursor was unusable
+/// (`full == true`). `log_epoch`/`next_seq` are the cursor to present next
+/// time.
+struct DeltaSyncResponse final : net::Message {
+  AppId app{};
+  std::uint64_t sync_id = 0;
+  bool full = false;            ///< updates is a complete snapshot
+  std::uint64_t log_epoch = 0;  ///< responder's current incarnation
+  std::uint64_t next_seq = 0;   ///< resume cursor after applying `updates`
+  std::vector<acl::AclUpdate> updates;
+
+  DeltaSyncResponse(AppId a, std::uint64_t s, bool f, std::uint64_t e,
+                    std::uint64_t n, std::vector<acl::AclUpdate> u)
+      : app(a), sync_id(s), full(f), log_epoch(e), next_seq(n),
+        updates(std::move(u)) {}
+
+  WAN_MESSAGE_TYPE("DeltaSyncResponse")
+  std::size_t wire_size() const override {
+    return 48 + AclSlicePayload::estimate(updates.size());
+  }
 };
 
 }  // namespace wan::proto

@@ -49,9 +49,6 @@ void put_update(WireWriter& w, const acl::AclUpdate& u) {
   put_version(w, u.version);
 }
 
-/// Serialized size of one AclUpdate — bounds snapshot counts before alloc.
-constexpr std::size_t kUpdateWireSize = 4 + 1 + 1 + (8 + 4 + 8);
-
 acl::AclUpdate get_update(WireReader& r) {
   acl::AclUpdate u;
   u.user = r.user_id();
@@ -72,26 +69,58 @@ acl::AclUpdate get_update(WireReader& r) {
   return u;
 }
 
-void put_snapshot(WireWriter& w, const std::vector<acl::AclUpdate>& snap) {
-  w.u32(static_cast<std::uint32_t>(snap.size()));
-  for (const acl::AclUpdate& u : snap) put_update(w, u);
+/// One (user, version) right inside a RevokeBatch / RelayForward.
+void put_item(WireWriter& w, const RevokeItem& it) {
+  w.user_id(it.user);
+  put_version(w, it.version);
 }
 
-std::vector<acl::AclUpdate> get_snapshot(WireReader& r) {
+/// Serialized size of one RevokeItem — bounds item counts before alloc.
+constexpr std::size_t kItemWireSize = 4 + (8 + 4 + 8);
+
+RevokeItem get_item(WireReader& r) {
+  RevokeItem it;
+  it.user = r.user_id();
+  it.version = get_version(r);
+  return it;
+}
+
+void put_items(WireWriter& w, const std::vector<RevokeItem>& items) {
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const RevokeItem& it : items) put_item(w, it);
+}
+
+std::vector<RevokeItem> get_items(WireReader& r) {
   const std::uint32_t count = r.u32();
-  // A hostile count field must not drive the allocation: every entry takes
-  // kUpdateWireSize bytes, so a count the remaining payload cannot hold is
-  // malformed by construction.
-  if (count > r.remaining() / kUpdateWireSize) {
+  if (count > r.remaining() / kItemWireSize) {
     r.fail();
     return {};
   }
-  std::vector<acl::AclUpdate> snap;
-  snap.reserve(count);
+  std::vector<RevokeItem> items;
+  items.reserve(count);
   for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
-    snap.push_back(get_update(r));
+    items.push_back(get_item(r));
   }
-  return snap;
+  return items;
+}
+
+void put_hosts(WireWriter& w, const std::vector<HostId>& hosts) {
+  w.u32(static_cast<std::uint32_t>(hosts.size()));
+  for (const HostId h : hosts) w.host_id(h);
+}
+
+std::vector<HostId> get_hosts(WireReader& r) {
+  const std::uint32_t count = r.u32();
+  if (count > r.remaining() / 4) {
+    r.fail();
+    return {};
+  }
+  std::vector<HostId> hosts;
+  hosts.reserve(count);
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    hosts.push_back(r.host_id());
+  }
+  return hosts;
 }
 
 // --- per-type codecs --------------------------------------------------------
@@ -308,12 +337,12 @@ void do_register() {
       [](const SyncResponse& m, WireWriter& w) {
         w.app_id(m.app);
         w.u64(m.sync_id);
-        put_snapshot(w, m.snapshot);
+        AclSlicePayload::encode(w, m.snapshot);
       },
       [](WireReader& r) -> net::MessagePtr {
         const AppId app = r.app_id();
         const std::uint64_t sync_id = r.u64();
-        std::vector<acl::AclUpdate> snap = get_snapshot(r);
+        std::vector<acl::AclUpdate> snap = AclSlicePayload::decode(r);
         if (!r.ok()) return nullptr;
         return net::make_message<SyncResponse>(app, sync_id, std::move(snap));
       });
@@ -322,11 +351,11 @@ void do_register() {
       "SyncPush", kTagSyncPush,
       [](const SyncPush& m, WireWriter& w) {
         w.app_id(m.app);
-        put_snapshot(w, m.snapshot);
+        AclSlicePayload::encode(w, m.snapshot);
       },
       [](WireReader& r) -> net::MessagePtr {
         const AppId app = r.app_id();
-        std::vector<acl::AclUpdate> snap = get_snapshot(r);
+        std::vector<acl::AclUpdate> snap = AclSlicePayload::decode(r);
         if (!r.ok()) return nullptr;
         return net::make_message<SyncPush>(app, std::move(snap));
       });
@@ -448,7 +477,7 @@ void do_register() {
         w.u32(m.shard);
         w.u64(m.series);
         w.u32(m.seq);
-        put_snapshot(w, m.updates);
+        AclSlicePayload::encode(w, m.updates);
       },
       [](WireReader& r) -> net::MessagePtr {
         const AppId app = r.app_id();
@@ -456,7 +485,7 @@ void do_register() {
         const std::uint32_t shard = r.u32();
         const std::uint64_t series = r.u64();
         const std::uint32_t seq = r.u32();
-        std::vector<acl::AclUpdate> updates = get_snapshot(r);
+        std::vector<acl::AclUpdate> updates = AclSlicePayload::decode(r);
         if (!r.ok()) return nullptr;
         return net::make_message<ShardHandoffChunk>(app, epoch, shard, series,
                                                     seq, std::move(updates));
@@ -478,9 +507,139 @@ void do_register() {
         if (!r.ok()) return nullptr;
         return net::make_message<ShardHandoffDone>(app, epoch, shard, series);
       });
+
+  reg<RevokeBatch>(
+      "RevokeBatch", kTagRevokeBatch,
+      [](const RevokeBatch& m, WireWriter& w) {
+        w.app_id(m.app);
+        w.u64(m.batch_id);
+        put_items(w, m.items);
+        w.u64(m.trace);
+      },
+      [](WireReader& r) -> net::MessagePtr {
+        const AppId app = r.app_id();
+        const std::uint64_t batch_id = r.u64();
+        std::vector<RevokeItem> items = get_items(r);
+        const obs::TraceId trace = r.u64();
+        if (!r.ok()) return nullptr;
+        return net::make_message<RevokeBatch>(app, batch_id, std::move(items),
+                                              trace);
+      });
+
+  reg<RevokeBatchAck>(
+      "RevokeBatchAck", kTagRevokeBatchAck,
+      [](const RevokeBatchAck& m, WireWriter& w) {
+        w.app_id(m.app);
+        w.u64(m.batch_id);
+      },
+      [](WireReader& r) -> net::MessagePtr {
+        const AppId app = r.app_id();
+        const std::uint64_t batch_id = r.u64();
+        if (!r.ok()) return nullptr;
+        return net::make_message<RevokeBatchAck>(app, batch_id);
+      });
+
+  reg<RelayForward>(
+      "RelayForward", kTagRelayForward,
+      [](const RelayForward& m, WireWriter& w) {
+        w.app_id(m.app);
+        w.u64(m.batch_id);
+        put_items(w, m.items);
+        put_hosts(w, m.dests);
+        w.u64(m.trace);
+      },
+      [](WireReader& r) -> net::MessagePtr {
+        const AppId app = r.app_id();
+        const std::uint64_t batch_id = r.u64();
+        std::vector<RevokeItem> items = get_items(r);
+        std::vector<HostId> dests = get_hosts(r);
+        const obs::TraceId trace = r.u64();
+        if (!r.ok()) return nullptr;
+        return net::make_message<RelayForward>(app, batch_id, std::move(items),
+                                               std::move(dests), trace);
+      });
+
+  reg<RelayAck>(
+      "RelayAck", kTagRelayAck,
+      [](const RelayAck& m, WireWriter& w) {
+        w.app_id(m.app);
+        w.u64(m.batch_id);
+        put_hosts(w, m.acked_dests);
+      },
+      [](WireReader& r) -> net::MessagePtr {
+        const AppId app = r.app_id();
+        const std::uint64_t batch_id = r.u64();
+        std::vector<HostId> acked = get_hosts(r);
+        if (!r.ok()) return nullptr;
+        return net::make_message<RelayAck>(app, batch_id, std::move(acked));
+      });
+
+  reg<DeltaSyncRequest>(
+      "DeltaSyncRequest", kTagDeltaSyncRequest,
+      [](const DeltaSyncRequest& m, WireWriter& w) {
+        w.app_id(m.app);
+        w.u64(m.sync_id);
+        w.u64(m.log_epoch);
+        w.u64(m.cursor);
+      },
+      [](WireReader& r) -> net::MessagePtr {
+        const AppId app = r.app_id();
+        const std::uint64_t sync_id = r.u64();
+        const std::uint64_t log_epoch = r.u64();
+        const std::uint64_t cursor = r.u64();
+        if (!r.ok()) return nullptr;
+        return net::make_message<DeltaSyncRequest>(app, sync_id, log_epoch,
+                                                   cursor);
+      });
+
+  reg<DeltaSyncResponse>(
+      "DeltaSyncResponse", kTagDeltaSyncResponse,
+      [](const DeltaSyncResponse& m, WireWriter& w) {
+        w.app_id(m.app);
+        w.u64(m.sync_id);
+        w.boolean(m.full);
+        w.u64(m.log_epoch);
+        w.u64(m.next_seq);
+        AclSlicePayload::encode(w, m.updates);
+      },
+      [](WireReader& r) -> net::MessagePtr {
+        const AppId app = r.app_id();
+        const std::uint64_t sync_id = r.u64();
+        const bool full = r.boolean();
+        const std::uint64_t log_epoch = r.u64();
+        const std::uint64_t next_seq = r.u64();
+        std::vector<acl::AclUpdate> updates = AclSlicePayload::decode(r);
+        if (!r.ok()) return nullptr;
+        return net::make_message<DeltaSyncResponse>(app, sync_id, full,
+                                                    log_epoch, next_seq,
+                                                    std::move(updates));
+      });
 }
 
 }  // namespace
+
+void AclSlicePayload::encode(WireWriter& w,
+                             const std::vector<acl::AclUpdate>& slice) {
+  w.u32(static_cast<std::uint32_t>(slice.size()));
+  for (const acl::AclUpdate& u : slice) put_update(w, u);
+}
+
+std::vector<acl::AclUpdate> AclSlicePayload::decode(WireReader& r) {
+  const std::uint32_t count = r.u32();
+  // A hostile count field must not drive the allocation: every entry takes
+  // kEntryWireSize bytes, so a count the remaining payload cannot hold is
+  // malformed by construction.
+  if (count > r.remaining() / kEntryWireSize) {
+    r.fail();
+    return {};
+  }
+  std::vector<acl::AclUpdate> slice;
+  slice.reserve(count);
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    slice.push_back(get_update(r));
+  }
+  return slice;
+}
 
 void register_wire_messages() {
   static std::once_flag once;

@@ -14,6 +14,10 @@
 // by the linker.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
+#include "acl/store.hpp"
 #include "net/codec.hpp"
 
 namespace wan::proto {
@@ -41,6 +45,33 @@ enum WireTags : net::WireTag {
   kTagShardHandoffBegin = 19,
   kTagShardHandoffChunk = 20,
   kTagShardHandoffDone = 21,
+  kTagRevokeBatch = 22,
+  kTagRevokeBatchAck = 23,
+  kTagRelayForward = 24,
+  kTagRelayAck = 25,
+  kTagDeltaSyncRequest = 26,
+  kTagDeltaSyncResponse = 27,
+};
+
+/// The shared on-wire layout of an ACL slice — a `u32` entry count followed
+/// by that many fixed-size AclUpdate records. Four messages carry one
+/// (SyncResponse, SyncPush, ShardHandoffChunk, DeltaSyncResponse); they all
+/// encode through this helper so the layout, the hostile-count bound check,
+/// and the simulated-bandwidth estimate exist exactly once.
+struct AclSlicePayload {
+  /// Real codec bytes per entry (bounds a claimed count before allocation).
+  static constexpr std::size_t kEntryWireSize = 4 + 1 + 1 + (8 + 4 + 8);
+  /// Simulated-bandwidth estimate per entry (feeds Message::wire_size(),
+  /// which models an early-Internet datagram encoding, not this codec).
+  static constexpr std::size_t kEntryEstimate = 32;
+
+  static void encode(net::WireWriter& w, const std::vector<acl::AclUpdate>& slice);
+  /// Empty + reader failed on a malformed slice (bad count, bad enum, short).
+  static std::vector<acl::AclUpdate> decode(net::WireReader& r);
+  /// wire_size() contribution of a slice with `entries` updates.
+  static constexpr std::size_t estimate(std::size_t entries) noexcept {
+    return entries * kEntryEstimate;
+  }
 };
 
 /// Registers the codec for every protocol message type with the global

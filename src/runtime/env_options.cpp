@@ -1,6 +1,7 @@
 #include "runtime/env_options.hpp"
 
 #include <memory>
+#include <string>
 
 #include "net/latency_model.hpp"
 #include "net/loss_model.hpp"
@@ -25,6 +26,50 @@ bool parse_backend(const std::string& text, BackendKind* out) {
   else if (text == "reactor") *out = BackendKind::kReactor;
   else return false;
   return true;
+}
+
+const char* to_cstring(DisseminationKind kind) noexcept {
+  switch (kind) {
+    case DisseminationKind::kUnicast: return "unicast";
+    case DisseminationKind::kCoalesced: return "coalesced";
+    case DisseminationKind::kTree: return "tree";
+  }
+  return "?";
+}
+
+bool parse_dissemination(const std::string& text, DisseminationKind* out) {
+  if (text == "unicast") *out = DisseminationKind::kUnicast;
+  else if (text == "coalesced") *out = DisseminationKind::kCoalesced;
+  else if (text == "tree") *out = DisseminationKind::kTree;
+  else return false;
+  return true;
+}
+
+void DisseminationOptions::validate() const {
+  WAN_REQUIRE_MSG(batch_max_rights >= 1,
+                  "a batch must be able to carry at least one right");
+  WAN_REQUIRE_MSG(!flush_interval.is_negative(),
+                  "the coalescing window cannot be negative");
+  if (kind == DisseminationKind::kTree) {
+    WAN_REQUIRE_MSG(relay_width >= 1,
+                    "tree dissemination needs at least one destination per "
+                    "relay group");
+  }
+}
+
+std::string DisseminationOptions::describe() const {
+  std::string s = to_cstring(kind);
+  if (kind != DisseminationKind::kUnicast) {
+    s += " batch_max_rights=" + std::to_string(batch_max_rights);
+    s += " flush_interval_us=" +
+         std::to_string(flush_interval.count_nanos() / 1000);
+  }
+  if (kind == DisseminationKind::kTree) {
+    s += " relay_width=" + std::to_string(relay_width);
+  }
+  s += delta_sync ? " delta_sync=on" : " delta_sync=off";
+  if (delta_sync) s += " delta_log_cap=" + std::to_string(delta_log_cap);
+  return s;
 }
 
 shard::ShardMap make_shard_map(const ShardTopologyOptions& topo,

@@ -68,6 +68,50 @@ struct ReliabilityOptions {
   std::uint64_t jitter_seed = 1;
 };
 
+/// How a manager fans revocation notices out to the hosts caching a right
+/// (src/proto/dissemination.hpp). Backend-agnostic: the strategy shapes the
+/// messages a manager sends, not how any fabric moves them.
+enum class DisseminationKind : std::uint8_t {
+  kUnicast,    ///< one RevokeNotify per cached host per right (the reference)
+  kCoalesced,  ///< one RevokeBatch per destination carrying many rights
+  kTree,       ///< fan out through relay hosts via RelayForward envelopes
+};
+
+/// "unicast" / "coalesced" / "tree" <-> DisseminationKind (for flags).
+[[nodiscard]] const char* to_cstring(DisseminationKind kind) noexcept;
+[[nodiscard]] bool parse_dissemination(const std::string& text,
+                                       DisseminationKind* out);
+
+/// Knobs of the revocation-dissemination strategy. Defaults reproduce the
+/// paper's unicast loop exactly, so existing deployments and pinned chaos
+/// seeds are untouched unless a run opts in.
+struct DisseminationOptions {
+  DisseminationKind kind = DisseminationKind::kUnicast;
+  /// Coalesced/tree: a destination's buffered batch is flushed once it holds
+  /// this many (user, version) rights even if the flush timer has not fired.
+  std::size_t batch_max_rights = 64;
+  /// Coalesced/tree: how long a freshly revoked right may sit buffered
+  /// waiting for more rights to share its frame. Small by construction —
+  /// it spends a slice of the Te budget to save frames.
+  sim::Duration flush_interval = sim::Duration::millis(20);
+  /// Tree: destinations per relay group; each group's first member acts as
+  /// the relay for the rest. 0 or 1 degenerates to coalesced-direct.
+  std::size_t relay_width = 4;
+  /// Recovery resync: when true managers answer SyncRequests with only the
+  /// updates the requester has not yet applied (delta sync over the peer's
+  /// apply log), falling back to a full snapshot when the requester's cursor
+  /// predates log compaction. Off by default (full snapshots, the reference).
+  bool delta_sync = false;
+  /// Delta sync: apply-log entries a manager retains per app before the
+  /// floor advances (older cursors then fall back to a full snapshot).
+  std::size_t delta_log_cap = 1024;
+
+  /// Validates internal consistency (aborts on misconfiguration).
+  void validate() const;
+  /// One-line human-readable summary ("tree relay_width=4 batch=64 ...").
+  [[nodiscard]] std::string describe() const;
+};
+
 /// Shard topology of a deployment (src/shard/shard_map.hpp). Backend-
 /// agnostic like everything in EnvOptions: the sim scenario, the loopback
 /// conformance rigs, and wan_node's socket deployments all derive their
@@ -98,6 +142,7 @@ struct EnvOptions {
   std::size_t send_queue_limit = 1024;  ///< outbound frames queued before drop
   ReliabilityOptions reliability;       ///< ack/retransmit layer (socket backends)
   ShardTopologyOptions sharding;        ///< manager-group partition (all backends)
+  DisseminationOptions dissemination;   ///< revocation fan-out strategy (all backends)
 };
 
 /// Builds the epoch-1 shard map the topology knobs describe: `managers` is

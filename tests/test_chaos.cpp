@@ -564,6 +564,102 @@ TEST(ChaosSweep, ShardedSeedsClean) {
   EXPECT_TRUE(any_flip);
 }
 
+TEST(ChaosPlan, TreePlanAddsRelayAdversaryWithoutPerturbingBase) {
+  // Selecting a dissemination kind is a pure knob; only tree plans draw
+  // extra sites, and those sit after every base drawing site, so the base
+  // schedule survives untouched and the addition is exactly one
+  // byzantine-relay window targeting a valid app host.
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const chaos::ChaosPlan base = chaos::make_plan(seed, Duration::minutes(8));
+
+    chaos::PlanOptions coalesced_opts;
+    coalesced_opts.dissemination = runtime::DisseminationKind::kCoalesced;
+    const chaos::ChaosPlan coalesced =
+        chaos::make_plan(seed, Duration::minutes(8), coalesced_opts);
+    EXPECT_EQ(coalesced.scenario.protocol.dissemination.kind,
+              runtime::DisseminationKind::kCoalesced);
+    ASSERT_EQ(coalesced.schedule.events.size(), base.schedule.events.size())
+        << "seed " << seed << ": coalesced drew extra fault events";
+
+    chaos::PlanOptions tree_opts;
+    tree_opts.dissemination = runtime::DisseminationKind::kTree;
+    const chaos::ChaosPlan tree =
+        chaos::make_plan(seed, Duration::minutes(8), tree_opts);
+    EXPECT_EQ(tree.scenario.protocol.dissemination.kind,
+              runtime::DisseminationKind::kTree);
+    EXPECT_GE(tree.scenario.protocol.dissemination.relay_width, 2u);
+    EXPECT_LE(tree.scenario.protocol.dissemination.relay_width, 4u);
+
+    std::vector<chaos::FaultEvent> kept;
+    std::size_t flips = 0;
+    std::size_t restores = 0;
+    for (const auto& e : tree.schedule.events) {
+      if (e.kind == chaos::FaultKind::kByzantineRelay) {
+        ++flips;
+        EXPECT_GE(e.a, 0) << "seed " << seed;
+        EXPECT_LT(e.a, tree.scenario.app_hosts) << "seed " << seed;
+      } else if (e.kind == chaos::FaultKind::kRestoreRelay) {
+        ++restores;
+      } else {
+        kept.push_back(e);
+      }
+    }
+    EXPECT_EQ(flips, 1u) << "seed " << seed;
+    EXPECT_EQ(restores, 1u) << "seed " << seed;
+    ASSERT_EQ(kept.size(), base.schedule.events.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      EXPECT_EQ(kept[i].at.count_nanos(),
+                base.schedule.events[i].at.count_nanos());
+      EXPECT_EQ(kept[i].kind, base.schedule.events[i].kind);
+      EXPECT_EQ(kept[i].a, base.schedule.events[i].a);
+      EXPECT_EQ(kept[i].b, base.schedule.events[i].b);
+    }
+  }
+}
+
+TEST(ChaosEngine, TreeDisseminationReplayIsBitIdentical) {
+  ChaosOptions opts;
+  opts.seed = 5;
+  opts.horizon = Duration::minutes(4);
+  opts.plan.dissemination = runtime::DisseminationKind::kTree;
+  const ChaosResult a = run_chaos(opts);
+  const ChaosResult b = run_chaos(opts);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(ChaosSweep, TreeDisseminationSeedsClean) {
+  // Relay-tree fanout under the full ambient adversity plus its own
+  // Byzantine-relay window: the Te freeze bound and the delivery-leak
+  // oracles must stay clean even when a relay acks everything and delivers
+  // nothing. The 50+ seed sweep lives in CI via
+  // `chaos_runner --dissemination tree`; this keeps a tripwire in ctest.
+  ChaosOptions opts;
+  opts.horizon = Duration::minutes(4);
+  opts.plan.dissemination = runtime::DisseminationKind::kTree;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    opts.seed = seed;
+    const ChaosResult r = run_chaos(opts);
+    EXPECT_EQ(r.violation_count, 0u)
+        << "seed " << seed << ": "
+        << (r.violations.empty() ? "" : r.violations[0].detail);
+  }
+}
+
+TEST(ChaosSweep, CoalescedSeedsClean) {
+  ChaosOptions opts;
+  opts.horizon = Duration::minutes(4);
+  opts.plan.dissemination = runtime::DisseminationKind::kCoalesced;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    opts.seed = seed;
+    const ChaosResult r = run_chaos(opts);
+    EXPECT_EQ(r.violation_count, 0u)
+        << "seed " << seed << ": "
+        << (r.violations.empty() ? "" : r.violations[0].detail);
+  }
+}
+
 TEST(ChaosEngine, ShrinkerMinimizesToFailingCore) {
   // Synthetic predicate: the run "fails" iff events 3 AND 7 are both
   // enabled. ddmin must land on exactly {3, 7}.

@@ -30,8 +30,9 @@ using net::CodecRegistry;
 using net::DecodeError;
 
 /// The full tag table under test: the 15 original protocol messages, the
-/// reliability envelope (tags 16/17, net/reliable.hpp), and the shard
-/// rebalancing messages (tags 18-21).
+/// reliability envelope (tags 16/17, net/reliable.hpp), the shard
+/// rebalancing messages (tags 18-21), and the dissemination/delta-sync
+/// messages (tags 22-27).
 void register_all() {
   proto::register_wire_messages();
   net::register_reliable_codecs();
@@ -79,6 +80,26 @@ UserId random_user(Rng& rng) {
   return UserId(static_cast<std::uint32_t>(rng.next_u64()));
 }
 
+std::vector<proto::RevokeItem> random_items(Rng& rng) {
+  std::vector<proto::RevokeItem> items;
+  const std::size_t n = rng.next_u64() % 5;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back(proto::RevokeItem{random_user(rng), random_version(rng)});
+  }
+  return items;
+}
+
+std::vector<HostId> random_hosts(Rng& rng) {
+  std::vector<HostId> hosts;
+  const std::size_t n = rng.next_u64() % 5;
+  hosts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hosts.push_back(HostId(static_cast<std::uint32_t>(rng.next_u64())));
+  }
+  return hosts;
+}
+
 shard::ShardMap random_shard_map(Rng& rng) {
   const std::uint32_t group_count =
       1 + static_cast<std::uint32_t>(rng.next_u64() % 3);
@@ -101,7 +122,7 @@ shard::ShardMap random_shard_map(Rng& rng) {
                                    rng.next_u64(), rng.next_u64());
 }
 
-/// One seeded generator per message type, in wire-tag order 1..21. Adding a
+/// One seeded generator per message type, in wire-tag order 1..27. Adding a
 /// message type without extending this list fails the coverage check below.
 std::vector<std::function<net::MessagePtr(Rng&)>> generators() {
   using net::make_message;
@@ -210,6 +231,33 @@ std::vector<std::function<net::MessagePtr(Rng&)>> generators() {
             random_app(rng), rng.next_u64(),
             static_cast<std::uint32_t>(rng.next_u64()), rng.next_u64());
       },
+      [](Rng& rng) {
+        return make_message<proto::RevokeBatch>(
+            random_app(rng), rng.next_u64(), random_items(rng),
+            rng.next_u64());
+      },
+      [](Rng& rng) {
+        return make_message<proto::RevokeBatchAck>(random_app(rng),
+                                                   rng.next_u64());
+      },
+      [](Rng& rng) {
+        return make_message<proto::RelayForward>(
+            random_app(rng), rng.next_u64(), random_items(rng),
+            random_hosts(rng), rng.next_u64());
+      },
+      [](Rng& rng) {
+        return make_message<proto::RelayAck>(random_app(rng), rng.next_u64(),
+                                             random_hosts(rng));
+      },
+      [](Rng& rng) {
+        return make_message<proto::DeltaSyncRequest>(
+            random_app(rng), rng.next_u64(), rng.next_u64(), rng.next_u64());
+      },
+      [](Rng& rng) {
+        return make_message<proto::DeltaSyncResponse>(
+            random_app(rng), rng.next_u64(), (rng.next_u64() & 1) != 0,
+            rng.next_u64(), rng.next_u64(), random_snapshot(rng));
+      },
   };
 }
 
@@ -225,7 +273,7 @@ TEST(Codec, RegistryCoversEveryMessageType) {
   register_all();
   EXPECT_EQ(CodecRegistry::global().registered_count(),
             generators().size());
-  // Tags are the frozen contiguous block 1..21 (docs/WIRE_FORMAT.md).
+  // Tags are the frozen contiguous block 1..27 (docs/WIRE_FORMAT.md).
   const std::vector<net::WireTag> tags = CodecRegistry::global().tags();
   ASSERT_EQ(tags.size(), generators().size());
   for (std::size_t i = 0; i < tags.size(); ++i) {
@@ -493,9 +541,10 @@ TEST(CodecCorpus, EveryCheckedInFrameKeepsItsOutcome) {
     ++seen;
   }
   // The corpus shipped with 14 entries, grew to 19 with the reliability
-  // envelope (tags 16/17) and to 25 with the shard messages (tags 18-21);
-  // it only ever grows.
-  EXPECT_GE(seen, 25u);
+  // envelope (tags 16/17), to 25 with the shard messages (tags 18-21), and
+  // to 35 with the dissemination/delta-sync messages (tags 22-27); it only
+  // ever grows.
+  EXPECT_GE(seen, 35u);
 }
 
 // Wire-stability pin for the richest shard message: the checked-in tag 18

@@ -93,7 +93,9 @@ struct Deployment {
   std::size_t host_env_base = 3;
 
   explicit Deployment(BackendKind kind, bool reliable = false,
-                      std::uint32_t shard_groups = 0) {
+                      std::uint32_t shard_groups = 0,
+                      DisseminationKind dissemination =
+                          DisseminationKind::kUnicast) {
     proto::register_wire_messages();
     const int n_managers =
         shard_groups >= 2 ? static_cast<int>(2 * shard_groups) : 3;
@@ -134,7 +136,8 @@ struct Deployment {
       for (const HostId id : host_ids) EXPECT_TRUE(socket->add_peer(id, self));
     }
 
-    const proto::ProtocolConfig config = conformance_config();
+    proto::ProtocolConfig config = conformance_config();
+    config.dissemination.kind = dissemination;
     for (std::size_t i = 0; i < manager_ids.size() + host_ids.size(); ++i) {
       envs.push_back(std::make_unique<ThreadedEnv>(*fabric));
     }
@@ -369,6 +372,51 @@ TEST(Conformance, SeedSweepShard0) { run_conformance_seeds(1, 25); }
 TEST(Conformance, SeedSweepShard1) { run_conformance_seeds(26, 25); }
 TEST(Conformance, SeedSweepShard2) { run_conformance_seeds(51, 25); }
 TEST(Conformance, SeedSweepShard3) { run_conformance_seeds(76, 25); }
+
+/// The collective dissemination strategies (docs/ARCHITECTURE.md) change
+/// which frames carry a revocation, not what the protocol decides. Replays
+/// the same 100 seeded scripts with RevokeBatch coalescing and with relay
+/// trees: the decision log must equal the reference model entry for entry.
+/// Unicast on all three backends is the sweep above; the collective kinds
+/// run on the loopback fabric, where the strategies exercise the identical
+/// code path they use on the socket backends.
+void run_dissemination_seeds(DisseminationKind kind, std::uint64_t first_seed,
+                             int count) {
+  for (std::uint64_t seed = first_seed; seed < first_seed + count; ++seed) {
+    const SeedScript script = make_script(seed);
+    Deployment d(BackendKind::kLoopback, /*reliable=*/false,
+                 /*shard_groups=*/0, kind);
+    ASSERT_NE(d.fabric, nullptr);
+    EXPECT_EQ(run_script_on(d, script), script.expected)
+        << "seed " << seed << " with " << to_cstring(kind)
+        << " dissemination diverged from the reference model";
+  }
+}
+
+TEST(Conformance, CoalescedSeedSweepShard0) {
+  run_dissemination_seeds(DisseminationKind::kCoalesced, 1, 25);
+}
+TEST(Conformance, CoalescedSeedSweepShard1) {
+  run_dissemination_seeds(DisseminationKind::kCoalesced, 26, 25);
+}
+TEST(Conformance, CoalescedSeedSweepShard2) {
+  run_dissemination_seeds(DisseminationKind::kCoalesced, 51, 25);
+}
+TEST(Conformance, CoalescedSeedSweepShard3) {
+  run_dissemination_seeds(DisseminationKind::kCoalesced, 76, 25);
+}
+TEST(Conformance, TreeSeedSweepShard0) {
+  run_dissemination_seeds(DisseminationKind::kTree, 1, 25);
+}
+TEST(Conformance, TreeSeedSweepShard1) {
+  run_dissemination_seeds(DisseminationKind::kTree, 26, 25);
+}
+TEST(Conformance, TreeSeedSweepShard2) {
+  run_dissemination_seeds(DisseminationKind::kTree, 51, 25);
+}
+TEST(Conformance, TreeSeedSweepShard3) {
+  run_dissemination_seeds(DisseminationKind::kTree, 76, 25);
+}
 
 // ------------------------------------------------------- canonical script
 

@@ -1,0 +1,465 @@
+// The revocation-dissemination strategies (src/proto/dissemination.hpp):
+// frame economics of the coalesced and tree strategies against the unicast
+// reference, the Te bound under partitioned and Byzantine relays, relay
+// bookkeeping on the host side, and the delta ACL sync recovery path with
+// its full-snapshot fallback. The conformance sweeps prove the strategies
+// DECIDE identically; this suite proves the collective ones are actually
+// cheaper and fail safely.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/partition_model.hpp"
+#include "obs/metrics.hpp"
+#include "proto/host.hpp"
+#include "proto/wire.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/env_options.hpp"
+#include "runtime/threaded_env.hpp"
+#include "workload/scenario.hpp"
+
+namespace wan {
+namespace {
+
+using proto::AccessDecision;
+using proto::DecisionPath;
+using runtime::DisseminationKind;
+using sim::Duration;
+using workload::Scenario;
+using workload::ScenarioConfig;
+
+std::uint64_t counter(const char* name) {
+  return obs::Registry::global().counter(name).value();
+}
+
+ScenarioConfig dissemination_config(DisseminationKind kind, int app_hosts) {
+  ScenarioConfig cfg;
+  cfg.managers = 3;
+  cfg.app_hosts = app_hosts;
+  cfg.users = 16;
+  cfg.partitions = ScenarioConfig::Partitions::kScripted;
+  cfg.constant_latency = true;
+  cfg.const_latency = Duration::millis(10);
+  cfg.protocol.check_quorum = 2;
+  cfg.protocol.Te = Duration::seconds(30);
+  cfg.protocol.clock_bound_b = 1.0;
+  cfg.protocol.query_timeout = Duration::seconds(1);
+  cfg.protocol.revoke_retransmit = Duration::millis(500);
+  cfg.protocol.cache_sweep_period = Duration::seconds(5);
+  cfg.protocol.dissemination.kind = kind;
+  cfg.seed = 7;
+  return cfg;
+}
+
+AccessDecision run_check(Scenario& s, int host, UserId user,
+                         Duration window = Duration::seconds(5)) {
+  std::optional<AccessDecision> result;
+  s.check(host, user, [&](const AccessDecision& d) { result = d; });
+  s.run_for(window);
+  EXPECT_TRUE(result.has_value());
+  return result.value_or(AccessDecision{});
+}
+
+// ------------------------------------------------------- frame economics
+
+struct FanoutCost {
+  std::uint64_t frames = 0;  ///< wan_revoke_fanout_frames_total delta
+  std::uint64_t rights = 0;  ///< wan_revoke_coalesced_rights delta
+};
+
+/// Grants 4 users, caches them on every one of 32 hosts, then revokes all 4
+/// at once and measures the dissemination frames the whole deployment spent
+/// (3 managers each fan out to their full grant tables). Counters are
+/// process-global, so the cost is measured as a delta around the revocation.
+FanoutCost mass_revocation_cost(DisseminationKind kind) {
+  constexpr int kHosts = 32;
+  constexpr int kUsers = 4;
+  Scenario s(dissemination_config(kind, kHosts));
+  for (int u = 0; u < kUsers; ++u) s.grant(s.user(u), 0);
+  s.run_for(Duration::seconds(2));
+  for (int h = 0; h < kHosts; ++h) {
+    for (int u = 0; u < kUsers; ++u) s.check(h, s.user(u));
+  }
+  s.run_for(Duration::seconds(5));
+  for (int h = 0; h < kHosts; ++h) {
+    EXPECT_EQ(s.host(h).controller().cache(s.app())->size(),
+              static_cast<std::size_t>(kUsers))
+        << "host " << h << " cache not fully populated before the revocation";
+  }
+
+  FanoutCost cost;
+  cost.frames = counter("wan_revoke_fanout_frames_total");
+  cost.rights = counter("wan_revoke_coalesced_rights");
+  for (int u = 0; u < kUsers; ++u) s.revoke(s.user(u), 0);
+  s.run_for(Duration::seconds(10));
+  cost.frames = counter("wan_revoke_fanout_frames_total") - cost.frames;
+  cost.rights = counter("wan_revoke_coalesced_rights") - cost.rights;
+
+  // The revocation must actually have landed everywhere and fully drained.
+  for (int h = 0; h < kHosts; ++h) {
+    EXPECT_EQ(s.host(h).controller().cache(s.app())->size(), 0u)
+        << "host " << h << " still caches a revoked right";
+  }
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(s.manager(m).manager().inflight_revocations(), 0u)
+        << "manager " << m << " did not drain its dissemination state";
+  }
+  return cost;
+}
+
+// The headline economics claim: with 32 cached hosts, coalescing revokes
+// into RevokeBatch frames — flat or through relay trees — spends at least
+// 3x fewer frames per mass revocation than the paper's unicast loop, while
+// delivering the identical outcome (asserted inside the helper).
+TEST(DisseminationFrames, CollectiveStrategiesCutFramesAtLeast3x) {
+  const FanoutCost unicast = mass_revocation_cost(DisseminationKind::kUnicast);
+  const FanoutCost coalesced =
+      mass_revocation_cost(DisseminationKind::kCoalesced);
+  const FanoutCost tree = mass_revocation_cost(DisseminationKind::kTree);
+
+  ASSERT_GT(unicast.frames, 0u);
+  ASSERT_GT(coalesced.frames, 0u);
+  ASSERT_GT(tree.frames, 0u);
+  EXPECT_GE(unicast.frames, 3 * coalesced.frames)
+      << "coalesced dissemination is not >=3x cheaper than unicast";
+  EXPECT_GE(unicast.frames, 3 * tree.frames)
+      << "tree dissemination is not >=3x cheaper than unicast";
+
+  // Unicast never batches, so it must not touch the coalescing counter;
+  // the collective strategies carry several rights per frame.
+  EXPECT_EQ(unicast.rights, 0u);
+  EXPECT_GT(coalesced.rights, coalesced.frames);
+  EXPECT_GT(tree.rights, tree.frames);
+}
+
+// --------------------------------------------- relay faults and Te bound
+
+/// Tree deployment small enough that all app hosts land in ONE relay group
+/// (relay_width defaults to 4), so host 0 — the lowest id — is the round-0
+/// relay choice.
+ScenarioConfig one_group_tree_config() {
+  ScenarioConfig cfg = dissemination_config(DisseminationKind::kTree, 4);
+  return cfg;
+}
+
+void cache_user_everywhere(Scenario& s, UserId user) {
+  ASSERT_TRUE(s.grant(user, 0));
+  s.run_for(Duration::seconds(2));
+  for (int h = 0; h < s.host_count(); ++h) s.check(h, user);
+  s.run_for(Duration::seconds(3));
+  for (int h = 0; h < s.host_count(); ++h) {
+    ASSERT_EQ(s.host(h).controller().cache(s.app())->size(), 1u);
+  }
+}
+
+// A partitioned relay must cost one retransmit period, not the bound: the
+// manager's retry rotates relay duty to the next unconfirmed group member,
+// so every reachable host flushes within a couple of rounds, and the
+// unreachable ex-relay's own cached entry expires on its local clock by Te
+// (the delivery-leak oracle's argument).
+TEST(TreeDissemination, PartitionedRelayRotatesAndTeBoundsTheLeak) {
+  Scenario s(one_group_tree_config());
+  cache_user_everywhere(s, s.user(0));
+
+  // Cut the round-0 relay off from the whole world, THEN revoke.
+  s.scripted().isolate(s.host_ids()[0], s.all_site_ids());
+  ASSERT_TRUE(s.revoke(s.user(0), 0));
+  s.run_for(Duration::seconds(3));
+  for (int h = 1; h < s.host_count(); ++h) {
+    EXPECT_EQ(s.host(h).controller().cache(s.app())->size(), 0u)
+        << "host " << h << " was not flushed after relay rotation";
+  }
+  // The isolated host still holds its copy — the leak the bound absorbs.
+  EXPECT_EQ(s.host(0).controller().cache(s.app())->size(), 1u);
+
+  // By Te (plus sweep slack) the copy has expired and the managers have
+  // retired the unreachable destination instead of retrying forever.
+  s.run_for(s.config().protocol.Te + Duration::seconds(12));
+  EXPECT_EQ(s.host(0).controller().cache(s.app())->size(), 0u);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(s.manager(m).manager().inflight_revocations(), 0u);
+  }
+}
+
+// The worst relay lie: ack the whole group as delivered, deliver nothing.
+// The managers believe it and stop retransmitting — and the protocol is
+// STILL safe, because every cached entry expires on its holder's local
+// clock within te <= Te. This is the dissemination analogue of the chaos
+// harness's delivery-leak oracle.
+TEST(TreeDissemination, LyingRelayIsBoundedByLocalExpiry) {
+  Scenario s(one_group_tree_config());
+  cache_user_everywhere(s, s.user(0));
+
+  s.host(0).controller().debug_set_lying_relay(true);
+  ASSERT_TRUE(s.revoke(s.user(0), 0));
+  s.run_for(Duration::seconds(3));
+
+  // The lie worked: managers drained, yet the leaves were never flushed.
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(s.manager(m).manager().inflight_revocations(), 0u)
+        << "manager " << m << " saw through a lie it has no way to detect";
+  }
+  std::size_t still_cached = 0;
+  for (int h = 0; h < s.host_count(); ++h) {
+    still_cached += s.host(h).controller().cache(s.app())->size();
+  }
+  EXPECT_GT(still_cached, 0u) << "the lying relay delivered after all";
+
+  // ... but no host may ALLOW the revoked user past Te.
+  s.run_for(s.config().protocol.Te + Duration::seconds(12));
+  for (int h = 0; h < s.host_count(); ++h) {
+    EXPECT_EQ(s.host(h).controller().cache(s.app())->size(), 0u)
+        << "host " << h << " leaked a revoked right past Te";
+  }
+  const AccessDecision d = run_check(s, 1, s.user(0));
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.path, DecisionPath::kQuorumDenied);
+}
+
+// Relay duty held for a manager is volatile bookkeeping, not protocol
+// state: sessions idle for Te (nothing left to retransmit for) are purged
+// by the cache sweep, so a long-lived host does not accrete one session per
+// historical revocation.
+TEST(TreeDissemination, RelaySessionsPurgeAfterTe) {
+  Scenario s(one_group_tree_config());
+  cache_user_everywhere(s, s.user(0));
+  ASSERT_TRUE(s.revoke(s.user(0), 0));
+  s.run_for(Duration::seconds(3));
+  // One session per disseminating manager (all three fanned out).
+  EXPECT_EQ(s.host(0).controller().relay_sessions(), 3u);
+
+  s.run_for(s.config().protocol.Te + Duration::seconds(12));
+  EXPECT_EQ(s.host(0).controller().relay_sessions(), 0u);
+}
+
+// ------------------------------------------------------ coalesced basics
+
+// flush_interval zero disables the coalescing window: every revocation is
+// dispatched the instant it arrives (the latency profile of unicast with
+// the framing of RevokeBatch), and the strategy still drains cleanly.
+TEST(CoalescedDissemination, ZeroFlushIntervalDispatchesImmediately) {
+  ScenarioConfig cfg = dissemination_config(DisseminationKind::kCoalesced, 3);
+  cfg.protocol.dissemination.flush_interval = Duration{};
+  Scenario s(cfg);
+  for (int u = 0; u < 2; ++u) {
+    ASSERT_TRUE(s.grant(s.user(u), 0));
+  }
+  s.run_for(Duration::seconds(2));
+  for (int h = 0; h < s.host_count(); ++h) {
+    for (int u = 0; u < 2; ++u) s.check(h, s.user(u));
+  }
+  s.run_for(Duration::seconds(3));
+
+  for (int u = 0; u < 2; ++u) ASSERT_TRUE(s.revoke(s.user(u), 0));
+  s.run_for(Duration::seconds(1));
+  for (int h = 0; h < s.host_count(); ++h) {
+    EXPECT_EQ(s.host(h).controller().cache(s.app())->size(), 0u);
+  }
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(s.manager(m).manager().inflight_revocations(), 0u);
+  }
+}
+
+// ------------------------------------------------------------ delta sync
+
+ScenarioConfig delta_sync_config() {
+  ScenarioConfig cfg = dissemination_config(DisseminationKind::kUnicast, 2);
+  cfg.protocol.dissemination.delta_sync = true;
+  return cfg;
+}
+
+// The suffix regression the wire tag exists for: a recovering manager's
+// FIRST sync round (no cursor) transfers the peer's full snapshot; once a
+// cursor is held, later rounds transfer EXACTLY the updates applied since —
+// pinned by sync_entries_sent, which would balloon if the peer fell back to
+// snapshots. The second peer is cut off to keep the sync open across rounds.
+TEST(DeltaSync, LaterRoundsTransferOnlyThePostCursorSuffix) {
+  Scenario s(delta_sync_config());
+  for (int u = 0; u < 6; ++u) ASSERT_TRUE(s.grant(s.user(u), 0));
+  s.run_for(Duration::seconds(2));
+
+  s.manager(1).crash();
+  s.run_for(Duration::seconds(1));
+  s.scripted().cut_link(s.manager_ids()[1], s.manager_ids()[2]);
+  const std::uint64_t sent0 = s.manager(0).manager().sync_entries_sent();
+  s.manager(1).recover();
+
+  // Round 1 (no cursor): manager 0 serves its full 6-entry snapshot; the
+  // cut peer cannot vote, so the sync stays open.
+  s.run_for(Duration::millis(500));
+  EXPECT_EQ(s.manager(0).manager().sync_entries_sent() - sent0, 6u);
+  EXPECT_FALSE(s.manager(1).manager().synced(s.app()));
+
+  // Two more updates land while the recovering manager waits...
+  ASSERT_TRUE(s.grant(s.user(6), 0));
+  ASSERT_TRUE(s.grant(s.user(7), 0));
+  // ... so round 2 (cursor = 6) must transfer exactly that 2-entry suffix.
+  s.run_for(Duration::seconds(3));
+  EXPECT_EQ(s.manager(0).manager().sync_entries_sent() - sent0, 8u);
+
+  // Further rounds have an empty suffix: the count is pinned flat.
+  s.run_for(Duration::seconds(4));
+  EXPECT_EQ(s.manager(0).manager().sync_entries_sent() - sent0, 8u);
+
+  s.scripted().heal_all();
+  s.run_for(Duration::seconds(3));
+  EXPECT_TRUE(s.manager(1).manager().synced(s.app()));
+}
+
+// Correctness never depends on the capped apply log: once compaction has
+// advanced past the requester's cursor, the peer answers with the full
+// snapshot again (6 initial + 6 new = 12 entries, not the 6-entry suffix a
+// still-valid cursor would have bought).
+TEST(DeltaSync, FallsBackToFullSnapshotWhenTheLogCompactedPastTheCursor) {
+  ScenarioConfig cfg = delta_sync_config();
+  cfg.protocol.dissemination.delta_log_cap = 4;
+  Scenario s(cfg);
+  for (int u = 0; u < 6; ++u) ASSERT_TRUE(s.grant(s.user(u), 0));
+  s.run_for(Duration::seconds(2));
+
+  s.manager(1).crash();
+  s.run_for(Duration::seconds(1));
+  s.scripted().cut_link(s.manager_ids()[1], s.manager_ids()[2]);
+  const std::uint64_t sent0 = s.manager(0).manager().sync_entries_sent();
+  s.manager(1).recover();
+  s.run_for(Duration::millis(500));
+  EXPECT_EQ(s.manager(0).manager().sync_entries_sent() - sent0, 6u);
+
+  // Six more updates overflow the 4-entry log: floor moves to 8, past the
+  // recovering manager's cursor of 6.
+  for (int u = 6; u < 12; ++u) ASSERT_TRUE(s.grant(s.user(u), 0));
+  s.run_for(Duration::seconds(3));
+  EXPECT_EQ(s.manager(0).manager().sync_entries_sent() - sent0, 6u + 12u);
+
+  s.scripted().heal_all();
+  s.run_for(Duration::seconds(3));
+  EXPECT_TRUE(s.manager(1).manager().synced(s.app()));
+}
+
+// --------------------------------------------- threaded smoke (TSan job)
+
+// The batching strategies own timers and retransmission state driven from a
+// real event-loop thread while acks arrive from peer threads through the
+// loopback fabric. This deployment mirrors the conformance harness in
+// miniature so the TSan CI job can race-check the dissemination path
+// end-to-end: grant, cache on every host, revoke, drain.
+TEST(DisseminationThreaded, CollectiveRevocationOverLoopbackFabric) {
+  for (const DisseminationKind kind :
+       {DisseminationKind::kCoalesced, DisseminationKind::kTree}) {
+    SCOPED_TRACE(runtime::to_cstring(kind));
+    proto::register_wire_messages();
+    runtime::EnvOptions opts;
+    opts.backend = runtime::BackendKind::kLoopback;
+    opts.delay = Duration::millis(1);
+    std::string error;
+    auto fabric = runtime::make_fabric(opts, &error);
+    ASSERT_NE(fabric, nullptr) << error;
+
+    const AppId app{1};
+    const UserId alice{7};
+    const std::vector<HostId> manager_ids{HostId(0), HostId(1), HostId(2)};
+    const std::vector<HostId> host_ids{HostId(100), HostId(101), HostId(102)};
+    proto::ProtocolConfig config;
+    config.check_quorum = 2;
+    config.Te = Duration::minutes(2);
+    config.dissemination.kind = kind;
+    config.dissemination.relay_width = 2;  // a real relay hop with 3 hosts
+
+    ns::NameService names;
+    auth::KeyRegistry keys;
+    std::vector<std::unique_ptr<runtime::ThreadedEnv>> envs;
+    for (std::size_t i = 0; i < manager_ids.size() + host_ids.size(); ++i) {
+      envs.push_back(std::make_unique<runtime::ThreadedEnv>(*fabric));
+    }
+    std::vector<std::unique_ptr<proto::ManagerHost>> managers;
+    for (std::size_t i = 0; i < manager_ids.size(); ++i) {
+      managers.push_back(std::make_unique<proto::ManagerHost>(
+          manager_ids[i], *envs[i], clk::LocalClock::perfect(), config));
+    }
+    names.set_managers(app, manager_ids);
+    for (std::size_t i = 0; i < managers.size(); ++i) {
+      envs[i]->run_sync(
+          [&, i] { managers[i]->manager().manage_app(app, manager_ids); });
+    }
+    std::vector<std::unique_ptr<proto::AppHost>> hosts;
+    for (std::size_t i = 0; i < host_ids.size(); ++i) {
+      auto& env = *envs[manager_ids.size() + i];
+      hosts.push_back(std::make_unique<proto::AppHost>(
+          host_ids[i], env, clk::LocalClock::perfect(), names, keys, config));
+      env.run_sync([&] {
+        hosts.back()->controller().register_app(
+            app, [](UserId, const std::string& p) { return p; });
+      });
+    }
+
+    const auto eventually = [](const std::function<bool()>& pred) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (!pred()) {
+        if (std::chrono::steady_clock::now() >= deadline) return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return true;
+    };
+    const auto barrier_update = [&](acl::Op op) {
+      auto done = std::make_shared<std::atomic<bool>>(false);
+      envs[0]->run_sync([&] {
+        managers[0]->manager().submit_update(
+            app, op, alice, acl::Right::kUse,
+            [done](const proto::UpdateOutcome&) { done->store(true); });
+      });
+      return eventually([done] { return done->load(); });
+    };
+    const auto barrier_check = [&](std::size_t h) {
+      struct Slot {
+        std::mutex mu;
+        std::optional<bool> allowed;
+      };
+      auto slot = std::make_shared<Slot>();
+      envs[manager_ids.size() + h]->run_sync([&] {
+        hosts[h]->controller().check_access(
+            app, alice, [slot](const AccessDecision& d) {
+              const std::lock_guard<std::mutex> lock(slot->mu);
+              slot->allowed = d.allowed;
+            });
+      });
+      EXPECT_TRUE(eventually([slot] {
+        const std::lock_guard<std::mutex> lock(slot->mu);
+        return slot->allowed.has_value();
+      }));
+      const std::lock_guard<std::mutex> lock(slot->mu);
+      return slot->allowed.value_or(false);
+    };
+
+    ASSERT_TRUE(barrier_update(acl::Op::kAdd));
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      EXPECT_TRUE(barrier_check(h)) << "host " << h << " denied a granted user";
+    }
+    ASSERT_TRUE(barrier_update(acl::Op::kRevoke));
+    // Every cache flushes and every manager drains its batches (the check
+    // itself re-queries, so a deny proves the cached copy is gone).
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      EXPECT_TRUE(eventually([&] { return !barrier_check(h); }))
+          << "host " << h << " kept allowing after the revocation";
+    }
+    for (std::size_t m = 0; m < managers.size(); ++m) {
+      EXPECT_TRUE(eventually([&] {
+        std::size_t inflight = 1;
+        envs[m]->run_sync(
+            [&] { inflight = managers[m]->manager().inflight_revocations(); });
+        return inflight == 0;
+      })) << "manager " << m << " never drained its dissemination state";
+    }
+    fabric->stop_all();
+  }
+}
+
+}  // namespace
+}  // namespace wan

@@ -104,6 +104,7 @@
 #include "proto/wire.hpp"
 #include "shard/shard_map.hpp"
 #include "util/rng.hpp"
+#include "runtime/env_options.hpp"
 #include "runtime/reactor_transport.hpp"
 #include "runtime/threaded_env.hpp"
 #include "runtime/udp_transport.hpp"
@@ -130,6 +131,8 @@ struct Options {
   std::string metrics_path;  ///< with --metrics: live file (empty = stdout)
   std::string state_dir;     ///< manager role: durable journal directory
   bool reliable = false;     ///< arm the ack/retransmit layer
+  runtime::DisseminationKind dissemination =
+      runtime::DisseminationKind::kUnicast;  ///< revocation fanout strategy
   double loss = 0.0;         ///< seeded inbound loss fraction (test adversity)
   std::uint64_t fault_seed = 1;
   bool resume = false;   ///< restarted node: skip the scripted one-shot duties
@@ -215,10 +218,11 @@ void sleep_until_offset(Clock::time_point t0, int offset_ms) {
 }
 
 /// The protocol knobs every node of a deployment must agree on.
-proto::ProtocolConfig make_config(int te_ms) {
+proto::ProtocolConfig make_config(const Options& opt) {
   proto::ProtocolConfig config;
   config.check_quorum = 2;
-  config.Te = sim::Duration::millis(te_ms);
+  config.Te = sim::Duration::millis(opt.te_ms);
+  config.dissemination.kind = opt.dissemination;
   config.query_timeout = sim::Duration::millis(200);
   config.max_attempts = 2;
   config.cache_sweep_period = sim::Duration::millis(100);
@@ -321,7 +325,7 @@ struct Smoke {
   const UserId alice_{7};
 
   void build() {
-    config_ = make_config(opt_.te_ms);
+    config_ = make_config(opt_);
 
     for (const std::uint32_t id : kManagerIds) manager_ids_.push_back(HostId(id));
     for (const std::uint32_t id : kHostIds) host_ids_.push_back(HostId(id));
@@ -614,7 +618,7 @@ int run_manager(const Options& opt, runtime::SocketTransport& transport) {
   for (const std::uint32_t id : manager_raw_ids(opt.shards)) {
     manager_ids.push_back(HostId(id));
   }
-  const proto::ProtocolConfig config = make_config(opt.te_ms);
+  const proto::ProtocolConfig config = make_config(opt);
 
   runtime::ThreadedEnv env(transport);
   proto::ManagerHost mgr(HostId(opt.id), env, clk::LocalClock::perfect(),
@@ -745,7 +749,7 @@ int run_host(const Options& opt, runtime::SocketTransport& transport) {
   for (const std::uint32_t id : manager_raw_ids(opt.shards)) {
     manager_ids.push_back(HostId(id));
   }
-  const proto::ProtocolConfig config = make_config(opt.te_ms);
+  const proto::ProtocolConfig config = make_config(opt);
 
   ns::NameService names;
   names.set_managers(app, manager_ids);
@@ -1131,6 +1135,10 @@ int run_udp_smoke(const Options& opt, const char* argv0) {
         "--listen",   "127.0.0.1:0",
         "--backend",  opt.backend};
     if (opt.shards) args.push_back("--shards");
+    if (opt.dissemination != runtime::DisseminationKind::kUnicast) {
+      args.push_back("--dissemination");
+      args.push_back(runtime::to_cstring(opt.dissemination));
+    }
     // Sharded runs always arm the reliability layer: the map announce and
     // the handoff series must survive whatever localhost UDP drops.
     if (opt.reliable || opt.shards) args.push_back("--reliable");
@@ -1371,6 +1379,10 @@ int run_proc_chaos(const Options& opt, const char* argv0) {
         "--backend",  opt.backend,
         "--reliable"};
     if (opt.shards) args.push_back("--shards");
+    if (opt.dissemination != runtime::DisseminationKind::kUnicast) {
+      args.push_back("--dissemination");
+      args.push_back(runtime::to_cstring(opt.dissemination));
+    }
     if (role == "manager") {
       args.push_back("--state-dir");
       args.push_back(std::string(dir) + "/state-" + std::to_string(id));
@@ -1750,6 +1762,13 @@ int main(int argc, char** argv) {
                "messages get per-flow sequencing, retransmission, and dedup;\n"
                "heartbeats stay fire-and-forget)",
                &opt.reliable);
+  cli.add_value("--dissemination", "KIND",
+                "revocation fanout strategy: unicast (default), coalesced,\n"
+                "or tree — every node of a deployment must agree",
+                [&](const std::string& v) {
+                  return wan::runtime::parse_dissemination(
+                      v, &opt.dissemination);
+                });
   cli.add_value("--loss", "P",
                 "drop fraction P (0..1) of inbound frames, deterministically\n"
                 "seeded — only converges with --reliable",
